@@ -1,0 +1,109 @@
+//! Navigation-calculus interpreter micro-benchmarks: resolution over
+//! facts, recursion depth (the "More" iteration shape), state
+//! updates/rollback, and unification of page-sized terms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use webbase_flogic::parser::{parse_goal, parse_program};
+use webbase_flogic::store::ObjectStore;
+use webbase_flogic::term::{Sym, Term};
+use webbase_flogic::Machine;
+
+fn bench_flogic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flogic");
+
+    // Fact enumeration: 500 facts, enumerate all.
+    let mut src = String::new();
+    for i in 0..500 {
+        src.push_str(&format!("ad({i}, make{}, {}). ", i % 10, 1000 + i));
+    }
+    let facts = parse_program(&src).expect("parses");
+    let (goal, vars) = parse_goal("ad(I, M, P)").expect("parses");
+    group.bench_function("enumerate_500_facts", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&facts, ObjectStore::new());
+            black_box(m.solve_all(black_box(&goal), &vars).expect("solves").len())
+        })
+    });
+
+    // Recursive descent, like a "More" chain of n pages.
+    let rec = parse_program(
+        "chain(0). chain(N) :- N > 0, step(N, M), chain(M).",
+    )
+    .expect("parses");
+    struct Step;
+    impl webbase_flogic::Oracle for Step {
+        fn call(
+            &mut self,
+            pred: Sym,
+            args: &[Term],
+            _store: &mut ObjectStore,
+            _b: &webbase_flogic::Bindings,
+        ) -> webbase_flogic::oracle::OracleOutcome {
+            if pred == Sym::new("step") {
+                if let Term::Int(n) = args[0] {
+                    return webbase_flogic::oracle::OracleOutcome::Solutions(vec![vec![
+                        Term::Int(n),
+                        Term::Int(n - 1),
+                    ]]);
+                }
+            }
+            webbase_flogic::oracle::OracleOutcome::NotMine
+        }
+    }
+    for depth in [20i64, 60, 120] {
+        let (g, vars) = parse_goal(&format!("chain({depth})")).expect("parses");
+        group.bench_with_input(BenchmarkId::new("more_chain", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut m = Machine::with_oracle(&rec, ObjectStore::new(), Step);
+                black_box(m.solve_all(black_box(&g), &vars).expect("solves").len())
+            })
+        });
+    }
+
+    // Store updates + rollback (the Transaction-Logic undo log).
+    let empty = parse_program("seed.").expect("parses");
+    group.bench_function("store_insert_rollback_1000", |b| {
+        b.iter(|| {
+            let mut store = ObjectStore::new();
+            let mark = store.mark();
+            for i in 0..1000 {
+                store.insert_setval(
+                    Term::atom("pg"),
+                    Sym::new("actions"),
+                    Term::Int(black_box(i)),
+                );
+            }
+            store.undo_to(mark);
+            black_box(store.molecule_count())
+        });
+        let _ = &empty;
+    });
+
+    // Backtracking through a choice fan: (a1 ; a2 ; … ; a32), all fail
+    // but the last.
+    let mut fan_src = String::new();
+    for i in 0..31 {
+        fan_src.push_str(&format!("alt{i} :- fail. "));
+    }
+    fan_src.push_str("alt31. fan :- (");
+    for i in 0..32 {
+        if i > 0 {
+            fan_src.push_str(" ; ");
+        }
+        fan_src.push_str(&format!("alt{i}"));
+    }
+    fan_src.push_str(").");
+    let fan = parse_program(&fan_src).expect("parses");
+    let (fg, fvars) = parse_goal("fan").expect("parses");
+    group.bench_function("choice_fan_32", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&fan, ObjectStore::new());
+            black_box(m.solve_all(black_box(&fg), &fvars).expect("solves").len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flogic);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! HTML parsing benchmark: "a significant portion of the time in
+//! querying is spent not only in fetching, but also parsing the Web
+//! pages" (§7). Measures parse + extraction throughput on well-formed
+//! and deliberately faulty pages, and on large result pages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use webbase_webworld::prelude::*;
+use webbase_webworld::data::Dataset;
+
+/// Fetch a sample results page from a site.
+fn sample_page(web: &SyntheticWeb, host: &str, make: &str) -> String {
+    let url = Url::new(host, "/cgi-bin/search");
+    let (resp, _) = web.fetch(&Request::post(url, [("make", make), ("mk", make)]));
+    resp.html().to_string()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let data = Dataset::generate(42, 1500);
+    let web = standard_web(data, LatencyModel::zero());
+    let well_formed = sample_page(&web, "autos.yahoo.com", "ford");
+    let faulty = sample_page(&web, "www.nydailynews.com", "ford");
+
+    let mut group = c.benchmark_group("html_parse");
+    for (name, page) in [("well_formed", &well_formed), ("faulty", &faulty)] {
+        group.throughput(Throughput::Bytes(page.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", name), page, |b, p| {
+            b.iter(|| black_box(webbase_html::parse(black_box(p)).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("parse_and_extract", name), page, |b, p| {
+            b.iter(|| {
+                let doc = webbase_html::parse(black_box(p));
+                let tables = webbase_html::extract::tables(&doc);
+                let links = webbase_html::extract::links(&doc);
+                let forms = webbase_html::extract::forms(&doc);
+                black_box((tables.len(), links.len(), forms.len()))
+            })
+        });
+    }
+
+    // A synthetic large data page (hundreds of rows).
+    let mut big = String::from("<html><body><table><tr><th>Make</th><th>Price</th></tr>");
+    for i in 0..500 {
+        big.push_str(&format!("<tr><td>make{i}</td><td>${i}00</td></tr>"));
+    }
+    big.push_str("</table>");
+    group.throughput(Throughput::Bytes(big.len() as u64));
+    group.bench_function("parse_500_row_table", |b| {
+        b.iter(|| {
+            let doc = webbase_html::parse(black_box(&big));
+            black_box(webbase_html::extract::tables(&doc)[0].rows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! §5 join-ordering ablation: exact (exponential, complete) versus
+//! greedy (linear rounds, incomplete) ordering under binding
+//! constraints — the design choice DESIGN.md calls out. The problem is
+//! NP-complete with multiple bindings per relation (Rajaraman–Sagiv–
+//! Ullman), so the exact algorithm's growth matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use webbase_relational::binding::BindingSet;
+use webbase_relational::ordering::{order_exact, order_greedy, JoinInput};
+use webbase_relational::{Attr, Schema};
+
+/// A dependency-chain instance of size n, shuffled deterministically.
+fn chain(n: usize) -> (Vec<JoinInput>, BTreeSet<Attr>) {
+    let mut inputs: Vec<JoinInput> = (0..n)
+        .map(|i| {
+            let schema = if i == 0 {
+                Schema::new([format!("a{i}")])
+            } else {
+                Schema::new([format!("a{}", i - 1), format!("a{i}")])
+            };
+            let bindings = if i == 0 {
+                BindingSet::free()
+            } else {
+                BindingSet::from_bindings([[Attr::new(format!("a{}", i - 1))].into()])
+            };
+            JoinInput::new(&format!("r{i}"), schema, bindings)
+        })
+        .collect();
+    // Deterministic shuffle: reverse + rotate.
+    inputs.reverse();
+    inputs.rotate_left(n / 3);
+    (inputs, BTreeSet::new())
+}
+
+/// An adversarial instance: relations with two alternative bindings
+/// each, forcing the exact search to branch.
+fn multi_binding(n: usize) -> (Vec<JoinInput>, BTreeSet<Attr>) {
+    let inputs: Vec<JoinInput> = (0..n)
+        .map(|i| {
+            let schema = Schema::new([format!("a{i}"), format!("b{i}")]);
+            let bindings = if i == 0 {
+                BindingSet::free()
+            } else {
+                BindingSet::from_bindings([
+                    [Attr::new(format!("a{}", i - 1))].into(),
+                    [Attr::new(format!("b{}", i.saturating_sub(2)))].into(),
+                ])
+            };
+            JoinInput::new(&format!("r{i}"), schema, bindings)
+        })
+        .collect();
+    (inputs, BTreeSet::new())
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_ordering");
+    for n in [6usize, 10, 14] {
+        let (inputs, init) = chain(n);
+        group.bench_with_input(BenchmarkId::new("exact_chain", n), &n, |b, _| {
+            b.iter(|| black_box(order_exact(black_box(&inputs), &init)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_chain", n), &n, |b, _| {
+            b.iter(|| black_box(order_greedy(black_box(&inputs), &init)))
+        });
+        let (mi, minit) = multi_binding(n);
+        group.bench_with_input(BenchmarkId::new("exact_multibinding", n), &n, |b, _| {
+            b.iter(|| black_box(order_exact(black_box(&mi), &minit)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

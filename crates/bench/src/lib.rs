@@ -1,0 +1,43 @@
+//! # webbase-bench
+//!
+//! Benchmarks and the experiment-reproduction harness.
+//!
+//! * `src/bin/repro.rs` — the `repro` binary regenerates **every table
+//!   and figure** of the paper (Tables 1–3, Figures 1–5, Example 6.2,
+//!   the §5 binding example, and the §7 experiment tables). Run
+//!   `cargo run -p webbase-bench --bin repro -- --all`.
+//! * `benches/` — Criterion benchmarks, one per experiment/ablation:
+//!   `site_query` (§7 timing table), `map_builder` (§7 statistics),
+//!   `parallel_eval` (§9 parallelisation), `caching` (fetch-cache
+//!   ablation), `binding` (§5 propagation), `join_ordering`
+//!   (exact-vs-greedy ablation), `ur_maximal` (§6 maximal objects),
+//!   `html_parse` (well-formed vs faulty pages), `flogic_engine`
+//!   (interpreter micro-benchmarks).
+//!
+//! Shared fixtures live here so benches and the repro binary agree on
+//! the workload.
+
+use std::sync::Arc;
+use webbase::{LatencyModel, Webbase};
+use webbase_webworld::data::Dataset;
+
+/// The standard benchmark dataset seed.
+pub const BENCH_SEED: u64 = 42;
+/// The standard benchmark market size.
+pub const BENCH_ADS: usize = 1500;
+
+/// The demo webbase every benchmark runs against (1999 network profile,
+/// so elapsed-time columns resemble the paper's).
+pub fn bench_webbase() -> Webbase {
+    Webbase::build_demo(BENCH_SEED, BENCH_ADS, LatencyModel::dialup_1999())
+}
+
+/// A webbase over a near-zero-latency network (for CPU-bound benches).
+pub fn lan_webbase() -> Webbase {
+    Webbase::build_demo(BENCH_SEED, BENCH_ADS, LatencyModel::lan())
+}
+
+/// The benchmark dataset alone.
+pub fn bench_dataset() -> Arc<Dataset> {
+    Dataset::generate(BENCH_SEED, BENCH_ADS)
+}

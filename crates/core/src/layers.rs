@@ -1,0 +1,41 @@
+//! Figure 1: the traditional-database / webbase layer correspondence.
+
+/// Render the Figure 1 comparison as text.
+pub fn render_figure1() -> String {
+    "\
+Traditional Database Architecture      |  Webbase Architecture
+---------------------------------------+---------------------------------------
+External Schema (Views)                |  External Schema (Views)
+  - SQL, QBE, ...                      |    - structured universal relation
+  - ad hoc querying                    |    - ad hoc querying by naive users
+---------------------------------------+---------------------------------------
+Logical Schema                         |  Logical Schema
+  - relational algebra                 |    - relational algebra + binding
+  - high-level access methods          |      propagation (site independence)
+---------------------------------------+---------------------------------------
+Physical Schema                        |  Virtual Physical Schema
+  - low-level access methods           |    - navigation calculus (Transaction
+  - data storage                       |      F-logic), handles, data extraction
+---------------------------------------+---------------------------------------
+Physical Database                      |  Raw Web
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn figure1_mentions_all_layers() {
+        let txt = super::render_figure1();
+        for needle in [
+            "External Schema",
+            "Logical Schema",
+            "Virtual Physical Schema",
+            "Raw Web",
+            "universal relation",
+            "navigation calculus",
+        ] {
+            assert!(txt.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The assembled webbase.
+
+use std::sync::Arc;
+use webbase_logical::{paper_schema, LogicalLayer};
+use webbase_navigation::map::NavigationMap;
+use webbase_navigation::recorder::{MapStats, RecordError, Recorder};
+use webbase_navigation::sessions;
+use webbase_relational::Relation;
+use webbase_ur::compat::example62_rules;
+use webbase_ur::hierarchy::figure5;
+use webbase_ur::plan::{UrError, UrPlan, UrPlanner};
+use webbase_ur::query::parse_query;
+use webbase_vps::VpsCatalog;
+use webbase_webworld::prelude::*;
+
+/// What building a webbase produced: per-site maps and their §7
+/// automation statistics.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    pub sites: Vec<(String, MapStats)>,
+}
+
+impl BuildReport {
+    /// Render the §7 map-builder statistics table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Map builder statistics (objects / attributes / manual facts / manual % / auto-standardised)\n",
+        );
+        for (site, s) in &self.sites {
+            out.push_str(&format!(
+                "  {site:<24} {:>4} objects  {:>5} attrs  {:>3} manual  {:>5.1}%  {:>2} auto-std\n",
+                s.objects,
+                s.attributes,
+                s.manual_facts,
+                100.0 * s.manual_ratio(),
+                s.auto_standardized
+            ));
+        }
+        out
+    }
+}
+
+/// Top-level errors.
+#[derive(Debug)]
+pub enum WebbaseError {
+    Record(String, RecordError),
+    Query(webbase_ur::query::QueryParseError),
+    Plan(UrError),
+    /// A §7-style SELECT failed to parse or evaluate.
+    Select(String),
+}
+
+impl std::fmt::Display for WebbaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WebbaseError::Record(site, e) => write!(f, "recording {site}: {e}"),
+            WebbaseError::Query(e) => write!(f, "{e}"),
+            WebbaseError::Plan(e) => write!(f, "{e}"),
+            WebbaseError::Select(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for WebbaseError {}
+
+/// The assembled three-layer webbase over a simulated Web.
+pub struct Webbase {
+    pub web: SyntheticWeb,
+    pub data: Arc<Dataset>,
+    /// The recorded navigation maps, by host.
+    pub maps: Vec<NavigationMap>,
+    pub layer: LogicalLayer,
+    pub planner: UrPlanner,
+    pub report: BuildReport,
+}
+
+impl Webbase {
+    /// Build the paper's used-car webbase (Example 2.1): generate the
+    /// synthetic market, stand up the thirteen sites, replay every
+    /// designer session, derive handles, and wire the three layers.
+    pub fn build_demo(seed: u64, n_ads: usize, latency: LatencyModel) -> Webbase {
+        let data = Dataset::generate(seed, n_ads);
+        let web = standard_web(data.clone(), latency);
+        Webbase::build_on(web, data).expect("the standard sessions replay cleanly")
+    }
+
+    /// Build over an existing Web (e.g. a versioned one for maintenance
+    /// experiments).
+    pub fn build_on(web: SyntheticWeb, data: Arc<Dataset>) -> Result<Webbase, WebbaseError> {
+        let mut catalog = VpsCatalog::new();
+        let mut maps = Vec::new();
+        let mut stats = Vec::new();
+        for (host, session) in sessions::all_sessions(&data) {
+            let (map, s) = Recorder::record(web.clone(), host, &session)
+                .map_err(|e| WebbaseError::Record(host.to_string(), e))?;
+            stats.push((host.to_string(), s));
+            maps.push(map.clone());
+            catalog.add_map(web.clone(), map);
+        }
+        let layer = LogicalLayer::new(catalog, paper_schema());
+        let planner = UrPlanner::new(figure5(), example62_rules());
+        Ok(Webbase {
+            web,
+            data,
+            maps,
+            layer,
+            planner,
+            report: BuildReport { sites: stats },
+        })
+    }
+
+    /// Build from previously persisted navigation maps (F-logic fact
+    /// text, as produced by `webbase_navigation::persist::render_facts`)
+    /// instead of replaying designer sessions — the "designer ships the
+    /// maps" deployment mode.
+    pub fn build_from_fact_maps(
+        web: SyntheticWeb,
+        data: Arc<Dataset>,
+        fact_maps: &[String],
+    ) -> Result<Webbase, WebbaseError> {
+        let mut catalog = VpsCatalog::new();
+        let mut maps = Vec::new();
+        let mut stats = Vec::new();
+        for text in fact_maps {
+            let map = webbase_navigation::persist::parse_map(text)
+                .map_err(|e| WebbaseError::Select(format!("loading map: {e}")))?;
+            stats.push((
+                map.site.clone(),
+                MapStats {
+                    objects: map.object_count(),
+                    attributes: map.attribute_count(),
+                    // Unknown after the fact; recorded at mapping time.
+                    ..MapStats::default()
+                },
+            ));
+            maps.push(map.clone());
+            catalog.add_map(web.clone(), map);
+        }
+        let layer = LogicalLayer::new(catalog, paper_schema());
+        let planner = UrPlanner::new(figure5(), example62_rules());
+        Ok(Webbase { web, data, maps, layer, planner, report: BuildReport { sites: stats } })
+    }
+
+    /// Serialise every recorded map as F-logic fact text (the input to
+    /// [`Webbase::build_from_fact_maps`]).
+    pub fn export_fact_maps(&self) -> Vec<String> {
+        self.maps.iter().map(webbase_navigation::persist::render_facts).collect()
+    }
+
+    /// Parse and execute a structured-UR query.
+    pub fn query(&mut self, text: &str) -> Result<(Relation, UrPlan), WebbaseError> {
+        let q = parse_query(text).map_err(WebbaseError::Query)?;
+        self.planner.execute(&q, &mut self.layer).map_err(WebbaseError::Plan)
+    }
+
+    /// Plan a query without executing it (for EXPLAIN-style output).
+    pub fn explain(&self, text: &str) -> Result<UrPlan, WebbaseError> {
+        let q = parse_query(text).map_err(WebbaseError::Query)?;
+        self.planner.plan(&q, &self.layer).map_err(WebbaseError::Plan)
+    }
+
+    /// The map recorded for `host`, if any.
+    pub fn map_for(&self, host: &str) -> Option<&NavigationMap> {
+        self.maps.iter().find(|m| m.site == host)
+    }
+
+    /// The UR's attribute list (the user's attribute picker).
+    pub fn ur_attributes(&self) -> Vec<String> {
+        self.planner.ur_attributes(&self.layer)
+    }
+
+    /// Run a §7-style `SELECT … WHERE …` query against one relation —
+    /// a *logical* relation (site-independent) or, failing that, a VPS
+    /// relation (one site's handle). This is the query form the paper's
+    /// timing table uses.
+    pub fn select(&mut self, relation: &str, sql: &str) -> Result<Relation, WebbaseError> {
+        use webbase_relational::eval::{AccessSpec, Evaluator, RelationProvider};
+        let q = webbase_relational::select::parse_select(sql)
+            .map_err(|e| WebbaseError::Select(e.to_string()))?;
+        let expr = q.over(relation);
+        let result = if self.layer.relation(relation).is_some() {
+            Evaluator::new(&mut self.layer).eval(&expr, &AccessSpec::new())
+        } else if self.layer.vps.schema(relation).is_some() {
+            Evaluator::new(&mut self.layer.vps).eval(&expr, &AccessSpec::new())
+        } else {
+            return Err(WebbaseError::Select(format!("unknown relation {relation}")));
+        };
+        result.map_err(|e| WebbaseError::Select(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Webbase {
+        Webbase::build_demo(5, 600, LatencyModel::lan())
+    }
+
+    #[test]
+    fn builds_with_all_sites_mapped() {
+        let wb = demo();
+        assert_eq!(wb.maps.len(), 13);
+        assert_eq!(wb.report.sites.len(), 13);
+        let txt = wb.report.render();
+        assert!(txt.contains("www.newsday.com"));
+        // UR attribute picker covers the domain vocabulary.
+        let attrs = wb.ur_attributes();
+        assert!(attrs.len() >= 12, "{attrs:?}");
+    }
+
+    #[test]
+    fn the_paper_query_runs() {
+        let mut wb = demo();
+        let (result, plan) = wb
+            .query(
+                "UsedCarUR(make='jaguar', model, year >= 1993, price, bbprice, \
+                 safety='good', condition='good') WHERE price < bbprice",
+            )
+            .expect("query runs");
+        assert!(!plan.objects.is_empty());
+        // Result sanity: every row is a 1993+ jaguar priced under book.
+        let year = result.schema().index_of(&"year".into()).expect("year");
+        let price = result.schema().index_of(&"price".into()).expect("price");
+        let bb = result.schema().index_of(&"bbprice".into()).expect("bbprice");
+        for t in result.tuples() {
+            assert!(t.get(year).as_int().expect("year int") >= 1993);
+            assert!(t.get(price).as_int().expect("price") < t.get(bb).as_int().expect("bb"));
+        }
+    }
+
+    #[test]
+    fn explain_produces_plan_without_fetches() {
+        let wb = demo();
+        let before = wb.web.total_stats().requests;
+        let plan = wb
+            .explain("UsedCarUR(make='ford', price, rate, zip='10001', duration=36)")
+            .expect("plans");
+        assert!(!plan.objects.is_empty());
+        // Planning itself must not navigate (only recording did).
+        assert_eq!(wb.web.total_stats().requests, before);
+    }
+
+    #[test]
+    fn query_errors_are_reported() {
+        let mut wb = demo();
+        assert!(matches!(wb.query("Used CarUR("), Err(WebbaseError::Query(_))));
+        assert!(matches!(
+            wb.query("UsedCarUR(make='ford', bbprice)"),
+            Err(WebbaseError::Plan(UrError::InsufficientBindings(_)))
+        ));
+    }
+
+    #[test]
+    fn rebuild_from_exported_fact_maps() {
+        let mut original = demo();
+        let exported = original.export_fact_maps();
+        assert_eq!(exported.len(), 13);
+        let mut reloaded = Webbase::build_from_fact_maps(
+            original.web.clone(),
+            original.data.clone(),
+            &exported,
+        )
+        .expect("maps reload");
+        let q = "UsedCarUR(make='honda', model='civic', year, price)";
+        let (a, _) = original.query(q).expect("original answers");
+        let (b, _) = reloaded.query(q).expect("reloaded answers");
+        assert_eq!(a, b, "fact-map round trip changed the answers");
+    }
+
+    #[test]
+    fn select_queries_logical_and_vps_relations() {
+        let mut wb = demo();
+        // Logical relation: site-independent.
+        let logical = wb
+            .select(
+                "classifieds",
+                "SELECT make, model, year, price WHERE make=ford AND model=escort",
+            )
+            .expect("logical select");
+        assert!(logical.tuples().iter().all(|t| t.get(0) == &webbase_relational::Value::str("ford")));
+        // VPS relation: one site.
+        let vps = wb
+            .select("newsday", "SELECT make, model, price WHERE make=ford AND model=escort")
+            .expect("vps select");
+        assert!(vps.len() <= logical.len());
+        // Unknown relation reports cleanly.
+        assert!(matches!(
+            wb.select("nope", "SELECT a"),
+            Err(WebbaseError::Select(_))
+        ));
+        // Parse errors report cleanly.
+        assert!(matches!(
+            wb.select("newsday", "SELEKT a"),
+            Err(WebbaseError::Select(_))
+        ));
+    }
+
+    #[test]
+    fn map_lookup() {
+        let wb = demo();
+        assert!(wb.map_for("www.kbb.com").is_some());
+        assert!(wb.map_for("www.nope.com").is_none());
+    }
+}

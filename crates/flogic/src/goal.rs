@@ -1,0 +1,194 @@
+//! Goals: the body language of serial-Horn Transaction F-logic.
+
+use crate::term::{Sym, Term};
+
+/// Comparison operators usable between ground terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "\\=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "=<",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A goal of the navigation calculus.
+///
+/// Truth is path-based (Transaction Logic): `Seq` is serial conjunction
+/// `⊗` ("execute left, then right, on consecutive sub-paths"), `Choice`
+/// is `∨` ("execute either"), updates are elementary state transitions,
+/// and everything else is a query over the current state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Goal {
+    /// `p(t₁, …, tₙ)` — call a user predicate (rules) or a builtin action
+    /// handled by the oracle.
+    Atom(Sym, Vec<Term>),
+    /// `o : c` — class membership query.
+    IsA(Term, Sym),
+    /// `o[a -> v]` — scalar attribute query.
+    ScalarAttr(Term, Sym, Term),
+    /// `o[a ->> v]` — set-valued attribute membership query.
+    SetAttr(Term, Sym, Term),
+    /// `ins(o : c)` / `ins(o[a -> v])` / `ins(o[a ->> v])` — elementary
+    /// insert transitions.
+    InsertIsA(Term, Sym),
+    InsertScalar(Term, Sym, Term),
+    InsertSet(Term, Sym, Term),
+    /// `del(o[a ->> v])` — elementary delete transition.
+    DeleteSet(Term, Sym, Term),
+    DeleteScalar(Term, Sym),
+    /// Serial conjunction `g₁ ⊗ g₂ ⊗ …` — empty sequence is the trivially
+    /// true path.
+    Seq(Vec<Goal>),
+    /// Choice `g₁ ∨ g₂ ∨ …` — empty choice fails.
+    Choice(Vec<Goal>),
+    /// Negation as failure over the *current* state (no state change may
+    /// escape it).
+    Naf(Box<Goal>),
+    /// Ground comparison (`X < Y` etc.; both sides must resolve to ground
+    /// comparable terms at call time).
+    Cmp(CmpOp, Term, Term),
+    /// `true`
+    True,
+    /// `fail`
+    Fail,
+}
+
+impl Goal {
+    /// Sequence constructor that flattens nested sequences and drops
+    /// `True` units.
+    pub fn seq(goals: Vec<Goal>) -> Goal {
+        let mut flat = Vec::with_capacity(goals.len());
+        for g in goals {
+            match g {
+                Goal::Seq(inner) => flat.extend(inner),
+                Goal::True => {}
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Goal::True,
+            1 => flat.pop().expect("len is 1"),
+            _ => Goal::Seq(flat),
+        }
+    }
+
+    /// Choice constructor that flattens nested choices.
+    pub fn choice(goals: Vec<Goal>) -> Goal {
+        let mut flat = Vec::with_capacity(goals.len());
+        for g in goals {
+            match g {
+                Goal::Choice(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Goal::Fail,
+            1 => flat.pop().expect("len is 1"),
+            _ => Goal::Choice(flat),
+        }
+    }
+
+    pub fn atom(name: &str, args: Vec<Term>) -> Goal {
+        Goal::Atom(Sym::new(name), args)
+    }
+
+    /// Renumber all variables by `offset` (clause freshening).
+    pub fn offset_vars(&self, offset: u32) -> Goal {
+        let t = |x: &Term| x.offset_vars(offset);
+        match self {
+            Goal::Atom(p, args) => Goal::Atom(*p, args.iter().map(t).collect()),
+            Goal::IsA(o, c) => Goal::IsA(t(o), *c),
+            Goal::ScalarAttr(o, a, v) => Goal::ScalarAttr(t(o), *a, t(v)),
+            Goal::SetAttr(o, a, v) => Goal::SetAttr(t(o), *a, t(v)),
+            Goal::InsertIsA(o, c) => Goal::InsertIsA(t(o), *c),
+            Goal::InsertScalar(o, a, v) => Goal::InsertScalar(t(o), *a, t(v)),
+            Goal::InsertSet(o, a, v) => Goal::InsertSet(t(o), *a, t(v)),
+            Goal::DeleteSet(o, a, v) => Goal::DeleteSet(t(o), *a, t(v)),
+            Goal::DeleteScalar(o, a) => Goal::DeleteScalar(t(o), *a),
+            Goal::Seq(gs) => Goal::Seq(gs.iter().map(|g| g.offset_vars(offset)).collect()),
+            Goal::Choice(gs) => Goal::Choice(gs.iter().map(|g| g.offset_vars(offset)).collect()),
+            Goal::Naf(g) => Goal::Naf(Box::new(g.offset_vars(offset))),
+            Goal::Cmp(op, a, b) => Goal::Cmp(*op, t(a), t(b)),
+            Goal::True => Goal::True,
+            Goal::Fail => Goal::Fail,
+        }
+    }
+
+    /// Highest variable index + 1 occurring anywhere in the goal.
+    pub fn var_ceiling(&self) -> u32 {
+        match self {
+            Goal::Atom(_, args) => args.iter().map(Term::var_ceiling).max().unwrap_or(0),
+            Goal::IsA(o, _) => o.var_ceiling(),
+            Goal::ScalarAttr(o, _, v) | Goal::SetAttr(o, _, v) => {
+                o.var_ceiling().max(v.var_ceiling())
+            }
+            Goal::InsertIsA(o, _) => o.var_ceiling(),
+            Goal::InsertScalar(o, _, v) | Goal::InsertSet(o, _, v) | Goal::DeleteSet(o, _, v) => {
+                o.var_ceiling().max(v.var_ceiling())
+            }
+            Goal::DeleteScalar(o, _) => o.var_ceiling(),
+            Goal::Seq(gs) | Goal::Choice(gs) => {
+                gs.iter().map(Goal::var_ceiling).max().unwrap_or(0)
+            }
+            Goal::Naf(g) => g.var_ceiling(),
+            Goal::Cmp(_, a, b) => a.var_ceiling().max(b.var_ceiling()),
+            Goal::True | Goal::Fail => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    #[test]
+    fn seq_flattens_and_drops_true() {
+        let g = Goal::seq(vec![
+            Goal::True,
+            Goal::Seq(vec![Goal::atom("a", vec![]), Goal::atom("b", vec![])]),
+            Goal::atom("c", vec![]),
+        ]);
+        match g {
+            Goal::Seq(gs) => assert_eq!(gs.len(), 3),
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singleton_seq_unwraps() {
+        assert_eq!(Goal::seq(vec![Goal::atom("a", vec![])]), Goal::atom("a", vec![]));
+        assert_eq!(Goal::seq(vec![]), Goal::True);
+    }
+
+    #[test]
+    fn empty_choice_fails() {
+        assert_eq!(Goal::choice(vec![]), Goal::Fail);
+    }
+
+    #[test]
+    fn var_ceiling_spans_structure() {
+        let g = Goal::Seq(vec![
+            Goal::atom("p", vec![Term::Var(Var(2))]),
+            Goal::Naf(Box::new(Goal::atom("q", vec![Term::Var(Var(7))]))),
+        ]);
+        assert_eq!(g.var_ceiling(), 8);
+        let shifted = g.offset_vars(10);
+        assert_eq!(shifted.var_ceiling(), 18);
+    }
+}

@@ -1,0 +1,57 @@
+//! # webbase-flogic
+//!
+//! A serial-Horn **Transaction F-logic** interpreter — the navigation
+//! calculus of *"A Layered Architecture for Querying Dynamic Web
+//! Content"* (SIGMOD 1999).
+//!
+//! The paper's navigation expressions are written in a subset of
+//! Transaction F-logic (Kifer 1995): an amalgamation of
+//!
+//! * **F-logic** — objects with single-valued (`obj[attr -> v]`) and
+//!   set-valued (`obj[attr ->> v]`) attributes, class membership
+//!   (`obj : class`), subclassing (`c1 :: c2`) and signatures
+//!   (`obj[attr => type]`), and
+//! * **Transaction Logic** — formulas whose truth is defined over *paths*
+//!   of database states: serial conjunction `a ⊗ b` ("do a, then b"),
+//!   choice `a ∨ b`, recursion, and elementary state updates, with
+//!   atomicity and isolation realised by rolling back updates on
+//!   backtracking.
+//!
+//! The interpreter executes **serial-Horn rules** — `head :- b₁ ⊗ … ⊗ bₙ`
+//! where each `bᵢ` is an atom, an F-logic molecule, an update, a choice,
+//! or a *builtin action* dispatched to an [`oracle::Oracle`]. The
+//! navigation layer plugs in an oracle whose builtins follow links and
+//! submit forms on the (simulated) Web, which makes compiled navigation
+//! expressions *executable specifications*, exactly as the paper demands.
+//!
+//! ```
+//! use webbase_flogic::{interp::Machine, parser::parse_program, store::ObjectStore};
+//!
+//! let prog = parse_program(
+//!     "edge(a, b). edge(b, c). \
+//!      path(X, Y) :- edge(X, Y). \
+//!      path(X, Z) :- edge(X, Y), path(Y, Z).",
+//! ).unwrap();
+//! let mut m = Machine::new(&prog, ObjectStore::new());
+//! let sols = m.solve_str("path(a, Z)").unwrap();
+//! assert_eq!(sols.len(), 2); // a->b, a->c
+//! ```
+
+pub mod goal;
+pub mod interp;
+pub mod oracle;
+pub mod parser;
+pub mod pretty;
+pub mod program;
+pub mod signatures;
+pub mod store;
+pub mod term;
+pub mod unify;
+
+pub use goal::Goal;
+pub use interp::Machine;
+pub use oracle::{NullOracle, Oracle};
+pub use program::{Program, Rule};
+pub use store::ObjectStore;
+pub use term::{Sym, Term};
+pub use unify::Bindings;

@@ -1,0 +1,112 @@
+//! Oracles: the hook through which Transaction F-logic touches the Web.
+//!
+//! The paper's interpreter runs on XSB with PiLLoW supplying `follow
+//! link`, `submit form`, and `retrieve document` as side-effecting
+//! primitives. Our equivalent is the [`Oracle`] trait: when the
+//! interpreter reaches an atom whose predicate the program does not
+//! define, it asks the oracle. The navigation crate implements an oracle
+//! whose builtins drive a browser session over the simulated Web and
+//! assert the resulting page objects into the [`ObjectStore`].
+//!
+//! Oracle calls are *actions*, not pure queries: they may both extend the
+//! store and bind output arguments. Like real fetches, their external
+//! effects are not undone on backtracking (the paper relies on fetch
+//! caching for re-execution); their store effects are, via the normal
+//! undo log.
+
+use crate::store::ObjectStore;
+use crate::term::{Sym, Term};
+use crate::unify::Bindings;
+
+/// Outcome of one oracle invocation.
+pub enum OracleOutcome {
+    /// The predicate is not an oracle builtin — fall through to rule
+    /// resolution (and fail if no rules exist either).
+    NotMine,
+    /// The call failed (no solutions).
+    Fail,
+    /// The call succeeded with the given alternative argument vectors;
+    /// each is unified against the call's arguments in turn on
+    /// backtracking.
+    Solutions(Vec<Vec<Term>>),
+}
+
+/// External-action provider for the interpreter.
+pub trait Oracle {
+    /// Attempt builtin `pred(args)`; `args` are resolved against the
+    /// current bindings before the call. May mutate `store` (changes are
+    /// subject to rollback) and any external world it owns (changes are
+    /// not).
+    fn call(
+        &mut self,
+        pred: Sym,
+        args: &[Term],
+        store: &mut ObjectStore,
+        bindings: &Bindings,
+    ) -> OracleOutcome;
+}
+
+/// Mutable references to oracles are oracles, so a long-lived oracle
+/// (with its caches) can be lent to successive [`crate::Machine`]s.
+impl<T: Oracle> Oracle for &mut T {
+    fn call(
+        &mut self,
+        pred: Sym,
+        args: &[Term],
+        store: &mut ObjectStore,
+        bindings: &Bindings,
+    ) -> OracleOutcome {
+        (**self).call(pred, args, store, bindings)
+    }
+}
+
+/// An oracle with no builtins — pure-logic programs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullOracle;
+
+impl Oracle for NullOracle {
+    fn call(
+        &mut self,
+        _pred: Sym,
+        _args: &[Term],
+        _store: &mut ObjectStore,
+        _bindings: &Bindings,
+    ) -> OracleOutcome {
+        OracleOutcome::NotMine
+    }
+}
+
+/// A recording oracle for tests: answers from a fixed table and logs
+/// every call it receives.
+#[derive(Debug, Default)]
+pub struct TableOracle {
+    entries: Vec<(Sym, Vec<Vec<Term>>)>,
+    pub calls: Vec<(Sym, Vec<Term>)>,
+}
+
+impl TableOracle {
+    pub fn new() -> Self {
+        TableOracle::default()
+    }
+
+    /// Register `pred` to answer with the given solutions.
+    pub fn define(&mut self, pred: &str, solutions: Vec<Vec<Term>>) {
+        self.entries.push((Sym::new(pred), solutions));
+    }
+}
+
+impl Oracle for TableOracle {
+    fn call(
+        &mut self,
+        pred: Sym,
+        args: &[Term],
+        _store: &mut ObjectStore,
+        _bindings: &Bindings,
+    ) -> OracleOutcome {
+        self.calls.push((pred, args.to_vec()));
+        match self.entries.iter().find(|(p, _)| *p == pred) {
+            Some((_, sols)) => OracleOutcome::Solutions(sols.clone()),
+            None => OracleOutcome::NotMine,
+        }
+    }
+}

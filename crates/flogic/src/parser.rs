@@ -1,0 +1,765 @@
+//! A concrete syntax for serial-Horn Transaction F-logic.
+//!
+//! This is the textual form used in tests, examples, and the Figure 4
+//! pretty-printer. It follows Prolog/Florid conventions:
+//!
+//! ```text
+//! rule     ::= head [ ":-" body ] "."
+//! head     ::= pred [ "(" term {"," term} ")" ]
+//! body     ::= conj { ";" conj }        -- ";" is choice ∨ (loosest)
+//! conj     ::= unit { "," unit }        -- "," is serial conjunction ⊗
+//! unit     ::= "(" body ")" | "not" "(" body ")"
+//!            | "ins" "(" molecule ")" | "del" "(" molecule ")"
+//!            | "true" | "fail" | molecule | comparison | call
+//! molecule ::= path ":" ident
+//!            | path "[" ident ("->" | "->>") term "]"
+//! path     ::= term { "." ident }   -- F-logic path expression sugar:
+//!                                      o.a[b -> V] ≡ o[a -> F], F[b -> V]
+//! comparison ::= term ("=" | "\=" | "<" | ">" | "=<" | ">=") term
+//! term     ::= VAR | INT | FLOAT | STRING | ident [ "(" term {"," term} ")" ]
+//! ```
+//!
+//! Variables start with an uppercase letter or `_`; identifiers with a
+//! lowercase letter. `'quoted atoms'` allow arbitrary characters.
+
+use crate::goal::{CmpOp, Goal};
+use crate::program::{Program, Rule};
+use crate::term::{Sym, Term, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole program (a sequence of `.`-terminated rules and facts).
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut p = Parser::new(text);
+    let mut program = Program::new();
+    p.skip_ws();
+    while !p.at_end() {
+        program.push(p.rule()?);
+        p.skip_ws();
+    }
+    Ok(program)
+}
+
+/// Parse a single goal (no trailing `.`); returns the goal and the named
+/// variables occurring in it, in first-occurrence order.
+pub fn parse_goal(text: &str) -> Result<(Goal, Vec<(String, Var)>), ParseError> {
+    let mut p = Parser::new(text);
+    let goal = p.body()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after goal"));
+    }
+    let vars = p
+        .vars
+        .iter()
+        .map(|(name, var)| (name.clone(), *var))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect::<Vec<_>>();
+    let mut ordered: Vec<(String, Var)> = vars;
+    ordered.sort_by_key(|(_, v)| v.0);
+    // Anonymous variables are not reported.
+    ordered.retain(|(n, _)| !n.starts_with('_'));
+    Ok((goal, ordered))
+}
+
+/// Parse a single term. Variables are numbered in first-occurrence order.
+pub fn parse_term(text: &str) -> Result<Term, ParseError> {
+    let mut p = Parser::new(text);
+    let t = p.term()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after term"));
+    }
+    Ok(t)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    vars: HashMap<String, Var>,
+    next_var: u32,
+    anon: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { text, bytes: text.as_bytes(), pos: 0, vars: HashMap::new(), next_var: 0, anon: 0 }
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError { offset: self.pos, message: msg.to_string() }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> u8 {
+        if self.at_end() {
+            0
+        } else {
+            self.bytes[self.pos]
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while !self.at_end() && self.bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // Line comments: % ... \n
+            if self.peek() == b'%' {
+                while !self.at_end() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {s:?}")))
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        // Per-rule variable scope.
+        self.vars.clear();
+        self.next_var = 0;
+        self.skip_ws();
+        let (pred, args) = self.head()?;
+        let body = if self.eat(":-") { self.body()? } else { Goal::True };
+        self.expect(".")?;
+        Ok(Rule { head_pred: pred, head_args: args, body })
+    }
+
+    fn head(&mut self) -> Result<(Sym, Vec<Term>), ParseError> {
+        let name = self.ident()?;
+        let mut args = Vec::new();
+        if self.eat("(") {
+            loop {
+                args.push(self.term()?);
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect(")")?;
+        }
+        Ok((Sym::new(&name), args))
+    }
+
+    /// `body := conj { ";" conj }` — `;` (choice) binds looser than `,`
+    /// (serial conjunction), matching Prolog precedence.
+    fn body(&mut self) -> Result<Goal, ParseError> {
+        let mut parts = vec![self.conj()?];
+        while self.eat(";") {
+            parts.push(self.conj()?);
+        }
+        Ok(Goal::choice(parts))
+    }
+
+    fn conj(&mut self) -> Result<Goal, ParseError> {
+        let mut parts = vec![self.unit()?];
+        while self.eat(",") {
+            parts.push(self.unit()?);
+        }
+        Ok(Goal::seq(parts))
+    }
+
+    fn unit(&mut self) -> Result<Goal, ParseError> {
+        self.skip_ws();
+        if self.eat("(") {
+            let g = self.body()?;
+            self.expect(")")?;
+            return Ok(g);
+        }
+        // Keywords that look like calls.
+        if self.lookahead_keyword("not") {
+            self.expect("not")?;
+            self.expect("(")?;
+            let g = self.body()?;
+            self.expect(")")?;
+            return Ok(Goal::Naf(Box::new(g)));
+        }
+        if self.lookahead_keyword("ins") {
+            self.expect("ins")?;
+            self.expect("(")?;
+            let g = self.update_molecule(true)?;
+            self.expect(")")?;
+            return Ok(g);
+        }
+        if self.lookahead_keyword("del") {
+            self.expect("del")?;
+            self.expect("(")?;
+            let g = self.update_molecule(false)?;
+            self.expect(")")?;
+            return Ok(g);
+        }
+        if self.lookahead_keyword("true") {
+            self.expect("true")?;
+            return Ok(Goal::True);
+        }
+        if self.lookahead_keyword("fail") {
+            self.expect("fail")?;
+            return Ok(Goal::Fail);
+        }
+        // Otherwise: a term followed by molecule/comparison syntax, or a call.
+        let t = self.term()?;
+        // F-logic path expression (the paper's "shortcuts for longer
+        // F-logic expressions" [13, 14]): `o.a.b[c -> V]` desugars to
+        // `o[a -> F1] ⊗ F1[b -> F2] ⊗ F2[c -> V]` with fresh variables.
+        // A `.` continues a path only when immediately followed by a
+        // lowercase identifier (so rule-terminating dots stay dots).
+        let mut hops: Vec<Goal> = Vec::new();
+        let mut subject = t;
+        while self.peek() == b'.'
+            && self
+                .bytes
+                .get(self.pos + 1)
+                .is_some_and(|b| b.is_ascii_lowercase())
+        {
+            self.pos += 1;
+            let attr = self.raw_ident()?;
+            let fresh = Term::Var(Var(self.next_var));
+            self.next_var += 1;
+            self.anon += 1;
+            self.vars.insert(format!("_path{}", self.anon), Var(self.next_var - 1));
+            hops.push(Goal::ScalarAttr(subject, Sym::new(&attr), fresh.clone()));
+            subject = fresh;
+        }
+        let t = subject;
+        if !hops.is_empty() {
+            self.skip_ws();
+            if self.peek() != b'[' && self.peek() != b':' {
+                return Err(self.err("a path expression must end in a molecule"));
+            }
+        }
+        let wrap = |hops: Vec<Goal>, last: Goal| {
+            if hops.is_empty() {
+                last
+            } else {
+                let mut gs = hops;
+                gs.push(last);
+                Goal::seq(gs)
+            }
+        };
+        self.skip_ws();
+        match self.peek() {
+            b':' if !self.text[self.pos..].starts_with(":-") => {
+                self.pos += 1;
+                let class = self.ident()?;
+                Ok(wrap(hops, Goal::IsA(t, Sym::new(&class))))
+            }
+            b'[' => {
+                self.pos += 1;
+                let attr = self.ident()?;
+                let setv = if self.eat("->>") {
+                    true
+                } else if self.eat("->") {
+                    false
+                } else {
+                    return Err(self.err("expected -> or ->> in molecule"));
+                };
+                let v = self.term()?;
+                self.expect("]")?;
+                Ok(wrap(
+                    hops,
+                    if setv {
+                        Goal::SetAttr(t, Sym::new(&attr), v)
+                    } else {
+                        Goal::ScalarAttr(t, Sym::new(&attr), v)
+                    },
+                ))
+            }
+            _ => {
+                if let Some(op) = self.try_cmp_op() {
+                    let rhs = self.term()?;
+                    return Ok(Goal::Cmp(op, t, rhs));
+                }
+                // Plain predicate call.
+                match t {
+                    Term::Atom(s) => Ok(Goal::Atom(s, vec![])),
+                    Term::Compound(s, args) => Ok(Goal::Atom(s, args)),
+                    other => Err(ParseError {
+                        offset: self.pos,
+                        message: format!("expected a goal, found bare term {other:?}"),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn update_molecule(&mut self, insert: bool) -> Result<Goal, ParseError> {
+        let t = self.term()?;
+        self.skip_ws();
+        match self.peek() {
+            b':' => {
+                self.pos += 1;
+                let class = self.ident()?;
+                if insert {
+                    Ok(Goal::InsertIsA(t, Sym::new(&class)))
+                } else {
+                    Err(self.err("del of class membership is not supported"))
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let attr = self.ident()?;
+                if self.eat("->>") {
+                    let v = self.term()?;
+                    self.expect("]")?;
+                    Ok(if insert {
+                        Goal::InsertSet(t, Sym::new(&attr), v)
+                    } else {
+                        Goal::DeleteSet(t, Sym::new(&attr), v)
+                    })
+                } else if self.eat("->") {
+                    if !insert {
+                        // del(o[a -> _]) — value ignored, scalar removed.
+                        let _ = self.term()?;
+                        self.expect("]")?;
+                        return Ok(Goal::DeleteScalar(t, Sym::new(&attr)));
+                    }
+                    let v = self.term()?;
+                    self.expect("]")?;
+                    Ok(Goal::InsertScalar(t, Sym::new(&attr), v))
+                } else {
+                    Err(self.err("expected -> or ->> in update molecule"))
+                }
+            }
+            _ => Err(self.err("expected a molecule inside ins/del")),
+        }
+    }
+
+    fn try_cmp_op(&mut self) -> Option<CmpOp> {
+        self.skip_ws();
+        // Order matters: multi-char operators first. ">=" before ">", "=<"
+        // before "=".
+        for (s, op) in [
+            ("\\=", CmpOp::Ne),
+            ("=<", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.text[self.pos..].starts_with(s) {
+                self.pos += s.len();
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn lookahead_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        rest.starts_with(kw)
+            && rest[kw.len()..]
+                .chars()
+                .next()
+                .map(|c| !c.is_alphanumeric() && c != '_')
+                .unwrap_or(true)
+            // `not(`/`ins(`/`del(` must be followed by '(' to be a keyword;
+            // `true`/`fail` must not.
+            && match kw {
+                "not" | "ins" | "del" => rest[kw.len()..].trim_start().starts_with('('),
+                _ => !rest[kw.len()..].trim_start().starts_with('('),
+            }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        let c = self.peek();
+        match c {
+            b'\'' => {
+                // quoted atom
+                self.pos += 1;
+                let start = self.pos;
+                while !self.at_end() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                if self.at_end() {
+                    return Err(self.err("unterminated quoted atom"));
+                }
+                let name = self.text[start..self.pos].to_string();
+                self.pos += 1;
+                Ok(Term::Atom(Sym::new(&name)))
+            }
+            b'"' => {
+                self.pos += 1;
+                let start = self.pos;
+                while !self.at_end() && self.bytes[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.at_end() {
+                    return Err(self.err("unterminated string"));
+                }
+                let s = self.text[start..self.pos].to_string();
+                self.pos += 1;
+                Ok(Term::Str(s))
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            b'_' | b'A'..=b'Z' => {
+                let name = self.raw_ident()?;
+                if name == "_" {
+                    // Each bare underscore is a fresh anonymous variable.
+                    let v = Var(self.next_var);
+                    self.next_var += 1;
+                    self.anon += 1;
+                    self.vars.insert(format!("_anon{}", self.anon), v);
+                    return Ok(Term::Var(v));
+                }
+                let next = self.next_var;
+                let entry = self.vars.entry(name).or_insert_with(|| {
+                    let v = Var(next);
+                    v
+                });
+                if entry.0 == next {
+                    self.next_var += 1;
+                }
+                Ok(Term::Var(*entry))
+            }
+            b'a'..=b'z' => {
+                let name = self.raw_ident()?;
+                self.skip_ws_nocomment();
+                if self.peek() == b'(' {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.term()?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.expect(")")?;
+                    Ok(Term::Compound(Sym::new(&name), args))
+                } else {
+                    Ok(Term::Atom(Sym::new(&name)))
+                }
+            }
+            _ => Err(self.err("expected a term")),
+        }
+    }
+
+    fn skip_ws_nocomment(&mut self) {
+        while !self.at_end() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn number(&mut self) -> Result<Term, ParseError> {
+        let start = self.pos;
+        if self.peek() == b'-' {
+            self.pos += 1;
+        }
+        while !self.at_end() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == b'.'
+            && self.pos + 1 < self.bytes.len()
+            && self.bytes[self.pos + 1].is_ascii_digit()
+        {
+            is_float = true;
+            self.pos += 1;
+            while !self.at_end() && self.bytes[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        let s = &self.text[start..self.pos];
+        if s.is_empty() || s == "-" {
+            return Err(self.err("expected a number"));
+        }
+        if is_float {
+            s.parse::<f64>().map(Term::Float).map_err(|_| self.err("bad float"))
+        } else {
+            s.parse::<i64>().map(Term::Int).map_err(|_| self.err("integer overflow"))
+        }
+    }
+
+    /// Identifier starting with a lowercase letter.
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        if !self.peek().is_ascii_lowercase() {
+            return Err(self.err("expected an identifier"));
+        }
+        self.raw_ident()
+    }
+
+    fn raw_ident(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while !self.at_end() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected an identifier"));
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_facts() {
+        let p = parse_program("edge(a, b). edge(b, c).").expect("parses");
+        assert_eq!(p.rule_count(), 2);
+    }
+
+    #[test]
+    fn parse_rule_with_body() {
+        let p = parse_program("p(X) :- q(X), r(X, 1).").expect("parses");
+        let r = &p.lookup(Sym::new("p"), 1)[0];
+        match &r.body {
+            Goal::Seq(gs) => assert_eq!(gs.len(), 2),
+            g => panic!("expected Seq, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn variables_scoped_per_rule() {
+        let p = parse_program("p(X) :- q(X). r(X) :- s(X).").expect("parses");
+        for (pred, arity) in [("p", 1), ("r", 1)] {
+            let rule = &p.lookup(Sym::new(pred), arity)[0];
+            assert_eq!(rule.head_args[0], Term::Var(Var(0)));
+        }
+    }
+
+    #[test]
+    fn molecules() {
+        let (g, _) = parse_goal("pg[actions ->> A], A : form, A[cgi -> Url]").expect("parses");
+        match g {
+            Goal::Seq(gs) => {
+                assert!(matches!(gs[0], Goal::SetAttr(..)));
+                assert!(matches!(gs[1], Goal::IsA(..)));
+                assert!(matches!(gs[2], Goal::ScalarAttr(..)));
+            }
+            g => panic!("expected Seq, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn updates() {
+        let (g, _) = parse_goal("ins(o : page), ins(o[a -> 1]), ins(o[xs ->> 2]), del(o[xs ->> 2])")
+            .expect("parses");
+        match g {
+            Goal::Seq(gs) => {
+                assert!(matches!(gs[0], Goal::InsertIsA(..)));
+                assert!(matches!(gs[1], Goal::InsertScalar(..)));
+                assert!(matches!(gs[2], Goal::InsertSet(..)));
+                assert!(matches!(gs[3], Goal::DeleteSet(..)));
+            }
+            g => panic!("expected Seq, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn choice_and_grouping() {
+        let (g, _) = parse_goal("a, (b ; c, d), e").expect("parses");
+        match g {
+            Goal::Seq(gs) => {
+                assert_eq!(gs.len(), 3);
+                match &gs[1] {
+                    Goal::Choice(alts) => {
+                        assert_eq!(alts.len(), 2);
+                        assert!(matches!(alts[1], Goal::Seq(_)));
+                    }
+                    g => panic!("expected Choice, got {g:?}"),
+                }
+            }
+            g => panic!("expected Seq, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn comparisons_parse() {
+        for (txt, op) in [
+            ("X = 1", CmpOp::Eq),
+            ("X \\= 1", CmpOp::Ne),
+            ("X < 1", CmpOp::Lt),
+            ("X =< 1", CmpOp::Le),
+            ("X > 1", CmpOp::Gt),
+            ("X >= 1", CmpOp::Ge),
+        ] {
+            let (g, _) = parse_goal(txt).expect("parses");
+            assert!(matches!(g, Goal::Cmp(o, _, _) if o == op), "{txt}");
+        }
+    }
+
+    #[test]
+    fn quoted_atoms_and_strings() {
+        let t = parse_term("'Car Features'").expect("parses");
+        assert_eq!(t, Term::atom("Car Features"));
+        let t = parse_term("\"New York\"").expect("parses");
+        assert_eq!(t, Term::str("New York"));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse_term("42").expect("int"), Term::Int(42));
+        assert_eq!(parse_term("-7").expect("neg"), Term::Int(-7));
+        assert_eq!(parse_term("3.25").expect("float"), Term::Float(3.25));
+    }
+
+    #[test]
+    fn compound_terms() {
+        let t = parse_term("page(url(\"/x\"), 1)").expect("parses");
+        assert_eq!(
+            t,
+            Term::compound("page", vec![Term::compound("url", vec![Term::str("/x")]), Term::Int(1)])
+        );
+    }
+
+    #[test]
+    fn goal_vars_reported_in_order() {
+        let (_, vars) = parse_goal("p(Z, A), q(A, M)").expect("parses");
+        let names: Vec<&str> = vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Z", "A", "M"]);
+    }
+
+    #[test]
+    fn anonymous_vars_are_fresh_and_hidden() {
+        let (g, vars) = parse_goal("p(_, _)").expect("parses");
+        assert!(vars.is_empty());
+        match g {
+            Goal::Atom(_, args) => assert_ne!(args[0], args[1]),
+            g => panic!("expected Atom, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let p = parse_program("% a comment\np(1). % trailing\nq(2).").expect("parses");
+        assert_eq!(p.rule_count(), 2);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse_program("p(X) :- .").expect_err("bad");
+        assert!(e.offset > 0);
+        assert!(parse_goal("p(").is_err());
+        assert!(parse_term("'unterminated").is_err());
+    }
+
+    #[test]
+    fn true_fail_keywords() {
+        let (g, _) = parse_goal("true, fail").expect("parses");
+        // seq() drops True, so this is just Fail
+        assert_eq!(g, Goal::Fail);
+    }
+
+    #[test]
+    fn not_requires_parens_else_atom() {
+        // `note` is an atom call, not a NAF
+        let p = parse_program("note. q :- note.").expect("parses");
+        assert_eq!(p.rule_count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod path_tests {
+    use super::*;
+    use crate::interp::Machine;
+    use crate::store::ObjectStore;
+
+    #[test]
+    fn path_desugars_to_hops() {
+        let (g, _) = parse_goal("o.a[b -> V]").expect("parses");
+        match g {
+            Goal::Seq(gs) => {
+                assert_eq!(gs.len(), 2);
+                assert!(matches!(&gs[0], Goal::ScalarAttr(Term::Atom(_), _, Term::Var(_))));
+                assert!(matches!(&gs[1], Goal::ScalarAttr(Term::Var(_), _, Term::Var(_))));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_hop_path_executes() {
+        // The paper's Fig 4 shortcut style: browser.currentUrl etc.
+        let p = parse_program(
+            "setup :- ins(o[a -> m]), ins(m[b -> n]), ins(n[c -> 42]). \
+             q(V) :- setup, o.a.b[c -> V].",
+        )
+        .expect("parses");
+        let mut m = Machine::new(&p, ObjectStore::new());
+        let sols = m.solve_str("q(V)").expect("solves");
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0]["V"], Term::Int(42));
+    }
+
+    #[test]
+    fn path_to_class_membership() {
+        let p = parse_program(
+            "setup :- ins(pg[next -> pg2]), ins(pg2 : data_page). \
+             q :- setup, pg.next : data_page.",
+        )
+        .expect("parses");
+        let mut m = Machine::new(&p, ObjectStore::new());
+        assert_eq!(m.solve_str("q").expect("solves").len(), 1);
+    }
+
+    #[test]
+    fn rule_dot_still_terminates() {
+        // `p.` must not be mistaken for a path start.
+        let p = parse_program("p. q :- p.").expect("parses");
+        assert_eq!(p.rule_count(), 2);
+    }
+
+    #[test]
+    fn unterminated_path_is_an_error() {
+        assert!(parse_goal("o.a").is_err());
+        assert!(parse_goal("o.a, q").is_err());
+    }
+
+    #[test]
+    fn path_with_set_molecule() {
+        let p = parse_program(
+            "setup :- ins(site[home -> pg]), ins(pg[actions ->> a1]), ins(pg[actions ->> a2]). \
+             q(A) :- setup, site.home[actions ->> A].",
+        )
+        .expect("parses");
+        let mut m = Machine::new(&p, ObjectStore::new());
+        assert_eq!(m.solve_str("q(A)").expect("solves").len(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Pretty-printing of terms, goals, rules, and programs.
+//!
+//! The output is re-parseable by [`crate::parser`] (a property the test
+//! suite checks), and is the format in which the repro harness prints the
+//! paper's Figure 4 navigation expressions.
+
+use crate::goal::Goal;
+use crate::program::{Program, Rule};
+use crate::term::{Term, Var};
+use std::fmt::Write;
+
+/// Render a variable as `V0`, `V1`, … (parseable uppercase names).
+fn var_name(v: Var) -> String {
+    format!("V{}", v.0)
+}
+
+/// Render a term in concrete syntax.
+pub fn term(t: &Term) -> String {
+    match t {
+        Term::Var(v) => var_name(*v),
+        Term::Atom(s) => {
+            let n = s.name();
+            if is_plain_atom(&n) {
+                n
+            } else {
+                format!("'{n}'")
+            }
+        }
+        Term::Int(i) => i.to_string(),
+        Term::Float(x) => {
+            // Keep a decimal point so the value re-parses as a float.
+            let s = x.to_string();
+            if s.contains('.') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Term::Str(s) => format!("\"{s}\""),
+        Term::Compound(f, args) => {
+            if args.is_empty() {
+                // `f()` is not parseable; a zero-ary compound prints as its
+                // atom (parse normal form).
+                return term(&Term::Atom(*f));
+            }
+            let inner: Vec<String> = args.iter().map(term).collect();
+            format!("{}({})", f.name(), inner.join(", "))
+        }
+    }
+}
+
+fn is_plain_atom(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Render a goal in concrete syntax. `⊗` prints as `,` and `∨` as `;`,
+/// with parentheses where precedence requires.
+pub fn goal(g: &Goal) -> String {
+    match g {
+        Goal::True => "true".into(),
+        Goal::Fail => "fail".into(),
+        Goal::Atom(p, args) => {
+            if args.is_empty() {
+                p.name()
+            } else {
+                let inner: Vec<String> = args.iter().map(term).collect();
+                format!("{}({})", p.name(), inner.join(", "))
+            }
+        }
+        Goal::IsA(o, c) => format!("{} : {}", term(o), c.name()),
+        Goal::ScalarAttr(o, a, v) => format!("{}[{} -> {}]", term(o), a.name(), term(v)),
+        Goal::SetAttr(o, a, v) => format!("{}[{} ->> {}]", term(o), a.name(), term(v)),
+        Goal::InsertIsA(o, c) => format!("ins({} : {})", term(o), c.name()),
+        Goal::InsertScalar(o, a, v) => format!("ins({}[{} -> {}])", term(o), a.name(), term(v)),
+        Goal::InsertSet(o, a, v) => format!("ins({}[{} ->> {}])", term(o), a.name(), term(v)),
+        Goal::DeleteSet(o, a, v) => format!("del({}[{} ->> {}])", term(o), a.name(), term(v)),
+        Goal::DeleteScalar(o, a) => format!("del({}[{} -> _])", term(o), a.name()),
+        Goal::Seq(gs) => {
+            let parts: Vec<String> = gs.iter().map(|g| seq_operand(g)).collect();
+            parts.join(", ")
+        }
+        Goal::Choice(gs) => {
+            let parts: Vec<String> = gs.iter().map(|g| choice_operand(g)).collect();
+            format!("({})", parts.join(" ; "))
+        }
+        Goal::Naf(g) => format!("not({})", goal(g)),
+        Goal::Cmp(op, a, b) => format!("{} {} {}", term(a), op.symbol(), term(b)),
+    }
+}
+
+fn seq_operand(g: &Goal) -> String {
+    // Choices inside a sequence already print parenthesised.
+    goal(g)
+}
+
+fn choice_operand(g: &Goal) -> String {
+    match g {
+        Goal::Seq(_) => goal(g), // comma binds tighter textually inside ( ; )
+        _ => goal(g),
+    }
+}
+
+/// Render a rule.
+pub fn rule(r: &Rule) -> String {
+    let head = if r.head_args.is_empty() {
+        r.head_pred.name()
+    } else {
+        let inner: Vec<String> = r.head_args.iter().map(term).collect();
+        format!("{}({})", r.head_pred.name(), inner.join(", "))
+    };
+    match &r.body {
+        Goal::True => format!("{head}."),
+        b => format!("{head} :-\n    {}.", goal(b)),
+    }
+}
+
+/// Render a whole program, one rule per line group.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for r in p.rules() {
+        let _ = writeln!(out, "{}", rule(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_goal, parse_program};
+
+    #[test]
+    fn atoms_quoted_when_needed() {
+        assert_eq!(term(&Term::atom("ford")), "ford");
+        assert_eq!(term(&Term::atom("Car Features")), "'Car Features'");
+        assert_eq!(term(&Term::atom("9lives")), "'9lives'");
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let printed = term(&Term::Float(2.0));
+        assert_eq!(printed, "2.0");
+    }
+
+    #[test]
+    fn goal_roundtrip() {
+        let samples = [
+            "p(X, 1), q(X)",
+            "(a ; b, c)",
+            "o[attr -> V], o[xs ->> W], o : page",
+            "ins(o[a -> 1]), del(o[xs ->> 2]), not(q(X))",
+            "X < 2, Y >= 3.5, Z \\= w",
+        ];
+        for s in samples {
+            let (g, _) = parse_goal(s).expect("parses");
+            let printed = goal(&g);
+            let (g2, _) = parse_goal(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+            assert_eq!(g, g2, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let src = "p(X) :- q(X), (r(X) ; s(X)). q(1). q(2).";
+        let p = parse_program(src).expect("parses");
+        let printed = program(&p);
+        let p2 = parse_program(&printed).unwrap_or_else(|e| panic!("reparse: {e}\n{printed}"));
+        assert_eq!(p.rule_count(), p2.rule_count());
+        assert_eq!(program(&p2), printed);
+    }
+}

@@ -1,0 +1,149 @@
+//! Serial-Horn programs: rule storage and lookup.
+
+use crate::goal::Goal;
+use crate::term::{Sym, Term};
+use std::collections::HashMap;
+
+/// One serial-Horn rule `head(args) :- body` where the body is executed
+/// as a serial conjunction. Facts have body `Goal::True`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    pub head_pred: Sym,
+    pub head_args: Vec<Term>,
+    pub body: Goal,
+}
+
+impl Rule {
+    pub fn new(pred: &str, args: Vec<Term>, body: Goal) -> Rule {
+        Rule { head_pred: Sym::new(pred), head_args: args, body }
+    }
+
+    pub fn fact(pred: &str, args: Vec<Term>) -> Rule {
+        Rule::new(pred, args, Goal::True)
+    }
+
+    /// Highest variable index + 1 used in the rule.
+    pub fn var_ceiling(&self) -> u32 {
+        self.head_args
+            .iter()
+            .map(Term::var_ceiling)
+            .max()
+            .unwrap_or(0)
+            .max(self.body.var_ceiling())
+    }
+}
+
+/// An indexed collection of rules, keyed by `(predicate, arity)`.
+#[derive(Debug, Default, Clone)]
+pub struct Program {
+    rules: HashMap<(Sym, usize), Vec<Rule>>,
+    order: Vec<(Sym, usize)>,
+}
+
+impl Program {
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    pub fn push(&mut self, rule: Rule) {
+        let key = (rule.head_pred, rule.head_args.len());
+        let entry = self.rules.entry(key).or_default();
+        if entry.is_empty() {
+            self.order.push(key);
+        }
+        entry.push(rule);
+    }
+
+    pub fn from_rules(rules: impl IntoIterator<Item = Rule>) -> Program {
+        let mut p = Program::new();
+        for r in rules {
+            p.push(r);
+        }
+        p
+    }
+
+    /// Rules for `pred/arity`, in definition order. Empty slice when the
+    /// predicate is undefined (the interpreter then asks the oracle).
+    pub fn lookup(&self, pred: Sym, arity: usize) -> &[Rule] {
+        self.rules.get(&(pred, arity)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn is_defined(&self, pred: Sym, arity: usize) -> bool {
+        self.rules.contains_key(&(pred, arity))
+    }
+
+    /// All defined predicates in first-definition order.
+    pub fn predicates(&self) -> impl Iterator<Item = (Sym, usize)> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// All rules, grouped by predicate in definition order.
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> {
+        self.order.iter().flat_map(|k| self.rules[k].iter())
+    }
+
+    pub fn rule_count(&self) -> usize {
+        self.rules.values().map(Vec::len).sum()
+    }
+
+    /// Merge another program's rules into this one (used to combine the
+    /// per-handle navigation programs of one site).
+    pub fn extend(&mut self, other: Program) {
+        for key in other.order {
+            let rules = &other.rules[&key];
+            for r in rules {
+                self.push(r.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Term, Var};
+
+    #[test]
+    fn lookup_by_pred_and_arity() {
+        let mut p = Program::new();
+        p.push(Rule::fact("edge", vec![Term::atom("a"), Term::atom("b")]));
+        p.push(Rule::fact("edge", vec![Term::atom("b"), Term::atom("c")]));
+        p.push(Rule::fact("edge", vec![Term::atom("a")])); // different arity
+        assert_eq!(p.lookup(Sym::new("edge"), 2).len(), 2);
+        assert_eq!(p.lookup(Sym::new("edge"), 1).len(), 1);
+        assert!(p.lookup(Sym::new("missing"), 0).is_empty());
+        assert_eq!(p.rule_count(), 3);
+    }
+
+    #[test]
+    fn predicates_in_definition_order() {
+        let mut p = Program::new();
+        p.push(Rule::fact("b", vec![]));
+        p.push(Rule::fact("a", vec![]));
+        p.push(Rule::fact("b", vec![Term::Int(1)]));
+        let preds: Vec<String> = p.predicates().map(|(s, a)| format!("{s}/{a}")).collect();
+        assert_eq!(preds, vec!["b/0", "a/0", "b/1"]);
+    }
+
+    #[test]
+    fn rule_var_ceiling() {
+        let r = Rule::new(
+            "p",
+            vec![Term::Var(Var(1))],
+            Goal::atom("q", vec![Term::Var(Var(4))]),
+        );
+        assert_eq!(r.var_ceiling(), 5);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = Program::new();
+        a.push(Rule::fact("p", vec![]));
+        let mut b = Program::new();
+        b.push(Rule::fact("q", vec![]));
+        b.push(Rule::fact("p", vec![]));
+        a.extend(b);
+        assert_eq!(a.rule_count(), 3);
+        assert_eq!(a.lookup(Sym::new("p"), 0).len(), 2);
+    }
+}

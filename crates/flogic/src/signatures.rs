@@ -1,0 +1,188 @@
+//! F-logic signatures: the class declarations of the paper's Figure 3.
+//!
+//! Signatures (`class[attr => type]` / `class[attr =>> type]`) declare
+//! the *types* of attributes and methods rather than their states. The
+//! navigation layer declares the common WWW data structures — `action`,
+//! `form`, `link`, `web_page`, `data_page`, `attrValPair` — through this
+//! module, and the repro harness pretty-prints them to regenerate
+//! Figure 3.
+
+use crate::store::ObjectStore;
+use crate::term::Sym;
+use std::fmt::Write;
+
+/// Arrow kind in a signature declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigArrow {
+    /// `=>` — single-valued attribute.
+    Scalar,
+    /// `=>>` — set-valued attribute.
+    SetValued,
+}
+
+/// One attribute/method declaration within a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigEntry {
+    pub attr: String,
+    pub arrow: SigArrow,
+    pub ty: String,
+    /// Figure 3 annotates each declaration; kept for faithful output.
+    pub comment: String,
+}
+
+/// A class declaration: name, superclasses, attribute signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    pub name: String,
+    pub superclasses: Vec<String>,
+    pub entries: Vec<SigEntry>,
+    pub comment: String,
+}
+
+impl ClassDecl {
+    pub fn new(name: &str, comment: &str) -> Self {
+        ClassDecl {
+            name: name.into(),
+            superclasses: Vec::new(),
+            entries: Vec::new(),
+            comment: comment.into(),
+        }
+    }
+
+    pub fn subclass_of(mut self, sup: &str) -> Self {
+        self.superclasses.push(sup.into());
+        self
+    }
+
+    pub fn scalar(mut self, attr: &str, ty: &str, comment: &str) -> Self {
+        self.entries.push(SigEntry {
+            attr: attr.into(),
+            arrow: SigArrow::Scalar,
+            ty: ty.into(),
+            comment: comment.into(),
+        });
+        self
+    }
+
+    pub fn set_valued(mut self, attr: &str, ty: &str, comment: &str) -> Self {
+        self.entries.push(SigEntry {
+            attr: attr.into(),
+            arrow: SigArrow::SetValued,
+            ty: ty.into(),
+            comment: comment.into(),
+        });
+        self
+    }
+
+    /// Install this declaration's subclass edges into a store so that
+    /// membership queries respect the hierarchy.
+    pub fn install(&self, store: &mut ObjectStore) {
+        for sup in &self.superclasses {
+            store.insert_subclass(Sym::new(&self.name), Sym::new(sup));
+        }
+    }
+
+    /// Figure 3 textual rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "% {}", self.comment);
+        for sup in &self.superclasses {
+            let _ = writeln!(out, "{} :: {}.", self.name, sup);
+        }
+        for e in &self.entries {
+            let arrow = match e.arrow {
+                SigArrow::Scalar => "=>",
+                SigArrow::SetValued => "=>>",
+            };
+            let _ = writeln!(
+                out,
+                "{}[{} {} {}].   % {}",
+                self.name, e.attr, arrow, e.ty, e.comment
+            );
+        }
+        out
+    }
+}
+
+/// The common WWW data structures of Figure 3, verbatim in structure.
+pub fn figure3_classes() -> Vec<ClassDecl> {
+    vec![
+        ClassDecl::new("browser", "Current URL of browsing process PID")
+            .scalar("currentUrl", "url", "pid ~> url"),
+        ClassDecl::new("action", "Declaration of Class Action")
+            .scalar("object", "flink_formg", "Action can apply to a form or a link")
+            .scalar("source", "web_page", "Page where the action belongs")
+            .set_valued("targets", "web_page", "Where this could lead us")
+            .scalar("doit", "attrValPair", "Method to execute action"),
+        ClassDecl::new("form_submit", "Form fillout is an action").subclass_of("action"),
+        ClassDecl::new("link_follow", "Following a link is an action").subclass_of("action"),
+        ClassDecl::new("web_page", "Declaration of Class WebPage")
+            .scalar("address", "url", "URL of page")
+            .scalar("title", "string", "Title of the page")
+            .scalar("contents", "string", "HTML contents of page")
+            .set_valued("actions", "action", "List of actions found in the page"),
+        ClassDecl::new("data_page", "The class of data Web pages is a subclass of web_page")
+            .subclass_of("web_page")
+            .scalar("extract", "relation", "Data pages have a data extraction method"),
+        ClassDecl::new("link", "Declaration of Class Link")
+            .scalar("name", "string", "Name of link")
+            .scalar("address", "url", "URL of link"),
+        ClassDecl::new("form", "Declaration of Class Form")
+            .scalar("cgi", "url", "CGI script's URL associated with this form")
+            .scalar("method", "meth", "CGI invocation method")
+            .set_valued("mandatory", "attribute", "Mandatory attributes of this form")
+            .set_valued("optional", "attribute", "Optional attributes of this form")
+            .set_valued("state", "attrValPair", "State of form (set of attribute-value pairs)"),
+        ClassDecl::new("attrValPair", "Declaration of Class AttrValPair")
+            .scalar("attrName", "string", "Name of the attribute part")
+            .scalar("type", "widget", "Checkbox, select, radio, text etc.")
+            .scalar("default", "object", "Default value of the attribute")
+            .scalar("value", "object", "The value part"),
+    ]
+}
+
+/// Install every Figure 3 class hierarchy edge into a store.
+pub fn install_figure3(store: &mut ObjectStore) {
+    for c in figure3_classes() {
+        c.install(store);
+    }
+}
+
+/// Render all of Figure 3.
+pub fn render_figure3() -> String {
+    figure3_classes().iter().map(ClassDecl::render).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn figure3_has_all_classes() {
+        let names: Vec<String> = figure3_classes().into_iter().map(|c| c.name).collect();
+        for expected in
+            ["action", "form_submit", "link_follow", "web_page", "data_page", "link", "form", "attrValPair"]
+        {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn install_creates_hierarchy() {
+        let mut st = ObjectStore::new();
+        install_figure3(&mut st);
+        assert!(st.is_subclass(Sym::new("form_submit"), Sym::new("action")));
+        assert!(st.is_subclass(Sym::new("data_page"), Sym::new("web_page")));
+        st.insert_isa(Term::atom("p1"), Sym::new("data_page"));
+        assert!(st.is_member(&Term::atom("p1"), Sym::new("web_page")));
+    }
+
+    #[test]
+    fn rendering_mentions_signature_arrows() {
+        let txt = render_figure3();
+        assert!(txt.contains("form[cgi => url]"));
+        assert!(txt.contains("form[mandatory =>> attribute]"));
+        assert!(txt.contains("data_page :: web_page."));
+    }
+}

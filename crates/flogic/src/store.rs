@@ -1,0 +1,336 @@
+//! The F-logic object store: the *database state* of Transaction Logic.
+//!
+//! A state is a set of ground molecules:
+//!
+//! * `o : c` — object `o` is a member of class `c`;
+//! * `c :: d` — class `c` is a subclass of `d`;
+//! * `o[a -> v]` — single-valued attribute;
+//! * `o[a ->> v]` — set-valued attribute membership.
+//!
+//! Transaction Logic gives executions **atomicity and isolation**: when a
+//! branch of a choice fails, every elementary update it performed must be
+//! rolled back. The store therefore keeps an undo log; the interpreter
+//! takes a [`StoreMark`] before a branch and calls [`ObjectStore::undo_to`]
+//! when abandoning it.
+
+use crate::term::{Sym, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Ground molecule kinds recorded in the undo log.
+#[derive(Debug, Clone)]
+enum UndoOp {
+    /// Remove `(o, c)` from the membership set.
+    UnIsa(Term, Sym),
+    /// Remove `(c, d)` from the subclass set.
+    UnSub(Sym, Sym),
+    /// Restore scalar attribute `(o, a)` to its previous value (None =
+    /// remove).
+    RestoreScalar(Term, Sym, Option<Term>),
+    /// Remove `v` from set-valued `(o, a)`.
+    UnSetVal(Term, Sym, Term),
+    /// Re-insert `v` into set-valued `(o, a)` (undo of a delete).
+    ReSetVal(Term, Sym, Term),
+}
+
+/// Watermark into the store's undo log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMark(usize);
+
+/// A mutable F-logic object database with rollback.
+#[derive(Debug, Default, Clone)]
+pub struct ObjectStore {
+    isa: HashSet<(Term, Sym)>,
+    subclass: HashSet<(Sym, Sym)>,
+    scalar: HashMap<(Term, Sym), Term>,
+    setval: HashMap<(Term, Sym), Vec<Term>>,
+    undo: Vec<UndoOp>,
+}
+
+impl ObjectStore {
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    pub fn mark(&self) -> StoreMark {
+        StoreMark(self.undo.len())
+    }
+
+    /// Roll back every update made since `mark` (most recent first).
+    pub fn undo_to(&mut self, mark: StoreMark) {
+        while self.undo.len() > mark.0 {
+            match self.undo.pop().expect("undo length checked") {
+                UndoOp::UnIsa(o, c) => {
+                    self.isa.remove(&(o, c));
+                }
+                UndoOp::UnSub(c, d) => {
+                    self.subclass.remove(&(c, d));
+                }
+                UndoOp::RestoreScalar(o, a, prev) => match prev {
+                    Some(v) => {
+                        self.scalar.insert((o, a), v);
+                    }
+                    None => {
+                        self.scalar.remove(&(o, a));
+                    }
+                },
+                UndoOp::UnSetVal(o, a, v) => {
+                    if let Some(vals) = self.setval.get_mut(&(o, a)) {
+                        if let Some(pos) = vals.iter().position(|x| *x == v) {
+                            vals.remove(pos);
+                        }
+                    }
+                }
+                UndoOp::ReSetVal(o, a, v) => {
+                    self.setval.entry((o, a)).or_default().push(v);
+                }
+            }
+        }
+    }
+
+    // ---- updates (all logged) ----
+
+    /// Assert `o : c`. Idempotent.
+    pub fn insert_isa(&mut self, o: Term, c: Sym) {
+        debug_assert!(o.is_ground(), "store holds only ground molecules");
+        if self.isa.insert((o.clone(), c)) {
+            self.undo.push(UndoOp::UnIsa(o, c));
+        }
+    }
+
+    /// Assert `c :: d`. Idempotent.
+    pub fn insert_subclass(&mut self, c: Sym, d: Sym) {
+        if self.subclass.insert((c, d)) {
+            self.undo.push(UndoOp::UnSub(c, d));
+        }
+    }
+
+    /// Assert `o[a -> v]`, replacing any previous value (functionality of
+    /// scalar attributes).
+    pub fn insert_scalar(&mut self, o: Term, a: Sym, v: Term) {
+        debug_assert!(o.is_ground() && v.is_ground());
+        let prev = self.scalar.insert((o.clone(), a), v);
+        self.undo.push(UndoOp::RestoreScalar(o, a, prev));
+    }
+
+    /// Assert `o[a ->> v]`. Idempotent.
+    pub fn insert_setval(&mut self, o: Term, a: Sym, v: Term) {
+        debug_assert!(o.is_ground() && v.is_ground());
+        let vals = self.setval.entry((o.clone(), a)).or_default();
+        if !vals.contains(&v) {
+            vals.push(v.clone());
+            self.undo.push(UndoOp::UnSetVal(o, a, v));
+        }
+    }
+
+    /// Retract `o[a ->> v]` if present.
+    pub fn delete_setval(&mut self, o: &Term, a: Sym, v: &Term) {
+        if let Some(vals) = self.setval.get_mut(&(o.clone(), a)) {
+            if let Some(pos) = vals.iter().position(|x| x == v) {
+                vals.remove(pos);
+                self.undo.push(UndoOp::ReSetVal(o.clone(), a, v.clone()));
+            }
+        }
+    }
+
+    /// Retract a scalar attribute if present.
+    pub fn delete_scalar(&mut self, o: &Term, a: Sym) {
+        if let Some(prev) = self.scalar.remove(&(o.clone(), a)) {
+            self.undo.push(UndoOp::RestoreScalar(o.clone(), a, Some(prev)));
+        }
+    }
+
+    // ---- queries ----
+
+    /// Is `o : c`, directly or through the subclass hierarchy?
+    pub fn is_member(&self, o: &Term, c: Sym) -> bool {
+        if self.isa.contains(&(o.clone(), c)) {
+            return true;
+        }
+        // o : c holds if o : d for some d with d ::* c.
+        self.isa.iter().any(|(obj, d)| obj == o && self.is_subclass(*d, c))
+    }
+
+    /// Reflexive-transitive subclass check `c ::* d`.
+    pub fn is_subclass(&self, c: Sym, d: Sym) -> bool {
+        if c == d {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut stack = vec![c];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            for (a, b) in &self.subclass {
+                if *a == x {
+                    if *b == d {
+                        return true;
+                    }
+                    stack.push(*b);
+                }
+            }
+        }
+        false
+    }
+
+    /// All members of class `c` (directly or via subclasses).
+    pub fn members(&self, c: Sym) -> Vec<Term> {
+        self.isa
+            .iter()
+            .filter(|(_, d)| self.is_subclass(*d, c))
+            .map(|(o, _)| o.clone())
+            .collect()
+    }
+
+    /// All direct class memberships `(object, class)`.
+    pub fn memberships(&self) -> impl Iterator<Item = &(Term, Sym)> {
+        self.isa.iter()
+    }
+
+    pub fn get_scalar(&self, o: &Term, a: Sym) -> Option<&Term> {
+        self.scalar.get(&(o.clone(), a))
+    }
+
+    pub fn get_setvals(&self, o: &Term, a: Sym) -> &[Term] {
+        self.setval.get(&(o.clone(), a)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Enumerate all `(o, v)` pairs with `o[a -> v]` — needed when the
+    /// object itself is a variable in a molecule query.
+    pub fn scalar_pairs(&self, a: Sym) -> Vec<(Term, Term)> {
+        self.scalar
+            .iter()
+            .filter(|((_, attr), _)| *attr == a)
+            .map(|((o, _), v)| (o.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Enumerate all `(o, v)` pairs with `o[a ->> v]`.
+    pub fn setval_pairs(&self, a: Sym) -> Vec<(Term, Term)> {
+        self.setval
+            .iter()
+            .filter(|((_, attr), _)| *attr == a)
+            .flat_map(|((o, _), vs)| vs.iter().map(move |v| (o.clone(), v.clone())))
+            .collect()
+    }
+
+    /// Number of molecules currently in the state (used by the map-builder
+    /// statistics of §7).
+    pub fn molecule_count(&self) -> usize {
+        self.isa.len()
+            + self.subclass.len()
+            + self.scalar.len()
+            + self.setval.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Sym, Term};
+
+    fn s(n: &str) -> Sym {
+        Sym::new(n)
+    }
+
+    #[test]
+    fn scalar_insert_and_get() {
+        let mut st = ObjectStore::new();
+        let o = Term::atom("form01");
+        st.insert_scalar(o.clone(), s("method"), Term::atom("post"));
+        assert_eq!(st.get_scalar(&o, s("method")), Some(&Term::atom("post")));
+        assert_eq!(st.get_scalar(&o, s("cgi")), None);
+    }
+
+    #[test]
+    fn scalar_replacement_and_rollback() {
+        let mut st = ObjectStore::new();
+        let o = Term::atom("o");
+        st.insert_scalar(o.clone(), s("a"), Term::Int(1));
+        let m = st.mark();
+        st.insert_scalar(o.clone(), s("a"), Term::Int(2));
+        assert_eq!(st.get_scalar(&o, s("a")), Some(&Term::Int(2)));
+        st.undo_to(m);
+        assert_eq!(st.get_scalar(&o, s("a")), Some(&Term::Int(1)));
+    }
+
+    #[test]
+    fn setval_idempotent_and_rollback() {
+        let mut st = ObjectStore::new();
+        let o = Term::atom("pg");
+        let m = st.mark();
+        st.insert_setval(o.clone(), s("actions"), Term::atom("a1"));
+        st.insert_setval(o.clone(), s("actions"), Term::atom("a1"));
+        st.insert_setval(o.clone(), s("actions"), Term::atom("a2"));
+        assert_eq!(st.get_setvals(&o, s("actions")).len(), 2);
+        st.undo_to(m);
+        assert!(st.get_setvals(&o, s("actions")).is_empty());
+    }
+
+    #[test]
+    fn delete_setval_rolls_back() {
+        let mut st = ObjectStore::new();
+        let o = Term::atom("pg");
+        st.insert_setval(o.clone(), s("xs"), Term::Int(1));
+        let m = st.mark();
+        st.delete_setval(&o, s("xs"), &Term::Int(1));
+        assert!(st.get_setvals(&o, s("xs")).is_empty());
+        st.undo_to(m);
+        assert_eq!(st.get_setvals(&o, s("xs")), &[Term::Int(1)]);
+    }
+
+    #[test]
+    fn class_hierarchy() {
+        let mut st = ObjectStore::new();
+        st.insert_subclass(s("form"), s("action"));
+        st.insert_subclass(s("link"), s("action"));
+        st.insert_subclass(s("data_page"), s("web_page"));
+        st.insert_isa(Term::atom("f1"), s("form"));
+        assert!(st.is_member(&Term::atom("f1"), s("form")));
+        assert!(st.is_member(&Term::atom("f1"), s("action")));
+        assert!(!st.is_member(&Term::atom("f1"), s("web_page")));
+        assert!(st.is_subclass(s("form"), s("form")));
+        assert!(!st.is_subclass(s("action"), s("form")));
+    }
+
+    #[test]
+    fn subclass_cycle_terminates() {
+        let mut st = ObjectStore::new();
+        st.insert_subclass(s("a"), s("b"));
+        st.insert_subclass(s("b"), s("a"));
+        assert!(st.is_subclass(s("a"), s("b")));
+        assert!(!st.is_subclass(s("a"), s("zzz")));
+    }
+
+    #[test]
+    fn members_via_subclass() {
+        let mut st = ObjectStore::new();
+        st.insert_subclass(s("form"), s("action"));
+        st.insert_isa(Term::atom("f1"), s("form"));
+        st.insert_isa(Term::atom("l1"), s("action"));
+        let mut m = st.members(s("action"));
+        m.sort_by_key(|t| format!("{t:?}"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn isa_rollback() {
+        let mut st = ObjectStore::new();
+        let m = st.mark();
+        st.insert_isa(Term::atom("x"), s("c"));
+        assert!(st.is_member(&Term::atom("x"), s("c")));
+        st.undo_to(m);
+        assert!(!st.is_member(&Term::atom("x"), s("c")));
+    }
+
+    #[test]
+    fn molecule_count_tracks_all_kinds() {
+        let mut st = ObjectStore::new();
+        st.insert_isa(Term::atom("x"), s("c"));
+        st.insert_subclass(s("c"), s("d"));
+        st.insert_scalar(Term::atom("x"), s("a"), Term::Int(1));
+        st.insert_setval(Term::atom("x"), s("b"), Term::Int(2));
+        st.insert_setval(Term::atom("x"), s("b"), Term::Int(3));
+        assert_eq!(st.molecule_count(), 5);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the Transaction F-logic engine.
+
+use proptest::prelude::*;
+use webbase_flogic::goal::Goal;
+use webbase_flogic::parser::{parse_goal, parse_program};
+use webbase_flogic::pretty;
+use webbase_flogic::store::ObjectStore;
+use webbase_flogic::term::{Sym, Term, Var};
+use webbase_flogic::unify::Bindings;
+use webbase_flogic::Machine;
+
+/// Generate small ground terms.
+fn ground_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| Term::atom(&s)),
+        any::<i32>().prop_map(|i| Term::Int(i as i64)),
+        "[a-zA-Z0-9 ]{0,8}".prop_map(Term::Str),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        (proptest::sample::select(vec!["f", "g", "pair"]), proptest::collection::vec(inner, 1..3))
+            .prop_map(|(f, args)| Term::compound(f, args))
+    })
+}
+
+/// Generate terms with variables 0..4.
+fn open_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0u32..4).prop_map(|v| Term::Var(Var(v))),
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| Term::atom(&s)),
+        any::<i16>().prop_map(|i| Term::Int(i as i64)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        (proptest::sample::select(vec!["f", "g"]), proptest::collection::vec(inner, 1..3))
+            .prop_map(|(f, args)| Term::compound(f, args))
+    })
+}
+
+proptest! {
+    /// Unification of a term with itself always succeeds and binds nothing
+    /// new that changes its resolution.
+    #[test]
+    fn unify_reflexive(t in open_term()) {
+        let mut b = Bindings::new();
+        prop_assert!(b.unify(&t, &t));
+        prop_assert_eq!(b.resolve(&t), b.resolve(&t));
+    }
+
+    /// Unification is symmetric in success, and the resulting resolved
+    /// terms agree (a unifier).
+    #[test]
+    fn unify_symmetric_and_agrees(a in open_term(), b in open_term()) {
+        let mut b1 = Bindings::new();
+        let ok1 = b1.unify(&a, &b);
+        let mut b2 = Bindings::new();
+        let ok2 = b2.unify(&b, &a);
+        prop_assert_eq!(ok1, ok2);
+        if ok1 {
+            prop_assert_eq!(b1.resolve(&a), b1.resolve(&b));
+            prop_assert_eq!(b2.resolve(&a), b2.resolve(&b));
+        }
+    }
+
+    /// A failed unification never leaves residual bindings.
+    #[test]
+    fn failed_unify_is_clean(a in open_term(), b in open_term()) {
+        let mut bs = Bindings::new();
+        if !bs.unify(&a, &b) {
+            prop_assert!(bs.is_empty());
+        }
+    }
+
+    /// Ground terms unify iff they are equal.
+    #[test]
+    fn ground_unify_is_equality(a in ground_term(), b in ground_term()) {
+        let mut bs = Bindings::new();
+        prop_assert_eq!(bs.unify(&a, &b), a == b);
+    }
+
+    /// Pretty-printed terms re-parse to the same term.
+    #[test]
+    fn term_pretty_roundtrip(t in ground_term()) {
+        let printed = pretty::term(&t);
+        let reparsed = webbase_flogic::parser::parse_term(&printed)
+            .unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+        prop_assert_eq!(reparsed, t);
+    }
+
+    /// Store rollback is exact: after undo_to(mark), every molecule
+    /// inserted after the mark is gone and every one before it survives.
+    #[test]
+    fn store_rollback_exact(
+        before in proptest::collection::vec(("[a-c]", "[a-c]", 0i64..100), 0..10),
+        after in proptest::collection::vec(("[a-c]", "[a-c]", 0i64..100), 0..10),
+    ) {
+        let mut st = ObjectStore::new();
+        for (o, a, v) in &before {
+            st.insert_setval(Term::atom(o), Sym::new(a), Term::Int(*v));
+        }
+        let count_before = st.molecule_count();
+        let mark = st.mark();
+        for (o, a, v) in &after {
+            st.insert_setval(Term::atom(o), Sym::new(a), Term::Int(*v));
+        }
+        st.undo_to(mark);
+        prop_assert_eq!(st.molecule_count(), count_before);
+        for (o, a, v) in &before {
+            prop_assert!(st.get_setvals(&Term::atom(o), Sym::new(a)).contains(&Term::Int(*v)));
+        }
+    }
+
+    /// The engine enumerates exactly the facts that match a query pattern.
+    #[test]
+    fn fact_enumeration_complete(facts in proptest::collection::btree_set((0i64..50, 0i64..50), 0..20)) {
+        let mut src = String::new();
+        for (a, b) in &facts {
+            src.push_str(&format!("r({a}, {b}). "));
+        }
+        if src.is_empty() { src.push_str("unused."); }
+        let prog = parse_program(&src).expect("parses");
+        let mut m = Machine::new(&prog, ObjectStore::new());
+        if facts.is_empty() { return Ok(()); }
+        let sols = m.solve_str("r(X, Y)").expect("solves");
+        prop_assert_eq!(sols.len(), facts.len());
+        for s in &sols {
+            let x = match s["X"] { Term::Int(i) => i, ref t => panic!("{t:?}") };
+            let y = match s["Y"] { Term::Int(i) => i, ref t => panic!("{t:?}") };
+            prop_assert!(facts.contains(&(x, y)));
+        }
+    }
+
+    /// Goal pretty/parse roundtrip on randomly structured goals.
+    #[test]
+    fn goal_pretty_roundtrip(seed in proptest::collection::vec(0u8..6, 1..8)) {
+        // Build a goal tree from the seed bytes.
+        fn build(seed: &[u8], i: &mut usize, depth: u32) -> Goal {
+            let b = if *i < seed.len() { seed[*i] } else { 0 };
+            *i += 1;
+            if depth > 2 {
+                return Goal::atom("leaf", vec![Term::Int(b as i64)]);
+            }
+            match b {
+                0 => Goal::atom("p", vec![Term::Var(Var(0)), Term::Int(b as i64)]),
+                1 => Goal::ScalarAttr(Term::atom("o"), Sym::new("a"), Term::Var(Var(1))),
+                2 => Goal::seq(vec![build(seed, i, depth + 1), build(seed, i, depth + 1)]),
+                3 => Goal::choice(vec![build(seed, i, depth + 1), build(seed, i, depth + 1)]),
+                4 => Goal::Naf(Box::new(build(seed, i, depth + 1))),
+                _ => Goal::InsertSet(Term::atom("o"), Sym::new("xs"), Term::Int(b as i64)),
+            }
+        }
+        let mut i = 0;
+        let g = build(&seed, &mut i, 0);
+        // The parser renumbers variables by first occurrence, so compare
+        // the *print normal form*: printing is a fixpoint under reparse.
+        let printed = pretty::goal(&g);
+        let (g2, _) = parse_goal(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+        let printed2 = pretty::goal(&g2);
+        let (g3, _) = parse_goal(&printed2).unwrap_or_else(|e| panic!("reparse {printed2:?}: {e}"));
+        prop_assert_eq!(g3, g2);
+    }
+}

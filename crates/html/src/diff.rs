@@ -1,0 +1,262 @@
+//! Structural page diffing for navigation-map maintenance.
+//!
+//! §7 of the paper: "Modifications to Web sites can be automatically
+//! detected by periodically comparing the navigation map against its
+//! corresponding site … certain structural changes such as the addition
+//! of a new form attribute require manual intervention, others can be
+//! applied automatically (e.g., the addition of a cell in a selection
+//! list)."
+//!
+//! This module computes the *structural* difference between two versions
+//! of a page — the set of changes to its action-relevant skeleton (links
+//! and forms). Each change is pre-classified by [`Severity`]: whether the
+//! navigation layer can patch the map automatically or must flag the
+//! designer.
+
+use crate::dom::Document;
+use crate::extract::{self, Form, Link, WidgetKind};
+use serde::{Deserialize, Serialize};
+
+/// How disruptive a page change is to an existing navigation map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// The map absorbs this without designer input (e.g. a new option in a
+    /// selection list, a new link that no navigation path uses).
+    AutoApplicable,
+    /// The map must be re-recorded or hand-edited (e.g. a new mandatory
+    /// form attribute, a removed form).
+    ManualIntervention,
+}
+
+/// One structural change between two versions of a page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageChange {
+    LinkAdded { text: String, href: String },
+    LinkRemoved { text: String },
+    LinkRetargeted { text: String, old_href: String, new_href: String },
+    FormAdded { action: String },
+    FormRemoved { action: String },
+    FieldAdded { form: String, field: String, mandatory_inferred: bool },
+    FieldRemoved { form: String, field: String },
+    OptionAdded { form: String, field: String, option: String },
+    OptionRemoved { form: String, field: String, option: String },
+    WidgetKindChanged { form: String, field: String },
+}
+
+impl PageChange {
+    /// Classification per the paper's §7 discussion.
+    pub fn severity(&self) -> Severity {
+        match self {
+            // New selection-list cells, new links, and retargeted links are
+            // absorbed automatically; anything that changes what the
+            // navigator must *supply* needs a human.
+            PageChange::OptionAdded { .. }
+            | PageChange::LinkAdded { .. }
+            | PageChange::LinkRetargeted { .. }
+            | PageChange::OptionRemoved { .. } => Severity::AutoApplicable,
+            PageChange::FieldAdded { mandatory_inferred, .. } => {
+                if *mandatory_inferred {
+                    Severity::ManualIntervention
+                } else {
+                    Severity::AutoApplicable
+                }
+            }
+            PageChange::LinkRemoved { .. }
+            | PageChange::FormAdded { .. }
+            | PageChange::FormRemoved { .. }
+            | PageChange::FieldRemoved { .. }
+            | PageChange::WidgetKindChanged { .. } => Severity::ManualIntervention,
+        }
+    }
+}
+
+/// Diff the action-relevant structure of two page versions.
+pub fn diff_pages(old: &Document, new: &Document) -> Vec<PageChange> {
+    let mut changes = Vec::new();
+    diff_links(&extract::links(old), &extract::links(new), &mut changes);
+    diff_forms(&extract::forms(old), &extract::forms(new), &mut changes);
+    changes
+}
+
+fn diff_links(old: &[Link], new: &[Link], out: &mut Vec<PageChange>) {
+    for o in old {
+        match new.iter().find(|n| n.text == o.text) {
+            None => out.push(PageChange::LinkRemoved { text: o.text.clone() }),
+            Some(n) if n.href != o.href => out.push(PageChange::LinkRetargeted {
+                text: o.text.clone(),
+                old_href: o.href.clone(),
+                new_href: n.href.clone(),
+            }),
+            Some(_) => {}
+        }
+    }
+    for n in new {
+        if !old.iter().any(|o| o.text == n.text) {
+            out.push(PageChange::LinkAdded { text: n.text.clone(), href: n.href.clone() });
+        }
+    }
+}
+
+fn diff_forms(old: &[Form], new: &[Form], out: &mut Vec<PageChange>) {
+    for o in old {
+        match new.iter().find(|n| n.action == o.action) {
+            None => out.push(PageChange::FormRemoved { action: o.action.clone() }),
+            Some(n) => diff_fields(o, n, out),
+        }
+    }
+    for n in new {
+        if !old.iter().any(|o| o.action == n.action) {
+            out.push(PageChange::FormAdded { action: n.action.clone() });
+        }
+    }
+}
+
+fn diff_fields(old: &Form, new: &Form, out: &mut Vec<PageChange>) {
+    for of in old.data_fields() {
+        match new.field(&of.name) {
+            None => out.push(PageChange::FieldRemoved {
+                form: old.action.clone(),
+                field: of.name.clone(),
+            }),
+            Some(nf) => {
+                match (&of.kind, &nf.kind) {
+                    (WidgetKind::Select { options: oo }, WidgetKind::Select { options: no })
+                    | (WidgetKind::Radio { options: oo }, WidgetKind::Radio { options: no }) => {
+                        for opt in no.iter().filter(|o| !oo.contains(o)) {
+                            out.push(PageChange::OptionAdded {
+                                form: old.action.clone(),
+                                field: of.name.clone(),
+                                option: opt.clone(),
+                            });
+                        }
+                        for opt in oo.iter().filter(|o| !no.contains(o)) {
+                            out.push(PageChange::OptionRemoved {
+                                form: old.action.clone(),
+                                field: of.name.clone(),
+                                option: opt.clone(),
+                            });
+                        }
+                    }
+                    (o, n) if std::mem::discriminant(o) != std::mem::discriminant(n) => {
+                        out.push(PageChange::WidgetKindChanged {
+                            form: old.action.clone(),
+                            field: of.name.clone(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    for nf in new.data_fields() {
+        if old.field(&nf.name).is_none() {
+            out.push(PageChange::FieldAdded {
+                form: old.action.clone(),
+                field: nf.name.clone(),
+                mandatory_inferred: nf.kind.inferred_mandatory() == Some(true),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn identical_pages_no_changes() {
+        let p = parse("<a href='/x'>X</a><form action='/q'><input name=a></form>");
+        assert!(diff_pages(&p, &p).is_empty());
+    }
+
+    #[test]
+    fn new_option_is_auto_applicable() {
+        let old = parse("<form action='/q'><select name=y><option>1998</select></form>");
+        let new = parse(
+            "<form action='/q'><select name=y><option>1998<option>1999</select></form>",
+        );
+        let ch = diff_pages(&old, &new);
+        assert_eq!(
+            ch,
+            vec![PageChange::OptionAdded {
+                form: "/q".into(),
+                field: "y".into(),
+                option: "1999".into()
+            }]
+        );
+        assert_eq!(ch[0].severity(), Severity::AutoApplicable);
+    }
+
+    #[test]
+    fn new_mandatory_field_needs_manual() {
+        let old = parse("<form action='/q'><input name=a></form>");
+        let new = parse(
+            "<form action='/q'><input name=a>\
+             <input type=radio name=cond value=x></form>",
+        );
+        let ch = diff_pages(&old, &new);
+        assert_eq!(ch.len(), 1);
+        assert!(matches!(&ch[0], PageChange::FieldAdded { mandatory_inferred: true, .. }));
+        assert_eq!(ch[0].severity(), Severity::ManualIntervention);
+    }
+
+    #[test]
+    fn new_optional_field_is_auto() {
+        let old = parse("<form action='/q'><input name=a></form>");
+        let new = parse("<form action='/q'><input name=a><input name=b></form>");
+        let ch = diff_pages(&old, &new);
+        assert_eq!(ch[0].severity(), Severity::AutoApplicable);
+    }
+
+    #[test]
+    fn removed_form_needs_manual() {
+        let old = parse("<form action='/q'><input name=a></form>");
+        let new = parse("<p>gone</p>");
+        let ch = diff_pages(&old, &new);
+        assert_eq!(ch, vec![PageChange::FormRemoved { action: "/q".into() }]);
+        assert_eq!(ch[0].severity(), Severity::ManualIntervention);
+    }
+
+    #[test]
+    fn link_changes() {
+        let old = parse("<a href='/a'>A</a><a href='/b'>B</a>");
+        let new = parse("<a href='/a2'>A</a><a href='/c'>C</a>");
+        let ch = diff_pages(&old, &new);
+        assert!(ch.contains(&PageChange::LinkRetargeted {
+            text: "A".into(),
+            old_href: "/a".into(),
+            new_href: "/a2".into()
+        }));
+        assert!(ch.contains(&PageChange::LinkRemoved { text: "B".into() }));
+        assert!(ch.contains(&PageChange::LinkAdded { text: "C".into(), href: "/c".into() }));
+    }
+
+    #[test]
+    fn widget_kind_change_flagged() {
+        let old = parse("<form action='/q'><input type=text name=make></form>");
+        let new = parse(
+            "<form action='/q'><select name=make><option>ford</select></form>",
+        );
+        let ch = diff_pages(&old, &new);
+        assert_eq!(
+            ch,
+            vec![PageChange::WidgetKindChanged { form: "/q".into(), field: "make".into() }]
+        );
+        assert_eq!(ch[0].severity(), Severity::ManualIntervention);
+    }
+
+    #[test]
+    fn kellys_1999_scenario() {
+        // The paper: "in Kelly's Blue Book new links with information about
+        // 1999 cars have been added" — detected, and auto-applicable.
+        let old = parse("<ul><li><a href='/cars/1998'>1998 models</a></ul>");
+        let new = parse(
+            "<ul><li><a href='/cars/1998'>1998 models</a>\
+             <li><a href='/cars/1999'>1999 models</a></ul>",
+        );
+        let ch = diff_pages(&old, &new);
+        assert_eq!(ch.len(), 1);
+        assert_eq!(ch[0].severity(), Severity::AutoApplicable);
+    }
+}

@@ -1,0 +1,305 @@
+//! Arena-based DOM.
+//!
+//! Nodes live in a flat `Vec` inside [`Document`] and refer to each other
+//! by [`NodeId`] index — no `Rc`/`RefCell` cycles, cheap traversal, and
+//! the whole tree drops in one deallocation sweep (an idiom the Rust
+//! performance literature recommends for tree-shaped data).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The document root.
+    pub const ROOT: NodeId = NodeId(0);
+
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A DOM node: the root document, an element, text, or a comment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    Document,
+    Element { tag: String, attrs: Vec<(String, String)> },
+    Text(String),
+    Comment(String),
+}
+
+/// A node plus its tree links.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub children: Vec<NodeId>,
+}
+
+/// A parsed HTML document: an arena of [`Node`]s rooted at [`NodeId::ROOT`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node { kind: NodeKind::Document, parent: None, children: Vec::new() }],
+        }
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Append a new node under `parent` and return its id.
+    pub fn append(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, parent: Some(parent), children: Vec::new() });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Tag name of an element node, `None` otherwise.
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { tag, .. } => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// Value of attribute `name` on element `id`.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => {
+                attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+            }
+            _ => None,
+        }
+    }
+
+    /// Depth-first pre-order traversal starting at `root` (inclusive).
+    pub fn descendants(&self, root: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![root] }
+    }
+
+    /// All elements (document order) whose tag equals `tag`.
+    pub fn elements_by_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+        self.descendants(NodeId::ROOT)
+            .filter(move |&id| self.tag(id).is_some_and(|t| t == tag))
+    }
+
+    /// First element with the given tag, if any.
+    pub fn first_by_tag(&self, tag: &str) -> Option<NodeId> {
+        self.elements_by_tag(tag).next()
+    }
+
+    /// Concatenated text content under `id`, whitespace-normalised
+    /// (runs of whitespace collapse to single spaces, ends trimmed).
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut raw = String::new();
+        for d in self.descendants(id) {
+            if let NodeKind::Text(t) = &self.node(d).kind {
+                raw.push_str(t);
+                raw.push(' ');
+            }
+        }
+        normalize_ws(&raw)
+    }
+
+    /// The nearest ancestor (excluding `id` itself) with tag `tag`.
+    pub fn ancestor_by_tag(&self, id: NodeId, tag: &str) -> Option<NodeId> {
+        let mut cur = self.node(id).parent;
+        while let Some(p) = cur {
+            if self.tag(p) == Some(tag) {
+                return Some(p);
+            }
+            cur = self.node(p).parent;
+        }
+        None
+    }
+
+    /// `<title>` text, if present.
+    pub fn title(&self) -> Option<String> {
+        self.first_by_tag("title").map(|id| self.text_content(id))
+    }
+
+    /// Re-serialise the tree as HTML (used by tests and the diff module).
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        self.write_node(NodeId::ROOT, &mut out);
+        out
+    }
+
+    fn write_node(&self, id: NodeId, out: &mut String) {
+        use fmt::Write as _;
+        match &self.node(id).kind {
+            NodeKind::Document => {
+                for &c in &self.node(id).children {
+                    self.write_node(c, out);
+                }
+            }
+            NodeKind::Element { tag, attrs } => {
+                let _ = write!(out, "<{tag}");
+                for (k, v) in attrs {
+                    if v.is_empty() {
+                        let _ = write!(out, " {k}");
+                    } else {
+                        let _ = write!(out, " {k}=\"{}\"", crate::escape::escape(v));
+                    }
+                }
+                out.push('>');
+                for &c in &self.node(id).children {
+                    self.write_node(c, out);
+                }
+                if !is_void(tag) {
+                    let _ = write!(out, "</{tag}>");
+                }
+            }
+            NodeKind::Text(t) => out.push_str(&crate::escape::escape(t)),
+            NodeKind::Comment(c) => {
+                let _ = write!(out, "<!--{c}-->");
+            }
+        }
+    }
+}
+
+/// Collapse whitespace runs and trim.
+pub fn normalize_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_ws = true; // leading whitespace is dropped
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(c);
+            in_ws = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Elements that never take children (HTML "void" elements).
+pub fn is_void(tag: &str) -> bool {
+    matches!(
+        tag,
+        "br" | "hr" | "img" | "input" | "meta" | "link" | "base" | "area" | "col" | "embed"
+            | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// Iterator over a subtree in document order.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let node = self.doc.node(id);
+        // Push children in reverse so they pop in document order.
+        self.stack.extend(node.children.iter().rev());
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el(tag: &str) -> NodeKind {
+        NodeKind::Element { tag: tag.into(), attrs: vec![] }
+    }
+
+    #[test]
+    fn build_and_traverse() {
+        let mut doc = Document::new();
+        let html = doc.append(NodeId::ROOT, el("html"));
+        let body = doc.append(html, el("body"));
+        let p = doc.append(body, el("p"));
+        doc.append(p, NodeKind::Text("hello".into()));
+        let order: Vec<_> =
+            doc.descendants(NodeId::ROOT).filter_map(|id| doc.tag(id).map(String::from)).collect();
+        assert_eq!(order, vec!["html", "body", "p"]);
+        assert_eq!(doc.text_content(NodeId::ROOT), "hello");
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let mut doc = Document::new();
+        let a = doc.append(
+            NodeId::ROOT,
+            NodeKind::Element { tag: "a".into(), attrs: vec![("href".into(), "/x".into())] },
+        );
+        assert_eq!(doc.attr(a, "href"), Some("/x"));
+        assert_eq!(doc.attr(a, "class"), None);
+    }
+
+    #[test]
+    fn text_content_normalises_whitespace() {
+        let mut doc = Document::new();
+        let p = doc.append(NodeId::ROOT, el("p"));
+        doc.append(p, NodeKind::Text("  a \n".into()));
+        doc.append(p, NodeKind::Text("\t b  ".into()));
+        assert_eq!(doc.text_content(p), "a b");
+    }
+
+    #[test]
+    fn ancestor_search() {
+        let mut doc = Document::new();
+        let table = doc.append(NodeId::ROOT, el("table"));
+        let tr = doc.append(table, el("tr"));
+        let td = doc.append(tr, el("td"));
+        assert_eq!(doc.ancestor_by_tag(td, "table"), Some(table));
+        assert_eq!(doc.ancestor_by_tag(td, "form"), None);
+        assert_eq!(doc.ancestor_by_tag(table, "table"), None);
+    }
+
+    #[test]
+    fn serialise_roundtrip_shape() {
+        let mut doc = Document::new();
+        let a = doc.append(
+            NodeId::ROOT,
+            NodeKind::Element { tag: "a".into(), attrs: vec![("href".into(), "/x?a=1&b=2".into())] },
+        );
+        doc.append(a, NodeKind::Text("x < y".into()));
+        assert_eq!(doc.to_html(), "<a href=\"/x?a=1&amp;b=2\">x &lt; y</a>");
+    }
+
+    #[test]
+    fn void_elements_not_closed() {
+        let mut doc = Document::new();
+        doc.append(NodeId::ROOT, el("br"));
+        assert_eq!(doc.to_html(), "<br>");
+    }
+}

@@ -1,0 +1,122 @@
+//! HTML entity escaping and unescaping.
+//!
+//! Only the entities that actually occur in the simulated Web (and in
+//! 1999-era car-classified pages) are supported; unknown entities are
+//! passed through verbatim, which is the recovery behaviour the paper's
+//! parser needs.
+
+/// Escape text for inclusion in an HTML text node or attribute value.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Decode the named and numeric entities we support. Unknown or truncated
+/// entities are left as-is rather than rejected.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = s[i..].find(';').map(|p| i + p) {
+                // Entities longer than 10 chars are almost certainly stray
+                // ampersands; treat them as text.
+                if semi - i <= 10 {
+                    let name = &s[i + 1..semi];
+                    if let Some(decoded) = decode_entity(name) {
+                        out.push(decoded);
+                        i = semi + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        let c = s[i..].chars().next().expect("index is on a char boundary");
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+fn decode_entity(name: &str) -> Option<char> {
+    match name {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        "nbsp" => Some('\u{a0}'),
+        "copy" => Some('\u{a9}'),
+        "reg" => Some('\u{ae}'),
+        "trade" => Some('\u{2122}'),
+        "mdash" => Some('\u{2014}'),
+        "ndash" => Some('\u{2013}'),
+        _ => {
+            let code = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else if let Some(dec) = name.strip_prefix('#') {
+                dec.parse::<u32>().ok()?
+            } else {
+                return None;
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_special_chars() {
+        assert_eq!(escape("a<b & c>\"d\""), "a&lt;b &amp; c&gt;&quot;d&quot;");
+    }
+
+    #[test]
+    fn unescape_named_entities() {
+        assert_eq!(unescape("Ford &amp; Jaguar &lt;1999&gt;"), "Ford & Jaguar <1999>");
+    }
+
+    #[test]
+    fn unescape_numeric_entities() {
+        assert_eq!(unescape("&#65;&#x42;"), "AB");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = "price < $1,000 & \"good\" condition";
+        assert_eq!(unescape(&escape(s)), s);
+    }
+
+    #[test]
+    fn unknown_entity_passes_through() {
+        assert_eq!(unescape("&bogus; &noend"), "&bogus; &noend");
+    }
+
+    #[test]
+    fn overlong_entity_treated_as_text() {
+        assert_eq!(unescape("&thisistoolongtobeanentity;"), "&thisistoolongtobeanentity;");
+    }
+
+    #[test]
+    fn nbsp_decodes() {
+        assert_eq!(unescape("a&nbsp;b"), "a\u{a0}b");
+    }
+
+    #[test]
+    fn invalid_codepoint_left_alone() {
+        assert_eq!(unescape("&#x110000;"), "&#x110000;");
+    }
+}

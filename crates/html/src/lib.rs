@@ -1,0 +1,44 @@
+//! # webbase-html
+//!
+//! A small, dependency-light HTML processing library built for the webbase
+//! reproduction of *"A Layered Architecture for Querying Dynamic Web
+//! Content"* (SIGMOD 1999).
+//!
+//! The paper's navigation-map builder parses every page loaded into the
+//! designer's browser, extracts the *actions* available on that page
+//! (links to follow, forms to fill out) and the tabular data it carries,
+//! and must *recover from faulty HTML* — the paper singles out ill-formed
+//! documents as the main practical obstacle ("the main problem we face
+//! while mapping sites is the presence of faulty HTML, in which case the
+//! parser needs to be able to recover").
+//!
+//! This crate therefore provides:
+//!
+//! * a byte-level [`tokenizer`] that never fails — malformed markup
+//!   degrades into text or best-effort tags;
+//! * a [`parser`] that builds a [`dom::Document`] with the usual recovery
+//!   tricks (implied end tags, auto-closing of `<p>`, `<li>`, `<tr>`,
+//!   `<td>`, `<option>`, …, silent dropping of stray end tags);
+//! * [`extract`] — the page-model extraction used by the navigation layer:
+//!   links, forms (with widget types, domains, defaults, and mandatory
+//!   inference from widget kinds), and tables;
+//! * [`diff`] — structural page diffing used by navigation-map
+//!   maintenance to classify site changes as auto-applicable or requiring
+//!   manual intervention.
+//!
+//! ```
+//! let doc = webbase_html::parse("<html><body><a href='/cars'>Used Cars</a>");
+//! let links = webbase_html::extract::links(&doc);
+//! assert_eq!(links[0].text, "Used Cars");
+//! assert_eq!(links[0].href, "/cars");
+//! ```
+
+pub mod diff;
+pub mod dom;
+pub mod escape;
+pub mod extract;
+pub mod parser;
+pub mod tokenizer;
+
+pub use dom::{Document, Node, NodeId};
+pub use parser::parse;

@@ -1,0 +1,222 @@
+//! Tree construction with browser-style error recovery.
+//!
+//! The parser consumes the token stream of [`crate::tokenizer`] and builds
+//! a [`Document`]. It is intentionally far simpler than the HTML5
+//! algorithm, but implements the recovery rules that matter for 1999-era
+//! pages (the paper: "the parser needs to be able to recover from the
+//! ill-formed documents"):
+//!
+//! * void elements (`<br>`, `<input>`, …) never open a scope;
+//! * `<li>`, `<p>`, `<option>`, `<tr>`, `<td>`, `<th>` auto-close a
+//!   same-kind open element (so `<tr><td>a<td>b` nests correctly);
+//! * an end tag with no matching open element is dropped;
+//! * an end tag matching a non-top open element closes everything above
+//!   it (mis-nesting recovery);
+//! * anything still open at end of input is closed implicitly.
+
+use crate::dom::{is_void, Document, NodeId, NodeKind};
+use crate::tokenizer::{tokenize, Token};
+
+/// Parse an HTML string into a [`Document`]. Never fails.
+pub fn parse(input: &str) -> Document {
+    let mut doc = Document::new();
+    // Stack of open elements; the root is always at the bottom.
+    let mut stack: Vec<NodeId> = vec![NodeId::ROOT];
+
+    for token in tokenize(input) {
+        match token {
+            Token::StartTag { name, attrs, self_closing } => {
+                auto_close(&mut stack, &doc, &name);
+                let parent = *stack.last().expect("root never popped");
+                let id = doc.append(parent, NodeKind::Element { tag: name.clone(), attrs });
+                if !self_closing && !is_void(&name) {
+                    stack.push(id);
+                }
+            }
+            Token::EndTag { name } => {
+                if let Some(pos) = stack.iter().rposition(|&id| doc.tag(id) == Some(name.as_str()))
+                {
+                    if pos > 0 {
+                        stack.truncate(pos); // closes the element and any mis-nested children
+                    }
+                    // pos == 0 can't happen (root is not an element), but
+                    // guard anyway: stray end tags are dropped.
+                }
+            }
+            Token::Text(t) => {
+                let parent = *stack.last().expect("root never popped");
+                doc.append(parent, NodeKind::Text(t));
+            }
+            Token::Comment(c) => {
+                let parent = *stack.last().expect("root never popped");
+                doc.append(parent, NodeKind::Comment(c));
+            }
+            Token::Doctype(_) => {} // doctypes carry no page-model information
+        }
+    }
+    doc
+}
+
+/// Close open elements that a new `<name>` implicitly terminates.
+fn auto_close(stack: &mut Vec<NodeId>, doc: &Document, name: &str) {
+    // Elements the incoming tag closes if found open (searching from the
+    // innermost element outwards, stopping at scope boundaries).
+    let closes: &[&str] = match name {
+        "li" => &["li"],
+        "p" => &["p"],
+        "option" => &["option"],
+        "optgroup" => &["option", "optgroup"],
+        "tr" => &["tr", "td", "th"],
+        "td" | "th" => &["td", "th"],
+        "thead" | "tbody" | "tfoot" => &["tr", "td", "th", "thead", "tbody", "tfoot"],
+        "dt" | "dd" => &["dt", "dd"],
+        _ => return,
+    };
+    // Scope boundaries: never auto-close past these.
+    let boundary: &[&str] = match name {
+        "li" => &["ul", "ol"],
+        "option" | "optgroup" => &["select"],
+        "tr" | "td" | "th" | "thead" | "tbody" | "tfoot" => &["table"],
+        "dt" | "dd" => &["dl"],
+        _ => &[],
+    };
+    while stack.len() > 1 {
+        let top = *stack.last().expect("len > 1");
+        let tag = doc.tag(top).unwrap_or("");
+        if boundary.contains(&tag) {
+            return;
+        }
+        if closes.contains(&tag) {
+            stack.pop();
+            // `tr` must also pop an enclosing cell, so keep looping.
+            continue;
+        }
+        // `td`/`tr` may appear under an implicit tbody we didn't model —
+        // only keep popping while the top is closeable.
+        return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::NodeId;
+
+    fn tags(doc: &Document) -> Vec<String> {
+        doc.descendants(NodeId::ROOT).filter_map(|id| doc.tag(id).map(String::from)).collect()
+    }
+
+    #[test]
+    fn well_formed_nesting() {
+        let doc = parse("<html><body><p>hi</p></body></html>");
+        assert_eq!(tags(&doc), vec!["html", "body", "p"]);
+        assert_eq!(doc.text_content(NodeId::ROOT), "hi");
+    }
+
+    #[test]
+    fn unclosed_tags_closed_at_eof() {
+        let doc = parse("<html><body><b>bold");
+        assert_eq!(tags(&doc), vec!["html", "body", "b"]);
+        assert_eq!(doc.text_content(NodeId::ROOT), "bold");
+    }
+
+    #[test]
+    fn stray_end_tag_dropped() {
+        let doc = parse("</table><p>x</p>");
+        assert_eq!(tags(&doc), vec!["p"]);
+    }
+
+    #[test]
+    fn table_cells_auto_close() {
+        let doc = parse("<table><tr><td>a<td>b<tr><td>c</table>");
+        let table = doc.first_by_tag("table").expect("table parsed");
+        let rows: Vec<_> = doc.elements_by_tag("tr").collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|&r| doc.ancestor_by_tag(r, "table") == Some(table)));
+        let row0_cells: Vec<_> = doc
+            .elements_by_tag("td")
+            .filter(|&c| doc.ancestor_by_tag(c, "tr") == Some(rows[0]))
+            .collect();
+        assert_eq!(row0_cells.len(), 2);
+        assert_eq!(doc.text_content(row0_cells[1]), "b");
+    }
+
+    #[test]
+    fn list_items_auto_close() {
+        let doc = parse("<ul><li>a<li>b<li>c</ul>");
+        let items: Vec<_> = doc.elements_by_tag("li").collect();
+        assert_eq!(items.len(), 3);
+        let ul = doc.first_by_tag("ul").expect("ul parsed");
+        assert!(items.iter().all(|&li| doc.node(li).parent == Some(ul)));
+    }
+
+    #[test]
+    fn options_auto_close() {
+        let doc = parse("<select><option>ford<option>jaguar</select>");
+        let opts: Vec<_> = doc.elements_by_tag("option").collect();
+        assert_eq!(opts.len(), 2);
+        assert_eq!(doc.text_content(opts[1]), "jaguar");
+    }
+
+    #[test]
+    fn nested_list_not_broken_by_auto_close() {
+        let doc = parse("<ul><li>a<ul><li>a1</ul><li>b</ul>");
+        let lis: Vec<_> = doc.elements_by_tag("li").collect();
+        assert_eq!(lis.len(), 3);
+        // the inner li's parent is the inner ul
+        let uls: Vec<_> = doc.elements_by_tag("ul").collect();
+        assert_eq!(doc.node(lis[1]).parent, Some(uls[1]));
+    }
+
+    #[test]
+    fn misnested_inline_recovered() {
+        // </i> closes both b and i in our simplified recovery; the page
+        // remains usable.
+        let doc = parse("<i><b>x</i>y");
+        assert_eq!(doc.text_content(NodeId::ROOT), "x y".replace(' ', " "));
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = parse("<p><br>after</p>");
+        let br = doc.first_by_tag("br").expect("br parsed");
+        assert!(doc.node(br).children.is_empty());
+        let p = doc.first_by_tag("p").expect("p parsed");
+        assert_eq!(doc.text_content(p), "after");
+    }
+
+    #[test]
+    fn inputs_are_void() {
+        let doc = parse("<form><input name=a><input name=b></form>");
+        let form = doc.first_by_tag("form").expect("form parsed");
+        assert_eq!(doc.node(form).children.len(), 2);
+    }
+
+    #[test]
+    fn paragraphs_auto_close() {
+        let doc = parse("<p>one<p>two");
+        let ps: Vec<_> = doc.elements_by_tag("p").collect();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(doc.text_content(ps[0]), "one");
+        assert_eq!(doc.text_content(ps[1]), "two");
+    }
+
+    #[test]
+    fn definition_lists() {
+        let doc = parse("<dl><dt>Make<dd>Ford<dt>Model<dd>Escort</dl>");
+        assert_eq!(doc.elements_by_tag("dt").count(), 2);
+        assert_eq!(doc.elements_by_tag("dd").count(), 2);
+    }
+
+    #[test]
+    fn empty_document() {
+        let doc = parse("");
+        assert!(doc.is_empty());
+    }
+
+    #[test]
+    fn title_extraction() {
+        let doc = parse("<html><head><title>Newsday Classifieds</title></head>");
+        assert_eq!(doc.title().as_deref(), Some("Newsday Classifieds"));
+    }
+}

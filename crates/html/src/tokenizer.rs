@@ -1,0 +1,396 @@
+//! A forgiving HTML tokenizer.
+//!
+//! The tokenizer never fails: every input byte sequence produces a token
+//! stream. Malformed constructs degrade gracefully — a `<` that does not
+//! open a plausible tag becomes text, unterminated tags are closed at end
+//! of input, and attribute syntax errors skip to the next attribute. This
+//! is the recovery behaviour the paper requires of its page parser.
+
+use crate::escape::unescape;
+
+/// One lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr=value ...>`; `self_closing` is true for `<br/>`-style tags.
+    StartTag { name: String, attrs: Vec<(String, String)>, self_closing: bool },
+    /// `</name>`
+    EndTag { name: String },
+    /// A run of character data (entity-decoded).
+    Text(String),
+    /// `<!-- ... -->`
+    Comment(String),
+    /// `<!DOCTYPE ...>` (contents after the bang, verbatim).
+    Doctype(String),
+}
+
+/// Tokenize `input` into a vector of [`Token`]s. Infallible.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run()
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    text_start: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer { input, bytes: input.as_bytes(), pos: 0, tokens: Vec::new(), text_start: 0 }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' {
+                self.flush_text(self.pos);
+                if !self.try_markup() {
+                    // A lone '<' (e.g. "price < 100"): keep it as text and
+                    // resume text accumulation from the '<' itself.
+                    self.text_start = self.pos;
+                    self.pos += 1;
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.flush_text(self.bytes.len());
+        self.tokens
+    }
+
+    fn flush_text(&mut self, end: usize) {
+        if end > self.text_start {
+            let raw = unescape(&self.input[self.text_start..end]);
+            // Merge with a preceding text token — a recovered lone '<'
+            // splits accumulation but should not split the text node.
+            if let Some(Token::Text(prev)) = self.tokens.last_mut() {
+                prev.push_str(&raw);
+            } else {
+                self.tokens.push(Token::Text(raw));
+            }
+        }
+        self.text_start = end;
+    }
+
+    /// Attempt to consume markup starting at `self.pos` (which is `<`).
+    /// Returns false when the `<` cannot start markup.
+    fn try_markup(&mut self) -> bool {
+        let rest = &self.bytes[self.pos..];
+        if rest.len() < 2 {
+            return false;
+        }
+        match rest[1] {
+            b'!' => {
+                if rest.len() >= 4 && &rest[1..4] == b"!--" {
+                    self.consume_comment();
+                } else {
+                    self.consume_doctype();
+                }
+                true
+            }
+            b'/' => self.consume_end_tag(),
+            c if c.is_ascii_alphabetic() => self.consume_start_tag(),
+            _ => false,
+        }
+    }
+
+    fn consume_comment(&mut self) {
+        let body_start = self.pos + 4;
+        let end = self.input[body_start..].find("-->").map(|p| body_start + p);
+        match end {
+            Some(e) => {
+                self.tokens.push(Token::Comment(self.input[body_start..e].to_string()));
+                self.pos = e + 3;
+            }
+            None => {
+                // Unterminated comment swallows the rest of the document —
+                // matching real browser recovery.
+                self.tokens.push(Token::Comment(self.input[body_start..].to_string()));
+                self.pos = self.bytes.len();
+            }
+        }
+        self.text_start = self.pos;
+    }
+
+    fn consume_doctype(&mut self) {
+        let body_start = self.pos + 2;
+        let end = self.input[body_start..].find('>').map(|p| body_start + p);
+        match end {
+            Some(e) => {
+                self.tokens.push(Token::Doctype(self.input[body_start..e].trim().to_string()));
+                self.pos = e + 1;
+            }
+            None => {
+                self.tokens.push(Token::Doctype(self.input[body_start..].trim().to_string()));
+                self.pos = self.bytes.len();
+            }
+        }
+        self.text_start = self.pos;
+    }
+
+    fn consume_end_tag(&mut self) -> bool {
+        let name_start = self.pos + 2;
+        let mut i = name_start;
+        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-') {
+            i += 1;
+        }
+        if i == name_start {
+            return false; // "</>" or "</ x" — not a tag
+        }
+        let name = self.input[name_start..i].to_ascii_lowercase();
+        // Skip anything up to '>' (attributes on end tags are ignored).
+        while i < self.bytes.len() && self.bytes[i] != b'>' {
+            i += 1;
+        }
+        self.pos = (i + 1).min(self.bytes.len());
+        self.text_start = self.pos;
+        self.tokens.push(Token::EndTag { name });
+        true
+    }
+
+    fn consume_start_tag(&mut self) -> bool {
+        let name_start = self.pos + 1;
+        let mut i = name_start;
+        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-') {
+            i += 1;
+        }
+        let name = self.input[name_start..i].to_ascii_lowercase();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= self.bytes.len() {
+                break; // unterminated tag: close it at EOF
+            }
+            match self.bytes[i] {
+                b'>' => {
+                    i += 1;
+                    break;
+                }
+                b'/' => {
+                    // `/>` or a stray slash inside the tag.
+                    if i + 1 < self.bytes.len() && self.bytes[i + 1] == b'>' {
+                        self_closing = true;
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                _ => {
+                    if let Some((attr, next)) = self.consume_attr(i) {
+                        attrs.push(attr);
+                        i = next;
+                    } else {
+                        i += 1; // garbage byte inside tag: skip it
+                    }
+                }
+            }
+        }
+        self.pos = i;
+        self.text_start = self.pos;
+        // Raw-text elements: everything up to the matching close tag is text.
+        if name == "script" || name == "style" {
+            self.tokens.push(Token::StartTag { name: name.clone(), attrs, self_closing });
+            if !self_closing {
+                self.consume_raw_text(&name);
+            }
+        } else {
+            self.tokens.push(Token::StartTag { name, attrs, self_closing });
+        }
+        true
+    }
+
+    /// Consume raw text up to `</name`, emitting Text + EndTag.
+    fn consume_raw_text(&mut self, name: &str) {
+        let close = format!("</{name}");
+        let lower = self.input[self.pos..].to_ascii_lowercase();
+        match lower.find(&close) {
+            Some(rel) => {
+                let text_end = self.pos + rel;
+                if text_end > self.pos {
+                    self.tokens.push(Token::Text(self.input[self.pos..text_end].to_string()));
+                }
+                let after = self.input[text_end..].find('>').map(|p| text_end + p + 1).unwrap_or(self.bytes.len());
+                self.tokens.push(Token::EndTag { name: name.to_string() });
+                self.pos = after;
+            }
+            None => {
+                if self.pos < self.bytes.len() {
+                    self.tokens.push(Token::Text(self.input[self.pos..].to_string()));
+                }
+                self.tokens.push(Token::EndTag { name: name.to_string() });
+                self.pos = self.bytes.len();
+            }
+        }
+        self.text_start = self.pos;
+    }
+
+    /// Parse one `name[=value]` attribute starting at byte `i`.
+    fn consume_attr(&self, mut i: usize) -> Option<((String, String), usize)> {
+        let start = i;
+        while i < self.bytes.len() {
+            let b = self.bytes[i];
+            if b.is_ascii_whitespace() || b == b'=' || b == b'>' || b == b'/' {
+                break;
+            }
+            i += 1;
+        }
+        if i == start {
+            return None;
+        }
+        let name = self.input[start..i].to_ascii_lowercase();
+        while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= self.bytes.len() || self.bytes[i] != b'=' {
+            // Boolean attribute (e.g. `checked`, `selected`).
+            return Some(((name, String::new()), i));
+        }
+        i += 1;
+        while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= self.bytes.len() {
+            return Some(((name, String::new()), i));
+        }
+        let value = match self.bytes[i] {
+            q @ (b'"' | b'\'') => {
+                i += 1;
+                let vstart = i;
+                while i < self.bytes.len() && self.bytes[i] != q {
+                    i += 1;
+                }
+                let v = &self.input[vstart..i];
+                if i < self.bytes.len() {
+                    i += 1; // closing quote
+                }
+                v
+            }
+            _ => {
+                let vstart = i;
+                while i < self.bytes.len() {
+                    let b = self.bytes[i];
+                    if b.is_ascii_whitespace() || b == b'>' {
+                        break;
+                    }
+                    i += 1;
+                }
+                &self.input[vstart..i]
+            }
+        };
+        Some(((name, unescape(value)), i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.into(),
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        let toks = tokenize("<b>hello</b>");
+        assert_eq!(
+            toks,
+            vec![start("b", &[]), Token::Text("hello".into()), Token::EndTag { name: "b".into() }]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_and_unquoted() {
+        let toks = tokenize(r#"<a href="/x" class='c' id=main checked>"#);
+        assert_eq!(
+            toks,
+            vec![start("a", &[("href", "/x"), ("class", "c"), ("id", "main"), ("checked", "")])]
+        );
+    }
+
+    #[test]
+    fn self_closing() {
+        let toks = tokenize("<br/><img src=x />");
+        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
+        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
+    }
+
+    #[test]
+    fn lone_less_than_is_text() {
+        let toks = tokenize("price < 100 and > 50");
+        assert_eq!(toks, vec![Token::Text("price < 100 and > 50".into())]);
+    }
+
+    #[test]
+    fn comment_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- hi --><p>x");
+        assert_eq!(toks[0], Token::Doctype("DOCTYPE html".into()));
+        assert_eq!(toks[1], Token::Comment(" hi ".into()));
+        assert_eq!(toks[2], start("p", &[]));
+    }
+
+    #[test]
+    fn unterminated_comment_swallows_rest() {
+        let toks = tokenize("a<!-- never closed <p>x");
+        assert_eq!(toks[0], Token::Text("a".into()));
+        assert_eq!(toks[1], Token::Comment(" never closed <p>x".into()));
+    }
+
+    #[test]
+    fn unterminated_tag_closed_at_eof() {
+        let toks = tokenize("<a href=/x");
+        assert_eq!(toks, vec![start("a", &[("href", "/x")])]);
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attrs() {
+        let toks = tokenize(r#"<a title="a&amp;b">x &lt; y</a>"#);
+        assert_eq!(toks[0], start("a", &[("title", "a&b")]));
+        assert_eq!(toks[1], Token::Text("x < y".into()));
+    }
+
+    #[test]
+    fn script_contents_are_raw() {
+        let toks = tokenize("<script>if (a<b) { x(); }</script>done");
+        assert_eq!(toks[1], Token::Text("if (a<b) { x(); }".into()));
+        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(toks[3], Token::Text("done".into()));
+    }
+
+    #[test]
+    fn unterminated_script_closed_at_eof() {
+        let toks = tokenize("<script>var x = 1;");
+        assert_eq!(toks.last(), Some(&Token::EndTag { name: "script".into() }));
+    }
+
+    #[test]
+    fn end_tag_attrs_ignored() {
+        let toks = tokenize("</td class=x>");
+        assert_eq!(toks, vec![Token::EndTag { name: "td".into() }]);
+    }
+
+    #[test]
+    fn tag_names_lowercased() {
+        let toks = tokenize("<TABLE><TR></TR></TABLE>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "table"));
+        assert!(matches!(&toks[3], Token::EndTag { name } if name == "table"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn stray_end_bracket_is_text() {
+        let toks = tokenize("</>");
+        assert_eq!(toks, vec![Token::Text("</>".into())]);
+    }
+}

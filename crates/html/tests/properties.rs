@@ -1,0 +1,78 @@
+//! Property-based tests: the parser is total and recovery is stable.
+
+use proptest::prelude::*;
+use webbase_html::dom::NodeId;
+use webbase_html::{extract, parse};
+
+proptest! {
+    /// The parser never panics on arbitrary input and always yields a tree
+    /// whose traversal terminates.
+    #[test]
+    fn parse_is_total(input in ".{0,400}") {
+        let doc = parse(&input);
+        let n = doc.descendants(NodeId::ROOT).count();
+        prop_assert!(n <= doc.len());
+    }
+
+    /// Parsing the serialisation of a parse is a fixpoint (idempotent
+    /// recovery): parse(html(parse(x))) has the same serialisation as
+    /// parse(x). This is the property that makes map maintenance diffs
+    /// meaningful.
+    #[test]
+    fn reparse_is_fixpoint(input in "[a-z<>/= \"']{0,200}") {
+        let once = parse(&input).to_html();
+        let twice = parse(&once).to_html();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Extraction is total on arbitrary documents.
+    #[test]
+    fn extraction_is_total(input in ".{0,300}") {
+        let doc = parse(&input);
+        let _ = extract::links(&doc);
+        let _ = extract::forms(&doc);
+        let _ = extract::tables(&doc);
+    }
+
+    /// Text content survives escaping: for plain text (no markup
+    /// metacharacters), parse(text).text_content == normalised text.
+    #[test]
+    fn plain_text_preserved(text in "[a-zA-Z0-9 ,.$-]{0,100}") {
+        let doc = parse(&text);
+        prop_assert_eq!(
+            doc.text_content(NodeId::ROOT),
+            webbase_html::dom::normalize_ws(&text)
+        );
+    }
+
+    /// Every link extracted from a rendered anchor list matches its source.
+    #[test]
+    fn links_roundtrip(items in proptest::collection::vec(("[a-z]{1,10}", "[a-z/]{1,12}"), 0..8)) {
+        let mut html = String::from("<ul>");
+        for (text, href) in &items {
+            html.push_str(&format!("<li><a href=\"{href}\">{text}</a>"));
+        }
+        html.push_str("</ul>");
+        let doc = parse(&html);
+        let links = extract::links(&doc);
+        prop_assert_eq!(links.len(), items.len());
+        for (link, (text, href)) in links.iter().zip(&items) {
+            prop_assert_eq!(&link.text, text);
+            prop_assert_eq!(&link.href, href);
+        }
+    }
+
+    /// diff(p, p) is empty for any page — no false positives in map
+    /// maintenance.
+    #[test]
+    fn self_diff_is_empty(input in "[a-z<>/= \"']{0,250}") {
+        let doc = parse(&input);
+        prop_assert!(webbase_html::diff::diff_pages(&doc, &doc).is_empty());
+    }
+
+    /// escape/unescape round-trips arbitrary unicode text.
+    #[test]
+    fn escape_roundtrip(s in "\\PC{0,120}") {
+        prop_assert_eq!(webbase_html::escape::unescape(&webbase_html::escape::escape(&s)), s);
+    }
+}

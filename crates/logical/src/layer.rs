@@ -1,0 +1,214 @@
+//! The logical layer as a `RelationProvider`.
+//!
+//! [`LogicalLayer`] wraps a [`VpsCatalog`] and a set of
+//! [`LogicalRelation`] definitions. It answers schema/binding questions
+//! by *propagating* through the defining algebra (the §5 rules) and
+//! evaluates fetches by running the definition through the relational
+//! evaluator — which performs the binding-aware dependent joins against
+//! the VPS. Because the layer is itself a provider, the external-schema
+//! layer on top can treat logical relations exactly like base tables
+//! (the classical "layers all the way down" of Figure 1).
+
+use crate::schema::LogicalRelation;
+use webbase_relational::binding::{propagate, BindingSet};
+use webbase_relational::eval::{AccessSpec, EvalError, Evaluator, RelationProvider};
+use webbase_relational::{Relation, Schema};
+use webbase_vps::VpsCatalog;
+
+/// The logical layer: definitions + the VPS beneath them.
+pub struct LogicalLayer {
+    pub vps: VpsCatalog,
+    relations: Vec<LogicalRelation>,
+    relaxed_union: bool,
+}
+
+impl LogicalLayer {
+    pub fn new(vps: VpsCatalog, relations: Vec<LogicalRelation>) -> LogicalLayer {
+        LogicalLayer { vps, relations, relaxed_union: false }
+    }
+
+    /// Accept partial answers from unions with un-invocable sides (the
+    /// paper's relaxed union).
+    pub fn with_relaxed_union(mut self, relaxed: bool) -> LogicalLayer {
+        self.relaxed_union = relaxed;
+        self
+    }
+
+    pub fn relations(&self) -> &[LogicalRelation] {
+        &self.relations
+    }
+
+    pub fn relation(&self, name: &str) -> Option<&LogicalRelation> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+
+    /// The §5 binding-propagation report: every logical relation with
+    /// its derived minimal bindings (the paper's `classifieds → {Make}`
+    /// example).
+    pub fn binding_report(&self) -> String {
+        let mut out = String::from("Binding propagation (logical layer)\n");
+        for r in &self.relations {
+            let b = self.bindings(&r.name).unwrap_or_else(BindingSet::unsatisfiable);
+            out.push_str(&format!("  {}: {}\n", r.name, b));
+        }
+        out
+    }
+}
+
+impl RelationProvider for LogicalLayer {
+    fn schema(&self, name: &str) -> Option<Schema> {
+        let def = &self.relation(name)?.def;
+        def.schema(&|n| self.vps.schema(n))
+    }
+
+    fn bindings(&self, name: &str) -> Option<BindingSet> {
+        let def = &self.relation(name)?.def;
+        Some(propagate(
+            def,
+            &|n| self.vps.bindings(n),
+            &|n| self.vps.schema(n),
+            self.relaxed_union,
+        ))
+    }
+
+    fn fetch(&mut self, name: &str, spec: &AccessSpec) -> Result<Relation, EvalError> {
+        let def = self
+            .relation(name)
+            .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?
+            .def
+            .clone();
+        let relaxed = self.relaxed_union;
+        Evaluator::new(&mut self.vps).with_relaxed_union(relaxed).eval(&def, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::paper_schema;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+    use webbase_navigation::recorder::Recorder;
+    use webbase_navigation::sessions;
+    use webbase_relational::prelude::*;
+    use webbase_webworld::prelude::*;
+
+    fn layer() -> (LogicalLayer, Arc<Dataset>) {
+        let data = Dataset::generate(5, 600);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let mut cat = VpsCatalog::new();
+        for (host, session) in sessions::all_sessions(&data) {
+            let (map, _) = Recorder::record(web.clone(), host, &session).expect("records");
+            cat.add_map(web.clone(), map);
+        }
+        (LogicalLayer::new(cat, paper_schema()), data)
+    }
+
+    #[test]
+    fn classifieds_binding_is_make_only() {
+        // The §5 worked example: {Make} is the only minimal binding.
+        let (layer, _) = layer();
+        let b = layer.bindings("classifieds").expect("bindings");
+        let make: BTreeSet<Attr> = [Attr::new("make")].into();
+        assert!(b.satisfied_by(&make), "classifieds bindings: {b}");
+        assert_eq!(b.bindings().len(), 1, "{b}");
+        assert_eq!(b.bindings()[0], make);
+    }
+
+    #[test]
+    fn all_relations_have_schemas_and_bindings() {
+        let (layer, _) = layer();
+        for r in layer.relations() {
+            let s = layer.schema(&r.name).unwrap_or_else(|| panic!("{} has no schema", r.name));
+            assert!(!s.is_empty());
+            let b = layer.bindings(&r.name).unwrap_or_else(|| panic!("{}: no bindings", r.name));
+            assert!(!b.is_unsatisfiable(), "{}: unsatisfiable", r.name);
+        }
+    }
+
+    #[test]
+    fn classifieds_site_independence() {
+        // Tuples from three sites arrive in one relation, and nothing in
+        // the result says where each came from.
+        let (mut layer, data) = layer();
+        let rel = layer
+            .fetch("classifieds", &AccessSpec::new().with("make", "ford"))
+            .expect("fetches");
+        let mut expected: usize = 0;
+        expected += data.matching(SiteSlice::Newsday, Some("ford"), None).len();
+        expected += data.matching(SiteSlice::NyTimes, Some("ford"), None).len();
+        expected += data.matching(SiteSlice::NewYorkDaily, Some("ford"), None).len();
+        assert_eq!(rel.len(), expected, "slices are disjoint, so union = sum");
+        assert_eq!(
+            rel.schema(),
+            &Schema::new(["make", "model", "year", "price", "contact", "features"])
+        );
+    }
+
+    #[test]
+    fn blue_price_needs_full_binding() {
+        let (mut layer, _) = layer();
+        let err = layer
+            .fetch("blue_price", &AccessSpec::new().with("make", "ford"))
+            .expect_err("kellys needs make+model+condition");
+        assert!(matches!(err, EvalError::UnboundAccess { .. }));
+        let ok = layer
+            .fetch(
+                "blue_price",
+                &AccessSpec::new()
+                    .with("make", "ford")
+                    .with("model", "escort")
+                    .with("condition", "good")
+                    .with("pricetype", "retail"),
+            )
+            .expect("fetches");
+        assert_eq!(ok.len(), 11);
+    }
+
+    #[test]
+    fn reliability_and_interest() {
+        let (mut layer, _) = layer();
+        let rel = layer
+            .fetch(
+                "reliability",
+                &AccessSpec::new().with("make", "jaguar").with("model", "xj6"),
+            )
+            .expect("fetches");
+        assert_eq!(rel.len(), 12); // years 1988..=1999
+        let rate = layer
+            .fetch(
+                "interest",
+                &AccessSpec::new()
+                    .with("zip", "10001")
+                    .with("duration", Value::Int(36))
+                    .with("plan", "loan"),
+            )
+            .expect("fetches");
+        assert_eq!(rate.len(), 1);
+    }
+
+    #[test]
+    fn queries_compose_over_logical_relations() {
+        // classifieds ⋈ reliability: safety ratings joined onto ads.
+        let (mut layer, _) = layer();
+        let e = Expr::relation("classifieds")
+            .join(Expr::relation("reliability"))
+            .select(Pred::and(vec![
+                Pred::eq("make", "jaguar"),
+                Pred::eq("model", "xj6"),
+            ]))
+            .project(["make", "model", "year", "price", "safety"]);
+        let rel = Evaluator::new(&mut layer).eval(&e, &AccessSpec::new()).expect("evals");
+        // every ad row gained a safety rating
+        let sidx = rel.schema().index_of(&"safety".into()).expect("safety");
+        assert!(rel.tuples().iter().all(|t| !t.get(sidx).is_null()));
+    }
+
+    #[test]
+    fn binding_report_renders() {
+        let (layer, _) = layer();
+        let report = layer.binding_report();
+        assert!(report.contains("classifieds: {make}"), "{report}");
+        assert!(report.contains("blue_price: {condition, make, model, pricetype}"), "{report}");
+    }
+}

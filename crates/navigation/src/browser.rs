@@ -1,0 +1,403 @@
+//! A browser session over the simulated Web.
+//!
+//! The designer's browsing (mapping by example) and the query-time
+//! navigation executor both drive this session: load a page, follow a
+//! link by its text, fill out and submit a form. Every loaded page is
+//! parsed once and kept with its extracted links and forms.
+//!
+//! The session carries a **fetch cache** keyed by the canonical request;
+//! backtracking in the Transaction F-logic interpreter re-executes
+//! navigation prefixes, and the cache keeps those re-executions from
+//! touching the (simulated) network — the paper relies on the same
+//! idempotence when it re-runs navigation expressions.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+use webbase_html::extract::{self, Form, Link, WidgetKind};
+use webbase_html::Document;
+use webbase_webworld::prelude::*;
+
+/// A fetched-and-parsed page.
+#[derive(Debug)]
+pub struct LoadedPage {
+    pub url: Url,
+    pub doc: Document,
+    pub title: String,
+    pub links: Vec<Link>,
+    pub forms: Vec<Form>,
+}
+
+impl LoadedPage {
+    fn from_response(url: Url, resp: &Response) -> LoadedPage {
+        let doc = webbase_html::parse(resp.html());
+        let title = doc.title().unwrap_or_default();
+        let links = extract::links(&doc);
+        let forms = extract::forms(&doc);
+        LoadedPage { url, doc, title, links, forms }
+    }
+
+    /// Structural signature for map-node identity: URL path (digit runs
+    /// generalised) plus the page's *stable* structure — its forms and
+    /// data layouts. Links are deliberately excluded: they vary with
+    /// content ("More" on all but the last result page, one detail link
+    /// per row), and would fragment one logical page schema into many
+    /// nodes.
+    pub fn signature(&self) -> String {
+        let path = generalize_path(&self.url.path);
+        let mut parts: Vec<String> =
+            self.forms.iter().map(|f| format!("form:{}", f.action)).collect();
+        for t in extract::tables(&self.doc) {
+            if !t.header.is_empty() {
+                parts.push(format!("table:{}", t.header.join("/")));
+            }
+        }
+        let mut dt_labels: Vec<String> = self
+            .doc
+            .elements_by_tag("dt")
+            .map(|id| self.doc.text_content(id))
+            .collect();
+        dt_labels.sort();
+        dt_labels.dedup();
+        if !dt_labels.is_empty() {
+            parts.push(format!("dl:{}", dt_labels.join("/")));
+        }
+        parts.sort();
+        parts.dedup();
+        format!("{path}|{}", parts.join(","))
+    }
+
+    pub fn form_by_action(&self, action: &str) -> Option<&Form> {
+        self.forms.iter().find(|f| f.action == action)
+    }
+
+    pub fn link_by_text(&self, text: &str) -> Option<&Link> {
+        self.links.iter().find(|l| l.text == text)
+    }
+}
+
+/// Replace digit runs in a path with `*` so `/car/17` and `/car/90210`
+/// share a node.
+pub fn generalize_path(path: &str) -> String {
+    let mut out = String::with_capacity(path.len());
+    let mut in_digits = false;
+    for c in path.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('*');
+                in_digits = true;
+            }
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Browser errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrowseError {
+    NoCurrentPage,
+    NoSuchLink(String),
+    NoSuchForm(String),
+    HttpError { url: String, status: u16 },
+    /// A value was supplied for a select/radio field outside its domain.
+    ValueOutsideDomain { field: String, value: String },
+}
+
+impl fmt::Display for BrowseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrowseError::NoCurrentPage => write!(f, "no page loaded"),
+            BrowseError::NoSuchLink(t) => write!(f, "no link named {t:?} on page"),
+            BrowseError::NoSuchForm(a) => write!(f, "no form with action {a:?} on page"),
+            BrowseError::HttpError { url, status } => write!(f, "HTTP {status} fetching {url}"),
+            BrowseError::ValueOutsideDomain { field, value } => {
+                write!(f, "value {value:?} outside the domain of field {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrowseError {}
+
+/// A browsing session: current page + fetch cache + statistics.
+pub struct Browser {
+    web: SyntheticWeb,
+    current: Option<Rc<LoadedPage>>,
+    cache: HashMap<Request, Rc<LoadedPage>>,
+    /// Pages fetched from the network (cache misses).
+    pub fetches: u32,
+    /// Cache hits.
+    pub cache_hits: u32,
+    /// Simulated network time accumulated over misses.
+    pub simulated_network: Duration,
+    /// Whether to use the cache (ablation benchmarks disable it).
+    pub caching: bool,
+}
+
+impl Browser {
+    pub fn new(web: SyntheticWeb) -> Browser {
+        Browser {
+            web,
+            current: None,
+            cache: HashMap::new(),
+            fetches: 0,
+            cache_hits: 0,
+            simulated_network: Duration::ZERO,
+            caching: true,
+        }
+    }
+
+    pub fn without_cache(web: SyntheticWeb) -> Browser {
+        let mut b = Browser::new(web);
+        b.caching = false;
+        b
+    }
+
+    pub fn current(&self) -> Option<&Rc<LoadedPage>> {
+        self.current.as_ref()
+    }
+
+    /// A handle to the underlying Web.
+    pub fn web(&self) -> SyntheticWeb {
+        self.web.clone()
+    }
+
+    /// Make a previously loaded page current again without a fetch
+    /// (browser Back).
+    pub fn restore(&mut self, page: Rc<LoadedPage>) {
+        self.current = Some(page);
+    }
+
+    fn request(&mut self, req: Request) -> Result<Rc<LoadedPage>, BrowseError> {
+        if self.caching {
+            if let Some(page) = self.cache.get(&req) {
+                self.cache_hits += 1;
+                return Ok(page.clone());
+            }
+        }
+        let (resp, latency) = self.web.fetch(&req);
+        self.fetches += 1;
+        self.simulated_network += latency;
+        if !resp.is_ok() {
+            return Err(BrowseError::HttpError { url: req.url.to_string(), status: resp.status });
+        }
+        let page = Rc::new(LoadedPage::from_response(req.url.clone(), &resp));
+        if self.caching {
+            self.cache.insert(req, page.clone());
+        }
+        Ok(page)
+    }
+
+    /// Load an absolute URL.
+    pub fn goto(&mut self, url: Url) -> Result<Rc<LoadedPage>, BrowseError> {
+        let page = self.request(Request::get(url))?;
+        self.current = Some(page.clone());
+        Ok(page)
+    }
+
+    /// Follow the link with the given anchor text on the current page.
+    pub fn follow_link(&mut self, text: &str) -> Result<Rc<LoadedPage>, BrowseError> {
+        let current = self.current.clone().ok_or(BrowseError::NoCurrentPage)?;
+        let link = current
+            .link_by_text(text)
+            .ok_or_else(|| BrowseError::NoSuchLink(text.to_string()))?;
+        let target = current.url.resolve(&link.href);
+        let page = self.request(Request::get(target))?;
+        self.current = Some(page.clone());
+        Ok(page)
+    }
+
+    /// Follow a link on a *given* page (not necessarily current) — used
+    /// by the executor, whose "current page" is a logic variable.
+    pub fn follow_on(
+        &mut self,
+        page: &LoadedPage,
+        href: &str,
+    ) -> Result<Rc<LoadedPage>, BrowseError> {
+        let target = page.url.resolve(href);
+        let loaded = self.request(Request::get(target))?;
+        self.current = Some(loaded.clone());
+        Ok(loaded)
+    }
+
+    /// Fill out and submit the form with the given action on `page`.
+    /// `values` are (field name, value) pairs for settable fields;
+    /// hidden fields are submitted automatically; fields with finite
+    /// domains reject out-of-domain values (a browser would not let you
+    /// type into a select).
+    pub fn submit_on(
+        &mut self,
+        page: &LoadedPage,
+        form_action: &str,
+        values: &[(String, String)],
+    ) -> Result<Rc<LoadedPage>, BrowseError> {
+        let form = page
+            .form_by_action(form_action)
+            .ok_or_else(|| BrowseError::NoSuchForm(form_action.to_string()))?;
+        let mut params: Vec<(String, String)> = Vec::new();
+        for f in form.data_fields() {
+            match &f.kind {
+                WidgetKind::Hidden => {
+                    params.push((f.name.clone(), f.default.clone().unwrap_or_default()));
+                }
+                kind => {
+                    if let Some((_, v)) = values.iter().find(|(n, _)| *n == f.name) {
+                        if let Some(domain) = kind.domain() {
+                            if !domain.contains(v) && !v.is_empty() {
+                                return Err(BrowseError::ValueOutsideDomain {
+                                    field: f.name.clone(),
+                                    value: v.clone(),
+                                });
+                            }
+                        }
+                        if !v.is_empty() {
+                            params.push((f.name.clone(), v.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        let target = page.url.resolve(&form.action);
+        let req = if form.method == "post" {
+            Request::post(target, params)
+        } else {
+            Request::get(target.with_query(params))
+        };
+        let loaded = self.request(req)?;
+        self.current = Some(loaded.clone());
+        Ok(loaded)
+    }
+
+    /// Submit the form with the given action on the *current* page.
+    pub fn submit_form(
+        &mut self,
+        form_action: &str,
+        values: &[(String, String)],
+    ) -> Result<Rc<LoadedPage>, BrowseError> {
+        let current = self.current.clone().ok_or(BrowseError::NoCurrentPage)?;
+        self.submit_on(&current, form_action, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_webworld::data::Dataset;
+
+    fn web() -> SyntheticWeb {
+        standard_web(Dataset::generate(5, 400), LatencyModel::lan())
+    }
+
+    fn newsday_home() -> Url {
+        Url::parse("http://www.newsday.com/").expect("valid url")
+    }
+
+    #[test]
+    fn browse_newsday_chain() {
+        let mut b = Browser::new(web());
+        b.goto(newsday_home()).expect("home loads");
+        b.follow_link("Automobiles").expect("auto hub");
+        let ucp = b.follow_link("Used Cars").expect("used car page");
+        assert_eq!(ucp.forms.len(), 1);
+        let result = b
+            .submit_form("/cgi-bin/nclassy", &[("make".into(), "ford".into())])
+            .expect("form submits");
+        // ford is popular → refine page (form f2) or data page
+        assert!(!result.forms.is_empty() || !extract::tables(&result.doc).is_empty());
+    }
+
+    #[test]
+    fn missing_link_and_form_errors() {
+        let mut b = Browser::new(web());
+        assert!(matches!(b.follow_link("x"), Err(BrowseError::NoCurrentPage)));
+        b.goto(newsday_home()).expect("home loads");
+        assert!(matches!(b.follow_link("No Such Link"), Err(BrowseError::NoSuchLink(_))));
+        assert!(matches!(
+            b.submit_form("/nope", &[]),
+            Err(BrowseError::NoSuchForm(_))
+        ));
+    }
+
+    #[test]
+    fn select_domain_enforced() {
+        let mut b = Browser::new(web());
+        b.goto(newsday_home()).expect("home");
+        b.follow_link("Automobiles").expect("hub");
+        b.follow_link("Used Cars").expect("ucp");
+        let err = b
+            .submit_form("/cgi-bin/nclassy", &[("make".into(), "zeppelin".into())])
+            .expect_err("domain violation");
+        assert!(matches!(err, BrowseError::ValueOutsideDomain { .. }));
+    }
+
+    #[test]
+    fn cache_serves_repeat_requests() {
+        let mut b = Browser::new(web());
+        b.goto(newsday_home()).expect("home");
+        b.goto(newsday_home()).expect("home again");
+        assert_eq!(b.fetches, 1);
+        assert_eq!(b.cache_hits, 1);
+        let mut nb = Browser::without_cache(web());
+        nb.goto(newsday_home()).expect("home");
+        nb.goto(newsday_home()).expect("home again");
+        assert_eq!(nb.fetches, 2);
+    }
+
+    #[test]
+    fn signature_generalises_ids() {
+        assert_eq!(generalize_path("/car/123"), "/car/*");
+        assert_eq!(generalize_path("/cars/ford"), "/cars/ford");
+        assert_eq!(generalize_path("/a1b22c"), "/a*b*c");
+    }
+
+    #[test]
+    fn http_errors_surface() {
+        let mut b = Browser::new(web());
+        let err = b
+            .goto(Url::parse("http://www.newsday.com/nonexistent").expect("valid"))
+            .expect_err("404");
+        assert!(matches!(err, BrowseError::HttpError { status: 404, .. }));
+    }
+
+    #[test]
+    fn hidden_fields_submitted_automatically() {
+        let mut b = Browser::new(web());
+        // Reach the kellys condition page, whose form carries make/model
+        // as hidden fields.
+        b.goto(Url::parse("http://www.kbb.com/condition?make=ford&model=escort").expect("valid"))
+            .expect("condition page");
+        let page = b
+            .submit_form(
+                "/cgi-bin/bb",
+                &[("condition".into(), "good".into()), ("pricetype".into(), "retail".into())],
+            )
+            .expect("submit with hidden fields");
+        let tables = extract::tables(&page.doc);
+        assert!(!tables.is_empty(), "price page is a data page");
+        assert_eq!(tables[0].rows[0][0], "ford");
+    }
+
+    #[test]
+    fn empty_values_treated_as_unset() {
+        let mut b = Browser::new(web());
+        b.goto(Url::parse("http://www.kbb.com/condition?make=ford&model=escort").expect("valid"))
+            .expect("page");
+        // Year "" (the any option) must not be submitted, and must not
+        // trip the domain check.
+        let page = b
+            .submit_form(
+                "/cgi-bin/bb",
+                &[
+                    ("condition".into(), "good".into()),
+                    ("pricetype".into(), "retail".into()),
+                    ("year".into(), String::new()),
+                ],
+            )
+            .expect("submits");
+        assert!(extract::tables(&page.doc)[0].rows.len() > 1, "all years returned");
+    }
+}

@@ -1,0 +1,728 @@
+//! Execution of compiled navigation programs.
+//!
+//! "Navigation expressions are processed by the Transaction F-logic
+//! interpreter … On top of XSB, we use the HTTP library … to follow
+//! links, submit forms and retrieve documents from the Web."
+//!
+//! Here the interpreter is [`webbase_flogic::Machine`] and the HTTP
+//! library is a [`Browser`] session over the simulated Web. The bridge
+//! is [`NavOracle`]: when a page loads it asserts the page's F-logic
+//! objects into the interpreter's store (class memberships, `actions`,
+//! link `name`s, form `cgi`s) so the compiled rules can *pattern-match
+//! on the Web* — and it implements the action builtins:
+//!
+//! * `fetch_entry(site, P)` — load a site's entry page;
+//! * `doit(A, params(...), P′)` — execute action object `A` (follow the
+//!   link / fill out and submit the form) and bind the resulting page;
+//! * `doit_value(P, set, V, P′)` — follow the link of a link-defined
+//!   attribute whose value is `V` (enumerates the set when `V` is
+//!   unbound);
+//! * `collect(P, spec, t(...))` — run a data page's extraction script,
+//!   one solution per tuple.
+//!
+//! Oracle effects on the store are rolled back on backtracking (the
+//! Transaction-Logic semantics); the fetches themselves are served from
+//! the browser's cache on re-execution.
+
+use crate::browser::{Browser, LoadedPage};
+use crate::compile::{compile_map, CompiledRelation, CompiledSite};
+use crate::extractor::ExtractionSpec;
+use crate::map::{NavigationMap, NodeKind};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+use webbase_flogic::oracle::{Oracle, OracleOutcome};
+use webbase_flogic::store::ObjectStore;
+use webbase_flogic::term::{Sym, Term};
+use webbase_flogic::unify::Bindings;
+use webbase_flogic::{Machine, Program};
+use webbase_relational::Value;
+use webbase_webworld::prelude::*;
+
+/// A concrete, executable action attached to an asserted action object.
+#[derive(Debug, Clone)]
+enum ConcreteAction {
+    Follow { page: usize, href: String },
+    Submit { page: usize, cgi: String },
+}
+
+/// The oracle: browser + page/action registries + extraction specs.
+pub struct NavOracle {
+    browser: Browser,
+    pages: Vec<Rc<LoadedPage>>,
+    /// Loaded-page identity → page index (so backtracked re-executions
+    /// reuse oids). Keyed by the `Rc` pointer: the browser cache returns
+    /// the *same* `Rc` for the same request, and distinct requests —
+    /// including POSTs to one URL with different form parameters — get
+    /// distinct pages. (A URL key would conflate those POSTs.)
+    page_ids: HashMap<usize, usize>,
+    actions: HashMap<Sym, ConcreteAction>,
+    specs: HashMap<String, ExtractionSpec>,
+    value_link_sets: HashMap<String, Vec<(String, String)>>,
+    entries: HashMap<String, Url>,
+}
+
+impl NavOracle {
+    pub fn new(web: SyntheticWeb, caching: bool) -> NavOracle {
+        let entries: HashMap<String, Url> = web
+            .hosts()
+            .into_iter()
+            .filter_map(|h| web.entry(&h).map(|u| (h, u)))
+            .collect();
+        let browser = if caching { Browser::new(web) } else { Browser::without_cache(web) };
+        NavOracle {
+            browser,
+            pages: Vec::new(),
+            page_ids: HashMap::new(),
+            actions: HashMap::new(),
+            specs: HashMap::new(),
+            value_link_sets: HashMap::new(),
+            entries,
+        }
+    }
+
+    pub fn register_spec(&mut self, id: &str, spec: ExtractionSpec) {
+        self.specs.insert(id.to_string(), spec);
+    }
+
+    pub fn register_value_links(&mut self, id: &str, choices: Vec<(String, String)>) {
+        self.value_link_sets.insert(id.to_string(), choices);
+    }
+
+    pub fn fetches(&self) -> u32 {
+        self.browser.fetches
+    }
+
+    pub fn cache_hits(&self) -> u32 {
+        self.browser.cache_hits
+    }
+
+    pub fn simulated_network(&self) -> Duration {
+        self.browser.simulated_network
+    }
+
+    /// The Web this oracle browses.
+    pub fn web(&self) -> SyntheticWeb {
+        self.browser.web()
+    }
+
+    /// Register (or find) a page, asserting its F-logic objects.
+    fn intern_page(&mut self, page: Rc<LoadedPage>, store: &mut ObjectStore) -> Term {
+        let key = Rc::as_ptr(&page) as usize;
+        let idx = match self.page_ids.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = self.pages.len();
+                self.pages.push(page.clone());
+                self.page_ids.insert(key, i);
+                i
+            }
+        };
+        let oid = Term::atom(&format!("pg{idx}"));
+        // (Re-)assert the page's molecules. Idempotent inserts make
+        // re-assertion after backtracking safe.
+        store.insert_isa(oid.clone(), Sym::new("web_page"));
+        if self.specs.values().any(|s| s.matches(&page.doc)) {
+            store.insert_isa(oid.clone(), Sym::new("data_page"));
+        }
+        store.insert_scalar(oid.clone(), Sym::new("address"), Term::str(page.url.to_string()));
+        store.insert_scalar(oid.clone(), Sym::new("title"), Term::str(page.title.clone()));
+        for (k, link) in page.links.iter().enumerate() {
+            let a = Term::atom(&format!("act_pg{idx}_l{k}"));
+            store.insert_isa(a.clone(), Sym::new("link_follow"));
+            store.insert_scalar(a.clone(), Sym::new("name"), Term::atom(&link.text));
+            // Absolute target address — what the paper's expression
+            // `link(name -> 'Car Features', address -> Url)` unifies
+            // against, and what the `@url` extraction pseudo-source
+            // produces for the page itself.
+            let address = page.url.resolve(&link.href).to_string();
+            store.insert_scalar(a.clone(), Sym::new("address"), Term::Str(address));
+            store.insert_scalar(a.clone(), Sym::new("source"), oid.clone());
+            store.insert_setval(oid.clone(), Sym::new("actions"), a.clone());
+            self.actions.insert(
+                term_sym(&a),
+                ConcreteAction::Follow { page: idx, href: link.href.clone() },
+            );
+        }
+        for (k, form) in page.forms.iter().enumerate() {
+            let a = Term::atom(&format!("act_pg{idx}_f{k}"));
+            store.insert_isa(a.clone(), Sym::new("form_submit"));
+            store.insert_scalar(a.clone(), Sym::new("cgi"), Term::atom(&form.action));
+            store.insert_scalar(a.clone(), Sym::new("source"), oid.clone());
+            store.insert_setval(oid.clone(), Sym::new("actions"), a.clone());
+            self.actions.insert(
+                term_sym(&a),
+                ConcreteAction::Submit { page: idx, cgi: form.action.clone() },
+            );
+        }
+        oid
+    }
+
+    fn page_of(&self, term: &Term) -> Option<Rc<LoadedPage>> {
+        let Term::Atom(s) = term else { return None };
+        let name = s.name();
+        let idx: usize = name.strip_prefix("pg")?.parse().ok()?;
+        self.pages.get(idx).cloned()
+    }
+
+    fn builtin_fetch_entry(&mut self, args: &[Term], store: &mut ObjectStore) -> OracleOutcome {
+        let site = match &args[0] {
+            Term::Str(s) => s.clone(),
+            Term::Atom(a) => a.name(),
+            _ => return OracleOutcome::Fail,
+        };
+        let Some(url) = self.entries.get(&site).cloned() else {
+            return OracleOutcome::Fail;
+        };
+        match self.browser.goto(url) {
+            Ok(page) => {
+                let oid = self.intern_page(page, store);
+                OracleOutcome::Solutions(vec![vec![args[0].clone(), oid]])
+            }
+            Err(_) => OracleOutcome::Fail,
+        }
+    }
+
+    /// `goto_url(Url, P)` — dereference a bound page address directly
+    /// (the invocation mode of handles whose mandatory attribute is the
+    /// page URL, like `newsdayCarFeatures`).
+    fn builtin_goto_url(&mut self, args: &[Term], store: &mut ObjectStore) -> OracleOutcome {
+        let Term::Str(url_str) = &args[0] else {
+            // Unbound or non-string address: this invocation mode needs
+            // the URL supplied.
+            return OracleOutcome::Fail;
+        };
+        let Some(url) = Url::parse(url_str) else { return OracleOutcome::Fail };
+        match self.browser.goto(url) {
+            Ok(page) => {
+                let oid = self.intern_page(page, store);
+                OracleOutcome::Solutions(vec![vec![args[0].clone(), oid]])
+            }
+            Err(_) => OracleOutcome::Fail,
+        }
+    }
+
+    fn builtin_doit(&mut self, args: &[Term], store: &mut ObjectStore) -> OracleOutcome {
+        let Term::Atom(action_sym) = &args[0] else { return OracleOutcome::Fail };
+        let Some(concrete) = self.actions.get(action_sym).cloned() else {
+            return OracleOutcome::Fail;
+        };
+        let result = match concrete {
+            ConcreteAction::Follow { page, href } => {
+                let page = self.pages[page].clone();
+                self.browser.follow_on(&page, &href)
+            }
+            ConcreteAction::Submit { page, cgi } => {
+                let page = self.pages[page].clone();
+                let values = params_to_values(&args[1]);
+                // Fail fast when a widget-inferred mandatory field is
+                // left unbound — the site would refuse anyway.
+                if let Some(form) = page.form_by_action(&cgi) {
+                    for name in form.inferred_mandatory_fields() {
+                        let supplied = values.iter().any(|(n, v)| n == name && !v.is_empty());
+                        let has_default = form
+                            .field(name)
+                            .is_some_and(|f| f.default.as_deref().is_some_and(|d| !d.is_empty()));
+                        if !supplied && !has_default {
+                            return OracleOutcome::Fail;
+                        }
+                    }
+                }
+                self.browser.submit_on(&page, &cgi, &values)
+            }
+        };
+        match result {
+            Ok(next) => {
+                let oid = self.intern_page(next, store);
+                OracleOutcome::Solutions(vec![vec![args[0].clone(), args[1].clone(), oid]])
+            }
+            Err(_) => OracleOutcome::Fail,
+        }
+    }
+
+    fn builtin_doit_value(&mut self, args: &[Term], store: &mut ObjectStore) -> OracleOutcome {
+        let Some(page) = self.page_of(&args[0]) else { return OracleOutcome::Fail };
+        let Term::Atom(set_sym) = &args[1] else { return OracleOutcome::Fail };
+        let Some(choices) = self.value_link_sets.get(&set_sym.name()).cloned() else {
+            return OracleOutcome::Fail;
+        };
+        // Bound value → one choice; unbound → enumerate them all.
+        let selected: Vec<(String, String)> = match &args[2] {
+            Term::Str(v) => {
+                let v = v.to_lowercase();
+                choices.into_iter().filter(|(val, _)| *val == v).collect()
+            }
+            Term::Atom(a) => {
+                let v = a.name().to_lowercase();
+                choices.into_iter().filter(|(val, _)| *val == v).collect()
+            }
+            Term::Var(_) => choices,
+            _ => return OracleOutcome::Fail,
+        };
+        let mut solutions = Vec::new();
+        for (value, href) in selected {
+            if let Ok(next) = self.browser.follow_on(&page, &href) {
+                let oid = self.intern_page(next, store);
+                solutions.push(vec![
+                    args[0].clone(),
+                    args[1].clone(),
+                    Term::str(value),
+                    oid,
+                ]);
+            }
+        }
+        if solutions.is_empty() {
+            OracleOutcome::Fail
+        } else {
+            OracleOutcome::Solutions(solutions)
+        }
+    }
+
+    fn builtin_collect(&mut self, args: &[Term]) -> OracleOutcome {
+        let Some(page) = self.page_of(&args[0]) else { return OracleOutcome::Fail };
+        let Term::Atom(spec_sym) = &args[1] else { return OracleOutcome::Fail };
+        let Some(spec) = self.specs.get(&spec_sym.name()) else {
+            return OracleOutcome::Fail;
+        };
+        let url = page.url.to_string();
+        let records = spec.extract(&page.doc, &url);
+        let attrs = spec.attrs();
+        let solutions: Vec<Vec<Term>> = records
+            .iter()
+            .map(|rec| {
+                let tuple_args: Vec<Term> = attrs
+                    .iter()
+                    .map(|a| value_to_term(rec.get(a).unwrap_or(&Value::Null)))
+                    .collect();
+                vec![
+                    args[0].clone(),
+                    args[1].clone(),
+                    Term::Compound(Sym::new("t"), tuple_args),
+                ]
+            })
+            .collect();
+        OracleOutcome::Solutions(solutions)
+    }
+}
+
+impl Oracle for NavOracle {
+    fn call(
+        &mut self,
+        pred: Sym,
+        args: &[Term],
+        store: &mut ObjectStore,
+        _bindings: &Bindings,
+    ) -> OracleOutcome {
+        match (pred.name().as_str(), args.len()) {
+            ("fetch_entry", 2) => self.builtin_fetch_entry(args, store),
+            ("goto_url", 2) => self.builtin_goto_url(args, store),
+            ("doit", 3) => self.builtin_doit(args, store),
+            ("doit_value", 4) => self.builtin_doit_value(args, store),
+            ("collect", 3) => self.builtin_collect(args),
+            _ => OracleOutcome::NotMine,
+        }
+    }
+}
+
+/// `params` / `params(pair(name, V), …)` → submission values; unbound
+/// pairs are dropped (optional fields left blank).
+fn params_to_values(t: &Term) -> Vec<(String, String)> {
+    let Term::Compound(_, pairs) = t else { return Vec::new() };
+    pairs
+        .iter()
+        .filter_map(|p| match p {
+            Term::Compound(f, kv) if f.name() == "pair" && kv.len() == 2 => {
+                let name = match &kv[0] {
+                    Term::Atom(a) => a.name(),
+                    Term::Str(s) => s.clone(),
+                    _ => return None,
+                };
+                let value = term_to_submit_value(&kv[1])?;
+                Some((name, value))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn term_to_submit_value(t: &Term) -> Option<String> {
+    match t {
+        Term::Str(s) => Some(s.clone()),
+        Term::Atom(a) => Some(a.name()),
+        Term::Int(i) => Some(i.to_string()),
+        Term::Float(f) => Some(f.to_string()),
+        Term::Var(_) => None, // unbound: leave the field blank
+        Term::Compound(..) => None,
+    }
+}
+
+/// Relational value → logic term.
+pub fn value_to_term(v: &Value) -> Term {
+    match v {
+        Value::Str(s) => Term::Str(s.clone()),
+        Value::Int(i) => Term::Int(*i),
+        Value::Float(f) => Term::Float(*f),
+        Value::Bool(b) => Term::atom(if *b { "true" } else { "false" }),
+        Value::Null => Term::atom("null"),
+    }
+}
+
+/// Logic term → relational value.
+pub fn term_to_value(t: &Term) -> Value {
+    match t {
+        Term::Str(s) => Value::Str(s.clone()),
+        Term::Int(i) => Value::Int(*i),
+        Term::Float(f) => Value::Float(*f),
+        Term::Atom(a) if a.name() == "null" => Value::Null,
+        Term::Atom(a) => Value::Str(a.name()),
+        Term::Var(_) | Term::Compound(..) => Value::Null,
+    }
+}
+
+fn term_sym(t: &Term) -> Sym {
+    match t {
+        Term::Atom(s) => *s,
+        other => unreachable!("expected atom oid, got {other:?}"),
+    }
+}
+
+/// Statistics of one navigation-program execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Pages fetched from the network.
+    pub pages_fetched: u32,
+    /// Cache hits during backtracking.
+    pub cache_hits: u32,
+    /// Simulated network time.
+    pub network: Duration,
+    /// Real CPU time spent in the interpreter.
+    pub cpu: Duration,
+}
+
+/// A site's compiled navigation programs, ready to execute.
+///
+/// The navigator keeps one long-lived [`NavOracle`] whose browser cache
+/// persists across `run_relation` calls — so a dependent join that
+/// invokes a relation once per key (the `newsdayCarFeatures` pattern)
+/// re-traverses the site from the cache instead of the network.
+pub struct SiteNavigator {
+    compiled: CompiledSite,
+    pub map: NavigationMap,
+    oracle: std::cell::RefCell<NavOracle>,
+}
+
+/// Navigation execution errors.
+#[derive(Debug)]
+pub enum NavError {
+    UnknownRelation(String),
+    Engine(webbase_flogic::interp::EngineError),
+}
+
+impl std::fmt::Display for NavError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NavError::UnknownRelation(r) => write!(f, "no navigation program for relation {r}"),
+            NavError::Engine(e) => write!(f, "navigation engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NavError {}
+
+impl SiteNavigator {
+    /// Compile a recorded map for execution against `web`.
+    pub fn new(web: SyntheticWeb, map: NavigationMap) -> SiteNavigator {
+        SiteNavigator::with_caching(web, map, true)
+    }
+
+    /// Like [`SiteNavigator::new`] with the fetch cache disabled (the
+    /// caching ablation benchmark).
+    pub fn without_cache(self) -> SiteNavigator {
+        let oracle = self.oracle.into_inner();
+        let mut nav = SiteNavigator::with_caching(oracle.web(), self.map, false);
+        nav.compiled = self.compiled;
+        nav
+    }
+
+    fn with_caching(web: SyntheticWeb, map: NavigationMap, caching: bool) -> SiteNavigator {
+        let compiled = compile_map(&map);
+        let mut oracle = NavOracle::new(web, caching);
+        // Register extraction specs (one per relation registration) and
+        // link-defined attribute sets once, up front.
+        for reg in &map.relations {
+            if let NodeKind::Data(spec) = &map.node(reg.data_node).kind {
+                oracle.register_spec(
+                    &crate::compile::spec_id_for(&reg.relation, reg.data_node),
+                    spec.clone(),
+                );
+            }
+        }
+        for (id, choices) in &compiled.value_link_sets {
+            oracle.register_value_links(id, choices.clone());
+        }
+        SiteNavigator { compiled, map, oracle: std::cell::RefCell::new(oracle) }
+    }
+
+    /// The compiled relations (name, attrs).
+    pub fn relations(&self) -> &[CompiledRelation] {
+        &self.compiled.relations
+    }
+
+    pub fn program(&self) -> &Program {
+        &self.compiled.program
+    }
+
+    /// The Figure 4 reproduction: the program in concrete syntax.
+    pub fn render_program(&self) -> String {
+        crate::compile::render_program(&self.compiled)
+    }
+
+    /// Execute the navigation program of `relation`, with `given`
+    /// attribute values bound, returning extracted records and run
+    /// statistics.
+    pub fn run_relation(
+        &self,
+        relation: &str,
+        given: &[(String, Value)],
+    ) -> Result<(Vec<crate::extractor::Record>, RunStats), NavError> {
+        let rel = self
+            .compiled
+            .relations
+            .iter()
+            .find(|r| r.name == relation)
+            .ok_or_else(|| NavError::UnknownRelation(relation.to_string()))?;
+        let mut oracle = self.oracle.borrow_mut();
+        let (fetches0, hits0, net0) =
+            (oracle.fetches(), oracle.cache_hits(), oracle.simulated_network());
+
+        // Build the goal rel(T1..Tn) with given values bound.
+        use webbase_flogic::term::Var;
+        let args: Vec<Term> = rel
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(i, attr)| match given.iter().find(|(a, _)| a == attr) {
+                Some((_, v)) => value_to_term(v),
+                None => Term::Var(Var(i as u32)),
+            })
+            .collect();
+        let goal = webbase_flogic::goal::Goal::Atom(Sym::new(relation), args);
+
+        let t0 = std::time::Instant::now();
+        let mut machine =
+            Machine::with_oracle(&self.compiled.program, ObjectStore::new(), &mut *oracle);
+        let vars: Vec<(String, Var)> = rel
+            .attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, attr)| !given.iter().any(|(a, _)| a == *attr))
+            .map(|(i, attr)| (attr.clone(), Var(i as u32)))
+            .collect();
+        let solutions = machine.solve_all(&goal, &vars).map_err(NavError::Engine)?;
+        let cpu = t0.elapsed();
+
+        let records: Vec<crate::extractor::Record> = solutions
+            .into_iter()
+            .map(|sol| {
+                rel.attrs
+                    .iter()
+                    .map(|attr| {
+                        let value = match sol.get(attr) {
+                            Some(t) => term_to_value(t),
+                            // a given attribute: echo the given value
+                            None => given
+                                .iter()
+                                .find(|(a, _)| a == attr)
+                                .map(|(_, v)| v.clone())
+                                .unwrap_or(Value::Null),
+                        };
+                        (attr.clone(), value)
+                    })
+                    .collect()
+            })
+            .collect();
+        drop(machine);
+        let stats = RunStats {
+            pages_fetched: oracle.fetches() - fetches0,
+            cache_hits: oracle.cache_hits() - hits0,
+            network: oracle.simulated_network() - net0,
+            cpu,
+        };
+        Ok((records, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{DesignerAction, Recorder};
+    use crate::extractor::{CellParse, FieldSpec};
+    use webbase_webworld::data::{Dataset, SiteSlice};
+    use std::sync::Arc;
+
+    fn web_and_data() -> (SyntheticWeb, Arc<Dataset>) {
+        let d = Dataset::generate(5, 600);
+        (standard_web(d.clone(), LatencyModel::lan()), d)
+    }
+
+    fn newsday_navigator(web: SyntheticWeb, data: &Dataset) -> SiteNavigator {
+        let session = crate::sessions::newsday(data);
+        let (map, _) = Recorder::record(web.clone(), "www.newsday.com", &session)
+            .expect("records");
+        SiteNavigator::new(web, map)
+    }
+
+    #[test]
+    fn newsday_relation_end_to_end() {
+        let (web, data) = web_and_data();
+        let nav = newsday_navigator(web, &data);
+        let (records, stats) = nav
+            .run_relation(
+                "newsday",
+                &[
+                    ("make".to_string(), Value::str("ford")),
+                    ("model".to_string(), Value::str("escort")),
+                ],
+            )
+            .expect("runs");
+        let truth = data.matching(SiteSlice::Newsday, Some("ford"), Some("escort"));
+        assert_eq!(records.len(), truth.len(), "all pages collected via More iteration");
+        for r in &records {
+            assert_eq!(r["make"], Value::str("ford"));
+            assert_eq!(r["model"], Value::str("escort"));
+            assert!(matches!(r["price"], Value::Int(_)));
+            assert!(matches!(r["url"], Value::Str(_)));
+        }
+        assert!(stats.pages_fetched >= 4, "home, hub, form pages, data pages");
+        assert!(stats.network > Duration::ZERO);
+    }
+
+    #[test]
+    fn unbound_model_collects_all_fords() {
+        let (web, data) = web_and_data();
+        let nav = newsday_navigator(web, &data);
+        let (records, _) = nav
+            .run_relation("newsday", &[("make".to_string(), Value::str("ford"))])
+            .expect("runs");
+        let truth = data.matching(SiteSlice::Newsday, Some("ford"), None);
+        assert_eq!(records.len(), truth.len());
+        // Every ground-truth ad is present (match on contact which is unique-ish).
+        for ad in truth {
+            assert!(
+                records.iter().any(|r| r["contact"] == Value::str(&ad.contact)
+                    && r["year"] == Value::Int(ad.year as i64)),
+                "missing ad {ad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rare_make_direct_branch() {
+        let (web, data) = web_and_data();
+        // A make with few newsday ads goes straight to the data page; the
+        // compiled program must handle the branch where the refine form
+        // never appears.
+        let rare = webbase_webworld::data::MAKES
+            .iter()
+            .map(|(m, _)| *m)
+            .min_by_key(|m| data.matching(SiteSlice::Newsday, Some(m), None).len())
+            .expect("makes exist");
+        let truth = data.matching(SiteSlice::Newsday, Some(rare), None);
+        let nav = newsday_navigator(web, &data);
+        let (records, _) = nav
+            .run_relation("newsday", &[("make".to_string(), Value::str(rare))])
+            .expect("runs");
+        assert_eq!(records.len(), truth.len());
+    }
+
+    #[test]
+    fn missing_mandatory_binding_returns_empty() {
+        let (web, data) = web_and_data();
+        let nav = newsday_navigator(web, &data);
+        // make unbound: f1 cannot be submitted (select is mandatory); the
+        // program fails finitely with no answers.
+        let (records, _) = nav.run_relation("newsday", &[]).expect("runs");
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_error() {
+        let (web, data) = web_and_data();
+        let nav = newsday_navigator(web, &data);
+        assert!(matches!(
+            nav.run_relation("nope", &[]),
+            Err(NavError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn caching_reduces_fetches() {
+        let (web, data) = web_and_data();
+        let session = crate::sessions::newsday(&data);
+        let (map, _) =
+            Recorder::record(web.clone(), "www.newsday.com", &session).expect("records");
+        let given = [("make".to_string(), Value::str("ford"))];
+        let cached = SiteNavigator::new(web.clone(), map.clone());
+        let (r1, s1) = cached.run_relation("newsday", &given).expect("runs");
+        let uncached = SiteNavigator::new(web, map).without_cache();
+        let (r2, s2) = uncached.run_relation("newsday", &given).expect("runs");
+        assert_eq!(r1.len(), r2.len(), "same answers either way");
+        assert!(s1.cache_hits > 0, "backtracking re-executions hit the cache");
+        assert!(
+            s2.pages_fetched >= s1.pages_fetched,
+            "cache can only reduce fetches ({} vs {})",
+            s2.pages_fetched,
+            s1.pages_fetched
+        );
+    }
+
+    #[test]
+    fn autoweb_value_links_enumerate_and_select() {
+        let (web, data) = web_and_data();
+        let session = vec![
+            DesignerAction::Goto("http://www.autoweb.com/".into()),
+            DesignerAction::FollowLinkAsValue { attr: "make".into(), chosen: "Jaguar".into() },
+            DesignerAction::MarkDataPage {
+                relation: "autoweb".into(),
+                spec: ExtractionSpec::Table {
+                    fields: vec![
+                        FieldSpec::new("Make", "make", CellParse::Text),
+                        FieldSpec::new("Model", "model", CellParse::Text),
+                        FieldSpec::new("Year", "year", CellParse::Number),
+                        FieldSpec::new("Price", "price", CellParse::Number),
+                        FieldSpec::new("Features", "features", CellParse::Text),
+                        FieldSpec::new("Zip", "zip", CellParse::Text),
+                        FieldSpec::new("Contact", "contact", CellParse::Text),
+                    ],
+                },
+            },
+            DesignerAction::FollowLink("More".into()),
+        ];
+        let (map, _) =
+            Recorder::record(web.clone(), "www.autoweb.com", &session).expect("records");
+        let nav = SiteNavigator::new(web, map);
+        // Bound make: selects exactly the jaguar link.
+        let (records, _) = nav
+            .run_relation("autoweb", &[("make".to_string(), Value::str("jaguar"))])
+            .expect("runs");
+        let truth = data.matching(SiteSlice::AutoWeb, Some("jaguar"), None);
+        assert_eq!(records.len(), truth.len());
+        // Unbound make: enumerates every make link.
+        let (all, _) = nav.run_relation("autoweb", &[]).expect("runs");
+        let all_truth = data.ads_for(SiteSlice::AutoWeb).count();
+        assert_eq!(all.len(), all_truth);
+    }
+
+    #[test]
+    fn figure4_program_renders() {
+        let (web, data) = web_and_data();
+        let nav = newsday_navigator(web, &data);
+        let text = nav.render_program();
+        assert!(text.contains("newsday("), "{text}");
+        assert!(text.contains("fetch_entry"), "{text}");
+        assert!(text.contains("doit"), "{text}");
+        // and it re-parses
+        webbase_flogic::parser::parse_program(&text)
+            .unwrap_or_else(|e| panic!("program must reparse: {e}\n{text}"));
+    }
+}

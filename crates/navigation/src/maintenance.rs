@@ -1,0 +1,396 @@
+//! Navigation map maintenance (§7).
+//!
+//! "Modifications to Web sites can be automatically detected by
+//! periodically comparing the navigation map against its corresponding
+//! site … certain structural changes such as the addition of a new form
+//! attribute require manual intervention, others can be applied
+//! automatically (e.g., the addition of a cell in a selection list)."
+//!
+//! [`check_map`] replays the map's recorded edges against the current
+//! site (using each edge's exemplar values), diffs every visited page
+//! against the node's recorded action catalogue, classifies each change,
+//! and *applies* the auto-applicable ones to the map in place —
+//! returning a report of what happened. The paper's Kelly's-1999 case
+//! ("we only had to navigate through the modified pages, a process that
+//! took a few minutes") corresponds to a single `check_map` run.
+
+use crate::browser::{Browser, LoadedPage};
+use crate::map::{NavigationMap, NodeId};
+use crate::model::{ActionDescr, FieldDescr, FormDescr, LinkDescr};
+use std::collections::VecDeque;
+use std::rc::Rc;
+use webbase_html::diff::{PageChange, Severity};
+use webbase_html::extract::WidgetKind;
+use webbase_webworld::prelude::*;
+
+/// Outcome of one maintenance run.
+#[derive(Debug, Default)]
+pub struct MaintenanceReport {
+    /// Every detected change, with the node it occurred on.
+    pub changes: Vec<(NodeId, PageChange)>,
+    /// How many were applied to the map automatically.
+    pub auto_applied: usize,
+    /// How many require the designer.
+    pub manual_needed: usize,
+    /// Nodes that could not be revisited (their inbound action failed —
+    /// itself a manual-intervention signal).
+    pub unreachable: Vec<NodeId>,
+}
+
+impl MaintenanceReport {
+    pub fn is_clean(&self) -> bool {
+        self.changes.is_empty() && self.unreachable.is_empty()
+    }
+}
+
+/// Replay the map against the current site, detect changes, and apply
+/// the auto-applicable ones to `map`.
+pub fn check_map(web: SyntheticWeb, map: &mut NavigationMap) -> MaintenanceReport {
+    let mut report = MaintenanceReport::default();
+    let mut browser = Browser::new(web.clone());
+    let entry_url = match web.entry(&map.site) {
+        Some(u) => u,
+        None => {
+            report.unreachable.push(map.entry);
+            return report;
+        }
+    };
+    let Ok(entry_page) = browser.goto(entry_url) else {
+        report.unreachable.push(map.entry);
+        return report;
+    };
+
+    // BFS over recorded edges, keeping one live exemplar page per node.
+    let mut live: Vec<Option<Rc<LoadedPage>>> = vec![None; map.nodes.len()];
+    live[map.entry] = Some(entry_page);
+    let mut visited = vec![false; map.nodes.len()];
+    let mut queue = VecDeque::from([map.entry]);
+    while let Some(node) = queue.pop_front() {
+        if visited[node] {
+            continue;
+        }
+        visited[node] = true;
+        let Some(page) = live[node].clone() else { continue };
+        diff_node(map, node, &page, &mut report);
+        let edges: Vec<(NodeId, ActionDescr, Vec<(String, String)>)> = map
+            .out_edges(node)
+            .map(|e| (e.to, e.action.clone(), e.exemplar.clone()))
+            .collect();
+        for (to, action, exemplar) in edges {
+            if visited[to] || live[to].is_some() {
+                continue;
+            }
+            match replay(&mut browser, &page, &action, &exemplar) {
+                Ok(next) => {
+                    live[to] = Some(next);
+                    queue.push_back(to);
+                }
+                Err(_) => report.unreachable.push(to),
+            }
+        }
+    }
+    for (i, was_visited) in visited.iter().enumerate() {
+        if !was_visited && !report.unreachable.contains(&i) && map.path_to(i).is_some() {
+            report.unreachable.push(i);
+        }
+    }
+    report
+}
+
+/// Execute one recorded action against a live page.
+fn replay(
+    browser: &mut Browser,
+    page: &LoadedPage,
+    action: &ActionDescr,
+    exemplar: &[(String, String)],
+) -> Result<Rc<LoadedPage>, crate::browser::BrowseError> {
+    match action {
+        ActionDescr::Follow(link) => {
+            // Follow by name against the live page (hrefs may have moved).
+            match page.link_by_text(&link.name) {
+                Some(live_link) => {
+                    let href = live_link.href.clone();
+                    browser.follow_on(page, &href)
+                }
+                None => Err(crate::browser::BrowseError::NoSuchLink(link.name.clone())),
+            }
+        }
+        ActionDescr::FollowByValue { choices, .. } => {
+            // Re-follow the exemplar choice (fall back to the first).
+            let chosen = exemplar
+                .first()
+                .map(|(_, v)| v.clone())
+                .or_else(|| choices.first().map(|(v, _)| v.clone()))
+                .unwrap_or_default();
+            let link = page
+                .links
+                .iter()
+                .find(|l| l.text.to_lowercase() == chosen)
+                .ok_or(crate::browser::BrowseError::NoSuchLink(chosen))?;
+            let href = link.href.clone();
+            browser.follow_on(page, &href)
+        }
+        ActionDescr::Submit(form) => browser.submit_on(page, &form.cgi, exemplar),
+    }
+}
+
+/// Diff a node's recorded catalogue against the live page; classify and
+/// auto-apply.
+fn diff_node(
+    map: &mut NavigationMap,
+    node: NodeId,
+    page: &LoadedPage,
+    report: &mut MaintenanceReport,
+) {
+    let mut changes: Vec<PageChange> = Vec::new();
+
+    // --- links ---
+    let recorded_links: Vec<LinkDescr> = map
+        .node(node)
+        .actions
+        .iter()
+        .filter_map(|a| match a {
+            ActionDescr::Follow(l) => Some(l.clone()),
+            _ => None,
+        })
+        .collect();
+    for rl in &recorded_links {
+        match page.link_by_text(&rl.name) {
+            None => changes.push(PageChange::LinkRemoved { text: rl.name.clone() }),
+            Some(live) if live.href != rl.href => changes.push(PageChange::LinkRetargeted {
+                text: rl.name.clone(),
+                old_href: rl.href.clone(),
+                new_href: live.href.clone(),
+            }),
+            Some(_) => {}
+        }
+    }
+    for live in &page.links {
+        if !recorded_links.iter().any(|rl| rl.name == live.text) {
+            changes.push(PageChange::LinkAdded {
+                text: live.text.clone(),
+                href: live.href.clone(),
+            });
+        }
+    }
+
+    // --- forms ---
+    let recorded_forms: Vec<FormDescr> = map
+        .node(node)
+        .actions
+        .iter()
+        .filter_map(|a| match a {
+            ActionDescr::Submit(f) => Some(f.clone()),
+            _ => None,
+        })
+        .collect();
+    for rf in &recorded_forms {
+        match page.form_by_action(&rf.cgi) {
+            None => changes.push(PageChange::FormRemoved { action: rf.cgi.clone() }),
+            Some(live) => {
+                for field in &rf.fields {
+                    match live.data_fields().find(|f| f.name == field.name) {
+                        None => changes.push(PageChange::FieldRemoved {
+                            form: rf.cgi.clone(),
+                            field: field.name.clone(),
+                        }),
+                        Some(lf) => {
+                            match (&field.widget, &lf.kind) {
+                                (WidgetKind::Select { options: old }, WidgetKind::Select { options: new })
+                                | (WidgetKind::Radio { options: old }, WidgetKind::Radio { options: new }) => {
+                                    for o in new.iter().filter(|o| !old.contains(o)) {
+                                        changes.push(PageChange::OptionAdded {
+                                            form: rf.cgi.clone(),
+                                            field: field.name.clone(),
+                                            option: o.clone(),
+                                        });
+                                    }
+                                    for o in old.iter().filter(|o| !new.contains(o)) {
+                                        changes.push(PageChange::OptionRemoved {
+                                            form: rf.cgi.clone(),
+                                            field: field.name.clone(),
+                                            option: o.clone(),
+                                        });
+                                    }
+                                }
+                                (a, b) if std::mem::discriminant(a)
+                                    != std::mem::discriminant(b) =>
+                                {
+                                    changes.push(PageChange::WidgetKindChanged {
+                                        form: rf.cgi.clone(),
+                                        field: field.name.clone(),
+                                    });
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                for lf in live.data_fields() {
+                    if !rf.fields.iter().any(|f| f.name == lf.name) {
+                        changes.push(PageChange::FieldAdded {
+                            form: rf.cgi.clone(),
+                            field: lf.name.clone(),
+                            mandatory_inferred: lf.kind.inferred_mandatory() == Some(true),
+                        });
+                    }
+                }
+            }
+        }
+        if !page.forms.iter().any(|f| {
+            !recorded_forms.iter().any(|r| r.cgi == f.action) && f.action == rf.cgi
+        }) { /* handled above */ }
+    }
+    for live in &page.forms {
+        if !recorded_forms.iter().any(|rf| rf.cgi == live.action) {
+            changes.push(PageChange::FormAdded { action: live.action.clone() });
+        }
+    }
+
+    // Classify and auto-apply.
+    for change in changes {
+        match change.severity() {
+            Severity::AutoApplicable => {
+                apply_change(map, node, &change, page);
+                report.auto_applied += 1;
+            }
+            Severity::ManualIntervention => report.manual_needed += 1,
+        }
+        report.changes.push((node, change));
+    }
+}
+
+/// Fold an auto-applicable change into the map.
+fn apply_change(map: &mut NavigationMap, node: NodeId, change: &PageChange, page: &LoadedPage) {
+    let actions = &mut map.node_mut(node).actions;
+    match change {
+        PageChange::LinkAdded { text, href } => {
+            actions.push(ActionDescr::Follow(LinkDescr { name: text.clone(), href: href.clone() }));
+        }
+        PageChange::LinkRetargeted { text, new_href, .. } => {
+            for a in actions.iter_mut() {
+                if let ActionDescr::Follow(l) = a {
+                    if l.name == *text {
+                        l.href = new_href.clone();
+                    }
+                }
+            }
+        }
+        PageChange::OptionAdded { form, field, option } => {
+            for a in actions.iter_mut() {
+                if let ActionDescr::Submit(f) = a {
+                    if f.cgi == *form {
+                        if let Some(fd) = f.fields.iter_mut().find(|fd| fd.name == *field) {
+                            match &mut fd.widget {
+                                WidgetKind::Select { options } | WidgetKind::Radio { options } => {
+                                    if !options.contains(option) {
+                                        options.push(option.clone());
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        PageChange::OptionRemoved { form, field, option } => {
+            for a in actions.iter_mut() {
+                if let ActionDescr::Submit(f) = a {
+                    if f.cgi == *form {
+                        if let Some(fd) = f.fields.iter_mut().find(|fd| fd.name == *field) {
+                            match &mut fd.widget {
+                                WidgetKind::Select { options } | WidgetKind::Radio { options } => {
+                                    options.retain(|o| o != option);
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        PageChange::FieldAdded { form, field, .. } => {
+            // A new optional field: record it so future designer sessions
+            // can use it.
+            if let Some(live_form) = page.form_by_action(form) {
+                if let Some(lf) = live_form.data_fields().find(|f| f.name == *field) {
+                    for a in actions.iter_mut() {
+                        if let ActionDescr::Submit(f) = a {
+                            if f.cgi == *form && f.field_by_attr(field).is_none() {
+                                f.fields.push(FieldDescr::from_extracted(lf));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Manual-intervention changes are never passed here.
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::sessions;
+    use webbase_webworld::data::Dataset;
+    use webbase_webworld::sites::standard_web_versioned;
+
+    fn record_on(version: u32) -> (SyntheticWeb, NavigationMap) {
+        let data = Dataset::generate(5, 600);
+        let web = standard_web_versioned(data.clone(), LatencyModel::lan(), version);
+        let (map, _) =
+            Recorder::record(web.clone(), "www.kbb.com", &sessions::kellys()).expect("records");
+        (web, map)
+    }
+
+    #[test]
+    fn unchanged_site_is_clean() {
+        let (web, mut map) = record_on(1);
+        let report = check_map(web, &mut map);
+        assert!(report.is_clean(), "{:?}", report.changes);
+    }
+
+    #[test]
+    fn kellys_1999_evolution_auto_applies() {
+        // Record on v1, check against v2 (the paper's Kelly's case).
+        let data = Dataset::generate(5, 600);
+        let web_v1 = standard_web_versioned(data.clone(), LatencyModel::lan(), 1);
+        let (mut map, _) =
+            Recorder::record(web_v1, "www.kbb.com", &sessions::kellys()).expect("records");
+        let web_v2 = standard_web_versioned(data, LatencyModel::lan(), 2);
+        let report = check_map(web_v2.clone(), &mut map);
+        assert!(!report.changes.is_empty(), "v2 changes must be detected");
+        assert_eq!(report.manual_needed, 0, "{:?}", report.changes);
+        assert!(report.auto_applied >= 2, "1999 link + 1999 year option");
+        // The map absorbed the changes: a second check is clean.
+        let report2 = check_map(web_v2, &mut map);
+        assert!(report2.is_clean(), "{:?}", report2.changes);
+    }
+
+    #[test]
+    fn newsday_evolution_detected() {
+        let data = Dataset::generate(5, 600);
+        let web_v1 = standard_web_versioned(data.clone(), LatencyModel::lan(), 1);
+        let (mut map, _) = Recorder::record(web_v1, "www.newsday.com", &sessions::newsday(&data))
+            .expect("records");
+        let web_v2 = standard_web_versioned(data, LatencyModel::lan(), 2);
+        let report = check_map(web_v2, &mut map);
+        // The new "Trucks & Vans" hub link and the new `pics` checkbox on
+        // f2 are both auto-applicable.
+        assert!(report.auto_applied >= 1, "{:?}", report.changes);
+        assert_eq!(report.manual_needed, 0, "{:?}", report.changes);
+    }
+
+    #[test]
+    fn dead_site_reports_unreachable_entry() {
+        let data = Dataset::generate(5, 60);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let mut map = NavigationMap::new("www.gone.com");
+        map.add_node("HomePg", "/|", "Gone");
+        let report = check_map(web, &mut map);
+        assert_eq!(report.unreachable, vec![0]);
+    }
+}

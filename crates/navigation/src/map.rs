@@ -1,0 +1,344 @@
+//! Navigation maps — the labelled directed graphs of Figure 2.
+//!
+//! "A navigation map codifies all possible access paths that a site
+//! presents for populating a virtual relation. … the nodes represent the
+//! structure of static or dynamic Web pages, and the labeled edges
+//! represent possible actions."
+
+use crate::extractor::ExtractionSpec;
+use crate::model::ActionDescr;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Index of a node within its map.
+pub type NodeId = usize;
+
+/// Node kinds, as in Figure 2: ordinary pages versus data pages (which
+/// carry an extraction script).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    Page,
+    /// A data page with its extraction script.
+    Data(ExtractionSpec),
+}
+
+/// A page-schema node. Identity during recording comes from
+/// `signature` — pages whose structure matches fold into one node
+/// (the map builder "checks whether actions and Web page objects are
+/// new before adding them to a map").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapNode {
+    pub id: NodeId,
+    /// Human-readable name, e.g. "UsedCarPg" (derived from the title).
+    pub name: String,
+    /// Structural signature: URL path pattern + stable page structure.
+    pub signature: String,
+    pub title: String,
+    pub kind: NodeKind,
+    /// Catalogue of *all* actions found on the page (not just those the
+    /// designer executed) — these are the automatically extracted
+    /// F-logic objects of the §7 statistics, and what map maintenance
+    /// diffs against the live site.
+    pub actions: Vec<ActionDescr>,
+}
+
+/// A labelled edge: executing `action` on `from` can lead to `to`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapEdge {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub action: ActionDescr,
+    /// The values the designer used when recording this edge (form
+    /// fields, or the chosen link value). Map maintenance replays the
+    /// edge with these exemplar values.
+    pub exemplar: Vec<(String, String)>,
+}
+
+/// A handle registration recorded by the designer: navigating to `data
+/// node` populates `relation` (the VPS layer turns this into proper
+/// handles).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationReg {
+    pub relation: String,
+    pub data_node: NodeId,
+}
+
+/// The navigation map of one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NavigationMap {
+    /// Site host, e.g. `www.newsday.com`.
+    pub site: String,
+    pub nodes: Vec<MapNode>,
+    pub edges: Vec<MapEdge>,
+    /// Entry node (the site's home page).
+    pub entry: NodeId,
+    pub relations: Vec<RelationReg>,
+}
+
+impl NavigationMap {
+    pub fn new(site: &str) -> NavigationMap {
+        NavigationMap {
+            site: site.to_string(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            entry: 0,
+            relations: Vec::new(),
+        }
+    }
+
+    /// Find a node by structural signature.
+    pub fn node_by_signature(&self, sig: &str) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.signature == sig).map(|n| n.id)
+    }
+
+    pub fn node(&self, id: NodeId) -> &MapNode {
+        &self.nodes[id]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut MapNode {
+        &mut self.nodes[id]
+    }
+
+    /// Add a node (the caller has checked it is new).
+    pub fn add_node(&mut self, name: &str, signature: &str, title: &str) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(MapNode {
+            id,
+            name: name.to_string(),
+            signature: signature.to_string(),
+            title: title.to_string(),
+            kind: NodeKind::Page,
+            actions: Vec::new(),
+        });
+        id
+    }
+
+    /// Add an edge unless an equal one exists (incremental building).
+    /// Returns whether the edge was new.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, action: ActionDescr) -> bool {
+        self.add_edge_with(from, to, action, Vec::new())
+    }
+
+    /// [`NavigationMap::add_edge`] with recorded exemplar values.
+    pub fn add_edge_with(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        action: ActionDescr,
+        exemplar: Vec<(String, String)>,
+    ) -> bool {
+        let exists = self
+            .edges
+            .iter()
+            .any(|e| e.from == from && e.to == to && e.action == action);
+        if !exists {
+            self.edges.push(MapEdge { from, to, action, exemplar });
+        }
+        !exists
+    }
+
+    /// Edges leaving `node`.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = &MapEdge> {
+        self.edges.iter().filter(move |e| e.from == node)
+    }
+
+    /// A simple path of edge indices from `entry` to `target` (BFS,
+    /// fewest edges). The compiler uses it as the navigation spine.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<usize>> {
+        let mut prev: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        visited[self.entry] = true;
+        queue.push_back(self.entry);
+        while let Some(n) = queue.pop_front() {
+            if n == target {
+                let mut path = Vec::new();
+                let mut cur = target;
+                while cur != self.entry {
+                    let e = prev[cur].expect("prev set along BFS path");
+                    path.push(e);
+                    cur = self.edges[e].from;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for (i, e) in self.edges.iter().enumerate() {
+                if e.from == n && !visited[e.to] {
+                    visited[e.to] = true;
+                    prev[e.to] = Some(i);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        None
+    }
+
+    /// Register that `data_node` populates `relation`.
+    pub fn register_relation(&mut self, relation: &str, data_node: NodeId) {
+        if !self
+            .relations
+            .iter()
+            .any(|r| r.relation == relation && r.data_node == data_node)
+        {
+            self.relations.push(RelationReg { relation: relation.to_string(), data_node });
+        }
+    }
+
+    /// §7 statistics: total objects described by the map — page objects
+    /// plus the F-logic objects of every catalogued action (the paper's
+    /// "85 objects … automatically extracted" for Newsday).
+    pub fn object_count(&self) -> usize {
+        self.nodes.len()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.actions.iter().map(ActionDescr::object_count).sum::<usize>())
+                .sum::<usize>()
+    }
+
+    /// §7 statistics: total attributes over those objects.
+    pub fn attribute_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                // Each page object records name/signature/title
+                // (+ extraction fields for data pages).
+                3 + match &n.kind {
+                    NodeKind::Page => 0,
+                    NodeKind::Data(spec) => 3 * spec.fields().len(),
+                } + n.actions.iter().map(ActionDescr::attribute_count).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Figure 2-style text rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Navigation map for {}", self.site);
+        for n in &self.nodes {
+            let kind = match &n.kind {
+                NodeKind::Page => "page",
+                NodeKind::Data(_) => "DATA page",
+            };
+            let _ = writeln!(out, "  [{}] {} ({kind})  sig={}", n.id, n.name, n.signature);
+            for e in self.out_edges(n.id) {
+                let _ = writeln!(out, "       --{}--> [{}] {}", e.action.label(), e.to, self.nodes[e.to].name);
+            }
+        }
+        out
+    }
+
+    /// GraphViz DOT rendering (for the Figure 2 reproduction).
+    pub fn render_dot(&self) -> String {
+        let mut out = String::from("digraph navmap {\n  rankdir=TB;\n");
+        for n in &self.nodes {
+            let shape = match n.kind {
+                NodeKind::Page => "box",
+                NodeKind::Data(_) => "box3d",
+            };
+            let _ = writeln!(out, "  n{} [label=\"{}\", shape={shape}];", n.id, n.name);
+        }
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                e.from,
+                e.to,
+                e.action.label().replace('"', "'")
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinkDescr;
+
+    fn follow(name: &str) -> ActionDescr {
+        ActionDescr::Follow(LinkDescr { name: name.into(), href: format!("/{name}") })
+    }
+
+    fn sample_map() -> NavigationMap {
+        let mut m = NavigationMap::new("example.com");
+        let home = m.add_node("Home", "/|links:a", "Home");
+        let hub = m.add_node("Hub", "/hub|links:b", "Hub");
+        let data = m.add_node("Listings", "/cgi|table", "Listings");
+        m.entry = home;
+        m.add_edge(home, hub, follow("auto"));
+        m.add_edge(hub, data, follow("used"));
+        m.add_edge(data, data, follow("More"));
+        m
+    }
+
+    #[test]
+    fn dedup_edges() {
+        let mut m = sample_map();
+        assert!(!m.add_edge(0, 1, follow("auto")), "duplicate rejected");
+        assert!(m.add_edge(0, 1, follow("other")), "different action accepted");
+        assert_eq!(m.edges.len(), 4);
+    }
+
+    #[test]
+    fn bfs_path() {
+        let m = sample_map();
+        let path = m.path_to(2).expect("path exists");
+        assert_eq!(path.len(), 2);
+        assert_eq!(m.edges[path[0]].from, 0);
+        assert_eq!(m.edges[path[1]].to, 2);
+        assert_eq!(m.path_to(0).expect("entry path"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn unreachable_node_has_no_path() {
+        let mut m = sample_map();
+        let lonely = m.add_node("Lonely", "/x", "X");
+        assert_eq!(m.path_to(lonely), None);
+    }
+
+    #[test]
+    fn signature_lookup() {
+        let m = sample_map();
+        assert_eq!(m.node_by_signature("/hub|links:b"), Some(1));
+        assert_eq!(m.node_by_signature("nope"), None);
+    }
+
+    #[test]
+    fn stats_count_objects_and_attrs() {
+        let mut m = sample_map();
+        // No catalogued actions yet: only the page objects count.
+        assert_eq!(m.object_count(), 3);
+        m.node_mut(0).actions.push(follow("auto"));
+        m.node_mut(1).actions.push(follow("used"));
+        assert_eq!(m.object_count(), 3 + 2 * 2);
+        assert!(m.attribute_count() >= 3 * 3 + 2 * 2);
+    }
+
+    #[test]
+    fn renders() {
+        let m = sample_map();
+        let txt = m.render_text();
+        assert!(txt.contains("link(More)"));
+        let dot = m.render_dot();
+        assert!(dot.contains("n2 -> n2"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn relation_registration_dedups() {
+        let mut m = sample_map();
+        m.register_relation("ads", 2);
+        m.register_relation("ads", 2);
+        assert_eq!(m.relations.len(), 1);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let m = sample_map();
+        let m2 = m.clone();
+        assert_eq!(m, m2);
+        assert_eq!(m2.render_text(), m.render_text());
+    }
+}

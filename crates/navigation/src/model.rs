@@ -1,0 +1,247 @@
+//! The process-oriented object model of navigation maps (Figure 3).
+//!
+//! These are the Rust-side descriptors of the F-logic objects the map
+//! builder extracts from pages: links, forms, form fields. The paper's
+//! point is that this model is what makes the map → calculus translation
+//! mechanical — "our process-oriented object model, whose objects
+//! correspond to nodes and links of the navigation map".
+
+use serde::{Deserialize, Serialize};
+use webbase_html::extract::{Field, Form, WidgetKind};
+
+/// A link as recorded in the map: identified by its anchor text (the
+/// paper's `link[name => string]`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkDescr {
+    pub name: String,
+    /// href observed at recording time (may be parameterised on replay —
+    /// resolution happens against the current page).
+    pub href: String,
+}
+
+/// A form field as recorded, with the designer's annotations folded in.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDescr {
+    /// The site's (possibly cryptic) field name — what gets submitted.
+    pub name: String,
+    /// The standardised attribute name the webbase uses; defaults to the
+    /// field name, overridden by designer annotation ("the user might
+    /// want to provide a more informative name").
+    pub attr: String,
+    pub widget: WidgetKind,
+    /// Mandatory, as inferred from the widget or asserted by the
+    /// designer ("the designer has to indicate whether a text field is
+    /// mandatory").
+    pub mandatory: bool,
+    /// True when mandatory/attr came from a designer annotation rather
+    /// than automatic inference (the §7 "<5% manual" statistic).
+    pub manual_facts: u32,
+    /// Hidden-field value to always submit.
+    pub fixed_value: Option<String>,
+    pub default: Option<String>,
+}
+
+impl FieldDescr {
+    /// Build from an extracted field, applying automatic inference only.
+    pub fn from_extracted(f: &Field) -> FieldDescr {
+        let mandatory = f.kind.inferred_mandatory().unwrap_or(false);
+        let fixed_value = match &f.kind {
+            WidgetKind::Hidden => f.default.clone(),
+            _ => None,
+        };
+        FieldDescr {
+            name: f.name.clone(),
+            attr: f.name.clone(),
+            widget: f.kind.clone(),
+            mandatory,
+            manual_facts: 0,
+            fixed_value,
+            default: f.default.clone(),
+        }
+    }
+
+    /// The finite value domain, if the widget exposes one.
+    pub fn domain(&self) -> Option<&[String]> {
+        self.widget.domain()
+    }
+
+    pub fn is_hidden(&self) -> bool {
+        matches!(self.widget, WidgetKind::Hidden)
+    }
+
+    pub fn is_submit(&self) -> bool {
+        matches!(self.widget, WidgetKind::Submit)
+    }
+}
+
+/// A form as recorded in the map (the paper's Form class: cgi, method,
+/// mandatory/optional attributes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FormDescr {
+    /// Action path — the CGI script URL; the form's identity on its page.
+    pub cgi: String,
+    pub method: String,
+    pub fields: Vec<FieldDescr>,
+}
+
+impl FormDescr {
+    pub fn from_extracted(f: &Form) -> FormDescr {
+        FormDescr {
+            cgi: f.action.clone(),
+            method: f.method.clone(),
+            fields: f.data_fields().map(FieldDescr::from_extracted).collect(),
+        }
+    }
+
+    /// Data fields the navigator can set (non-hidden).
+    pub fn settable(&self) -> impl Iterator<Item = &FieldDescr> {
+        self.fields.iter().filter(|f| !f.is_hidden() && !f.is_submit())
+    }
+
+    /// Standardised names of mandatory settable fields.
+    pub fn mandatory_attrs(&self) -> Vec<String> {
+        self.settable().filter(|f| f.mandatory).map(|f| f.attr.clone()).collect()
+    }
+
+    /// Standardised names of all settable fields.
+    pub fn all_attrs(&self) -> Vec<String> {
+        self.settable().map(|f| f.attr.clone()).collect()
+    }
+
+    pub fn field_by_attr(&self, attr: &str) -> Option<&FieldDescr> {
+        self.fields.iter().find(|f| f.attr == attr)
+    }
+
+    pub fn field_by_attr_mut(&mut self, attr: &str) -> Option<&mut FieldDescr> {
+        self.fields.iter_mut().find(|f| f.attr == attr)
+    }
+
+    /// Attribute count for the §7 map statistics: every recorded scalar
+    /// property of the form, its fields, and their attrValPair domain
+    /// entries (each option carries a name and a value, as in Figure 3).
+    pub fn attribute_count(&self) -> usize {
+        2 + self
+            .fields
+            .iter()
+            .map(|f| {
+                5 + 2 * f.domain().map(<[String]>::len).unwrap_or(0)
+                    + usize::from(f.default.is_some())
+            })
+            .sum::<usize>()
+    }
+}
+
+/// An action edge in the navigation map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActionDescr {
+    /// Follow a fixed link by name.
+    Follow(LinkDescr),
+    /// Choose among a set of links according to an attribute's value —
+    /// the paper's link-defined attribute. `choices` maps attribute
+    /// value → link name.
+    FollowByValue { attr: String, choices: Vec<(String, String)> },
+    /// Fill out and submit a form.
+    Submit(FormDescr),
+}
+
+impl ActionDescr {
+    /// Object count contribution to the §7 statistics: the action object
+    /// itself plus its form/link/field/attrValPair objects.
+    pub fn object_count(&self) -> usize {
+        match self {
+            ActionDescr::Follow(_) => 2, // action + link object
+            ActionDescr::FollowByValue { choices, .. } => 1 + choices.len(),
+            ActionDescr::Submit(f) => 2 + f.fields.len(), // action + form + attrValPairs
+        }
+    }
+
+    pub fn attribute_count(&self) -> usize {
+        match self {
+            ActionDescr::Follow(_) => 2, // name + address
+            ActionDescr::FollowByValue { choices, .. } => 1 + 2 * choices.len(),
+            ActionDescr::Submit(f) => f.attribute_count(),
+        }
+    }
+
+    /// A short label for map rendering (Figure 2 style).
+    pub fn label(&self) -> String {
+        match self {
+            ActionDescr::Follow(l) => format!("link({})", l.name),
+            ActionDescr::FollowByValue { attr, .. } => format!("link-set({attr})"),
+            ActionDescr::Submit(f) => {
+                let mand = f.mandatory_attrs().join(", ");
+                let opt: Vec<String> = f
+                    .settable()
+                    .filter(|x| !x.mandatory)
+                    .map(|x| x.attr.clone())
+                    .collect();
+                if opt.is_empty() {
+                    format!("form {}({mand})", f.cgi)
+                } else {
+                    format!("form {}({mand}; opt: {})", f.cgi, opt.join(", "))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_html::{extract, parse};
+
+    fn sample_form() -> FormDescr {
+        let doc = parse(
+            "<form action='/cgi' method='post'>\
+             <select name='mk'><option>ford</option><option>jaguar</option></select>\
+             <input type=text name=model>\
+             <input type=hidden name=sid value=x7>\
+             <input type=submit value=Go></form>",
+        );
+        FormDescr::from_extracted(&extract::forms(&doc)[0])
+    }
+
+    #[test]
+    fn from_extracted_applies_inference() {
+        let f = sample_form();
+        assert_eq!(f.cgi, "/cgi");
+        // select without "any" → mandatory; text → not (needs designer)
+        assert_eq!(f.mandatory_attrs(), vec!["mk"]);
+        assert_eq!(f.all_attrs(), vec!["mk", "model"]);
+        let sid = f.fields.iter().find(|x| x.name == "sid").expect("hidden kept");
+        assert_eq!(sid.fixed_value.as_deref(), Some("x7"));
+    }
+
+    #[test]
+    fn designer_rename_changes_attr_not_name() {
+        let mut f = sample_form();
+        let fld = f.field_by_attr_mut("mk").expect("mk exists");
+        fld.attr = "make".into();
+        fld.manual_facts += 1;
+        assert!(f.field_by_attr("make").is_some());
+        assert_eq!(f.field_by_attr("make").expect("renamed").name, "mk");
+        assert_eq!(f.mandatory_attrs(), vec!["make"]);
+    }
+
+    #[test]
+    fn counts_are_positive_and_scale() {
+        let f = sample_form();
+        let a = ActionDescr::Submit(f);
+        assert!(a.object_count() >= 4);
+        assert!(a.attribute_count() >= 10);
+        let l = ActionDescr::Follow(LinkDescr { name: "More".into(), href: "/x".into() });
+        assert_eq!(l.object_count(), 2);
+    }
+
+    #[test]
+    fn labels_render() {
+        let f = sample_form();
+        let label = ActionDescr::Submit(f).label();
+        assert!(label.contains("form /cgi(mk"));
+        let fv = ActionDescr::FollowByValue {
+            attr: "make".into(),
+            choices: vec![("ford".into(), "Ford".into())],
+        };
+        assert_eq!(fv.label(), "link-set(make)");
+    }
+}

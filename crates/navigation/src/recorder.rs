@@ -1,0 +1,624 @@
+//! Mapping by example — the paper's navigation map builder (§7).
+//!
+//! "The main idea behind mapping by example is to discover the structure
+//! (or schema) of a site while the webbase designer moves from page to
+//! page, filling forms and following links."
+//!
+//! A designer session (a `Vec<DesignerAction>`) is the stream of events a browser
+//! instrumentation would emit (the paper used JavaScript handlers in
+//! Netscape; we replay a scripted session — the map-building algorithm
+//! is identical). As each event arrives:
+//!
+//! * the loaded page is parsed and folded into the map as a node —
+//!   *if new* ("our tool checks whether actions and Web page objects are
+//!   new before adding them to a map");
+//! * every link and form on the page is catalogued automatically as an
+//!   action object (these are the "85 objects with over 600 attributes"
+//!   the paper reports extracting from Newsday without manual input);
+//! * the executed action becomes a map edge.
+//!
+//! The designer contributes only the *manual facts* the paper describes:
+//! renaming cryptic field names, marking text fields mandatory, naming
+//! link-defined attributes, and providing extraction scripts for data
+//! pages. The recorder counts them so the §7 automation ratio can be
+//! reproduced.
+
+use crate::browser::{BrowseError, Browser, LoadedPage};
+use crate::extractor::ExtractionSpec;
+use crate::map::{NavigationMap, NodeId, NodeKind};
+use crate::model::{ActionDescr, FieldDescr, FormDescr, LinkDescr};
+use std::rc::Rc;
+use webbase_relational::standardize::Standardizer;
+use webbase_webworld::prelude::*;
+
+/// One designer event.
+#[derive(Debug, Clone)]
+pub enum DesignerAction {
+    /// Load an absolute URL (usually the site entry, once).
+    Goto(String),
+    /// Click the link with this anchor text.
+    FollowLink(String),
+    /// Click one link of a link set that *defines an attribute* (the
+    /// paper's "attributes … implicitly defined through a set of
+    /// links"): the designer names the attribute and clicks the link
+    /// whose text matches `chosen`.
+    FollowLinkAsValue { attr: String, chosen: String },
+    /// Fill out and submit the form with this action path. Values are
+    /// keyed by the *site's field names* (what the designer sees).
+    SubmitForm { action: String, values: Vec<(String, String)> },
+    /// Annotation: give a (possibly cryptic) field a standardised
+    /// attribute name. A manual fact.
+    RenameField { form_action: String, field: String, attr: String },
+    /// Annotation: assert that a text field is mandatory/optional (not
+    /// inferrable from the widget). A manual fact.
+    MarkMandatory { form_action: String, field: String, mandatory: bool },
+    /// Annotation: the current page is a data page populating
+    /// `relation`, extracted by `spec` (the designer-provided
+    /// extraction script). Manual facts: one per extracted field.
+    MarkDataPage { relation: String, spec: ExtractionSpec },
+    /// Navigate back one page (to record an alternative branch).
+    Back,
+}
+
+/// §7 automation statistics for one recorded map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MapStats {
+    /// Objects in the map (pages + actions + forms + fields + links).
+    pub objects: usize,
+    /// Attributes across those objects.
+    pub attributes: usize,
+    /// Designer-supplied facts (renames, mandatory marks, attribute
+    /// names, extraction fields).
+    pub manual_facts: usize,
+    /// Field names the standardiser renamed *automatically* (synonym
+    /// table or fuzzy match) — designer input the §7 pipeline saved.
+    pub auto_standardized: usize,
+}
+
+impl MapStats {
+    /// Fraction of information added manually (the paper: "< 5%").
+    pub fn manual_ratio(&self) -> f64 {
+        if self.attributes == 0 {
+            0.0
+        } else {
+            self.manual_facts as f64 / (self.attributes + self.manual_facts) as f64
+        }
+    }
+}
+
+/// Recorder errors: browsing failures plus protocol misuse.
+#[derive(Debug)]
+pub enum RecordError {
+    Browse(BrowseError),
+    NoCurrentPage,
+    NothingToGoBackTo,
+    BadUrl(String),
+    /// Annotation referenced a form/field not on the current page.
+    NoSuchField { form: String, field: String },
+}
+
+impl From<BrowseError> for RecordError {
+    fn from(e: BrowseError) -> RecordError {
+        RecordError::Browse(e)
+    }
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Browse(e) => write!(f, "browse error: {e}"),
+            RecordError::NoCurrentPage => write!(f, "no page loaded yet"),
+            RecordError::NothingToGoBackTo => write!(f, "history is empty"),
+            RecordError::BadUrl(u) => write!(f, "bad URL: {u}"),
+            RecordError::NoSuchField { form, field } => {
+                write!(f, "no field {field:?} on form {form:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// The map builder: replays designer events against a browser, building
+/// the map incrementally.
+pub struct Recorder {
+    browser: Browser,
+    map: NavigationMap,
+    current_node: Option<NodeId>,
+    history: Vec<(NodeId, Rc<LoadedPage>)>,
+    manual_facts: usize,
+    auto_standardized: usize,
+    standardizer: Standardizer,
+}
+
+impl Recorder {
+    pub fn new(web: SyntheticWeb, site_host: &str) -> Recorder {
+        Recorder::with_standardizer(web, site_host, Standardizer::car_domain())
+    }
+
+    /// A recorder with a custom attribute standardiser (the §7 pipeline:
+    /// manual mappings first, then the synonym table, then fuzzy
+    /// matching).
+    pub fn with_standardizer(
+        web: SyntheticWeb,
+        site_host: &str,
+        standardizer: Standardizer,
+    ) -> Recorder {
+        Recorder {
+            browser: Browser::new(web),
+            map: NavigationMap::new(site_host),
+            current_node: None,
+            history: Vec::new(),
+            manual_facts: 0,
+            auto_standardized: 0,
+            standardizer,
+        }
+    }
+
+    /// Replay a full session and return the finished map with its
+    /// statistics.
+    pub fn record(
+        web: SyntheticWeb,
+        site_host: &str,
+        session: &[DesignerAction],
+    ) -> Result<(NavigationMap, MapStats), RecordError> {
+        let mut r = Recorder::new(web, site_host);
+        for action in session {
+            r.apply(action)?;
+        }
+        Ok(r.finish())
+    }
+
+    pub fn map(&self) -> &NavigationMap {
+        &self.map
+    }
+
+    pub fn stats(&self) -> MapStats {
+        MapStats {
+            objects: self.map.object_count(),
+            attributes: self.map.attribute_count(),
+            manual_facts: self.manual_facts,
+            auto_standardized: self.auto_standardized,
+        }
+    }
+
+    pub fn finish(self) -> (NavigationMap, MapStats) {
+        let stats = MapStats {
+            objects: self.map.object_count(),
+            attributes: self.map.attribute_count(),
+            manual_facts: self.manual_facts,
+            auto_standardized: self.auto_standardized,
+        };
+        (self.map, stats)
+    }
+
+    /// Fold a loaded page into the map: find-or-create its node and
+    /// catalogue its actions.
+    fn absorb_page(&mut self, page: &LoadedPage) -> NodeId {
+        let sig = page.signature();
+        let id = match self.map.node_by_signature(&sig) {
+            Some(id) => id,
+            None => {
+                let name = node_name(page);
+                self.map.add_node(&name, &sig, &page.title)
+            }
+        };
+        // Catalogue actions, deduplicating against what is already known.
+        let node = self.map.node_mut(id);
+        for link in &page.links {
+            let descr = ActionDescr::Follow(LinkDescr {
+                name: link.text.clone(),
+                href: link.href.clone(),
+            });
+            if !node.actions.iter().any(|a| same_action_identity(a, &descr)) {
+                node.actions.push(descr);
+            }
+        }
+        let mut standardized = 0usize;
+        for form in &page.forms {
+            let mut fd = FormDescr::from_extracted(form);
+            // Automatic attribute standardisation (§7): cryptic field
+            // names are mapped through the synonym/fuzzy pipeline so most
+            // renames never reach the designer.
+            for f in &mut fd.fields {
+                if f.is_submit() {
+                    continue;
+                }
+                if let Some(std_name) = self.standardizer.standardize(&f.name) {
+                    if std_name != f.attr {
+                        f.attr = std_name;
+                        standardized += 1;
+                    }
+                }
+            }
+            let descr = ActionDescr::Submit(fd);
+            if !node.actions.iter().any(|a| same_action_identity(a, &descr)) {
+                node.actions.push(descr);
+            } else {
+                standardized = 0; // already catalogued: nothing new
+            }
+        }
+        self.auto_standardized += standardized;
+        id
+    }
+
+    fn current(&self) -> Result<(NodeId, Rc<LoadedPage>), RecordError> {
+        match (self.current_node, self.browser.current()) {
+            (Some(n), Some(p)) => Ok((n, p.clone())),
+            _ => Err(RecordError::NoCurrentPage),
+        }
+    }
+
+    /// Apply one designer event.
+    pub fn apply(&mut self, action: &DesignerAction) -> Result<(), RecordError> {
+        match action {
+            DesignerAction::Goto(url_str) => {
+                let url = Url::parse(url_str)
+                    .ok_or_else(|| RecordError::BadUrl(url_str.clone()))?;
+                let page = self.browser.goto(url)?;
+                let node = self.absorb_page(&page);
+                if self.map.nodes.len() == 1 || self.current_node.is_none() {
+                    self.map.entry = node;
+                }
+                self.current_node = Some(node);
+            }
+            DesignerAction::FollowLink(text) => {
+                let (from, from_page) = self.current()?;
+                let href = from_page
+                    .link_by_text(text)
+                    .ok_or_else(|| BrowseError::NoSuchLink(text.clone()))?
+                    .href
+                    .clone();
+                self.history.push((from, from_page));
+                let page = self.browser.follow_link(text)?;
+                let to = self.absorb_page(&page);
+                self.map.add_edge(
+                    from,
+                    to,
+                    ActionDescr::Follow(LinkDescr { name: text.clone(), href }),
+                );
+                self.current_node = Some(to);
+            }
+            DesignerAction::FollowLinkAsValue { attr, chosen } => {
+                let (from, from_page) = self.current()?;
+                let chosen_link = from_page
+                    .link_by_text(chosen)
+                    .ok_or_else(|| BrowseError::NoSuchLink(chosen.clone()))?;
+                // The attribute's choices: every link sharing the chosen
+                // link's structural environment (the paper: "the user …
+                // provide[s] a name as well as the set of links").
+                let choices: Vec<(String, String)> = from_page
+                    .links
+                    .iter()
+                    .filter(|l| l.environment == chosen_link.environment)
+                    .map(|l| (l.text.to_lowercase(), l.href.clone()))
+                    .collect();
+                self.manual_facts += 1; // the attribute name
+                self.history.push((from, from_page.clone()));
+                let page = self.browser.follow_link(chosen)?;
+                let to = self.absorb_page(&page);
+                self.map.add_edge_with(
+                    from,
+                    to,
+                    ActionDescr::FollowByValue { attr: attr.clone(), choices },
+                    vec![(attr.clone(), chosen.to_lowercase())],
+                );
+                self.current_node = Some(to);
+            }
+            DesignerAction::SubmitForm { action, values } => {
+                let (from, from_page) = self.current()?;
+                // The edge carries the node's annotated descriptor.
+                let descr = self
+                    .map
+                    .node(from)
+                    .actions
+                    .iter()
+                    .find_map(|a| match a {
+                        ActionDescr::Submit(f) if f.cgi == *action => Some(f.clone()),
+                        _ => None,
+                    })
+                    .ok_or_else(|| BrowseError::NoSuchForm(action.clone()))?;
+                self.history.push((from, from_page));
+                let page = self.browser.submit_form(action, values)?;
+                let to = self.absorb_page(&page);
+                self.map.add_edge_with(from, to, ActionDescr::Submit(descr), values.clone());
+                self.current_node = Some(to);
+            }
+            DesignerAction::RenameField { form_action, field, attr } => {
+                let (node, _) = self.current()?;
+                let f = self
+                    .node_form_field(node, form_action, field)
+                    .ok_or_else(|| RecordError::NoSuchField {
+                        form: form_action.clone(),
+                        field: field.clone(),
+                    })?;
+                // Re-asserting the same name is a no-op (idempotent
+                // annotations keep re-recorded sessions from diverging).
+                if f.attr != *attr {
+                    f.attr = attr.clone();
+                    f.manual_facts += 1;
+                    self.manual_facts += 1;
+                }
+            }
+            DesignerAction::MarkMandatory { form_action, field, mandatory } => {
+                let (node, _) = self.current()?;
+                let f = self
+                    .node_form_field(node, form_action, field)
+                    .ok_or_else(|| RecordError::NoSuchField {
+                        form: form_action.clone(),
+                        field: field.clone(),
+                    })?;
+                if f.mandatory != *mandatory {
+                    f.mandatory = *mandatory;
+                    f.manual_facts += 1;
+                    self.manual_facts += 1;
+                }
+            }
+            DesignerAction::MarkDataPage { relation, spec } => {
+                let (node, _) = self.current()?;
+                // The extraction script counts as manual input once per
+                // relation — marking a second data page with the *same*
+                // script reuses it (the paper's rare-make branch).
+                if !self.map.relations.iter().any(|r| r.relation == *relation) {
+                    self.manual_facts += spec.fields().len();
+                }
+                self.map.node_mut(node).kind = NodeKind::Data(spec.clone());
+                self.map.register_relation(relation, node);
+            }
+            DesignerAction::Back => {
+                let (node, page) =
+                    self.history.pop().ok_or(RecordError::NothingToGoBackTo)?;
+                // Restore the browser's current page without a fetch.
+                self.browser.restore(page);
+                self.current_node = Some(node);
+            }
+        }
+        Ok(())
+    }
+
+    fn node_form_field(
+        &mut self,
+        node: NodeId,
+        form_action: &str,
+        field: &str,
+    ) -> Option<&mut FieldDescr> {
+        self.map.node_mut(node).actions.iter_mut().find_map(|a| match a {
+            ActionDescr::Submit(f) if f.cgi == form_action => {
+                f.fields.iter_mut().find(|fd| fd.name == field)
+            }
+            _ => None,
+        })
+    }
+}
+
+/// Same map identity? (links by name, forms by cgi)
+fn same_action_identity(a: &ActionDescr, b: &ActionDescr) -> bool {
+    match (a, b) {
+        (ActionDescr::Follow(x), ActionDescr::Follow(y)) => x.name == y.name,
+        (ActionDescr::Submit(x), ActionDescr::Submit(y)) => x.cgi == y.cgi,
+        (
+            ActionDescr::FollowByValue { attr: x, .. },
+            ActionDescr::FollowByValue { attr: y, .. },
+        ) => x == y,
+        _ => false,
+    }
+}
+
+/// Derive a node name from the page title (e.g. "Newsday Used Car
+/// Search" → "UsedCarSearchPg").
+fn node_name(page: &LoadedPage) -> String {
+    let tail: String = page
+        .title
+        .split(&[' ', '-'][..])
+        .filter(|w| !w.is_empty())
+        .skip(1) // drop the site name
+        .take(3)
+        .collect::<Vec<_>>()
+        .join("");
+    if tail.is_empty() {
+        "HomePg".to_string()
+    } else {
+        format!("{}Pg", tail.replace(|c: char| !c.is_alphanumeric(), ""))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_webworld::data::Dataset;
+
+    fn web_and_data() -> (SyntheticWeb, std::sync::Arc<Dataset>) {
+        let d = Dataset::generate(5, 600);
+        (standard_web(d.clone(), LatencyModel::lan()), d)
+    }
+
+    fn web() -> SyntheticWeb {
+        web_and_data().0
+    }
+
+    #[test]
+    fn records_figure2_topology() {
+        let (web, data) = web_and_data();
+        let session = crate::sessions::newsday(&data);
+        let (map, stats) = Recorder::record(web, "www.newsday.com", &session)
+            .expect("session records");
+        // home, hub, UsedCarPg, CarPg(refine), data page, detail page,
+        // plus (when a rare make exists) the direct-branch data page.
+        assert!(
+            (6..=7).contains(&map.nodes.len()),
+            "unexpected node count: {}",
+            map.render_text()
+        );
+        // entry is home
+        assert_eq!(map.entry, 0);
+        // the data node is marked and registered
+        let data_nodes: Vec<_> = map
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Data(_)))
+            .collect();
+        assert!(data_nodes.len() >= 2, "listing + detail data pages");
+        assert!(map.relations.iter().any(|r| r.relation == "newsday"));
+        assert!(map.relations.iter().any(|r| r.relation == "newsdayCarFeatures"));
+        // the More self-loop was recorded
+        let data_id = data_nodes[0].id;
+        assert!(
+            map.out_edges(data_id).any(|e| e.to == data_id),
+            "More loop missing: {}",
+            map.render_text()
+        );
+        // §7 statistics: tens of objects, hundreds of attributes, tiny
+        // manual fraction.
+        assert!(stats.objects >= 35, "objects = {}", stats.objects);
+        assert!(stats.attributes >= 180, "attributes = {}", stats.attributes);
+        assert!(stats.manual_ratio() < 0.05, "manual ratio {}", stats.manual_ratio());
+    }
+
+    #[test]
+    fn revisits_do_not_duplicate() {
+        let (web, data) = web_and_data();
+        let session = crate::sessions::newsday(&data);
+        // Browse the whole thing twice.
+        let twice: Vec<DesignerAction> =
+            session.iter().cloned().chain(session.iter().cloned()).collect();
+        let (map_twice, _) =
+            Recorder::record(web.clone(), "www.newsday.com", &twice).expect("records");
+        let (map_once, _) =
+            Recorder::record(web, "www.newsday.com", &session).expect("records");
+        assert_eq!(map_twice.nodes.len(), map_once.nodes.len());
+        assert_eq!(map_twice.edges.len(), map_once.edges.len());
+    }
+
+    #[test]
+    fn back_allows_branch_recording() {
+        let mut r = Recorder::new(web(), "www.newsday.com");
+        r.apply(&DesignerAction::Goto("http://www.newsday.com/".into())).expect("goto");
+        r.apply(&DesignerAction::FollowLink("Automobiles".into())).expect("follow");
+        r.apply(&DesignerAction::Back).expect("back");
+        // We are at home again; record the other branch.
+        r.apply(&DesignerAction::FollowLink("Sports".into())).expect("follow sports");
+        let (map, _) = r.finish();
+        assert!(map.out_edges(0).count() >= 2);
+    }
+
+    #[test]
+    fn annotations_count_as_manual_facts() {
+        let mut r = Recorder::new(web(), "www.newsday.com");
+        r.apply(&DesignerAction::Goto("http://www.newsday.com/auto/used".into()))
+            .expect("goto");
+        r.apply(&DesignerAction::RenameField {
+            form_action: "/cgi-bin/nclassy".into(),
+            field: "make".into(),
+            attr: "manufacturer".into(),
+        })
+        .expect("rename");
+        let stats = r.stats();
+        assert_eq!(stats.manual_facts, 1);
+        let node = &r.map().nodes[0];
+        let form = node
+            .actions
+            .iter()
+            .find_map(|a| match a {
+                ActionDescr::Submit(f) => Some(f),
+                _ => None,
+            })
+            .expect("form catalogued");
+        assert!(form.field_by_attr("manufacturer").is_some());
+    }
+
+    #[test]
+    fn bad_annotation_reports_error() {
+        let mut r = Recorder::new(web(), "www.newsday.com");
+        r.apply(&DesignerAction::Goto("http://www.newsday.com/".into())).expect("goto");
+        let err = r
+            .apply(&DesignerAction::RenameField {
+                form_action: "/nope".into(),
+                field: "x".into(),
+                attr: "y".into(),
+            })
+            .expect_err("no such form");
+        assert!(matches!(err, RecordError::NoSuchField { .. }));
+    }
+
+    #[test]
+    fn link_value_attribute_on_autoweb() {
+        let session = vec![
+            DesignerAction::Goto("http://www.autoweb.com/".into()),
+            DesignerAction::FollowLinkAsValue { attr: "make".into(), chosen: "Ford".into() },
+        ];
+        let (map, stats) = Recorder::record(web(), "www.autoweb.com", &session).expect("records");
+        let edge = map.edges.iter().find(|e| matches!(e.action, ActionDescr::FollowByValue { .. }));
+        let Some(edge) = edge else { panic!("no FollowByValue edge") };
+        match &edge.action {
+            ActionDescr::FollowByValue { attr, choices } => {
+                assert_eq!(attr, "make");
+                assert_eq!(choices.len(), webbase_webworld::data::MAKES.len());
+                assert!(choices.iter().any(|(v, _)| v == "jaguar"));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(stats.manual_facts, 1);
+    }
+}
+
+#[cfg(test)]
+mod standardizer_tests {
+    use super::*;
+    use webbase_webworld::data::Dataset;
+
+    /// The wwwheels `mk` field standardises to `make` with NO designer
+    /// rename — the automation the §7 pipeline is for.
+    #[test]
+    fn cryptic_names_standardise_automatically() {
+        let data = Dataset::generate(5, 400);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let session = vec![
+            DesignerAction::Goto("http://www.wwwheels.com/".into()),
+            DesignerAction::FollowLink("Used Cars".into()),
+            // note: no RenameField
+            DesignerAction::SubmitForm {
+                action: "/cgi-bin/search".into(),
+                values: vec![("mk".into(), "ford".into())],
+            },
+        ];
+        let (map, stats) =
+            Recorder::record(web, "www.wwwheels.com", &session).expect("records");
+        assert_eq!(stats.manual_facts, 0);
+        assert!(stats.auto_standardized >= 1, "{stats:?}");
+        let form = map
+            .nodes
+            .iter()
+            .flat_map(|n| n.actions.iter())
+            .find_map(|a| match a {
+                ActionDescr::Submit(f) if f.cgi == "/cgi-bin/search" => Some(f),
+                _ => None,
+            })
+            .expect("form catalogued");
+        let mk = form.fields.iter().find(|f| f.name == "mk").expect("mk field");
+        assert_eq!(mk.attr, "make", "synonym table renames mk → make");
+        assert_eq!(mk.manual_facts, 0);
+    }
+
+    /// A designer's manual mapping overrides the automatic pipeline.
+    #[test]
+    fn manual_mapping_beats_automation() {
+        let data = Dataset::generate(5, 400);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let mut std = webbase_relational::standardize::Standardizer::car_domain();
+        std.map("mk", "marque"); // the designer disagrees with the synonym table
+        let mut r = Recorder::with_standardizer(web, "www.wwwheels.com", std);
+        r.apply(&DesignerAction::Goto("http://www.wwwheels.com/".into())).expect("goto");
+        r.apply(&DesignerAction::FollowLink("Used Cars".into())).expect("follow");
+        let (map, _) = r.finish();
+        let form = map
+            .nodes
+            .iter()
+            .flat_map(|n| n.actions.iter())
+            .find_map(|a| match a {
+                ActionDescr::Submit(f) => Some(f),
+                _ => None,
+            })
+            .expect("form catalogued");
+        assert_eq!(form.fields.iter().find(|f| f.name == "mk").expect("mk").attr, "marque");
+    }
+}

@@ -1,0 +1,92 @@
+//! Navigation under server failures: the executor must degrade
+//! gracefully (fewer answers, never a panic or a hang), and map
+//! maintenance must report what it could not reach.
+
+use webbase_navigation::executor::SiteNavigator;
+use webbase_navigation::maintenance::check_map;
+use webbase_navigation::recorder::Recorder;
+use webbase_navigation::sessions;
+use webbase_relational::Value;
+use webbase_webworld::data::{Dataset, SiteSlice};
+use webbase_webworld::faults::{FlakySite, TruncatingSite};
+use webbase_webworld::prelude::*;
+use webbase_webworld::sites::Newsday;
+
+fn newsday_map(web: &SyntheticWeb, data: &std::sync::Arc<Dataset>) -> webbase_navigation::NavigationMap {
+    Recorder::record(web.clone(), "www.newsday.com", &sessions::newsday(data))
+        .expect("records")
+        .0
+}
+
+#[test]
+fn flaky_site_degrades_gracefully() {
+    let data = Dataset::generate(7, 500);
+    // Record against a healthy web…
+    let healthy = standard_web(data.clone(), LatencyModel::zero());
+    let map = newsday_map(&healthy, &data);
+    let healthy_nav = SiteNavigator::new(healthy, map.clone());
+    let given = vec![("make".to_string(), Value::str("ford"))];
+    let (full, _) = healthy_nav.run_relation("newsday", &given).expect("healthy run");
+
+    // …then navigate against a flaky one (every 5th request 500s).
+    let flaky = SyntheticWeb::builder()
+        .site(FlakySite::new(Newsday::new(data.clone(), 1), 5))
+        .latency(LatencyModel::zero())
+        .build();
+    let nav = SiteNavigator::new(flaky, map);
+    let (partial, _) = nav.run_relation("newsday", &given).expect("flaky run completes");
+    assert!(
+        partial.len() <= full.len(),
+        "failures cannot add answers ({} > {})",
+        partial.len(),
+        full.len()
+    );
+    // Every partial answer is a real answer.
+    for rec in &partial {
+        assert!(full.contains(rec), "fabricated answer under failure: {rec:?}");
+    }
+}
+
+#[test]
+fn truncated_pages_yield_partial_rows_not_garbage() {
+    let data = Dataset::generate(7, 500);
+    let healthy = standard_web(data.clone(), LatencyModel::zero());
+    let map = newsday_map(&healthy, &data);
+    let truncating = SyntheticWeb::builder()
+        .site(TruncatingSite::new(Newsday::new(data.clone(), 1), 900))
+        .latency(LatencyModel::zero())
+        .build();
+    let nav = SiteNavigator::new(truncating, map);
+    let (records, _) = nav
+        .run_relation("newsday", &[("make".to_string(), Value::str("ford"))])
+        .expect("truncated run completes");
+    // Whatever survived truncation must still be well-typed ford ads.
+    let truth = data.matching(SiteSlice::Newsday, Some("ford"), None);
+    for rec in &records {
+        assert_eq!(rec["make"], Value::str("ford"));
+        if let Value::Int(price) = rec["price"] {
+            assert!(
+                truth.iter().any(|ad| ad.price as i64 == price),
+                "price {price} not in ground truth"
+            );
+        }
+    }
+}
+
+#[test]
+fn maintenance_reports_unreachable_on_dead_server() {
+    let data = Dataset::generate(7, 400);
+    let healthy = standard_web(data.clone(), LatencyModel::zero());
+    let mut map = newsday_map(&healthy, &data);
+    // A web where Newsday fails on every second request: maintenance must
+    // finish and either report unreachable nodes or changes — never hang.
+    let broken = SyntheticWeb::builder()
+        .site(FlakySite::new(Newsday::new(data.clone(), 1), 2))
+        .latency(LatencyModel::zero())
+        .build();
+    let report = check_map(broken, &mut map);
+    assert!(
+        !report.unreachable.is_empty() || !report.changes.is_empty(),
+        "a half-dead site cannot look clean"
+    );
+}

@@ -1,0 +1,237 @@
+//! Relational algebra expressions.
+//!
+//! `Expr` is the language in which the webbase's *logical layer* defines
+//! its relations over VPS relations (the paper's Table 2), and into which
+//! external-schema queries are translated before evaluation.
+
+use crate::arith::ArithExpr;
+use crate::predicate::Pred;
+use crate::schema::{Attr, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A relational algebra expression over named base relations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A base (VPS) relation, by name.
+    Rel(String),
+    /// σ — selection.
+    Select(Box<Expr>, Pred),
+    /// π — projection onto the listed attributes (in order).
+    Project(Box<Expr>, Vec<Attr>),
+    /// ⋈ — natural join (degenerates to × when no attributes are shared).
+    Join(Box<Expr>, Box<Expr>),
+    /// ∪ — set union (schemas must match).
+    Union(Box<Expr>, Box<Expr>),
+    /// ∖ — set difference (schemas must match).
+    Diff(Box<Expr>, Box<Expr>),
+    /// ρ — rename attributes `(from, to)`.
+    Rename(Box<Expr>, Vec<(Attr, Attr)>),
+    /// Extend with a computed column: `attr := formula` (the §6.2
+    /// monthly-payment computation).
+    Extend(Box<Expr>, Attr, ArithExpr),
+}
+
+impl Expr {
+    pub fn relation(name: impl Into<String>) -> Expr {
+        Expr::Rel(name.into())
+    }
+
+    pub fn select(self, pred: Pred) -> Expr {
+        Expr::Select(Box::new(self), pred)
+    }
+
+    pub fn project<I, A>(self, attrs: I) -> Expr
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        Expr::Project(Box::new(self), attrs.into_iter().map(Into::into).collect())
+    }
+
+    pub fn join(self, other: Expr) -> Expr {
+        Expr::Join(Box::new(self), Box::new(other))
+    }
+
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union(Box::new(self), Box::new(other))
+    }
+
+    pub fn diff(self, other: Expr) -> Expr {
+        Expr::Diff(Box::new(self), Box::new(other))
+    }
+
+    pub fn extend(self, attr: impl Into<Attr>, formula: ArithExpr) -> Expr {
+        Expr::Extend(Box::new(self), attr.into(), formula)
+    }
+
+    pub fn rename<I, A, B>(self, pairs: I) -> Expr
+    where
+        I: IntoIterator<Item = (A, B)>,
+        A: Into<Attr>,
+        B: Into<Attr>,
+    {
+        Expr::Rename(
+            Box::new(self),
+            pairs.into_iter().map(|(a, b)| (a.into(), b.into())).collect(),
+        )
+    }
+
+    /// Names of the base relations referenced (with duplicates, in
+    /// left-to-right order).
+    pub fn base_relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_bases(&mut out);
+        out
+    }
+
+    fn collect_bases<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Rel(n) => out.push(n),
+            Expr::Select(e, _) | Expr::Project(e, _) | Expr::Rename(e, _)
+            | Expr::Extend(e, _, _) => e.collect_bases(out),
+            Expr::Join(l, r) | Expr::Union(l, r) | Expr::Diff(l, r) => {
+                l.collect_bases(out);
+                r.collect_bases(out);
+            }
+        }
+    }
+
+    /// Static result schema, given a resolver for base relation schemas.
+    /// Returns `None` when a base relation is unknown.
+    pub fn schema(&self, base: &dyn Fn(&str) -> Option<Schema>) -> Option<Schema> {
+        match self {
+            Expr::Rel(n) => base(n),
+            Expr::Select(e, _) => e.schema(base),
+            Expr::Project(e, attrs) => Some(e.schema(base)?.project(attrs)),
+            Expr::Join(l, r) => Some(l.schema(base)?.join(&r.schema(base)?)),
+            Expr::Union(l, r) | Expr::Diff(l, r) => {
+                let ls = l.schema(base)?;
+                let rs = r.schema(base)?;
+                // Union/difference require compatible schemas; surface a
+                // mismatch as None.
+                if ls == rs {
+                    Some(ls)
+                } else {
+                    None
+                }
+            }
+            Expr::Rename(e, pairs) => {
+                let s = e.schema(base)?;
+                Some(Schema::new(s.attrs().iter().map(|a| {
+                    pairs
+                        .iter()
+                        .find(|(from, _)| from == a)
+                        .map(|(_, to)| to.clone())
+                        .unwrap_or_else(|| a.clone())
+                })))
+            }
+            Expr::Extend(e, attr, formula) => {
+                let s = e.schema(base)?;
+                // The formula must read existing attributes and the new
+                // name must be fresh; otherwise the expression is
+                // malformed (None, like a schema mismatch).
+                if s.contains(attr) || formula.attrs().iter().any(|a| !s.contains(a)) {
+                    return None;
+                }
+                Some(s.join(&Schema::new([attr.clone()])))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Rel(n) => f.write_str(n),
+            Expr::Select(e, p) => write!(f, "σ[{p}]({e})"),
+            Expr::Project(e, attrs) => {
+                let names: Vec<&str> = attrs.iter().map(Attr::as_str).collect();
+                write!(f, "π[{}]({e})", names.join(", "))
+            }
+            Expr::Join(l, r) => write!(f, "({l} ⋈ {r})"),
+            Expr::Union(l, r) => write!(f, "({l} ∪ {r})"),
+            Expr::Diff(l, r) => write!(f, "({l} ∖ {r})"),
+            Expr::Rename(e, pairs) => {
+                let ps: Vec<String> =
+                    pairs.iter().map(|(a, b)| format!("{a}→{b}")).collect();
+                write!(f, "ρ[{}]({e})", ps.join(", "))
+            }
+            Expr::Extend(e, attr, formula) => write!(f, "ε[{attr} := {formula}]({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Pred;
+
+    fn base(name: &str) -> Option<Schema> {
+        match name {
+            "newsday" => Some(Schema::new(["make", "model", "year", "price", "contact", "url"])),
+            "features" => Some(Schema::new(["url", "features", "picture"])),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn schema_of_join_and_project() {
+        let e = Expr::relation("newsday")
+            .join(Expr::relation("features"))
+            .project(["make", "features"]);
+        let s = e.schema(&base).expect("schema resolves");
+        assert_eq!(s, Schema::new(["make", "features"]));
+    }
+
+    #[test]
+    fn schema_of_rename() {
+        let e = Expr::relation("features").rename([("picture", "photo")]);
+        assert_eq!(
+            e.schema(&base).expect("resolves"),
+            Schema::new(["url", "features", "photo"])
+        );
+    }
+
+    #[test]
+    fn union_schema_mismatch_is_none() {
+        let e = Expr::relation("newsday").union(Expr::relation("features"));
+        assert!(e.schema(&base).is_none());
+    }
+
+    #[test]
+    fn unknown_base_is_none() {
+        assert!(Expr::relation("nope").schema(&base).is_none());
+    }
+
+    #[test]
+    fn base_relations_in_order() {
+        let e = Expr::relation("newsday")
+            .join(Expr::relation("features"))
+            .select(Pred::eq("make", "ford"));
+        assert_eq!(e.base_relations(), vec!["newsday", "features"]);
+    }
+
+    #[test]
+    fn display_shape() {
+        let e = Expr::relation("r").select(Pred::eq("a", 1i64)).project(["a"]);
+        assert_eq!(e.to_string(), "π[a](σ[a = 1](r))");
+    }
+
+    #[test]
+    fn extend_schema_and_validation() {
+        use crate::arith::parse_arith;
+        let e = Expr::relation("newsday")
+            .extend("half", parse_arith("price / 2").expect("parses"));
+        let s = e.schema(&base).expect("resolves");
+        assert!(s.contains(&"half".into()));
+        assert_eq!(s.len(), 7);
+        // Existing name or unknown formula input → malformed (None).
+        let clash = Expr::relation("newsday")
+            .extend("price", parse_arith("year").expect("parses"));
+        assert!(clash.schema(&base).is_none());
+        let unknown = Expr::relation("newsday")
+            .extend("x", parse_arith("nosuch + 1").expect("parses"));
+        assert!(unknown.schema(&base).is_none());
+    }
+}

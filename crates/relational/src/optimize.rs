@@ -1,0 +1,350 @@
+//! Algebraic query optimisation.
+//!
+//! §2 of the paper: once user queries are composed with view definitions,
+//! "the entire query can be optimized using techniques that are akin to
+//! relational algebra transformations". This module implements the
+//! classical rewrites over [`Expr`]:
+//!
+//! * **selection cascade**: `σ_p(σ_q(E)) → σ_{p∧q}(E)`;
+//! * **selection pushdown through ∪ / ∖**: `σ_p(E₁ ∪ E₂) → σ_p(E₁) ∪ σ_p(E₂)`;
+//! * **selection pushdown through ⋈**: conjuncts whose attributes fall
+//!   entirely on one side move to that side (both sides when shared);
+//! * **selection/projection commutation**: `σ_p(π_X(E)) → π_X(σ_p(E))`
+//!   when `attrs(p) ⊆ X`;
+//! * **projection cascade**: `π_X(π_Y(E)) → π_X(E)`;
+//! * **trivial-selection elimination**: `σ_true(E) → E`.
+//!
+//! In a webbase, pushdown is not only a cost optimisation: selections
+//! pushed toward base relations become *binding values* earlier, so an
+//! optimised expression can be invocable where the raw one needed
+//! runtime sideways passing. The equivalence property (optimised ≡
+//! original on every provider) is checked by the crate's property tests.
+
+use crate::algebra::Expr;
+use crate::predicate::Pred;
+use crate::schema::{Attr, Schema};
+
+/// Optimise an expression with the rewrites above, given a base-schema
+/// resolver (needed to split join conjuncts). Unknown base relations
+/// disable the join-split rewrite locally but everything else proceeds.
+pub fn optimize(expr: &Expr, base: &dyn Fn(&str) -> Option<Schema>) -> Expr {
+    // Apply passes to a fixpoint (bounded — each pass strictly reduces a
+    // measure or leaves the tree unchanged; the bound is defensive).
+    let mut current = expr.clone();
+    for _ in 0..8 {
+        let next = pass(&current, base);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+fn pass(expr: &Expr, base: &dyn Fn(&str) -> Option<Schema>) -> Expr {
+    match expr {
+        Expr::Rel(_) => expr.clone(),
+        Expr::Select(inner, p) => {
+            let inner = pass(inner, base);
+            push_select(p.clone(), inner, base)
+        }
+        Expr::Project(inner, attrs) => {
+            let inner = pass(inner, base);
+            match inner {
+                // π_X(π_Y(E)) → π_X(E): the outer list is the survivor.
+                Expr::Project(e, _) => Expr::Project(e, attrs.clone()),
+                other => Expr::Project(Box::new(other), attrs.clone()),
+            }
+        }
+        Expr::Join(l, r) => pass(l, base).join(pass(r, base)),
+        Expr::Union(l, r) => pass(l, base).union(pass(r, base)),
+        Expr::Diff(l, r) => pass(l, base).diff(pass(r, base)),
+        Expr::Rename(e, pairs) => pass(e, base).rename(pairs.iter().cloned()),
+        Expr::Extend(e, attr, formula) => {
+            Expr::Extend(Box::new(pass(e, base)), attr.clone(), formula.clone())
+        }
+    }
+}
+
+/// Push one selection into `inner` as far as it goes.
+fn push_select(p: Pred, inner: Expr, base: &dyn Fn(&str) -> Option<Schema>) -> Expr {
+    if p == Pred::True {
+        return inner;
+    }
+    match inner {
+        // Cascade: merge with an inner selection and retry as one.
+        Expr::Select(e, q) => push_select(Pred::and(vec![p, q]), *e, base),
+        // Distribute over union / difference (sound for both: difference
+        // commutes with selection).
+        Expr::Union(l, r) => {
+            push_select(p.clone(), *l, base).union(push_select(p, *r, base))
+        }
+        Expr::Diff(l, r) => {
+            push_select(p.clone(), *l, base).diff(push_select(p, *r, base))
+        }
+        // Commute with projection when every predicate attribute is
+        // visible below.
+        Expr::Project(e, attrs) => {
+            if p.attrs().iter().all(|a| attrs.contains(a)) {
+                Expr::Project(Box::new(push_select(p, *e, base)), attrs)
+            } else {
+                Expr::Select(Box::new(Expr::Project(e, attrs)), p)
+            }
+        }
+        // Split conjuncts across a join by attribute coverage.
+        Expr::Join(l, r) => {
+            let (ls, rs) = (l.schema(base), r.schema(base));
+            match (ls, rs) {
+                (Some(ls), Some(rs)) => {
+                    let conjuncts = flatten_and(p);
+                    let mut left_preds = Vec::new();
+                    let mut right_preds = Vec::new();
+                    let mut keep = Vec::new();
+                    for c in conjuncts {
+                        let attrs = c.attrs();
+                        let on_left = attrs.iter().all(|a| ls.contains(a));
+                        let on_right = attrs.iter().all(|a| rs.contains(a));
+                        match (on_left, on_right) {
+                            // Shared attributes: filtering either side is
+                            // sound for a natural join; do both so each
+                            // side's invocation sees the constant.
+                            (true, true) => {
+                                left_preds.push(c.clone());
+                                right_preds.push(c);
+                            }
+                            (true, false) => left_preds.push(c),
+                            (false, true) => right_preds.push(c),
+                            (false, false) => keep.push(c),
+                        }
+                    }
+                    let l = if left_preds.is_empty() {
+                        *l
+                    } else {
+                        push_select(Pred::and(left_preds), *l, base)
+                    };
+                    let r = if right_preds.is_empty() {
+                        *r
+                    } else {
+                        push_select(Pred::and(right_preds), *r, base)
+                    };
+                    let joined = l.join(r);
+                    if keep.is_empty() {
+                        joined
+                    } else {
+                        joined.select(Pred::and(keep))
+                    }
+                }
+                _ => Expr::Select(Box::new(Expr::Join(l, r)), p),
+            }
+        }
+        // Through a rename: translate attribute names backwards.
+        Expr::Rename(e, pairs) => {
+            match rename_pred_back(&p, &pairs) {
+                Some(back) => push_select(back, *e, base).rename(pairs),
+                None => Expr::Select(Box::new(Expr::Rename(e, pairs)), p),
+            }
+        }
+        // Push conjuncts that don't mention the computed column below the
+        // extend; the rest (and anything reading the new column) stays.
+        Expr::Extend(e, attr, formula) => {
+            let conjuncts = flatten_and(p);
+            let (below, above): (Vec<Pred>, Vec<Pred>) =
+                conjuncts.into_iter().partition(|c| !c.attrs().contains(&attr));
+            let inner = if below.is_empty() {
+                *e
+            } else {
+                push_select(Pred::and(below), *e, base)
+            };
+            let extended = Expr::Extend(Box::new(inner), attr, formula);
+            if above.is_empty() {
+                extended
+            } else {
+                extended.select(Pred::and(above))
+            }
+        }
+        base_rel @ Expr::Rel(_) => Expr::Select(Box::new(base_rel), p),
+    }
+}
+
+/// Flatten a predicate into its top-level conjuncts.
+fn flatten_and(p: Pred) -> Vec<Pred> {
+    match p {
+        Pred::And(ps) => ps.into_iter().flat_map(flatten_and).collect(),
+        Pred::True => Vec::new(),
+        other => vec![other],
+    }
+}
+
+/// Rewrite a predicate in terms of pre-rename attribute names; `None`
+/// when some attribute is not invertible (renamed *onto* by the pair
+/// list in a conflicting way never happens with valid renames).
+fn rename_pred_back(p: &Pred, pairs: &[(Attr, Attr)]) -> Option<Pred> {
+    let back = |a: &Attr| -> Attr {
+        pairs
+            .iter()
+            .find(|(_, to)| to == a)
+            .map(|(from, _)| from.clone())
+            .unwrap_or_else(|| a.clone())
+    };
+    Some(match p {
+        Pred::Cmp(a, op, v) => Pred::Cmp(back(a), *op, v.clone()),
+        Pred::CmpAttr(a, op, b) => Pred::CmpAttr(back(a), *op, back(b)),
+        Pred::Contains(a, s) => Pred::Contains(back(a), s.clone()),
+        Pred::And(ps) => {
+            Pred::And(ps.iter().map(|x| rename_pred_back(x, pairs)).collect::<Option<_>>()?)
+        }
+        Pred::Or(ps) => {
+            Pred::Or(ps.iter().map(|x| rename_pred_back(x, pairs)).collect::<Option<_>>()?)
+        }
+        Pred::Not(inner) => Pred::Not(Box::new(rename_pred_back(inner, pairs)?)),
+        Pred::True => Pred::True,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{AccessSpec, Evaluator, MemoryProvider};
+    use crate::prelude::*;
+
+    fn base(name: &str) -> Option<Schema> {
+        match name {
+            "ads" => Some(Schema::new(["make", "model", "price"])),
+            "book" => Some(Schema::new(["make", "model", "bbprice"])),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn selection_cascade_merges() {
+        let e = Expr::relation("ads")
+            .select(Pred::eq("make", "ford"))
+            .select(Pred::lt("price", 5000i64));
+        let o = optimize(&e, &base);
+        match o {
+            Expr::Select(inner, p) => {
+                assert_eq!(*inner, Expr::relation("ads"));
+                assert!(matches!(p, Pred::And(ref ps) if ps.len() == 2));
+            }
+            other => panic!("expected single select, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_through_union() {
+        let e = Expr::relation("ads")
+            .union(Expr::relation("ads"))
+            .select(Pred::eq("make", "ford"));
+        let o = optimize(&e, &base);
+        assert!(
+            matches!(o, Expr::Union(ref l, _) if matches!(**l, Expr::Select(..))),
+            "{o}"
+        );
+    }
+
+    #[test]
+    fn join_split_by_coverage() {
+        let p = Pred::and(vec![
+            Pred::eq("price", 1000i64),       // left only
+            Pred::eq("bbprice", 2000i64),     // right only
+            Pred::eq("make", "ford"),         // shared → both
+            Pred::attr_lt("price", "bbprice"), // cross → stays above
+        ]);
+        let e = Expr::relation("ads").join(Expr::relation("book")).select(p);
+        let o = optimize(&e, &base);
+        let txt = o.to_string();
+        assert!(txt.contains("σ[(price = 1000 AND make = ford)](ads)"), "{txt}");
+        assert!(txt.contains("σ[(bbprice = 2000 AND make = ford)](book)"), "{txt}");
+        assert!(txt.contains("σ[price < bbprice]"), "{txt}");
+    }
+
+    #[test]
+    fn select_commutes_with_projection_when_visible() {
+        let e = Expr::relation("ads").project(["make", "price"]).select(Pred::eq("make", "ford"));
+        let o = optimize(&e, &base);
+        assert!(matches!(o, Expr::Project(ref inner, _) if matches!(**inner, Expr::Select(..))), "{o}");
+        // …but not when the projection hides the attribute.
+        let e2 = Expr::relation("ads").project(["price"]).select(Pred::lt("price", 1i64));
+        let o2 = optimize(&e2, &base);
+        assert!(matches!(o2, Expr::Project(..)), "{o2}");
+    }
+
+    #[test]
+    fn projection_cascade() {
+        let e = Expr::relation("ads").project(["make", "model"]).project(["make"]);
+        let o = optimize(&e, &base);
+        assert_eq!(o, Expr::relation("ads").project(["make"]));
+    }
+
+    #[test]
+    fn pushdown_through_rename() {
+        let e = Expr::relation("ads")
+            .rename([("make", "manufacturer")])
+            .select(Pred::eq("manufacturer", "ford"));
+        let o = optimize(&e, &base);
+        match &o {
+            Expr::Rename(inner, _) => {
+                assert!(matches!(**inner, Expr::Select(..)), "{o}");
+                let txt = o.to_string();
+                assert!(txt.contains("σ[make = ford]"), "{txt}");
+            }
+            other => panic!("expected rename on top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn equivalence_on_data() {
+        let ads = Relation::from_rows(
+            Schema::new(["make", "model", "price"]),
+            [
+                vec![Value::str("ford"), Value::str("escort"), Value::Int(900)],
+                vec![Value::str("ford"), Value::str("focus"), Value::Int(2400)],
+                vec![Value::str("saab"), Value::str("900"), Value::Int(3100)],
+            ],
+        );
+        let book = Relation::from_rows(
+            Schema::new(["make", "model", "bbprice"]),
+            [
+                vec![Value::str("ford"), Value::str("escort"), Value::Int(1200)],
+                vec![Value::str("ford"), Value::str("focus"), Value::Int(2000)],
+                vec![Value::str("saab"), Value::str("900"), Value::Int(3600)],
+            ],
+        );
+        let e = Expr::relation("ads")
+            .join(Expr::relation("book"))
+            .select(Pred::and(vec![
+                Pred::eq("make", "ford"),
+                Pred::attr_lt("price", "bbprice"),
+            ]))
+            .project(["make", "model", "price", "bbprice"]);
+        let o = optimize(&e, &base);
+        assert_ne!(o, e, "the rewrite should fire");
+        let mut p1 = MemoryProvider::new();
+        p1.add("ads", ads.clone());
+        p1.add("book", book.clone());
+        let r1 = Evaluator::new(&mut p1).eval(&e, &AccessSpec::new()).expect("original");
+        let mut p2 = MemoryProvider::new();
+        p2.add("ads", ads);
+        p2.add("book", book);
+        let r2 = Evaluator::new(&mut p2).eval(&o, &AccessSpec::new()).expect("optimised");
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn pushdown_enables_bindings() {
+        // With bindings {make} on both sides, the *raw* expression's join
+        // needs runtime constant pushdown; the optimised one is
+        // statically invocable on each side.
+        use crate::binding::propagate;
+        let bb = |_: &str| Some(BindingSet::from_attr_lists([vec!["make"]]));
+        let e = Expr::relation("ads")
+            .join(Expr::relation("book"))
+            .select(Pred::eq("make", "ford"));
+        let o = optimize(&e, &base);
+        let ob = propagate(&o, &bb, &base, false);
+        assert!(
+            ob.satisfied_by(&Default::default()),
+            "optimised expression is invocable with no external bindings: {ob}"
+        );
+    }
+}

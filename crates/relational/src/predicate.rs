@@ -1,0 +1,286 @@
+//! Selection predicates.
+
+use crate::relation::{Relation, Tuple};
+use crate::schema::Attr;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operators for selection conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Op {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Ne => "<>",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        }
+    }
+
+    fn eval(self, l: &Value, r: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Op::Eq => l.matches(r),
+            Op::Ne => !l.is_null() && !r.is_null() && !l.matches(r),
+            _ => match l.compare(r) {
+                Some(ord) => match self {
+                    Op::Lt => ord == Less,
+                    Op::Le => ord != Greater,
+                    Op::Gt => ord == Greater,
+                    Op::Ge => ord != Less,
+                    Op::Eq | Op::Ne => unreachable!(),
+                },
+                None => false,
+            },
+        }
+    }
+}
+
+/// A selection predicate over one relation's tuples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pred {
+    /// `attr op constant`
+    Cmp(Attr, Op, Value),
+    /// `attr op attr` (both in the same relation — cross-relation
+    /// comparisons are expressed by selecting after a join).
+    CmpAttr(Attr, Op, Attr),
+    /// Case-insensitive substring match, for "features contains sunroof"
+    /// style conditions on scraped text.
+    Contains(Attr, String),
+    And(Vec<Pred>),
+    Or(Vec<Pred>),
+    Not(Box<Pred>),
+    True,
+}
+
+impl Pred {
+    pub fn eq(attr: impl Into<Attr>, v: impl Into<Value>) -> Pred {
+        Pred::Cmp(attr.into(), Op::Eq, v.into())
+    }
+
+    pub fn ne(attr: impl Into<Attr>, v: impl Into<Value>) -> Pred {
+        Pred::Cmp(attr.into(), Op::Ne, v.into())
+    }
+
+    pub fn lt(attr: impl Into<Attr>, v: impl Into<Value>) -> Pred {
+        Pred::Cmp(attr.into(), Op::Lt, v.into())
+    }
+
+    pub fn le(attr: impl Into<Attr>, v: impl Into<Value>) -> Pred {
+        Pred::Cmp(attr.into(), Op::Le, v.into())
+    }
+
+    pub fn gt(attr: impl Into<Attr>, v: impl Into<Value>) -> Pred {
+        Pred::Cmp(attr.into(), Op::Gt, v.into())
+    }
+
+    pub fn ge(attr: impl Into<Attr>, v: impl Into<Value>) -> Pred {
+        Pred::Cmp(attr.into(), Op::Ge, v.into())
+    }
+
+    pub fn attr_lt(a: impl Into<Attr>, b: impl Into<Attr>) -> Pred {
+        Pred::CmpAttr(a.into(), Op::Lt, b.into())
+    }
+
+    pub fn contains(attr: impl Into<Attr>, needle: impl Into<String>) -> Pred {
+        Pred::Contains(attr.into(), needle.into())
+    }
+
+    pub fn and(preds: Vec<Pred>) -> Pred {
+        let mut flat = Vec::new();
+        for p in preds {
+            match p {
+                Pred::And(inner) => flat.extend(inner),
+                Pred::True => {}
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Pred::True,
+            1 => flat.pop().expect("len is 1"),
+            _ => Pred::And(flat),
+        }
+    }
+
+    /// Evaluate against tuple `t` of relation `rel`.
+    pub fn eval(&self, rel: &Relation, t: &Tuple) -> bool {
+        match self {
+            Pred::Cmp(a, op, v) => op.eval(rel.value(t, a), v),
+            Pred::CmpAttr(a, op, b) => op.eval(rel.value(t, a), rel.value(t, b)),
+            Pred::Contains(a, needle) => match rel.value(t, a) {
+                Value::Str(s) => s.to_ascii_lowercase().contains(&needle.to_ascii_lowercase()),
+                _ => false,
+            },
+            Pred::And(ps) => ps.iter().all(|p| p.eval(rel, t)),
+            Pred::Or(ps) => ps.iter().any(|p| p.eval(rel, t)),
+            Pred::Not(p) => !p.eval(rel, t),
+            Pred::True => true,
+        }
+    }
+
+    /// Attributes mentioned by the predicate.
+    pub fn attrs(&self) -> Vec<Attr> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut Vec<Attr>) {
+        let mut push = |a: &Attr| {
+            if !out.contains(a) {
+                out.push(a.clone());
+            }
+        };
+        match self {
+            Pred::Cmp(a, _, _) | Pred::Contains(a, _) => push(a),
+            Pred::CmpAttr(a, _, b) => {
+                push(a);
+                push(b);
+            }
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    p.collect_attrs(out);
+                }
+            }
+            Pred::Not(p) => p.collect_attrs(out),
+            Pred::True => {}
+        }
+    }
+
+    /// The equality constants this predicate guarantees (attr = const
+    /// conjuncts at the top level) — these supply *bindings* for
+    /// mandatory attributes during join ordering.
+    pub fn bound_constants(&self) -> Vec<(Attr, Value)> {
+        match self {
+            Pred::Cmp(a, Op::Eq, v) => vec![(a.clone(), v.clone())],
+            Pred::And(ps) => ps.iter().flat_map(Pred::bound_constants).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Cmp(a, op, v) => write!(f, "{a} {} {v}", op.symbol()),
+            Pred::CmpAttr(a, op, b) => write!(f, "{a} {} {b}", op.symbol()),
+            Pred::Contains(a, s) => write!(f, "{a} contains {s:?}"),
+            Pred::And(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", parts.join(" AND "))
+            }
+            Pred::Or(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", parts.join(" OR "))
+            }
+            Pred::Not(p) => write!(f, "NOT {p}"),
+            Pred::True => f.write_str("TRUE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        Relation::from_rows(
+            Schema::new(["make", "price", "bbprice"]),
+            [
+                vec![Value::str("ford"), Value::Int(500), Value::Int(800)],
+                vec![Value::str("jaguar"), Value::Int(9000), Value::Int(8000)],
+                vec![Value::str("saab"), Value::Null, Value::Int(4000)],
+            ],
+        )
+    }
+
+    #[test]
+    fn constant_comparison() {
+        let r = rel();
+        let p = Pred::eq("make", "ford");
+        let hits: Vec<bool> = r.tuples().iter().map(|t| p.eval(&r, t)).collect();
+        assert_eq!(hits, vec![true, false, false]);
+    }
+
+    #[test]
+    fn attr_comparison_price_below_bluebook() {
+        let r = rel();
+        let p = Pred::attr_lt("price", "bbprice");
+        let hits: Vec<bool> = r.tuples().iter().map(|t| p.eval(&r, t)).collect();
+        // the null price never satisfies a comparison
+        assert_eq!(hits, vec![true, false, false]);
+    }
+
+    #[test]
+    fn null_semantics() {
+        let r = rel();
+        assert!(!Pred::eq("price", Value::Null).eval(&r, &r.tuples()[2]));
+        assert!(!Pred::ne("price", 1i64).eval(&r, &r.tuples()[2]));
+        assert!(!Pred::lt("price", 10i64).eval(&r, &r.tuples()[2]));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let r = rel();
+        let p = Pred::Or(vec![Pred::eq("make", "ford"), Pred::eq("make", "saab")]);
+        assert_eq!(r.tuples().iter().filter(|t| p.eval(&r, t)).count(), 2);
+        let n = Pred::Not(Box::new(p));
+        assert_eq!(r.tuples().iter().filter(|t| n.eval(&r, t)).count(), 1);
+    }
+
+    #[test]
+    fn and_flattens() {
+        let p = Pred::and(vec![
+            Pred::True,
+            Pred::and(vec![Pred::eq("a", 1i64), Pred::eq("b", 2i64)]),
+        ]);
+        match &p {
+            Pred::And(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+        assert_eq!(p.bound_constants().len(), 2);
+    }
+
+    #[test]
+    fn contains_is_case_insensitive() {
+        let r = Relation::from_rows(
+            Schema::new(["features"]),
+            [vec![Value::str("Sunroof, ABS, Leather")]],
+        );
+        assert!(Pred::contains("features", "abs").eval(&r, &r.tuples()[0]));
+        assert!(!Pred::contains("features", "diesel").eval(&r, &r.tuples()[0]));
+    }
+
+    #[test]
+    fn attrs_collected_without_dupes() {
+        let p = Pred::and(vec![
+            Pred::eq("a", 1i64),
+            Pred::attr_lt("a", "b"),
+            Pred::contains("c", "x"),
+        ]);
+        assert_eq!(p.attrs(), vec![Attr::new("a"), Attr::new("b"), Attr::new("c")]);
+    }
+
+    #[test]
+    fn bound_constants_only_from_top_level_eq() {
+        let p = Pred::and(vec![
+            Pred::eq("make", "jaguar"),
+            Pred::ge("year", 1993i64),
+            Pred::Or(vec![Pred::eq("x", 1i64)]),
+        ]);
+        assert_eq!(p.bound_constants(), vec![(Attr::new("make"), Value::str("jaguar"))]);
+    }
+}

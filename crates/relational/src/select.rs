@@ -1,0 +1,298 @@
+//! The paper's `SELECT` syntax.
+//!
+//! §7 poses VPS-level queries as
+//! `SELECT make,model,year,price,contact WHERE make=ford AND model=escort`
+//! — no `FROM`, because the relation is implicit (the handle being
+//! invoked). This module parses exactly that shape into an output list
+//! and a predicate, ready to wrap any relation:
+//!
+//! ```
+//! use webbase_relational::select::parse_select;
+//!
+//! let q = parse_select(
+//!     "SELECT make, model, year, price WHERE make=ford AND model=escort",
+//! ).unwrap();
+//! assert_eq!(q.outputs.len(), 4);
+//! assert_eq!(q.constants().len(), 2);
+//! ```
+
+use crate::algebra::Expr;
+use crate::predicate::{Op, Pred};
+use crate::schema::Attr;
+use crate::value::Value;
+use std::fmt;
+
+/// A parsed `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// Output attributes, in mention order; empty means `*`.
+    pub outputs: Vec<String>,
+    pub pred: Pred,
+}
+
+impl SelectQuery {
+    /// The equality constants of the WHERE clause (binding values for a
+    /// handle invocation).
+    pub fn constants(&self) -> Vec<(String, Value)> {
+        self.pred
+            .bound_constants()
+            .into_iter()
+            .map(|(a, v)| (a.as_str().to_string(), v))
+            .collect()
+    }
+
+    /// Wrap a relation with this query's selection and projection.
+    pub fn over(&self, relation: &str) -> Expr {
+        let mut e = Expr::relation(relation);
+        if self.pred != Pred::True {
+            e = e.select(self.pred.clone());
+        }
+        if !self.outputs.is_empty() {
+            e = e.project(self.outputs.iter().map(String::as_str));
+        }
+        e
+    }
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for SelectParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SelectParseError {}
+
+/// Parse `SELECT a, b, … [WHERE a=v AND b<v …]`. Values may be bare
+/// words (`ford`), quoted strings, or numbers; `*` selects everything.
+pub fn parse_select(text: &str) -> Result<SelectQuery, SelectParseError> {
+    let mut s = Scanner { b: text.as_bytes(), t: text, i: 0 };
+    s.ws();
+    if !s.keyword("SELECT") && !s.keyword("select") {
+        return Err(s.err("expected SELECT"));
+    }
+    let mut outputs = Vec::new();
+    s.ws();
+    if s.peek() == Some(b'*') {
+        s.i += 1;
+    } else {
+        loop {
+            let a = s.ident()?;
+            if !outputs.contains(&a) {
+                outputs.push(a);
+            }
+            s.ws();
+            if s.peek() == Some(b',') {
+                s.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    s.ws();
+    let mut conjuncts = Vec::new();
+    if s.keyword("WHERE") || s.keyword("where") {
+        loop {
+            s.ws();
+            let attr = s.ident()?;
+            s.ws();
+            let op = s.op()?;
+            s.ws();
+            let value = s.value()?;
+            conjuncts.push(Pred::Cmp(Attr::new(attr), op, value));
+            s.ws();
+            if s.keyword("AND") || s.keyword("and") {
+                continue;
+            }
+            break;
+        }
+    }
+    s.ws();
+    if s.i < s.b.len() {
+        return Err(s.err("trailing input"));
+    }
+    Ok(SelectQuery { outputs, pred: Pred::and(conjuncts) })
+}
+
+struct Scanner<'a> {
+    b: &'a [u8],
+    t: &'a str,
+    i: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn err(&self, m: &str) -> SelectParseError {
+        SelectParseError { offset: self.i, message: m.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if self.b[self.i..].starts_with(kw.as_bytes())
+            && self.b.get(self.i + kw.len()).is_none_or(|c| !c.is_ascii_alphanumeric())
+        {
+            self.i += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SelectParseError> {
+        self.ws();
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.i += 1;
+        }
+        if self.i == start {
+            Err(self.err("expected an identifier"))
+        } else {
+            Ok(self.t[start..self.i].to_string())
+        }
+    }
+
+    fn op(&mut self) -> Result<Op, SelectParseError> {
+        for (s, op) in [
+            ("<=", Op::Le),
+            (">=", Op::Ge),
+            ("<>", Op::Ne),
+            ("!=", Op::Ne),
+            ("=", Op::Eq),
+            ("<", Op::Lt),
+            (">", Op::Gt),
+        ] {
+            if self.b[self.i..].starts_with(s.as_bytes()) {
+                self.i += s.len();
+                return Ok(op);
+            }
+        }
+        Err(self.err("expected a comparison operator"))
+    }
+
+    fn value(&mut self) -> Result<Value, SelectParseError> {
+        self.ws();
+        match self.peek() {
+            Some(quote @ (b'\'' | b'"')) => {
+                self.i += 1;
+                let start = self.i;
+                while self.peek().is_some_and(|c| c != quote) {
+                    self.i += 1;
+                }
+                if self.peek() != Some(quote) {
+                    return Err(self.err("unterminated string"));
+                }
+                let v = self.t[start..self.i].to_string();
+                self.i += 1;
+                Ok(Value::Str(v))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                let start = self.i;
+                if c == b'-' {
+                    self.i += 1;
+                }
+                let mut float = false;
+                while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'.') {
+                    if self.peek() == Some(b'.') {
+                        float = true;
+                    }
+                    self.i += 1;
+                }
+                let raw = &self.t[start..self.i];
+                if float {
+                    raw.parse().map(Value::Float).map_err(|_| self.err("bad number"))
+                } else {
+                    raw.parse().map(Value::Int).map_err(|_| self.err("bad number"))
+                }
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                // Bare word, as the paper writes `make=ford`.
+                Ok(Value::Str(self.ident()?))
+            }
+            _ => Err(self.err("expected a value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_papers_query() {
+        let q = parse_select(
+            "SELECT make,model,year,price,contact WHERE make=ford AND model=escort",
+        )
+        .expect("parses");
+        assert_eq!(q.outputs, vec!["make", "model", "year", "price", "contact"]);
+        assert_eq!(
+            q.constants(),
+            vec![
+                ("make".to_string(), Value::str("ford")),
+                ("model".to_string(), Value::str("escort"))
+            ]
+        );
+        let e = q.over("newsday");
+        assert!(e.to_string().starts_with("π[make, model, year, price, contact]"));
+    }
+
+    #[test]
+    fn star_and_no_where() {
+        let q = parse_select("SELECT *").expect("parses");
+        assert!(q.outputs.is_empty());
+        assert_eq!(q.pred, Pred::True);
+        assert_eq!(q.over("r"), Expr::relation("r"));
+    }
+
+    #[test]
+    fn quoted_and_numeric_values() {
+        let q = parse_select(
+            "SELECT make WHERE make='vanden plas' AND price < 30000 AND rate <= 7.5",
+        )
+        .expect("parses");
+        match &q.pred {
+            Pred::And(ps) => {
+                assert_eq!(ps.len(), 3);
+                assert_eq!(ps[0], Pred::eq("make", "vanden plas"));
+                assert_eq!(ps[1], Pred::lt("price", 30000i64));
+                assert_eq!(ps[2], Pred::le("rate", 7.5));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(parse_select("select a where a=1").is_ok());
+        assert!(parse_select("SELECT a WHERE a=1 and b=2").is_ok());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_select("").is_err());
+        assert!(parse_select("SELEC a").is_err());
+        assert!(parse_select("SELECT a WHERE").is_err());
+        assert!(parse_select("SELECT a WHERE a=").is_err());
+        assert!(parse_select("SELECT a garbage").is_err());
+        assert!(parse_select("SELECT a WHERE a='unterminated").is_err());
+    }
+
+    #[test]
+    fn non_ascii_rejected_not_panicking() {
+        assert!(parse_select("SELECT mäke").is_err());
+        assert!(parse_select("\u{85}SELECT a").is_err());
+    }
+}

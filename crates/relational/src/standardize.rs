@@ -1,0 +1,178 @@
+//! Attribute-name standardisation (§7).
+//!
+//! "In order to combine information from different sites (or maps), the
+//! attribute names and their domains must be standardized. In our
+//! current implementation, one must manually specify these mappings. If
+//! a mapping is not provided for a certain attribute name, we employ
+//! fuzzy matching techniques, which evidently are not full-proof and may
+//! lead to errors."
+//!
+//! [`Standardizer`] holds the manual mappings and implements the fuzzy
+//! fallback: normalised Levenshtein distance plus a synonym table for
+//! the car domain.
+
+use std::collections::HashMap;
+
+/// Maps site-local attribute names to the webbase's standard vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct Standardizer {
+    manual: HashMap<String, String>,
+    standard: Vec<String>,
+}
+
+/// Domain synonyms consulted before fuzzy matching.
+const SYNONYMS: &[(&str, &str)] = &[
+    ("mk", "make"),
+    ("manufacturer", "make"),
+    ("maker", "make"),
+    ("mdl", "model"),
+    ("yr", "year"),
+    ("asking", "price"),
+    ("cost", "price"),
+    ("phone", "contact"),
+    ("tel", "contact"),
+    ("zipcode", "zip"),
+    ("postal", "zip"),
+    ("feats", "features"),
+    ("featrs", "features"),
+    ("options", "features"),
+    ("cond", "condition"),
+    ("bb", "bbprice"),
+    ("bluebook", "bbprice"),
+    ("apr", "rate"),
+    ("term", "duration"),
+    ("months", "duration"),
+];
+
+impl Standardizer {
+    /// A standardiser over the given standard vocabulary.
+    pub fn new<I, S>(standard: I) -> Standardizer
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Standardizer {
+            manual: HashMap::new(),
+            standard: standard.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The standardiser for the used-car webbase vocabulary.
+    pub fn car_domain() -> Standardizer {
+        Standardizer::new([
+            "make", "model", "year", "price", "contact", "features", "url", "picture", "zip",
+            "condition", "bbprice", "safety", "duration", "rate",
+        ])
+    }
+
+    /// Record a manual mapping (takes precedence over everything).
+    pub fn map(&mut self, from: &str, to: &str) {
+        self.manual.insert(from.to_lowercase(), to.to_string());
+    }
+
+    /// Standardise a site-local name: manual mapping → exact match →
+    /// synonym table → fuzzy match. `None` when nothing is close enough
+    /// (the caller should ask the designer).
+    pub fn standardize(&self, name: &str) -> Option<String> {
+        let lower = name.to_lowercase();
+        if let Some(m) = self.manual.get(&lower) {
+            return Some(m.clone());
+        }
+        if self.standard.iter().any(|s| *s == lower) {
+            return Some(lower);
+        }
+        if let Some((_, to)) = SYNONYMS.iter().find(|(from, _)| *from == lower) {
+            if self.standard.iter().any(|s| s == to) {
+                return Some(to.to_string());
+            }
+        }
+        // Fuzzy: best normalised edit distance under 0.34 (i.e. at least
+        // two-thirds of the name matches).
+        let mut best: Option<(f64, &String)> = None;
+        for cand in &self.standard {
+            let d = levenshtein(&lower, cand) as f64 / lower.len().max(cand.len()).max(1) as f64;
+            if best.map_or(true, |(bd, _)| d < bd) {
+                best = Some((d, cand));
+            }
+        }
+        match best {
+            Some((d, cand)) if d <= 0.34 => Some(cand.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Classic dynamic-programming Levenshtein distance.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("make", "make"), 0);
+    }
+
+    #[test]
+    fn manual_mapping_wins() {
+        let mut s = Standardizer::car_domain();
+        s.map("vehicle_mfr", "make");
+        assert_eq!(s.standardize("Vehicle_MFR").as_deref(), Some("make"));
+    }
+
+    #[test]
+    fn exact_and_case_insensitive() {
+        let s = Standardizer::car_domain();
+        assert_eq!(s.standardize("Make").as_deref(), Some("make"));
+        assert_eq!(s.standardize("PRICE").as_deref(), Some("price"));
+    }
+
+    #[test]
+    fn synonyms() {
+        let s = Standardizer::car_domain();
+        assert_eq!(s.standardize("mk").as_deref(), Some("make"));
+        assert_eq!(s.standardize("featrs").as_deref(), Some("features"));
+        assert_eq!(s.standardize("apr").as_deref(), Some("rate"));
+    }
+
+    #[test]
+    fn fuzzy_matching() {
+        let s = Standardizer::car_domain();
+        assert_eq!(s.standardize("modell").as_deref(), Some("model"));
+        assert_eq!(s.standardize("prices").as_deref(), Some("price"));
+        // Too far from anything: the designer must decide.
+        assert_eq!(s.standardize("xyzzy123"), None);
+    }
+
+    #[test]
+    fn fuzzy_is_not_foolproof() {
+        // The paper's caveat: fuzzy matching "may lead to errors" — "rat"
+        // lands on "rate" even though it means nothing.
+        let s = Standardizer::car_domain();
+        assert_eq!(s.standardize("rat").as_deref(), Some("rate"));
+    }
+}

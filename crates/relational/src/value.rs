@@ -1,0 +1,202 @@
+//! Atomic attribute values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A value stored in a relation cell.
+///
+/// `Null` represents an attribute a source did not supply (e.g. a
+/// classified ad with no picture). Nulls compare equal to each other for
+/// set-semantics deduplication, but every comparison predicate involving
+/// a null evaluates to false (SQL-style semantics without the
+/// three-valued logic, which the paper does not need).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Str(s) => s.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Bool(b) => b.hash(state),
+            Value::Null => {}
+        }
+    }
+}
+
+impl Value {
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to floats) for arithmetic comparisons.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Comparison used by predicates: `None` when the two values are not
+    /// comparable (different non-numeric types, or any null).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Equality as used by predicates and natural joins: numeric values
+    /// compare across Int/Float; nulls never match anything (including
+    /// other nulls) in *predicates*, though they dedup in sets.
+    pub fn matches(&self, other: &Value) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+
+    /// Parse a cell string scraped from a page: tries int (with `$`/`,`
+    /// stripped), then float, falling back to a trimmed string.
+    pub fn parse_cell(s: &str) -> Value {
+        let t = s.trim();
+        if t.is_empty() || t == "-" || t.eq_ignore_ascii_case("n/a") {
+            return Value::Null;
+        }
+        let cleaned: String =
+            t.chars().filter(|c| !matches!(c, '$' | ',')).collect();
+        let cleaned = cleaned.trim();
+        if let Ok(i) = cleaned.parse::<i64>() {
+            // Only treat as a number if the original looked numeric
+            // (guards against "2 door sedan" → 2).
+            if cleaned.chars().all(|c| c.is_ascii_digit() || c == '-') {
+                return Value::Int(i);
+            }
+        }
+        if let Ok(f) = cleaned.parse::<f64>() {
+            return Value::Float(f);
+        }
+        Value::Str(t.to_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        assert!(Value::Int(2).matches(&Value::Float(2.0)));
+        assert_eq!(Value::Int(1).compare(&Value::Float(1.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn nulls_never_match_in_predicates() {
+        assert!(!Value::Null.matches(&Value::Null));
+        assert!(!Value::Null.matches(&Value::Int(0)));
+        assert_eq!(Value::Null.compare(&Value::Null), None);
+    }
+
+    #[test]
+    fn nulls_equal_for_dedup() {
+        // Set-semantics equality (derived PartialEq) treats Null == Null.
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn strings_compare_lexically() {
+        assert_eq!(Value::str("ford").compare(&Value::str("jaguar")), Some(Ordering::Less));
+        assert!(!Value::str("ford").matches(&Value::Int(1)));
+    }
+
+    #[test]
+    fn parse_cell_prices() {
+        assert_eq!(Value::parse_cell("$12,500"), Value::Int(12500));
+        assert_eq!(Value::parse_cell(" 1998 "), Value::Int(1998));
+        assert_eq!(Value::parse_cell("7.25"), Value::Float(7.25));
+        assert_eq!(Value::parse_cell("Ford Escort"), Value::str("Ford Escort"));
+        assert_eq!(Value::parse_cell(""), Value::Null);
+        assert_eq!(Value::parse_cell("N/A"), Value::Null);
+        assert_eq!(Value::parse_cell("2 door sedan"), Value::str("2 door sedan"));
+    }
+
+    #[test]
+    fn display_roundtrip_for_ints() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,154 @@
+//! Compatibility rules — §6's replacement for lossless joins.
+//!
+//! "The basic idea is to replace losslessness and constraints with
+//! compatibility rules. A compatibility rule has either the form
+//! R₁…Rₖ → R or the form R₁…Rₖ → ¬R. In the first case, the rule says
+//! that if you already joined R₁…Rₖ then joining with R also 'makes
+//! sense'. … The second rule … says that joining with R would create an
+//! incorrect relationship (a navigation trap)."
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One compatibility rule over alternative names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompatRule {
+    /// `premise → then`: a set containing the premise must also contain
+    /// `then` (Example 6.2: leased cars have to be fully insured).
+    Requires { premise: Vec<String>, then: String },
+    /// `premise → ¬then_not`: a set containing the premise must not
+    /// contain `then_not` (you cannot lease a car from its owner).
+    Excludes { premise: Vec<String>, then_not: String },
+}
+
+impl CompatRule {
+    pub fn requires(premise: &[&str], then: &str) -> CompatRule {
+        CompatRule::Requires {
+            premise: premise.iter().map(|s| s.to_string()).collect(),
+            then: then.to_string(),
+        }
+    }
+
+    pub fn excludes(premise: &[&str], then_not: &str) -> CompatRule {
+        CompatRule::Excludes {
+            premise: premise.iter().map(|s| s.to_string()).collect(),
+            then_not: then_not.to_string(),
+        }
+    }
+
+    /// Human-readable form, as in the Example 6.2 table.
+    pub fn render(&self) -> String {
+        match self {
+            CompatRule::Requires { premise, then } => {
+                format!("{} → {then}", premise.join(" ∧ "))
+            }
+            CompatRule::Excludes { premise, then_not } => {
+                format!("{} → ¬{then_not}", premise.join(" ∧ "))
+            }
+        }
+    }
+}
+
+/// A rule set, checked against candidate alternative sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompatRules {
+    pub rules: Vec<CompatRule>,
+}
+
+impl CompatRules {
+    pub fn new(rules: Vec<CompatRule>) -> CompatRules {
+        CompatRules { rules }
+    }
+
+    /// Is `set` consistent with every rule?
+    pub fn allows(&self, set: &BTreeSet<String>) -> bool {
+        self.rules.iter().all(|r| match r {
+            CompatRule::Requires { premise, then } => {
+                !premise.iter().all(|p| set.contains(p)) || set.contains(then)
+            }
+            CompatRule::Excludes { premise, then_not } => {
+                !premise.iter().all(|p| set.contains(p)) || !set.contains(then_not)
+            }
+        })
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from("Compatibility constraints\n");
+        for r in &self.rules {
+            out.push_str(&format!("  {}\n", r.render()));
+        }
+        out
+    }
+}
+
+/// The Example 6.2 constraint set:
+///
+/// | constraint | semantics |
+/// |---|---|
+/// | `Lease → ¬Classifieds` | we cannot lease a car from its owner |
+/// | `Lease → FullCoverage` | leased cars have to be fully insured |
+/// | `Dealers → ¬TradeInValue` | trade-in values are not applicable to used-car *purchases* |
+/// | `Classifieds → ¬TradeInValue` | likewise |
+pub fn example62_rules() -> CompatRules {
+    CompatRules::new(vec![
+        CompatRule::excludes(&["Lease"], "Classifieds"),
+        CompatRule::requires(&["Lease"], "FullCoverage"),
+        CompatRule::excludes(&["Dealers"], "TradeInValue"),
+        CompatRule::excludes(&["Classifieds"], "TradeInValue"),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn excludes_blocks() {
+        let rules = example62_rules();
+        assert!(!rules.allows(&set(&["Lease", "Classifieds"])));
+        assert!(rules.allows(&set(&["Lease", "Dealers", "FullCoverage"])));
+    }
+
+    #[test]
+    fn requires_enforces() {
+        let rules = example62_rules();
+        assert!(!rules.allows(&set(&["Lease", "Dealers"])), "lease without full coverage");
+        assert!(!rules.allows(&set(&["Lease", "Dealers", "Liability"])));
+        assert!(rules.allows(&set(&["Loan", "Dealers", "Liability"])));
+    }
+
+    #[test]
+    fn trade_in_trap() {
+        let rules = example62_rules();
+        assert!(!rules.allows(&set(&["Dealers", "TradeInValue"])));
+        assert!(!rules.allows(&set(&["Classifieds", "TradeInValue"])));
+        // trade-in alone (no used-car purchase in the query) is fine
+        assert!(rules.allows(&set(&["TradeInValue"])));
+    }
+
+    #[test]
+    fn multi_premise_rules() {
+        let rules = CompatRules::new(vec![CompatRule::requires(&["A", "B"], "C")]);
+        assert!(rules.allows(&set(&["A"])));
+        assert!(rules.allows(&set(&["B"])));
+        assert!(!rules.allows(&set(&["A", "B"])));
+        assert!(rules.allows(&set(&["A", "B", "C"])));
+    }
+
+    #[test]
+    fn empty_rules_allow_everything() {
+        let rules = CompatRules::default();
+        assert!(rules.allows(&set(&["X", "Y", "Z"])));
+    }
+
+    #[test]
+    fn rendering() {
+        let txt = example62_rules().render();
+        assert!(txt.contains("Lease → ¬Classifieds"));
+        assert!(txt.contains("Lease → FullCoverage"));
+    }
+}

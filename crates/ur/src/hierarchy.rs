@@ -1,0 +1,195 @@
+//! Concept hierarchies — Figure 5 and Example 6.1.
+//!
+//! "To address the problem of unique name assumption, we propose to
+//! organize the attributes in the UR into a hierarchy of concepts. …
+//! The idea behind concept hierarchies is that the user starts by
+//! selecting top-level concepts and then proceeds to subconcepts."
+//!
+//! Operationally, the leaves that matter are the **alternatives**: each
+//! names a logical relation plus the fixed conditions that select the
+//! alternative's meaning (`RetailValue` = `blue_price` with
+//! `pricetype = 'retail'`). Alternatives are grouped into mutually
+//! exclusive **choice groups** (a used car is *either* from a dealer
+//! *or* from the classifieds).
+
+use webbase_relational::{Pred, Value};
+
+/// One alternative: a named meaning grounded in a logical relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alternative {
+    /// Concept name shown to the user, e.g. "Lease".
+    pub name: String,
+    /// The logical relation that realises it.
+    pub relation: String,
+    /// Fixed equality conditions that select this meaning.
+    pub fixed: Vec<(String, Value)>,
+}
+
+impl Alternative {
+    pub fn new(name: &str, relation: &str) -> Alternative {
+        Alternative { name: name.into(), relation: relation.into(), fixed: Vec::new() }
+    }
+
+    pub fn with(mut self, attr: &str, v: impl Into<Value>) -> Alternative {
+        self.fixed.push((attr.to_string(), v.into()));
+        self
+    }
+
+    /// The fixed conditions as a predicate.
+    pub fn fixed_pred(&self) -> Pred {
+        Pred::and(self.fixed.iter().map(|(a, v)| Pred::eq(a.as_str(), v.clone())).collect())
+    }
+}
+
+/// A group of mutually exclusive alternatives (the `|` nodes of
+/// Figure 5). A singleton group is a concept with only one meaning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChoiceGroup {
+    pub name: String,
+    pub alternatives: Vec<Alternative>,
+}
+
+/// The concept hierarchy of one universal relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hierarchy {
+    /// Name of the UR, e.g. "UsedCarUR".
+    pub ur_name: String,
+    pub groups: Vec<ChoiceGroup>,
+}
+
+impl Hierarchy {
+    /// All alternatives across groups.
+    pub fn alternatives(&self) -> impl Iterator<Item = &Alternative> {
+        self.groups.iter().flat_map(|g| g.alternatives.iter())
+    }
+
+    pub fn alternative(&self, name: &str) -> Option<&Alternative> {
+        self.alternatives().find(|a| a.name == name)
+    }
+
+    /// The group an alternative belongs to.
+    pub fn group_of(&self, alt: &str) -> Option<&ChoiceGroup> {
+        self.groups.iter().find(|g| g.alternatives.iter().any(|a| a.name == alt))
+    }
+
+    /// Two alternatives are exclusive when they share a group.
+    pub fn exclusive(&self, a: &str, b: &str) -> bool {
+        a != b
+            && self
+                .group_of(a)
+                .is_some_and(|ga| ga.alternatives.iter().any(|x| x.name == b))
+    }
+
+    /// Figure 5 text rendering: the UR with its concept tree.
+    pub fn render(&self, ur_attrs: &[String]) -> String {
+        let mut out = format!("{}({})\n", self.ur_name, ur_attrs.join(", "));
+        for g in &self.groups {
+            let alts: Vec<&str> =
+                g.alternatives.iter().map(|a| a.name.as_str()).collect();
+            out.push_str(&format!("  {} := {}\n", g.name, alts.join(" | ")));
+            for a in &g.alternatives {
+                let fixed: Vec<String> =
+                    a.fixed.iter().map(|(k, v)| format!("{k}='{v}'")).collect();
+                let suffix = if fixed.is_empty() {
+                    String::new()
+                } else {
+                    format!(" where {}", fixed.join(" and "))
+                };
+                out.push_str(&format!("    {} ↦ {}{}\n", a.name, a.relation, suffix));
+            }
+        }
+        out
+    }
+}
+
+/// The Figure 5 / Example 6.1 hierarchy for the used-car webbase:
+///
+/// 1. a used car is advertised at a dealer site *or* in the classifieds;
+/// 2. the blue book price is a retail value *or* a trade-in value;
+/// 3. the interest rate depends on financing *or* leasing;
+/// 4. the insurance rate depends on full *or* liability coverage;
+///
+/// plus Reliability (safety ratings), which is a single-meaning concept.
+pub fn figure5() -> Hierarchy {
+    Hierarchy {
+        ur_name: "UsedCarUR".into(),
+        groups: vec![
+            ChoiceGroup {
+                name: "UsedCar".into(),
+                alternatives: vec![
+                    Alternative::new("Dealers", "dealers"),
+                    Alternative::new("Classifieds", "classifieds"),
+                ],
+            },
+            ChoiceGroup {
+                name: "BlueBookPrice".into(),
+                alternatives: vec![
+                    Alternative::new("RetailValue", "blue_price").with("pricetype", "retail"),
+                    Alternative::new("TradeInValue", "blue_price").with("pricetype", "trade-in"),
+                ],
+            },
+            ChoiceGroup {
+                name: "Interest".into(),
+                alternatives: vec![
+                    Alternative::new("Loan", "interest").with("plan", "loan"),
+                    Alternative::new("Lease", "interest").with("plan", "lease"),
+                ],
+            },
+            ChoiceGroup {
+                name: "Insurance".into(),
+                alternatives: vec![
+                    Alternative::new("FullCoverage", "insurance").with("coverage", "full"),
+                    Alternative::new("Liability", "insurance").with("coverage", "liability"),
+                ],
+            },
+            ChoiceGroup {
+                name: "Reliability".into(),
+                alternatives: vec![Alternative::new("Reliability", "reliability")],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_structure() {
+        let h = figure5();
+        assert_eq!(h.groups.len(), 5);
+        assert!(h.alternative("Lease").is_some());
+        assert_eq!(h.alternative("Lease").expect("exists").relation, "interest");
+        assert_eq!(
+            h.alternative("RetailValue").expect("exists").fixed,
+            vec![("pricetype".to_string(), Value::str("retail"))]
+        );
+    }
+
+    #[test]
+    fn exclusivity_within_groups() {
+        let h = figure5();
+        assert!(h.exclusive("Dealers", "Classifieds"));
+        assert!(h.exclusive("Loan", "Lease"));
+        assert!(!h.exclusive("Dealers", "Loan"));
+        assert!(!h.exclusive("Lease", "Lease"));
+    }
+
+    #[test]
+    fn fixed_pred_builds() {
+        let h = figure5();
+        let p = h.alternative("FullCoverage").expect("exists").fixed_pred();
+        assert_eq!(p.bound_constants(), vec![("coverage".into(), Value::str("full"))]);
+        let none = h.alternative("Dealers").expect("exists").fixed_pred();
+        assert_eq!(none, Pred::True);
+    }
+
+    #[test]
+    fn renders_figure5() {
+        let h = figure5();
+        let txt = h.render(&["make".into(), "price".into(), "bbprice".into()]);
+        assert!(txt.contains("UsedCarUR(make, price, bbprice)"));
+        assert!(txt.contains("UsedCar := Dealers | Classifieds"));
+        assert!(txt.contains("RetailValue ↦ blue_price where pricetype='retail'"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Maximal objects — "our analogue of the maximal objects approach"
+//! (Maier–Ullman 1983) under compatibility rules.
+//!
+//! A set of alternatives is **compatible** when it picks at most one
+//! alternative per choice group and satisfies every compatibility rule.
+//! A **maximal object** is a compatible set to which no alternative can
+//! be added without breaking compatibility. Example 6.2 lists five of
+//! them for the used-car webbase; [`maximal_objects`] regenerates that
+//! list.
+
+use crate::compat::CompatRules;
+use crate::hierarchy::Hierarchy;
+use std::collections::BTreeSet;
+
+/// A set of alternative names.
+pub type AltSet = BTreeSet<String>;
+
+/// Is `set` compatible: ≤1 alternative per group and rules satisfied?
+pub fn is_compatible(h: &Hierarchy, rules: &CompatRules, set: &AltSet) -> bool {
+    for g in &h.groups {
+        if g.alternatives.iter().filter(|a| set.contains(&a.name)).count() > 1 {
+            return false;
+        }
+    }
+    rules.allows(set)
+}
+
+/// Every compatible set (exponential in the number of alternatives; the
+/// hierarchy is small by construction — it is a user interface).
+pub fn compatible_sets(h: &Hierarchy, rules: &CompatRules) -> Vec<AltSet> {
+    let alts: Vec<String> = h.alternatives().map(|a| a.name.clone()).collect();
+    assert!(alts.len() <= 20, "hierarchy too large for exhaustive enumeration");
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << alts.len()) {
+        let set: AltSet = alts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, a)| a.clone())
+            .collect();
+        if is_compatible(h, rules, &set) {
+            out.push(set);
+        }
+    }
+    out
+}
+
+/// The maximal objects: compatible sets not strictly contained in any
+/// other compatible set.
+pub fn maximal_objects(h: &Hierarchy, rules: &CompatRules) -> Vec<AltSet> {
+    let all = compatible_sets(h, rules);
+    let mut maximal: Vec<AltSet> = all
+        .iter()
+        .filter(|s| !all.iter().any(|t| *t != **s && s.is_subset(t)))
+        .cloned()
+        .collect();
+    maximal.sort();
+    maximal
+}
+
+/// Render maximal objects as the Example 6.2 listing.
+pub fn render_maximal(objects: &[AltSet]) -> String {
+    let mut out = String::from("Maximal objects\n");
+    for o in objects {
+        let names: Vec<&str> = o.iter().map(String::as_str).collect();
+        out.push_str(&format!("  {}\n", names.join(" ⋈ ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat::example62_rules;
+    use crate::hierarchy::figure5;
+
+    fn set(names: &[&str]) -> AltSet {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn example62_maximal_objects() {
+        let h = figure5();
+        let rules = example62_rules();
+        let objects = maximal_objects(&h, &rules);
+        // The five objects of Example 6.2, each extended with the
+        // always-compatible Reliability concept:
+        let expected = [
+            set(&["Dealers", "Lease", "FullCoverage", "RetailValue", "Reliability"]),
+            set(&["Dealers", "Loan", "FullCoverage", "RetailValue", "Reliability"]),
+            set(&["Dealers", "Loan", "Liability", "RetailValue", "Reliability"]),
+            set(&["Classifieds", "Loan", "Liability", "RetailValue", "Reliability"]),
+            set(&["Classifieds", "Loan", "FullCoverage", "RetailValue", "Reliability"]),
+        ];
+        for e in &expected {
+            assert!(objects.contains(e), "missing expected object {e:?}\ngot: {objects:#?}");
+        }
+        // Plus the no-used-car objects (TradeInValue is only compatible
+        // when no purchase is involved). No Lease∧Classifieds, no
+        // Lease∧Liability anywhere:
+        for o in &objects {
+            assert!(
+                !(o.contains("Lease") && o.contains("Classifieds")),
+                "navigation trap survived: {o:?}"
+            );
+            assert!(
+                !(o.contains("Lease") && o.contains("Liability")),
+                "lease without full coverage: {o:?}"
+            );
+            assert!(
+                !(o.contains("TradeInValue")
+                    && (o.contains("Dealers") || o.contains("Classifieds"))),
+                "trade-in trap: {o:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn maximality() {
+        let h = figure5();
+        let rules = example62_rules();
+        let objects = maximal_objects(&h, &rules);
+        let alts: Vec<String> = h.alternatives().map(|a| a.name.clone()).collect();
+        for o in &objects {
+            for a in &alts {
+                if o.contains(a) {
+                    continue;
+                }
+                let mut extended = o.clone();
+                extended.insert(a.clone());
+                assert!(
+                    !is_compatible(&h, &rules, &extended),
+                    "object {o:?} is not maximal: can add {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_exclusivity_enforced() {
+        let h = figure5();
+        let rules = CompatRules::default();
+        assert!(!is_compatible(&h, &rules, &set(&["Dealers", "Classifieds"])));
+        assert!(is_compatible(&h, &rules, &set(&["Dealers", "Loan"])));
+    }
+
+    #[test]
+    fn no_rules_maximal_objects_pick_one_per_group() {
+        let h = figure5();
+        let objects = maximal_objects(&h, &CompatRules::default());
+        // 2 × 2 × 2 × 2 × 1 = 16 full selections
+        assert_eq!(objects.len(), 16);
+        for o in &objects {
+            assert_eq!(o.len(), 5);
+        }
+    }
+
+    #[test]
+    fn rendering() {
+        let h = figure5();
+        let txt = render_maximal(&maximal_objects(&h, &example62_rules()));
+        assert!(txt.contains("Dealers"));
+        assert!(txt.contains("⋈"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the structured universal relation.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use webbase_ur::compat::{CompatRule, CompatRules};
+use webbase_ur::hierarchy::{Alternative, ChoiceGroup, Hierarchy};
+use webbase_ur::maximal::{compatible_sets, is_compatible, maximal_objects};
+
+/// Random small hierarchies: up to 4 groups × up to 3 alternatives.
+fn hierarchy_strategy() -> impl Strategy<Value = Hierarchy> {
+    proptest::collection::vec(1usize..=3, 1..=4).prop_map(|sizes| Hierarchy {
+        ur_name: "T".into(),
+        groups: sizes
+            .iter()
+            .enumerate()
+            .map(|(g, &k)| ChoiceGroup {
+                name: format!("G{g}"),
+                alternatives: (0..k)
+                    .map(|a| Alternative::new(&format!("A{g}_{a}"), &format!("rel{g}")))
+                    .collect(),
+            })
+            .collect(),
+    })
+}
+
+/// Random rules over the alternatives of `h`.
+fn rules_for(h: &Hierarchy, seed: &[u8]) -> CompatRules {
+    let alts: Vec<String> = h.alternatives().map(|a| a.name.clone()).collect();
+    let mut rules = Vec::new();
+    for chunk in seed.chunks(3) {
+        if chunk.len() < 3 || alts.len() < 2 {
+            break;
+        }
+        let a = alts[chunk[0] as usize % alts.len()].clone();
+        let b = alts[chunk[1] as usize % alts.len()].clone();
+        if a == b {
+            continue;
+        }
+        if chunk[2] % 2 == 0 {
+            rules.push(CompatRule::excludes(&[&a], &b));
+        } else {
+            rules.push(CompatRule::requires(&[&a], &b));
+        }
+    }
+    CompatRules::new(rules)
+}
+
+proptest! {
+    /// Every enumerated compatible set really is compatible, and every
+    /// maximal object is (a) compatible and (b) maximal.
+    #[test]
+    fn maximal_objects_are_maximal(h in hierarchy_strategy(), seed in proptest::collection::vec(any::<u8>(), 0..12)) {
+        let rules = rules_for(&h, &seed);
+        let all = compatible_sets(&h, &rules);
+        for s in &all {
+            prop_assert!(is_compatible(&h, &rules, s));
+        }
+        let alts: Vec<String> = h.alternatives().map(|a| a.name.clone()).collect();
+        for m in maximal_objects(&h, &rules) {
+            prop_assert!(is_compatible(&h, &rules, &m));
+            for a in &alts {
+                if !m.contains(a) {
+                    let mut bigger = m.clone();
+                    bigger.insert(a.clone());
+                    prop_assert!(
+                        !is_compatible(&h, &rules, &bigger),
+                        "{m:?} extensible by {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Compatibility is antitone under adding rules: a set allowed by a
+    /// larger rule set is allowed by any subset of it.
+    #[test]
+    fn rules_are_antitone(h in hierarchy_strategy(), seed in proptest::collection::vec(any::<u8>(), 3..15)) {
+        let full = rules_for(&h, &seed);
+        let fewer = CompatRules::new(full.rules[..full.rules.len() / 2].to_vec());
+        for s in compatible_sets(&h, &full) {
+            prop_assert!(fewer.allows(&s), "{s:?} allowed by more rules but not fewer");
+        }
+    }
+
+    /// Every compatible set is contained in some maximal object.
+    #[test]
+    fn compatible_sets_extend_to_maximal(h in hierarchy_strategy(), seed in proptest::collection::vec(any::<u8>(), 0..12)) {
+        let rules = rules_for(&h, &seed);
+        let maximal = maximal_objects(&h, &rules);
+        for s in compatible_sets(&h, &rules) {
+            prop_assert!(
+                maximal.iter().any(|m| s.is_subset(m)),
+                "compatible set {s:?} not under any maximal object"
+            );
+        }
+    }
+
+    /// Group exclusivity always holds in enumerated sets.
+    #[test]
+    fn one_alternative_per_group(h in hierarchy_strategy(), seed in proptest::collection::vec(any::<u8>(), 0..12)) {
+        let rules = rules_for(&h, &seed);
+        for s in compatible_sets(&h, &rules) {
+            for g in &h.groups {
+                let picked: BTreeSet<&str> = g
+                    .alternatives
+                    .iter()
+                    .filter(|a| s.contains(&a.name))
+                    .map(|a| a.name.as_str())
+                    .collect();
+                prop_assert!(picked.len() <= 1, "group {} over-picked in {s:?}", g.name);
+            }
+        }
+    }
+
+    /// The UR query parser never panics, and parse → mentioned() is
+    /// consistent with outputs.
+    #[test]
+    fn query_parser_is_total(input in ".{0,80}") {
+        let _ = webbase_ur::query::parse_query(&input);
+    }
+
+    #[test]
+    fn query_roundtrip_consistency(
+        attrs in proptest::collection::btree_set("[a-z]{1,6}", 1..6),
+        bound in any::<bool>(),
+    ) {
+        let attrs: Vec<String> = attrs.into_iter().collect();
+        let mut parts: Vec<String> = attrs.clone();
+        if bound {
+            parts[0] = format!("{} = 'x'", parts[0]);
+        }
+        let text = format!("UR({})", parts.join(", "));
+        let q = webbase_ur::query::parse_query(&text)
+            .unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(q.outputs.len(), attrs.len());
+        prop_assert_eq!(q.mentioned().len(), attrs.len());
+        prop_assert_eq!(q.constants().len(), usize::from(bound));
+    }
+}

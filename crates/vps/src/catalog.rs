@@ -1,0 +1,326 @@
+//! The VPS catalog: every mapped site's relations behind one
+//! `RelationProvider`.
+
+use crate::handle::{derive_handles, Handle};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+use webbase_navigation::executor::SiteNavigator;
+use webbase_navigation::map::NavigationMap;
+use webbase_relational::binding::{Binding, BindingSet};
+use webbase_relational::eval::{AccessSpec, EvalError, RelationProvider};
+use webbase_relational::{Attr, Relation, Schema, Tuple, Value};
+use webbase_webworld::prelude::*;
+
+/// Per-invocation accounting for the §7 timing table.
+#[derive(Debug, Clone, Default)]
+pub struct VpsStats {
+    /// Invocations per relation.
+    pub invocations: HashMap<String, u32>,
+    /// Pages fetched per relation (network, not cache).
+    pub pages: HashMap<String, u32>,
+    /// Simulated network time per relation.
+    pub network: HashMap<String, Duration>,
+    /// Interpreter CPU time per relation.
+    pub cpu: HashMap<String, Duration>,
+}
+
+impl VpsStats {
+    pub fn total_pages(&self) -> u32 {
+        self.pages.values().sum()
+    }
+
+    pub fn total_network(&self) -> Duration {
+        self.network.values().sum()
+    }
+
+    pub fn total_cpu(&self) -> Duration {
+        self.cpu.values().sum()
+    }
+}
+
+struct VpsEntry {
+    navigator: Rc<SiteNavigator>,
+    schema: Schema,
+    handles: Vec<Handle>,
+}
+
+/// The catalog of VPS relations across all mapped sites (Table 1).
+pub struct VpsCatalog {
+    entries: HashMap<String, VpsEntry>,
+    /// Registration order, for stable Table 1 output.
+    order: Vec<String>,
+    pub stats: VpsStats,
+}
+
+impl Default for VpsCatalog {
+    fn default() -> Self {
+        VpsCatalog::new()
+    }
+}
+
+impl VpsCatalog {
+    pub fn new() -> VpsCatalog {
+        VpsCatalog { entries: HashMap::new(), order: Vec::new(), stats: VpsStats::default() }
+    }
+
+    /// Add every relation of a recorded map, compiling it for `web`.
+    pub fn add_map(&mut self, web: SyntheticWeb, map: NavigationMap) {
+        let handles = derive_handles(&map);
+        let navigator = Rc::new(SiteNavigator::new(web, map));
+        for rel in navigator.relations() {
+            let schema = Schema::new(rel.attrs.iter().map(String::as_str));
+            let rel_handles: Vec<Handle> =
+                handles.iter().filter(|h| h.relation == rel.name).cloned().collect();
+            assert!(
+                !rel_handles.is_empty(),
+                "relation {} has no handle — was its data node registered?",
+                rel.name
+            );
+            let prev = self.entries.insert(
+                rel.name.clone(),
+                VpsEntry { navigator: navigator.clone(), schema, handles: rel_handles },
+            );
+            assert!(prev.is_none(), "duplicate VPS relation {}", rel.name);
+            self.order.push(rel.name.clone());
+        }
+    }
+
+    /// Relation names in registration order.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(String::as_str)
+    }
+
+    pub fn handles(&self, relation: &str) -> &[Handle] {
+        self.entries.get(relation).map(|e| e.handles.as_slice()).unwrap_or(&[])
+    }
+
+    pub fn navigator(&self, relation: &str) -> Option<&Rc<SiteNavigator>> {
+        self.entries.get(relation).map(|e| &e.navigator)
+    }
+
+    /// The Table 1 rendering: relation name, site, schema.
+    pub fn render_table1(&self) -> String {
+        let mut out = String::from("VPS-level relations\n");
+        for name in &self.order {
+            let e = &self.entries[name];
+            out.push_str(&format!(
+                "  {name}{}   [site: {}]\n",
+                e.schema,
+                e.navigator.map.site
+            ));
+        }
+        out
+    }
+
+    /// The Table 3 rendering: mandatory and optional attribute sets.
+    pub fn render_table3(&self) -> String {
+        let fmt_set = |s: &std::collections::BTreeSet<String>| {
+            if s.is_empty() {
+                "∅".to_string()
+            } else {
+                s.iter().cloned().collect::<Vec<_>>().join(", ")
+            }
+        };
+        let mut out = String::from("VPS handles: mandatory | optional\n");
+        for name in &self.order {
+            for h in &self.entries[name].handles {
+                out.push_str(&format!(
+                    "  {name}: {{{}}} | {{{}}}\n",
+                    fmt_set(&h.mandatory),
+                    fmt_set(&h.optional())
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl RelationProvider for VpsCatalog {
+    fn schema(&self, name: &str) -> Option<Schema> {
+        self.entries.get(name).map(|e| e.schema.clone())
+    }
+
+    fn bindings(&self, name: &str) -> Option<BindingSet> {
+        let e = self.entries.get(name)?;
+        Some(BindingSet::from_bindings(e.handles.iter().map(|h| {
+            h.mandatory.iter().map(|a| Attr::new(a.clone())).collect::<Binding>()
+        })))
+    }
+
+    fn fetch(&mut self, name: &str, spec: &AccessSpec) -> Result<Relation, EvalError> {
+        let e = self
+            .entries
+            .get(name)
+            .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
+        let available = spec.attrs();
+        // Pick a handle whose mandatory set is covered; among those,
+        // prefer the one that can *use* the most of the supplied values
+        // (fewer tuples fetched and filtered).
+        let handle = e
+            .handles
+            .iter()
+            .filter(|h| {
+                h.mandatory.iter().all(|a| available.contains(&Attr::new(a.clone())))
+            })
+            .max_by_key(|h| {
+                h.selection
+                    .iter()
+                    .filter(|a| available.contains(&Attr::new((*a).clone())))
+                    .count()
+            })
+            .ok_or_else(|| EvalError::UnboundAccess {
+                relation: name.to_string(),
+                available: spec.to_string(),
+            })?;
+        // Pass every supplied constant the handle can use.
+        let given: Vec<(String, Value)> = spec
+            .iter()
+            .filter(|(a, _)| handle.selection.contains(a.as_str()))
+            .map(|(a, v)| (a.as_str().to_string(), v.clone()))
+            .collect();
+        let (records, run) = e
+            .navigator
+            .run_relation(name, &given)
+            .map_err(|err| EvalError::Provider(err.to_string()))?;
+        *self.stats.invocations.entry(name.to_string()).or_default() += 1;
+        *self.stats.pages.entry(name.to_string()).or_default() += run.pages_fetched;
+        *self.stats.network.entry(name.to_string()).or_default() += run.network;
+        *self.stats.cpu.entry(name.to_string()).or_default() += run.cpu;
+
+        let mut rel = Relation::new(e.schema.clone());
+        for rec in records {
+            rel.push(Tuple::from_values(
+                e.schema
+                    .attrs()
+                    .iter()
+                    .map(|a| rec.get(a.as_str()).cloned().unwrap_or(Value::Null)),
+            ));
+        }
+        Ok(rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use webbase_navigation::recorder::Recorder;
+    use webbase_navigation::sessions;
+    use webbase_relational::prelude::*;
+
+    fn catalog() -> (VpsCatalog, Arc<Dataset>) {
+        let data = Dataset::generate(5, 600);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let mut cat = VpsCatalog::new();
+        for (host, session) in sessions::all_sessions(&data) {
+            let (map, _) = Recorder::record(web.clone(), host, &session).expect("records");
+            cat.add_map(web.clone(), map);
+        }
+        (cat, data)
+    }
+
+    #[test]
+    fn catalog_has_all_table1_relations() {
+        let (cat, _) = catalog();
+        let rels: Vec<&str> = cat.relations().collect();
+        for expected in [
+            "newsday",
+            "newsdayCarFeatures",
+            "nyTimes",
+            "nyDaily",
+            "wwwheels",
+            "autoConnect",
+            "yahooCars",
+            "carReviews",
+            "carPoint",
+            "autoWeb",
+            "kellys",
+            "carAndDriver",
+            "carFinance",
+            "carInsurance",
+        ] {
+            assert!(rels.contains(&expected), "missing {expected} in {rels:?}");
+        }
+        let t1 = cat.render_table1();
+        assert!(t1.contains("newsday(make, model, year, price, contact, url)"), "{t1}");
+        let t3 = cat.render_table3();
+        assert!(t3.contains("kellys: {condition, make, model, pricetype} | {year}"), "{t3}");
+    }
+
+    #[test]
+    fn fetch_respects_handles() {
+        let (mut cat, data) = catalog();
+        let spec = AccessSpec::new().with("make", "ford");
+        let rel = cat.fetch("newsday", &spec).expect("fetches");
+        let truth = data.matching(SiteSlice::Newsday, Some("ford"), None);
+        assert_eq!(rel.len(), truth.len());
+        // Unbound mandatory → UnboundAccess.
+        let err = cat.fetch("kellys", &spec).expect_err("kellys needs more");
+        assert!(matches!(err, EvalError::UnboundAccess { .. }));
+    }
+
+    #[test]
+    fn evaluator_joins_vps_relations() {
+        // The paper's Figure 4 pipeline as an algebra evaluation:
+        // newsday ⋈ newsdayCarFeatures with make bound.
+        let (mut cat, data) = catalog();
+        let make = sessions::rare_newsday_make(&data)
+            .unwrap_or_else(|| sessions::popular_newsday_make(&data));
+        let e = Expr::relation("newsday")
+            .join(Expr::relation("newsdayCarFeatures"))
+            .select(Pred::eq("make", make.clone()))
+            .project(["make", "model", "price", "features", "picture"]);
+        let result = Evaluator::new(&mut cat).eval(&e, &AccessSpec::new()).expect("evals");
+        let truth = data.matching(SiteSlice::Newsday, Some(&make), None);
+        assert_eq!(result.len(), truth.len());
+        // features column populated from the detail pages
+        let fidx = result.schema().index_of(&"features".into()).expect("features col");
+        assert!(result.tuples().iter().all(|t| !t.get(fidx).is_null()));
+        assert!(cat.stats.total_pages() > 0);
+    }
+
+    #[test]
+    fn kellys_blue_book_via_algebra() {
+        let (mut cat, _) = catalog();
+        let e = Expr::relation("kellys").select(Pred::and(vec![
+            Pred::eq("make", "jaguar"),
+            Pred::eq("model", "xj6"),
+            Pred::eq("condition", "good"),
+            Pred::eq("pricetype", "retail"),
+        ]));
+        let rel = Evaluator::new(&mut cat).eval(&e, &AccessSpec::new()).expect("evals");
+        assert_eq!(rel.len(), 11, "one row per year 1988–1998");
+        let bb = rel.schema().index_of(&"bbprice".into()).expect("bbprice");
+        assert!(rel.tuples().iter().all(|t| t.get(bb).as_int().is_some()));
+    }
+
+    #[test]
+    fn binding_sets_match_handles() {
+        let (cat, _) = catalog();
+        let b = cat.bindings("kellys").expect("bindings");
+        assert_eq!(b.bindings().len(), 1);
+        assert_eq!(b.bindings()[0].len(), 4); // make, model, condition, pricetype
+        let free = cat.bindings("autoWeb").expect("bindings");
+        assert!(free.satisfied_by(&Default::default()), "autoWeb is enumerable");
+    }
+
+    #[test]
+    fn preferred_handle_uses_most_constants() {
+        // newsdayCarFeatures has {url} and the navigation handle; with
+        // url bound the direct one must be used (cheap), which we observe
+        // through the page count.
+        let (mut cat, data) = catalog();
+        let make = sessions::popular_newsday_make(&data);
+        let base = cat.fetch("newsday", &AccessSpec::new().with("make", make)).expect("newsday");
+        let url_idx = base.schema().index_of(&"url".into()).expect("url col");
+        let url = base.tuples()[0].get(url_idx).clone();
+        let pages_before = cat.stats.total_pages();
+        let feat = cat
+            .fetch("newsdayCarFeatures", &AccessSpec::new().with("url", url))
+            .expect("features");
+        assert_eq!(feat.len(), 1);
+        let delta = cat.stats.total_pages() - pages_before;
+        assert!(delta <= 2, "direct dereference should fetch ~1 page, got {delta}");
+    }
+}

@@ -1,0 +1,219 @@
+//! Handles: the invocation quadruples of §3.
+
+use std::collections::BTreeSet;
+use webbase_navigation::map::{NavigationMap, NodeKind};
+use webbase_navigation::model::ActionDescr;
+
+/// One way to invoke a VPS relation: supply values for every mandatory
+/// attribute (and optionally more of the selection attributes), execute
+/// the navigation expression, get tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handle {
+    pub relation: String,
+    /// Minimum attributes that must be bound.
+    pub mandatory: BTreeSet<String>,
+    /// All attributes the navigation can pass to the site (mandatory ⊆
+    /// selection, by the paper's convention).
+    pub selection: BTreeSet<String>,
+}
+
+impl Handle {
+    /// The optional attributes (= selection ∖ mandatory), as Table 3
+    /// presents them.
+    pub fn optional(&self) -> BTreeSet<String> {
+        self.selection.difference(&self.mandatory).cloned().collect()
+    }
+
+    /// §3: different handles for one relation must have different
+    /// mandatory sets.
+    pub fn conflicts_with(&self, other: &Handle) -> bool {
+        self.relation == other.relation && self.mandatory == other.mandatory
+    }
+}
+
+/// Derive the handles of every relation registered in a navigation map.
+///
+/// For each registration, walk the (BFS) navigation path from the entry
+/// to the data node:
+///
+/// * every **mandatory form field** whose standardised attribute is in
+///   the relation schema becomes a mandatory attribute;
+/// * every settable field (and link-defined attribute) in the schema
+///   joins the selection attributes;
+/// * a **link-defined attribute** is *not* mandatory — the executor can
+///   enumerate the whole link set;
+/// * if the extraction script uses the page's own URL, an additional
+///   handle ⟨{url-attr}, {url-attr}⟩ is derived (direct dereference).
+///
+/// Handles with identical mandatory sets are merged (union of
+/// selections), honouring the §3 agreement requirement.
+pub fn derive_handles(map: &NavigationMap) -> Vec<Handle> {
+    let mut handles: Vec<Handle> = Vec::new();
+    for reg in &map.relations {
+        let NodeKind::Data(spec) = &map.node(reg.data_node).kind else { continue };
+        let schema: BTreeSet<String> = spec.attrs().into_iter().collect();
+        let Some(path) = map.path_to(reg.data_node) else { continue };
+
+        let mut mandatory = BTreeSet::new();
+        let mut selection = BTreeSet::new();
+        // A path whose mandatory form field is not a relation attribute
+        // cannot be invoked declaratively (nothing can supply the value);
+        // it yields no handle. This is the `newsdayCarFeatures` case:
+        // the form chain needs Make, which the relation does not carry —
+        // only the direct {Url} handle below survives, exactly Table 3.
+        let mut viable = true;
+        for &edge_idx in &path {
+            match &map.edges[edge_idx].action {
+                ActionDescr::Submit(form) => {
+                    for f in form.settable() {
+                        if schema.contains(&f.attr) {
+                            selection.insert(f.attr.clone());
+                            if f.mandatory {
+                                mandatory.insert(f.attr.clone());
+                            }
+                        } else if f.mandatory {
+                            viable = false;
+                        }
+                    }
+                }
+                ActionDescr::FollowByValue { attr, .. } => {
+                    if schema.contains(attr) {
+                        selection.insert(attr.clone());
+                    }
+                }
+                ActionDescr::Follow(_) => {}
+            }
+        }
+        if viable {
+            push_merged(&mut handles, Handle {
+                relation: reg.relation.clone(),
+                mandatory,
+                selection,
+            });
+        }
+
+        // Direct-dereference handle for @url specs.
+        if let Some(url_field) = spec
+            .fields()
+            .iter()
+            .find(|f| f.source == webbase_navigation::extractor::PAGE_URL_SOURCE)
+        {
+            let set: BTreeSet<String> = [url_field.attr.clone()].into();
+            push_merged(&mut handles, Handle {
+                relation: reg.relation.clone(),
+                mandatory: set.clone(),
+                selection: set,
+            });
+        }
+    }
+    handles
+}
+
+/// Insert a handle, merging with an existing same-mandatory handle of
+/// the same relation (different handles must differ in mandatory sets).
+fn push_merged(handles: &mut Vec<Handle>, h: Handle) {
+    if let Some(existing) = handles.iter_mut().find(|e| e.conflicts_with(&h)) {
+        existing.selection.extend(h.selection);
+    } else {
+        handles.push(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_navigation::recorder::Recorder;
+    use webbase_navigation::sessions;
+    use webbase_webworld::prelude::*;
+
+    fn handles_for(host: &str) -> Vec<Handle> {
+        let data = Dataset::generate(5, 600);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let session = sessions::all_sessions(&data)
+            .into_iter()
+            .find(|(h, _)| *h == host)
+            .map(|(_, s)| s)
+            .expect("session exists");
+        let (map, _) = Recorder::record(web, host, &session).expect("records");
+        derive_handles(&map)
+    }
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn newsday_handles_match_table3() {
+        let hs = handles_for("www.newsday.com");
+        // newsday: mandatory {make}, optional includes model/year/featrs∩schema.
+        let nd: Vec<&Handle> = hs.iter().filter(|h| h.relation == "newsday").collect();
+        assert!(!nd.is_empty());
+        assert!(nd.iter().any(|h| h.mandatory == set(&["make"])), "{nd:?}");
+        // newsdayCarFeatures: mandatory {url} (the Table 3 row).
+        let cf: Vec<&Handle> =
+            hs.iter().filter(|h| h.relation == "newsdayCarFeatures").collect();
+        assert!(cf.iter().any(|h| h.mandatory == set(&["url"])), "{cf:?}");
+    }
+
+    #[test]
+    fn kellys_handle_matches_table3() {
+        let hs = handles_for("www.kbb.com");
+        let k: Vec<&Handle> = hs.iter().filter(|h| h.relation == "kellys").collect();
+        assert_eq!(k.len(), 1);
+        // Table 3: kellys mandatory {Make, Model, Condition} (+ the price
+        // type our extended Kelly's also insists on), optional {Year}.
+        assert_eq!(k[0].mandatory, set(&["condition", "make", "model", "pricetype"]));
+        assert_eq!(k[0].optional(), set(&["year"]));
+    }
+
+    #[test]
+    fn autoweb_link_attribute_not_mandatory() {
+        let hs = handles_for("www.autoweb.com");
+        let h = hs.iter().find(|h| h.relation == "autoWeb").expect("handle exists");
+        assert!(h.mandatory.is_empty(), "link-defined make is enumerable: {h:?}");
+        assert!(h.selection.contains("make"));
+        // The zip refine form lives on the data page itself (no recorded
+        // submit edge), so zip filtering happens in the evaluator, not
+        // in the handle.
+        assert!(!h.selection.contains("zip"));
+    }
+
+    #[test]
+    fn car_and_driver_manual_mandatory_propagates() {
+        let hs = handles_for("www.caranddriver.com");
+        let h = hs.iter().find(|h| h.relation == "carAndDriver").expect("handle exists");
+        // make (select) inferred + model (text) designer-marked.
+        assert_eq!(h.mandatory, set(&["make", "model"]));
+    }
+
+    #[test]
+    fn car_finance_handle() {
+        let hs = handles_for("www.carfinance.com");
+        let h = hs.iter().find(|h| h.relation == "carFinance").expect("handle exists");
+        assert_eq!(h.mandatory, set(&["duration", "plan", "zip"]));
+        assert!(h.optional().contains("make"));
+    }
+
+    #[test]
+    fn merging_respects_agreement() {
+        let mut hs = vec![];
+        push_merged(&mut hs, Handle {
+            relation: "r".into(),
+            mandatory: set(&["a"]),
+            selection: set(&["a", "b"]),
+        });
+        push_merged(&mut hs, Handle {
+            relation: "r".into(),
+            mandatory: set(&["a"]),
+            selection: set(&["a", "c"]),
+        });
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].selection, set(&["a", "b", "c"]));
+        push_merged(&mut hs, Handle {
+            relation: "r".into(),
+            mandatory: set(&["x"]),
+            selection: set(&["x"]),
+        });
+        assert_eq!(hs.len(), 2);
+    }
+}

@@ -1,0 +1,341 @@
+//! The synthetic car-domain dataset behind every simulated site.
+//!
+//! The paper's evaluation ran against live 1999 sites (Newsday, New York
+//! Times, Kelly's Blue Book, …). Our substitution: one deterministic,
+//! seeded dataset of used-car ads, blue-book prices, safety ratings and
+//! finance rates, partitioned across the simulated sites. Determinism
+//! gives the test suite ground truth: a navigation run's output can be
+//! checked against [`Dataset`] queries directly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Makes and models available in the simulated market (lowercase,
+/// site-renderers decide capitalisation).
+pub const MAKES: &[(&str, &[&str])] = &[
+    ("ford", &["escort", "taurus", "mustang", "explorer"]),
+    ("jaguar", &["xj6", "xjs", "vanden plas"]),
+    ("toyota", &["camry", "corolla", "4runner"]),
+    ("honda", &["accord", "civic", "odyssey"]),
+    ("bmw", &["318i", "528i", "m3"]),
+    ("chevrolet", &["cavalier", "camaro", "suburban"]),
+    ("dodge", &["neon", "caravan", "ram"]),
+    ("saab", &["900", "9000"]),
+    ("volvo", &["850", "960"]),
+    ("mercedes", &["c280", "e320"]),
+];
+
+/// Feature vocabulary for ads.
+pub const FEATURES: &[&str] = &[
+    "sunroof",
+    "abs",
+    "leather",
+    "air conditioning",
+    "alloy wheels",
+    "cd changer",
+    "power windows",
+    "cruise control",
+    "airbag",
+    "automatic",
+];
+
+/// Car condition, as Kelly's asks for it.
+pub const CONDITIONS: &[&str] = &["excellent", "good", "fair"];
+
+/// Safety ratings, as Car and Driver reports them.
+pub const SAFETY_RATINGS: &[&str] = &["poor", "fair", "good", "excellent"];
+
+/// NY-metro zip prefixes used by dealer and finance sites.
+pub const ZIPS: &[&str] = &["10001", "10451", "11201", "11375", "11550", "10301"];
+
+/// Loan/lease durations in months.
+pub const DURATIONS: &[u32] = &[24, 36, 48, 60];
+
+/// One used-car classified ad.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarAd {
+    pub id: u32,
+    pub make: String,
+    pub model: String,
+    pub year: u32,
+    pub price: u32,
+    pub contact: String,
+    pub zip: String,
+    pub features: Vec<String>,
+    pub picture: String,
+    pub condition: String,
+}
+
+/// The full synthetic market.
+#[derive(Debug)]
+pub struct Dataset {
+    pub ads: Vec<CarAd>,
+    seed: u64,
+}
+
+/// Which slice of the market a site carries. Sites overlap (the same ad
+/// can be syndicated), driven deterministically by the ad id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteSlice {
+    Newsday,
+    NyTimes,
+    NewYorkDaily,
+    CarPoint,
+    AutoWeb,
+    WwWheels,
+    AutoConnect,
+    YahooCars,
+}
+
+impl SiteSlice {
+    /// Deterministic syndication: each ad appears on ~2–3 sites.
+    pub fn carries(self, ad: &CarAd) -> bool {
+        let h = ad.id.wrapping_mul(2654435761);
+        match self {
+            SiteSlice::Newsday => h % 3 == 0,
+            SiteSlice::NyTimes => h % 3 == 1,
+            SiteSlice::NewYorkDaily => h % 3 == 2,
+            SiteSlice::CarPoint => h % 4 == 0,
+            SiteSlice::AutoWeb => h % 4 == 1,
+            SiteSlice::WwWheels => h % 2 == 0, // the big aggregator (most pages in §7)
+            SiteSlice::AutoConnect => h % 5 < 2,
+            SiteSlice::YahooCars => h % 5 >= 2,
+        }
+    }
+}
+
+impl Dataset {
+    /// Generate `n` ads deterministically from `seed`.
+    pub fn generate(seed: u64, n: usize) -> Arc<Dataset> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ads = Vec::with_capacity(n);
+        for id in 0..n as u32 {
+            let (make, models) = MAKES[rng.random_range(0..MAKES.len())];
+            let model = models[rng.random_range(0..models.len())];
+            let year = rng.random_range(1988..=1999);
+            let base = base_price(make, model);
+            // Depreciation: ~11%/year from 1999, plus noise.
+            let age = 1999 - year;
+            let mut price = base as f64 * 0.89f64.powi(age as i32);
+            price *= rng.random_range(0.82..1.18);
+            let condition = CONDITIONS[rng.random_range(0..CONDITIONS.len())];
+            let n_features = rng.random_range(1..5);
+            let mut features: Vec<String> = Vec::with_capacity(n_features);
+            while features.len() < n_features {
+                let f = FEATURES[rng.random_range(0..FEATURES.len())].to_string();
+                if !features.contains(&f) {
+                    features.push(f);
+                }
+            }
+            features.sort();
+            let zip = ZIPS[rng.random_range(0..ZIPS.len())].to_string();
+            ads.push(CarAd {
+                id,
+                make: make.to_string(),
+                model: model.to_string(),
+                year,
+                price: (price / 50.0).round() as u32 * 50,
+                contact: format!("(516) 555-{:04}", 1000 + (id * 37) % 9000),
+                zip,
+                features,
+                picture: format!("/pics/car{id}.jpg"),
+                condition: condition.to_string(),
+            });
+        }
+        Arc::new(Dataset { ads, seed })
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Ads carried by a site slice, in id order.
+    pub fn ads_for(&self, slice: SiteSlice) -> impl Iterator<Item = &CarAd> {
+        self.ads.iter().filter(move |a| slice.carries(a))
+    }
+
+    /// Ground truth for tests: ads on `slice` matching the optional
+    /// make/model filters.
+    pub fn matching(
+        &self,
+        slice: SiteSlice,
+        make: Option<&str>,
+        model: Option<&str>,
+    ) -> Vec<&CarAd> {
+        self.ads_for(slice)
+            .filter(|a| make.is_none_or(|m| a.make == m))
+            .filter(|a| model.is_none_or(|m| a.model == m))
+            .collect()
+    }
+}
+
+/// New-vehicle base price (deterministic, per make/model).
+pub fn base_price(make: &str, model: &str) -> u32 {
+    let premium: u32 = match make {
+        "jaguar" | "mercedes" | "bmw" => 42_000,
+        "volvo" | "saab" => 28_000,
+        _ => 17_000,
+    };
+    // Per-model deterministic variation.
+    let h = fnv(model) % 8_000;
+    premium + h as u32
+}
+
+/// Kelly's blue-book price: base price depreciated by age, adjusted for
+/// condition and price type (trade-in values run below retail).
+/// Deterministic in (make, model, year, condition, price type).
+pub fn blue_book_price(make: &str, model: &str, year: u32, condition: &str) -> u32 {
+    blue_book_price_typed(make, model, year, condition, "retail")
+}
+
+/// [`blue_book_price`] with an explicit price type.
+pub fn blue_book_price_typed(
+    make: &str,
+    model: &str,
+    year: u32,
+    condition: &str,
+    price_type: &str,
+) -> u32 {
+    let age = 1999u32.saturating_sub(year);
+    let mut p = base_price(make, model) as f64 * 0.88f64.powi(age as i32);
+    p *= match condition {
+        "excellent" => 1.08,
+        "good" => 1.0,
+        _ => 0.85,
+    };
+    if price_type == "trade-in" {
+        p = (p * 0.88 - 300.0).max(100.0);
+    }
+    (p / 50.0).round() as u32 * 50
+}
+
+/// Car-and-Driver safety rating, deterministic in (make, model, year).
+pub fn safety_rating(make: &str, model: &str, year: u32) -> &'static str {
+    let h = fnv(make) ^ fnv(model).rotate_left(7) ^ (year as u64).wrapping_mul(0x9e37);
+    SAFETY_RATINGS[(h % SAFETY_RATINGS.len() as u64) as usize]
+}
+
+/// Finance APR in percent for a zip/duration/plan triple, deterministic.
+/// Leases price below loans (the money factor is subsidised).
+pub fn finance_rate(zip: &str, duration_months: u32, plan: &str) -> f64 {
+    let h = fnv(zip) % 200; // 0..2.00%
+    let base = 6.5 + (duration_months as f64 - 24.0) * 0.02;
+    let plan_adj = if plan == "lease" { -1.2 } else { 0.0 };
+    (base + h as f64 / 100.0 * 1.5 + plan_adj).clamp(2.0, 12.0)
+}
+
+/// Financing plans offered by CarFinance.
+pub const PLANS: &[&str] = &["loan", "lease"];
+
+/// Insurance coverages offered by CarInsurance.
+pub const COVERAGES: &[&str] = &["full", "liability"];
+
+/// Blue-book price types (Kelly's offers both).
+pub const PRICE_TYPES: &[&str] = &["retail", "trade-in"];
+
+/// Annual insurance premium in dollars, deterministic in the car and
+/// coverage.
+pub fn insurance_cost(make: &str, model: &str, year: u32, coverage: &str) -> u32 {
+    let base = base_price(make, model) as f64 * 0.035;
+    let age_discount = (1999u32.saturating_sub(year)) as f64 * 12.0;
+    let cov = if coverage == "full" { 1.45 } else { 1.0 };
+    (((base - age_discount).max(250.0) * cov) / 10.0).round() as u32 * 10
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(42, 100);
+        let b = Dataset::generate(42, 100);
+        assert_eq!(a.ads, b.ads);
+        let c = Dataset::generate(43, 100);
+        assert_ne!(a.ads, c.ads);
+    }
+
+    #[test]
+    fn ads_are_plausible() {
+        let d = Dataset::generate(7, 500);
+        for ad in &d.ads {
+            assert!((1988..=1999).contains(&ad.year));
+            assert!(ad.price >= 500, "price {} too low", ad.price);
+            assert!(ad.price <= 60_000);
+            assert!(!ad.features.is_empty());
+            assert!(MAKES.iter().any(|(m, _)| *m == ad.make));
+        }
+    }
+
+    #[test]
+    fn slices_overlap_but_differ() {
+        let d = Dataset::generate(1, 300);
+        let nd: Vec<u32> = d.ads_for(SiteSlice::Newsday).map(|a| a.id).collect();
+        let nyt: Vec<u32> = d.ads_for(SiteSlice::NyTimes).map(|a| a.id).collect();
+        assert!(!nd.is_empty() && !nyt.is_empty());
+        assert!(nd.iter().all(|id| !nyt.contains(id)), "newsday/nytimes slices are disjoint");
+        let ww: Vec<u32> = d.ads_for(SiteSlice::WwWheels).map(|a| a.id).collect();
+        assert!(ww.len() > nd.len(), "wwwheels is the big aggregator");
+    }
+
+    #[test]
+    fn matching_filters() {
+        let d = Dataset::generate(1, 500);
+        let fords = d.matching(SiteSlice::Newsday, Some("ford"), None);
+        assert!(fords.iter().all(|a| a.make == "ford"));
+        let escorts = d.matching(SiteSlice::Newsday, Some("ford"), Some("escort"));
+        assert!(escorts.len() <= fords.len());
+    }
+
+    #[test]
+    fn blue_book_depreciates_with_age() {
+        let newer = blue_book_price("ford", "escort", 1998, "good");
+        let older = blue_book_price("ford", "escort", 1992, "good");
+        assert!(newer > older);
+        assert!(
+            blue_book_price("ford", "escort", 1995, "excellent")
+                > blue_book_price("ford", "escort", 1995, "fair")
+        );
+    }
+
+    #[test]
+    fn safety_and_finance_deterministic() {
+        assert_eq!(safety_rating("ford", "escort", 1995), safety_rating("ford", "escort", 1995));
+        assert!(finance_rate("10001", 36, "loan") > 0.0);
+        assert!(finance_rate("10001", 60, "loan") >= finance_rate("10001", 24, "loan"));
+        assert!(finance_rate("10001", 36, "loan") <= 12.0);
+        assert!(finance_rate("10001", 36, "lease") < finance_rate("10001", 36, "loan"));
+    }
+
+    #[test]
+    fn jaguars_cost_more_than_fords() {
+        assert!(base_price("jaguar", "xj6") > base_price("ford", "escort"));
+    }
+
+    #[test]
+    fn trade_in_below_retail() {
+        let retail = blue_book_price_typed("ford", "escort", 1995, "good", "retail");
+        let trade = blue_book_price_typed("ford", "escort", 1995, "good", "trade-in");
+        assert!(trade < retail);
+        assert_eq!(retail, blue_book_price("ford", "escort", 1995, "good"));
+    }
+
+    #[test]
+    fn insurance_cost_shape() {
+        let full = insurance_cost("jaguar", "xj6", 1996, "full");
+        let liab = insurance_cost("jaguar", "xj6", 1996, "liability");
+        assert!(full > liab, "full coverage costs more");
+        assert!(insurance_cost("ford", "escort", 1990, "liability") >= 250);
+        assert_eq!(full, insurance_cost("jaguar", "xj6", 1996, "full"));
+    }
+}

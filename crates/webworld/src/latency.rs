@@ -1,0 +1,89 @@
+//! The simulated network/latency model.
+//!
+//! The paper's §7 timing table distinguishes **cpu time** from **elapsed
+//! time** — elapsed is dominated by fetching and parsing pages over a
+//! 1999 connection. We cannot reproduce a 1999 WAN, so fetches charge a
+//! *simulated* latency (per request plus per byte) that is recorded in
+//! the fetch statistics rather than slept. Benchmarks report cpu time
+//! measured for real and elapsed time as cpu + simulated network.
+
+use std::time::Duration;
+
+/// Latency charged per fetch: `base + per_kb × size`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    pub base: Duration,
+    pub per_kb: Duration,
+}
+
+impl LatencyModel {
+    /// A 1999-ish dial-up/early-DSL profile: 250 ms round trip plus
+    /// ~180 ms per KB (≈ 45 kbit/s effective).
+    pub fn dialup_1999() -> LatencyModel {
+        LatencyModel { base: Duration::from_millis(250), per_kb: Duration::from_millis(180) }
+    }
+
+    /// A LAN profile for tests that want near-zero simulated latency.
+    pub fn lan() -> LatencyModel {
+        LatencyModel { base: Duration::from_micros(200), per_kb: Duration::from_micros(20) }
+    }
+
+    /// No simulated latency at all.
+    pub fn zero() -> LatencyModel {
+        LatencyModel { base: Duration::ZERO, per_kb: Duration::ZERO }
+    }
+
+    /// Simulated time to fetch a response of `bytes` bytes.
+    pub fn charge(&self, bytes: usize) -> Duration {
+        self.base + self.per_kb.mul_f64(bytes as f64 / 1024.0)
+    }
+}
+
+/// Aggregated fetch statistics (per site or global).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FetchStats {
+    pub requests: u64,
+    pub bytes: u64,
+    /// Total simulated network time across all fetches.
+    pub simulated_network: Duration,
+}
+
+impl FetchStats {
+    pub fn record(&mut self, bytes: usize, latency: Duration) {
+        self.requests += 1;
+        self.bytes += bytes as u64;
+        self.simulated_network += latency;
+    }
+
+    pub fn merge(&mut self, other: &FetchStats) {
+        self.requests += other.requests;
+        self.bytes += other.bytes;
+        self.simulated_network += other.simulated_network;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_scales_with_size() {
+        let m = LatencyModel::dialup_1999();
+        assert!(m.charge(10_240) > m.charge(1_024));
+        assert_eq!(LatencyModel::zero().charge(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_accumulate_and_merge() {
+        let m = LatencyModel::lan();
+        let mut s = FetchStats::default();
+        s.record(1024, m.charge(1024));
+        s.record(2048, m.charge(2048));
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.bytes, 3072);
+        let mut t = FetchStats::default();
+        t.merge(&s);
+        t.merge(&s);
+        assert_eq!(t.requests, 4);
+    }
+}

@@ -1,0 +1,343 @@
+//! HTML page construction for the simulated sites.
+//!
+//! Every site renders genuine HTML through this builder — the navigation
+//! layer sees only markup, never the underlying dataset. The builder has
+//! an **ill-formed mode** reproducing the faulty HTML the paper calls
+//! the main practical problem: closing tags for `td`/`tr`/`li`/`p` are
+//! omitted and the occasional attribute quote is dropped, which the
+//! `webbase-html` parser must recover from.
+
+use crate::url::encode;
+use webbase_html::escape::escape;
+
+/// Cell content in a rendered table.
+pub enum Cell {
+    Text(String),
+    /// Text wrapped in a link.
+    Link { text: String, href: String },
+}
+
+impl Cell {
+    pub fn text(s: impl Into<String>) -> Cell {
+        Cell::Text(s.into())
+    }
+
+    pub fn link(text: impl Into<String>, href: impl Into<String>) -> Cell {
+        Cell::Link { text: text.into(), href: href.into() }
+    }
+}
+
+/// A form widget to render.
+pub enum Widget {
+    Text { name: String, label: String, maxlength: Option<u32> },
+    Select { name: String, label: String, options: Vec<String>, include_any: bool },
+    Radio { name: String, label: String, options: Vec<String> },
+    Checkbox { name: String, label: String },
+    Hidden { name: String, value: String },
+}
+
+impl Widget {
+    pub fn text(name: &str, label: &str) -> Widget {
+        Widget::Text { name: name.into(), label: label.into(), maxlength: Some(40) }
+    }
+
+    pub fn select(name: &str, label: &str, options: &[&str], include_any: bool) -> Widget {
+        Widget::Select {
+            name: name.into(),
+            label: label.into(),
+            options: options.iter().map(|s| s.to_string()).collect(),
+            include_any,
+        }
+    }
+
+    pub fn select_owned(name: &str, label: &str, options: Vec<String>, include_any: bool) -> Widget {
+        Widget::Select { name: name.into(), label: label.into(), options, include_any }
+    }
+
+    pub fn radio(name: &str, label: &str, options: &[&str]) -> Widget {
+        Widget::Radio {
+            name: name.into(),
+            label: label.into(),
+            options: options.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    pub fn hidden(name: &str, value: &str) -> Widget {
+        Widget::Hidden { name: name.into(), value: value.into() }
+    }
+}
+
+/// Accumulates a page. `ill_formed` mode drops closing tags the way
+/// careless 1999 markup did.
+pub struct PageBuilder {
+    title: String,
+    body: String,
+    ill_formed: bool,
+}
+
+impl PageBuilder {
+    pub fn new(title: &str) -> PageBuilder {
+        PageBuilder { title: title.to_string(), body: String::new(), ill_formed: false }
+    }
+
+    /// Enable faulty-HTML rendering for this page.
+    pub fn ill_formed(mut self) -> PageBuilder {
+        self.ill_formed = true;
+        self
+    }
+
+    pub fn heading(mut self, text: &str) -> PageBuilder {
+        self.body.push_str(&format!("<h1>{}</h1>\n", escape(text)));
+        self
+    }
+
+    pub fn para(mut self, text: &str) -> PageBuilder {
+        if self.ill_formed {
+            self.body.push_str(&format!("<p>{}\n", escape(text)));
+        } else {
+            self.body.push_str(&format!("<p>{}</p>\n", escape(text)));
+        }
+        self
+    }
+
+    pub fn comment(mut self, text: &str) -> PageBuilder {
+        self.body.push_str(&format!("<!-- {text} -->\n"));
+        self
+    }
+
+    pub fn link(mut self, text: &str, href: &str) -> PageBuilder {
+        self.body.push_str(&format!("<a href=\"{}\">{}</a>\n", escape(href), escape(text)));
+        self
+    }
+
+    /// A bulleted list of links — the construct the paper describes as
+    /// "attributes … implicitly defined through a set of links".
+    pub fn link_list(mut self, items: &[(String, String)]) -> PageBuilder {
+        self.body.push_str("<ul>\n");
+        for (text, href) in items {
+            if self.ill_formed {
+                self.body
+                    .push_str(&format!("<li><a href={}>{}</a>\n", escape(href), escape(text)));
+            } else {
+                self.body.push_str(&format!(
+                    "<li><a href=\"{}\">{}</a></li>\n",
+                    escape(href),
+                    escape(text)
+                ));
+            }
+        }
+        self.body.push_str("</ul>\n");
+        self
+    }
+
+    /// Render a form.
+    pub fn form(mut self, action: &str, method: &str, widgets: &[Widget], submit: &str) -> PageBuilder {
+        self.body.push_str(&format!(
+            "<form action=\"{}\" method=\"{}\">\n",
+            escape(action),
+            method
+        ));
+        for w in widgets {
+            match w {
+                Widget::Text { name, label, maxlength } => {
+                    let ml = maxlength.map(|m| format!(" maxlength={m}")).unwrap_or_default();
+                    self.body.push_str(&format!(
+                        "{}: <input type=text name={name}{ml}><br>\n",
+                        escape(label)
+                    ));
+                }
+                Widget::Select { name, label, options, include_any } => {
+                    self.body.push_str(&format!("{}: <select name={name}>\n", escape(label)));
+                    if *include_any {
+                        self.body.push_str("<option value=\"\">any</option>\n");
+                    }
+                    for o in options {
+                        self.body.push_str(&format!(
+                            "<option value=\"{}\">{}</option>\n",
+                            escape(o),
+                            escape(o)
+                        ));
+                    }
+                    self.body.push_str("</select><br>\n");
+                }
+                Widget::Radio { name, label, options } => {
+                    self.body.push_str(&format!("{}: ", escape(label)));
+                    for o in options {
+                        self.body.push_str(&format!(
+                            "<input type=radio name={name} value=\"{}\">{} ",
+                            escape(o),
+                            escape(o)
+                        ));
+                    }
+                    self.body.push_str("<br>\n");
+                }
+                Widget::Checkbox { name, label } => {
+                    self.body.push_str(&format!(
+                        "{}: <input type=checkbox name={name}><br>\n",
+                        escape(label)
+                    ));
+                }
+                Widget::Hidden { name, value } => {
+                    self.body.push_str(&format!(
+                        "<input type=hidden name={name} value=\"{}\">\n",
+                        escape(value)
+                    ));
+                }
+            }
+        }
+        self.body.push_str(&format!("<input type=submit value=\"{}\">\n</form>\n", escape(submit)));
+        self
+    }
+
+    /// Render a data table.
+    pub fn table(mut self, headers: &[&str], rows: &[Vec<Cell>]) -> PageBuilder {
+        self.body.push_str("<table border=1>\n<tr>");
+        for h in headers {
+            self.body.push_str(&format!("<th>{}</th>", escape(h)));
+        }
+        self.body.push_str("</tr>\n");
+        for row in rows {
+            self.body.push_str("<tr>");
+            for cell in row {
+                let inner = match cell {
+                    Cell::Text(t) => escape(t),
+                    Cell::Link { text, href } => {
+                        format!("<a href=\"{}\">{}</a>", escape(href), escape(text))
+                    }
+                };
+                if self.ill_formed {
+                    self.body.push_str(&format!("<td>{inner}"));
+                } else {
+                    self.body.push_str(&format!("<td>{inner}</td>"));
+                }
+            }
+            if !self.ill_formed {
+                self.body.push_str("</tr>");
+            }
+            self.body.push('\n');
+        }
+        self.body.push_str("</table>\n");
+        self
+    }
+
+    /// A definition list (`<dl>`) of attribute/value pairs — the layout
+    /// some sites use instead of tables.
+    pub fn definition_list(mut self, pairs: &[(String, String)]) -> PageBuilder {
+        self.body.push_str("<dl>\n");
+        for (k, v) in pairs {
+            if self.ill_formed {
+                self.body.push_str(&format!("<dt>{}<dd>{}\n", escape(k), escape(v)));
+            } else {
+                self.body
+                    .push_str(&format!("<dt>{}</dt><dd>{}</dd>\n", escape(k), escape(v)));
+            }
+        }
+        self.body.push_str("</dl>\n");
+        self
+    }
+
+    pub fn finish(self) -> String {
+        if self.ill_formed {
+            // Missing </body></html>, like many real pages.
+            format!(
+                "<html><head><title>{}</title></head>\n<body>\n{}",
+                escape(&self.title),
+                self.body
+            )
+        } else {
+            format!(
+                "<html><head><title>{}</title></head>\n<body>\n{}</body></html>\n",
+                escape(&self.title),
+                self.body
+            )
+        }
+    }
+}
+
+/// Build an `action?name=value&…` href for GET-style pagination links.
+pub fn href_with_params(path: &str, params: &[(&str, &str)]) -> String {
+    if params.is_empty() {
+        return path.to_string();
+    }
+    let q: Vec<String> =
+        params.iter().map(|(k, v)| format!("{}={}", encode(k), encode(v))).collect();
+    format!("{path}?{}", q.join("&"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_html::{extract, parse};
+
+    #[test]
+    fn form_renders_and_extracts() {
+        let html = PageBuilder::new("t")
+            .form(
+                "/cgi-bin/q",
+                "post",
+                &[
+                    Widget::select("make", "Make", &["ford", "jaguar"], false),
+                    Widget::text("model", "Model"),
+                    Widget::radio("cond", "Condition", &["good", "fair"]),
+                ],
+                "Search",
+            )
+            .finish();
+        let doc = parse(&html);
+        let forms = extract::forms(&doc);
+        assert_eq!(forms.len(), 1);
+        let f = &forms[0];
+        assert_eq!(f.action, "/cgi-bin/q");
+        assert_eq!(f.data_fields().count(), 3);
+        assert_eq!(f.inferred_mandatory_fields(), vec!["make", "cond"]);
+    }
+
+    #[test]
+    fn table_renders_and_extracts() {
+        let html = PageBuilder::new("t")
+            .table(
+                &["Make", "Price"],
+                &[vec![Cell::link("ford", "/car/1"), Cell::text("$500")]],
+            )
+            .finish();
+        let doc = parse(&html);
+        let tables = extract::tables(&doc);
+        assert_eq!(tables[0].header, vec!["Make", "Price"]);
+        assert_eq!(tables[0].links[0][0].as_deref(), Some("/car/1"));
+    }
+
+    #[test]
+    fn ill_formed_still_parses() {
+        let html = PageBuilder::new("t")
+            .ill_formed()
+            .para("intro")
+            .table(&["A"], &[vec![Cell::text("1")], vec![Cell::text("2")]])
+            .link_list(&[("x".into(), "/x".into())])
+            .finish();
+        assert!(!html.contains("</td>"));
+        let doc = parse(&html);
+        let tables = extract::tables(&doc);
+        assert_eq!(tables[0].rows.len(), 2);
+        assert_eq!(extract::links(&doc).len(), 1);
+    }
+
+    #[test]
+    fn href_params_encode() {
+        assert_eq!(
+            href_with_params("/q", &[("make", "ford"), ("m", "a b")]),
+            "/q?make=ford&m=a+b"
+        );
+        assert_eq!(href_with_params("/q", &[]), "/q");
+    }
+
+    #[test]
+    fn select_any_option() {
+        let html = PageBuilder::new("t")
+            .form("/q", "get", &[Widget::select("y", "Year", &["1998"], true)], "Go")
+            .finish();
+        let doc = parse(&html);
+        let f = &extract::forms(&doc)[0];
+        // "any" option present → not inferred mandatory
+        assert_eq!(f.fields[0].kind.inferred_mandatory(), Some(false));
+    }
+}

@@ -1,0 +1,123 @@
+//! Requests and responses exchanged with the simulated Web.
+
+use crate::url::Url;
+use bytes::Bytes;
+
+/// HTTP method — the simulated CGI scripts accept both, like their
+/// 1999 counterparts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Method {
+    Get,
+    Post,
+}
+
+/// A request: method, URL, and (for POST) form parameters. GET form
+/// submissions carry their parameters in the URL query instead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Request {
+    pub method: Method,
+    pub url: Url,
+    /// POST body parameters, decoded. Sorted at construction so equal
+    /// submissions hash equally (cache key).
+    pub params: Vec<(String, String)>,
+}
+
+impl Request {
+    pub fn get(url: Url) -> Request {
+        Request { method: Method::Get, url, params: Vec::new() }
+    }
+
+    pub fn post<I, K, V>(url: Url, params: I) -> Request
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        let mut params: Vec<(String, String)> =
+            params.into_iter().map(|(k, v)| (k.into(), v.into())).collect();
+        params.sort();
+        Request { method: Method::Post, url, params }
+    }
+
+    /// A parameter from either the POST body or the URL query — CGI
+    /// scripts look in both.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .or_else(|| self.url.param(key))
+    }
+
+    /// Non-empty parameter (sites treat `""` — the "any" option — as
+    /// absent).
+    pub fn param_nonempty(&self, key: &str) -> Option<&str> {
+        self.param(key).filter(|v| !v.is_empty())
+    }
+}
+
+/// A response: status plus HTML body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub body: Bytes,
+}
+
+impl Response {
+    pub fn ok(html: String) -> Response {
+        Response { status: 200, body: Bytes::from(html) }
+    }
+
+    pub fn not_found(msg: &str) -> Response {
+        Response { status: 404, body: Bytes::from(format!("<html><body><h1>404</h1><p>{msg}</p>")) }
+    }
+
+    pub fn html(&self) -> &str {
+        std::str::from_utf8(&self.body).unwrap_or("")
+    }
+
+    pub fn len_bytes(&self) -> usize {
+        self.body.len()
+    }
+
+    pub fn is_ok(&self) -> bool {
+        self.status == 200
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_params_sorted_for_cache_identity() {
+        let u = Url::new("h", "/cgi");
+        let a = Request::post(u.clone(), [("b", "2"), ("a", "1")]);
+        let b = Request::post(u, [("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn param_lookup_prefers_body_then_query() {
+        let u = Url::new("h", "/cgi").with_query([("x", "q"), ("y", "qq")]);
+        let r = Request::post(u, [("x", "body")]);
+        assert_eq!(r.param("x"), Some("body"));
+        assert_eq!(r.param("y"), Some("qq"));
+        assert_eq!(r.param("z"), None);
+    }
+
+    #[test]
+    fn empty_param_treated_as_absent() {
+        let r = Request::post(Url::new("h", "/"), [("make", "")]);
+        assert_eq!(r.param("make"), Some(""));
+        assert_eq!(r.param_nonempty("make"), None);
+    }
+
+    #[test]
+    fn response_accessors() {
+        let r = Response::ok("<p>hi".into());
+        assert!(r.is_ok());
+        assert_eq!(r.html(), "<p>hi");
+        assert!(Response::not_found("x").status == 404);
+    }
+}

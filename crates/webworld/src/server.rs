@@ -1,0 +1,195 @@
+//! The simulated Web: a registry of sites behind a fetch interface.
+
+use crate::latency::{FetchStats, LatencyModel};
+use crate::request::{Request, Response};
+use crate::url::Url;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One simulated Web site. Handlers are pure functions of the request
+/// (all state lives in the site's dataset), which is what makes fetch
+/// caching sound.
+pub trait Site: Send + Sync {
+    /// Host name, e.g. `www.newsday.com`.
+    fn host(&self) -> &str;
+
+    /// The site's entry-point URL (usually `http://host/`).
+    fn entry(&self) -> Url {
+        Url::new(self.host(), "/")
+    }
+
+    /// Serve a request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+/// The simulated Web: sites indexed by host, with fetch statistics and a
+/// latency model. Cloneable handle (`Arc` inside) so browser sessions and
+/// parallel workers share one Web.
+#[derive(Clone)]
+pub struct SyntheticWeb {
+    inner: Arc<WebInner>,
+}
+
+struct WebInner {
+    sites: HashMap<String, Box<dyn Site>>,
+    latency: LatencyModel,
+    stats: Mutex<HashMap<String, FetchStats>>,
+}
+
+impl SyntheticWeb {
+    pub fn builder() -> WebBuilder {
+        WebBuilder { sites: Vec::new(), latency: LatencyModel::lan() }
+    }
+
+    /// Fetch a URL or submit a form. Returns the response and the
+    /// *simulated* network latency charged (recorded in stats; not
+    /// slept).
+    pub fn fetch(&self, req: &Request) -> (Response, Duration) {
+        let resp = match self.inner.sites.get(&req.url.host) {
+            Some(site) => site.handle(req),
+            None => Response::not_found(&format!("no such host {}", req.url.host)),
+        };
+        let latency = self.inner.latency.charge(resp.len_bytes());
+        self.inner
+            .stats
+            .lock()
+            .entry(req.url.host.clone())
+            .or_default()
+            .record(resp.len_bytes(), latency);
+        (resp, latency)
+    }
+
+    pub fn latency_model(&self) -> LatencyModel {
+        self.inner.latency
+    }
+
+    /// Fetch statistics per host since the last reset.
+    pub fn stats(&self) -> HashMap<String, FetchStats> {
+        self.inner.stats.lock().clone()
+    }
+
+    /// Total statistics across hosts.
+    pub fn total_stats(&self) -> FetchStats {
+        let mut total = FetchStats::default();
+        for s in self.inner.stats.lock().values() {
+            total.merge(s);
+        }
+        total
+    }
+
+    pub fn reset_stats(&self) {
+        self.inner.stats.lock().clear();
+    }
+
+    /// Hosts served by this Web, sorted.
+    pub fn hosts(&self) -> Vec<String> {
+        let mut hs: Vec<String> = self.inner.sites.keys().cloned().collect();
+        hs.sort();
+        hs
+    }
+
+    /// Entry URL of a host, if registered.
+    pub fn entry(&self, host: &str) -> Option<Url> {
+        self.inner.sites.get(host).map(|s| s.entry())
+    }
+}
+
+/// Builder for [`SyntheticWeb`].
+pub struct WebBuilder {
+    sites: Vec<Box<dyn Site>>,
+    latency: LatencyModel,
+}
+
+impl WebBuilder {
+    pub fn site(mut self, site: impl Site + 'static) -> WebBuilder {
+        self.sites.push(Box::new(site));
+        self
+    }
+
+    pub fn boxed_site(mut self, site: Box<dyn Site>) -> WebBuilder {
+        self.sites.push(site);
+        self
+    }
+
+    pub fn latency(mut self, model: LatencyModel) -> WebBuilder {
+        self.latency = model;
+        self
+    }
+
+    pub fn build(self) -> SyntheticWeb {
+        let mut sites = HashMap::new();
+        for s in self.sites {
+            let host = s.host().to_string();
+            let prev = sites.insert(host.clone(), s);
+            assert!(prev.is_none(), "duplicate site registered for host {host}");
+        }
+        SyntheticWeb {
+            inner: Arc::new(WebInner { sites, latency: self.latency, stats: Mutex::new(HashMap::new()) }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+
+    struct Echo;
+    impl Site for Echo {
+        fn host(&self) -> &str {
+            "echo.test"
+        }
+        fn handle(&self, req: &Request) -> Response {
+            Response::ok(format!("<html><body><p>{}</p>", req.url.path))
+        }
+    }
+
+    #[test]
+    fn fetch_routes_by_host() {
+        let web = SyntheticWeb::builder().site(Echo).build();
+        let (r, _) = web.fetch(&Request::get(Url::new("echo.test", "/hello")));
+        assert!(r.is_ok());
+        assert!(r.html().contains("/hello"));
+        let (r404, _) = web.fetch(&Request::get(Url::new("nope.test", "/")));
+        assert_eq!(r404.status, 404);
+    }
+
+    #[test]
+    fn stats_recorded_per_host() {
+        let web = SyntheticWeb::builder().site(Echo).build();
+        web.fetch(&Request::get(Url::new("echo.test", "/a")));
+        web.fetch(&Request::get(Url::new("echo.test", "/b")));
+        let stats = web.stats();
+        assert_eq!(stats["echo.test"].requests, 2);
+        assert!(stats["echo.test"].bytes > 0);
+        web.reset_stats();
+        assert!(web.stats().is_empty());
+    }
+
+    #[test]
+    fn latency_charged_not_slept() {
+        let web =
+            SyntheticWeb::builder().site(Echo).latency(LatencyModel::dialup_1999()).build();
+        let t0 = std::time::Instant::now();
+        let (_, simulated) = web.fetch(&Request::get(Url::new("echo.test", "/x")));
+        assert!(simulated >= Duration::from_millis(250));
+        assert!(t0.elapsed() < Duration::from_millis(100), "fetch must not sleep");
+        assert_eq!(web.total_stats().simulated_network, simulated);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate site")]
+    fn duplicate_hosts_rejected() {
+        let _ = SyntheticWeb::builder().site(Echo).site(Echo).build();
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let web = SyntheticWeb::builder().site(Echo).build();
+        let web2 = web.clone();
+        web.fetch(&Request::get(Url::new("echo.test", "/")));
+        assert_eq!(web2.total_stats().requests, 1);
+    }
+}

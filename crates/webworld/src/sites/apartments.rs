@@ -1,0 +1,305 @@
+//! A second application domain: apartment hunting.
+//!
+//! §6 of the paper: "we believe that webbases will be designed for
+//! application domains (such as cars, jobs, houses) by the experts in
+//! those domains". These two sites exist to prove the machinery is a
+//! framework, not a car-shaped demo: `examples/apartment_hunting.rs`
+//! builds a complete webbase over them using only the public API.
+//!
+//! * `www.aptlistings.com` — classified rental listings: borough
+//!   (mandatory select) + bedrooms (optional), paginated results;
+//! * `www.rentguide.com` — fair-rent guidelines: borough + bedrooms
+//!   (both mandatory) → the guideline rate (the "blue book" of rents).
+
+use crate::render::{href_with_params, Cell, PageBuilder, Widget};
+use crate::request::{Request, Response};
+use crate::server::Site;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// NYC boroughs, the domain of the `borough` attribute.
+pub const BOROUGHS: &[&str] = &["manhattan", "brooklyn", "queens", "bronx", "staten island"];
+
+/// Bedroom counts offered by the sites' forms.
+pub const BEDROOMS: &[&str] = &["0", "1", "2", "3"];
+
+/// One rental listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AptAd {
+    pub id: u32,
+    pub borough: String,
+    pub bedrooms: u32,
+    pub rent: u32,
+    pub contact: String,
+}
+
+/// The synthetic rental market (seeded, deterministic).
+#[derive(Debug)]
+pub struct AptMarket {
+    pub ads: Vec<AptAd>,
+}
+
+impl AptMarket {
+    pub fn generate(seed: u64, n: usize) -> Arc<AptMarket> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA9A97);
+        let mut ads = Vec::with_capacity(n);
+        for id in 0..n as u32 {
+            let borough = BOROUGHS[rng.random_range(0..BOROUGHS.len())].to_string();
+            let bedrooms = rng.random_range(0..=3u32);
+            let base = fair_rent(&borough, bedrooms) as f64;
+            let rent = (base * rng.random_range(0.75..1.35) / 25.0).round() as u32 * 25;
+            ads.push(AptAd {
+                id,
+                borough,
+                bedrooms,
+                rent,
+                contact: format!("(212) 555-{:04}", 2000 + (id * 53) % 7000),
+            });
+        }
+        Arc::new(AptMarket { ads })
+    }
+
+    /// Ground truth for tests.
+    pub fn matching(&self, borough: Option<&str>, bedrooms: Option<u32>) -> Vec<&AptAd> {
+        self.ads
+            .iter()
+            .filter(|a| borough.is_none_or(|b| a.borough == b))
+            .filter(|a| bedrooms.is_none_or(|b| a.bedrooms == b))
+            .collect()
+    }
+}
+
+/// The 1999 fair-rent guideline, deterministic in (borough, bedrooms).
+pub fn fair_rent(borough: &str, bedrooms: u32) -> u32 {
+    let base: u32 = match borough {
+        "manhattan" => 1450,
+        "brooklyn" => 950,
+        "queens" => 850,
+        "bronx" => 700,
+        _ => 650,
+    };
+    base + bedrooms * 350
+}
+
+/// The classified-listings site.
+pub struct AptListings {
+    market: Arc<AptMarket>,
+}
+
+const PAGE_SIZE: usize = 4;
+
+impl AptListings {
+    pub fn new(market: Arc<AptMarket>) -> AptListings {
+        AptListings { market }
+    }
+}
+
+impl Site for AptListings {
+    fn host(&self) -> &str {
+        "www.aptlistings.com"
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        match req.url.path.as_str() {
+            "/" => Response::ok(
+                PageBuilder::new("AptListings - NYC Rentals")
+                    .heading("Find an apartment")
+                    .form(
+                        "/cgi-bin/find",
+                        "post",
+                        &[
+                            Widget::select("borough", "Borough", BOROUGHS, false),
+                            Widget::select("beds", "Bedrooms", BEDROOMS, true),
+                        ],
+                        "Search",
+                    )
+                    .finish(),
+            ),
+            "/cgi-bin/find" => {
+                let Some(borough) = req.param_nonempty("borough") else {
+                    return Response::ok(
+                        PageBuilder::new("AptListings - Error")
+                            .para("A borough is required.")
+                            .finish(),
+                    );
+                };
+                let beds: Option<u32> =
+                    req.param_nonempty("beds").and_then(|b| b.parse().ok());
+                let matches = self.market.matching(Some(borough), beds);
+                let page: usize =
+                    req.param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
+                let start = page * PAGE_SIZE;
+                let shown =
+                    &matches[start.min(matches.len())..(start + PAGE_SIZE).min(matches.len())];
+                let rows: Vec<Vec<Cell>> = shown
+                    .iter()
+                    .map(|a| {
+                        vec![
+                            Cell::text(&a.borough),
+                            Cell::text(a.bedrooms.to_string()),
+                            Cell::text(format!("${}", a.rent)),
+                            Cell::text(&a.contact),
+                        ]
+                    })
+                    .collect();
+                let mut pb = PageBuilder::new("AptListings - Results")
+                    .heading(&format!("{} listings", matches.len()))
+                    .table(&["Borough", "Bedrooms", "Rent", "Contact"], &rows);
+                if start + PAGE_SIZE < matches.len() {
+                    let next = (page + 1).to_string();
+                    let mut params = vec![("borough", borough)];
+                    let beds_s;
+                    if let Some(b) = beds {
+                        beds_s = b.to_string();
+                        params.push(("beds", &beds_s));
+                    }
+                    params.push(("page", &next));
+                    pb = pb.link("More", &href_with_params("/cgi-bin/find", &params));
+                }
+                Response::ok(pb.finish())
+            }
+            other => Response::not_found(other),
+        }
+    }
+}
+
+/// The fair-rent guideline site.
+pub struct RentGuide;
+
+impl RentGuide {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> RentGuide {
+        RentGuide
+    }
+}
+
+impl Site for RentGuide {
+    fn host(&self) -> &str {
+        "www.rentguide.com"
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        match req.url.path.as_str() {
+            "/" => Response::ok(
+                PageBuilder::new("RentGuide - Fair Rent Guidelines")
+                    .heading("1999 fair-rent guidelines")
+                    .form(
+                        "/cgi-bin/guide",
+                        "get",
+                        &[
+                            Widget::select("borough", "Borough", BOROUGHS, false),
+                            Widget::radio("beds", "Bedrooms", BEDROOMS),
+                        ],
+                        "Look up",
+                    )
+                    .finish(),
+            ),
+            "/cgi-bin/guide" => {
+                let (Some(borough), Some(beds)) =
+                    (req.param_nonempty("borough"), req.param_nonempty("beds"))
+                else {
+                    return Response::ok(
+                        PageBuilder::new("RentGuide - Error")
+                            .para("Borough and bedrooms are required.")
+                            .finish(),
+                    );
+                };
+                let Ok(b) = beds.parse::<u32>() else {
+                    return Response::ok(
+                        PageBuilder::new("RentGuide - Error").para("Bad bedrooms.").finish(),
+                    );
+                };
+                let rows = vec![vec![
+                    Cell::text(borough),
+                    Cell::text(b.to_string()),
+                    Cell::text(format!("${}", fair_rent(borough, b))),
+                ]];
+                Response::ok(
+                    PageBuilder::new("RentGuide - Guideline")
+                        .heading(&format!("{borough}, {b} bedroom(s)"))
+                        .table(&["Borough", "Bedrooms", "Fair Rent"], &rows)
+                        .finish(),
+                )
+            }
+            other => Response::not_found(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::server::SyntheticWeb;
+    use crate::url::Url;
+    use webbase_html::{extract, parse};
+
+    fn web() -> (SyntheticWeb, Arc<AptMarket>) {
+        let market = AptMarket::generate(3, 120);
+        let web = SyntheticWeb::builder()
+            .site(AptListings::new(market.clone()))
+            .site(RentGuide::new())
+            .latency(LatencyModel::zero())
+            .build();
+        (web, market)
+    }
+
+    #[test]
+    fn listings_filter_and_paginate() {
+        let (web, market) = web();
+        let truth = market.matching(Some("brooklyn"), None).len();
+        let mut seen = 0;
+        let mut page = 0;
+        loop {
+            let (r, _) = web.fetch(&Request::post(
+                Url::new("www.aptlistings.com", "/cgi-bin/find")
+                    .with_query([("page", page.to_string())]),
+                [("borough", "brooklyn")],
+            ));
+            let doc = parse(r.html());
+            seen += extract::tables(&doc)[0].rows.len();
+            if extract::links(&doc).iter().any(|l| l.text == "More") {
+                page += 1;
+            } else {
+                break;
+            }
+        }
+        assert_eq!(seen, truth);
+    }
+
+    #[test]
+    fn guide_agrees_with_generator() {
+        let (web, _) = web();
+        let (r, _) = web.fetch(&Request::get(
+            Url::new("www.rentguide.com", "/cgi-bin/guide")
+                .with_query([("borough", "queens"), ("beds", "2")]),
+        ));
+        let t = &extract::tables(&parse(r.html()))[0];
+        let shown: u32 = t.rows[0][2].trim_start_matches('$').parse().expect("rent");
+        assert_eq!(shown, fair_rent("queens", 2));
+    }
+
+    #[test]
+    fn mandatory_fields_enforced() {
+        let (web, _) = web();
+        let (r, _) = web.fetch(&Request::post(
+            Url::new("www.aptlistings.com", "/cgi-bin/find"),
+            [("beds", "2")],
+        ));
+        assert!(r.html().contains("required"));
+        let (r, _) = web.fetch(&Request::get(
+            Url::new("www.rentguide.com", "/cgi-bin/guide").with_query([("borough", "bronx")]),
+        ));
+        assert!(r.html().contains("required"));
+    }
+
+    #[test]
+    fn market_rent_tracks_guideline() {
+        let market = AptMarket::generate(9, 300);
+        for ad in &market.ads {
+            let guide = fair_rent(&ad.borough, ad.bedrooms) as f64;
+            assert!((ad.rent as f64) > guide * 0.6 && (ad.rent as f64) < guide * 1.5);
+        }
+    }
+}

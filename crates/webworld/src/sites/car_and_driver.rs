@@ -1,0 +1,126 @@
+//! Car and Driver (`www.caranddriver.com`): reliability/safety ratings —
+//! the VPS relation `carAndDriver(Car, Safety)` of Table 1.
+
+use crate::data::{safety_rating, MAKES};
+use crate::render::{Cell, PageBuilder, Widget};
+use crate::request::{Request, Response};
+use crate::server::Site;
+
+pub struct CarAndDriver;
+
+impl CarAndDriver {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> CarAndDriver {
+        CarAndDriver
+    }
+
+    fn home(&self) -> Response {
+        let makes: Vec<&str> = MAKES.iter().map(|(m, _)| *m).collect();
+        Response::ok(
+            PageBuilder::new("Car and Driver - Safety Ratings")
+                .heading("Safety and reliability ratings")
+                .form(
+                    "/cgi-bin/safety",
+                    "get",
+                    &[
+                        Widget::select("make", "Make", &makes, false),
+                        Widget::text("model", "Model"),
+                    ],
+                    "Look up",
+                )
+                .finish(),
+        )
+    }
+
+    fn safety_page(&self, req: &Request) -> Response {
+        let (Some(make), Some(model)) =
+            (req.param_nonempty("make"), req.param_nonempty("model"))
+        else {
+            return Response::ok(
+                PageBuilder::new("Car and Driver - Error")
+                    .para("Both make and model are required.")
+                    .finish(),
+            );
+        };
+        let valid_model = MAKES
+            .iter()
+            .find(|(m, _)| *m == make)
+            .is_some_and(|(_, models)| models.contains(&model));
+        if !valid_model {
+            return Response::ok(
+                PageBuilder::new("Car and Driver - No data")
+                    .para("We have no ratings for that vehicle.")
+                    .finish(),
+            );
+        }
+        let rows: Vec<Vec<Cell>> = (1988..=1999)
+            .rev()
+            .map(|y| {
+                vec![
+                    Cell::text(make),
+                    Cell::text(model),
+                    Cell::text(y.to_string()),
+                    Cell::text(safety_rating(make, model, y)),
+                ]
+            })
+            .collect();
+        Response::ok(
+            PageBuilder::new(&format!("Safety ratings: {make} {model}"))
+                .heading(&format!("{make} {model}"))
+                .table(&["Make", "Model", "Year", "Safety"], &rows)
+                .finish(),
+        )
+    }
+}
+
+impl Site for CarAndDriver {
+    fn host(&self) -> &str {
+        "www.caranddriver.com"
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        match req.url.path.as_str() {
+            "/" => self.home(),
+            "/cgi-bin/safety" => self.safety_page(req),
+            other => Response::not_found(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::url::Url;
+    use webbase_html::{extract, parse};
+
+    #[test]
+    fn ratings_for_all_years() {
+        let s = CarAndDriver::new();
+        let r = s.handle(&Request::get(
+            Url::new(s.host(), "/cgi-bin/safety")
+                .with_query([("make", "jaguar"), ("model", "xj6")]),
+        ));
+        let t = &extract::tables(&parse(r.html()))[0];
+        assert_eq!(t.rows.len(), 12);
+        assert_eq!(t.rows[0][3], safety_rating("jaguar", "xj6", 1999));
+    }
+
+    #[test]
+    fn both_fields_mandatory() {
+        let s = CarAndDriver::new();
+        let r = s.handle(&Request::get(
+            Url::new(s.host(), "/cgi-bin/safety").with_query([("make", "ford")]),
+        ));
+        assert!(r.html().contains("required"));
+    }
+
+    #[test]
+    fn unknown_model_reports_no_data() {
+        let s = CarAndDriver::new();
+        let r = s.handle(&Request::get(
+            Url::new(s.host(), "/cgi-bin/safety")
+                .with_query([("make", "ford"), ("model", "xj6")]),
+        ));
+        assert!(r.html().contains("no ratings"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Car Finance (`www.carfinance.com`): loan/lease interest rates — the
+//! VPS relation `carFinance(Car, ZipCode, Duration, Rate)` of Table 1.
+//!
+//! Rates depend on zip and duration (mandatory) plus the car's age
+//! (older cars pay a surcharge); make/model/year are optional form
+//! fields echoed into the result.
+
+use crate::data::{finance_rate, DURATIONS, MAKES, PLANS, ZIPS};
+use crate::render::{Cell, PageBuilder, Widget};
+use crate::request::{Request, Response};
+use crate::server::Site;
+
+pub struct CarFinance;
+
+impl CarFinance {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> CarFinance {
+        CarFinance
+    }
+
+    fn home(&self) -> Response {
+        let makes: Vec<&str> = MAKES.iter().map(|(m, _)| *m).collect();
+        let durations: Vec<String> = DURATIONS.iter().map(|d| d.to_string()).collect();
+        let dur_refs: Vec<&str> = durations.iter().map(String::as_str).collect();
+        Response::ok(
+            PageBuilder::new("CarFinance.com - Rate Quote")
+                .heading("Get a used-car loan quote")
+                .form(
+                    "/cgi-bin/rates",
+                    "post",
+                    &[
+                        Widget::text("zip", "Zip code"),
+                        Widget::radio("duration", "Duration (months)", &dur_refs),
+                        Widget::radio("plan", "Plan", PLANS),
+                        Widget::select("make", "Make", &makes, true),
+                        Widget::text("model", "Model"),
+                        Widget::select(
+                            "year",
+                            "Year",
+                            &["1999", "1998", "1997", "1996", "1995", "1994", "1993"],
+                            true,
+                        ),
+                    ],
+                    "Get rates",
+                )
+                .finish(),
+        )
+    }
+
+    fn rates_page(&self, req: &Request) -> Response {
+        let (Some(zip), Some(duration), Some(plan)) = (
+            req.param_nonempty("zip"),
+            req.param_nonempty("duration"),
+            req.param_nonempty("plan"),
+        ) else {
+            return Response::ok(
+                PageBuilder::new("CarFinance - Error")
+                    .para("Zip code, duration and plan are required.")
+                    .finish(),
+            );
+        };
+        let Ok(dur) = duration.parse::<u32>() else {
+            return Response::ok(
+                PageBuilder::new("CarFinance - Error").para("Bad duration.").finish(),
+            );
+        };
+        if !ZIPS.contains(&zip) {
+            return Response::ok(
+                PageBuilder::new("CarFinance - Outside service area")
+                    .para("We do not serve that zip code yet.")
+                    .finish(),
+            );
+        }
+        let make = req.param_nonempty("make").unwrap_or("");
+        let model = req.param_nonempty("model").unwrap_or("");
+        let year: Option<u32> = req.param_nonempty("year").and_then(|y| y.parse().ok());
+        let mut rate = finance_rate(zip, dur, plan);
+        if year.is_some_and(|y| y < 1995) {
+            rate += 0.4; // older-vehicle surcharge
+        }
+        let rows = vec![vec![
+            Cell::text(make),
+            Cell::text(model),
+            Cell::text(year.map(|y| y.to_string()).unwrap_or_default()),
+            Cell::text(zip),
+            Cell::text(dur.to_string()),
+            Cell::text(plan),
+            Cell::text(format!("{rate:.2}%")),
+        ]];
+        Response::ok(
+            PageBuilder::new("CarFinance - Your rate")
+                .heading("Quoted rate")
+                .table(&["Make", "Model", "Year", "Zip", "Duration", "Plan", "Rate"], &rows)
+                .finish(),
+        )
+    }
+}
+
+impl Site for CarFinance {
+    fn host(&self) -> &str {
+        "www.carfinance.com"
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        match req.url.path.as_str() {
+            "/" => self.home(),
+            "/cgi-bin/rates" => self.rates_page(req),
+            other => Response::not_found(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::url::Url;
+    use webbase_html::{extract, parse};
+
+    #[test]
+    fn quote_with_car_details() {
+        let s = CarFinance::new();
+        let r = s.handle(&Request::post(
+            Url::new(s.host(), "/cgi-bin/rates"),
+            [
+                ("zip", "10001"),
+                ("duration", "36"),
+                ("plan", "loan"),
+                ("make", "jaguar"),
+                ("model", "xj6"),
+                ("year", "1996"),
+            ],
+        ));
+        let t = &extract::tables(&parse(r.html()))[0];
+        assert_eq!(t.rows[0][0], "jaguar");
+        let rate: f64 = t.rows[0][6].trim_end_matches('%').parse().expect("rate parses");
+        // The page prints two decimals; compare at that precision.
+        assert!((rate - finance_rate("10001", 36, "loan")).abs() < 0.005 + 1e-9);
+    }
+
+    #[test]
+    fn older_cars_pay_surcharge() {
+        let s = CarFinance::new();
+        let quote = |year: &str| -> f64 {
+            let r = s.handle(&Request::post(
+                Url::new(s.host(), "/cgi-bin/rates"),
+                [("zip", "10001"), ("duration", "36"), ("plan", "loan"), ("year", year)],
+            ));
+            let t = &extract::tables(&parse(r.html()))[0];
+            t.rows[0][6].trim_end_matches('%').parse().expect("rate parses")
+        };
+        assert!(quote("1993") > quote("1997"));
+    }
+
+    #[test]
+    fn zip_and_duration_mandatory() {
+        let s = CarFinance::new();
+        let r = s.handle(&Request::post(
+            Url::new(s.host(), "/cgi-bin/rates"),
+            [("zip", "10001"), ("duration", "36")],
+        ));
+        assert!(r.html().contains("required"));
+    }
+
+    #[test]
+    fn out_of_area_zip() {
+        let s = CarFinance::new();
+        let r = s.handle(&Request::post(
+            Url::new(s.host(), "/cgi-bin/rates"),
+            [("zip", "99999"), ("duration", "36"), ("plan", "loan")],
+        ));
+        assert!(r.html().contains("service area"));
+    }
+
+    #[test]
+    fn duration_radio_is_mandatory_widget() {
+        let s = CarFinance::new();
+        let r = s.handle(&Request::get(Url::new(s.host(), "/")));
+        let f = &extract::forms(&parse(r.html()))[0];
+        assert!(f.inferred_mandatory_fields().contains(&"duration"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Car Insurance (`www.carinsurance.com`): premium quotes — the source
+//! behind Figure 5's Insurance concept (Full Coverage / Liability).
+//!
+//! This site is an addition relative to the paper's Table 1 (whose
+//! Example 6.1 nevertheless *queries* insurance costs); the simulated
+//! Web needs it so the structured-UR example can run end to end.
+
+use crate::data::{insurance_cost, COVERAGES, MAKES};
+use crate::render::{Cell, PageBuilder, Widget};
+use crate::request::{Request, Response};
+use crate::server::Site;
+
+pub struct CarInsurance;
+
+impl CarInsurance {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> CarInsurance {
+        CarInsurance
+    }
+
+    fn home(&self) -> Response {
+        let makes: Vec<&str> = MAKES.iter().map(|(m, _)| *m).collect();
+        Response::ok(
+            PageBuilder::new("CarInsurance.com - Instant Quote")
+                .heading("Insure your used car")
+                .form(
+                    "/cgi-bin/quote",
+                    "post",
+                    &[
+                        Widget::select("make", "Make", &makes, false),
+                        Widget::text("model", "Model"),
+                        Widget::radio("coverage", "Coverage", COVERAGES),
+                        Widget::select(
+                            "year",
+                            "Year",
+                            &["1999", "1998", "1997", "1996", "1995", "1994", "1993", "1992"],
+                            true,
+                        ),
+                    ],
+                    "Get quote",
+                )
+                .finish(),
+        )
+    }
+
+    fn quote_page(&self, req: &Request) -> Response {
+        let (Some(make), Some(model), Some(coverage)) = (
+            req.param_nonempty("make"),
+            req.param_nonempty("model"),
+            req.param_nonempty("coverage"),
+        ) else {
+            return Response::ok(
+                PageBuilder::new("CarInsurance - Error")
+                    .para("Make, model and coverage are required.")
+                    .finish(),
+            );
+        };
+        let known = MAKES
+            .iter()
+            .find(|(m, _)| *m == make)
+            .is_some_and(|(_, models)| models.contains(&model));
+        if !known {
+            return Response::ok(
+                PageBuilder::new("CarInsurance - No quote")
+                    .para("We cannot quote that vehicle.")
+                    .finish(),
+            );
+        }
+        let years: Vec<u32> = match req.param_nonempty("year").and_then(|y| y.parse().ok()) {
+            Some(y) => vec![y],
+            None => (1988..=1999).rev().collect(),
+        };
+        let rows: Vec<Vec<Cell>> = years
+            .iter()
+            .map(|&y| {
+                vec![
+                    Cell::text(make),
+                    Cell::text(model),
+                    Cell::text(y.to_string()),
+                    Cell::text(coverage),
+                    Cell::text(format!("${}", insurance_cost(make, model, y, coverage))),
+                ]
+            })
+            .collect();
+        Response::ok(
+            PageBuilder::new("CarInsurance - Your quote")
+                .heading(&format!("{make} {model} ({coverage})"))
+                .table(&["Make", "Model", "Year", "Coverage", "Annual Cost"], &rows)
+                .finish(),
+        )
+    }
+}
+
+impl Site for CarInsurance {
+    fn host(&self) -> &str {
+        "www.carinsurance.com"
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        match req.url.path.as_str() {
+            "/" => self.home(),
+            "/cgi-bin/quote" => self.quote_page(req),
+            other => Response::not_found(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::url::Url;
+    use webbase_html::{extract, parse};
+
+    #[test]
+    fn quote_for_specific_year() {
+        let s = CarInsurance::new();
+        let r = s.handle(&Request::post(
+            Url::new(s.host(), "/cgi-bin/quote"),
+            [("make", "jaguar"), ("model", "xj6"), ("coverage", "full"), ("year", "1996")],
+        ));
+        let t = &extract::tables(&parse(r.html()))[0];
+        assert_eq!(t.rows.len(), 1);
+        let cost: u32 = t.rows[0][4].trim_start_matches('$').parse().expect("cost parses");
+        assert_eq!(cost, insurance_cost("jaguar", "xj6", 1996, "full"));
+    }
+
+    #[test]
+    fn all_years_when_year_omitted() {
+        let s = CarInsurance::new();
+        let r = s.handle(&Request::post(
+            Url::new(s.host(), "/cgi-bin/quote"),
+            [("make", "ford"), ("model", "escort"), ("coverage", "liability")],
+        ));
+        assert_eq!(extract::tables(&parse(r.html()))[0].rows.len(), 12);
+    }
+
+    #[test]
+    fn coverage_mandatory() {
+        let s = CarInsurance::new();
+        let r = s.handle(&Request::post(
+            Url::new(s.host(), "/cgi-bin/quote"),
+            [("make", "ford"), ("model", "escort")],
+        ));
+        assert!(r.html().contains("required"));
+    }
+
+    #[test]
+    fn unknown_vehicle_not_quoted() {
+        let s = CarInsurance::new();
+        let r = s.handle(&Request::post(
+            Url::new(s.host(), "/cgi-bin/quote"),
+            [("make", "ford"), ("model", "xj6"), ("coverage", "full")],
+        ));
+        assert!(r.html().contains("cannot quote"));
+    }
+}

@@ -1,0 +1,464 @@
+//! The configurable classifieds/dealer site family.
+//!
+//! Seven of the twelve simulated sites share this implementation with
+//! different configurations (layout, form power, page size, entry
+//! depth, faulty HTML). The heterogeneity is the point: the navigation
+//! layer must cope with all of them through mapping by example, not
+//! through site-specific code.
+
+use crate::data::{CarAd, Dataset, SiteSlice, MAKES};
+use crate::render::{href_with_params, Cell, PageBuilder, Widget};
+use crate::request::{Request, Response};
+use crate::server::Site;
+use std::sync::Arc;
+
+/// Result-page layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// One `<table>` with one row per ad.
+    Table,
+    /// A `<dl>` per ad (NYTimes style).
+    DefList,
+}
+
+/// Configuration of one site in the family.
+pub struct ClassifiedsSite {
+    host: String,
+    title: String,
+    slice: SiteSlice,
+    data: Arc<Dataset>,
+    layout: Layout,
+    /// Ads per result page; small values produce the long "More" chains
+    /// of the §7 timing table.
+    page_size: usize,
+    /// Whether the search form has a model field (sites without one
+    /// return all ads of a make and force client-side filtering — more
+    /// pages navigated).
+    model_field: bool,
+    /// Dealer sites expose the zip code column and an optional zip field.
+    zip_field: bool,
+    /// Review sites add a Safety column.
+    safety_column: bool,
+    /// Render faulty HTML (missing close tags).
+    ill_formed: bool,
+    /// Number of hub pages between the home page and the search form.
+    entry_depth: usize,
+    /// The form field name used for the make — `"mk"` on WWWheels, whose
+    /// cryptic field names force the designer-rename path of §7.
+    make_param: &'static str,
+}
+
+impl ClassifiedsSite {
+    pub fn ny_times(data: Arc<Dataset>) -> ClassifiedsSite {
+        ClassifiedsSite {
+            host: "www.nytimes.com".into(),
+            title: "New York Times Classifieds".into(),
+            slice: SiteSlice::NyTimes,
+            data,
+            layout: Layout::DefList,
+            page_size: 5,
+            model_field: true,
+            zip_field: false,
+            safety_column: false,
+            ill_formed: false,
+            entry_depth: 2,
+            make_param: "make",
+        }
+    }
+
+    pub fn new_york_daily(data: Arc<Dataset>) -> ClassifiedsSite {
+        ClassifiedsSite {
+            host: "www.nydailynews.com".into(),
+            title: "New York Daily News Auto Classifieds".into(),
+            slice: SiteSlice::NewYorkDaily,
+            data,
+            layout: Layout::Table,
+            page_size: 3,
+            model_field: false,
+            zip_field: false,
+            safety_column: false,
+            ill_formed: true, // the faulty-HTML site
+            entry_depth: 1,
+            make_param: "make",
+        }
+    }
+
+    pub fn www_heels(data: Arc<Dataset>) -> ClassifiedsSite {
+        ClassifiedsSite {
+            host: "www.wwwheels.com".into(),
+            title: "WWWheels - Cars on the Web".into(),
+            slice: SiteSlice::WwWheels,
+            data,
+            layout: Layout::Table,
+            page_size: 2, // big slice × tiny pages → most pages navigated (§7)
+            model_field: false,
+            zip_field: false,
+            safety_column: false,
+            ill_formed: false,
+            entry_depth: 1,
+            make_param: "mk",
+        }
+    }
+
+    pub fn auto_connect(data: Arc<Dataset>) -> ClassifiedsSite {
+        ClassifiedsSite {
+            host: "www.autoconnect.com".into(),
+            title: "AutoConnect Used Vehicles".into(),
+            slice: SiteSlice::AutoConnect,
+            data,
+            layout: Layout::Table,
+            page_size: 3,
+            model_field: false,
+            zip_field: false,
+            safety_column: false,
+            ill_formed: false,
+            entry_depth: 1,
+            make_param: "make",
+        }
+    }
+
+    pub fn yahoo_cars(data: Arc<Dataset>) -> ClassifiedsSite {
+        ClassifiedsSite {
+            host: "autos.yahoo.com".into(),
+            title: "Yahoo! Autos".into(),
+            slice: SiteSlice::YahooCars,
+            data,
+            layout: Layout::Table,
+            page_size: 4,
+            model_field: true,
+            zip_field: false,
+            safety_column: false,
+            ill_formed: false,
+            entry_depth: 1,
+            make_param: "make",
+        }
+    }
+
+    pub fn car_reviews(data: Arc<Dataset>) -> ClassifiedsSite {
+        ClassifiedsSite {
+            host: "www.carreviews.com".into(),
+            title: "Car Reviews Online".into(),
+            slice: SiteSlice::YahooCars, // reviews aggregate the same listings
+            data,
+            layout: Layout::Table,
+            page_size: 4,
+            model_field: true,
+            zip_field: false,
+            safety_column: true,
+            ill_formed: false,
+            entry_depth: 2,
+            make_param: "make",
+        }
+    }
+
+    pub fn car_point(data: Arc<Dataset>) -> ClassifiedsSite {
+        ClassifiedsSite {
+            host: "carpoint.msn.com".into(),
+            title: "CarPoint Dealer Search".into(),
+            slice: SiteSlice::CarPoint,
+            data,
+            layout: Layout::Table,
+            page_size: 5,
+            model_field: true,
+            zip_field: true,
+            safety_column: false,
+            ill_formed: false,
+            entry_depth: 1,
+            make_param: "make",
+        }
+    }
+
+    fn page(&self, title: &str) -> PageBuilder {
+        let p = PageBuilder::new(title);
+        if self.ill_formed {
+            p.ill_formed()
+        } else {
+            p
+        }
+    }
+
+    fn matching(&self, req: &Request) -> Vec<&CarAd> {
+        let make = req.param_nonempty(self.make_param);
+        let model = if self.model_field { req.param_nonempty("model") } else { None };
+        let zip = if self.zip_field { req.param_nonempty("zip") } else { None };
+        self.data
+            .ads_for(self.slice)
+            .filter(|a| make.is_none_or(|m| a.make == m))
+            .filter(|a| model.is_none_or(|m| a.model == m))
+            .filter(|a| zip.is_none_or(|z| a.zip == z))
+            .collect()
+    }
+
+    fn headers(&self) -> Vec<&'static str> {
+        let mut h = vec!["Make", "Model", "Year", "Price", "Contact", "Features"];
+        if self.zip_field {
+            h.push("Zip");
+        }
+        if self.safety_column {
+            h.push("Safety");
+        }
+        h
+    }
+
+    fn row(&self, ad: &CarAd) -> Vec<Cell> {
+        let mut cells = vec![
+            Cell::text(&ad.make),
+            Cell::text(&ad.model),
+            Cell::text(ad.year.to_string()),
+            Cell::text(format!("${}", ad.price)),
+            Cell::text(&ad.contact),
+            Cell::text(ad.features.join(", ")),
+        ];
+        if self.zip_field {
+            cells.push(Cell::text(&ad.zip));
+        }
+        if self.safety_column {
+            cells.push(Cell::text(crate::data::safety_rating(&ad.make, &ad.model, ad.year)));
+        }
+        cells
+    }
+
+    fn results_page(&self, req: &Request) -> Response {
+        let matches = self.matching(req);
+        let page: usize = req.param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
+        let start = page * self.page_size;
+        let slice: Vec<&CarAd> =
+            matches.iter().skip(start).take(self.page_size).copied().collect();
+        let mut pb = self
+            .page(&format!("{} - Results", self.title))
+            .heading("Search results")
+            .para(&format!(
+                "Showing {} of {} listings",
+                slice.len(),
+                matches.len()
+            ));
+        match self.layout {
+            Layout::Table => {
+                let rows: Vec<Vec<Cell>> = slice.iter().map(|a| self.row(a)).collect();
+                pb = pb.table(&self.headers(), &rows);
+            }
+            Layout::DefList => {
+                for ad in &slice {
+                    let mut pairs = vec![
+                        ("Make".to_string(), ad.make.clone()),
+                        ("Model".to_string(), ad.model.clone()),
+                        ("Year".to_string(), ad.year.to_string()),
+                        ("Price".to_string(), format!("${}", ad.price)),
+                        ("Contact".to_string(), ad.contact.clone()),
+                        ("Features".to_string(), ad.features.join(", ")),
+                    ];
+                    if self.zip_field {
+                        pairs.push(("Zip".to_string(), ad.zip.clone()));
+                    }
+                    pb = pb.definition_list(&pairs);
+                }
+            }
+        }
+        // "More" pagination, as in Figure 2.
+        if start + self.page_size < matches.len() {
+            let mut params: Vec<(&str, &str)> = Vec::new();
+            let make = req.param_nonempty(self.make_param);
+            let model = req.param_nonempty("model");
+            let zip = req.param_nonempty("zip");
+            if let Some(m) = make {
+                params.push((self.make_param, m));
+            }
+            if let Some(m) = model {
+                params.push(("model", m));
+            }
+            if let Some(z) = zip {
+                params.push(("zip", z));
+            }
+            let next = (page + 1).to_string();
+            params.push(("page", &next));
+            pb = pb.link("More", &href_with_params("/cgi-bin/search", &params));
+        }
+        Response::ok(pb.finish())
+    }
+
+    fn search_form_page(&self) -> Response {
+        let makes: Vec<&str> = MAKES.iter().map(|(m, _)| *m).collect();
+        let mut widgets = vec![Widget::select(self.make_param, "Make", &makes, false)];
+        if self.model_field {
+            widgets.push(Widget::text("model", "Model"));
+        }
+        if self.zip_field {
+            widgets.push(Widget::text("zip", "Zip code"));
+        }
+        let pb = self
+            .page(&format!("{} - Search", self.title))
+            .heading("Find a used car")
+            .form("/cgi-bin/search", "post", &widgets, "Search");
+        Response::ok(pb.finish())
+    }
+
+    /// Hub pages between home and the search form.
+    fn hub_page(&self, level: usize) -> Response {
+        let next = if level + 1 == self.entry_depth {
+            "/search".to_string()
+        } else {
+            format!("/hub{}", level + 1)
+        };
+        let pb = self
+            .page(&self.title.clone())
+            .heading(&self.title)
+            .link_list(&[
+                ("Used Cars".to_string(), next),
+                ("New Cars".to_string(), "/newcars".to_string()),
+                ("Financing".to_string(), "/finance-info".to_string()),
+            ]);
+        Response::ok(pb.finish())
+    }
+}
+
+impl Site for ClassifiedsSite {
+    fn host(&self) -> &str {
+        &self.host
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        match req.url.path.as_str() {
+            "/" => {
+                if self.entry_depth == 0 {
+                    self.search_form_page()
+                } else {
+                    self.hub_page(0)
+                }
+            }
+            p if p.starts_with("/hub") => {
+                let level: usize =
+                    p.trim_start_matches("/hub").parse().unwrap_or(self.entry_depth);
+                if level < self.entry_depth {
+                    self.hub_page(level)
+                } else {
+                    Response::not_found("no such hub")
+                }
+            }
+            "/search" => self.search_form_page(),
+            "/cgi-bin/search" => self.results_page(req),
+            "/newcars" | "/finance-info" => Response::ok(
+                self.page("Under construction").para("Check back soon!").finish(),
+            ),
+            other => Response::not_found(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::url::Url;
+    use webbase_html::{extract, parse};
+
+    fn data() -> Arc<Dataset> {
+        Dataset::generate(11, 400)
+    }
+
+    fn get(site: &ClassifiedsSite, path: &str) -> Response {
+        site.handle(&Request::get(Url::new(site.host(), path)))
+    }
+
+    #[test]
+    fn entry_chain_reaches_form() {
+        let site = ClassifiedsSite::ny_times(data());
+        let home = get(&site, "/");
+        let doc = parse(home.html());
+        let links = extract::links(&doc);
+        assert!(links.iter().any(|l| l.text == "Used Cars"));
+        // depth 2: hub0 -> hub1 -> search
+        let hub1 = get(&site, "/hub1");
+        let doc1 = parse(hub1.html());
+        assert!(extract::links(&doc1).iter().any(|l| l.href == "/search"));
+        let search = get(&site, "/search");
+        let forms = extract::forms(&parse(search.html()));
+        assert_eq!(forms.len(), 1);
+        assert!(forms[0].field("model").is_some());
+    }
+
+    #[test]
+    fn results_filter_and_paginate() {
+        let d = data();
+        let site = ClassifiedsSite::www_heels(d.clone());
+        let total = d.matching(SiteSlice::WwWheels, Some("ford"), None).len();
+        assert!(total > 4, "need enough fords for pagination (got {total})");
+        let mut page = 0;
+        let mut seen = 0;
+        loop {
+            let resp = site.handle(&Request::post(
+                Url::new(site.host(), "/cgi-bin/search")
+                    .with_query([("page", page.to_string())]),
+                [("mk", "ford")], // wwwheels uses the cryptic field name
+            ));
+            let doc = parse(resp.html());
+            let tables = extract::tables(&doc);
+            seen += tables[0].rows.len();
+            let links = extract::links(&doc);
+            match links.iter().find(|l| l.text == "More") {
+                Some(_) => page += 1,
+                None => break,
+            }
+            assert!(page < 1000, "pagination must terminate");
+        }
+        assert_eq!(seen, total);
+    }
+
+    #[test]
+    fn model_field_ignored_when_absent() {
+        let d = data();
+        let site = ClassifiedsSite::www_heels(d.clone());
+        // wwwheels has no model field: model param must be ignored
+        let resp = site.handle(&Request::post(
+            Url::new(site.host(), "/cgi-bin/search"),
+            [("mk", "ford"), ("model", "escort")],
+        ));
+        let doc = parse(resp.html());
+        let rows = &extract::tables(&doc)[0].rows;
+        // first page contains fords of any model (when non-escort fords exist)
+        assert!(rows.iter().all(|r| r[0] == "ford"));
+    }
+
+    #[test]
+    fn ill_formed_site_still_extracts() {
+        let site = ClassifiedsSite::new_york_daily(data());
+        let resp = site.handle(&Request::post(
+            Url::new(site.host(), "/cgi-bin/search"),
+            [("make", "toyota")],
+        ));
+        assert!(!resp.html().contains("</td>"));
+        let doc = parse(resp.html());
+        let tables = extract::tables(&doc);
+        assert!(!tables.is_empty());
+        assert!(tables[0].rows.iter().all(|r| r[0] == "toyota"));
+    }
+
+    #[test]
+    fn deflist_layout_renders_pairs() {
+        let site = ClassifiedsSite::ny_times(data());
+        let resp = site.handle(&Request::post(
+            Url::new(site.host(), "/cgi-bin/search"),
+            [("make", "honda")],
+        ));
+        let doc = parse(resp.html());
+        assert!(resp.html().contains("<dl>"));
+        assert!(doc.text_content(webbase_html::NodeId::ROOT).contains("honda"));
+    }
+
+    #[test]
+    fn zip_and_safety_columns() {
+        let d = data();
+        let cp = ClassifiedsSite::car_point(d.clone());
+        let resp = cp.handle(&Request::post(
+            Url::new(cp.host(), "/cgi-bin/search"),
+            [("make", "bmw")],
+        ));
+        let t = &extract::tables(&parse(resp.html()))[0];
+        assert!(t.header.contains(&"Zip".to_string()));
+        let cr = ClassifiedsSite::car_reviews(d);
+        let resp = cr.handle(&Request::post(
+            Url::new(cr.host(), "/cgi-bin/search"),
+            [("make", "bmw")],
+        ));
+        let t = &extract::tables(&parse(resp.html()))[0];
+        assert!(t.header.contains(&"Safety".to_string()));
+    }
+}

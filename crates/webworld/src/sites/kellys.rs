@@ -1,0 +1,289 @@
+//! Kelly's Blue Book (`www.kbb.com`): a three-form chain ending in a
+//! price page.
+//!
+//! Table 3 of the paper gives the handle: mandatory = {Make, Model,
+//! Condition}, optional adds {Year}. The site enforces exactly that —
+//! each form in the chain insists on its field:
+//!
+//! ```text
+//! home ── link("Used Car Values") ──► make page (form: make)
+//!   ──► model page (form: model select for that make; make hidden)
+//!   ──► condition page (form: condition radio, year select; rest hidden)
+//!   ──► price page (table: Make, Model, Year, Condition, Blue Book Price)
+//! ```
+//!
+//! Version 2 reproduces the change the paper observed in early 1999:
+//! "new links with information about 1999 cars have been added" — an
+//! auto-applicable map repair.
+
+use crate::data::{blue_book_price_typed, CONDITIONS, MAKES, PRICE_TYPES};
+use crate::render::{Cell, PageBuilder, Widget};
+use crate::request::{Request, Response};
+use crate::server::Site;
+
+pub struct Kellys {
+    version: u32,
+}
+
+impl Kellys {
+    pub fn new(version: u32) -> Kellys {
+        Kellys { version }
+    }
+
+    fn years(&self) -> Vec<String> {
+        let hi = if self.version >= 2 { 1999 } else { 1998 };
+        (1988..=hi).rev().map(|y| y.to_string()).collect()
+    }
+
+    fn home(&self) -> Response {
+        let mut items = vec![
+            ("Used Car Values".to_string(), "/used".to_string()),
+            ("New Car Pricing".to_string(), "/new".to_string()),
+            ("Motorcycle Values".to_string(), "/cycles".to_string()),
+        ];
+        if self.version >= 2 {
+            items.push(("1999 Models".to_string(), "/1999-models".to_string()));
+        }
+        Response::ok(
+            PageBuilder::new("Kelley Blue Book")
+                .heading("Kelley Blue Book")
+                .link_list(&items)
+                .finish(),
+        )
+    }
+
+    fn make_page(&self) -> Response {
+        let makes: Vec<&str> = MAKES.iter().map(|(m, _)| *m).collect();
+        Response::ok(
+            PageBuilder::new("Blue Book - Select Make")
+                .heading("Used car values")
+                .form("/models", "get", &[Widget::select("make", "Make", &makes, false)], "Next")
+                .finish(),
+        )
+    }
+
+    fn model_page(&self, req: &Request) -> Response {
+        let Some(make) = req.param_nonempty("make") else {
+            return Response::ok(
+                PageBuilder::new("Blue Book - Error").para("A make is required.").finish(),
+            );
+        };
+        let Some(models) = MAKES.iter().find(|(m, _)| *m == make).map(|(_, ms)| *ms) else {
+            return Response::ok(
+                PageBuilder::new("Blue Book - Error").para("Unknown make.").finish(),
+            );
+        };
+        Response::ok(
+            PageBuilder::new("Blue Book - Select Model")
+                .heading(&format!("{make} models"))
+                .form(
+                    "/condition",
+                    "get",
+                    &[
+                        Widget::hidden("make", make),
+                        Widget::select_owned(
+                            "model",
+                            "Model",
+                            models.iter().map(|s| s.to_string()).collect(),
+                            false,
+                        ),
+                    ],
+                    "Next",
+                )
+                .finish(),
+        )
+    }
+
+    fn condition_page(&self, req: &Request) -> Response {
+        let (Some(make), Some(model)) =
+            (req.param_nonempty("make"), req.param_nonempty("model"))
+        else {
+            return Response::ok(
+                PageBuilder::new("Blue Book - Error").para("Make and model required.").finish(),
+            );
+        };
+        let years = self.years();
+        Response::ok(
+            PageBuilder::new("Blue Book - Condition")
+                .heading(&format!("{make} {model}"))
+                .form(
+                    "/cgi-bin/bb",
+                    "post",
+                    &[
+                        Widget::hidden("make", make),
+                        Widget::hidden("model", model),
+                        Widget::radio("condition", "Condition", CONDITIONS),
+                        Widget::radio("pricetype", "Price type", PRICE_TYPES),
+                        Widget::select_owned("year", "Year", years, true),
+                    ],
+                    "Get Blue Book value",
+                )
+                .finish(),
+        )
+    }
+
+    fn price_page(&self, req: &Request) -> Response {
+        let (Some(make), Some(model), Some(condition), Some(price_type)) = (
+            req.param_nonempty("make"),
+            req.param_nonempty("model"),
+            req.param_nonempty("condition"),
+            req.param_nonempty("pricetype"),
+        ) else {
+            return Response::ok(
+                PageBuilder::new("Blue Book - Error")
+                    .para("Make, model, condition and price type are all required.")
+                    .finish(),
+            );
+        };
+        let years: Vec<u32> = match req.param_nonempty("year").and_then(|y| y.parse().ok()) {
+            Some(y) => vec![y],
+            None => {
+                let hi = if self.version >= 2 { 1999 } else { 1998 };
+                (1988..=hi).rev().collect()
+            }
+        };
+        let rows: Vec<Vec<Cell>> = years
+            .iter()
+            .map(|&y| {
+                vec![
+                    Cell::text(make),
+                    Cell::text(model),
+                    Cell::text(y.to_string()),
+                    Cell::text(condition),
+                    Cell::text(price_type),
+                    Cell::text(format!(
+                        "${}",
+                        blue_book_price_typed(make, model, y, condition, price_type)
+                    )),
+                ]
+            })
+            .collect();
+        Response::ok(
+            PageBuilder::new("Blue Book Values")
+                .heading(&format!("{make} {model} ({condition}, {price_type})"))
+                .table(
+                    &["Make", "Model", "Year", "Condition", "Price Type", "Blue Book Price"],
+                    &rows,
+                )
+                .finish(),
+        )
+    }
+}
+
+impl Site for Kellys {
+    fn host(&self) -> &str {
+        "www.kbb.com"
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        match req.url.path.as_str() {
+            "/" => self.home(),
+            "/used" => self.make_page(),
+            "/models" => self.model_page(req),
+            "/condition" => self.condition_page(req),
+            "/cgi-bin/bb" => self.price_page(req),
+            "/new" | "/cycles" | "/1999-models" => Response::ok(
+                PageBuilder::new("Blue Book").para("Section under construction.").finish(),
+            ),
+            other => Response::not_found(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::url::Url;
+    use webbase_html::{extract, parse};
+
+    #[test]
+    fn full_chain_reaches_price() {
+        let s = Kellys::new(1);
+        let r = s.handle(&Request::post(
+            Url::new(s.host(), "/cgi-bin/bb"),
+            [
+                ("make", "jaguar"),
+                ("model", "xj6"),
+                ("condition", "good"),
+                ("pricetype", "retail"),
+                ("year", "1995"),
+            ],
+        ));
+        let t = &extract::tables(&parse(r.html()))[0];
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][2], "1995");
+        let price: u32 = t.rows[0][5].trim_start_matches('$').parse().expect("price parses");
+        assert_eq!(price, blue_book_price_typed("jaguar", "xj6", 1995, "good", "retail"));
+    }
+
+    #[test]
+    fn year_optional_returns_all_years() {
+        let s = Kellys::new(1);
+        let r = s.handle(&Request::post(
+            Url::new(s.host(), "/cgi-bin/bb"),
+            [("make", "ford"), ("model", "escort"), ("condition", "fair"), ("pricetype", "trade-in")],
+        ));
+        let t = &extract::tables(&parse(r.html()))[0];
+        assert_eq!(t.rows.len(), 11); // 1988..=1998
+    }
+
+    #[test]
+    fn mandatory_fields_enforced() {
+        let s = Kellys::new(1);
+        let r = s.handle(&Request::post(
+            Url::new(s.host(), "/cgi-bin/bb"),
+            [("make", "ford"), ("model", "escort")],
+        ));
+        assert!(r.html().contains("required"));
+    }
+
+    #[test]
+    fn model_select_depends_on_make() {
+        let s = Kellys::new(1);
+        let r = s.handle(&Request::get(
+            Url::new(s.host(), "/models").with_query([("make", "jaguar")]),
+        ));
+        let f = &extract::forms(&parse(r.html()))[0];
+        let model = f.field("model").expect("model field");
+        let domain = model.kind.domain().expect("select has domain");
+        assert!(domain.contains(&"xj6".to_string()));
+        assert!(!domain.contains(&"escort".to_string()));
+    }
+
+    #[test]
+    fn condition_radio_inferred_mandatory() {
+        let s = Kellys::new(1);
+        let r = s.handle(&Request::get(
+            Url::new(s.host(), "/condition").with_query([("make", "ford"), ("model", "escort")]),
+        ));
+        let f = &extract::forms(&parse(r.html()))[0];
+        assert!(f.inferred_mandatory_fields().contains(&"condition"));
+        // year has an "any" option → optional
+        assert_eq!(
+            f.field("year").expect("year").kind.inferred_mandatory(),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn version2_adds_1999() {
+        let v1 = Kellys::new(1);
+        let v2 = Kellys::new(2);
+        let h1 = v1.handle(&Request::get(Url::new(v1.host(), "/")));
+        let h2 = v2.handle(&Request::get(Url::new(v2.host(), "/")));
+        let changes = webbase_html::diff::diff_pages(&parse(h1.html()), &parse(h2.html()));
+        assert!(changes.iter().any(
+            |c| matches!(c, webbase_html::diff::PageChange::LinkAdded { text, .. } if text == "1999 Models")
+        ));
+        // And the year select gained an option — also auto-applicable.
+        let c1 = v1.handle(&Request::get(
+            Url::new(v1.host(), "/condition").with_query([("make", "ford"), ("model", "escort")]),
+        ));
+        let c2 = v2.handle(&Request::get(
+            Url::new(v2.host(), "/condition").with_query([("make", "ford"), ("model", "escort")]),
+        ));
+        let changes = webbase_html::diff::diff_pages(&parse(c1.html()), &parse(c2.html()));
+        assert!(changes.iter().all(|c| c.severity() == webbase_html::diff::Severity::AutoApplicable));
+        assert!(!changes.is_empty());
+    }
+}

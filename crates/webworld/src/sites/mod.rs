@@ -1,0 +1,114 @@
+//! The simulated car-domain sites.
+//!
+//! Each module implements one Web site of the paper's evaluation (§7
+//! timing table plus the Table 1 sources), with its own topology, form
+//! chain, layout, and quirks:
+//!
+//! | site | host | shape |
+//! |---|---|---|
+//! | Newsday | `www.newsday.com` | Figure 2 exactly: link(auto) → form f1(make) → *either* data page *or* form f2(model, featrs) → data pages with "More" iteration; per-row "Car Features" links |
+//! | NYTimes | `www.nytimes.com` | two-hop entry, make (mandatory) + model (optional) form, `<dl>` layout |
+//! | NewYorkDaily | `www.nydailynews.com` | single form, **ill-formed HTML** (the paper's parser-recovery case) |
+//! | WWWheels | `www.wwwheels.com` | big aggregator, make-only form, tiny pages → the most pages navigated, as in §7 |
+//! | AutoConnect | `www.autoconnect.com` | make-only form, small pages |
+//! | YahooCars | `autos.yahoo.com` | make + model form, medium pages |
+//! | CarReviews | `www.carreviews.com` | make + model form, adds a Safety column |
+//! | CarPoint | `carpoint.msn.com` | dealer: adds ZipCode column, optional zip field |
+//! | AutoWeb | `www.autoweb.com` | make chosen through a **set of links** (the paper's link-defined attribute) |
+//! | Kelly's | `www.kbb.com` | three-form chain (make → model → condition/year), blue-book prices; evolution adds 1999 models |
+//! | CarAndDriver | `www.caranddriver.com` | make/model form → safety ratings |
+//! | CarFinance | `www.carfinance.com` | zip + duration + plan form → interest rates |
+//! | CarInsurance | `www.carinsurance.com` | make/model/coverage form → premiums (added for the Figure 5 Insurance concept) |
+
+pub mod apartments;
+pub mod autoweb;
+pub mod car_insurance;
+pub mod car_and_driver;
+pub mod car_finance;
+pub mod generic;
+pub mod kellys;
+pub mod newsday;
+
+use crate::data::Dataset;
+use crate::latency::LatencyModel;
+use crate::server::{SyntheticWeb, WebBuilder};
+use std::sync::Arc;
+
+pub use apartments::{AptListings, AptMarket, RentGuide};
+pub use autoweb::AutoWeb;
+pub use car_and_driver::CarAndDriver;
+pub use car_finance::CarFinance;
+pub use car_insurance::CarInsurance;
+pub use generic::{ClassifiedsSite, Layout};
+pub use kellys::Kellys;
+pub use newsday::Newsday;
+
+/// Build the full simulated Web of the paper's evaluation: all thirteen
+/// sites over one shared dataset.
+pub fn standard_web(data: Arc<Dataset>, latency: LatencyModel) -> SyntheticWeb {
+    standard_web_versioned(data, latency, 1)
+}
+
+/// Like [`standard_web`] but with site `version`s (for the map
+/// maintenance experiments: version 2 applies the documented site
+/// evolutions).
+pub fn standard_web_versioned(
+    data: Arc<Dataset>,
+    latency: LatencyModel,
+    version: u32,
+) -> SyntheticWeb {
+    builder_with_sites(data, version).latency(latency).build()
+}
+
+fn builder_with_sites(data: Arc<Dataset>, version: u32) -> WebBuilder {
+    use crate::data::SiteSlice;
+    SyntheticWeb::builder()
+        .site(Newsday::new(data.clone(), version))
+        .site(ClassifiedsSite::ny_times(data.clone()))
+        .site(ClassifiedsSite::new_york_daily(data.clone()))
+        .site(ClassifiedsSite::www_heels(data.clone()))
+        .site(ClassifiedsSite::auto_connect(data.clone()))
+        .site(ClassifiedsSite::yahoo_cars(data.clone()))
+        .site(ClassifiedsSite::car_reviews(data.clone()))
+        .site(ClassifiedsSite::car_point(data.clone()))
+        .site(AutoWeb::new(data.clone(), SiteSlice::AutoWeb))
+        .site(Kellys::new(version))
+        .site(CarAndDriver::new())
+        .site(CarFinance::new())
+        .site(CarInsurance::new())
+}
+
+/// The ten hosts of the §7 timing table, in the paper's row order.
+pub fn timing_table_hosts() -> Vec<&'static str> {
+    vec![
+        "www.autoweb.com",
+        "www.wwwheels.com",
+        "www.nytimes.com",
+        "www.carreviews.com",
+        "www.nydailynews.com",
+        "www.caranddriver.com",
+        "www.autoconnect.com",
+        "www.newsday.com",
+        "autos.yahoo.com",
+        "www.kbb.com",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    #[test]
+    fn standard_web_has_all_hosts() {
+        let web = standard_web(Dataset::generate(1, 50), LatencyModel::zero());
+        let hosts = web.hosts();
+        for h in timing_table_hosts() {
+            assert!(hosts.contains(&h.to_string()), "missing {h}");
+        }
+        assert!(hosts.contains(&"carpoint.msn.com".to_string()));
+        assert!(hosts.contains(&"www.carfinance.com".to_string()));
+        assert!(hosts.contains(&"www.carinsurance.com".to_string()));
+        assert_eq!(hosts.len(), 13);
+    }
+}

@@ -1,0 +1,220 @@
+//! Minimal URLs for the simulated Web.
+//!
+//! Only what 1999-era navigation needs: `http://host/path?query`,
+//! relative-reference resolution, and query-string encoding.
+
+use std::fmt;
+
+/// An absolute URL (scheme is implicitly `http`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Url {
+    pub host: String,
+    /// Always begins with `/`.
+    pub path: String,
+    /// Decoded query parameters, in order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Url {
+    pub fn new(host: &str, path: &str) -> Url {
+        let path = if path.starts_with('/') { path.to_string() } else { format!("/{path}") };
+        Url { host: host.to_string(), path, query: Vec::new() }
+    }
+
+    pub fn with_query<I, K, V>(mut self, params: I) -> Url
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        self.query.extend(params.into_iter().map(|(k, v)| (k.into(), v.into())));
+        self
+    }
+
+    /// Parse an absolute URL (`http://host/path?a=b`). Returns `None` for
+    /// anything else.
+    pub fn parse(s: &str) -> Option<Url> {
+        let rest = s.strip_prefix("http://")?;
+        let (host, tail) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if host.is_empty() {
+            return None;
+        }
+        let (path, query) = match tail.find('?') {
+            Some(i) => (&tail[..i], parse_query(&tail[i + 1..])),
+            None => (tail, Vec::new()),
+        };
+        Some(Url { host: host.to_string(), path: path.to_string(), query })
+    }
+
+    /// Resolve `href` against this URL: absolute URLs pass through,
+    /// `/rooted` paths replace the path, relative paths resolve against
+    /// the current directory.
+    pub fn resolve(&self, href: &str) -> Url {
+        if let Some(abs) = Url::parse(href) {
+            return abs;
+        }
+        let (path_part, query_part) = match href.find('?') {
+            Some(i) => (&href[..i], parse_query(&href[i + 1..])),
+            None => (href, Vec::new()),
+        };
+        let path = if path_part.starts_with('/') {
+            path_part.to_string()
+        } else if path_part.is_empty() {
+            self.path.clone()
+        } else {
+            let dir = match self.path.rfind('/') {
+                Some(i) => &self.path[..=i],
+                None => "/",
+            };
+            format!("{dir}{path_part}")
+        };
+        Url { host: self.host.clone(), path, query: query_part }
+    }
+
+    /// First query value for `key`.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// URL without its query (identity of the underlying page/script).
+    pub fn base(&self) -> Url {
+        Url { host: self.host.clone(), path: self.path.clone(), query: Vec::new() }
+    }
+}
+
+fn parse_query(s: &str) -> Vec<(String, String)> {
+    s.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|p| match p.find('=') {
+            Some(i) => (decode(&p[..i]), decode(&p[i + 1..])),
+            None => (decode(p), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-decoding (plus `+` as space).
+fn decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%'); // stray percent: keep as-is
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encoding for query components.
+pub fn encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "http://{}{}", self.host, self.path)?;
+        if !self.query.is_empty() {
+            let parts: Vec<String> =
+                self.query.iter().map(|(k, v)| format!("{}={}", encode(k), encode(v))).collect();
+            write!(f, "?{}", parts.join("&"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let u = Url::parse("http://www.newsday.com/cgi-bin/nclassy?make=ford&model=escort")
+            .expect("parses");
+        assert_eq!(u.host, "www.newsday.com");
+        assert_eq!(u.path, "/cgi-bin/nclassy");
+        assert_eq!(u.param("make"), Some("ford"));
+        assert_eq!(
+            u.to_string(),
+            "http://www.newsday.com/cgi-bin/nclassy?make=ford&model=escort"
+        );
+    }
+
+    #[test]
+    fn parse_host_only() {
+        let u = Url::parse("http://www.kbb.com").expect("parses");
+        assert_eq!(u.path, "/");
+    }
+
+    #[test]
+    fn parse_rejects_non_http() {
+        assert!(Url::parse("ftp://x/").is_none());
+        assert!(Url::parse("/relative").is_none());
+        assert!(Url::parse("http://").is_none());
+    }
+
+    #[test]
+    fn resolve_rooted_and_relative() {
+        let base = Url::parse("http://h/a/b/page.html").expect("parses");
+        assert_eq!(base.resolve("/x").path, "/x");
+        assert_eq!(base.resolve("next.html").path, "/a/b/next.html");
+        assert_eq!(base.resolve("http://other/z").host, "other");
+        assert_eq!(base.resolve("?p=2").path, "/a/b/page.html");
+        assert_eq!(base.resolve("?p=2").param("p"), Some("2"));
+    }
+
+    #[test]
+    fn query_decoding() {
+        let u = Url::parse("http://h/?q=new+york&x=a%26b").expect("parses");
+        assert_eq!(u.param("q"), Some("new york"));
+        assert_eq!(u.param("x"), Some("a&b"));
+    }
+
+    #[test]
+    fn encode_special() {
+        assert_eq!(encode("a&b c"), "a%26b+c");
+        assert_eq!(encode("safe-_.~"), "safe-_.~");
+    }
+
+    #[test]
+    fn base_strips_query() {
+        let u = Url::new("h", "/p").with_query([("a", "1")]);
+        assert!(u.base().query.is_empty());
+        assert_eq!(u.base().path, "/p");
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the simulated Web: handlers are total,
+//! pagination partitions the result set, and rendering always yields
+//! parseable pages.
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use webbase_html::{extract, parse};
+use webbase_webworld::data::{Dataset, SiteSlice, CONDITIONS, MAKES, PRICE_TYPES};
+use webbase_webworld::prelude::*;
+
+fn web() -> &'static (SyntheticWeb, Arc<Dataset>) {
+    static W: OnceLock<(SyntheticWeb, Arc<Dataset>)> = OnceLock::new();
+    W.get_or_init(|| {
+        let data = Dataset::generate(9, 500);
+        (standard_web(data.clone(), LatencyModel::zero()), data)
+    })
+}
+
+/// Arbitrary request paths/params for totality fuzzing.
+fn arb_request() -> impl Strategy<Value = Request> {
+    let host = proptest::sample::select(vec![
+        "www.newsday.com",
+        "www.kbb.com",
+        "www.autoweb.com",
+        "www.carfinance.com",
+        "www.carinsurance.com",
+        "www.wwwheels.com",
+        "nonexistent.example",
+    ]);
+    let path = "[a-z/0-9.]{0,24}";
+    let params = proptest::collection::vec(("[a-z]{1,8}", "[a-z0-9 ]{0,10}"), 0..4);
+    (host, path, params, any::<bool>()).prop_map(|(h, p, ps, post)| {
+        let url = Url::new(h, &format!("/{p}"));
+        if post {
+            Request::post(url, ps)
+        } else {
+            Request::get(url.with_query(ps))
+        }
+    })
+}
+
+proptest! {
+    /// Every site handles every request without panicking, returns a
+    /// status, and 200-responses parse into a DOM.
+    #[test]
+    fn handlers_are_total(req in arb_request()) {
+        let (web, _) = web();
+        let (resp, _) = web.fetch(&req);
+        prop_assert!(resp.status == 200 || resp.status == 404);
+        if resp.is_ok() {
+            let doc = parse(resp.html());
+            prop_assert!(!doc.is_empty() || resp.html().is_empty());
+        }
+    }
+
+    /// Pagination partitions the matching set: walking every "More" page
+    /// yields each matching ad exactly once, on every generic site.
+    #[test]
+    fn pagination_partitions(make_i in 0usize..10, host_i in 0usize..4) {
+        let (web, data) = web();
+        let (make, _) = MAKES[make_i];
+        let (host, slice, make_param) = [
+            ("www.wwwheels.com", SiteSlice::WwWheels, "mk"),
+            ("www.autoconnect.com", SiteSlice::AutoConnect, "make"),
+            ("autos.yahoo.com", SiteSlice::YahooCars, "make"),
+            ("carpoint.msn.com", SiteSlice::CarPoint, "make"),
+        ][host_i];
+        let truth = data.matching(slice, Some(make), None).len();
+        let mut seen = 0usize;
+        let mut page = 0usize;
+        loop {
+            let req = Request::post(
+                Url::new(host, "/cgi-bin/search").with_query([("page", page.to_string())]),
+                [(make_param, make)],
+            );
+            let (resp, _) = web.fetch(&req);
+            prop_assert!(resp.is_ok());
+            let doc = parse(resp.html());
+            let tables = extract::tables(&doc);
+            prop_assert!(!tables.is_empty(), "{host} results page has a table");
+            seen += tables[0].rows.len();
+            prop_assert!(tables[0].rows.iter().all(|r| r[0] == make));
+            if extract::links(&doc).iter().any(|l| l.text == "More") {
+                page += 1;
+                prop_assert!(page < 1000, "pagination must terminate");
+            } else {
+                break;
+            }
+        }
+        prop_assert_eq!(seen, truth, "{} make={}", host, make);
+    }
+
+    /// Kelly's price page always agrees with the generator, for every
+    /// make/model/condition/price-type/year.
+    #[test]
+    fn kellys_agrees_with_generator(
+        make_i in 0usize..10,
+        model_i in 0usize..4,
+        cond_i in 0usize..3,
+        pt_i in 0usize..2,
+        year in 1988u32..=1998,
+    ) {
+        let (web, _) = web();
+        let (make, models) = MAKES[make_i];
+        let model = models[model_i % models.len()];
+        let condition = CONDITIONS[cond_i];
+        let pricetype = PRICE_TYPES[pt_i];
+        let y = year.to_string();
+        let req = Request::post(
+            Url::new("www.kbb.com", "/cgi-bin/bb"),
+            [
+                ("make", make),
+                ("model", model),
+                ("condition", condition),
+                ("pricetype", pricetype),
+                ("year", &y),
+            ],
+        );
+        let (resp, _) = web.fetch(&req);
+        let doc = parse(resp.html());
+        let t = &extract::tables(&doc)[0];
+        prop_assert_eq!(t.rows.len(), 1);
+        let shown: u32 = t.rows[0][5].trim_start_matches('$').parse().expect("price");
+        let expected = webbase_webworld::data::blue_book_price_typed(
+            make, model, year, condition, pricetype,
+        );
+        prop_assert_eq!(shown, expected);
+    }
+
+    /// The Newsday conditional: f1 lands on *either* a refine form *or* a
+    /// data table, never both, never neither — for every make.
+    #[test]
+    fn newsday_conditional_is_exclusive(make_i in 0usize..10) {
+        let (web, _) = web();
+        let (make, _) = MAKES[make_i];
+        let req = Request::post(
+            Url::new("www.newsday.com", "/cgi-bin/nclassy"),
+            [("make", make)],
+        );
+        let (resp, _) = web.fetch(&req);
+        let doc = parse(resp.html());
+        let has_refine_form =
+            extract::forms(&doc).iter().any(|f| f.action == "/cgi-bin/nclassy2");
+        let has_table = !extract::tables(&doc).is_empty();
+        prop_assert!(has_refine_form ^ has_table, "make={make}: form={has_refine_form} table={has_table}");
+    }
+
+    /// Site-version changes never alter the dataset-backed rows, only the
+    /// structure around them (maintenance must not see data churn).
+    #[test]
+    fn versions_share_data(make_i in 0usize..10) {
+        let (_, data) = web();
+        let (make, _) = MAKES[make_i];
+        let v1 = standard_web_versioned(data.clone(), LatencyModel::zero(), 1);
+        let v2 = standard_web_versioned(data.clone(), LatencyModel::zero(), 2);
+        let req = Request::post(
+            Url::new("autos.yahoo.com", "/cgi-bin/search"),
+            [("make", make)],
+        );
+        let (r1, _) = v1.fetch(&req);
+        let (r2, _) = v2.fetch(&req);
+        prop_assert_eq!(r1.html(), r2.html());
+    }
+}

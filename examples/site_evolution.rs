@@ -1,0 +1,64 @@
+//! Map maintenance against evolving sites — the §7 Kelly's-1999 case.
+//!
+//! ```bash
+//! cargo run --example site_evolution
+//! ```
+//!
+//! Records navigation maps against version 1 of the sites, then points
+//! them at version 2 (Kelly's gains its "1999 Models" link and year;
+//! Newsday adds a hub link and a form checkbox). The maintenance pass
+//! detects every change, applies the auto-applicable ones in place, and
+//! reports what would need the designer.
+
+use webbase_navigation::maintenance::check_map;
+use webbase_navigation::recorder::Recorder;
+use webbase_navigation::sessions;
+use webbase_webworld::prelude::*;
+use webbase_webworld::sites::standard_web_versioned;
+
+fn main() {
+    let data = Dataset::generate(42, 600);
+    let web_v1 = standard_web_versioned(data.clone(), LatencyModel::lan(), 1);
+    let web_v2 = standard_web_versioned(data.clone(), LatencyModel::lan(), 2);
+
+    for (host, session) in
+        [("www.kbb.com", sessions::kellys()), ("www.newsday.com", sessions::newsday(&data))]
+    {
+        println!("=== {host} ===\n");
+        let (mut map, _) =
+            Recorder::record(web_v1.clone(), host, &session).expect("records on v1");
+
+        println!("checking the v1 map against the unchanged site…");
+        let clean = check_map(web_v1.clone(), &mut map);
+        println!(
+            "  {} changes, {} unreachable — clean: {}\n",
+            clean.changes.len(),
+            clean.unreachable.len(),
+            clean.is_clean()
+        );
+
+        println!("checking the v1 map against the evolved site (v2)…");
+        let report = check_map(web_v2.clone(), &mut map);
+        for (node, change) in &report.changes {
+            println!(
+                "  node {} [{}]: {:?} → {:?}",
+                node,
+                map.node(*node).name,
+                change,
+                change.severity()
+            );
+        }
+        println!(
+            "\n  auto-applied: {}   manual intervention needed: {}",
+            report.auto_applied, report.manual_needed
+        );
+
+        println!("\nre-checking after auto-repair…");
+        let again = check_map(web_v2.clone(), &mut map);
+        println!(
+            "  {} changes remain ({} manual)\n",
+            again.changes.len(),
+            again.manual_needed
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # webbase-suite
+//!
+//! The umbrella package of the webbase reproduction: it hosts the
+//! runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`), and re-exports every workspace crate for
+//! convenience.
+//!
+//! Start with `examples/quickstart.rs`:
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+pub use webbase;
+pub use webbase_flogic as flogic;
+pub use webbase_html as html;
+pub use webbase_logical as logical;
+pub use webbase_navigation as navigation;
+pub use webbase_relational as relational;
+pub use webbase_ur as ur;
+pub use webbase_vps as vps;
+pub use webbase_webworld as webworld;
