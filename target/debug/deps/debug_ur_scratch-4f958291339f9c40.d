@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_ur_scratch-4f958291339f9c40.d: tests/debug_ur_scratch.rs
+
+/root/repo/target/debug/deps/debug_ur_scratch-4f958291339f9c40: tests/debug_ur_scratch.rs
+
+tests/debug_ur_scratch.rs:

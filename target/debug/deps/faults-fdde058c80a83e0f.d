@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-fdde058c80a83e0f.d: crates/navigation/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-fdde058c80a83e0f: crates/navigation/tests/faults.rs
+
+crates/navigation/tests/faults.rs:

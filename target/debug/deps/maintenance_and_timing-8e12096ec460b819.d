@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maintenance_and_timing-8e12096ec460b819.d: tests/maintenance_and_timing.rs
+
+/root/repo/target/debug/deps/maintenance_and_timing-8e12096ec460b819: tests/maintenance_and_timing.rs
+
+tests/maintenance_and_timing.rs:

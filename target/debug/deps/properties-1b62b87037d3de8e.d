@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1b62b87037d3de8e.d: crates/html/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1b62b87037d3de8e: crates/html/tests/properties.rs
+
+crates/html/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4643819c5add5836.d: crates/flogic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4643819c5add5836: crates/flogic/tests/properties.rs
+
+crates/flogic/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-74ab9f08496aa854.d: crates/ur/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-74ab9f08496aa854: crates/ur/tests/properties.rs
+
+crates/ur/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-791e52c6e14cb695.d: crates/webworld/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-791e52c6e14cb695: crates/webworld/tests/properties.rs
+
+crates/webworld/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7c37fa81afe1f565.d: crates/navigation/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7c37fa81afe1f565: crates/navigation/tests/properties.rs
+
+crates/navigation/tests/properties.rs:

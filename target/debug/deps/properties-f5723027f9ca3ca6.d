@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f5723027f9ca3ca6.d: crates/relational/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f5723027f9ca3ca6: crates/relational/tests/properties.rs
+
+crates/relational/tests/properties.rs:

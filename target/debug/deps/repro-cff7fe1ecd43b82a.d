@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-cff7fe1ecd43b82a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-cff7fe1ecd43b82a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-4cbf3f2b13fb1f15.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4cbf3f2b13fb1f15.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4cbf3f2b13fb1f15.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-fdb15b94360141cc.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-fdb15b94360141cc: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

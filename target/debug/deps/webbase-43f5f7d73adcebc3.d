@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/webbase-43f5f7d73adcebc3.d: crates/core/src/lib.rs crates/core/src/layers.rs crates/core/src/timing.rs crates/core/src/webbase.rs
+
+/root/repo/target/debug/deps/libwebbase-43f5f7d73adcebc3.rlib: crates/core/src/lib.rs crates/core/src/layers.rs crates/core/src/timing.rs crates/core/src/webbase.rs
+
+/root/repo/target/debug/deps/libwebbase-43f5f7d73adcebc3.rmeta: crates/core/src/lib.rs crates/core/src/layers.rs crates/core/src/timing.rs crates/core/src/webbase.rs
+
+crates/core/src/lib.rs:
+crates/core/src/layers.rs:
+crates/core/src/timing.rs:
+crates/core/src/webbase.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/webbase-ef860172e76fb33d.d: crates/core/src/lib.rs crates/core/src/layers.rs crates/core/src/timing.rs crates/core/src/webbase.rs
+
+/root/repo/target/debug/deps/webbase-ef860172e76fb33d: crates/core/src/lib.rs crates/core/src/layers.rs crates/core/src/timing.rs crates/core/src/webbase.rs
+
+crates/core/src/lib.rs:
+crates/core/src/layers.rs:
+crates/core/src/timing.rs:
+crates/core/src/webbase.rs:

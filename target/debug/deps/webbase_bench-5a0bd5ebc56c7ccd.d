@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/webbase_bench-5a0bd5ebc56c7ccd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwebbase_bench-5a0bd5ebc56c7ccd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwebbase_bench-5a0bd5ebc56c7ccd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/webbase_bench-a618e233eb053583.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/webbase_bench-a618e233eb053583: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

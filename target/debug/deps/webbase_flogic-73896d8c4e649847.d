@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/webbase_flogic-73896d8c4e649847.d: crates/flogic/src/lib.rs crates/flogic/src/goal.rs crates/flogic/src/interp.rs crates/flogic/src/oracle.rs crates/flogic/src/parser.rs crates/flogic/src/pretty.rs crates/flogic/src/program.rs crates/flogic/src/signatures.rs crates/flogic/src/store.rs crates/flogic/src/term.rs crates/flogic/src/unify.rs
+
+/root/repo/target/debug/deps/libwebbase_flogic-73896d8c4e649847.rlib: crates/flogic/src/lib.rs crates/flogic/src/goal.rs crates/flogic/src/interp.rs crates/flogic/src/oracle.rs crates/flogic/src/parser.rs crates/flogic/src/pretty.rs crates/flogic/src/program.rs crates/flogic/src/signatures.rs crates/flogic/src/store.rs crates/flogic/src/term.rs crates/flogic/src/unify.rs
+
+/root/repo/target/debug/deps/libwebbase_flogic-73896d8c4e649847.rmeta: crates/flogic/src/lib.rs crates/flogic/src/goal.rs crates/flogic/src/interp.rs crates/flogic/src/oracle.rs crates/flogic/src/parser.rs crates/flogic/src/pretty.rs crates/flogic/src/program.rs crates/flogic/src/signatures.rs crates/flogic/src/store.rs crates/flogic/src/term.rs crates/flogic/src/unify.rs
+
+crates/flogic/src/lib.rs:
+crates/flogic/src/goal.rs:
+crates/flogic/src/interp.rs:
+crates/flogic/src/oracle.rs:
+crates/flogic/src/parser.rs:
+crates/flogic/src/pretty.rs:
+crates/flogic/src/program.rs:
+crates/flogic/src/signatures.rs:
+crates/flogic/src/store.rs:
+crates/flogic/src/term.rs:
+crates/flogic/src/unify.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/webbase_flogic-84b2bec25ce0b814.d: crates/flogic/src/lib.rs crates/flogic/src/goal.rs crates/flogic/src/interp.rs crates/flogic/src/oracle.rs crates/flogic/src/parser.rs crates/flogic/src/pretty.rs crates/flogic/src/program.rs crates/flogic/src/signatures.rs crates/flogic/src/store.rs crates/flogic/src/term.rs crates/flogic/src/unify.rs
+
+/root/repo/target/debug/deps/webbase_flogic-84b2bec25ce0b814: crates/flogic/src/lib.rs crates/flogic/src/goal.rs crates/flogic/src/interp.rs crates/flogic/src/oracle.rs crates/flogic/src/parser.rs crates/flogic/src/pretty.rs crates/flogic/src/program.rs crates/flogic/src/signatures.rs crates/flogic/src/store.rs crates/flogic/src/term.rs crates/flogic/src/unify.rs
+
+crates/flogic/src/lib.rs:
+crates/flogic/src/goal.rs:
+crates/flogic/src/interp.rs:
+crates/flogic/src/oracle.rs:
+crates/flogic/src/parser.rs:
+crates/flogic/src/pretty.rs:
+crates/flogic/src/program.rs:
+crates/flogic/src/signatures.rs:
+crates/flogic/src/store.rs:
+crates/flogic/src/term.rs:
+crates/flogic/src/unify.rs:

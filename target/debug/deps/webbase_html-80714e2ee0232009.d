@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/webbase_html-80714e2ee0232009.d: crates/html/src/lib.rs crates/html/src/diff.rs crates/html/src/dom.rs crates/html/src/escape.rs crates/html/src/extract.rs crates/html/src/parser.rs crates/html/src/tokenizer.rs
+
+/root/repo/target/debug/deps/libwebbase_html-80714e2ee0232009.rlib: crates/html/src/lib.rs crates/html/src/diff.rs crates/html/src/dom.rs crates/html/src/escape.rs crates/html/src/extract.rs crates/html/src/parser.rs crates/html/src/tokenizer.rs
+
+/root/repo/target/debug/deps/libwebbase_html-80714e2ee0232009.rmeta: crates/html/src/lib.rs crates/html/src/diff.rs crates/html/src/dom.rs crates/html/src/escape.rs crates/html/src/extract.rs crates/html/src/parser.rs crates/html/src/tokenizer.rs
+
+crates/html/src/lib.rs:
+crates/html/src/diff.rs:
+crates/html/src/dom.rs:
+crates/html/src/escape.rs:
+crates/html/src/extract.rs:
+crates/html/src/parser.rs:
+crates/html/src/tokenizer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/webbase_html-c9d59683346d94bc.d: crates/html/src/lib.rs crates/html/src/diff.rs crates/html/src/dom.rs crates/html/src/escape.rs crates/html/src/extract.rs crates/html/src/parser.rs crates/html/src/tokenizer.rs
+
+/root/repo/target/debug/deps/webbase_html-c9d59683346d94bc: crates/html/src/lib.rs crates/html/src/diff.rs crates/html/src/dom.rs crates/html/src/escape.rs crates/html/src/extract.rs crates/html/src/parser.rs crates/html/src/tokenizer.rs
+
+crates/html/src/lib.rs:
+crates/html/src/diff.rs:
+crates/html/src/dom.rs:
+crates/html/src/escape.rs:
+crates/html/src/extract.rs:
+crates/html/src/parser.rs:
+crates/html/src/tokenizer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/webbase_logical-9bdf3cbfd0f098fc.d: crates/logical/src/lib.rs crates/logical/src/layer.rs crates/logical/src/schema.rs
+
+/root/repo/target/debug/deps/webbase_logical-9bdf3cbfd0f098fc: crates/logical/src/lib.rs crates/logical/src/layer.rs crates/logical/src/schema.rs
+
+crates/logical/src/lib.rs:
+crates/logical/src/layer.rs:
+crates/logical/src/schema.rs:

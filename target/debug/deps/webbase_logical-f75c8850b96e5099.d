@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/webbase_logical-f75c8850b96e5099.d: crates/logical/src/lib.rs crates/logical/src/layer.rs crates/logical/src/schema.rs
+
+/root/repo/target/debug/deps/libwebbase_logical-f75c8850b96e5099.rlib: crates/logical/src/lib.rs crates/logical/src/layer.rs crates/logical/src/schema.rs
+
+/root/repo/target/debug/deps/libwebbase_logical-f75c8850b96e5099.rmeta: crates/logical/src/lib.rs crates/logical/src/layer.rs crates/logical/src/schema.rs
+
+crates/logical/src/lib.rs:
+crates/logical/src/layer.rs:
+crates/logical/src/schema.rs:

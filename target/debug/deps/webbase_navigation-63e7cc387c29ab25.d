@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/webbase_navigation-63e7cc387c29ab25.d: crates/navigation/src/lib.rs crates/navigation/src/browser.rs crates/navigation/src/compile.rs crates/navigation/src/executor.rs crates/navigation/src/extractor.rs crates/navigation/src/maintenance.rs crates/navigation/src/map.rs crates/navigation/src/model.rs crates/navigation/src/persist.rs crates/navigation/src/recorder.rs crates/navigation/src/sessions.rs
+
+/root/repo/target/debug/deps/libwebbase_navigation-63e7cc387c29ab25.rlib: crates/navigation/src/lib.rs crates/navigation/src/browser.rs crates/navigation/src/compile.rs crates/navigation/src/executor.rs crates/navigation/src/extractor.rs crates/navigation/src/maintenance.rs crates/navigation/src/map.rs crates/navigation/src/model.rs crates/navigation/src/persist.rs crates/navigation/src/recorder.rs crates/navigation/src/sessions.rs
+
+/root/repo/target/debug/deps/libwebbase_navigation-63e7cc387c29ab25.rmeta: crates/navigation/src/lib.rs crates/navigation/src/browser.rs crates/navigation/src/compile.rs crates/navigation/src/executor.rs crates/navigation/src/extractor.rs crates/navigation/src/maintenance.rs crates/navigation/src/map.rs crates/navigation/src/model.rs crates/navigation/src/persist.rs crates/navigation/src/recorder.rs crates/navigation/src/sessions.rs
+
+crates/navigation/src/lib.rs:
+crates/navigation/src/browser.rs:
+crates/navigation/src/compile.rs:
+crates/navigation/src/executor.rs:
+crates/navigation/src/extractor.rs:
+crates/navigation/src/maintenance.rs:
+crates/navigation/src/map.rs:
+crates/navigation/src/model.rs:
+crates/navigation/src/persist.rs:
+crates/navigation/src/recorder.rs:
+crates/navigation/src/sessions.rs:

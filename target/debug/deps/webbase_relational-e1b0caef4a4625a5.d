@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/webbase_relational-e1b0caef4a4625a5.d: crates/relational/src/lib.rs crates/relational/src/algebra.rs crates/relational/src/arith.rs crates/relational/src/binding.rs crates/relational/src/eval.rs crates/relational/src/optimize.rs crates/relational/src/ordering.rs crates/relational/src/predicate.rs crates/relational/src/relation.rs crates/relational/src/schema.rs crates/relational/src/select.rs crates/relational/src/standardize.rs crates/relational/src/value.rs
+
+/root/repo/target/debug/deps/libwebbase_relational-e1b0caef4a4625a5.rlib: crates/relational/src/lib.rs crates/relational/src/algebra.rs crates/relational/src/arith.rs crates/relational/src/binding.rs crates/relational/src/eval.rs crates/relational/src/optimize.rs crates/relational/src/ordering.rs crates/relational/src/predicate.rs crates/relational/src/relation.rs crates/relational/src/schema.rs crates/relational/src/select.rs crates/relational/src/standardize.rs crates/relational/src/value.rs
+
+/root/repo/target/debug/deps/libwebbase_relational-e1b0caef4a4625a5.rmeta: crates/relational/src/lib.rs crates/relational/src/algebra.rs crates/relational/src/arith.rs crates/relational/src/binding.rs crates/relational/src/eval.rs crates/relational/src/optimize.rs crates/relational/src/ordering.rs crates/relational/src/predicate.rs crates/relational/src/relation.rs crates/relational/src/schema.rs crates/relational/src/select.rs crates/relational/src/standardize.rs crates/relational/src/value.rs
+
+crates/relational/src/lib.rs:
+crates/relational/src/algebra.rs:
+crates/relational/src/arith.rs:
+crates/relational/src/binding.rs:
+crates/relational/src/eval.rs:
+crates/relational/src/optimize.rs:
+crates/relational/src/ordering.rs:
+crates/relational/src/predicate.rs:
+crates/relational/src/relation.rs:
+crates/relational/src/schema.rs:
+crates/relational/src/select.rs:
+crates/relational/src/standardize.rs:
+crates/relational/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/webbase_suite-4f6c4ee72029e952.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwebbase_suite-4f6c4ee72029e952.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwebbase_suite-4f6c4ee72029e952.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/webbase_suite-8bf0da7c81a03af6.d: src/lib.rs
+
+/root/repo/target/debug/deps/webbase_suite-8bf0da7c81a03af6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/webbase_ur-06a46432db2be21f.d: crates/ur/src/lib.rs crates/ur/src/compat.rs crates/ur/src/hierarchy.rs crates/ur/src/maximal.rs crates/ur/src/plan.rs crates/ur/src/query.rs
+
+/root/repo/target/debug/deps/webbase_ur-06a46432db2be21f: crates/ur/src/lib.rs crates/ur/src/compat.rs crates/ur/src/hierarchy.rs crates/ur/src/maximal.rs crates/ur/src/plan.rs crates/ur/src/query.rs
+
+crates/ur/src/lib.rs:
+crates/ur/src/compat.rs:
+crates/ur/src/hierarchy.rs:
+crates/ur/src/maximal.rs:
+crates/ur/src/plan.rs:
+crates/ur/src/query.rs:

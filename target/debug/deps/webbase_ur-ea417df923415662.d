@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/webbase_ur-ea417df923415662.d: crates/ur/src/lib.rs crates/ur/src/compat.rs crates/ur/src/hierarchy.rs crates/ur/src/maximal.rs crates/ur/src/plan.rs crates/ur/src/query.rs
+
+/root/repo/target/debug/deps/libwebbase_ur-ea417df923415662.rlib: crates/ur/src/lib.rs crates/ur/src/compat.rs crates/ur/src/hierarchy.rs crates/ur/src/maximal.rs crates/ur/src/plan.rs crates/ur/src/query.rs
+
+/root/repo/target/debug/deps/libwebbase_ur-ea417df923415662.rmeta: crates/ur/src/lib.rs crates/ur/src/compat.rs crates/ur/src/hierarchy.rs crates/ur/src/maximal.rs crates/ur/src/plan.rs crates/ur/src/query.rs
+
+crates/ur/src/lib.rs:
+crates/ur/src/compat.rs:
+crates/ur/src/hierarchy.rs:
+crates/ur/src/maximal.rs:
+crates/ur/src/plan.rs:
+crates/ur/src/query.rs:

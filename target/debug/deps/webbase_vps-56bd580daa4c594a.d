@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/webbase_vps-56bd580daa4c594a.d: crates/vps/src/lib.rs crates/vps/src/catalog.rs crates/vps/src/handle.rs
+
+/root/repo/target/debug/deps/webbase_vps-56bd580daa4c594a: crates/vps/src/lib.rs crates/vps/src/catalog.rs crates/vps/src/handle.rs
+
+crates/vps/src/lib.rs:
+crates/vps/src/catalog.rs:
+crates/vps/src/handle.rs:

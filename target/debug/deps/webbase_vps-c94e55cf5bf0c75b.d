@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/webbase_vps-c94e55cf5bf0c75b.d: crates/vps/src/lib.rs crates/vps/src/catalog.rs crates/vps/src/handle.rs
+
+/root/repo/target/debug/deps/libwebbase_vps-c94e55cf5bf0c75b.rlib: crates/vps/src/lib.rs crates/vps/src/catalog.rs crates/vps/src/handle.rs
+
+/root/repo/target/debug/deps/libwebbase_vps-c94e55cf5bf0c75b.rmeta: crates/vps/src/lib.rs crates/vps/src/catalog.rs crates/vps/src/handle.rs
+
+crates/vps/src/lib.rs:
+crates/vps/src/catalog.rs:
+crates/vps/src/handle.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/webbase_webworld-484b8c26c4671481.d: crates/webworld/src/lib.rs crates/webworld/src/data.rs crates/webworld/src/faults.rs crates/webworld/src/latency.rs crates/webworld/src/render.rs crates/webworld/src/request.rs crates/webworld/src/server.rs crates/webworld/src/sites/mod.rs crates/webworld/src/sites/apartments.rs crates/webworld/src/sites/autoweb.rs crates/webworld/src/sites/car_insurance.rs crates/webworld/src/sites/car_and_driver.rs crates/webworld/src/sites/car_finance.rs crates/webworld/src/sites/generic.rs crates/webworld/src/sites/kellys.rs crates/webworld/src/sites/newsday.rs crates/webworld/src/url.rs
+
+/root/repo/target/debug/deps/libwebbase_webworld-484b8c26c4671481.rlib: crates/webworld/src/lib.rs crates/webworld/src/data.rs crates/webworld/src/faults.rs crates/webworld/src/latency.rs crates/webworld/src/render.rs crates/webworld/src/request.rs crates/webworld/src/server.rs crates/webworld/src/sites/mod.rs crates/webworld/src/sites/apartments.rs crates/webworld/src/sites/autoweb.rs crates/webworld/src/sites/car_insurance.rs crates/webworld/src/sites/car_and_driver.rs crates/webworld/src/sites/car_finance.rs crates/webworld/src/sites/generic.rs crates/webworld/src/sites/kellys.rs crates/webworld/src/sites/newsday.rs crates/webworld/src/url.rs
+
+/root/repo/target/debug/deps/libwebbase_webworld-484b8c26c4671481.rmeta: crates/webworld/src/lib.rs crates/webworld/src/data.rs crates/webworld/src/faults.rs crates/webworld/src/latency.rs crates/webworld/src/render.rs crates/webworld/src/request.rs crates/webworld/src/server.rs crates/webworld/src/sites/mod.rs crates/webworld/src/sites/apartments.rs crates/webworld/src/sites/autoweb.rs crates/webworld/src/sites/car_insurance.rs crates/webworld/src/sites/car_and_driver.rs crates/webworld/src/sites/car_finance.rs crates/webworld/src/sites/generic.rs crates/webworld/src/sites/kellys.rs crates/webworld/src/sites/newsday.rs crates/webworld/src/url.rs
+
+crates/webworld/src/lib.rs:
+crates/webworld/src/data.rs:
+crates/webworld/src/faults.rs:
+crates/webworld/src/latency.rs:
+crates/webworld/src/render.rs:
+crates/webworld/src/request.rs:
+crates/webworld/src/server.rs:
+crates/webworld/src/sites/mod.rs:
+crates/webworld/src/sites/apartments.rs:
+crates/webworld/src/sites/autoweb.rs:
+crates/webworld/src/sites/car_insurance.rs:
+crates/webworld/src/sites/car_and_driver.rs:
+crates/webworld/src/sites/car_finance.rs:
+crates/webworld/src/sites/generic.rs:
+crates/webworld/src/sites/kellys.rs:
+crates/webworld/src/sites/newsday.rs:
+crates/webworld/src/url.rs:

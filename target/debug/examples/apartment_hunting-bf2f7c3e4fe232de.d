@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/apartment_hunting-bf2f7c3e4fe232de.d: examples/apartment_hunting.rs
+
+/root/repo/target/debug/examples/apartment_hunting-bf2f7c3e4fe232de: examples/apartment_hunting.rs
+
+examples/apartment_hunting.rs:

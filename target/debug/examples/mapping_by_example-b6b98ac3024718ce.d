@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mapping_by_example-b6b98ac3024718ce.d: examples/mapping_by_example.rs
+
+/root/repo/target/debug/examples/mapping_by_example-b6b98ac3024718ce: examples/mapping_by_example.rs
+
+examples/mapping_by_example.rs:

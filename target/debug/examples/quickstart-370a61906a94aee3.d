@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-370a61906a94aee3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-370a61906a94aee3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/site_evolution-7e53fd779f481ef9.d: examples/site_evolution.rs
+
+/root/repo/target/debug/examples/site_evolution-7e53fd779f481ef9: examples/site_evolution.rs
+
+examples/site_evolution.rs:

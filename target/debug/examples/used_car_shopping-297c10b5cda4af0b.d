@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/used_car_shopping-297c10b5cda4af0b.d: examples/used_car_shopping.rs
+
+/root/repo/target/debug/examples/used_car_shopping-297c10b5cda4af0b: examples/used_car_shopping.rs
+
+examples/used_car_shopping.rs:

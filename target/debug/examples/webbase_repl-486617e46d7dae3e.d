@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/webbase_repl-486617e46d7dae3e.d: examples/webbase_repl.rs
+
+/root/repo/target/debug/examples/webbase_repl-486617e46d7dae3e: examples/webbase_repl.rs
+
+examples/webbase_repl.rs:

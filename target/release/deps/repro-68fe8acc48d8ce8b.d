@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-68fe8acc48d8ce8b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-68fe8acc48d8ce8b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-09e6e4594691da11.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-09e6e4594691da11.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-09e6e4594691da11.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/webbase-1f2e2e42e2f18590.d: crates/core/src/lib.rs crates/core/src/layers.rs crates/core/src/timing.rs crates/core/src/webbase.rs
+
+/root/repo/target/release/deps/libwebbase-1f2e2e42e2f18590.rlib: crates/core/src/lib.rs crates/core/src/layers.rs crates/core/src/timing.rs crates/core/src/webbase.rs
+
+/root/repo/target/release/deps/libwebbase-1f2e2e42e2f18590.rmeta: crates/core/src/lib.rs crates/core/src/layers.rs crates/core/src/timing.rs crates/core/src/webbase.rs
+
+crates/core/src/lib.rs:
+crates/core/src/layers.rs:
+crates/core/src/timing.rs:
+crates/core/src/webbase.rs:

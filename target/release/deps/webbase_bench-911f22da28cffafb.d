@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/webbase_bench-911f22da28cffafb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwebbase_bench-911f22da28cffafb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwebbase_bench-911f22da28cffafb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

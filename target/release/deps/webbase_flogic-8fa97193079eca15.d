@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/webbase_flogic-8fa97193079eca15.d: crates/flogic/src/lib.rs crates/flogic/src/goal.rs crates/flogic/src/interp.rs crates/flogic/src/oracle.rs crates/flogic/src/parser.rs crates/flogic/src/pretty.rs crates/flogic/src/program.rs crates/flogic/src/signatures.rs crates/flogic/src/store.rs crates/flogic/src/term.rs crates/flogic/src/unify.rs
+
+/root/repo/target/release/deps/libwebbase_flogic-8fa97193079eca15.rlib: crates/flogic/src/lib.rs crates/flogic/src/goal.rs crates/flogic/src/interp.rs crates/flogic/src/oracle.rs crates/flogic/src/parser.rs crates/flogic/src/pretty.rs crates/flogic/src/program.rs crates/flogic/src/signatures.rs crates/flogic/src/store.rs crates/flogic/src/term.rs crates/flogic/src/unify.rs
+
+/root/repo/target/release/deps/libwebbase_flogic-8fa97193079eca15.rmeta: crates/flogic/src/lib.rs crates/flogic/src/goal.rs crates/flogic/src/interp.rs crates/flogic/src/oracle.rs crates/flogic/src/parser.rs crates/flogic/src/pretty.rs crates/flogic/src/program.rs crates/flogic/src/signatures.rs crates/flogic/src/store.rs crates/flogic/src/term.rs crates/flogic/src/unify.rs
+
+crates/flogic/src/lib.rs:
+crates/flogic/src/goal.rs:
+crates/flogic/src/interp.rs:
+crates/flogic/src/oracle.rs:
+crates/flogic/src/parser.rs:
+crates/flogic/src/pretty.rs:
+crates/flogic/src/program.rs:
+crates/flogic/src/signatures.rs:
+crates/flogic/src/store.rs:
+crates/flogic/src/term.rs:
+crates/flogic/src/unify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/webbase_html-65a56204ec64ed9a.d: crates/html/src/lib.rs crates/html/src/diff.rs crates/html/src/dom.rs crates/html/src/escape.rs crates/html/src/extract.rs crates/html/src/parser.rs crates/html/src/tokenizer.rs
+
+/root/repo/target/release/deps/libwebbase_html-65a56204ec64ed9a.rlib: crates/html/src/lib.rs crates/html/src/diff.rs crates/html/src/dom.rs crates/html/src/escape.rs crates/html/src/extract.rs crates/html/src/parser.rs crates/html/src/tokenizer.rs
+
+/root/repo/target/release/deps/libwebbase_html-65a56204ec64ed9a.rmeta: crates/html/src/lib.rs crates/html/src/diff.rs crates/html/src/dom.rs crates/html/src/escape.rs crates/html/src/extract.rs crates/html/src/parser.rs crates/html/src/tokenizer.rs
+
+crates/html/src/lib.rs:
+crates/html/src/diff.rs:
+crates/html/src/dom.rs:
+crates/html/src/escape.rs:
+crates/html/src/extract.rs:
+crates/html/src/parser.rs:
+crates/html/src/tokenizer.rs:

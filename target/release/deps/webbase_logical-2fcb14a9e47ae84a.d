@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/webbase_logical-2fcb14a9e47ae84a.d: crates/logical/src/lib.rs crates/logical/src/layer.rs crates/logical/src/schema.rs
+
+/root/repo/target/release/deps/libwebbase_logical-2fcb14a9e47ae84a.rlib: crates/logical/src/lib.rs crates/logical/src/layer.rs crates/logical/src/schema.rs
+
+/root/repo/target/release/deps/libwebbase_logical-2fcb14a9e47ae84a.rmeta: crates/logical/src/lib.rs crates/logical/src/layer.rs crates/logical/src/schema.rs
+
+crates/logical/src/lib.rs:
+crates/logical/src/layer.rs:
+crates/logical/src/schema.rs:

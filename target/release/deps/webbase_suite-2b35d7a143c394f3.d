@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/webbase_suite-2b35d7a143c394f3.d: src/lib.rs
+
+/root/repo/target/release/deps/libwebbase_suite-2b35d7a143c394f3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwebbase_suite-2b35d7a143c394f3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/webbase_ur-ae6d6506f1b2fe37.d: crates/ur/src/lib.rs crates/ur/src/compat.rs crates/ur/src/hierarchy.rs crates/ur/src/maximal.rs crates/ur/src/plan.rs crates/ur/src/query.rs
+
+/root/repo/target/release/deps/libwebbase_ur-ae6d6506f1b2fe37.rlib: crates/ur/src/lib.rs crates/ur/src/compat.rs crates/ur/src/hierarchy.rs crates/ur/src/maximal.rs crates/ur/src/plan.rs crates/ur/src/query.rs
+
+/root/repo/target/release/deps/libwebbase_ur-ae6d6506f1b2fe37.rmeta: crates/ur/src/lib.rs crates/ur/src/compat.rs crates/ur/src/hierarchy.rs crates/ur/src/maximal.rs crates/ur/src/plan.rs crates/ur/src/query.rs
+
+crates/ur/src/lib.rs:
+crates/ur/src/compat.rs:
+crates/ur/src/hierarchy.rs:
+crates/ur/src/maximal.rs:
+crates/ur/src/plan.rs:
+crates/ur/src/query.rs:

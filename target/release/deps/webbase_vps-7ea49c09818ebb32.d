@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/webbase_vps-7ea49c09818ebb32.d: crates/vps/src/lib.rs crates/vps/src/catalog.rs crates/vps/src/handle.rs
+
+/root/repo/target/release/deps/libwebbase_vps-7ea49c09818ebb32.rlib: crates/vps/src/lib.rs crates/vps/src/catalog.rs crates/vps/src/handle.rs
+
+/root/repo/target/release/deps/libwebbase_vps-7ea49c09818ebb32.rmeta: crates/vps/src/lib.rs crates/vps/src/catalog.rs crates/vps/src/handle.rs
+
+crates/vps/src/lib.rs:
+crates/vps/src/catalog.rs:
+crates/vps/src/handle.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/webbase_webworld-ce976ed4de80638a.d: crates/webworld/src/lib.rs crates/webworld/src/data.rs crates/webworld/src/faults.rs crates/webworld/src/latency.rs crates/webworld/src/render.rs crates/webworld/src/request.rs crates/webworld/src/server.rs crates/webworld/src/sites/mod.rs crates/webworld/src/sites/apartments.rs crates/webworld/src/sites/autoweb.rs crates/webworld/src/sites/car_insurance.rs crates/webworld/src/sites/car_and_driver.rs crates/webworld/src/sites/car_finance.rs crates/webworld/src/sites/generic.rs crates/webworld/src/sites/kellys.rs crates/webworld/src/sites/newsday.rs crates/webworld/src/url.rs
+
+/root/repo/target/release/deps/libwebbase_webworld-ce976ed4de80638a.rlib: crates/webworld/src/lib.rs crates/webworld/src/data.rs crates/webworld/src/faults.rs crates/webworld/src/latency.rs crates/webworld/src/render.rs crates/webworld/src/request.rs crates/webworld/src/server.rs crates/webworld/src/sites/mod.rs crates/webworld/src/sites/apartments.rs crates/webworld/src/sites/autoweb.rs crates/webworld/src/sites/car_insurance.rs crates/webworld/src/sites/car_and_driver.rs crates/webworld/src/sites/car_finance.rs crates/webworld/src/sites/generic.rs crates/webworld/src/sites/kellys.rs crates/webworld/src/sites/newsday.rs crates/webworld/src/url.rs
+
+/root/repo/target/release/deps/libwebbase_webworld-ce976ed4de80638a.rmeta: crates/webworld/src/lib.rs crates/webworld/src/data.rs crates/webworld/src/faults.rs crates/webworld/src/latency.rs crates/webworld/src/render.rs crates/webworld/src/request.rs crates/webworld/src/server.rs crates/webworld/src/sites/mod.rs crates/webworld/src/sites/apartments.rs crates/webworld/src/sites/autoweb.rs crates/webworld/src/sites/car_insurance.rs crates/webworld/src/sites/car_and_driver.rs crates/webworld/src/sites/car_finance.rs crates/webworld/src/sites/generic.rs crates/webworld/src/sites/kellys.rs crates/webworld/src/sites/newsday.rs crates/webworld/src/url.rs
+
+crates/webworld/src/lib.rs:
+crates/webworld/src/data.rs:
+crates/webworld/src/faults.rs:
+crates/webworld/src/latency.rs:
+crates/webworld/src/render.rs:
+crates/webworld/src/request.rs:
+crates/webworld/src/server.rs:
+crates/webworld/src/sites/mod.rs:
+crates/webworld/src/sites/apartments.rs:
+crates/webworld/src/sites/autoweb.rs:
+crates/webworld/src/sites/car_insurance.rs:
+crates/webworld/src/sites/car_and_driver.rs:
+crates/webworld/src/sites/car_finance.rs:
+crates/webworld/src/sites/generic.rs:
+crates/webworld/src/sites/kellys.rs:
+crates/webworld/src/sites/newsday.rs:
+crates/webworld/src/url.rs:

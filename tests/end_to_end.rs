@@ -60,6 +60,12 @@ fn ur_query_price_below_book_matches_ground_truth() {
         SiteSlice::AutoWeb,
     ] {
         for ad in data.matching(slice, Some("bmw"), None) {
+            // Kelly's v1 form only offers model years 1988–1998 (the
+            // 1999 option arrives with the versioned web), so 1999 ads
+            // cannot be priced and never join with blue_price.
+            if ad.year > 1998 {
+                continue;
+            }
             let bb = blue_book_price_typed(&ad.make, &ad.model, ad.year, "good", "retail");
             if ad.price < bb {
                 expected.insert((ad.model.clone(), ad.year, ad.price, bb));

@@ -1,0 +1,145 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Benchmarks compile and run as smoke tests: each `Bencher::iter`
+//! closure executes a handful of times and the mean wall-clock time is
+//! printed. There is no statistical analysis, HTML report, or warm-up
+//! schedule — enough to keep `cargo bench` and `cargo test --benches`
+//! meaningful offline without the real dependency tree.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { name: name.to_string() }
+    }
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b, input);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+/// How many times each `iter` closure runs (1 warm-up + this many timed).
+const TIMED_ITERS: u32 = 3;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += TIMED_ITERS;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters > 0 {
+            println!("  {group}/{id}: ~{:?}/iter", self.elapsed / self.iters);
+        }
+    }
+}
+
+/// Matches criterion's entry-point macros: `criterion_group!` defines a
+/// function running each target; `criterion_main!` the binary's `main`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` passes --test-threads etc.; ignore
+            // all CLI arguments just as a smoke run should.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn group_and_bencher_run_closures() {
+        let mut c = crate::Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.sample_size(10).throughput(crate::Throughput::Bytes(1));
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1 + super::TIMED_ITERS);
+        let mut runs2 = 0u32;
+        group.bench_with_input(crate::BenchmarkId::new("p", 3), &3usize, |b, &n| {
+            b.iter(|| runs2 += n as u32)
+        });
+        group.finish();
+        assert!(runs2 > 0);
+    }
+}

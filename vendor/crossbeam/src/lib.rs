@@ -1,0 +1,59 @@
+//! Minimal offline stand-in for `crossbeam`, mapping the
+//! `crossbeam::thread::scope` API the workspace uses onto
+//! `std::thread::scope` (available since Rust 1.63).
+
+pub mod thread {
+    /// A scope handle mirroring `crossbeam::thread::Scope`: spawned
+    /// closures receive the scope again so they can spawn siblings.
+    /// Copyable so fresh wrappers can be handed to spawned threads
+    /// without borrowing the caller's wrapper for `'scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope; every spawned thread is joined before this
+    /// returns. Unlike crossbeam this cannot observe leftover panics
+    /// (std re-raises them), so the `Result` is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let hs: Vec<_> = data.iter().map(|&n| s.spawn(move |_| n * 2)).collect();
+            hs.into_iter().map(|h| h.join().expect("no panic")).sum::<i32>()
+        })
+        .expect("scope");
+        assert_eq!(sum, 12);
+    }
+}

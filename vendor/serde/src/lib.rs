@@ -1,0 +1,27 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` as forward
+//! compatibility for persisting navigation maps; nothing in-tree
+//! serialises yet (there is no serde_json/bincode in the container).
+//! So the traits are markers with a blanket impl, and the derives are
+//! no-ops that merely accept `#[serde(...)]` attributes.
+
+pub trait Serialize {}
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_everything() {
+        fn assert_ser<T: crate::Serialize>(_: &T) {}
+        fn assert_de<T: for<'de> crate::Deserialize<'de>>(_: &T) {}
+        assert_ser(&42);
+        assert_de(&"hello");
+    }
+}

@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde
+//! stand-in. They emit nothing (the real traits have blanket impls in
+//! the stub `serde` crate) but must still register the `#[serde(...)]`
+//! helper attribute so field annotations like `#[serde(skip)]` parse.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
