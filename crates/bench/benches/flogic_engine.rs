@@ -27,10 +27,7 @@ fn bench_flogic(c: &mut Criterion) {
     });
 
     // Recursive descent, like a "More" chain of n pages.
-    let rec = parse_program(
-        "chain(0). chain(N) :- N > 0, step(N, M), chain(M).",
-    )
-    .expect("parses");
+    let rec = parse_program("chain(0). chain(N) :- N > 0, step(N, M), chain(M).").expect("parses");
     struct Step;
     impl webbase_flogic::Oracle for Step {
         fn call(
@@ -68,11 +65,7 @@ fn bench_flogic(c: &mut Criterion) {
             let mut store = ObjectStore::new();
             let mark = store.mark();
             for i in 0..1000 {
-                store.insert_setval(
-                    Term::atom("pg"),
-                    Sym::new("actions"),
-                    Term::Int(black_box(i)),
-                );
+                store.insert_setval(Term::atom("pg"), Sym::new("actions"), Term::Int(black_box(i)));
             }
             store.undo_to(mark);
             black_box(store.molecule_count())

@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use webbase_webworld::prelude::*;
 use webbase_webworld::data::Dataset;
+use webbase_webworld::prelude::*;
 
 /// Fetch a sample results page from a site.
 fn sample_page(web: &SyntheticWeb, host: &str, make: &str) -> String {

@@ -32,8 +32,7 @@ fn bench_map_builder(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0;
             for (host, session) in &all {
-                let (map, _) =
-                    Recorder::record(web.clone(), host, session).expect("records");
+                let (map, _) = Recorder::record(web.clone(), host, session).expect("records");
                 total += map.object_count();
             }
             black_box(total)
@@ -41,8 +40,7 @@ fn bench_map_builder(c: &mut Criterion) {
     });
 
     // Map → Transaction F-logic compilation (the paper: linear time).
-    let (map, _) =
-        Recorder::record(web.clone(), "www.newsday.com", &newsday).expect("records");
+    let (map, _) = Recorder::record(web.clone(), "www.newsday.com", &newsday).expect("records");
     group.bench_function("compile_newsday", |b| {
         b.iter(|| black_box(compile_map(black_box(&map)).program.rule_count()))
     });

@@ -93,6 +93,7 @@ fn main() {
         section("§7 — timing table: SELECT make,model,year,price WHERE make=ford AND model=escort");
         let rows = timing::serial_timing(&wb, "ford", "escort");
         println!("{}", timing::render_table(&rows));
+        println!("Site degradation:\n{}", timing::merged_degradation(&rows).render());
     }
     if want("--parallel") {
         section("§9 — serial vs parallel multi-site evaluation");
@@ -117,6 +118,7 @@ fn main() {
             Ok((result, plan)) => {
                 println!("{}", plan.render());
                 println!("{}", result.to_table());
+                println!("Site degradation:\n{}", plan.degradation.render());
             }
             Err(e) => println!("query failed: {e}"),
         }
@@ -134,6 +136,7 @@ fn main() {
             Ok((result, plan)) => {
                 println!("{}", plan.render());
                 println!("{}", result.to_table());
+                println!("Site degradation:\n{}", plan.degradation.render());
             }
             Err(e) => println!("query failed: {e}"),
         }

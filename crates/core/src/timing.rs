@@ -16,6 +16,7 @@ use crate::webbase::Webbase;
 use std::time::Duration;
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
+use webbase_navigation::DegradationReport;
 use webbase_relational::Value;
 use webbase_webworld::prelude::*;
 
@@ -29,6 +30,9 @@ pub struct SiteTiming {
     pub cpu: Duration,
     /// cpu + simulated network: the "elapsed time" column.
     pub elapsed: Duration,
+    /// What this site's run endured (retries, timeouts, breaker state).
+    /// Clean on a healthy web.
+    pub degradation: DegradationReport,
 }
 
 /// Serial vs parallel wall-clock comparison.
@@ -64,10 +68,8 @@ pub fn timing_relations() -> Vec<(&'static str, &'static str)> {
 /// The query parameters each site receives: `make=ford AND model=escort`
 /// (plus the attributes our extended Kelly's insists on).
 fn given_for(relation: &str, make: &str, model: &str) -> Vec<(String, Value)> {
-    let mut given = vec![
-        ("make".to_string(), Value::str(make)),
-        ("model".to_string(), Value::str(model)),
-    ];
+    let mut given =
+        vec![("make".to_string(), Value::str(make)), ("model".to_string(), Value::str(model))];
     if relation == "kellys" {
         given.push(("condition".to_string(), Value::str("good")));
         given.push(("pricetype".to_string(), Value::str("retail")));
@@ -96,7 +98,21 @@ fn run_one(
         tuples: records.len(),
         cpu: stats.cpu,
         elapsed: stats.cpu + stats.network,
+        // The navigator is fresh, so its cumulative report is exactly
+        // this run's.
+        degradation: nav.degradation(),
     }
+}
+
+/// Merge the per-row degradation reports of a timing run (serial or
+/// parallel — parallel rows come from independent per-thread navigators,
+/// so the merge is the whole story).
+pub fn merged_degradation(rows: &[SiteTiming]) -> DegradationReport {
+    let mut report = DegradationReport::default();
+    for r in rows {
+        report.merge(&r.degradation);
+    }
+    report
 }
 
 /// The §7 table: the query against each site in turn. Also returns the
@@ -122,10 +138,7 @@ pub fn parallel_timing(wb: &Webbase, make: &str, model: &str) -> Vec<SiteTiming>
         for (i, (host, relation)) in pairs.iter().enumerate() {
             let map = wb.map_for(host).expect("mapped").clone();
             let web = wb.web.clone();
-            handles.push((
-                i,
-                scope.spawn(move |_| run_one(&web, &map, relation, make, model)),
-            ));
+            handles.push((i, scope.spawn(move |_| run_one(&web, &map, relation, make, model))));
         }
         for (i, h) in handles {
             rows[i] = Some(h.join().expect("site query thread panicked"));
@@ -142,16 +155,14 @@ pub fn compare(wb: &Webbase, make: &str, model: &str) -> TimingComparison {
     let rows = serial_timing(wb, make, model);
     let serial_wall: Duration = rows.iter().map(|r| r.elapsed).sum();
     let parallel_rows = parallel_timing(wb, make, model);
-    let parallel_wall: Duration =
-        parallel_rows.iter().map(|r| r.elapsed).max().unwrap_or_default();
+    let parallel_wall: Duration = parallel_rows.iter().map(|r| r.elapsed).max().unwrap_or_default();
     TimingComparison { serial_wall, parallel_wall, rows }
 }
 
 /// Render the §7 table.
 pub fn render_table(rows: &[SiteTiming]) -> String {
-    let mut out = String::from(
-        "Site                     # of pages   tuples   cpu (ms)   elapsed (ms)\n",
-    );
+    let mut out =
+        String::from("Site                     # of pages   tuples   cpu (ms)   elapsed (ms)\n");
     for r in rows {
         out.push_str(&format!(
             "{:<24} {:>10} {:>8} {:>10.1} {:>14.1}\n",
@@ -198,6 +209,9 @@ mod tests {
         }
         let txt = render_table(&rows);
         assert!(txt.lines().count() == 11);
+        // A healthy web degrades nothing.
+        let merged = merged_degradation(&rows);
+        assert!(merged.is_clean(), "{}", merged.render());
     }
 
     #[test]

@@ -99,14 +99,7 @@ impl Webbase {
         }
         let layer = LogicalLayer::new(catalog, paper_schema());
         let planner = UrPlanner::new(figure5(), example62_rules());
-        Ok(Webbase {
-            web,
-            data,
-            maps,
-            layer,
-            planner,
-            report: BuildReport { sites: stats },
-        })
+        Ok(Webbase { web, data, maps, layer, planner, report: BuildReport { sites: stats } })
     }
 
     /// Build from previously persisted navigation maps (F-logic fact
@@ -256,12 +249,9 @@ mod tests {
         let mut original = demo();
         let exported = original.export_fact_maps();
         assert_eq!(exported.len(), 13);
-        let mut reloaded = Webbase::build_from_fact_maps(
-            original.web.clone(),
-            original.data.clone(),
-            &exported,
-        )
-        .expect("maps reload");
+        let mut reloaded =
+            Webbase::build_from_fact_maps(original.web.clone(), original.data.clone(), &exported)
+                .expect("maps reload");
         let q = "UsedCarUR(make='honda', model='civic', year, price)";
         let (a, _) = original.query(q).expect("original answers");
         let (b, _) = reloaded.query(q).expect("reloaded answers");
@@ -278,22 +268,19 @@ mod tests {
                 "SELECT make, model, year, price WHERE make=ford AND model=escort",
             )
             .expect("logical select");
-        assert!(logical.tuples().iter().all(|t| t.get(0) == &webbase_relational::Value::str("ford")));
+        assert!(logical
+            .tuples()
+            .iter()
+            .all(|t| t.get(0) == &webbase_relational::Value::str("ford")));
         // VPS relation: one site.
         let vps = wb
             .select("newsday", "SELECT make, model, price WHERE make=ford AND model=escort")
             .expect("vps select");
         assert!(vps.len() <= logical.len());
         // Unknown relation reports cleanly.
-        assert!(matches!(
-            wb.select("nope", "SELECT a"),
-            Err(WebbaseError::Select(_))
-        ));
+        assert!(matches!(wb.select("nope", "SELECT a"), Err(WebbaseError::Select(_))));
         // Parse errors report cleanly.
-        assert!(matches!(
-            wb.select("newsday", "SELEKT a"),
-            Err(WebbaseError::Select(_))
-        ));
+        assert!(matches!(wb.select("newsday", "SELEKT a"), Err(WebbaseError::Select(_))));
     }
 
     #[test]

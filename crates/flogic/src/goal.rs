@@ -142,9 +142,7 @@ impl Goal {
                 o.var_ceiling().max(v.var_ceiling())
             }
             Goal::DeleteScalar(o, _) => o.var_ceiling(),
-            Goal::Seq(gs) | Goal::Choice(gs) => {
-                gs.iter().map(Goal::var_ceiling).max().unwrap_or(0)
-            }
+            Goal::Seq(gs) | Goal::Choice(gs) => gs.iter().map(Goal::var_ceiling).max().unwrap_or(0),
             Goal::Naf(g) => g.var_ceiling(),
             Goal::Cmp(_, a, b) => a.var_ceiling().max(b.var_ceiling()),
             Goal::True | Goal::Fail => 0,

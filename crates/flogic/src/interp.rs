@@ -392,11 +392,9 @@ impl<'p, O: Oracle> Machine<'p, O> {
     ) -> SolveResult {
         match goals.split_first() {
             None => k(self, bnd, next_var),
-            Some((first, rest)) => {
-                self.solve(first, bnd, next_var, depth + 1, &mut |m, b, nv| {
-                    m.solve_seq(rest, b, nv, depth, k)
-                })
-            }
+            Some((first, rest)) => self.solve(first, bnd, next_var, depth + 1, &mut |m, b, nv| {
+                m.solve_seq(rest, b, nv, depth, k)
+            }),
         }
     }
 
@@ -419,8 +417,7 @@ impl<'p, O: Oracle> Machine<'p, O> {
             for rule in &rules {
                 let bm = bnd.mark();
                 let sm = self.store.mark();
-                let fresh_head: Vec<Term> =
-                    args.iter().map(|a| a.clone()).collect();
+                let fresh_head: Vec<Term> = args.to_vec();
                 let offset = next_var;
                 let rule_ceiling = rule.var_ceiling();
                 let renamed_args: Vec<Term> =
@@ -434,8 +431,7 @@ impl<'p, O: Oracle> Machine<'p, O> {
                 }
                 if ok {
                     let body = rule.body.offset_vars(offset);
-                    let flow =
-                        self.solve(&body, bnd, offset + rule_ceiling, depth + 1, k)?;
+                    let flow = self.solve(&body, bnd, offset + rule_ceiling, depth + 1, k)?;
                     if flow == Flow::Stop {
                         return Ok(Flow::Stop);
                     }
@@ -448,9 +444,7 @@ impl<'p, O: Oracle> Machine<'p, O> {
         // Not a program predicate: ask the oracle.
         let resolved: Vec<Term> = args.iter().map(|a| bnd.resolve(a)).collect();
         match self.oracle.call(pred, &resolved, &mut self.store, bnd) {
-            OracleOutcome::NotMine => {
-                Err(EngineError::UnknownPredicate(pred.name(), arity))
-            }
+            OracleOutcome::NotMine => Err(EngineError::UnknownPredicate(pred.name(), arity)),
             OracleOutcome::Fail => Ok(Flow::Continue),
             OracleOutcome::Solutions(sols) => {
                 for sol in sols {
@@ -509,20 +503,15 @@ fn compare(op: CmpOp, a: &Term, b: &Term) -> Result<bool, EngineError> {
         (Term::Float(x), Term::Float(y)) => {
             x.partial_cmp(y).ok_or_else(|| EngineError::BadComparison("NaN".into()))?
         }
-        (Term::Int(x), Term::Float(y)) => (*x as f64)
-            .partial_cmp(y)
-            .ok_or_else(|| EngineError::BadComparison("NaN".into()))?,
-        (Term::Float(x), Term::Int(y)) => x
-            .partial_cmp(&(*y as f64))
-            .ok_or_else(|| EngineError::BadComparison("NaN".into()))?,
+        (Term::Int(x), Term::Float(y)) => {
+            (*x as f64).partial_cmp(y).ok_or_else(|| EngineError::BadComparison("NaN".into()))?
+        }
+        (Term::Float(x), Term::Int(y)) => {
+            x.partial_cmp(&(*y as f64)).ok_or_else(|| EngineError::BadComparison("NaN".into()))?
+        }
         (Term::Str(x), Term::Str(y)) => x.cmp(y),
         (Term::Atom(x), Term::Atom(y)) => x.name().cmp(&y.name()),
-        _ => {
-            return Err(EngineError::BadComparison(format!(
-                "{a:?} {} {b:?}",
-                op.symbol()
-            )))
-        }
+        _ => return Err(EngineError::BadComparison(format!("{a:?} {} {b:?}", op.symbol()))),
     };
     Ok(match op {
         CmpOp::Lt => ord == Ordering::Less,
@@ -589,9 +578,7 @@ mod tests {
     fn serial_update_then_query() {
         let p = Program::new();
         let mut m = machine(&p);
-        let sols = m
-            .solve_str("ins(car1[price -> 500]), car1[price -> P]")
-            .expect("solves");
+        let sols = m.solve_str("ins(car1[price -> 500]), car1[price -> P]").expect("solves");
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0]["P"], Term::Int(500));
     }
@@ -601,9 +588,7 @@ mod tests {
         let p = Program::new();
         let mut m = machine(&p);
         // First alternative inserts then fails; second must not see the insert.
-        let sols = m
-            .solve_str("( (ins(o[a -> 1]), fail) ; true ), o[a -> V]")
-            .expect("solves");
+        let sols = m.solve_str("( (ins(o[a -> 1]), fail) ; true ), o[a -> V]").expect("solves");
         assert!(sols.is_empty(), "insert from failed branch leaked");
     }
 
@@ -612,10 +597,7 @@ mod tests {
         let p = parse_program("t :- ins(o[a -> 1]).").expect("parses");
         let mut m = machine(&p);
         assert!(m.run(&parse_goal("t").expect("goal").0).expect("runs"));
-        assert_eq!(
-            m.store.get_scalar(&Term::atom("o"), Sym::new("a")),
-            Some(&Term::Int(1))
-        );
+        assert_eq!(m.store.get_scalar(&Term::atom("o"), Sym::new("a")), Some(&Term::Int(1)));
     }
 
     #[test]
@@ -658,10 +640,7 @@ mod tests {
     fn unknown_predicate_is_error() {
         let p = Program::new();
         let mut m = machine(&p);
-        assert!(matches!(
-            m.solve_str("nosuch(1)"),
-            Err(EngineError::UnknownPredicate(_, 1))
-        ));
+        assert!(matches!(m.solve_str("nosuch(1)"), Err(EngineError::UnknownPredicate(_, 1))));
     }
 
     #[test]
@@ -704,10 +683,7 @@ mod tests {
         let mut oracle = TableOracle::new();
         oracle.define(
             "fetch",
-            vec![
-                vec![Term::atom("u1"), Term::Int(1)],
-                vec![Term::atom("u2"), Term::Int(2)],
-            ],
+            vec![vec![Term::atom("u1"), Term::Int(1)], vec![Term::atom("u2"), Term::Int(2)]],
         );
         let mut m = Machine::with_oracle(&p, ObjectStore::new(), oracle);
         let sols = m.solve_str("q(A, B)").expect("solves");
@@ -735,9 +711,8 @@ mod tests {
         let p = Program::new();
         let mut m = machine(&p);
         // The right conjunct must see the left's update (path semantics).
-        let sols = m
-            .solve_str("ins(s[v -> 1]), s[v -> X], ins(s[v -> 2]), s[v -> Y]")
-            .expect("solves");
+        let sols =
+            m.solve_str("ins(s[v -> 1]), s[v -> X], ins(s[v -> 2]), s[v -> Y]").expect("solves");
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0]["X"], Term::Int(1));
         assert_eq!(sols[0]["Y"], Term::Int(2));
@@ -747,9 +722,8 @@ mod tests {
     fn delete_goal() {
         let p = Program::new();
         let mut m = machine(&p);
-        let sols = m
-            .solve_str("ins(o[xs ->> 1]), del(o[xs ->> 1]), not(o[xs ->> 1])")
-            .expect("solves");
+        let sols =
+            m.solve_str("ins(o[xs ->> 1]), del(o[xs ->> 1]), not(o[xs ->> 1])").expect("solves");
         assert_eq!(sols.len(), 1);
     }
 
@@ -777,8 +751,7 @@ mod tests {
     fn deep_but_bounded_recursion_ok() {
         // ~100 nested calls — the depth of a long "More"-button iteration —
         // must succeed within the default limits.
-        let p = parse_program("count(0). count(N) :- N > 0, dec(N, M), count(M).")
-            .expect("parses");
+        let p = parse_program("count(0). count(N) :- N > 0, dec(N, M), count(M).").expect("parses");
         let mut m = Machine::with_oracle(&p, ObjectStore::new(), Dec);
         let sols = m.solve_str("count(100)").expect("solves");
         assert_eq!(sols.len(), 1);
@@ -786,8 +759,7 @@ mod tests {
 
     #[test]
     fn over_deep_recursion_reports_depth_error() {
-        let p = parse_program("count(0). count(N) :- N > 0, dec(N, M), count(M).")
-            .expect("parses");
+        let p = parse_program("count(0). count(N) :- N > 0, dec(N, M), count(M).").expect("parses");
         let mut m = Machine::with_oracle(&p, ObjectStore::new(), Dec);
         assert_eq!(m.solve_str("count(100000)"), Err(EngineError::DepthExceeded));
     }

@@ -244,10 +244,7 @@ impl<'a> Parser<'a> {
         let mut hops: Vec<Goal> = Vec::new();
         let mut subject = t;
         while self.peek() == b'.'
-            && self
-                .bytes
-                .get(self.pos + 1)
-                .is_some_and(|b| b.is_ascii_lowercase())
+            && self.bytes.get(self.pos + 1).is_some_and(|b| b.is_ascii_lowercase())
         {
             self.pos += 1;
             let attr = self.raw_ident()?;
@@ -442,10 +439,7 @@ impl<'a> Parser<'a> {
                     return Ok(Term::Var(v));
                 }
                 let next = self.next_var;
-                let entry = self.vars.entry(name).or_insert_with(|| {
-                    let v = Var(next);
-                    v
-                });
+                let entry = self.vars.entry(name).or_insert_with(|| Var(next));
                 if entry.0 == next {
                     self.next_var += 1;
                 }
@@ -579,8 +573,9 @@ mod tests {
 
     #[test]
     fn updates() {
-        let (g, _) = parse_goal("ins(o : page), ins(o[a -> 1]), ins(o[xs ->> 2]), del(o[xs ->> 2])")
-            .expect("parses");
+        let (g, _) =
+            parse_goal("ins(o : page), ins(o[a -> 1]), ins(o[xs ->> 2]), del(o[xs ->> 2])")
+                .expect("parses");
         match g {
             Goal::Seq(gs) => {
                 assert!(matches!(gs[0], Goal::InsertIsA(..)));
@@ -645,7 +640,10 @@ mod tests {
         let t = parse_term("page(url(\"/x\"), 1)").expect("parses");
         assert_eq!(
             t,
-            Term::compound("page", vec![Term::compound("url", vec![Term::str("/x")]), Term::Int(1)])
+            Term::compound(
+                "page",
+                vec![Term::compound("url", vec![Term::str("/x")]), Term::Int(1)]
+            )
         );
     }
 

@@ -81,11 +81,11 @@ pub fn goal(g: &Goal) -> String {
         Goal::DeleteSet(o, a, v) => format!("del({}[{} ->> {}])", term(o), a.name(), term(v)),
         Goal::DeleteScalar(o, a) => format!("del({}[{} -> _])", term(o), a.name()),
         Goal::Seq(gs) => {
-            let parts: Vec<String> = gs.iter().map(|g| seq_operand(g)).collect();
+            let parts: Vec<String> = gs.iter().map(seq_operand).collect();
             parts.join(", ")
         }
         Goal::Choice(gs) => {
-            let parts: Vec<String> = gs.iter().map(|g| choice_operand(g)).collect();
+            let parts: Vec<String> = gs.iter().map(choice_operand).collect();
             format!("({})", parts.join(" ; "))
         }
         Goal::Naf(g) => format!("not({})", goal(g)),
@@ -158,7 +158,8 @@ mod tests {
         for s in samples {
             let (g, _) = parse_goal(s).expect("parses");
             let printed = goal(&g);
-            let (g2, _) = parse_goal(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+            let (g2, _) =
+                parse_goal(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
             assert_eq!(g, g2, "roundtrip failed for {s}");
         }
     }

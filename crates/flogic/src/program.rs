@@ -24,12 +24,7 @@ impl Rule {
 
     /// Highest variable index + 1 used in the rule.
     pub fn var_ceiling(&self) -> u32 {
-        self.head_args
-            .iter()
-            .map(Term::var_ceiling)
-            .max()
-            .unwrap_or(0)
-            .max(self.body.var_ceiling())
+        self.head_args.iter().map(Term::var_ceiling).max().unwrap_or(0).max(self.body.var_ceiling())
     }
 }
 
@@ -127,11 +122,7 @@ mod tests {
 
     #[test]
     fn rule_var_ceiling() {
-        let r = Rule::new(
-            "p",
-            vec![Term::Var(Var(1))],
-            Goal::atom("q", vec![Term::Var(Var(4))]),
-        );
+        let r = Rule::new("p", vec![Term::Var(Var(1))], Goal::atom("q", vec![Term::Var(Var(4))]));
         assert_eq!(r.var_ceiling(), 5);
     }
 

@@ -94,11 +94,8 @@ impl ClassDecl {
                 SigArrow::Scalar => "=>",
                 SigArrow::SetValued => "=>>",
             };
-            let _ = writeln!(
-                out,
-                "{}[{} {} {}].   % {}",
-                self.name, e.attr, arrow, e.ty, e.comment
-            );
+            let _ =
+                writeln!(out, "{}[{} {} {}].   % {}", self.name, e.attr, arrow, e.ty, e.comment);
         }
         out
     }
@@ -107,8 +104,11 @@ impl ClassDecl {
 /// The common WWW data structures of Figure 3, verbatim in structure.
 pub fn figure3_classes() -> Vec<ClassDecl> {
     vec![
-        ClassDecl::new("browser", "Current URL of browsing process PID")
-            .scalar("currentUrl", "url", "pid ~> url"),
+        ClassDecl::new("browser", "Current URL of browsing process PID").scalar(
+            "currentUrl",
+            "url",
+            "pid ~> url",
+        ),
         ClassDecl::new("action", "Declaration of Class Action")
             .scalar("object", "flink_formg", "Action can apply to a form or a link")
             .scalar("source", "web_page", "Page where the action belongs")
@@ -161,9 +161,16 @@ mod tests {
     #[test]
     fn figure3_has_all_classes() {
         let names: Vec<String> = figure3_classes().into_iter().map(|c| c.name).collect();
-        for expected in
-            ["action", "form_submit", "link_follow", "web_page", "data_page", "link", "form", "attrValPair"]
-        {
+        for expected in [
+            "action",
+            "form_submit",
+            "link_follow",
+            "web_page",
+            "data_page",
+            "link",
+            "form",
+            "attrValPair",
+        ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
     }

@@ -175,11 +175,7 @@ impl ObjectStore {
 
     /// All members of class `c` (directly or via subclasses).
     pub fn members(&self, c: Sym) -> Vec<Term> {
-        self.isa
-            .iter()
-            .filter(|(_, d)| self.is_subclass(*d, c))
-            .map(|(o, _)| o.clone())
-            .collect()
+        self.isa.iter().filter(|(_, d)| self.is_subclass(*d, c)).map(|(o, _)| o.clone()).collect()
     }
 
     /// All direct class memberships `(object, class)`.

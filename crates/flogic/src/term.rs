@@ -128,10 +128,8 @@ impl Term {
     /// order, into `out` (duplicates skipped).
     pub fn collect_vars(&self, out: &mut Vec<Var>) {
         match self {
-            Term::Var(v) => {
-                if !out.contains(v) {
-                    out.push(*v);
-                }
+            Term::Var(v) if !out.contains(v) => {
+                out.push(*v);
             }
             Term::Compound(_, args) => {
                 for a in args {
@@ -187,10 +185,7 @@ mod tests {
 
     #[test]
     fn collect_vars_dedups_in_order() {
-        let t = Term::compound(
-            "f",
-            vec![Term::Var(Var(3)), Term::Var(Var(1)), Term::Var(Var(3))],
-        );
+        let t = Term::compound("f", vec![Term::Var(Var(3)), Term::Var(Var(1)), Term::Var(Var(3))]);
         let mut vs = Vec::new();
         t.collect_vars(&mut vs);
         assert_eq!(vs, vec![Var(3), Var(1)]);

@@ -113,7 +113,9 @@ impl Bindings {
             (Term::Float(x), Term::Float(y)) => x == y,
             (Term::Str(x), Term::Str(y)) => x == y,
             (Term::Compound(f, xs), Term::Compound(g, ys)) => {
-                f == g && xs.len() == ys.len() && xs.iter().zip(&ys).all(|(x, y)| self.unify_inner(x, y))
+                f == g
+                    && xs.len() == ys.len()
+                    && xs.iter().zip(&ys).all(|(x, y)| self.unify_inner(x, y))
             }
             _ => false,
         }

@@ -118,34 +118,32 @@ fn diff_fields(old: &Form, new: &Form, out: &mut Vec<PageChange>) {
                 form: old.action.clone(),
                 field: of.name.clone(),
             }),
-            Some(nf) => {
-                match (&of.kind, &nf.kind) {
-                    (WidgetKind::Select { options: oo }, WidgetKind::Select { options: no })
-                    | (WidgetKind::Radio { options: oo }, WidgetKind::Radio { options: no }) => {
-                        for opt in no.iter().filter(|o| !oo.contains(o)) {
-                            out.push(PageChange::OptionAdded {
-                                form: old.action.clone(),
-                                field: of.name.clone(),
-                                option: opt.clone(),
-                            });
-                        }
-                        for opt in oo.iter().filter(|o| !no.contains(o)) {
-                            out.push(PageChange::OptionRemoved {
-                                form: old.action.clone(),
-                                field: of.name.clone(),
-                                option: opt.clone(),
-                            });
-                        }
-                    }
-                    (o, n) if std::mem::discriminant(o) != std::mem::discriminant(n) => {
-                        out.push(PageChange::WidgetKindChanged {
+            Some(nf) => match (&of.kind, &nf.kind) {
+                (WidgetKind::Select { options: oo }, WidgetKind::Select { options: no })
+                | (WidgetKind::Radio { options: oo }, WidgetKind::Radio { options: no }) => {
+                    for opt in no.iter().filter(|o| !oo.contains(o)) {
+                        out.push(PageChange::OptionAdded {
                             form: old.action.clone(),
                             field: of.name.clone(),
+                            option: opt.clone(),
                         });
                     }
-                    _ => {}
+                    for opt in oo.iter().filter(|o| !no.contains(o)) {
+                        out.push(PageChange::OptionRemoved {
+                            form: old.action.clone(),
+                            field: of.name.clone(),
+                            option: opt.clone(),
+                        });
+                    }
                 }
-            }
+                (o, n) if std::mem::discriminant(o) != std::mem::discriminant(n) => {
+                    out.push(PageChange::WidgetKindChanged {
+                        form: old.action.clone(),
+                        field: of.name.clone(),
+                    });
+                }
+                _ => {}
+            },
         }
     }
     for nf in new.data_fields() {
@@ -173,9 +171,8 @@ mod tests {
     #[test]
     fn new_option_is_auto_applicable() {
         let old = parse("<form action='/q'><select name=y><option>1998</select></form>");
-        let new = parse(
-            "<form action='/q'><select name=y><option>1998<option>1999</select></form>",
-        );
+        let new =
+            parse("<form action='/q'><select name=y><option>1998<option>1999</select></form>");
         let ch = diff_pages(&old, &new);
         assert_eq!(
             ch,
@@ -235,9 +232,7 @@ mod tests {
     #[test]
     fn widget_kind_change_flagged() {
         let old = parse("<form action='/q'><input type=text name=make></form>");
-        let new = parse(
-            "<form action='/q'><select name=make><option>ford</select></form>",
-        );
+        let new = parse("<form action='/q'><select name=make><option>ford</select></form>");
         let ch = diff_pages(&old, &new);
         assert_eq!(
             ch,

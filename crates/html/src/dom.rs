@@ -106,8 +106,7 @@ impl Document {
 
     /// All elements (document order) whose tag equals `tag`.
     pub fn elements_by_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = NodeId> + 'a {
-        self.descendants(NodeId::ROOT)
-            .filter(move |&id| self.tag(id).is_some_and(|t| t == tag))
+        self.descendants(NodeId::ROOT).filter(move |&id| self.tag(id).is_some_and(|t| t == tag))
     }
 
     /// First element with the given tag, if any.
@@ -210,8 +209,19 @@ pub fn normalize_ws(s: &str) -> String {
 pub fn is_void(tag: &str) -> bool {
     matches!(
         tag,
-        "br" | "hr" | "img" | "input" | "meta" | "link" | "base" | "area" | "col" | "embed"
-            | "param" | "source" | "track" | "wbr"
+        "br" | "hr"
+            | "img"
+            | "input"
+            | "meta"
+            | "link"
+            | "base"
+            | "area"
+            | "col"
+            | "embed"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -290,7 +300,10 @@ mod tests {
         let mut doc = Document::new();
         let a = doc.append(
             NodeId::ROOT,
-            NodeKind::Element { tag: "a".into(), attrs: vec![("href".into(), "/x?a=1&b=2".into())] },
+            NodeKind::Element {
+                tag: "a".into(),
+                attrs: vec![("href".into(), "/x?a=1&b=2".into())],
+            },
         );
         doc.append(a, NodeKind::Text("x < y".into()));
         assert_eq!(doc.to_html(), "<a href=\"/x?a=1&amp;b=2\">x &lt; y</a>");

@@ -128,11 +128,7 @@ pub fn links(doc: &Document) -> Vec<Link> {
             .iter()
             .find(|t| doc.ancestor_by_tag(id, t).is_some())
             .map(|t| t.to_string());
-        out.push(Link {
-            text: doc.text_content(id),
-            href: href.to_string(),
-            environment: env,
-        });
+        out.push(Link { text: doc.text_content(id), href: href.to_string(), environment: env });
     }
     out
 }
@@ -166,10 +162,9 @@ fn extract_form(doc: &Document, form_id: NodeId) -> Form {
                     match ty.as_str() {
                         "radio" => {
                             let v = value.clone().unwrap_or_default();
-                            if let Some(existing) = fields
-                                .iter_mut()
-                                .find(|f| f.name == name && matches!(f.kind, WidgetKind::Radio { .. }))
-                            {
+                            if let Some(existing) = fields.iter_mut().find(|f| {
+                                f.name == name && matches!(f.kind, WidgetKind::Radio { .. })
+                            }) {
                                 if let WidgetKind::Radio { options } = &mut existing.kind {
                                     options.push(v);
                                 }
@@ -177,8 +172,7 @@ fn extract_form(doc: &Document, form_id: NodeId) -> Form {
                                     existing.default = value;
                                 }
                             } else if !name.is_empty() {
-                                let default =
-                                    doc.attr(id, "checked").is_some().then(|| v.clone());
+                                let default = doc.attr(id, "checked").is_some().then(|| v.clone());
                                 fields.push(Field {
                                     name,
                                     kind: WidgetKind::Radio { options: vec![v] },
@@ -414,9 +408,7 @@ mod tests {
 
     #[test]
     fn nested_table_rows_not_mixed() {
-        let doc = parse(
-            "<table><tr><td>outer<table><tr><td>inner</table></td></tr></table>",
-        );
+        let doc = parse("<table><tr><td>outer<table><tr><td>inner</table></td></tr></table>");
         let ts = tables(&doc);
         assert_eq!(ts.len(), 2);
         assert_eq!(ts[0].rows.len(), 1);
@@ -433,18 +425,16 @@ mod tests {
 
     #[test]
     fn label_element_recognised() {
-        let doc = parse(
-            "<form action='/q'><label>Zip code:</label><input type=text name=zip></form>",
-        );
+        let doc =
+            parse("<form action='/q'><label>Zip code:</label><input type=text name=zip></form>");
         let f = &forms(&doc)[0];
         assert_eq!(f.fields[0].label.as_deref(), Some("Zip code"));
     }
 
     #[test]
     fn data_fields_excludes_submit() {
-        let doc = parse(
-            "<form action='/q'><input type=text name=a><input type=submit value=Go></form>",
-        );
+        let doc =
+            parse("<form action='/q'><input type=text name=a><input type=submit value=Go></form>");
         let f = &forms(&doc)[0];
         assert_eq!(f.data_fields().count(), 1);
     }

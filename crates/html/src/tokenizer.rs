@@ -132,7 +132,9 @@ impl<'a> Tokenizer<'a> {
     fn consume_end_tag(&mut self) -> bool {
         let name_start = self.pos + 2;
         let mut i = name_start;
-        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-') {
+        while i < self.bytes.len()
+            && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
+        {
             i += 1;
         }
         if i == name_start {
@@ -152,7 +154,9 @@ impl<'a> Tokenizer<'a> {
     fn consume_start_tag(&mut self) -> bool {
         let name_start = self.pos + 1;
         let mut i = name_start;
-        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-') {
+        while i < self.bytes.len()
+            && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
+        {
             i += 1;
         }
         let name = self.input[name_start..i].to_ascii_lowercase();
@@ -213,7 +217,10 @@ impl<'a> Tokenizer<'a> {
                 if text_end > self.pos {
                     self.tokens.push(Token::Text(self.input[self.pos..text_end].to_string()));
                 }
-                let after = self.input[text_end..].find('>').map(|p| text_end + p + 1).unwrap_or(self.bytes.len());
+                let after = self.input[text_end..]
+                    .find('>')
+                    .map(|p| text_end + p + 1)
+                    .unwrap_or(self.bytes.len());
                 self.tokens.push(Token::EndTag { name: name.to_string() });
                 self.pos = after;
             }
@@ -318,8 +325,12 @@ mod tests {
     #[test]
     fn self_closing() {
         let toks = tokenize("<br/><img src=x />");
-        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br"));
-        assert!(matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img"));
+        assert!(
+            matches!(&toks[0], Token::StartTag { name, self_closing: true, .. } if name == "br")
+        );
+        assert!(
+            matches!(&toks[1], Token::StartTag { name, self_closing: true, .. } if name == "img")
+        );
     }
 
     #[test]

@@ -63,12 +63,7 @@ impl RelationProvider for LogicalLayer {
 
     fn bindings(&self, name: &str) -> Option<BindingSet> {
         let def = &self.relation(name)?.def;
-        Some(propagate(
-            def,
-            &|n| self.vps.bindings(n),
-            &|n| self.vps.schema(n),
-            self.relaxed_union,
-        ))
+        Some(propagate(def, &|n| self.vps.bindings(n), &|n| self.vps.schema(n), self.relaxed_union))
     }
 
     fn fetch(&mut self, name: &str, spec: &AccessSpec) -> Result<Relation, EvalError> {
@@ -131,9 +126,8 @@ mod tests {
         // Tuples from three sites arrive in one relation, and nothing in
         // the result says where each came from.
         let (mut layer, data) = layer();
-        let rel = layer
-            .fetch("classifieds", &AccessSpec::new().with("make", "ford"))
-            .expect("fetches");
+        let rel =
+            layer.fetch("classifieds", &AccessSpec::new().with("make", "ford")).expect("fetches");
         let mut expected: usize = 0;
         expected += data.matching(SiteSlice::Newsday, Some("ford"), None).len();
         expected += data.matching(SiteSlice::NyTimes, Some("ford"), None).len();
@@ -169,10 +163,7 @@ mod tests {
     fn reliability_and_interest() {
         let (mut layer, _) = layer();
         let rel = layer
-            .fetch(
-                "reliability",
-                &AccessSpec::new().with("make", "jaguar").with("model", "xj6"),
-            )
+            .fetch("reliability", &AccessSpec::new().with("make", "jaguar").with("model", "xj6"))
             .expect("fetches");
         assert_eq!(rel.len(), 12); // years 1988..=1999
         let rate = layer
@@ -193,10 +184,7 @@ mod tests {
         let (mut layer, _) = layer();
         let e = Expr::relation("classifieds")
             .join(Expr::relation("reliability"))
-            .select(Pred::and(vec![
-                Pred::eq("make", "jaguar"),
-                Pred::eq("model", "xj6"),
-            ]))
+            .select(Pred::and(vec![Pred::eq("make", "jaguar"), Pred::eq("model", "xj6")]))
             .project(["make", "model", "year", "price", "safety"]);
         let rel = Evaluator::new(&mut layer).eval(&e, &AccessSpec::new()).expect("evals");
         // every ad row gained a safety rating

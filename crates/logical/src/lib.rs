@@ -28,3 +28,6 @@ pub use webbase_relational::standardize;
 pub use layer::LogicalLayer;
 pub use schema::{paper_schema, LogicalRelation};
 pub use webbase_relational::standardize::Standardizer;
+// Re-exported so the external-schema layer can surface per-site
+// degradation without depending on the navigation crate.
+pub use webbase_vps::{DegradationReport, FetchPolicy, SiteDegradation};

@@ -53,14 +53,19 @@ pub fn paper_schema() -> Vec<LogicalRelation> {
         .project(ad_attrs)
         .union(Expr::relation("autoConnect").project(ad_attrs))
         .union(Expr::relation("yahooCars").project(ad_attrs));
-    let blue_price = Expr::relation("kellys")
-        .project(["make", "model", "year", "condition", "pricetype", "bbprice"]);
-    let reliability =
-        Expr::relation("carAndDriver").project(["make", "model", "year", "safety"]);
+    let blue_price = Expr::relation("kellys").project([
+        "make",
+        "model",
+        "year",
+        "condition",
+        "pricetype",
+        "bbprice",
+    ]);
+    let reliability = Expr::relation("carAndDriver").project(["make", "model", "year", "safety"]);
     let interest = Expr::relation("carFinance")
         .project(["make", "model", "year", "zip", "duration", "plan", "rate"]);
-    let insurance = Expr::relation("carInsurance")
-        .project(["make", "model", "year", "coverage", "cost"]);
+    let insurance =
+        Expr::relation("carInsurance").project(["make", "model", "year", "coverage", "cost"]);
     vec![
         LogicalRelation::new("classifieds", classifieds),
         LogicalRelation::new("dealers", dealers),

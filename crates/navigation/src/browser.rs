@@ -11,6 +11,7 @@
 //! touching the (simulated) network — the paper relies on the same
 //! idempotence when it re-runs navigation expressions.
 
+use crate::resilience::{CircuitState, DegradationReport, FetchPolicy, HostHealth};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -53,11 +54,8 @@ impl LoadedPage {
                 parts.push(format!("table:{}", t.header.join("/")));
             }
         }
-        let mut dt_labels: Vec<String> = self
-            .doc
-            .elements_by_tag("dt")
-            .map(|id| self.doc.text_content(id))
-            .collect();
+        let mut dt_labels: Vec<String> =
+            self.doc.elements_by_tag("dt").map(|id| self.doc.text_content(id)).collect();
         dt_labels.sort();
         dt_labels.dedup();
         if !dt_labels.is_empty() {
@@ -102,9 +100,37 @@ pub enum BrowseError {
     NoCurrentPage,
     NoSuchLink(String),
     NoSuchForm(String),
-    HttpError { url: String, status: u16 },
+    HttpError {
+        url: String,
+        status: u16,
+    },
     /// A value was supplied for a select/radio field outside its domain.
-    ValueOutsideDomain { field: String, value: String },
+    ValueOutsideDomain {
+        field: String,
+        value: String,
+    },
+    /// The response's simulated latency exceeded the policy timeout.
+    Timeout {
+        url: String,
+        after: Duration,
+    },
+    /// The site's circuit breaker is open; the request failed fast
+    /// without touching the (simulated) network.
+    CircuitOpen {
+        host: String,
+    },
+}
+
+impl BrowseError {
+    /// Is this a server-side degradation (as opposed to a navigation
+    /// mistake like a missing link or an out-of-domain value)?
+    pub fn is_degradation(&self) -> bool {
+        match self {
+            BrowseError::HttpError { status, .. } => *status >= 500,
+            BrowseError::Timeout { .. } | BrowseError::CircuitOpen { .. } => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for BrowseError {
@@ -117,37 +143,63 @@ impl fmt::Display for BrowseError {
             BrowseError::ValueOutsideDomain { field, value } => {
                 write!(f, "value {value:?} outside the domain of field {field:?}")
             }
+            BrowseError::Timeout { url, after } => {
+                write!(f, "timed out after {after:?} (simulated) fetching {url}")
+            }
+            BrowseError::CircuitOpen { host } => {
+                write!(f, "circuit open for {host}: failing fast")
+            }
         }
     }
 }
 
 impl std::error::Error for BrowseError {}
 
-/// A browsing session: current page + fetch cache + statistics.
+/// A browsing session: current page + fetch cache + statistics +
+/// resilience state (retry policy, per-host circuit breakers,
+/// degradation accounting).
 pub struct Browser {
     web: SyntheticWeb,
     current: Option<Rc<LoadedPage>>,
     cache: HashMap<Request, Rc<LoadedPage>>,
-    /// Pages fetched from the network (cache misses).
+    /// Network attempts (cache misses; retries count).
     pub fetches: u32,
     /// Cache hits.
     pub cache_hits: u32,
-    /// Simulated network time accumulated over misses.
+    /// Retried attempts.
+    pub retries: u32,
+    /// Simulated network time accumulated over misses (responses,
+    /// timeout waits, and retry backoff — charged, never slept).
     pub simulated_network: Duration,
     /// Whether to use the cache (ablation benchmarks disable it).
     pub caching: bool,
+    /// The retry/timeout/breaker policy applied to every request.
+    pub policy: FetchPolicy,
+    health: HashMap<String, HostHealth>,
+    degradation: DegradationReport,
 }
 
 impl Browser {
     pub fn new(web: SyntheticWeb) -> Browser {
+        Browser::with_policy(web, FetchPolicy::default_policy())
+    }
+
+    /// A browser with an explicit fetch policy (maintenance uses
+    /// [`FetchPolicy::no_retry`] so flaky responses surface on the
+    /// first attempt).
+    pub fn with_policy(web: SyntheticWeb, policy: FetchPolicy) -> Browser {
         Browser {
             web,
             current: None,
             cache: HashMap::new(),
             fetches: 0,
             cache_hits: 0,
+            retries: 0,
             simulated_network: Duration::ZERO,
             caching: true,
+            policy,
+            health: HashMap::new(),
+            degradation: DegradationReport::default(),
         }
     }
 
@@ -155,6 +207,27 @@ impl Browser {
         let mut b = Browser::new(web);
         b.caching = false;
         b
+    }
+
+    /// What every site endured in this session, with the breaker's
+    /// current state folded in.
+    pub fn degradation(&self) -> DegradationReport {
+        let mut report = self.degradation.clone();
+        for (host, h) in &self.health {
+            report.site_mut(host).breaker_open = h.state == CircuitState::Open;
+        }
+        report
+    }
+
+    /// The breaker state for `host`.
+    pub fn circuit_state(&self, host: &str) -> CircuitState {
+        self.health.get(host).map(|h| h.state).unwrap_or_default()
+    }
+
+    /// Record that the executor abandoned a navigation branch because a
+    /// fetch on `host` failed.
+    pub fn note_abandoned_branch(&mut self, host: &str) {
+        self.degradation.site_mut(host).branches_abandoned += 1;
     }
 
     pub fn current(&self) -> Option<&Rc<LoadedPage>> {
@@ -179,17 +252,82 @@ impl Browser {
                 return Ok(page.clone());
             }
         }
-        let (resp, latency) = self.web.fetch(&req);
-        self.fetches += 1;
-        self.simulated_network += latency;
-        if !resp.is_ok() {
-            return Err(BrowseError::HttpError { url: req.url.to_string(), status: resp.status });
+        let host = req.url.host.clone();
+
+        // Circuit-breaker gate: an open circuit fails fast (no network
+        // charge) until the cooldown moves it to half-open.
+        if self.policy.breaker_enabled() {
+            let health = self.health.entry(host.clone()).or_default();
+            if health.state == CircuitState::Open {
+                health.record_skip(&self.policy);
+                self.degradation.site_mut(&host).fast_failures += 1;
+                return Err(BrowseError::CircuitOpen { host });
+            }
         }
-        let page = Rc::new(LoadedPage::from_response(req.url.clone(), &resp));
-        if self.caching {
-            self.cache.insert(req, page.clone());
+        // A half-open circuit lets exactly one probe through, unretried.
+        let probing = self.circuit_state(&host) == CircuitState::HalfOpen;
+        let max_retries = if probing { 0 } else { self.policy.max_retries };
+
+        let mut retry = 0;
+        loop {
+            let (resp, latency) = self.web.fetch(&req);
+            self.fetches += 1;
+            self.degradation.site_mut(&host).requests += 1;
+
+            // Classify the attempt. The simulated latency (which
+            // includes any server stall) is checked against the policy
+            // timeout: a client that hangs up at the timeout mark is
+            // charged the timeout, not the full stall.
+            let timed_out = self.policy.timeout.is_some_and(|t| latency > t);
+            let failure = if timed_out {
+                self.simulated_network += self.policy.timeout.expect("checked");
+                let d = self.degradation.site_mut(&host);
+                d.failures += 1;
+                d.timeouts += 1;
+                Some(BrowseError::Timeout {
+                    url: req.url.to_string(),
+                    after: self.policy.timeout.expect("checked"),
+                })
+            } else if resp.status >= 500 {
+                self.simulated_network += latency;
+                self.degradation.site_mut(&host).failures += 1;
+                Some(BrowseError::HttpError { url: req.url.to_string(), status: resp.status })
+            } else {
+                None
+            };
+
+            let Some(err) = failure else {
+                self.simulated_network += latency;
+                self.health.entry(host.clone()).or_default().record_success();
+                if !resp.is_ok() {
+                    // 4xx is a navigation outcome, not a site failure:
+                    // no retry, no breaker count.
+                    return Err(BrowseError::HttpError {
+                        url: req.url.to_string(),
+                        status: resp.status,
+                    });
+                }
+                let page = Rc::new(LoadedPage::from_response(req.url.clone(), &resp));
+                if self.caching {
+                    self.cache.insert(req, page.clone());
+                }
+                return Ok(page);
+            };
+
+            let tripped = self.health.entry(host.clone()).or_default().record_failure(&self.policy);
+            if tripped {
+                self.degradation.site_mut(&host).breaker_trips += 1;
+                // The breaker just opened: stop retrying this request.
+                return Err(err);
+            }
+            if retry >= max_retries {
+                return Err(err);
+            }
+            self.simulated_network += self.policy.backoff_for(retry);
+            self.retries += 1;
+            self.degradation.site_mut(&host).retries += 1;
+            retry += 1;
         }
-        Ok(page)
     }
 
     /// Load an absolute URL.
@@ -202,9 +340,8 @@ impl Browser {
     /// Follow the link with the given anchor text on the current page.
     pub fn follow_link(&mut self, text: &str) -> Result<Rc<LoadedPage>, BrowseError> {
         let current = self.current.clone().ok_or(BrowseError::NoCurrentPage)?;
-        let link = current
-            .link_by_text(text)
-            .ok_or_else(|| BrowseError::NoSuchLink(text.to_string()))?;
+        let link =
+            current.link_by_text(text).ok_or_else(|| BrowseError::NoSuchLink(text.to_string()))?;
         let target = current.url.resolve(&link.href);
         let page = self.request(Request::get(target))?;
         self.current = Some(page.clone());
@@ -316,10 +453,7 @@ mod tests {
         assert!(matches!(b.follow_link("x"), Err(BrowseError::NoCurrentPage)));
         b.goto(newsday_home()).expect("home loads");
         assert!(matches!(b.follow_link("No Such Link"), Err(BrowseError::NoSuchLink(_))));
-        assert!(matches!(
-            b.submit_form("/nope", &[]),
-            Err(BrowseError::NoSuchForm(_))
-        ));
+        assert!(matches!(b.submit_form("/nope", &[]), Err(BrowseError::NoSuchForm(_))));
     }
 
     #[test]
@@ -379,6 +513,151 @@ mod tests {
         let tables = extract::tables(&page.doc);
         assert!(!tables.is_empty(), "price page is a data page");
         assert_eq!(tables[0].rows[0][0], "ford");
+    }
+
+    /// A site that serves 500 for its first `fails` requests, then
+    /// recovers — the transient-outage shape retries exist for.
+    struct RecoveringSite {
+        fails: u64,
+        counter: std::sync::atomic::AtomicU64,
+    }
+
+    impl RecoveringSite {
+        fn new(fails: u64) -> RecoveringSite {
+            RecoveringSite { fails, counter: std::sync::atomic::AtomicU64::new(0) }
+        }
+    }
+
+    impl webbase_webworld::server::Site for RecoveringSite {
+        fn host(&self) -> &str {
+            "recover.test"
+        }
+        fn handle(&self, _req: &Request) -> Response {
+            let n = self.counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n < self.fails {
+                let mut resp = Response::ok("<html><body><h1>500</h1>".to_string());
+                resp.status = 500;
+                resp
+            } else {
+                Response::ok("<html><head><title>ok</title></head><body><p>up</p>".to_string())
+            }
+        }
+    }
+
+    fn single_site_web(site: impl webbase_webworld::server::Site + 'static) -> SyntheticWeb {
+        SyntheticWeb::builder().site(site).latency(LatencyModel::zero()).build()
+    }
+
+    #[test]
+    fn retry_recovers_transient_failure() {
+        let mut b = Browser::new(single_site_web(RecoveringSite::new(1)));
+        let page = b.goto(Url::new("recover.test", "/")).expect("retry recovers");
+        assert_eq!(page.title, "ok");
+        assert_eq!(b.fetches, 2, "one failure + one successful retry");
+        assert_eq!(b.retries, 1);
+        // Backoff was charged to the simulated clock, never slept.
+        assert!(b.simulated_network >= b.policy.backoff_for(0));
+        let report = b.degradation();
+        let site = report.sites["recover.test"];
+        assert_eq!((site.failures, site.retries), (1, 1));
+        assert!(!site.breaker_open, "recovered site closes the breaker");
+        assert_eq!(b.circuit_state("recover.test"), CircuitState::Closed);
+    }
+
+    #[test]
+    fn retries_exhausted_returns_last_error() {
+        let policy = FetchPolicy { breaker_threshold: 0, ..FetchPolicy::default_policy() };
+        let mut b = Browser::with_policy(single_site_web(RecoveringSite::new(10)), policy);
+        let err = b.goto(Url::new("recover.test", "/")).expect_err("still down");
+        assert!(matches!(err, BrowseError::HttpError { status: 500, .. }));
+        assert_eq!(b.fetches, 1 + policy.max_retries);
+    }
+
+    #[test]
+    fn timeout_charges_the_timeout_not_the_stall() {
+        use webbase_webworld::faults::StallingSite;
+        let web =
+            single_site_web(StallingSite::new(RecoveringSite::new(0), 1, Duration::from_secs(120)));
+        let policy = FetchPolicy {
+            max_retries: 0,
+            timeout: Some(Duration::from_secs(10)),
+            breaker_threshold: 0,
+            ..FetchPolicy::default_policy()
+        };
+        let mut b = Browser::with_policy(web, policy);
+        let err = b.goto(Url::new("recover.test", "/")).expect_err("stall > timeout");
+        assert!(
+            matches!(err, BrowseError::Timeout { after, .. } if after == Duration::from_secs(10))
+        );
+        // The client hung up at the timeout mark: it is charged 10s of
+        // simulated waiting, not the server's 120s stall.
+        assert_eq!(b.simulated_network, Duration::from_secs(10));
+        let report = b.degradation();
+        assert_eq!(report.sites["recover.test"].timeouts, 1);
+    }
+
+    #[test]
+    fn breaker_opens_fails_fast_and_half_open_probes() {
+        use webbase_webworld::faults::FlakySite;
+        // Permanently dead site (every request 500s).
+        let web = single_site_web(FlakySite::new(RecoveringSite::new(0), 1));
+        let mut b = Browser::new(web);
+        let url = Url::new("recover.test", "/");
+
+        // First logical request: initial attempt + retries until the
+        // threshold trips the breaker mid-loop.
+        let err = b.goto(url.clone()).expect_err("dead site");
+        assert!(matches!(err, BrowseError::HttpError { status: 500, .. }));
+        assert_eq!(b.fetches, b.policy.breaker_threshold, "trip stops the retry loop");
+        assert_eq!(b.circuit_state("recover.test"), CircuitState::Open);
+
+        // While open: fail fast, no network traffic.
+        let fetches_when_opened = b.fetches;
+        for _ in 0..b.policy.breaker_cooldown {
+            let err = b.goto(url.clone()).expect_err("open circuit");
+            assert!(matches!(err, BrowseError::CircuitOpen { .. }));
+        }
+        assert_eq!(b.fetches, fetches_when_opened, "open circuit never fetches");
+        assert_eq!(b.circuit_state("recover.test"), CircuitState::HalfOpen);
+
+        // Half-open: exactly one unretried probe goes through; it fails,
+        // so the breaker re-opens.
+        let err = b.goto(url.clone()).expect_err("probe fails");
+        assert!(matches!(err, BrowseError::HttpError { status: 500, .. }));
+        assert_eq!(b.fetches, fetches_when_opened + 1, "single probe, no retries");
+        assert_eq!(b.circuit_state("recover.test"), CircuitState::Open);
+
+        let report = b.degradation();
+        let site = report.sites["recover.test"];
+        assert_eq!(site.breaker_trips, 2);
+        assert_eq!(site.fast_failures, b.policy.breaker_cooldown as u64);
+        assert!(site.breaker_open);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_the_breaker() {
+        // Dead for exactly the attempts that trip the breaker, healthy after.
+        let policy = FetchPolicy::default_policy();
+        let web = single_site_web(RecoveringSite::new(policy.breaker_threshold as u64));
+        let mut b = Browser::with_policy(web, policy);
+        let url = Url::new("recover.test", "/");
+        b.goto(url.clone()).expect_err("trips");
+        for _ in 0..policy.breaker_cooldown {
+            b.goto(url.clone()).expect_err("open");
+        }
+        let page = b.goto(url).expect("probe succeeds, site recovered");
+        assert_eq!(page.title, "ok");
+        assert_eq!(b.circuit_state("recover.test"), CircuitState::Closed);
+        assert!(!b.degradation().sites["recover.test"].breaker_open);
+    }
+
+    #[test]
+    fn healthy_browsing_reports_clean() {
+        let mut b = Browser::new(web());
+        b.goto(newsday_home()).expect("home");
+        b.follow_link("Automobiles").expect("hub");
+        assert!(b.degradation().is_clean());
+        assert_eq!(b.retries, 0);
     }
 
     #[test]

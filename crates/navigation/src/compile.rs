@@ -62,7 +62,8 @@ pub fn compile_map(map: &NavigationMap) -> CompiledSite {
         // One spec per (relation, data node): the paper allows several
         // handles — and several data pages — per relation.
         let spec_id = spec_id_for(&reg.relation, data_node);
-        if let Some(existing) = relations.iter().find(|r: &&CompiledRelation| r.name == reg.relation)
+        if let Some(existing) =
+            relations.iter().find(|r: &&CompiledRelation| r.name == reg.relation)
         {
             assert_eq!(
                 existing.attrs, attrs,
@@ -85,8 +86,7 @@ pub fn compile_map(map: &NavigationMap) -> CompiledSite {
             spec.fields().iter().find(|f| f.source == crate::extractor::PAGE_URL_SOURCE)
         {
             if let Some(url_pos) = attrs.iter().position(|a| *a == url_field.attr) {
-                let head_args: Vec<Term> =
-                    (0..n as u32).map(|i| Term::Var(Var(i))).collect();
+                let head_args: Vec<Term> = (0..n as u32).map(|i| Term::Var(Var(i))).collect();
                 let pg = Term::Var(Var(n as u32));
                 let tuple = Term::Compound(Sym::new("t"), head_args.clone());
                 let body = Goal::seq(vec![
@@ -94,11 +94,7 @@ pub fn compile_map(map: &NavigationMap) -> CompiledSite {
                     Goal::IsA(pg.clone(), Sym::new("data_page")),
                     Goal::atom("collect", vec![pg, Term::atom(&spec_id), tuple]),
                 ]);
-                program.push(Rule {
-                    head_pred: Sym::new(&reg.relation),
-                    head_args,
-                    body,
-                });
+                program.push(Rule { head_pred: Sym::new(&reg.relation), head_args, body });
             }
         }
 
@@ -112,10 +108,7 @@ pub fn compile_map(map: &NavigationMap) -> CompiledSite {
         let head_args: Vec<Term> = (0..n as u32).map(|i| Term::Var(Var(i))).collect();
         let p0 = Term::Var(Var(n as u32));
         let body = Goal::seq(vec![
-            Goal::atom(
-                "fetch_entry",
-                vec![Term::str(map.site.clone()), p0.clone()],
-            ),
+            Goal::atom("fetch_entry", vec![Term::str(map.site.clone()), p0.clone()]),
             Goal::Atom(
                 nav_pred(&reg_key, map.entry),
                 std::iter::once(p0).chain(head_args.iter().cloned()).collect(),
@@ -131,15 +124,11 @@ pub fn compile_map(map: &NavigationMap) -> CompiledSite {
             // Extraction rule at the data node.
             if node.id == data_node {
                 let p = Term::Var(Var(0));
-                let args: Vec<Term> =
-                    (1..=n as u32).map(|i| Term::Var(Var(i))).collect();
+                let args: Vec<Term> = (1..=n as u32).map(|i| Term::Var(Var(i))).collect();
                 let tuple = Term::Compound(Sym::new("t"), args.clone());
                 let body = Goal::seq(vec![
                     Goal::IsA(p.clone(), Sym::new("data_page")),
-                    Goal::atom(
-                        "collect",
-                        vec![p.clone(), Term::atom(&spec_id), tuple],
-                    ),
+                    Goal::atom("collect", vec![p.clone(), Term::atom(&spec_id), tuple]),
                 ]);
                 program.push(Rule {
                     head_pred: nav_pred(&reg_key, node.id),
@@ -243,10 +232,7 @@ fn compile_edge_rule(
                     ));
                 }
             }
-            goals.push(Goal::atom(
-                "doit",
-                vec![a.clone(), Term::atom("params"), p2.clone()],
-            ));
+            goals.push(Goal::atom("doit", vec![a.clone(), Term::atom("params"), p2.clone()]));
             goals
         }
         ActionDescr::Submit(form) => {

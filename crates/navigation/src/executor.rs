@@ -28,6 +28,7 @@ use crate::browser::{Browser, LoadedPage};
 use crate::compile::{compile_map, CompiledRelation, CompiledSite};
 use crate::extractor::ExtractionSpec;
 use crate::map::{NavigationMap, NodeKind};
+use crate::resilience::{DegradationReport, FetchPolicy};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
@@ -64,12 +65,15 @@ pub struct NavOracle {
 
 impl NavOracle {
     pub fn new(web: SyntheticWeb, caching: bool) -> NavOracle {
-        let entries: HashMap<String, Url> = web
-            .hosts()
-            .into_iter()
-            .filter_map(|h| web.entry(&h).map(|u| (h, u)))
-            .collect();
-        let browser = if caching { Browser::new(web) } else { Browser::without_cache(web) };
+        NavOracle::with_policy(web, caching, FetchPolicy::default_policy())
+    }
+
+    /// An oracle whose browser applies an explicit [`FetchPolicy`].
+    pub fn with_policy(web: SyntheticWeb, caching: bool, policy: FetchPolicy) -> NavOracle {
+        let entries: HashMap<String, Url> =
+            web.hosts().into_iter().filter_map(|h| web.entry(&h).map(|u| (h, u))).collect();
+        let mut browser = Browser::with_policy(web, policy);
+        browser.caching = caching;
         NavOracle {
             browser,
             pages: Vec::new(),
@@ -97,8 +101,31 @@ impl NavOracle {
         self.browser.cache_hits
     }
 
+    pub fn retries(&self) -> u32 {
+        self.browser.retries
+    }
+
     pub fn simulated_network(&self) -> Duration {
         self.browser.simulated_network
+    }
+
+    /// The fetch policy the oracle's browser applies.
+    pub fn policy(&self) -> FetchPolicy {
+        self.browser.policy
+    }
+
+    /// Per-site degradation accumulated by the oracle's browser.
+    pub fn degradation(&self) -> DegradationReport {
+        self.browser.degradation()
+    }
+
+    /// Count an abandoned navigation branch when `err` is a server-side
+    /// degradation (5xx, timeout, open circuit) rather than a
+    /// navigation mistake.
+    fn note_branch(&mut self, host: &str, err: &crate::browser::BrowseError) {
+        if err.is_degradation() {
+            self.browser.note_abandoned_branch(host);
+        }
     }
 
     /// The Web this oracle browses.
@@ -174,12 +201,15 @@ impl NavOracle {
         let Some(url) = self.entries.get(&site).cloned() else {
             return OracleOutcome::Fail;
         };
-        match self.browser.goto(url) {
+        match self.browser.goto(url.clone()) {
             Ok(page) => {
                 let oid = self.intern_page(page, store);
                 OracleOutcome::Solutions(vec![vec![args[0].clone(), oid]])
             }
-            Err(_) => OracleOutcome::Fail,
+            Err(e) => {
+                self.note_branch(&url.host, &e);
+                OracleOutcome::Fail
+            }
         }
     }
 
@@ -193,12 +223,15 @@ impl NavOracle {
             return OracleOutcome::Fail;
         };
         let Some(url) = Url::parse(url_str) else { return OracleOutcome::Fail };
-        match self.browser.goto(url) {
+        match self.browser.goto(url.clone()) {
             Ok(page) => {
                 let oid = self.intern_page(page, store);
                 OracleOutcome::Solutions(vec![vec![args[0].clone(), oid]])
             }
-            Err(_) => OracleOutcome::Fail,
+            Err(e) => {
+                self.note_branch(&url.host, &e);
+                OracleOutcome::Fail
+            }
         }
     }
 
@@ -207,13 +240,15 @@ impl NavOracle {
         let Some(concrete) = self.actions.get(action_sym).cloned() else {
             return OracleOutcome::Fail;
         };
-        let result = match concrete {
+        let (result, host) = match concrete {
             ConcreteAction::Follow { page, href } => {
                 let page = self.pages[page].clone();
-                self.browser.follow_on(&page, &href)
+                let host = page.url.host.clone();
+                (self.browser.follow_on(&page, &href), host)
             }
             ConcreteAction::Submit { page, cgi } => {
                 let page = self.pages[page].clone();
+                let host = page.url.host.clone();
                 let values = params_to_values(&args[1]);
                 // Fail fast when a widget-inferred mandatory field is
                 // left unbound — the site would refuse anyway.
@@ -228,7 +263,7 @@ impl NavOracle {
                         }
                     }
                 }
-                self.browser.submit_on(&page, &cgi, &values)
+                (self.browser.submit_on(&page, &cgi, &values), host)
             }
         };
         match result {
@@ -236,7 +271,10 @@ impl NavOracle {
                 let oid = self.intern_page(next, store);
                 OracleOutcome::Solutions(vec![vec![args[0].clone(), args[1].clone(), oid]])
             }
-            Err(_) => OracleOutcome::Fail,
+            Err(e) => {
+                self.note_branch(&host, &e);
+                OracleOutcome::Fail
+            }
         }
     }
 
@@ -261,14 +299,14 @@ impl NavOracle {
         };
         let mut solutions = Vec::new();
         for (value, href) in selected {
-            if let Ok(next) = self.browser.follow_on(&page, &href) {
-                let oid = self.intern_page(next, store);
-                solutions.push(vec![
-                    args[0].clone(),
-                    args[1].clone(),
-                    Term::str(value),
-                    oid,
-                ]);
+            match self.browser.follow_on(&page, &href) {
+                Ok(next) => {
+                    let oid = self.intern_page(next, store);
+                    solutions.push(vec![args[0].clone(), args[1].clone(), Term::str(value), oid]);
+                }
+                // A degraded choice is abandoned; the surviving choices
+                // still answer (graceful partial enumeration).
+                Err(e) => self.note_branch(&page.url.host.clone(), &e),
             }
         }
         if solutions.is_empty() {
@@ -294,11 +332,7 @@ impl NavOracle {
                     .iter()
                     .map(|a| value_to_term(rec.get(a).unwrap_or(&Value::Null)))
                     .collect();
-                vec![
-                    args[0].clone(),
-                    args[1].clone(),
-                    Term::Compound(Sym::new("t"), tuple_args),
-                ]
+                vec![args[0].clone(), args[1].clone(), Term::Compound(Sym::new("t"), tuple_args)]
             })
             .collect();
         OracleOutcome::Solutions(solutions)
@@ -393,7 +427,9 @@ pub struct RunStats {
     pub pages_fetched: u32,
     /// Cache hits during backtracking.
     pub cache_hits: u32,
-    /// Simulated network time.
+    /// Retries spent recovering from transient failures.
+    pub retries: u32,
+    /// Simulated network time (includes retry backoff and timeouts).
     pub network: Duration,
     /// Real CPU time spent in the interpreter.
     pub cpu: Duration,
@@ -432,21 +468,43 @@ impl std::error::Error for NavError {}
 impl SiteNavigator {
     /// Compile a recorded map for execution against `web`.
     pub fn new(web: SyntheticWeb, map: NavigationMap) -> SiteNavigator {
-        SiteNavigator::with_caching(web, map, true)
+        SiteNavigator::with_caching(web, map, true, FetchPolicy::default_policy())
+    }
+
+    /// Like [`SiteNavigator::new`] with an explicit [`FetchPolicy`]
+    /// governing retries, timeouts, and circuit breaking.
+    pub fn with_policy(
+        web: SyntheticWeb,
+        map: NavigationMap,
+        policy: FetchPolicy,
+    ) -> SiteNavigator {
+        SiteNavigator::with_caching(web, map, true, policy)
     }
 
     /// Like [`SiteNavigator::new`] with the fetch cache disabled (the
-    /// caching ablation benchmark).
+    /// caching ablation benchmark). Preserves the fetch policy.
     pub fn without_cache(self) -> SiteNavigator {
         let oracle = self.oracle.into_inner();
-        let mut nav = SiteNavigator::with_caching(oracle.web(), self.map, false);
+        let policy = oracle.policy();
+        let mut nav = SiteNavigator::with_caching(oracle.web(), self.map, false, policy);
         nav.compiled = self.compiled;
         nav
     }
 
-    fn with_caching(web: SyntheticWeb, map: NavigationMap, caching: bool) -> SiteNavigator {
+    /// Per-site degradation accumulated over every run of this
+    /// navigator (retries, timeouts, fast-fails, abandoned branches).
+    pub fn degradation(&self) -> DegradationReport {
+        self.oracle.borrow().degradation()
+    }
+
+    fn with_caching(
+        web: SyntheticWeb,
+        map: NavigationMap,
+        caching: bool,
+        policy: FetchPolicy,
+    ) -> SiteNavigator {
         let compiled = compile_map(&map);
-        let mut oracle = NavOracle::new(web, caching);
+        let mut oracle = NavOracle::with_policy(web, caching, policy);
         // Register extraction specs (one per relation registration) and
         // link-defined attribute sets once, up front.
         for reg in &map.relations {
@@ -492,8 +550,8 @@ impl SiteNavigator {
             .find(|r| r.name == relation)
             .ok_or_else(|| NavError::UnknownRelation(relation.to_string()))?;
         let mut oracle = self.oracle.borrow_mut();
-        let (fetches0, hits0, net0) =
-            (oracle.fetches(), oracle.cache_hits(), oracle.simulated_network());
+        let (fetches0, hits0, retries0, net0) =
+            (oracle.fetches(), oracle.cache_hits(), oracle.retries(), oracle.simulated_network());
 
         // Build the goal rel(T1..Tn) with given values bound.
         use webbase_flogic::term::Var;
@@ -545,6 +603,7 @@ impl SiteNavigator {
         let stats = RunStats {
             pages_fetched: oracle.fetches() - fetches0,
             cache_hits: oracle.cache_hits() - hits0,
+            retries: oracle.retries() - retries0,
             network: oracle.simulated_network() - net0,
             cpu,
         };
@@ -555,10 +614,10 @@ impl SiteNavigator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::recorder::{DesignerAction, Recorder};
     use crate::extractor::{CellParse, FieldSpec};
-    use webbase_webworld::data::{Dataset, SiteSlice};
+    use crate::recorder::{DesignerAction, Recorder};
     use std::sync::Arc;
+    use webbase_webworld::data::{Dataset, SiteSlice};
 
     fn web_and_data() -> (SyntheticWeb, Arc<Dataset>) {
         let d = Dataset::generate(5, 600);
@@ -567,8 +626,7 @@ mod tests {
 
     fn newsday_navigator(web: SyntheticWeb, data: &Dataset) -> SiteNavigator {
         let session = crate::sessions::newsday(data);
-        let (map, _) = Recorder::record(web.clone(), "www.newsday.com", &session)
-            .expect("records");
+        let (map, _) = Recorder::record(web.clone(), "www.newsday.com", &session).expect("records");
         SiteNavigator::new(web, map)
     }
 
@@ -601,9 +659,8 @@ mod tests {
     fn unbound_model_collects_all_fords() {
         let (web, data) = web_and_data();
         let nav = newsday_navigator(web, &data);
-        let (records, _) = nav
-            .run_relation("newsday", &[("make".to_string(), Value::str("ford"))])
-            .expect("runs");
+        let (records, _) =
+            nav.run_relation("newsday", &[("make".to_string(), Value::str("ford"))]).expect("runs");
         let truth = data.matching(SiteSlice::Newsday, Some("ford"), None);
         assert_eq!(records.len(), truth.len());
         // Every ground-truth ad is present (match on contact which is unique-ish).
@@ -629,9 +686,8 @@ mod tests {
             .expect("makes exist");
         let truth = data.matching(SiteSlice::Newsday, Some(rare), None);
         let nav = newsday_navigator(web, &data);
-        let (records, _) = nav
-            .run_relation("newsday", &[("make".to_string(), Value::str(rare))])
-            .expect("runs");
+        let (records, _) =
+            nav.run_relation("newsday", &[("make".to_string(), Value::str(rare))]).expect("runs");
         assert_eq!(records.len(), truth.len());
     }
 
@@ -649,18 +705,14 @@ mod tests {
     fn unknown_relation_error() {
         let (web, data) = web_and_data();
         let nav = newsday_navigator(web, &data);
-        assert!(matches!(
-            nav.run_relation("nope", &[]),
-            Err(NavError::UnknownRelation(_))
-        ));
+        assert!(matches!(nav.run_relation("nope", &[]), Err(NavError::UnknownRelation(_))));
     }
 
     #[test]
     fn caching_reduces_fetches() {
         let (web, data) = web_and_data();
         let session = crate::sessions::newsday(&data);
-        let (map, _) =
-            Recorder::record(web.clone(), "www.newsday.com", &session).expect("records");
+        let (map, _) = Recorder::record(web.clone(), "www.newsday.com", &session).expect("records");
         let given = [("make".to_string(), Value::str("ford"))];
         let cached = SiteNavigator::new(web.clone(), map.clone());
         let (r1, s1) = cached.run_relation("newsday", &given).expect("runs");
@@ -706,8 +758,7 @@ mod tests {
             },
             DesignerAction::FollowLink("More".into()),
         ];
-        let (map, _) =
-            Recorder::record(web.clone(), "www.autoweb.com", &session).expect("records");
+        let (map, _) = Recorder::record(web.clone(), "www.autoweb.com", &session).expect("records");
         let nav = SiteNavigator::new(web, map);
         // Bound make: selects exactly the jaguar link.
         let (records, _) = nav

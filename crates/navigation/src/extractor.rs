@@ -37,9 +37,9 @@ impl CellParse {
                 }
             }
             CellParse::Number => Value::parse_cell(text.trim_end_matches('%')),
-            CellParse::LinkHref => href
-                .map(|h| Value::Str(absolutize(page_url, h)))
-                .unwrap_or(Value::Null),
+            CellParse::LinkHref => {
+                href.map(|h| Value::Str(absolutize(page_url, h))).unwrap_or(Value::Null)
+            }
         }
     }
 }
@@ -162,10 +162,8 @@ impl ExtractionSpec {
 }
 
 fn extract_table(table: &Table, fields: &[FieldSpec], page_url: &str) -> Vec<Record> {
-    let idx: Vec<Option<usize>> = fields
-        .iter()
-        .map(|f| table.header.iter().position(|h| *h == f.source))
-        .collect();
+    let idx: Vec<Option<usize>> =
+        fields.iter().map(|f| table.header.iter().position(|h| *h == f.source)).collect();
     table
         .rows
         .iter()
@@ -268,9 +266,7 @@ mod tests {
 
     #[test]
     fn empty_table_is_still_a_data_page() {
-        let doc = parse(
-            "<table><tr><th>Make</th><th>Price</th><th>Details</th></tr></table>",
-        );
+        let doc = parse("<table><tr><th>Make</th><th>Price</th><th>Details</th></tr></table>");
         assert!(table_spec().matches(&doc));
         assert!(table_spec().extract(&doc, "http://test/page").is_empty());
     }
@@ -298,9 +294,7 @@ mod tests {
         let spec = ExtractionSpec::DefList {
             fields: vec![FieldSpec::new("Make", "make", CellParse::Text)],
         };
-        let doc = parse(
-            "<dl><dt>Make</dt><dd>ford</dd></dl><dl><dt>Make</dt><dd>saab</dd></dl>",
-        );
+        let doc = parse("<dl><dt>Make</dt><dd>ford</dd></dl><dl><dt>Make</dt><dd>saab</dd></dl>");
         let recs = spec.extract(&doc, "http://test/page");
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[1]["make"], Value::str("saab"));

@@ -35,6 +35,7 @@ pub mod map;
 pub mod model;
 pub mod persist;
 pub mod recorder;
+pub mod resilience;
 pub mod sessions;
 
 pub use compile::{compile_map, CompiledSite};
@@ -43,3 +44,4 @@ pub use extractor::{CellParse, ExtractionSpec, FieldSpec, Record};
 pub use map::{NavigationMap, NodeKind};
 pub use persist::{map_from_facts, parse_map, render_facts};
 pub use recorder::{DesignerAction, MapStats, RecordError, Recorder};
+pub use resilience::{CircuitState, DegradationReport, FetchPolicy, SiteDegradation};

@@ -47,7 +47,9 @@ impl MaintenanceReport {
 /// the auto-applicable ones to `map`.
 pub fn check_map(web: SyntheticWeb, map: &mut NavigationMap) -> MaintenanceReport {
     let mut report = MaintenanceReport::default();
-    let mut browser = Browser::new(web.clone());
+    // Maintenance is a *probe*, not a query: retries would mask exactly
+    // the flakiness a periodic check exists to surface.
+    let mut browser = Browser::with_policy(web.clone(), crate::resilience::FetchPolicy::no_retry());
     let entry_url = match web.entry(&map.site) {
         Some(u) => u,
         None => {
@@ -72,10 +74,9 @@ pub fn check_map(web: SyntheticWeb, map: &mut NavigationMap) -> MaintenanceRepor
         visited[node] = true;
         let Some(page) = live[node].clone() else { continue };
         diff_node(map, node, &page, &mut report);
-        let edges: Vec<(NodeId, ActionDescr, Vec<(String, String)>)> = map
-            .out_edges(node)
-            .map(|e| (e.to, e.action.clone(), e.exemplar.clone()))
-            .collect();
+        type Edge = (NodeId, ActionDescr, Vec<(String, String)>);
+        let edges: Vec<Edge> =
+            map.out_edges(node).map(|e| (e.to, e.action.clone(), e.exemplar.clone())).collect();
         for (to, action, exemplar) in edges {
             if visited[to] || live[to].is_some() {
                 continue;
@@ -167,10 +168,8 @@ fn diff_node(
     }
     for live in &page.links {
         if !recorded_links.iter().any(|rl| rl.name == live.text) {
-            changes.push(PageChange::LinkAdded {
-                text: live.text.clone(),
-                href: live.href.clone(),
-            });
+            changes
+                .push(PageChange::LinkAdded { text: live.text.clone(), href: live.href.clone() });
         }
     }
 
@@ -194,36 +193,38 @@ fn diff_node(
                             form: rf.cgi.clone(),
                             field: field.name.clone(),
                         }),
-                        Some(lf) => {
-                            match (&field.widget, &lf.kind) {
-                                (WidgetKind::Select { options: old }, WidgetKind::Select { options: new })
-                                | (WidgetKind::Radio { options: old }, WidgetKind::Radio { options: new }) => {
-                                    for o in new.iter().filter(|o| !old.contains(o)) {
-                                        changes.push(PageChange::OptionAdded {
-                                            form: rf.cgi.clone(),
-                                            field: field.name.clone(),
-                                            option: o.clone(),
-                                        });
-                                    }
-                                    for o in old.iter().filter(|o| !new.contains(o)) {
-                                        changes.push(PageChange::OptionRemoved {
-                                            form: rf.cgi.clone(),
-                                            field: field.name.clone(),
-                                            option: o.clone(),
-                                        });
-                                    }
-                                }
-                                (a, b) if std::mem::discriminant(a)
-                                    != std::mem::discriminant(b) =>
-                                {
-                                    changes.push(PageChange::WidgetKindChanged {
+                        Some(lf) => match (&field.widget, &lf.kind) {
+                            (
+                                WidgetKind::Select { options: old },
+                                WidgetKind::Select { options: new },
+                            )
+                            | (
+                                WidgetKind::Radio { options: old },
+                                WidgetKind::Radio { options: new },
+                            ) => {
+                                for o in new.iter().filter(|o| !old.contains(o)) {
+                                    changes.push(PageChange::OptionAdded {
                                         form: rf.cgi.clone(),
                                         field: field.name.clone(),
+                                        option: o.clone(),
                                     });
                                 }
-                                _ => {}
+                                for o in old.iter().filter(|o| !new.contains(o)) {
+                                    changes.push(PageChange::OptionRemoved {
+                                        form: rf.cgi.clone(),
+                                        field: field.name.clone(),
+                                        option: o.clone(),
+                                    });
+                                }
                             }
-                        }
+                            (a, b) if std::mem::discriminant(a) != std::mem::discriminant(b) => {
+                                changes.push(PageChange::WidgetKindChanged {
+                                    form: rf.cgi.clone(),
+                                    field: field.name.clone(),
+                                });
+                            }
+                            _ => {}
+                        },
                     }
                 }
                 for lf in live.data_fields() {
@@ -237,9 +238,12 @@ fn diff_node(
                 }
             }
         }
-        if !page.forms.iter().any(|f| {
-            !recorded_forms.iter().any(|r| r.cgi == f.action) && f.action == rf.cgi
-        }) { /* handled above */ }
+        if !page
+            .forms
+            .iter()
+            .any(|f| !recorded_forms.iter().any(|r| r.cgi == f.action) && f.action == rf.cgi)
+        { /* handled above */
+        }
     }
     for live in &page.forms {
         if !recorded_forms.iter().any(|rf| rf.cgi == live.action) {
@@ -282,10 +286,10 @@ fn apply_change(map: &mut NavigationMap, node: NodeId, change: &PageChange, page
                     if f.cgi == *form {
                         if let Some(fd) = f.fields.iter_mut().find(|fd| fd.name == *field) {
                             match &mut fd.widget {
-                                WidgetKind::Select { options } | WidgetKind::Radio { options } => {
-                                    if !options.contains(option) {
-                                        options.push(option.clone());
-                                    }
+                                WidgetKind::Select { options } | WidgetKind::Radio { options }
+                                    if !options.contains(option) =>
+                                {
+                                    options.push(option.clone());
                                 }
                                 _ => {}
                             }

@@ -127,10 +127,7 @@ impl NavigationMap {
         action: ActionDescr,
         exemplar: Vec<(String, String)>,
     ) -> bool {
-        let exists = self
-            .edges
-            .iter()
-            .any(|e| e.from == from && e.to == to && e.action == action);
+        let exists = self.edges.iter().any(|e| e.from == from && e.to == to && e.action == action);
         if !exists {
             self.edges.push(MapEdge { from, to, action, exemplar });
         }
@@ -175,11 +172,7 @@ impl NavigationMap {
 
     /// Register that `data_node` populates `relation`.
     pub fn register_relation(&mut self, relation: &str, data_node: NodeId) {
-        if !self
-            .relations
-            .iter()
-            .any(|r| r.relation == relation && r.data_node == data_node)
-        {
+        if !self.relations.iter().any(|r| r.relation == relation && r.data_node == data_node) {
             self.relations.push(RelationReg { relation: relation.to_string(), data_node });
         }
     }
@@ -222,7 +215,13 @@ impl NavigationMap {
             };
             let _ = writeln!(out, "  [{}] {} ({kind})  sig={}", n.id, n.name, n.signature);
             for e in self.out_edges(n.id) {
-                let _ = writeln!(out, "       --{}--> [{}] {}", e.action.label(), e.to, self.nodes[e.to].name);
+                let _ = writeln!(
+                    out,
+                    "       --{}--> [{}] {}",
+                    e.action.label(),
+                    e.to,
+                    self.nodes[e.to].name
+                );
             }
         }
         out

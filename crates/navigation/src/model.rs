@@ -170,11 +170,8 @@ impl ActionDescr {
             ActionDescr::FollowByValue { attr, .. } => format!("link-set({attr})"),
             ActionDescr::Submit(f) => {
                 let mand = f.mandatory_attrs().join(", ");
-                let opt: Vec<String> = f
-                    .settable()
-                    .filter(|x| !x.mandatory)
-                    .map(|x| x.attr.clone())
-                    .collect();
+                let opt: Vec<String> =
+                    f.settable().filter(|x| !x.mandatory).map(|x| x.attr.clone()).collect();
                 if opt.is_empty() {
                     format!("form {}({mand})", f.cgi)
                 } else {

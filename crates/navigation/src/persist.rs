@@ -129,16 +129,19 @@ pub fn render_facts(map: &NavigationMap) -> String {
 fn render_action(out: &mut String, parent: &str, idx: usize, action: &ActionDescr) {
     match action {
         ActionDescr::Follow(l) => {
-            let _ = writeln!(out, "action({parent}, {idx}, follow, {}, {}).", q(&l.name), q(&l.href));
+            let _ =
+                writeln!(out, "action({parent}, {idx}, follow, {}, {}).", q(&l.name), q(&l.href));
         }
         ActionDescr::FollowByValue { attr, choices } => {
-            let _ = writeln!(out, "action({parent}, {idx}, follow_by_value, {}, {}).", q(attr), q(""));
+            let _ =
+                writeln!(out, "action({parent}, {idx}, follow_by_value, {}, {}).", q(attr), q(""));
             for (v, href) in choices {
                 let _ = writeln!(out, "choice({parent}, {idx}, {}, {}).", q(v), q(href));
             }
         }
         ActionDescr::Submit(f) => {
-            let _ = writeln!(out, "action({parent}, {idx}, submit, {}, {}).", q(&f.cgi), q(&f.method));
+            let _ =
+                writeln!(out, "action({parent}, {idx}, submit, {}, {}).", q(&f.cgi), q(&f.method));
             for (fi, field) in f.fields.iter().enumerate() {
                 let _ = writeln!(
                     out,
@@ -156,7 +159,7 @@ fn render_action(out: &mut String, parent: &str, idx: usize, action: &ActionDesc
                     let _ = writeln!(out, "field_default({parent}, {idx}, {fi}, {}).", q(v));
                 }
                 if let WidgetKind::Text { max_length: Some(m) } = &field.widget {
-                    let _ = writeln!(out, "field_maxlength({parent}, {idx}, {fi}, {m}).", );
+                    let _ = writeln!(out, "field_maxlength({parent}, {idx}, {fi}, {m}).",);
                 }
                 if let Some(domain) = field.widget.domain() {
                     for opt in domain {
@@ -295,9 +298,7 @@ fn load_spec(prog: &Program, node: usize) -> Result<ExtractionSpec, PersistError
             "text" => CellParse::Text,
             "number" => CellParse::Number,
             "link_href" => CellParse::LinkHref,
-            other => {
-                return Err(PersistError::Malformed(format!("unknown cell parse {other}")))
-            }
+            other => return Err(PersistError::Malformed(format!("unknown cell parse {other}"))),
         };
         rows.push((seq, FieldSpec::new(&source, &attr, parse)));
     }
@@ -328,10 +329,8 @@ fn load_actions(prog: &Program, tag: &str, id: usize) -> Result<Vec<ActionDescr>
                 let mut choices = Vec::new();
                 for c in facts(prog, "choice", 4) {
                     if parent_matches(&c[0], tag, id) && as_usize(&c[1], "choice idx")? == idx {
-                        choices.push((
-                            as_str(&c[2], "choice value")?,
-                            as_str(&c[3], "choice href")?,
-                        ));
+                        choices
+                            .push((as_str(&c[2], "choice value")?, as_str(&c[3], "choice href")?));
                     }
                 }
                 ActionDescr::FollowByValue { attr, choices }
@@ -443,8 +442,7 @@ mod tests {
     fn every_recorded_map_roundtrips() {
         for map in recorded_maps() {
             let text = render_facts(&map);
-            let loaded = parse_map(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", map.site));
+            let loaded = parse_map(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", map.site));
             assert_eq!(loaded, map, "{} did not roundtrip", map.site);
         }
     }
@@ -470,7 +468,10 @@ mod tests {
 
     #[test]
     fn malformed_facts_are_rejected() {
-        assert!(matches!(parse_map("node(0, 'a', 'b', 'c', page)."), Err(PersistError::Malformed(_))));
+        assert!(matches!(
+            parse_map("node(0, 'a', 'b', 'c', page)."),
+            Err(PersistError::Malformed(_))
+        ));
         assert!(matches!(
             parse_map("site('x'). entry(0). node(1, 'a', 'b', 'c', page)."),
             Err(PersistError::Malformed(_)) // non-dense ids
@@ -495,8 +496,7 @@ mod tests {
         // it like any program.
         let data = Dataset::generate(7, 400);
         let web = standard_web(data.clone(), LatencyModel::zero());
-        let (map, _) = Recorder::record(web, "www.kbb.com", &sessions::kellys())
-            .expect("records");
+        let (map, _) = Recorder::record(web, "www.kbb.com", &sessions::kellys()).expect("records");
         let prog = parse_program(&render_facts(&map)).expect("parses");
         let mut m = webbase_flogic::Machine::new(&prog, webbase_flogic::ObjectStore::new());
         let sols = m.solve_str("relation_reg(R, N)").expect("solves");

@@ -94,7 +94,10 @@ pub enum RecordError {
     NothingToGoBackTo,
     BadUrl(String),
     /// Annotation referenced a form/field not on the current page.
-    NoSuchField { form: String, field: String },
+    NoSuchField {
+        form: String,
+        field: String,
+    },
 }
 
 impl From<BrowseError> for RecordError {
@@ -206,10 +209,8 @@ impl Recorder {
         // Catalogue actions, deduplicating against what is already known.
         let node = self.map.node_mut(id);
         for link in &page.links {
-            let descr = ActionDescr::Follow(LinkDescr {
-                name: link.text.clone(),
-                href: link.href.clone(),
-            });
+            let descr =
+                ActionDescr::Follow(LinkDescr { name: link.text.clone(), href: link.href.clone() });
             if !node.actions.iter().any(|a| same_action_identity(a, &descr)) {
                 node.actions.push(descr);
             }
@@ -253,8 +254,8 @@ impl Recorder {
     pub fn apply(&mut self, action: &DesignerAction) -> Result<(), RecordError> {
         match action {
             DesignerAction::Goto(url_str) => {
-                let url = Url::parse(url_str)
-                    .ok_or_else(|| RecordError::BadUrl(url_str.clone()))?;
+                let url =
+                    Url::parse(url_str).ok_or_else(|| RecordError::BadUrl(url_str.clone()))?;
                 let page = self.browser.goto(url)?;
                 let node = self.absorb_page(&page);
                 if self.map.nodes.len() == 1 || self.current_node.is_none() {
@@ -326,12 +327,9 @@ impl Recorder {
             }
             DesignerAction::RenameField { form_action, field, attr } => {
                 let (node, _) = self.current()?;
-                let f = self
-                    .node_form_field(node, form_action, field)
-                    .ok_or_else(|| RecordError::NoSuchField {
-                        form: form_action.clone(),
-                        field: field.clone(),
-                    })?;
+                let f = self.node_form_field(node, form_action, field).ok_or_else(|| {
+                    RecordError::NoSuchField { form: form_action.clone(), field: field.clone() }
+                })?;
                 // Re-asserting the same name is a no-op (idempotent
                 // annotations keep re-recorded sessions from diverging).
                 if f.attr != *attr {
@@ -342,12 +340,9 @@ impl Recorder {
             }
             DesignerAction::MarkMandatory { form_action, field, mandatory } => {
                 let (node, _) = self.current()?;
-                let f = self
-                    .node_form_field(node, form_action, field)
-                    .ok_or_else(|| RecordError::NoSuchField {
-                        form: form_action.clone(),
-                        field: field.clone(),
-                    })?;
+                let f = self.node_form_field(node, form_action, field).ok_or_else(|| {
+                    RecordError::NoSuchField { form: form_action.clone(), field: field.clone() }
+                })?;
                 if f.mandatory != *mandatory {
                     f.mandatory = *mandatory;
                     f.manual_facts += 1;
@@ -366,8 +361,7 @@ impl Recorder {
                 self.map.register_relation(relation, node);
             }
             DesignerAction::Back => {
-                let (node, page) =
-                    self.history.pop().ok_or(RecordError::NothingToGoBackTo)?;
+                let (node, page) = self.history.pop().ok_or(RecordError::NothingToGoBackTo)?;
                 // Restore the browser's current page without a fetch.
                 self.browser.restore(page);
                 self.current_node = Some(node);
@@ -440,23 +434,16 @@ mod tests {
     fn records_figure2_topology() {
         let (web, data) = web_and_data();
         let session = crate::sessions::newsday(&data);
-        let (map, stats) = Recorder::record(web, "www.newsday.com", &session)
-            .expect("session records");
+        let (map, stats) =
+            Recorder::record(web, "www.newsday.com", &session).expect("session records");
         // home, hub, UsedCarPg, CarPg(refine), data page, detail page,
         // plus (when a rare make exists) the direct-branch data page.
-        assert!(
-            (6..=7).contains(&map.nodes.len()),
-            "unexpected node count: {}",
-            map.render_text()
-        );
+        assert!((6..=7).contains(&map.nodes.len()), "unexpected node count: {}", map.render_text());
         // entry is home
         assert_eq!(map.entry, 0);
         // the data node is marked and registered
-        let data_nodes: Vec<_> = map
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Data(_)))
-            .collect();
+        let data_nodes: Vec<_> =
+            map.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Data(_))).collect();
         assert!(data_nodes.len() >= 2, "listing + detail data pages");
         assert!(map.relations.iter().any(|r| r.relation == "newsday"));
         assert!(map.relations.iter().any(|r| r.relation == "newsdayCarFeatures"));
@@ -487,8 +474,7 @@ mod tests {
             session.iter().cloned().chain(session.iter().cloned()).collect();
         let (map_twice, _) =
             Recorder::record(web.clone(), "www.newsday.com", &twice).expect("records");
-        let (map_once, _) =
-            Recorder::record(web, "www.newsday.com", &session).expect("records");
+        let (map_once, _) = Recorder::record(web, "www.newsday.com", &session).expect("records");
         assert_eq!(map_twice.nodes.len(), map_once.nodes.len());
         assert_eq!(map_twice.edges.len(), map_once.edges.len());
     }
@@ -508,8 +494,7 @@ mod tests {
     #[test]
     fn annotations_count_as_manual_facts() {
         let mut r = Recorder::new(web(), "www.newsday.com");
-        r.apply(&DesignerAction::Goto("http://www.newsday.com/auto/used".into()))
-            .expect("goto");
+        r.apply(&DesignerAction::Goto("http://www.newsday.com/auto/used".into())).expect("goto");
         r.apply(&DesignerAction::RenameField {
             form_action: "/cgi-bin/nclassy".into(),
             field: "make".into(),
@@ -585,8 +570,7 @@ mod standardizer_tests {
                 values: vec![("mk".into(), "ford".into())],
             },
         ];
-        let (map, stats) =
-            Recorder::record(web, "www.wwwheels.com", &session).expect("records");
+        let (map, stats) = Recorder::record(web, "www.wwwheels.com", &session).expect("records");
         assert_eq!(stats.manual_facts, 0);
         assert!(stats.auto_standardized >= 1, "{stats:?}");
         let form = map

@@ -1,0 +1,375 @@
+//! The resilient fetch layer: retry policies, per-site circuit
+//! breaking, and degradation accounting.
+//!
+//! "Given the dynamic nature of the Web, we should be able to handle
+//! error conditions gracefully" — a 1999 webbase spent most of a query
+//! waiting on remote CGI scripts, and a single dead site could stall the
+//! whole evaluation. The browser therefore applies a [`FetchPolicy`]
+//! to every request: transient server errors (5xx) and simulated
+//! timeouts are retried with exponential backoff (charged to the
+//! *simulated* network clock, never slept), and a per-site
+//! [circuit breaker](CircuitState) stops a persistently failing site
+//! from burning the time budget — once open, its requests fail fast
+//! until a half-open probe succeeds.
+//!
+//! Everything here is deterministic: failures come from the fault
+//! wrappers in `webbase_webworld::faults` (pure functions of a request
+//! counter), backoff is charged rather than slept, and the breaker's
+//! state is a pure function of the request outcome sequence. Identical
+//! seeds and fault schedules produce identical answers, retry counts,
+//! and [`DegradationReport`]s.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// How the browser treats a single logical request: how often to retry
+/// transient failures, how backoff grows, when to give up on a slow
+/// response, and when to stop trying a site altogether.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchPolicy {
+    /// Retries after the first attempt (0 = fail on first error).
+    pub max_retries: u32,
+    /// Simulated backoff before the first retry.
+    pub backoff_base: Duration,
+    /// Multiplier applied to the backoff per further retry.
+    pub backoff_factor: u32,
+    /// Give up on a response whose simulated latency exceeds this
+    /// (`None` = wait forever, the pre-policy behaviour).
+    pub timeout: Option<Duration>,
+    /// Consecutive failures that open the site's circuit
+    /// (0 = breaker disabled).
+    pub breaker_threshold: u32,
+    /// Fast-failed requests while open before a half-open probe is
+    /// allowed through.
+    pub breaker_cooldown: u32,
+}
+
+impl FetchPolicy {
+    /// The query-time default: a couple of retries with exponential
+    /// backoff, a generous simulated timeout, and a breaker that trips
+    /// within one logical request against a dead site.
+    pub fn default_policy() -> FetchPolicy {
+        FetchPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(100),
+            backoff_factor: 2,
+            timeout: Some(Duration::from_secs(30)),
+            breaker_threshold: 3,
+            breaker_cooldown: 8,
+        }
+    }
+
+    /// No retries, no timeout, no breaker — every failure surfaces on
+    /// the first attempt. Map maintenance uses this: a flaky response
+    /// *is* the signal it exists to report.
+    pub fn no_retry() -> FetchPolicy {
+        FetchPolicy {
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            backoff_factor: 1,
+            timeout: None,
+            breaker_threshold: 0,
+            breaker_cooldown: 0,
+        }
+    }
+
+    /// The simulated backoff charged before retry number `retry`
+    /// (0-based): `base × factor^retry`.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        let mut d = self.backoff_base;
+        for _ in 0..retry {
+            d *= self.backoff_factor.max(1);
+        }
+        d
+    }
+
+    pub fn breaker_enabled(&self) -> bool {
+        self.breaker_threshold > 0
+    }
+}
+
+impl Default for FetchPolicy {
+    fn default() -> FetchPolicy {
+        FetchPolicy::default_policy()
+    }
+}
+
+/// Circuit-breaker state for one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CircuitState {
+    /// Requests flow normally.
+    #[default]
+    Closed,
+    /// Requests fail fast without touching the network.
+    Open,
+    /// The cooldown elapsed; the next request goes through as a probe.
+    HalfOpen,
+}
+
+impl fmt::Display for CircuitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitState::Closed => write!(f, "closed"),
+            CircuitState::Open => write!(f, "open"),
+            CircuitState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Live breaker bookkeeping for one host (browser-internal).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct HostHealth {
+    pub state: CircuitState,
+    pub consecutive_failures: u32,
+    pub skips_while_open: u32,
+}
+
+impl HostHealth {
+    /// A network attempt failed (5xx or timeout). Returns `true` when
+    /// this failure tripped the breaker.
+    pub fn record_failure(&mut self, policy: &FetchPolicy) -> bool {
+        self.consecutive_failures += 1;
+        if policy.breaker_enabled()
+            && self.state != CircuitState::Open
+            && (self.consecutive_failures >= policy.breaker_threshold
+                || self.state == CircuitState::HalfOpen)
+        {
+            self.state = CircuitState::Open;
+            self.skips_while_open = 0;
+            return true;
+        }
+        false
+    }
+
+    /// A network attempt succeeded: close the circuit.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = CircuitState::Closed;
+        self.skips_while_open = 0;
+    }
+
+    /// A request arrived while the circuit is open: count the fast
+    /// failure and move to half-open once the cooldown elapses.
+    pub fn record_skip(&mut self, policy: &FetchPolicy) {
+        self.skips_while_open += 1;
+        if self.skips_while_open >= policy.breaker_cooldown {
+            self.state = CircuitState::HalfOpen;
+        }
+    }
+}
+
+/// What one site endured during a run: the per-site row of a
+/// [`DegradationReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteDegradation {
+    /// Network attempts (retries included).
+    pub requests: u64,
+    /// Retried attempts.
+    pub retries: u64,
+    /// Attempts that failed (5xx or timeout).
+    pub failures: u64,
+    /// The subset of failures that were simulated timeouts.
+    pub timeouts: u64,
+    /// Requests rejected by an open circuit without touching the
+    /// network.
+    pub fast_failures: u64,
+    /// Times the breaker tripped (including re-trips after a failed
+    /// half-open probe).
+    pub breaker_trips: u64,
+    /// Navigation branches the executor abandoned because a fetch on
+    /// this site failed.
+    pub branches_abandoned: u64,
+    /// Whether the circuit was still open when the report was taken.
+    pub breaker_open: bool,
+}
+
+impl SiteDegradation {
+    /// Did this site degrade the run at the network level?
+    pub fn is_degraded(&self) -> bool {
+        self.failures > 0 || self.timeouts > 0 || self.fast_failures > 0
+    }
+
+    pub fn merge(&mut self, other: &SiteDegradation) {
+        self.requests += other.requests;
+        self.retries += other.retries;
+        self.failures += other.failures;
+        self.timeouts += other.timeouts;
+        self.fast_failures += other.fast_failures;
+        self.breaker_trips += other.breaker_trips;
+        self.branches_abandoned += other.branches_abandoned;
+        self.breaker_open |= other.breaker_open;
+    }
+
+    /// Counter-wise difference from an earlier snapshot (the breaker
+    /// flag is taken from `self`, the later state).
+    pub fn since(&self, base: &SiteDegradation) -> SiteDegradation {
+        SiteDegradation {
+            requests: self.requests.saturating_sub(base.requests),
+            retries: self.retries.saturating_sub(base.retries),
+            failures: self.failures.saturating_sub(base.failures),
+            timeouts: self.timeouts.saturating_sub(base.timeouts),
+            fast_failures: self.fast_failures.saturating_sub(base.fast_failures),
+            breaker_trips: self.breaker_trips.saturating_sub(base.breaker_trips),
+            branches_abandoned: self.branches_abandoned.saturating_sub(base.branches_abandoned),
+            breaker_open: self.breaker_open,
+        }
+    }
+}
+
+/// Per-site degradation accumulated over a run, mergeable across
+/// browsers, navigators, and threads. Sites are keyed by host; a
+/// `BTreeMap` keeps reports ordered and comparable across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    pub sites: BTreeMap<String, SiteDegradation>,
+}
+
+impl DegradationReport {
+    pub fn site_mut(&mut self, host: &str) -> &mut SiteDegradation {
+        self.sites.entry(host.to_string()).or_default()
+    }
+
+    /// Hosts that saw network-level degradation (failures, timeouts, or
+    /// fast failures), sorted.
+    pub fn degraded_sites(&self) -> Vec<&str> {
+        self.sites.iter().filter(|(_, d)| d.is_degraded()).map(|(h, _)| h.as_str()).collect()
+    }
+
+    /// No site degraded.
+    pub fn is_clean(&self) -> bool {
+        self.sites.values().all(|d| !d.is_degraded())
+    }
+
+    pub fn total_retries(&self) -> u64 {
+        self.sites.values().map(|d| d.retries).sum()
+    }
+
+    pub fn merge(&mut self, other: &DegradationReport) {
+        for (host, d) in &other.sites {
+            self.site_mut(host).merge(d);
+        }
+    }
+
+    /// Counter-wise difference from an earlier snapshot; sites whose
+    /// delta is entirely zero (and whose breaker is closed) are
+    /// dropped.
+    pub fn since(&self, base: &DegradationReport) -> DegradationReport {
+        let zero = SiteDegradation::default();
+        let mut out = DegradationReport::default();
+        for (host, d) in &self.sites {
+            let delta = d.since(base.sites.get(host).unwrap_or(&zero));
+            if delta != zero {
+                out.sites.insert(host.clone(), delta);
+            }
+        }
+        out
+    }
+
+    /// Human-readable per-site summary (the `repro --timings` footer).
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return String::from("all sites healthy\n");
+        }
+        let mut out = String::new();
+        for (host, d) in &self.sites {
+            if !d.is_degraded() {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {host:<24} {:>4} requests  {:>3} retries  {:>3} failures \
+                 ({:>2} timeouts)  {:>3} fast-failed  {:>2} branches dropped  circuit {}\n",
+                d.requests,
+                d.retries,
+                d.failures,
+                d.timeouts,
+                d.fast_failures,
+                d.branches_abandoned,
+                if d.breaker_open { "OPEN" } else { "closed" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = FetchPolicy::default_policy();
+        assert_eq!(p.backoff_for(0), Duration::from_millis(100));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(200));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(400));
+        let flat = FetchPolicy { backoff_factor: 1, ..p };
+        assert_eq!(flat.backoff_for(5), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn breaker_state_machine() {
+        let p = FetchPolicy { breaker_threshold: 2, breaker_cooldown: 2, ..Default::default() };
+        let mut h = HostHealth::default();
+        assert!(!h.record_failure(&p), "one failure stays closed");
+        assert_eq!(h.state, CircuitState::Closed);
+        assert!(h.record_failure(&p), "second failure trips");
+        assert_eq!(h.state, CircuitState::Open);
+        h.record_skip(&p);
+        assert_eq!(h.state, CircuitState::Open);
+        h.record_skip(&p);
+        assert_eq!(h.state, CircuitState::HalfOpen, "cooldown elapsed");
+        // A failed probe re-opens immediately, no threshold needed.
+        assert!(h.record_failure(&p));
+        assert_eq!(h.state, CircuitState::Open);
+        h.record_skip(&p);
+        h.record_skip(&p);
+        h.record_success();
+        assert_eq!(h.state, CircuitState::Closed);
+        assert_eq!(h.consecutive_failures, 0);
+    }
+
+    #[test]
+    fn breaker_disabled_never_opens() {
+        let p = FetchPolicy::no_retry();
+        let mut h = HostHealth::default();
+        for _ in 0..100 {
+            assert!(!h.record_failure(&p));
+        }
+        assert_eq!(h.state, CircuitState::Closed);
+    }
+
+    #[test]
+    fn report_merge_and_delta() {
+        let mut a = DegradationReport::default();
+        a.site_mut("x.com").failures = 2;
+        a.site_mut("x.com").requests = 5;
+        a.site_mut("y.com").requests = 3;
+        let mut b = a.clone();
+        b.site_mut("x.com").failures = 3;
+        b.site_mut("x.com").requests = 9;
+        b.site_mut("x.com").breaker_open = true;
+        let delta = b.since(&a);
+        assert_eq!(delta.sites["x.com"].failures, 1);
+        assert_eq!(delta.sites["x.com"].requests, 4);
+        assert!(delta.sites["x.com"].breaker_open);
+        assert!(!delta.sites.contains_key("y.com"), "unchanged site dropped");
+        assert_eq!(delta.degraded_sites(), vec!["x.com"]);
+        assert!(!delta.is_clean());
+
+        let mut merged = a.clone();
+        merged.merge(&delta);
+        assert_eq!(merged.sites["x.com"], b.sites["x.com"]);
+    }
+
+    #[test]
+    fn clean_report_renders_clean() {
+        let mut r = DegradationReport::default();
+        r.site_mut("ok.com").requests = 4;
+        assert!(r.is_clean());
+        assert!(r.render().contains("healthy"));
+        r.site_mut("bad.com").timeouts = 1;
+        r.site_mut("bad.com").failures = 1;
+        assert!(r.render().contains("bad.com"));
+        assert!(!r.render().contains("ok.com"), "healthy sites omitted from the footer");
+    }
+}

@@ -476,8 +476,7 @@ mod tests {
     fn newsday_session_covers_both_branches() {
         let data = Dataset::generate(5, 600);
         let web = standard_web(data.clone(), LatencyModel::lan());
-        let (map, _) =
-            Recorder::record(web, "www.newsday.com", &newsday(&data)).expect("records");
+        let (map, _) = Recorder::record(web, "www.newsday.com", &newsday(&data)).expect("records");
         // newsday (on up to two data nodes) + newsdayCarFeatures.
         assert!(map.relations.len() >= 2);
         assert!(map.relations.iter().any(|r| r.relation == "newsdayCarFeatures"));

@@ -2,20 +2,25 @@
 //! gracefully (fewer answers, never a panic or a hang), and map
 //! maintenance must report what it could not reach.
 
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::maintenance::check_map;
 use webbase_navigation::recorder::Recorder;
 use webbase_navigation::sessions;
+use webbase_navigation::{FetchPolicy, NavigationMap};
 use webbase_relational::Value;
-use webbase_webworld::data::{Dataset, SiteSlice};
+use webbase_webworld::data::{Dataset, SiteSlice, MAKES};
 use webbase_webworld::faults::{FlakySite, TruncatingSite};
 use webbase_webworld::prelude::*;
 use webbase_webworld::sites::Newsday;
 
-fn newsday_map(web: &SyntheticWeb, data: &std::sync::Arc<Dataset>) -> webbase_navigation::NavigationMap {
-    Recorder::record(web.clone(), "www.newsday.com", &sessions::newsday(data))
-        .expect("records")
-        .0
+fn newsday_map(
+    web: &SyntheticWeb,
+    data: &std::sync::Arc<Dataset>,
+) -> webbase_navigation::NavigationMap {
+    Recorder::record(web.clone(), "www.newsday.com", &sessions::newsday(data)).expect("records").0
 }
 
 #[test]
@@ -89,4 +94,87 @@ fn maintenance_reports_unreachable_on_dead_server() {
         !report.unreachable.is_empty() || !report.changes.is_empty(),
         "a half-dead site cannot look clean"
     );
+}
+
+/// Recording Newsday once is enough for every property case: faulty webs
+/// are rebuilt per case (the fault counter must start fresh), but the map
+/// and dataset are shared.
+fn prop_fixture() -> &'static (Arc<Dataset>, NavigationMap) {
+    static FIX: OnceLock<(Arc<Dataset>, NavigationMap)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let data = Dataset::generate(7, 500);
+        let healthy = standard_web(data.clone(), LatencyModel::zero());
+        let map = newsday_map(&healthy, &data);
+        (data, map)
+    })
+}
+
+/// A fresh single-site flaky Newsday (its request counter at zero, so the
+/// fault schedule is identical across builds).
+fn flaky_newsday(data: &Arc<Dataset>, period: u64) -> SyntheticWeb {
+    SyntheticWeb::builder()
+        .site(FlakySite::new(Newsday::new(data.clone(), 1), period))
+        .latency(LatencyModel::zero())
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Resilience is deterministic: two identically-built flaky webs
+    /// produce byte-identical answers, retry counts, and degradation
+    /// reports for the same query.
+    #[test]
+    fn retries_are_deterministic(period in 2u64..9, make_i in 0usize..10) {
+        let (data, map) = prop_fixture();
+        let make = MAKES[make_i].0;
+        let given = vec![("make".to_string(), Value::str(make))];
+        let run = || {
+            let nav = SiteNavigator::new(flaky_newsday(data, period), map.clone());
+            let (records, stats) = nav.run_relation("newsday", &given).expect("completes");
+            (records, stats.retries, nav.degradation())
+        };
+        let (rec1, retries1, deg1) = run();
+        let (rec2, retries2, deg2) = run();
+        prop_assert_eq!(rec1, rec2, "answers must not depend on wall-clock or chance");
+        prop_assert_eq!(retries1, retries2);
+        prop_assert_eq!(deg1, deg2);
+    }
+
+    /// Backoff is charged monotonically: the same fault schedule under a
+    /// larger backoff base costs at least as much simulated network, and
+    /// exactly as much iff nothing was retried.
+    #[test]
+    fn backoff_charges_monotonically(period in 2u64..9, base_ms in 1u64..400) {
+        let (data, map) = prop_fixture();
+        let given = vec![("make".to_string(), Value::str("ford"))];
+        let run = |base: Duration| {
+            let policy = FetchPolicy { backoff_base: base, ..FetchPolicy::default_policy() };
+            let nav = SiteNavigator::with_policy(flaky_newsday(data, period), map.clone(), policy);
+            let (_, stats) = nav.run_relation("newsday", &given).expect("completes");
+            (stats.network, stats.retries)
+        };
+        let (net_lo, retries_lo) = run(Duration::ZERO);
+        let (net_hi, retries_hi) = run(Duration::from_millis(base_ms));
+        prop_assert_eq!(retries_lo, retries_hi, "backoff must not change the fault schedule");
+        prop_assert!(net_hi >= net_lo, "{net_hi:?} < {net_lo:?}");
+        prop_assert_eq!(net_hi == net_lo, retries_lo == 0, "backoff charged iff retried");
+    }
+
+    /// A healthy site never opens the circuit, even at the most trigger-
+    /// happy threshold: breaker state is driven by failures, not volume.
+    #[test]
+    fn breaker_never_opens_on_healthy_site(make_i in 0usize..10) {
+        let (data, map) = prop_fixture();
+        let make = MAKES[make_i].0;
+        let policy = FetchPolicy { breaker_threshold: 1, ..FetchPolicy::default_policy() };
+        let healthy = standard_web(data.clone(), LatencyModel::zero());
+        let nav = SiteNavigator::with_policy(healthy, map.clone(), policy);
+        let (_, stats) = nav
+            .run_relation("newsday", &[("make".to_string(), Value::str(make))])
+            .expect("completes");
+        prop_assert_eq!(stats.retries, 0);
+        let report = nav.degradation();
+        prop_assert!(report.is_clean(), "{}", report.render());
+    }
 }

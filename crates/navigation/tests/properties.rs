@@ -29,8 +29,7 @@ fn fixture() -> &'static Fixture {
         let maps = sessions::all_sessions(&data)
             .into_iter()
             .map(|(host, session)| {
-                let (map, _) =
-                    Recorder::record(web.clone(), host, &session).expect("records");
+                let (map, _) = Recorder::record(web.clone(), host, &session).expect("records");
                 (host.to_string(), map)
             })
             .collect();

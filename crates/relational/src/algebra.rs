@@ -71,10 +71,7 @@ impl Expr {
         A: Into<Attr>,
         B: Into<Attr>,
     {
-        Expr::Rename(
-            Box::new(self),
-            pairs.into_iter().map(|(a, b)| (a.into(), b.into())).collect(),
-        )
+        Expr::Rename(Box::new(self), pairs.into_iter().map(|(a, b)| (a.into(), b.into())).collect())
     }
 
     /// Names of the base relations referenced (with duplicates, in
@@ -88,7 +85,9 @@ impl Expr {
     fn collect_bases<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             Expr::Rel(n) => out.push(n),
-            Expr::Select(e, _) | Expr::Project(e, _) | Expr::Rename(e, _)
+            Expr::Select(e, _)
+            | Expr::Project(e, _)
+            | Expr::Rename(e, _)
             | Expr::Extend(e, _, _) => e.collect_bases(out),
             Expr::Join(l, r) | Expr::Union(l, r) | Expr::Diff(l, r) => {
                 l.collect_bases(out);
@@ -153,8 +152,7 @@ impl fmt::Display for Expr {
             Expr::Union(l, r) => write!(f, "({l} ∪ {r})"),
             Expr::Diff(l, r) => write!(f, "({l} ∖ {r})"),
             Expr::Rename(e, pairs) => {
-                let ps: Vec<String> =
-                    pairs.iter().map(|(a, b)| format!("{a}→{b}")).collect();
+                let ps: Vec<String> = pairs.iter().map(|(a, b)| format!("{a}→{b}")).collect();
                 write!(f, "ρ[{}]({e})", ps.join(", "))
             }
             Expr::Extend(e, attr, formula) => write!(f, "ε[{attr} := {formula}]({e})"),
@@ -187,10 +185,7 @@ mod tests {
     #[test]
     fn schema_of_rename() {
         let e = Expr::relation("features").rename([("picture", "photo")]);
-        assert_eq!(
-            e.schema(&base).expect("resolves"),
-            Schema::new(["url", "features", "photo"])
-        );
+        assert_eq!(e.schema(&base).expect("resolves"), Schema::new(["url", "features", "photo"]));
     }
 
     #[test]
@@ -221,17 +216,15 @@ mod tests {
     #[test]
     fn extend_schema_and_validation() {
         use crate::arith::parse_arith;
-        let e = Expr::relation("newsday")
-            .extend("half", parse_arith("price / 2").expect("parses"));
+        let e = Expr::relation("newsday").extend("half", parse_arith("price / 2").expect("parses"));
         let s = e.schema(&base).expect("resolves");
         assert!(s.contains(&"half".into()));
         assert_eq!(s.len(), 7);
         // Existing name or unknown formula input → malformed (None).
-        let clash = Expr::relation("newsday")
-            .extend("price", parse_arith("year").expect("parses"));
+        let clash = Expr::relation("newsday").extend("price", parse_arith("year").expect("parses"));
         assert!(clash.schema(&base).is_none());
-        let unknown = Expr::relation("newsday")
-            .extend("x", parse_arith("nosuch + 1").expect("parses"));
+        let unknown =
+            Expr::relation("newsday").extend("x", parse_arith("nosuch + 1").expect("parses"));
         assert!(unknown.schema(&base).is_none());
     }
 }

@@ -25,6 +25,10 @@ pub enum ArithExpr {
     Div(Box<ArithExpr>, Box<ArithExpr>),
 }
 
+// Builder methods deliberately shadow the `std::ops` names: formulas read
+// as `price.mul(rate).div(months)`, and operator overloading would hide
+// the Box allocations.
+#[allow(clippy::should_implement_trait)]
 impl ArithExpr {
     pub fn attr(a: impl Into<Attr>) -> ArithExpr {
         ArithExpr::Attr(a.into())
@@ -208,11 +212,7 @@ impl<'a> AScan<'a> {
             }
             Some(c) if c.is_ascii_alphabetic() || *c == b'_' => {
                 let start = self.i;
-                while self
-                    .b
-                    .get(self.i)
-                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
-                {
+                while self.b.get(self.i).is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_') {
                     self.i += 1;
                 }
                 Ok(ArithExpr::attr(&self.t[start..self.i]))
@@ -240,8 +240,7 @@ mod tests {
     #[test]
     fn monthly_payment_formula() {
         // payment ≈ price * (1 + rate/100 * duration/12) / duration
-        let f = parse_arith("price * (1 + rate / 100 * duration / 12) / duration")
-            .expect("parses");
+        let f = parse_arith("price * (1 + rate / 100 * duration / 12) / duration").expect("parses");
         let r = rel();
         let p = f.eval(&r, &r.tuples()[0]).expect("computes");
         let expected = 24000.0 * (1.0 + 0.072 * 4.0) / 48.0;
@@ -283,10 +282,7 @@ mod tests {
     #[test]
     fn attrs_collected() {
         let f = parse_arith("price * rate + price / duration").expect("parses");
-        assert_eq!(
-            f.attrs(),
-            vec![Attr::new("price"), Attr::new("rate"), Attr::new("duration")]
-        );
+        assert_eq!(f.attrs(), vec![Attr::new("price"), Attr::new("rate"), Attr::new("duration")]);
     }
 
     #[test]

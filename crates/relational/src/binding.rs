@@ -71,9 +71,7 @@ impl BindingSet {
         I: IntoIterator<Item = J>,
         J: IntoIterator<Item = &'a str>,
     {
-        BindingSet::from_bindings(
-            lists.into_iter().map(|l| l.into_iter().map(Attr::new).collect()),
-        )
+        BindingSet::from_bindings(lists.into_iter().map(|l| l.into_iter().map(Attr::new).collect()))
     }
 
     /// Remove duplicate and non-minimal (superset) bindings, sort for
@@ -82,9 +80,7 @@ impl BindingSet {
         self.bindings.sort();
         self.bindings.dedup();
         let snapshot = self.bindings.clone();
-        self.bindings.retain(|b| {
-            !snapshot.iter().any(|other| other != b && other.is_subset(b))
-        });
+        self.bindings.retain(|b| !snapshot.iter().any(|other| other != b && other.is_subset(b)));
         self.bindings.sort_by_key(|b| (b.len(), format!("{b:?}")));
     }
 
@@ -115,9 +111,7 @@ impl fmt::Display for BindingSet {
         let parts: Vec<String> = self
             .bindings
             .iter()
-            .map(|b| {
-                format!("{{{}}}", b.iter().map(Attr::as_str).collect::<Vec<_>>().join(", "))
-            })
+            .map(|b| format!("{{{}}}", b.iter().map(Attr::as_str).collect::<Vec<_>>().join(", ")))
             .collect();
         f.write_str(&parts.join(" | "))
     }
@@ -131,8 +125,7 @@ impl BindingRules {
     /// σ rule: bindings carry over, and equality constants supply their
     /// attributes.
     pub fn select(input: &BindingSet, pred: &Pred) -> BindingSet {
-        let bound: BTreeSet<Attr> =
-            pred.bound_constants().into_iter().map(|(a, _)| a).collect();
+        let bound: BTreeSet<Attr> = pred.bound_constants().into_iter().map(|(a, _)| a).collect();
         let mut out = Vec::with_capacity(input.bindings.len() * 2);
         for b in &input.bindings {
             out.push(b.clone()); // paper's rule: M remains a binding
@@ -179,9 +172,7 @@ impl BindingRules {
     /// Relaxed ∪ (paper footnote 4): the user accepts partial answers, so
     /// each side's bindings are separately acceptable.
     pub fn relaxed_union(l: &BindingSet, r: &BindingSet) -> BindingSet {
-        BindingSet::from_bindings(
-            l.bindings.iter().chain(r.bindings.iter()).cloned(),
-        )
+        BindingSet::from_bindings(l.bindings.iter().chain(r.bindings.iter()).cloned())
     }
 
     /// ⋈ rule: `M₁ ∪ M₂`, plus the variants where the common attributes
@@ -364,8 +355,7 @@ mod tests {
                 _ => None,
             }
         };
-        let out_attrs =
-            ["make", "model", "year", "price", "contact", "features"];
+        let out_attrs = ["make", "model", "year", "price", "contact", "features"];
         let e = Expr::relation("newsday")
             .join(Expr::relation("newsdayCarFeatures"))
             .project(out_attrs)

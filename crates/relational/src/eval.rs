@@ -66,8 +66,7 @@ impl AccessSpec {
 
 impl fmt::Display for AccessSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.constants.iter().map(|(a, v)| format!("{a}={v}")).collect();
+        let parts: Vec<String> = self.constants.iter().map(|(a, v)| format!("{a}={v}")).collect();
         write!(f, "[{}]", parts.join(", "))
     }
 }
@@ -95,7 +94,10 @@ pub enum EvalError {
     UnknownRelation(String),
     /// A base relation was reached without values for any of its
     /// bindings; the message names the relation and what was available.
-    UnboundAccess { relation: String, available: String },
+    UnboundAccess {
+        relation: String,
+        available: String,
+    },
     SchemaMismatch(String),
     UnknownAttr(String),
     /// The underlying navigation/provider failed.
@@ -440,8 +442,7 @@ impl<'p, P: RelationProvider> Evaluator<'p, P> {
         }
 
         // Hash join on the shared attributes.
-        let (lrel, rrel) =
-            if swapped { (second_rel, first_rel) } else { (first_rel, second_rel) };
+        let (lrel, rrel) = if swapped { (second_rel, first_rel) } else { (first_rel, second_rel) };
         Ok(hash_join(&lrel, &rrel))
     }
 }
@@ -522,19 +523,12 @@ impl RelationProvider for MemoryProvider {
     }
 
     fn bindings(&self, name: &str) -> Option<BindingSet> {
-        Some(
-            self.bindings
-                .get(name)
-                .cloned()
-                .unwrap_or_else(BindingSet::free),
-        )
+        Some(self.bindings.get(name).cloned().unwrap_or_else(BindingSet::free))
     }
 
     fn fetch(&mut self, name: &str, spec: &AccessSpec) -> Result<Relation, EvalError> {
-        let rel = self
-            .relations
-            .get(name)
-            .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
+        let rel =
+            self.relations.get(name).ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
         let binds = self.bindings(name).expect("bindings default to free");
         if !binds.satisfied_by(&spec.attrs()) {
             return Err(EvalError::UnboundAccess {
@@ -611,9 +605,8 @@ mod tests {
         let mut p = MemoryProvider::new();
         p.add_with_bindings("cars", cars(), BindingSet::from_attr_lists([vec!["make"]]));
         p.add_with_bindings("feats", feats(), BindingSet::from_attr_lists([vec!["url"]]));
-        let e = Expr::relation("cars")
-            .join(Expr::relation("feats"))
-            .select(Pred::eq("make", "ford"));
+        let e =
+            Expr::relation("cars").join(Expr::relation("feats")).select(Pred::eq("make", "ford"));
         let r = Evaluator::new(&mut p).eval(&e, &AccessSpec::new()).expect("evals");
         assert_eq!(r.len(), 2);
         // cars fetched once (make=ford), feats once per distinct url (2).
@@ -754,10 +747,7 @@ mod diff_tests {
     fn difference_schema_mismatch() {
         let mut p = MemoryProvider::new();
         p.add("l", rel_ab(&[(1, 1)]));
-        p.add(
-            "r",
-            Relation::from_rows(Schema::new(["x"]), [vec![Value::Int(1)]]),
-        );
+        p.add("r", Relation::from_rows(Schema::new(["x"]), [vec![Value::Int(1)]]));
         let e = Expr::relation("l").diff(Expr::relation("r"));
         assert!(matches!(
             Evaluator::new(&mut p).eval(&e, &AccessSpec::new()),

@@ -48,9 +48,9 @@ pub mod prelude {
     pub use crate::optimize::optimize;
     pub use crate::predicate::Pred;
     pub use crate::relation::{Relation, Tuple};
+    pub use crate::schema::{Attr, Schema};
     pub use crate::select::{parse_select, SelectQuery};
     pub use crate::standardize::Standardizer;
-    pub use crate::schema::{Attr, Schema};
     pub use crate::value::Value;
 }
 

@@ -76,12 +76,8 @@ fn push_select(p: Pred, inner: Expr, base: &dyn Fn(&str) -> Option<Schema>) -> E
         Expr::Select(e, q) => push_select(Pred::and(vec![p, q]), *e, base),
         // Distribute over union / difference (sound for both: difference
         // commutes with selection).
-        Expr::Union(l, r) => {
-            push_select(p.clone(), *l, base).union(push_select(p, *r, base))
-        }
-        Expr::Diff(l, r) => {
-            push_select(p.clone(), *l, base).diff(push_select(p, *r, base))
-        }
+        Expr::Union(l, r) => push_select(p.clone(), *l, base).union(push_select(p, *r, base)),
+        Expr::Diff(l, r) => push_select(p.clone(), *l, base).diff(push_select(p, *r, base)),
         // Commute with projection when every predicate attribute is
         // visible below.
         Expr::Project(e, attrs) => {
@@ -138,23 +134,17 @@ fn push_select(p: Pred, inner: Expr, base: &dyn Fn(&str) -> Option<Schema>) -> E
             }
         }
         // Through a rename: translate attribute names backwards.
-        Expr::Rename(e, pairs) => {
-            match rename_pred_back(&p, &pairs) {
-                Some(back) => push_select(back, *e, base).rename(pairs),
-                None => Expr::Select(Box::new(Expr::Rename(e, pairs)), p),
-            }
-        }
+        Expr::Rename(e, pairs) => match rename_pred_back(&p, &pairs) {
+            Some(back) => push_select(back, *e, base).rename(pairs),
+            None => Expr::Select(Box::new(Expr::Rename(e, pairs)), p),
+        },
         // Push conjuncts that don't mention the computed column below the
         // extend; the rest (and anything reading the new column) stays.
         Expr::Extend(e, attr, formula) => {
             let conjuncts = flatten_and(p);
             let (below, above): (Vec<Pred>, Vec<Pred>) =
                 conjuncts.into_iter().partition(|c| !c.attrs().contains(&attr));
-            let inner = if below.is_empty() {
-                *e
-            } else {
-                push_select(Pred::and(below), *e, base)
-            };
+            let inner = if below.is_empty() { *e } else { push_select(Pred::and(below), *e, base) };
             let extended = Expr::Extend(Box::new(inner), attr, formula);
             if above.is_empty() {
                 extended
@@ -232,22 +222,17 @@ mod tests {
 
     #[test]
     fn pushdown_through_union() {
-        let e = Expr::relation("ads")
-            .union(Expr::relation("ads"))
-            .select(Pred::eq("make", "ford"));
+        let e = Expr::relation("ads").union(Expr::relation("ads")).select(Pred::eq("make", "ford"));
         let o = optimize(&e, &base);
-        assert!(
-            matches!(o, Expr::Union(ref l, _) if matches!(**l, Expr::Select(..))),
-            "{o}"
-        );
+        assert!(matches!(o, Expr::Union(ref l, _) if matches!(**l, Expr::Select(..))), "{o}");
     }
 
     #[test]
     fn join_split_by_coverage() {
         let p = Pred::and(vec![
-            Pred::eq("price", 1000i64),       // left only
-            Pred::eq("bbprice", 2000i64),     // right only
-            Pred::eq("make", "ford"),         // shared → both
+            Pred::eq("price", 1000i64),        // left only
+            Pred::eq("bbprice", 2000i64),      // right only
+            Pred::eq("make", "ford"),          // shared → both
             Pred::attr_lt("price", "bbprice"), // cross → stays above
         ]);
         let e = Expr::relation("ads").join(Expr::relation("book")).select(p);
@@ -262,7 +247,10 @@ mod tests {
     fn select_commutes_with_projection_when_visible() {
         let e = Expr::relation("ads").project(["make", "price"]).select(Pred::eq("make", "ford"));
         let o = optimize(&e, &base);
-        assert!(matches!(o, Expr::Project(ref inner, _) if matches!(**inner, Expr::Select(..))), "{o}");
+        assert!(
+            matches!(o, Expr::Project(ref inner, _) if matches!(**inner, Expr::Select(..))),
+            "{o}"
+        );
         // …but not when the projection hides the attribute.
         let e2 = Expr::relation("ads").project(["price"]).select(Pred::lt("price", 1i64));
         let o2 = optimize(&e2, &base);
@@ -312,10 +300,7 @@ mod tests {
         );
         let e = Expr::relation("ads")
             .join(Expr::relation("book"))
-            .select(Pred::and(vec![
-                Pred::eq("make", "ford"),
-                Pred::attr_lt("price", "bbprice"),
-            ]))
+            .select(Pred::and(vec![Pred::eq("make", "ford"), Pred::attr_lt("price", "bbprice")]))
             .project(["make", "model", "price", "bbprice"]);
         let o = optimize(&e, &base);
         assert_ne!(o, e, "the rewrite should fire");
@@ -337,9 +322,7 @@ mod tests {
         // statically invocable on each side.
         use crate::binding::propagate;
         let bb = |_: &str| Some(BindingSet::from_attr_lists([vec!["make"]]));
-        let e = Expr::relation("ads")
-            .join(Expr::relation("book"))
-            .select(Pred::eq("make", "ford"));
+        let e = Expr::relation("ads").join(Expr::relation("book")).select(Pred::eq("make", "ford"));
         let o = optimize(&e, &base);
         let ob = propagate(&o, &bb, &base, false);
         assert!(

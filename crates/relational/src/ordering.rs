@@ -73,13 +73,8 @@ fn dfs(
             continue;
         }
         chosen.push(i);
-        let added: Vec<Attr> = input
-            .schema
-            .attrs()
-            .iter()
-            .filter(|a| !available.contains(*a))
-            .cloned()
-            .collect();
+        let added: Vec<Attr> =
+            input.schema.attrs().iter().filter(|a| !available.contains(*a)).cloned().collect();
         for a in &added {
             available.insert(a.clone());
         }
@@ -113,7 +108,7 @@ pub fn order_greedy(inputs: &[JoinInput], initial: &BTreeSet<Attr>) -> Option<Or
                 let new_attrs =
                     input.schema.attrs().iter().filter(|a| !available.contains(*a)).count();
                 let cand = (b.len(), new_attrs, i);
-                if best.map_or(true, |cur| cand < cur) {
+                if best.is_none_or(|cur| cand < cur) {
                     best = Some(cand);
                 }
             }
@@ -183,10 +178,7 @@ mod tests {
 
     #[test]
     fn infeasible_when_nothing_starts() {
-        let inputs = [
-            input("a", &["x", "y"], &[&["y"]]),
-            input("b", &["y", "z"], &[&["x"]]),
-        ];
+        let inputs = [input("a", &["x", "y"], &[&["y"]]), input("b", &["y", "z"], &[&["x"]])];
         assert_eq!(order_exact(&inputs, &BTreeSet::new()), None);
         assert_eq!(order_greedy(&inputs, &BTreeSet::new()), None);
     }
@@ -240,10 +232,8 @@ mod tests {
         assert_eq!(order_greedy(&inputs, &BTreeSet::new()), None);
         // And a feasible instance where greedy's choice order differs but
         // still succeeds:
-        let inputs2 = [
-            input("a", &["p", "q"], &[&["p"]]),
-            input("b", &["q", "r"], &[&["q"], &["p", "r"]]),
-        ];
+        let inputs2 =
+            [input("a", &["p", "q"], &[&["p"]]), input("b", &["q", "r"], &[&["q"], &["p", "r"]])];
         let init = attrs(&["p"]);
         let g = order_greedy(&inputs2, &init).expect("feasible");
         assert!(is_feasible(&inputs2, &init, &g));
@@ -292,11 +282,7 @@ mod tests {
         for i in 0..14i32 {
             let me = format!("a{i}");
             let prev = format!("a{}", i.saturating_sub(1));
-            let schema = if i == 0 {
-                vec![me.clone()]
-            } else {
-                vec![prev.clone(), me.clone()]
-            };
+            let schema = if i == 0 { vec![me.clone()] } else { vec![prev.clone(), me.clone()] };
             let binding: Vec<&str> = if i == 0 { vec![] } else { vec![prev.as_str()] };
             inputs.push(JoinInput::new(
                 &format!("r{i}"),

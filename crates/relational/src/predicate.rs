@@ -243,10 +243,8 @@ mod tests {
 
     #[test]
     fn and_flattens() {
-        let p = Pred::and(vec![
-            Pred::True,
-            Pred::and(vec![Pred::eq("a", 1i64), Pred::eq("b", 2i64)]),
-        ]);
+        let p =
+            Pred::and(vec![Pred::True, Pred::and(vec![Pred::eq("a", 1i64), Pred::eq("b", 2i64)])]);
         match &p {
             Pred::And(ps) => assert_eq!(ps.len(), 2),
             other => panic!("expected And, got {other:?}"),
@@ -266,11 +264,8 @@ mod tests {
 
     #[test]
     fn attrs_collected_without_dupes() {
-        let p = Pred::and(vec![
-            Pred::eq("a", 1i64),
-            Pred::attr_lt("a", "b"),
-            Pred::contains("c", "x"),
-        ]);
+        let p =
+            Pred::and(vec![Pred::eq("a", 1i64), Pred::attr_lt("a", "b"), Pred::contains("c", "x")]);
         assert_eq!(p.attrs(), vec![Attr::new("a"), Attr::new("b"), Attr::new("c")]);
     }
 

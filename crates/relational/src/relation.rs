@@ -119,11 +119,8 @@ impl Relation {
         let headers: Vec<String> =
             self.schema.attrs().iter().map(|a| a.as_str().to_string()).collect();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
-        let rows: Vec<Vec<String>> = self
-            .tuples
-            .iter()
-            .map(|t| t.values().iter().map(Value::to_string).collect())
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.tuples.iter().map(|t| t.values().iter().map(Value::to_string).collect()).collect();
         for row in &rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -234,8 +231,7 @@ mod tests {
     #[test]
     fn named_iteration() {
         let r = rel();
-        let pairs: Vec<String> =
-            r.named(&r.tuples()[0]).map(|(a, v)| format!("{a}={v}")).collect();
+        let pairs: Vec<String> = r.named(&r.tuples()[0]).map(|(a, v)| format!("{a}={v}")).collect();
         assert_eq!(pairs, vec!["make=ford", "price=500"]);
     }
 }

@@ -53,10 +53,7 @@ impl Schema {
     {
         let attrs: Vec<Attr> = attrs.into_iter().map(Into::into).collect();
         for (i, a) in attrs.iter().enumerate() {
-            assert!(
-                !attrs[..i].contains(a),
-                "duplicate attribute {a} in schema"
-            );
+            assert!(!attrs[..i].contains(a), "duplicate attribute {a} in schema");
         }
         Schema { attrs }
     }
@@ -109,11 +106,7 @@ impl Schema {
 
 impl fmt::Display for Schema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "({})",
-            self.attrs.iter().map(Attr::as_str).collect::<Vec<_>>().join(", ")
-        )
+        write!(f, "({})", self.attrs.iter().map(Attr::as_str).collect::<Vec<_>>().join(", "))
     }
 }
 

@@ -34,11 +34,7 @@ impl SelectQuery {
     /// The equality constants of the WHERE clause (binding values for a
     /// handle invocation).
     pub fn constants(&self) -> Vec<(String, Value)> {
-        self.pred
-            .bound_constants()
-            .into_iter()
-            .map(|(a, v)| (a.as_str().to_string(), v))
-            .collect()
+        self.pred.bound_constants().into_iter().map(|(a, v)| (a.as_str().to_string(), v)).collect()
     }
 
     /// Wrap a relation with this query's selection and projection.
@@ -233,10 +229,9 @@ mod tests {
 
     #[test]
     fn the_papers_query() {
-        let q = parse_select(
-            "SELECT make,model,year,price,contact WHERE make=ford AND model=escort",
-        )
-        .expect("parses");
+        let q =
+            parse_select("SELECT make,model,year,price,contact WHERE make=ford AND model=escort")
+                .expect("parses");
         assert_eq!(q.outputs, vec!["make", "model", "year", "price", "contact"]);
         assert_eq!(
             q.constants(),
@@ -259,10 +254,9 @@ mod tests {
 
     #[test]
     fn quoted_and_numeric_values() {
-        let q = parse_select(
-            "SELECT make WHERE make='vanden plas' AND price < 30000 AND rate <= 7.5",
-        )
-        .expect("parses");
+        let q =
+            parse_select("SELECT make WHERE make='vanden plas' AND price < 30000 AND rate <= 7.5")
+                .expect("parses");
         match &q.pred {
             Pred::And(ps) => {
                 assert_eq!(ps.len(), 3);

@@ -60,8 +60,20 @@ impl Standardizer {
     /// The standardiser for the used-car webbase vocabulary.
     pub fn car_domain() -> Standardizer {
         Standardizer::new([
-            "make", "model", "year", "price", "contact", "features", "url", "picture", "zip",
-            "condition", "bbprice", "safety", "duration", "rate",
+            "make",
+            "model",
+            "year",
+            "price",
+            "contact",
+            "features",
+            "url",
+            "picture",
+            "zip",
+            "condition",
+            "bbprice",
+            "safety",
+            "duration",
+            "rate",
         ])
     }
 
@@ -78,7 +90,7 @@ impl Standardizer {
         if let Some(m) = self.manual.get(&lower) {
             return Some(m.clone());
         }
-        if self.standard.iter().any(|s| *s == lower) {
+        if self.standard.contains(&lower) {
             return Some(lower);
         }
         if let Some((_, to)) = SYNONYMS.iter().find(|(from, _)| *from == lower) {
@@ -91,7 +103,7 @@ impl Standardizer {
         let mut best: Option<(f64, &String)> = None;
         for cand in &self.standard {
             let d = levenshtein(&lower, cand) as f64 / lower.len().max(cand.len()).max(1) as f64;
-            if best.map_or(true, |(bd, _)| d < bd) {
+            if best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, cand));
             }
         }

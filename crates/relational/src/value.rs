@@ -95,8 +95,7 @@ impl Value {
         if t.is_empty() || t == "-" || t.eq_ignore_ascii_case("n/a") {
             return Value::Null;
         }
-        let cleaned: String =
-            t.chars().filter(|c| !matches!(c, '$' | ',')).collect();
+        let cleaned: String = t.chars().filter(|c| !matches!(c, '$' | ',')).collect();
         let cleaned = cleaned.trim();
         if let Ok(i) = cleaned.parse::<i64>() {
             // Only treat as a number if the original looked numeric

@@ -11,16 +11,13 @@ use webbase_relational::prelude::*;
 /// A random small relation over `attrs` with small integer values (to
 /// force collisions and joins).
 fn small_relation(attrs: &'static [&'static str]) -> impl Strategy<Value = Relation> {
-    proptest::collection::vec(
-        proptest::collection::vec(0i64..5, attrs.len()..=attrs.len()),
-        0..12,
-    )
-    .prop_map(move |rows| {
-        Relation::from_rows(
-            Schema::new(attrs.iter().copied()),
-            rows.into_iter().map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>()),
-        )
-    })
+    proptest::collection::vec(proptest::collection::vec(0i64..5, attrs.len()..=attrs.len()), 0..12)
+        .prop_map(move |rows| {
+            Relation::from_rows(
+                Schema::new(attrs.iter().copied()),
+                rows.into_iter().map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>()),
+            )
+        })
 }
 
 proptest! {
@@ -239,9 +236,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 // union/diff need equal schemas: project both onto (k).
                 a.project(["k"]).union(b.project(["k"]))
             }),
-            (inner.clone(), inner).prop_map(|(a, b)| {
-                a.project(["k"]).diff(b.project(["k"]))
-            }),
+            (inner.clone(), inner).prop_map(|(a, b)| { a.project(["k"]).diff(b.project(["k"])) }),
         ]
     })
 }

@@ -74,18 +74,14 @@ impl Hierarchy {
 
     /// Two alternatives are exclusive when they share a group.
     pub fn exclusive(&self, a: &str, b: &str) -> bool {
-        a != b
-            && self
-                .group_of(a)
-                .is_some_and(|ga| ga.alternatives.iter().any(|x| x.name == b))
+        a != b && self.group_of(a).is_some_and(|ga| ga.alternatives.iter().any(|x| x.name == b))
     }
 
     /// Figure 5 text rendering: the UR with its concept tree.
     pub fn render(&self, ur_attrs: &[String]) -> String {
         let mut out = format!("{}({})\n", self.ur_name, ur_attrs.join(", "));
         for g in &self.groups {
-            let alts: Vec<&str> =
-                g.alternatives.iter().map(|a| a.name.as_str()).collect();
+            let alts: Vec<&str> = g.alternatives.iter().map(|a| a.name.as_str()).collect();
             out.push_str(&format!("  {} := {}\n", g.name, alts.join(" | ")));
             for a in &g.alternatives {
                 let fixed: Vec<String> =

@@ -49,11 +49,8 @@ pub fn compatible_sets(h: &Hierarchy, rules: &CompatRules) -> Vec<AltSet> {
 /// other compatible set.
 pub fn maximal_objects(h: &Hierarchy, rules: &CompatRules) -> Vec<AltSet> {
     let all = compatible_sets(h, rules);
-    let mut maximal: Vec<AltSet> = all
-        .iter()
-        .filter(|s| !all.iter().any(|t| *t != **s && s.is_subset(t)))
-        .cloned()
-        .collect();
+    let mut maximal: Vec<AltSet> =
+        all.iter().filter(|s| !all.iter().any(|t| *t != **s && s.is_subset(t))).cloned().collect();
     maximal.sort();
     maximal
 }

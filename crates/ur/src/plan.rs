@@ -43,6 +43,10 @@ pub struct UrPlan {
     /// Covering sets that could not be ordered under the available
     /// bindings, with the reason.
     pub skipped: Vec<(AltSet, String)>,
+    /// What the Web did to *this* execution: per-site retries, timeouts,
+    /// fast-fails, and abandoned branches (empty until [`UrPlanner::execute`]
+    /// runs the plan, and clean when every site behaved).
+    pub degradation: webbase_logical::DegradationReport,
 }
 
 impl UrPlan {
@@ -178,11 +182,15 @@ impl UrPlanner {
             }
         }
         if objects.is_empty() {
-            let reasons: Vec<String> =
-                skipped.iter().map(|(s, r)| format!("{s:?}: {r}")).collect();
+            let reasons: Vec<String> = skipped.iter().map(|(s, r)| format!("{s:?}: {r}")).collect();
             return Err(UrError::InsufficientBindings(reasons.join("; ")));
         }
-        Ok(UrPlan { query: query.clone(), objects, skipped })
+        Ok(UrPlan {
+            query: query.clone(),
+            objects,
+            skipped,
+            degradation: webbase_logical::DegradationReport::default(),
+        })
     }
 
     /// Build one object's conjunctive query, join-ordered under bindings.
@@ -259,7 +267,10 @@ impl UrPlanner {
         query: &UrQuery,
         layer: &mut LogicalLayer,
     ) -> Result<(Relation, UrPlan), UrError> {
-        let plan = self.plan(query, layer)?;
+        let mut plan = self.plan(query, layer)?;
+        // Snapshot cumulative per-site degradation so the plan reports
+        // only what *this* execution endured.
+        let degradation_before = layer.vps.degradation();
         let mut result: Option<Relation> = None;
         for obj in &plan.objects {
             let rel = Evaluator::new(layer).eval(&obj.expr, &AccessSpec::new())?;
@@ -280,6 +291,7 @@ impl UrPlanner {
                 }
             });
         }
+        plan.degradation = layer.vps.degradation().since(&degradation_before);
         Ok((result.expect("objects is non-empty"), plan))
     }
 }
@@ -341,10 +353,8 @@ mod tests {
         // rate with plan fixed by the Lease concept… the user asks for
         // lease rates by querying rate with the Lease-selecting trick:
         // mention cost (insurance) and rate; bind zip/duration/condition.
-        let q = parse_query(
-            "UsedCarUR(make='ford', price, rate, cost, zip='10001', duration=36)",
-        )
-        .expect("parses");
+        let q = parse_query("UsedCarUR(make='ford', price, rate, cost, zip='10001', duration=36)")
+            .expect("parses");
         let plan = planner().plan(&q, &layer).expect("plans");
         for obj in &plan.objects {
             if obj.alternatives.contains("Lease") {
@@ -378,10 +388,7 @@ mod tests {
     fn unknown_attribute_rejected() {
         let (layer, _) = layer();
         let q = parse_query("UsedCarUR(warp_drive)").expect("parses");
-        assert!(matches!(
-            planner().plan(&q, &layer),
-            Err(UrError::UnknownAttribute(_))
-        ));
+        assert!(matches!(planner().plan(&q, &layer), Err(UrError::UnknownAttribute(_))));
     }
 
     #[test]
@@ -471,11 +478,7 @@ mod computed_plan_tests {
         let (result, plan) = planner.execute(&q, &mut layer).expect("executes");
         assert!(!plan.objects.is_empty(), "{}", plan.render());
         // Lease and Loan objects both planned (both finance meanings).
-        assert!(
-            plan.objects.iter().any(|o| o.alternatives.contains("Loan")),
-            "{}",
-            plan.render()
-        );
+        assert!(plan.objects.iter().any(|o| o.alternatives.contains("Loan")), "{}", plan.render());
 
         // Every answer satisfies the computed constraint, recomputed
         // from the row's own attributes.

@@ -7,6 +7,7 @@ use std::rc::Rc;
 use std::time::Duration;
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
+use webbase_navigation::DegradationReport;
 use webbase_relational::binding::{Binding, BindingSet};
 use webbase_relational::eval::{AccessSpec, EvalError, RelationProvider};
 use webbase_relational::{Attr, Relation, Schema, Tuple, Value};
@@ -19,7 +20,11 @@ pub struct VpsStats {
     pub invocations: HashMap<String, u32>,
     /// Pages fetched per relation (network, not cache).
     pub pages: HashMap<String, u32>,
-    /// Simulated network time per relation.
+    /// Retries spent recovering from transient fetch failures, per
+    /// relation.
+    pub retries: HashMap<String, u32>,
+    /// Simulated network time per relation (includes retry backoff and
+    /// timeout waits).
     pub network: HashMap<String, Duration>,
     /// Interpreter CPU time per relation.
     pub cpu: HashMap<String, Duration>,
@@ -28,6 +33,10 @@ pub struct VpsStats {
 impl VpsStats {
     pub fn total_pages(&self) -> u32 {
         self.pages.values().sum()
+    }
+
+    pub fn total_retries(&self) -> u32 {
+        self.retries.values().sum()
     }
 
     pub fn total_network(&self) -> Duration {
@@ -99,16 +108,29 @@ impl VpsCatalog {
         self.entries.get(relation).map(|e| &e.navigator)
     }
 
+    /// Per-site degradation merged across every navigator in the
+    /// catalog. Navigators are shared between the relations of one site
+    /// (one browser session per map), so they are deduplicated by
+    /// identity before merging.
+    pub fn degradation(&self) -> DegradationReport {
+        let mut seen: std::collections::HashSet<*const SiteNavigator> =
+            std::collections::HashSet::new();
+        let mut report = DegradationReport::default();
+        for name in &self.order {
+            let nav = &self.entries[name].navigator;
+            if seen.insert(Rc::as_ptr(nav)) {
+                report.merge(&nav.degradation());
+            }
+        }
+        report
+    }
+
     /// The Table 1 rendering: relation name, site, schema.
     pub fn render_table1(&self) -> String {
         let mut out = String::from("VPS-level relations\n");
         for name in &self.order {
             let e = &self.entries[name];
-            out.push_str(&format!(
-                "  {name}{}   [site: {}]\n",
-                e.schema,
-                e.navigator.map.site
-            ));
+            out.push_str(&format!("  {name}{}   [site: {}]\n", e.schema, e.navigator.map.site));
         }
         out
     }
@@ -143,16 +165,16 @@ impl RelationProvider for VpsCatalog {
 
     fn bindings(&self, name: &str) -> Option<BindingSet> {
         let e = self.entries.get(name)?;
-        Some(BindingSet::from_bindings(e.handles.iter().map(|h| {
-            h.mandatory.iter().map(|a| Attr::new(a.clone())).collect::<Binding>()
-        })))
+        Some(BindingSet::from_bindings(
+            e.handles
+                .iter()
+                .map(|h| h.mandatory.iter().map(|a| Attr::new(a.clone())).collect::<Binding>()),
+        ))
     }
 
     fn fetch(&mut self, name: &str, spec: &AccessSpec) -> Result<Relation, EvalError> {
-        let e = self
-            .entries
-            .get(name)
-            .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
+        let e =
+            self.entries.get(name).ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
         let available = spec.attrs();
         // Pick a handle whose mandatory set is covered; among those,
         // prefer the one that can *use* the most of the supplied values
@@ -160,14 +182,9 @@ impl RelationProvider for VpsCatalog {
         let handle = e
             .handles
             .iter()
-            .filter(|h| {
-                h.mandatory.iter().all(|a| available.contains(&Attr::new(a.clone())))
-            })
+            .filter(|h| h.mandatory.iter().all(|a| available.contains(&Attr::new(a.clone()))))
             .max_by_key(|h| {
-                h.selection
-                    .iter()
-                    .filter(|a| available.contains(&Attr::new((*a).clone())))
-                    .count()
+                h.selection.iter().filter(|a| available.contains(&Attr::new((*a).clone()))).count()
             })
             .ok_or_else(|| EvalError::UnboundAccess {
                 relation: name.to_string(),
@@ -185,6 +202,7 @@ impl RelationProvider for VpsCatalog {
             .map_err(|err| EvalError::Provider(err.to_string()))?;
         *self.stats.invocations.entry(name.to_string()).or_default() += 1;
         *self.stats.pages.entry(name.to_string()).or_default() += run.pages_fetched;
+        *self.stats.retries.entry(name.to_string()).or_default() += run.retries;
         *self.stats.network.entry(name.to_string()).or_default() += run.network;
         *self.stats.cpu.entry(name.to_string()).or_default() += run.cpu;
 
@@ -316,9 +334,8 @@ mod tests {
         let url_idx = base.schema().index_of(&"url".into()).expect("url col");
         let url = base.tuples()[0].get(url_idx).clone();
         let pages_before = cat.stats.total_pages();
-        let feat = cat
-            .fetch("newsdayCarFeatures", &AccessSpec::new().with("url", url))
-            .expect("features");
+        let feat =
+            cat.fetch("newsdayCarFeatures", &AccessSpec::new().with("url", url)).expect("features");
         assert_eq!(feat.len(), 1);
         let delta = cat.stats.total_pages() - pages_before;
         assert!(delta <= 2, "direct dereference should fetch ~1 page, got {delta}");

@@ -85,11 +85,10 @@ pub fn derive_handles(map: &NavigationMap) -> Vec<Handle> {
             }
         }
         if viable {
-            push_merged(&mut handles, Handle {
-                relation: reg.relation.clone(),
-                mandatory,
-                selection,
-            });
+            push_merged(
+                &mut handles,
+                Handle { relation: reg.relation.clone(), mandatory, selection },
+            );
         }
 
         // Direct-dereference handle for @url specs.
@@ -99,11 +98,10 @@ pub fn derive_handles(map: &NavigationMap) -> Vec<Handle> {
             .find(|f| f.source == webbase_navigation::extractor::PAGE_URL_SOURCE)
         {
             let set: BTreeSet<String> = [url_field.attr.clone()].into();
-            push_merged(&mut handles, Handle {
-                relation: reg.relation.clone(),
-                mandatory: set.clone(),
-                selection: set,
-            });
+            push_merged(
+                &mut handles,
+                Handle { relation: reg.relation.clone(), mandatory: set.clone(), selection: set },
+            );
         }
     }
     handles
@@ -150,8 +148,7 @@ mod tests {
         assert!(!nd.is_empty());
         assert!(nd.iter().any(|h| h.mandatory == set(&["make"])), "{nd:?}");
         // newsdayCarFeatures: mandatory {url} (the Table 3 row).
-        let cf: Vec<&Handle> =
-            hs.iter().filter(|h| h.relation == "newsdayCarFeatures").collect();
+        let cf: Vec<&Handle> = hs.iter().filter(|h| h.relation == "newsdayCarFeatures").collect();
         assert!(cf.iter().any(|h| h.mandatory == set(&["url"])), "{cf:?}");
     }
 
@@ -197,23 +194,20 @@ mod tests {
     #[test]
     fn merging_respects_agreement() {
         let mut hs = vec![];
-        push_merged(&mut hs, Handle {
-            relation: "r".into(),
-            mandatory: set(&["a"]),
-            selection: set(&["a", "b"]),
-        });
-        push_merged(&mut hs, Handle {
-            relation: "r".into(),
-            mandatory: set(&["a"]),
-            selection: set(&["a", "c"]),
-        });
+        push_merged(
+            &mut hs,
+            Handle { relation: "r".into(), mandatory: set(&["a"]), selection: set(&["a", "b"]) },
+        );
+        push_merged(
+            &mut hs,
+            Handle { relation: "r".into(), mandatory: set(&["a"]), selection: set(&["a", "c"]) },
+        );
         assert_eq!(hs.len(), 1);
         assert_eq!(hs[0].selection, set(&["a", "b", "c"]));
-        push_merged(&mut hs, Handle {
-            relation: "r".into(),
-            mandatory: set(&["x"]),
-            selection: set(&["x"]),
-        });
+        push_merged(
+            &mut hs,
+            Handle { relation: "r".into(), mandatory: set(&["x"]), selection: set(&["x"]) },
+        );
         assert_eq!(hs.len(), 2);
     }
 }

@@ -22,3 +22,6 @@ pub mod handle;
 
 pub use catalog::{VpsCatalog, VpsStats};
 pub use handle::{derive_handles, Handle};
+// Degradation reporting surfaces through every layer; re-export so
+// upper layers need not depend on webbase-navigation directly.
+pub use webbase_navigation::{DegradationReport, FetchPolicy, SiteDegradation};

@@ -93,12 +93,12 @@ impl SiteSlice {
     pub fn carries(self, ad: &CarAd) -> bool {
         let h = ad.id.wrapping_mul(2654435761);
         match self {
-            SiteSlice::Newsday => h % 3 == 0,
+            SiteSlice::Newsday => h.is_multiple_of(3),
             SiteSlice::NyTimes => h % 3 == 1,
             SiteSlice::NewYorkDaily => h % 3 == 2,
-            SiteSlice::CarPoint => h % 4 == 0,
+            SiteSlice::CarPoint => h.is_multiple_of(4),
             SiteSlice::AutoWeb => h % 4 == 1,
-            SiteSlice::WwWheels => h % 2 == 0, // the big aggregator (most pages in §7)
+            SiteSlice::WwWheels => h.is_multiple_of(2), // the big aggregator (most pages in §7)
             SiteSlice::AutoConnect => h % 5 < 2,
             SiteSlice::YahooCars => h % 5 >= 2,
         }

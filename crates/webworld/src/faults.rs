@@ -9,6 +9,7 @@
 use crate::request::{Request, Response};
 use crate::server::Site;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Fails every `period`-th request with HTTP 500 (deterministic given
 /// the request order).
@@ -37,12 +38,11 @@ impl<S: Site> Site for FlakySite<S> {
 
     fn handle(&self, req: &Request) -> Response {
         let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.period > 0 && n % self.period == 0 {
+        if self.period > 0 && n.is_multiple_of(self.period) {
             return Response {
                 status: 500,
-                body: bytes::Bytes::from_static(
-                    b"<html><body><h1>500 Internal Server Error</h1>",
-                ),
+                body: bytes::Bytes::from_static(b"<html><body><h1>500 Internal Server Error</h1>"),
+                stall: Duration::ZERO,
             };
         }
         self.inner.handle(req)
@@ -74,16 +74,59 @@ impl<S: Site> Site for TruncatingSite<S> {
     }
 
     fn handle(&self, req: &Request) -> Response {
-        let resp = self.inner.handle(req);
+        let mut resp = self.inner.handle(req);
         if resp.body.len() <= self.max_bytes {
             return resp;
         }
-        let text = resp.html();
+        // Back off to a UTF-8 char boundary by scanning continuation
+        // bytes directly; the slice shares the response's allocation
+        // (no String round trip).
         let mut cut = self.max_bytes;
-        while cut > 0 && !text.is_char_boundary(cut) {
+        while cut > 0 && resp.body[cut] & 0xC0 == 0x80 {
             cut -= 1;
         }
-        Response { status: resp.status, body: bytes::Bytes::from(text[..cut].to_string()) }
+        resp.body = resp.body.slice(..cut);
+        resp
+    }
+}
+
+/// Delays every `period`-th response by `stall` of simulated server
+/// time — the hung-CGI-script failure mode. The stall is charged to the
+/// simulated network clock (never slept), so a browser with a fetch
+/// timeout observes it as a timeout, deterministically.
+pub struct StallingSite<S> {
+    inner: S,
+    period: u64,
+    stall: Duration,
+    counter: AtomicU64,
+}
+
+impl<S: Site> StallingSite<S> {
+    /// Wrap `inner`; every `period`-th request stalls for `stall`.
+    /// `period` 0 never stalls.
+    pub fn new(inner: S, period: u64, stall: Duration) -> StallingSite<S> {
+        StallingSite { inner, period, stall, counter: AtomicU64::new(0) }
+    }
+}
+
+impl<S: Site> Site for StallingSite<S> {
+    fn host(&self) -> &str {
+        self.inner.host()
+    }
+
+    fn entry(&self) -> crate::url::Url {
+        self.inner.entry()
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        let resp = self.inner.handle(req);
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.period > 0 && n.is_multiple_of(self.period) {
+            let stall = resp.stall + self.stall;
+            resp.with_stall(stall)
+        } else {
+            resp
+        }
     }
 }
 
@@ -136,6 +179,61 @@ mod tests {
         assert!(!doc.is_empty());
     }
 
+    /// A page that is almost entirely multi-byte UTF-8.
+    struct UnicodeSite;
+    impl Site for UnicodeSite {
+        fn host(&self) -> &str {
+            "unicode.test"
+        }
+        fn handle(&self, _req: &Request) -> Response {
+            Response::ok(format!("<html><body><p>{}</p>", "é中€—ß".repeat(40)))
+        }
+    }
+
+    #[test]
+    fn truncation_lands_on_char_boundaries_for_multibyte_pages() {
+        let site = TruncatingSite::new(UnicodeSite, 0);
+        // Every cut length must produce valid UTF-8, never panic, and
+        // never exceed the limit.
+        for max in 0..80 {
+            let t = TruncatingSite::new(UnicodeSite, max);
+            let r = t.handle(&Request::get(Url::new("unicode.test", "/")));
+            assert!(r.len_bytes() <= max, "cut {max} produced {} bytes", r.len_bytes());
+            assert!(std::str::from_utf8(&r.body).is_ok(), "cut {max} split a multi-byte char");
+        }
+        let _ = site;
+    }
+
+    #[test]
+    fn truncation_shares_the_allocation() {
+        // The truncated body equals a prefix of the original text —
+        // byte-sliced, not re-encoded.
+        let full = UnicodeSite.handle(&Request::get(Url::new("unicode.test", "/")));
+        let t = TruncatingSite::new(UnicodeSite, 33);
+        let cut = t.handle(&Request::get(Url::new("unicode.test", "/")));
+        assert!(full.html().starts_with(cut.html()));
+        assert!(cut.len_bytes() <= 33);
+    }
+
+    #[test]
+    fn stalling_site_delays_on_schedule() {
+        let web = SyntheticWeb::builder()
+            .site(StallingSite::new(Kellys::new(1), 3, std::time::Duration::from_secs(60)))
+            .latency(LatencyModel::zero())
+            .build();
+        let mut latencies = Vec::new();
+        for _ in 0..6 {
+            let (r, d) = web.fetch(&Request::get(Url::new("www.kbb.com", "/")));
+            assert!(r.is_ok(), "a stall is slowness, not an error");
+            latencies.push(d);
+        }
+        let minute = std::time::Duration::from_secs(60);
+        assert!(latencies[0] < minute && latencies[1] < minute);
+        assert!(latencies[2] >= minute, "third request stalls");
+        assert!(latencies[5] >= minute, "sixth request stalls");
+        assert!(latencies[3] < minute && latencies[4] < minute);
+    }
+
     #[test]
     fn dataset_unaffected_by_wrappers() {
         // Wrappers change delivery, not content: a successful fetch
@@ -143,8 +241,8 @@ mod tests {
         let d = Dataset::generate(1, 50);
         let _ = d; // Kellys is dataset-independent; the wrapper passes through
         let direct = Kellys::new(1).handle(&Request::get(Url::new("www.kbb.com", "/used")));
-        let wrapped =
-            FlakySite::new(Kellys::new(1), 100).handle(&Request::get(Url::new("www.kbb.com", "/used")));
+        let wrapped = FlakySite::new(Kellys::new(1), 100)
+            .handle(&Request::get(Url::new("www.kbb.com", "/used")));
         assert_eq!(direct, wrapped);
     }
 }

@@ -14,7 +14,10 @@ use webbase_html::escape::escape;
 pub enum Cell {
     Text(String),
     /// Text wrapped in a link.
-    Link { text: String, href: String },
+    Link {
+        text: String,
+        href: String,
+    },
 }
 
 impl Cell {
@@ -50,7 +53,12 @@ impl Widget {
         }
     }
 
-    pub fn select_owned(name: &str, label: &str, options: Vec<String>, include_any: bool) -> Widget {
+    pub fn select_owned(
+        name: &str,
+        label: &str,
+        options: Vec<String>,
+        include_any: bool,
+    ) -> Widget {
         Widget::Select { name: name.into(), label: label.into(), options, include_any }
     }
 
@@ -116,8 +124,7 @@ impl PageBuilder {
         self.body.push_str("<ul>\n");
         for (text, href) in items {
             if self.ill_formed {
-                self.body
-                    .push_str(&format!("<li><a href={}>{}</a>\n", escape(href), escape(text)));
+                self.body.push_str(&format!("<li><a href={}>{}</a>\n", escape(href), escape(text)));
             } else {
                 self.body.push_str(&format!(
                     "<li><a href=\"{}\">{}</a></li>\n",
@@ -131,7 +138,13 @@ impl PageBuilder {
     }
 
     /// Render a form.
-    pub fn form(mut self, action: &str, method: &str, widgets: &[Widget], submit: &str) -> PageBuilder {
+    pub fn form(
+        mut self,
+        action: &str,
+        method: &str,
+        widgets: &[Widget],
+        submit: &str,
+    ) -> PageBuilder {
         self.body.push_str(&format!(
             "<form action=\"{}\" method=\"{}\">\n",
             escape(action),
@@ -228,8 +241,7 @@ impl PageBuilder {
             if self.ill_formed {
                 self.body.push_str(&format!("<dt>{}<dd>{}\n", escape(k), escape(v)));
             } else {
-                self.body
-                    .push_str(&format!("<dt>{}</dt><dd>{}</dd>\n", escape(k), escape(v)));
+                self.body.push_str(&format!("<dt>{}</dt><dd>{}</dd>\n", escape(k), escape(v)));
             }
         }
         self.body.push_str("</dl>\n");
@@ -295,10 +307,7 @@ mod tests {
     #[test]
     fn table_renders_and_extracts() {
         let html = PageBuilder::new("t")
-            .table(
-                &["Make", "Price"],
-                &[vec![Cell::link("ford", "/car/1"), Cell::text("$500")]],
-            )
+            .table(&["Make", "Price"], &[vec![Cell::link("ford", "/car/1"), Cell::text("$500")]])
             .finish();
         let doc = parse(&html);
         let tables = extract::tables(&doc);
@@ -323,10 +332,7 @@ mod tests {
 
     #[test]
     fn href_params_encode() {
-        assert_eq!(
-            href_with_params("/q", &[("make", "ford"), ("m", "a b")]),
-            "/q?make=ford&m=a+b"
-        );
+        assert_eq!(href_with_params("/q", &[("make", "ford"), ("m", "a b")]), "/q?make=ford&m=a+b");
         assert_eq!(href_with_params("/q", &[]), "/q");
     }
 

@@ -2,6 +2,7 @@
 
 use crate::url::Url;
 use bytes::Bytes;
+use std::time::Duration;
 
 /// HTTP method — the simulated CGI scripts accept both, like their
 /// 1999 counterparts.
@@ -56,20 +57,35 @@ impl Request {
     }
 }
 
-/// A response: status plus HTML body.
+/// A response: status plus HTML body, plus an optional server-side
+/// stall — extra simulated latency a misbehaving (or fault-wrapped)
+/// site adds on top of the transfer-time model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     pub status: u16,
     pub body: Bytes,
+    /// Simulated server delay charged on top of the latency model's
+    /// size-based transfer time (zero for well-behaved sites).
+    pub stall: Duration,
 }
 
 impl Response {
     pub fn ok(html: String) -> Response {
-        Response { status: 200, body: Bytes::from(html) }
+        Response { status: 200, body: Bytes::from(html), stall: Duration::ZERO }
     }
 
     pub fn not_found(msg: &str) -> Response {
-        Response { status: 404, body: Bytes::from(format!("<html><body><h1>404</h1><p>{msg}</p>")) }
+        Response {
+            status: 404,
+            body: Bytes::from(format!("<html><body><h1>404</h1><p>{msg}</p>")),
+            stall: Duration::ZERO,
+        }
+    }
+
+    /// The same response, delayed by `stall` of simulated server time.
+    pub fn with_stall(mut self, stall: Duration) -> Response {
+        self.stall = stall;
+        self
     }
 
     pub fn html(&self) -> &str {

@@ -24,6 +24,22 @@ pub trait Site: Send + Sync {
     fn handle(&self, req: &Request) -> Response;
 }
 
+/// Boxed sites are sites too, so fault wrappers can wrap sites that
+/// were already registered (see [`WebBuilder::map_sites`]).
+impl Site for Box<dyn Site> {
+    fn host(&self) -> &str {
+        (**self).host()
+    }
+
+    fn entry(&self) -> Url {
+        (**self).entry()
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        (**self).handle(req)
+    }
+}
+
 /// The simulated Web: sites indexed by host, with fetch statistics and a
 /// latency model. Cloneable handle (`Arc` inside) so browser sessions and
 /// parallel workers share one Web.
@@ -45,13 +61,14 @@ impl SyntheticWeb {
 
     /// Fetch a URL or submit a form. Returns the response and the
     /// *simulated* network latency charged (recorded in stats; not
-    /// slept).
+    /// slept). Latency is the model's size-based transfer time plus any
+    /// server-side stall the site (or a fault wrapper) imposed.
     pub fn fetch(&self, req: &Request) -> (Response, Duration) {
         let resp = match self.inner.sites.get(&req.url.host) {
             Some(site) => site.handle(req),
             None => Response::not_found(&format!("no such host {}", req.url.host)),
         };
-        let latency = self.inner.latency.charge(resp.len_bytes());
+        let latency = self.inner.latency.charge(resp.len_bytes()) + resp.stall;
         self.inner
             .stats
             .lock()
@@ -118,6 +135,20 @@ impl WebBuilder {
         self
     }
 
+    /// Transform every registered site through `wrap` (given its host),
+    /// e.g. to inject faults into an otherwise standard web.
+    pub fn map_sites(mut self, wrap: impl Fn(&str, Box<dyn Site>) -> Box<dyn Site>) -> WebBuilder {
+        self.sites = self
+            .sites
+            .into_iter()
+            .map(|s| {
+                let host = s.host().to_string();
+                wrap(&host, s)
+            })
+            .collect();
+        self
+    }
+
     pub fn build(self) -> SyntheticWeb {
         let mut sites = HashMap::new();
         for s in self.sites {
@@ -126,7 +157,11 @@ impl WebBuilder {
             assert!(prev.is_none(), "duplicate site registered for host {host}");
         }
         SyntheticWeb {
-            inner: Arc::new(WebInner { sites, latency: self.latency, stats: Mutex::new(HashMap::new()) }),
+            inner: Arc::new(WebInner {
+                sites,
+                latency: self.latency,
+                stats: Mutex::new(HashMap::new()),
+            }),
         }
     }
 }
@@ -170,8 +205,7 @@ mod tests {
 
     #[test]
     fn latency_charged_not_slept() {
-        let web =
-            SyntheticWeb::builder().site(Echo).latency(LatencyModel::dialup_1999()).build();
+        let web = SyntheticWeb::builder().site(Echo).latency(LatencyModel::dialup_1999()).build();
         let t0 = std::time::Instant::now();
         let (_, simulated) = web.fetch(&Request::get(Url::new("echo.test", "/x")));
         assert!(simulated >= Duration::from_millis(250));

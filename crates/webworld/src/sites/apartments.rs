@@ -124,11 +124,9 @@ impl Site for AptListings {
                             .finish(),
                     );
                 };
-                let beds: Option<u32> =
-                    req.param_nonempty("beds").and_then(|b| b.parse().ok());
+                let beds: Option<u32> = req.param_nonempty("beds").and_then(|b| b.parse().ok());
                 let matches = self.market.matching(Some(borough), beds);
-                let page: usize =
-                    req.param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
+                let page: usize = req.param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
                 let start = page * PAGE_SIZE;
                 let shown =
                     &matches[start.min(matches.len())..(start + PAGE_SIZE).min(matches.len())];

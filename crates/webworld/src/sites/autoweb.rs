@@ -25,10 +25,8 @@ impl AutoWeb {
 
     fn home(&self) -> Response {
         // The make "attribute": one link per make.
-        let items: Vec<(String, String)> = MAKES
-            .iter()
-            .map(|(m, _)| (capitalize(m), format!("/cars/{m}")))
-            .collect();
+        let items: Vec<(String, String)> =
+            MAKES.iter().map(|(m, _)| (capitalize(m), format!("/cars/{m}"))).collect();
         Response::ok(
             PageBuilder::new("AutoWeb - Browse by Make")
                 .heading("AutoWeb")
@@ -75,10 +73,7 @@ impl AutoWeb {
                 &[Widget::text("zip", "Near zip code")],
                 "Filter",
             )
-            .table(
-                &["Make", "Model", "Year", "Price", "Features", "Zip", "Contact"],
-                &rows,
-            );
+            .table(&["Make", "Model", "Year", "Price", "Features", "Zip", "Contact"], &rows);
         if start + PAGE_SIZE < matches.len() {
             let next = (page + 1).to_string();
             let mut params: Vec<(&str, &str)> = vec![("page", &next)];
@@ -108,7 +103,7 @@ impl Site for AutoWeb {
         let path = req.url.path.clone();
         match path.as_str() {
             "/" => self.home(),
-            p if p.starts_with("/cars/") => self.make_page(req, &p[6..].to_string()),
+            p if p.starts_with("/cars/") => self.make_page(req, &p[6..]),
             other => Response::not_found(other),
         }
     }
@@ -139,10 +134,7 @@ mod tests {
     #[test]
     fn make_page_filters_and_paginates() {
         let (s, d) = site();
-        let truth = d
-            .ads_for(SiteSlice::AutoWeb)
-            .filter(|a| a.make == "ford")
-            .count();
+        let truth = d.ads_for(SiteSlice::AutoWeb).filter(|a| a.make == "ford").count();
         let mut seen = 0;
         let mut page = 0;
         loop {
@@ -163,10 +155,8 @@ mod tests {
     #[test]
     fn zip_refinement() {
         let (s, d) = site();
-        let some_zip = d
-            .ads_for(SiteSlice::AutoWeb)
-            .find(|a| a.make == "toyota")
-            .map(|a| a.zip.clone());
+        let some_zip =
+            d.ads_for(SiteSlice::AutoWeb).find(|a| a.make == "toyota").map(|a| a.zip.clone());
         let Some(zip) = some_zip else { return };
         let r = s.handle(&Request::get(
             Url::new(s.host(), "/cars/toyota").with_query([("zip", zip.clone())]),

@@ -33,8 +33,7 @@ impl CarAndDriver {
     }
 
     fn safety_page(&self, req: &Request) -> Response {
-        let (Some(make), Some(model)) =
-            (req.param_nonempty("make"), req.param_nonempty("model"))
+        let (Some(make), Some(model)) = (req.param_nonempty("make"), req.param_nonempty("model"))
         else {
             return Response::ok(
                 PageBuilder::new("Car and Driver - Error")
@@ -118,8 +117,7 @@ mod tests {
     fn unknown_model_reports_no_data() {
         let s = CarAndDriver::new();
         let r = s.handle(&Request::get(
-            Url::new(s.host(), "/cgi-bin/safety")
-                .with_query([("make", "ford"), ("model", "xj6")]),
+            Url::new(s.host(), "/cgi-bin/safety").with_query([("make", "ford"), ("model", "xj6")]),
         ));
         assert!(r.html().contains("no ratings"));
     }

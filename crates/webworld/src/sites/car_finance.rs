@@ -48,11 +48,9 @@ impl CarFinance {
     }
 
     fn rates_page(&self, req: &Request) -> Response {
-        let (Some(zip), Some(duration), Some(plan)) = (
-            req.param_nonempty("zip"),
-            req.param_nonempty("duration"),
-            req.param_nonempty("plan"),
-        ) else {
+        let (Some(zip), Some(duration), Some(plan)) =
+            (req.param_nonempty("zip"), req.param_nonempty("duration"), req.param_nonempty("plan"))
+        else {
             return Response::ok(
                 PageBuilder::new("CarFinance - Error")
                     .para("Zip code, duration and plan are required.")

@@ -222,16 +222,11 @@ impl ClassifiedsSite {
         let matches = self.matching(req);
         let page: usize = req.param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
         let start = page * self.page_size;
-        let slice: Vec<&CarAd> =
-            matches.iter().skip(start).take(self.page_size).copied().collect();
+        let slice: Vec<&CarAd> = matches.iter().skip(start).take(self.page_size).copied().collect();
         let mut pb = self
             .page(&format!("{} - Results", self.title))
             .heading("Search results")
-            .para(&format!(
-                "Showing {} of {} listings",
-                slice.len(),
-                matches.len()
-            ));
+            .para(&format!("Showing {} of {} listings", slice.len(), matches.len()));
         match self.layout {
             Layout::Table => {
                 let rows: Vec<Vec<Cell>> = slice.iter().map(|a| self.row(a)).collect();
@@ -285,10 +280,12 @@ impl ClassifiedsSite {
         if self.zip_field {
             widgets.push(Widget::text("zip", "Zip code"));
         }
-        let pb = self
-            .page(&format!("{} - Search", self.title))
-            .heading("Find a used car")
-            .form("/cgi-bin/search", "post", &widgets, "Search");
+        let pb = self.page(&format!("{} - Search", self.title)).heading("Find a used car").form(
+            "/cgi-bin/search",
+            "post",
+            &widgets,
+            "Search",
+        );
         Response::ok(pb.finish())
     }
 
@@ -299,14 +296,11 @@ impl ClassifiedsSite {
         } else {
             format!("/hub{}", level + 1)
         };
-        let pb = self
-            .page(&self.title.clone())
-            .heading(&self.title)
-            .link_list(&[
-                ("Used Cars".to_string(), next),
-                ("New Cars".to_string(), "/newcars".to_string()),
-                ("Financing".to_string(), "/finance-info".to_string()),
-            ]);
+        let pb = self.page(&self.title.clone()).heading(&self.title).link_list(&[
+            ("Used Cars".to_string(), next),
+            ("New Cars".to_string(), "/newcars".to_string()),
+            ("Financing".to_string(), "/finance-info".to_string()),
+        ]);
         Response::ok(pb.finish())
     }
 }
@@ -326,8 +320,7 @@ impl Site for ClassifiedsSite {
                 }
             }
             p if p.starts_with("/hub") => {
-                let level: usize =
-                    p.trim_start_matches("/hub").parse().unwrap_or(self.entry_depth);
+                let level: usize = p.trim_start_matches("/hub").parse().unwrap_or(self.entry_depth);
                 if level < self.entry_depth {
                     self.hub_page(level)
                 } else {
@@ -336,9 +329,9 @@ impl Site for ClassifiedsSite {
             }
             "/search" => self.search_form_page(),
             "/cgi-bin/search" => self.results_page(req),
-            "/newcars" | "/finance-info" => Response::ok(
-                self.page("Under construction").para("Check back soon!").finish(),
-            ),
+            "/newcars" | "/finance-info" => {
+                Response::ok(self.page("Under construction").para("Check back soon!").finish())
+            }
             other => Response::not_found(other),
         }
     }
@@ -385,8 +378,7 @@ mod tests {
         let mut seen = 0;
         loop {
             let resp = site.handle(&Request::post(
-                Url::new(site.host(), "/cgi-bin/search")
-                    .with_query([("page", page.to_string())]),
+                Url::new(site.host(), "/cgi-bin/search").with_query([("page", page.to_string())]),
                 [("mk", "ford")], // wwwheels uses the cryptic field name
             ));
             let doc = parse(resp.html());
@@ -420,10 +412,8 @@ mod tests {
     #[test]
     fn ill_formed_site_still_extracts() {
         let site = ClassifiedsSite::new_york_daily(data());
-        let resp = site.handle(&Request::post(
-            Url::new(site.host(), "/cgi-bin/search"),
-            [("make", "toyota")],
-        ));
+        let resp = site
+            .handle(&Request::post(Url::new(site.host(), "/cgi-bin/search"), [("make", "toyota")]));
         assert!(!resp.html().contains("</td>"));
         let doc = parse(resp.html());
         let tables = extract::tables(&doc);
@@ -434,10 +424,8 @@ mod tests {
     #[test]
     fn deflist_layout_renders_pairs() {
         let site = ClassifiedsSite::ny_times(data());
-        let resp = site.handle(&Request::post(
-            Url::new(site.host(), "/cgi-bin/search"),
-            [("make", "honda")],
-        ));
+        let resp = site
+            .handle(&Request::post(Url::new(site.host(), "/cgi-bin/search"), [("make", "honda")]));
         let doc = parse(resp.html());
         assert!(resp.html().contains("<dl>"));
         assert!(doc.text_content(webbase_html::NodeId::ROOT).contains("honda"));
@@ -447,17 +435,13 @@ mod tests {
     fn zip_and_safety_columns() {
         let d = data();
         let cp = ClassifiedsSite::car_point(d.clone());
-        let resp = cp.handle(&Request::post(
-            Url::new(cp.host(), "/cgi-bin/search"),
-            [("make", "bmw")],
-        ));
+        let resp =
+            cp.handle(&Request::post(Url::new(cp.host(), "/cgi-bin/search"), [("make", "bmw")]));
         let t = &extract::tables(&parse(resp.html()))[0];
         assert!(t.header.contains(&"Zip".to_string()));
         let cr = ClassifiedsSite::car_reviews(d);
-        let resp = cr.handle(&Request::post(
-            Url::new(cr.host(), "/cgi-bin/search"),
-            [("make", "bmw")],
-        ));
+        let resp =
+            cr.handle(&Request::post(Url::new(cr.host(), "/cgi-bin/search"), [("make", "bmw")]));
         let t = &extract::tables(&parse(resp.html()))[0];
         assert!(t.header.contains(&"Safety".to_string()));
     }

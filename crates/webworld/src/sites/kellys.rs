@@ -95,8 +95,7 @@ impl Kellys {
     }
 
     fn condition_page(&self, req: &Request) -> Response {
-        let (Some(make), Some(model)) =
-            (req.param_nonempty("make"), req.param_nonempty("model"))
+        let (Some(make), Some(model)) = (req.param_nonempty("make"), req.param_nonempty("model"))
         else {
             return Response::ok(
                 PageBuilder::new("Blue Book - Error").para("Make and model required.").finish(),
@@ -221,7 +220,12 @@ mod tests {
         let s = Kellys::new(1);
         let r = s.handle(&Request::post(
             Url::new(s.host(), "/cgi-bin/bb"),
-            [("make", "ford"), ("model", "escort"), ("condition", "fair"), ("pricetype", "trade-in")],
+            [
+                ("make", "ford"),
+                ("model", "escort"),
+                ("condition", "fair"),
+                ("pricetype", "trade-in"),
+            ],
         ));
         let t = &extract::tables(&parse(r.html()))[0];
         assert_eq!(t.rows.len(), 11); // 1988..=1998
@@ -240,9 +244,8 @@ mod tests {
     #[test]
     fn model_select_depends_on_make() {
         let s = Kellys::new(1);
-        let r = s.handle(&Request::get(
-            Url::new(s.host(), "/models").with_query([("make", "jaguar")]),
-        ));
+        let r =
+            s.handle(&Request::get(Url::new(s.host(), "/models").with_query([("make", "jaguar")])));
         let f = &extract::forms(&parse(r.html()))[0];
         let model = f.field("model").expect("model field");
         let domain = model.kind.domain().expect("select has domain");
@@ -259,10 +262,7 @@ mod tests {
         let f = &extract::forms(&parse(r.html()))[0];
         assert!(f.inferred_mandatory_fields().contains(&"condition"));
         // year has an "any" option → optional
-        assert_eq!(
-            f.field("year").expect("year").kind.inferred_mandatory(),
-            Some(false)
-        );
+        assert_eq!(f.field("year").expect("year").kind.inferred_mandatory(), Some(false));
     }
 
     #[test]
@@ -283,7 +283,9 @@ mod tests {
             Url::new(v2.host(), "/condition").with_query([("make", "ford"), ("model", "escort")]),
         ));
         let changes = webbase_html::diff::diff_pages(&parse(c1.html()), &parse(c2.html()));
-        assert!(changes.iter().all(|c| c.severity() == webbase_html::diff::Severity::AutoApplicable));
+        assert!(changes
+            .iter()
+            .all(|c| c.severity() == webbase_html::diff::Severity::AutoApplicable));
         assert!(!changes.is_empty());
     }
 }

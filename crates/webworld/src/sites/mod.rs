@@ -22,9 +22,9 @@
 
 pub mod apartments;
 pub mod autoweb;
-pub mod car_insurance;
 pub mod car_and_driver;
 pub mod car_finance;
+pub mod car_insurance;
 pub mod generic;
 pub mod kellys;
 pub mod newsday;
@@ -58,6 +58,17 @@ pub fn standard_web_versioned(
     version: u32,
 ) -> SyntheticWeb {
     builder_with_sites(data, version).latency(latency).build()
+}
+
+/// Like [`standard_web`] but with every site passed through `wrap`
+/// (host, boxed site) → boxed site — the entry point of the fault-matrix
+/// tests, which wrap sites in `crate::faults` degraders.
+pub fn standard_web_faulty(
+    data: Arc<Dataset>,
+    latency: LatencyModel,
+    wrap: impl Fn(&str, Box<dyn crate::server::Site>) -> Box<dyn crate::server::Site>,
+) -> SyntheticWeb {
+    builder_with_sites(data, 1).map_sites(wrap).latency(latency).build()
 }
 
 fn builder_with_sites(data: Arc<Dataset>, version: u32) -> WebBuilder {

@@ -42,7 +42,12 @@ impl Newsday {
         Newsday { data, version }
     }
 
-    fn matching(&self, make: Option<&str>, model: Option<&str>, featrs: Option<&str>) -> Vec<&CarAd> {
+    fn matching(
+        &self,
+        make: Option<&str>,
+        model: Option<&str>,
+        featrs: Option<&str>,
+    ) -> Vec<&CarAd> {
         self.data
             .ads_for(SiteSlice::Newsday)
             .filter(|a| make.is_none_or(|m| a.make == m))
@@ -52,14 +57,12 @@ impl Newsday {
     }
 
     fn home(&self) -> Response {
-        let pb = PageBuilder::new("Newsday.com")
-            .heading("Newsday")
-            .link_list(&[
-                ("News".into(), "/news".into()),
-                ("Sports".into(), "/sports".into()),
-                ("Automobiles".into(), "/auto".into()),
-                ("Real Estate".into(), "/realestate".into()),
-            ]);
+        let pb = PageBuilder::new("Newsday.com").heading("Newsday").link_list(&[
+            ("News".into(), "/news".into()),
+            ("Sports".into(), "/sports".into()),
+            ("Automobiles".into(), "/auto".into()),
+            ("Real Estate".into(), "/realestate".into()),
+        ]);
         Response::ok(pb.finish())
     }
 
@@ -107,10 +110,13 @@ impl Newsday {
         let mut widgets = vec![
             Widget::hidden("make", make),
             Widget::text("model", "Model"),
-            Widget::select("featrs", "Features", &FEATURES.iter().copied().collect::<Vec<_>>(), true),
+            Widget::select("featrs", "Features", FEATURES, true),
         ];
         if self.version >= 2 {
-            widgets.push(Widget::Checkbox { name: "pics".into(), label: "Only ads with pictures".into() });
+            widgets.push(Widget::Checkbox {
+                name: "pics".into(),
+                label: "Only ads with pictures".into(),
+            });
         }
         let pb = PageBuilder::new("Newsday Used Cars - Refine Search")
             .heading(&format!("{count} listings match"))
@@ -134,7 +140,7 @@ impl Newsday {
                     Cell::text(ad.year.to_string()),
                     Cell::text(format!("${}", ad.price)),
                     Cell::text(&ad.contact),
-                    Cell::link("Car Features", &format!("/car/{}", ad.id)),
+                    Cell::link("Car Features", format!("/car/{}", ad.id)),
                 ]
             })
             .collect();
@@ -160,15 +166,13 @@ impl Newsday {
     fn car_features(&self, id: u32) -> Response {
         match self.data.ads.get(id as usize).filter(|a| SiteSlice::Newsday.carries(a)) {
             Some(ad) => {
-                let pb = PageBuilder::new(&format!(
-                    "Newsday - {} {} {}",
-                    ad.year, ad.make, ad.model
-                ))
-                .heading("Vehicle details")
-                .definition_list(&[
-                    ("Features".to_string(), ad.features.join(", ")),
-                    ("Picture".to_string(), ad.picture.clone()),
-                ]);
+                let pb =
+                    PageBuilder::new(&format!("Newsday - {} {} {}", ad.year, ad.make, ad.model))
+                        .heading("Vehicle details")
+                        .definition_list(&[
+                            ("Features".to_string(), ad.features.join(", ")),
+                            ("Picture".to_string(), ad.picture.clone()),
+                        ]);
                 Response::ok(pb.finish())
             }
             None => Response::not_found("no such listing"),
@@ -179,9 +183,7 @@ impl Newsday {
         let Some(make) = req.param_nonempty("make") else {
             // f1's make is mandatory: the CGI refuses without it.
             return Response::ok(
-                PageBuilder::new("Newsday - Error")
-                    .para("Please select a make.")
-                    .finish(),
+                PageBuilder::new("Newsday - Error").para("Please select a make.").finish(),
             );
         };
         let model = req.param_nonempty("model");
@@ -296,10 +298,8 @@ mod tests {
         let Some(make) = rare else {
             return; // seeded data had no rare make; other tests cover the branch
         };
-        let resp = s.handle(&Request::post(
-            Url::new(s.host(), "/cgi-bin/nclassy"),
-            [("make", make)],
-        ));
+        let resp =
+            s.handle(&Request::post(Url::new(s.host(), "/cgi-bin/nclassy"), [("make", make)]));
         let tables = extract::tables(&parse(resp.html()));
         assert!(!tables.is_empty(), "rare make goes straight to data");
     }
@@ -317,13 +317,9 @@ mod tests {
         let mut collected = 0;
         let mut page = 0;
         loop {
-            let mut params =
-                vec![("make", make.clone()), ("model", model.clone())];
+            let mut params = vec![("make", make.clone()), ("model", model.clone())];
             params.push(("page", page.to_string()));
-            let resp = s.handle(&Request::post(
-                Url::new(s.host(), "/cgi-bin/nclassy2"),
-                params,
-            ));
+            let resp = s.handle(&Request::post(Url::new(s.host(), "/cgi-bin/nclassy2"), params));
             let doc = parse(resp.html());
             let t = &extract::tables(&doc)[0];
             collected += t.rows.len();

@@ -169,10 +169,7 @@ mod tests {
         assert_eq!(u.host, "www.newsday.com");
         assert_eq!(u.path, "/cgi-bin/nclassy");
         assert_eq!(u.param("make"), Some("ford"));
-        assert_eq!(
-            u.to_string(),
-            "http://www.newsday.com/cgi-bin/nclassy?make=ford&model=escort"
-        );
+        assert_eq!(u.to_string(), "http://www.newsday.com/cgi-bin/nclassy?make=ford&model=escort");
     }
 
     #[test]

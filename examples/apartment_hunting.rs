@@ -90,10 +90,9 @@ fn main() {
     };
 
     let mut catalog = VpsCatalog::new();
-    for (host, session) in [
-        ("www.aptlistings.com", listings_session),
-        ("www.rentguide.com", guide_session),
-    ] {
+    for (host, session) in
+        [("www.aptlistings.com", listings_session), ("www.rentguide.com", guide_session)]
+    {
         let mut recorder = Recorder::with_standardizer(web.clone(), host, standardizer());
         for action in &session {
             recorder.apply(action).expect("designer action applies");
@@ -155,10 +154,9 @@ fn main() {
     }
 
     // Sanity against ground truth, so the example doubles as a check.
-    let q = parse_query(
-        "AptUR(borough='brooklyn', bedrooms=2, rent, contact) WHERE rent < fairrent",
-    )
-    .expect("parses");
+    let q =
+        parse_query("AptUR(borough='brooklyn', bedrooms=2, rent, contact) WHERE rent < fairrent")
+            .expect("parses");
     let (result, _) = planner.execute(&q, &mut layer).expect("runs");
     let expected = expected_bargains(&market, "brooklyn", 2);
     assert_eq!(result.len(), expected, "webbase disagrees with ground truth");

@@ -25,8 +25,7 @@ fn main() {
         println!("  step {i:>2}: {action:?}");
     }
 
-    let (map, stats) =
-        Recorder::record(web.clone(), "www.newsday.com", &session).expect("records");
+    let (map, stats) = Recorder::record(web.clone(), "www.newsday.com", &session).expect("records");
 
     println!("\n=== The navigation map (Figure 2) ===\n");
     println!("{}", map.render_text());

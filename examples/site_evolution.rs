@@ -25,8 +25,7 @@ fn main() {
         [("www.kbb.com", sessions::kellys()), ("www.newsday.com", sessions::newsday(&data))]
     {
         println!("=== {host} ===\n");
-        let (mut map, _) =
-            Recorder::record(web_v1.clone(), host, &session).expect("records on v1");
+        let (mut map, _) = Recorder::record(web_v1.clone(), host, &session).expect("records on v1");
 
         println!("checking the v1 map against the unchanged site…");
         let clean = check_map(web_v1.clone(), &mut map);
@@ -55,10 +54,6 @@ fn main() {
 
         println!("\nre-checking after auto-repair…");
         let again = check_map(web_v2.clone(), &mut map);
-        println!(
-            "  {} changes remain ({} manual)\n",
-            again.changes.len(),
-            again.manual_needed
-        );
+        println!("  {} changes remain ({} manual)\n", again.changes.len(), again.manual_needed);
     }
 }

@@ -13,8 +13,7 @@ fn run(wb: &mut Webbase, title: &str, query: &str) {
     match wb.query(query) {
         Ok((result, plan)) => {
             for obj in &plan.objects {
-                let names: Vec<&str> =
-                    obj.alternatives.iter().map(String::as_str).collect();
+                let names: Vec<&str> = obj.alternatives.iter().map(String::as_str).collect();
                 println!("   object: {}", names.join(" ⋈ "));
             }
             println!("\n{}", indent(&result.to_table()));
@@ -31,11 +30,7 @@ fn main() {
     let mut wb = Webbase::build_demo(42, 600, LatencyModel::lan());
     println!("UR attributes: {}\n", wb.ur_attributes().join(", "));
 
-    run(
-        &mut wb,
-        "Cheap Fords anywhere",
-        "UsedCarUR(make='ford', model, year, price < 6000)",
-    );
+    run(&mut wb, "Cheap Fords anywhere", "UsedCarUR(make='ford', model, year, price < 6000)");
 
     run(
         &mut wb,

@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 use webbase::{LatencyModel, Webbase};
-use webbase_relational::prelude::*;
 use webbase_relational::eval::RelationProvider;
+use webbase_relational::prelude::*;
 use webbase_webworld::data::{
     blue_book_price_typed, insurance_cost, safety_rating, Dataset, SiteSlice,
 };
@@ -128,9 +128,7 @@ fn scoped_constants_do_not_leak_across_roles() {
         let pi = rel.schema().index_of(&"price".into()).expect("price");
         rel.tuples()
             .iter()
-            .map(|t| {
-                (t.get(yi).as_int().expect("year"), t.get(pi).as_int().expect("price"))
-            })
+            .map(|t| (t.get(yi).as_int().expect("year"), t.get(pi).as_int().expect("price")))
             .collect()
     };
     assert_eq!(pairs(&with_zip.0), pairs(&without_rate.0));
@@ -221,8 +219,7 @@ fn second_domain_builds_through_public_api() {
         .build();
 
     let std = || {
-        let mut s =
-            Standardizer::new(["borough", "bedrooms", "rent", "contact", "fairrent"]);
+        let mut s = Standardizer::new(["borough", "bedrooms", "rent", "contact", "fairrent"]);
         s.map("beds", "bedrooms");
         s
     };
@@ -256,10 +253,7 @@ fn second_domain_builds_through_public_api() {
                 DesignerAction::Goto("http://www.rentguide.com/".into()),
                 DesignerAction::SubmitForm {
                     action: "/cgi-bin/guide".into(),
-                    values: vec![
-                        ("borough".into(), "queens".into()),
-                        ("beds".into(), "1".into()),
-                    ],
+                    values: vec![("borough".into(), "queens".into()), ("beds".into(), "1".into())],
                 },
                 DesignerAction::MarkDataPage {
                     relation: "rentGuide".into(),
@@ -287,8 +281,7 @@ fn second_domain_builds_through_public_api() {
         vec![
             LogicalRelation::new(
                 "listings",
-                Expr::relation("aptListings")
-                    .project(["borough", "bedrooms", "rent", "contact"]),
+                Expr::relation("aptListings").project(["borough", "bedrooms", "rent", "contact"]),
             ),
             LogicalRelation::new(
                 "guidelines",

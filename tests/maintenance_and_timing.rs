@@ -69,8 +69,7 @@ fn maintenance_over_all_sites() {
     let web_v2 = standard_web_versioned(data.clone(), LatencyModel::lan(), 2);
     let mut total_changes = 0;
     for (host, session) in sessions::all_sessions(&data) {
-        let (mut map, _) =
-            Recorder::record(web_v1.clone(), host, &session).expect("records");
+        let (mut map, _) = Recorder::record(web_v1.clone(), host, &session).expect("records");
         let clean = check_map(web_v1.clone(), &mut map);
         assert!(clean.is_clean(), "{host} dirty against its own version: {:?}", clean.changes);
         let report = check_map(web_v2.clone(), &mut map);
