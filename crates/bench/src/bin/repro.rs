@@ -94,6 +94,7 @@ fn main() {
         let rows = timing::serial_timing(&wb, "ford", "escort");
         println!("{}", timing::render_table(&rows));
         println!("Site degradation:\n{}", timing::merged_degradation(&rows).render());
+        println!("Self-healing:\n{}", timing::merged_repairs(&rows).render());
     }
     if want("--parallel") {
         section("§9 — serial vs parallel multi-site evaluation");
@@ -119,6 +120,7 @@ fn main() {
                 println!("{}", plan.render());
                 println!("{}", result.to_table());
                 println!("Site degradation:\n{}", plan.degradation.render());
+                println!("Self-healing:\n{}", plan.repairs.render());
             }
             Err(e) => println!("query failed: {e}"),
         }
@@ -137,6 +139,7 @@ fn main() {
                 println!("{}", plan.render());
                 println!("{}", result.to_table());
                 println!("Site degradation:\n{}", plan.degradation.render());
+                println!("Self-healing:\n{}", plan.repairs.render());
             }
             Err(e) => println!("query failed: {e}"),
         }

@@ -16,7 +16,7 @@ use crate::webbase::Webbase;
 use std::time::Duration;
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
-use webbase_navigation::DegradationReport;
+use webbase_navigation::{DegradationReport, RepairReport};
 use webbase_relational::Value;
 use webbase_webworld::prelude::*;
 
@@ -33,6 +33,9 @@ pub struct SiteTiming {
     /// What this site's run endured (retries, timeouts, breaker state).
     /// Clean on a healthy web.
     pub degradation: DegradationReport,
+    /// What self-healing did during this site's run. Clean on an
+    /// undrifted web.
+    pub repairs: RepairReport,
 }
 
 /// Serial vs parallel wall-clock comparison.
@@ -98,9 +101,10 @@ fn run_one(
         tuples: records.len(),
         cpu: stats.cpu,
         elapsed: stats.cpu + stats.network,
-        // The navigator is fresh, so its cumulative report is exactly
+        // The navigator is fresh, so its cumulative reports are exactly
         // this run's.
         degradation: nav.degradation(),
+        repairs: nav.repair_report(),
     }
 }
 
@@ -111,6 +115,16 @@ pub fn merged_degradation(rows: &[SiteTiming]) -> DegradationReport {
     let mut report = DegradationReport::default();
     for r in rows {
         report.merge(&r.degradation);
+    }
+    report
+}
+
+/// Merge the per-row repair reports of a timing run (same shape as
+/// [`merged_degradation`]).
+pub fn merged_repairs(rows: &[SiteTiming]) -> RepairReport {
+    let mut report = RepairReport::default();
+    for r in rows {
+        report.merge(&r.repairs);
     }
     report
 }

@@ -31,16 +31,63 @@ pub enum Severity {
 /// One structural change between two versions of a page.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PageChange {
-    LinkAdded { text: String, href: String },
-    LinkRemoved { text: String },
-    LinkRetargeted { text: String, old_href: String, new_href: String },
-    FormAdded { action: String },
-    FormRemoved { action: String },
-    FieldAdded { form: String, field: String, mandatory_inferred: bool },
-    FieldRemoved { form: String, field: String },
-    OptionAdded { form: String, field: String, option: String },
-    OptionRemoved { form: String, field: String, option: String },
-    WidgetKindChanged { form: String, field: String },
+    LinkAdded {
+        text: String,
+        href: String,
+    },
+    LinkRemoved {
+        text: String,
+    },
+    LinkRetargeted {
+        text: String,
+        old_href: String,
+        new_href: String,
+    },
+    /// A link kept its target but changed its anchor text. Only the
+    /// in-flight repair path can see this (it knows which recorded link
+    /// went missing *and* which live link inherited its href); a plain
+    /// two-page diff reports the same situation as removed + added.
+    LinkRenamed {
+        old: String,
+        new: String,
+        href: String,
+    },
+    FormAdded {
+        action: String,
+    },
+    FormRemoved {
+        action: String,
+    },
+    /// A form kept its field structure but moved to a new CGI action.
+    /// Like [`PageChange::LinkRenamed`], only detectable with the
+    /// recorded catalogue in hand.
+    FormRetargeted {
+        old_action: String,
+        new_action: String,
+    },
+    FieldAdded {
+        form: String,
+        field: String,
+        mandatory_inferred: bool,
+    },
+    FieldRemoved {
+        form: String,
+        field: String,
+    },
+    OptionAdded {
+        form: String,
+        field: String,
+        option: String,
+    },
+    OptionRemoved {
+        form: String,
+        field: String,
+        option: String,
+    },
+    WidgetKindChanged {
+        form: String,
+        field: String,
+    },
 }
 
 impl PageChange {
@@ -53,6 +100,8 @@ impl PageChange {
             PageChange::OptionAdded { .. }
             | PageChange::LinkAdded { .. }
             | PageChange::LinkRetargeted { .. }
+            | PageChange::LinkRenamed { .. }
+            | PageChange::FormRetargeted { .. }
             | PageChange::OptionRemoved { .. } => Severity::AutoApplicable,
             PageChange::FieldAdded { mandatory_inferred, .. } => {
                 if *mandatory_inferred {
@@ -239,6 +288,23 @@ mod tests {
             vec![PageChange::WidgetKindChanged { form: "/q".into(), field: "make".into() }]
         );
         assert_eq!(ch[0].severity(), Severity::ManualIntervention);
+    }
+
+    #[test]
+    fn rename_and_retarget_are_auto_applicable() {
+        // The catalogue-aware change kinds used by in-flight repair: the
+        // navigator can absorb both without designer input.
+        let renamed = PageChange::LinkRenamed {
+            old: "Used Cars".into(),
+            new: "Pre-owned Cars".into(),
+            href: "/auto/used".into(),
+        };
+        assert_eq!(renamed.severity(), Severity::AutoApplicable);
+        let retargeted = PageChange::FormRetargeted {
+            old_action: "/cgi-bin/nclassy".into(),
+            new_action: "/cgi-bin/nclassy3".into(),
+        };
+        assert_eq!(retargeted.severity(), Severity::AutoApplicable);
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub use schema::{paper_schema, LogicalRelation};
 pub use webbase_relational::standardize::Standardizer;
 // Re-exported so the external-schema layer can surface per-site
 // degradation without depending on the navigation crate.
-pub use webbase_vps::{DegradationReport, FetchPolicy, SiteDegradation};
+pub use webbase_vps::{DegradationReport, FetchPolicy, RepairReport, SiteDegradation, SiteRepair};

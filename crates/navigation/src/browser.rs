@@ -28,15 +28,22 @@ pub struct LoadedPage {
     pub title: String,
     pub links: Vec<Link>,
     pub forms: Vec<Form>,
+    /// The document closed properly (`</html>`). A page without the
+    /// marker may have been truncated in flight, so structural
+    /// conclusions (drift detection) must not be drawn from it.
+    /// Deliberately ill-formed sites never set this.
+    pub complete: bool,
 }
 
 impl LoadedPage {
     fn from_response(url: Url, resp: &Response) -> LoadedPage {
-        let doc = webbase_html::parse(resp.html());
+        let html = resp.html();
+        let complete = html.trim_end().ends_with("</html>");
+        let doc = webbase_html::parse(html);
         let title = doc.title().unwrap_or_default();
         let links = extract::links(&doc);
         let forms = extract::forms(&doc);
-        LoadedPage { url, doc, title, links, forms }
+        LoadedPage { url, doc, title, links, forms, complete }
     }
 
     /// Structural signature for map-node identity: URL path (digit runs
@@ -72,6 +79,19 @@ impl LoadedPage {
 
     pub fn link_by_text(&self, text: &str) -> Option<&Link> {
         self.links.iter().find(|l| l.text == text)
+    }
+}
+
+/// The parameter an HTTP 440 body names as expired (the
+/// `expired-param: <name>` marker [`webbase_webworld::faults::ExpiringSessionSite`] emits).
+fn parse_expired_param(body: &str) -> Option<String> {
+    let rest = &body[body.find("expired-param:")? + "expired-param:".len()..];
+    let name: String =
+        rest.trim_start().chars().take_while(|c| !c.is_whitespace() && *c != '<').collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
     }
 }
 
@@ -119,6 +139,11 @@ pub enum BrowseError {
     CircuitOpen {
         host: String,
     },
+    /// The site rejected a stale CGI session token (HTTP 440) and the
+    /// request carried nothing recoverable to replay without it.
+    SessionExpired {
+        url: String,
+    },
 }
 
 impl BrowseError {
@@ -149,6 +174,9 @@ impl fmt::Display for BrowseError {
             BrowseError::CircuitOpen { host } => {
                 write!(f, "circuit open for {host}: failing fast")
             }
+            BrowseError::SessionExpired { url } => {
+                write!(f, "session expired fetching {url} (unrecoverable)")
+            }
         }
     }
 }
@@ -177,6 +205,9 @@ pub struct Browser {
     pub policy: FetchPolicy,
     health: HashMap<String, HostHealth>,
     degradation: DegradationReport,
+    /// Per-host count of stale-session replays (HTTP 440 recovered by
+    /// re-issuing the request from its checkpointed inputs).
+    session_recoveries: HashMap<String, u64>,
 }
 
 impl Browser {
@@ -200,6 +231,7 @@ impl Browser {
             policy,
             health: HashMap::new(),
             degradation: DegradationReport::default(),
+            session_recoveries: HashMap::new(),
         }
     }
 
@@ -217,6 +249,11 @@ impl Browser {
             report.site_mut(host).breaker_open = h.state == CircuitState::Open;
         }
         report
+    }
+
+    /// Stale-session replays per host (see [`BrowseError::SessionExpired`]).
+    pub fn session_recoveries(&self) -> &HashMap<String, u64> {
+        &self.session_recoveries
     }
 
     /// The breaker state for `host`.
@@ -299,6 +336,11 @@ impl Browser {
             let Some(err) = failure else {
                 self.simulated_network += latency;
                 self.health.entry(host.clone()).or_default().record_success();
+                if resp.status == 440 {
+                    // Stale CGI session token: replay from checkpointed
+                    // inputs (the request minus the expired parameter).
+                    return self.recover_session(req, &resp);
+                }
                 if !resp.is_ok() {
                     // 4xx is a navigation outcome, not a site failure:
                     // no retry, no breaker count.
@@ -327,6 +369,38 @@ impl Browser {
             self.retries += 1;
             self.degradation.site_mut(&host).retries += 1;
             retry += 1;
+        }
+    }
+
+    /// Recover from an HTTP 440 ("Login Time-out"): the body names the
+    /// expired parameter; the request minus that parameter *is* the
+    /// chain's checkpoint (make/model/page survive), so re-issuing it
+    /// resumes a "More"-pagination chain from the last good page
+    /// instead of restarting the session. One level only — the stripped
+    /// request no longer carries the token, so it gets a fresh grant.
+    fn recover_session(
+        &mut self,
+        req: Request,
+        resp: &Response,
+    ) -> Result<Rc<LoadedPage>, BrowseError> {
+        let stripped = parse_expired_param(resp.html()).map(|p| {
+            let mut s = req.clone();
+            s.url.query.retain(|(k, _)| k != &p);
+            s.params.retain(|(k, _)| k != &p);
+            s
+        });
+        match stripped {
+            Some(s) if s != req => {
+                *self.session_recoveries.entry(req.url.host.clone()).or_default() += 1;
+                let page = self.request(s)?;
+                // Cache under the stale key too: backtracking re-issues
+                // the original request verbatim.
+                if self.caching {
+                    self.cache.insert(req, page.clone());
+                }
+                Ok(page)
+            }
+            _ => Err(BrowseError::SessionExpired { url: req.url.to_string() }),
         }
     }
 
@@ -649,6 +723,66 @@ mod tests {
         assert_eq!(page.title, "ok");
         assert_eq!(b.circuit_state("recover.test"), CircuitState::Closed);
         assert!(!b.degradation().sites["recover.test"].breaker_open);
+    }
+
+    /// A paginated CGI whose pages link onward with query hrefs — the
+    /// shape [`ExpiringSessionSite`] threads its tokens through.
+    struct Pager;
+    impl webbase_webworld::server::Site for Pager {
+        fn host(&self) -> &str {
+            "pager.test"
+        }
+        fn handle(&self, req: &Request) -> Response {
+            let page: u32 =
+                req.param_nonempty("page").and_then(|p| p.parse().ok()).unwrap_or_default();
+            Response::ok(format!(
+                "<html><head><title>page {page}</title></head><body>\
+                 <p>page {page}</p><a href=\"/list?page={}\">More</a>",
+                page + 1
+            ))
+        }
+    }
+
+    #[test]
+    fn stale_session_replays_from_checkpointed_inputs() {
+        use webbase_webworld::faults::ExpiringSessionSite;
+        // ttl 0: every granted token is stale by the time it is used.
+        let mut b = Browser::new(single_site_web(ExpiringSessionSite::new(Pager, 0)));
+        let p0 = b.goto(Url::new("pager.test", "/list")).expect("grant");
+        let more = p0.link_by_text("More").expect("has More").href.clone();
+        assert!(more.contains("sess="), "token threaded through the chain: {more}");
+        let p1 = b.follow_on(&p0, &more).expect("stale token recovered");
+        assert_eq!(p1.title, "page 1", "chain resumes at the checkpoint, not the start");
+        assert_eq!(b.session_recoveries()["pager.test"], 1);
+        assert!(b.degradation().is_clean(), "session churn is not a site failure");
+
+        // Backtracking re-issues the stale request verbatim: the cache
+        // absorbs it without another round of recovery.
+        let fetches = b.fetches;
+        let again = b.follow_on(&p0, &more).expect("cached");
+        assert!(Rc::ptr_eq(&p1, &again));
+        assert_eq!(b.fetches, fetches);
+        assert_eq!(b.session_recoveries()["pager.test"], 1);
+    }
+
+    #[test]
+    fn unrecoverable_session_expiry_surfaces() {
+        // A 440 naming a parameter the request does not carry cannot be
+        // replayed — the error must say so rather than loop.
+        struct Always440;
+        impl webbase_webworld::server::Site for Always440 {
+            fn host(&self) -> &str {
+                "locked.test"
+            }
+            fn handle(&self, _req: &Request) -> Response {
+                let mut resp = Response::ok("<html><body><p>expired-param: token</p>".to_string());
+                resp.status = 440;
+                resp
+            }
+        }
+        let mut b = Browser::new(single_site_web(Always440));
+        let err = b.goto(Url::new("locked.test", "/")).expect_err("no checkpoint to replay");
+        assert!(matches!(err, BrowseError::SessionExpired { .. }));
     }
 
     #[test]

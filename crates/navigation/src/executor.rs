@@ -27,7 +27,8 @@
 use crate::browser::{Browser, LoadedPage};
 use crate::compile::{compile_map, CompiledRelation, CompiledSite};
 use crate::extractor::ExtractionSpec;
-use crate::map::{NavigationMap, NodeKind};
+use crate::healing::{apply_heal, needs_recompile, PageProbe, PendingChange, RepairReport};
+use crate::map::{NavigationMap, NodeId, NodeKind};
 use crate::resilience::{DegradationReport, FetchPolicy};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -61,6 +62,8 @@ pub struct NavOracle {
     specs: HashMap<String, ExtractionSpec>,
     value_link_sets: HashMap<String, Vec<(String, String)>>,
     entries: HashMap<String, Url>,
+    /// In-flight drift detector; `None` when self-healing is disabled.
+    probe: Option<PageProbe>,
 }
 
 impl NavOracle {
@@ -82,7 +85,41 @@ impl NavOracle {
             specs: HashMap::new(),
             value_link_sets: HashMap::new(),
             entries,
+            probe: None,
         }
+    }
+
+    /// Arm the in-flight drift detector against a recorded map.
+    pub(crate) fn set_probe(&mut self, probe: PageProbe) {
+        self.probe = Some(probe);
+    }
+
+    pub(crate) fn clear_probe(&mut self) {
+        self.probe = None;
+    }
+
+    /// Drain the drift detections accumulated since the last drain.
+    pub(crate) fn take_probe_pending(&mut self) -> Vec<PendingChange> {
+        self.probe.as_mut().map(PageProbe::take_pending).unwrap_or_default()
+    }
+
+    pub(crate) fn probe_quarantine(&mut self, node: NodeId) {
+        if let Some(p) = &mut self.probe {
+            p.quarantine(node);
+        }
+    }
+
+    /// Re-snapshot the probe's catalogue from a repaired map (keeps the
+    /// quarantine set).
+    pub(crate) fn rebuild_probe(&mut self, map: &NavigationMap) {
+        if let Some(p) = &self.probe {
+            self.probe = Some(p.rebuilt_from(map));
+        }
+    }
+
+    /// Stale CGI sessions replayed per host (HTTP 440 recovery).
+    pub fn session_recoveries(&self) -> &HashMap<String, u64> {
+        self.browser.session_recoveries()
     }
 
     pub fn register_spec(&mut self, id: &str, spec: ExtractionSpec) {
@@ -142,6 +179,11 @@ impl NavOracle {
                 let i = self.pages.len();
                 self.pages.push(page.clone());
                 self.page_ids.insert(key, i);
+                // First sight of this page: check it against the
+                // recorded catalogue for structural drift.
+                if let Some(p) = &mut self.probe {
+                    p.inspect(key, &page);
+                }
                 i
             }
         };
@@ -284,25 +326,31 @@ impl NavOracle {
         let Some(choices) = self.value_link_sets.get(&set_sym.name()).cloned() else {
             return OracleOutcome::Fail;
         };
-        // Bound value → one choice; unbound → enumerate them all.
+        // Bound value → one choice; unbound → enumerate them all. The
+        // recorder normalises choice values to lowercase, but replayed
+        // and imported maps may carry the site's original casing — the
+        // comparison must not care.
         let selected: Vec<(String, String)> = match &args[2] {
             Term::Str(v) => {
-                let v = v.to_lowercase();
-                choices.into_iter().filter(|(val, _)| *val == v).collect()
+                choices.into_iter().filter(|(val, _)| val.eq_ignore_ascii_case(v)).collect()
             }
             Term::Atom(a) => {
-                let v = a.name().to_lowercase();
-                choices.into_iter().filter(|(val, _)| *val == v).collect()
+                let v = a.name();
+                choices.into_iter().filter(|(val, _)| val.eq_ignore_ascii_case(&v)).collect()
             }
             Term::Var(_) => choices,
             _ => return OracleOutcome::Fail,
         };
+        let bound = !matches!(&args[2], Term::Var(_));
         let mut solutions = Vec::new();
         for (value, href) in selected {
             match self.browser.follow_on(&page, &href) {
                 Ok(next) => {
                     let oid = self.intern_page(next, store);
-                    solutions.push(vec![args[0].clone(), args[1].clone(), Term::str(value), oid]);
+                    // Echo the caller's own term back when it was bound:
+                    // a case-insensitive match must still unify with it.
+                    let value_term = if bound { args[2].clone() } else { Term::str(value) };
+                    solutions.push(vec![args[0].clone(), args[1].clone(), value_term, oid]);
                 }
                 // A degraded choice is abandoned; the surviving choices
                 // still answer (graceful partial enumeration).
@@ -445,6 +493,21 @@ pub struct SiteNavigator {
     compiled: CompiledSite,
     pub map: NavigationMap,
     oracle: std::cell::RefCell<NavOracle>,
+    /// Self-healing state; `None` when disabled. `map` stays the
+    /// pristine recorded map — repairs go to a lazily cloned working
+    /// copy inside.
+    healing: std::cell::RefCell<Option<HealState>>,
+}
+
+/// The navigator's self-healing side: the working (repaired) map, its
+/// recompiled program, and the report of what happened.
+#[derive(Default)]
+struct HealState {
+    /// Cloned from the recorded map on first repair.
+    working: Option<NavigationMap>,
+    /// Present once a repair touched compiled constants.
+    compiled: Option<CompiledSite>,
+    report: RepairReport,
 }
 
 /// Navigation execution errors.
@@ -491,10 +554,31 @@ impl SiteNavigator {
         nav
     }
 
+    /// Disable query-time self-healing (the overhead-ablation
+    /// benchmark): no drift probe, no repair/retry loop, no report.
+    pub fn without_healing(self) -> SiteNavigator {
+        self.oracle.borrow_mut().clear_probe();
+        *self.healing.borrow_mut() = None;
+        self
+    }
+
     /// Per-site degradation accumulated over every run of this
     /// navigator (retries, timeouts, fast-fails, abandoned branches).
     pub fn degradation(&self) -> DegradationReport {
         self.oracle.borrow().degradation()
+    }
+
+    /// What self-healing did across every run of this navigator:
+    /// repairs auto-applied, runs replayed, sessions recovered, nodes
+    /// quarantined.
+    pub fn repair_report(&self) -> RepairReport {
+        let mut report =
+            self.healing.borrow().as_ref().map(|h| h.report.clone()).unwrap_or_default();
+        let oracle = self.oracle.borrow();
+        for (host, n) in oracle.session_recoveries() {
+            report.site_mut(host).sessions_recovered = *n;
+        }
+        report
     }
 
     fn with_caching(
@@ -518,7 +602,13 @@ impl SiteNavigator {
         for (id, choices) in &compiled.value_link_sets {
             oracle.register_value_links(id, choices.clone());
         }
-        SiteNavigator { compiled, map, oracle: std::cell::RefCell::new(oracle) }
+        oracle.set_probe(PageProbe::from_map(&map));
+        SiteNavigator {
+            compiled,
+            map,
+            oracle: std::cell::RefCell::new(oracle),
+            healing: std::cell::RefCell::new(Some(HealState::default())),
+        }
     }
 
     /// The compiled relations (name, attrs).
@@ -538,68 +628,92 @@ impl SiteNavigator {
     /// Execute the navigation program of `relation`, with `given`
     /// attribute values bound, returning extracted records and run
     /// statistics.
+    ///
+    /// With self-healing enabled this is a repair loop: run, drain the
+    /// probe's drift detections, auto-apply / quarantine, and — when a
+    /// repair touched a constant baked into the program (a link name, a
+    /// form CGI) — recompile the working map and replay the run once.
+    /// The replay re-traverses mostly from the browser cache.
     pub fn run_relation(
         &self,
         relation: &str,
         given: &[(String, Value)],
     ) -> Result<(Vec<crate::extractor::Record>, RunStats), NavError> {
-        let rel = self
-            .compiled
-            .relations
-            .iter()
-            .find(|r| r.name == relation)
-            .ok_or_else(|| NavError::UnknownRelation(relation.to_string()))?;
         let mut oracle = self.oracle.borrow_mut();
         let (fetches0, hits0, retries0, net0) =
             (oracle.fetches(), oracle.cache_hits(), oracle.retries(), oracle.simulated_network());
+        let mut cpu = Duration::ZERO;
+        let mut attempt = 0;
+        let records = loop {
+            let healing = self.healing.borrow();
+            let active =
+                healing.as_ref().and_then(|h| h.compiled.as_ref()).unwrap_or(&self.compiled);
+            let rel = active
+                .relations
+                .iter()
+                .find(|r| r.name == relation)
+                .ok_or_else(|| NavError::UnknownRelation(relation.to_string()))?;
 
-        // Build the goal rel(T1..Tn) with given values bound.
-        use webbase_flogic::term::Var;
-        let args: Vec<Term> = rel
-            .attrs
-            .iter()
-            .enumerate()
-            .map(|(i, attr)| match given.iter().find(|(a, _)| a == attr) {
-                Some((_, v)) => value_to_term(v),
-                None => Term::Var(Var(i as u32)),
-            })
-            .collect();
-        let goal = webbase_flogic::goal::Goal::Atom(Sym::new(relation), args);
+            // Build the goal rel(T1..Tn) with given values bound.
+            use webbase_flogic::term::Var;
+            let args: Vec<Term> = rel
+                .attrs
+                .iter()
+                .enumerate()
+                .map(|(i, attr)| match given.iter().find(|(a, _)| a == attr) {
+                    Some((_, v)) => value_to_term(v),
+                    None => Term::Var(Var(i as u32)),
+                })
+                .collect();
+            let goal = webbase_flogic::goal::Goal::Atom(Sym::new(relation), args);
 
-        let t0 = std::time::Instant::now();
-        let mut machine =
-            Machine::with_oracle(&self.compiled.program, ObjectStore::new(), &mut *oracle);
-        let vars: Vec<(String, Var)> = rel
-            .attrs
-            .iter()
-            .enumerate()
-            .filter(|(_, attr)| !given.iter().any(|(a, _)| a == *attr))
-            .map(|(i, attr)| (attr.clone(), Var(i as u32)))
-            .collect();
-        let solutions = machine.solve_all(&goal, &vars).map_err(NavError::Engine)?;
-        let cpu = t0.elapsed();
+            let t0 = std::time::Instant::now();
+            let mut machine =
+                Machine::with_oracle(&active.program, ObjectStore::new(), &mut *oracle);
+            let vars: Vec<(String, Var)> = rel
+                .attrs
+                .iter()
+                .enumerate()
+                .filter(|(_, attr)| !given.iter().any(|(a, _)| a == *attr))
+                .map(|(i, attr)| (attr.clone(), Var(i as u32)))
+                .collect();
+            let solutions = machine.solve_all(&goal, &vars).map_err(NavError::Engine)?;
+            cpu += t0.elapsed();
 
-        let records: Vec<crate::extractor::Record> = solutions
-            .into_iter()
-            .map(|sol| {
-                rel.attrs
-                    .iter()
-                    .map(|attr| {
-                        let value = match sol.get(attr) {
-                            Some(t) => term_to_value(t),
-                            // a given attribute: echo the given value
-                            None => given
-                                .iter()
-                                .find(|(a, _)| a == attr)
-                                .map(|(_, v)| v.clone())
-                                .unwrap_or(Value::Null),
-                        };
-                        (attr.clone(), value)
-                    })
-                    .collect()
-            })
-            .collect();
-        drop(machine);
+            let records: Vec<crate::extractor::Record> = solutions
+                .into_iter()
+                .map(|sol| {
+                    rel.attrs
+                        .iter()
+                        .map(|attr| {
+                            let value = match sol.get(attr) {
+                                Some(t) => term_to_value(t),
+                                // a given attribute: echo the given value
+                                None => given
+                                    .iter()
+                                    .find(|(a, _)| a == attr)
+                                    .map(|(_, v)| v.clone())
+                                    .unwrap_or(Value::Null),
+                            };
+                            (attr.clone(), value)
+                        })
+                        .collect()
+                })
+                .collect();
+            drop(machine);
+            drop(healing);
+
+            let pending = oracle.take_probe_pending();
+            if pending.is_empty() || attempt >= 1 {
+                break records;
+            }
+            if !self.absorb_repairs(&mut oracle, &pending) {
+                // Nothing the compiled program depends on changed: the
+                // answers stand, the repaired map just reflects the site.
+                break records;
+            }
+            attempt += 1;
+        };
         let stats = RunStats {
             pages_fetched: oracle.fetches() - fetches0,
             cache_hits: oracle.cache_hits() - hits0,
@@ -609,12 +723,58 @@ impl SiteNavigator {
         };
         Ok((records, stats))
     }
+
+    /// Classify and fold drained drift detections: auto-applicable
+    /// changes repair the working map, manual-intervention changes
+    /// quarantine their node for the rest of the query. Returns whether
+    /// a repair touched compiled constants (→ recompile and replay).
+    fn absorb_repairs(&self, oracle: &mut NavOracle, pending: &[PendingChange]) -> bool {
+        use webbase_html::diff::Severity;
+        let mut healing = self.healing.borrow_mut();
+        let Some(state) = healing.as_mut() else { return false };
+        let host = self.map.site.clone();
+        let mut constants_changed = false;
+        for p in pending {
+            let site = state.report.site_mut(&host);
+            match p.change.severity() {
+                Severity::AutoApplicable => {
+                    let entry = (p.node, p.change.clone());
+                    if site.auto_applied.contains(&entry) {
+                        continue;
+                    }
+                    let working = state.working.get_or_insert_with(|| self.map.clone());
+                    apply_heal(working, p);
+                    constants_changed |= needs_recompile(&p.change);
+                    site.auto_applied.push(entry);
+                }
+                Severity::ManualIntervention => {
+                    if site.quarantined.iter().any(|(n, _)| *n == p.node) {
+                        continue;
+                    }
+                    site.quarantined.push((p.node, self.map.node(p.node).name.clone()));
+                    oracle.probe_quarantine(p.node);
+                }
+            }
+        }
+        if constants_changed {
+            let working = state.working.as_ref().expect("repairs imply a working map");
+            let compiled = compile_map(working);
+            for (id, choices) in &compiled.value_link_sets {
+                oracle.register_value_links(id, choices.clone());
+            }
+            oracle.rebuild_probe(working);
+            state.report.site_mut(&host).steps_replayed += 1;
+            state.compiled = Some(compiled);
+        }
+        constants_changed
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::extractor::{CellParse, FieldSpec};
+    use crate::model::ActionDescr;
     use crate::recorder::{DesignerAction, Recorder};
     use std::sync::Arc;
     use webbase_webworld::data::{Dataset, SiteSlice};
@@ -770,6 +930,51 @@ mod tests {
         let (all, _) = nav.run_relation("autoweb", &[]).expect("runs");
         let all_truth = data.ads_for(SiteSlice::AutoWeb).count();
         assert_eq!(all.len(), all_truth);
+    }
+
+    #[test]
+    fn value_link_selection_ignores_choice_case() {
+        // The recorder normalises choice values to lowercase, but a map
+        // that came back from maintenance replay or a fact-map import
+        // may carry the site's original casing ("Jaguar"). Selecting
+        // with the usual lowercase binding must still find the link —
+        // and the solution must unify with the caller's own term.
+        let (web, data) = web_and_data();
+        let session = crate::sessions::auto_web(&data);
+        let (mut map, _) =
+            Recorder::record(web.clone(), "www.autoweb.com", &session).expect("records");
+        let uppercase_first = |v: &str| {
+            let mut c = v.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        };
+        for node in &mut map.nodes {
+            for action in &mut node.actions {
+                if let ActionDescr::FollowByValue { choices, .. } = action {
+                    for (val, _) in choices.iter_mut() {
+                        *val = uppercase_first(val);
+                    }
+                }
+            }
+        }
+        for edge in &mut map.edges {
+            if let ActionDescr::FollowByValue { choices, .. } = &mut edge.action {
+                for (val, _) in choices.iter_mut() {
+                    *val = uppercase_first(val);
+                }
+            }
+        }
+        let nav = SiteNavigator::new(web, map);
+        let (records, _) = nav
+            .run_relation("autoWeb", &[("make".to_string(), Value::str("jaguar"))])
+            .expect("runs");
+        let truth = data.matching(SiteSlice::AutoWeb, Some("jaguar"), None);
+        assert_eq!(records.len(), truth.len(), "mixed-case choices must still match");
+        for r in &records {
+            assert_eq!(r["make"], Value::str("jaguar"), "bound term echoed back, not recased");
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod browser;
 pub mod compile;
 pub mod executor;
 pub mod extractor;
+pub mod healing;
 pub mod maintenance;
 pub mod map;
 pub mod model;
@@ -41,6 +42,7 @@ pub mod sessions;
 pub use compile::{compile_map, CompiledSite};
 pub use executor::{NavError, RunStats, SiteNavigator};
 pub use extractor::{CellParse, ExtractionSpec, FieldSpec, Record};
+pub use healing::{RepairReport, SiteRepair};
 pub use map::{NavigationMap, NodeKind};
 pub use persist::{map_from_facts, parse_map, render_facts};
 pub use recorder::{DesignerAction, MapStats, RecordError, Recorder};

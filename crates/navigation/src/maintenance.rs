@@ -20,11 +20,11 @@ use crate::model::{ActionDescr, FieldDescr, FormDescr, LinkDescr};
 use std::collections::VecDeque;
 use std::rc::Rc;
 use webbase_html::diff::{PageChange, Severity};
-use webbase_html::extract::WidgetKind;
+use webbase_html::extract::{Form, WidgetKind};
 use webbase_webworld::prelude::*;
 
 /// Outcome of one maintenance run.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct MaintenanceReport {
     /// Every detected change, with the node it occurred on.
     pub changes: Vec<(NodeId, PageChange)>,
@@ -46,10 +46,21 @@ impl MaintenanceReport {
 /// Replay the map against the current site, detect changes, and apply
 /// the auto-applicable ones to `map`.
 pub fn check_map(web: SyntheticWeb, map: &mut NavigationMap) -> MaintenanceReport {
-    let mut report = MaintenanceReport::default();
     // Maintenance is a *probe*, not a query: retries would mask exactly
     // the flakiness a periodic check exists to surface.
-    let mut browser = Browser::with_policy(web.clone(), crate::resilience::FetchPolicy::no_retry());
+    check_map_with_policy(web, map, crate::resilience::FetchPolicy::no_retry())
+}
+
+/// [`check_map`] with an explicit fetch policy — e.g. `no_retry` plus a
+/// timeout, so a stalled CGI script shows up as an unreachable probe
+/// instead of hanging the maintenance run.
+pub fn check_map_with_policy(
+    web: SyntheticWeb,
+    map: &mut NavigationMap,
+    policy: crate::resilience::FetchPolicy,
+) -> MaintenanceReport {
+    let mut report = MaintenanceReport::default();
+    let mut browser = Browser::with_policy(web.clone(), policy);
     let entry_url = match web.entry(&map.site) {
         Some(u) => u,
         None => {
@@ -126,7 +137,7 @@ fn replay(
             let link = page
                 .links
                 .iter()
-                .find(|l| l.text.to_lowercase() == chosen)
+                .find(|l| l.text.eq_ignore_ascii_case(&chosen))
                 .ok_or(crate::browser::BrowseError::NoSuchLink(chosen))?;
             let href = link.href.clone();
             browser.follow_on(page, &href)
@@ -146,15 +157,7 @@ fn diff_node(
     let mut changes: Vec<PageChange> = Vec::new();
 
     // --- links ---
-    let recorded_links: Vec<LinkDescr> = map
-        .node(node)
-        .actions
-        .iter()
-        .filter_map(|a| match a {
-            ActionDescr::Follow(l) => Some(l.clone()),
-            _ => None,
-        })
-        .collect();
+    let recorded_links = ActionDescr::recorded_links(&map.node(node).actions);
     for rl in &recorded_links {
         match page.link_by_text(&rl.name) {
             None => changes.push(PageChange::LinkRemoved { text: rl.name.clone() }),
@@ -174,75 +177,11 @@ fn diff_node(
     }
 
     // --- forms ---
-    let recorded_forms: Vec<FormDescr> = map
-        .node(node)
-        .actions
-        .iter()
-        .filter_map(|a| match a {
-            ActionDescr::Submit(f) => Some(f.clone()),
-            _ => None,
-        })
-        .collect();
+    let recorded_forms = ActionDescr::recorded_forms(&map.node(node).actions);
     for rf in &recorded_forms {
         match page.form_by_action(&rf.cgi) {
             None => changes.push(PageChange::FormRemoved { action: rf.cgi.clone() }),
-            Some(live) => {
-                for field in &rf.fields {
-                    match live.data_fields().find(|f| f.name == field.name) {
-                        None => changes.push(PageChange::FieldRemoved {
-                            form: rf.cgi.clone(),
-                            field: field.name.clone(),
-                        }),
-                        Some(lf) => match (&field.widget, &lf.kind) {
-                            (
-                                WidgetKind::Select { options: old },
-                                WidgetKind::Select { options: new },
-                            )
-                            | (
-                                WidgetKind::Radio { options: old },
-                                WidgetKind::Radio { options: new },
-                            ) => {
-                                for o in new.iter().filter(|o| !old.contains(o)) {
-                                    changes.push(PageChange::OptionAdded {
-                                        form: rf.cgi.clone(),
-                                        field: field.name.clone(),
-                                        option: o.clone(),
-                                    });
-                                }
-                                for o in old.iter().filter(|o| !new.contains(o)) {
-                                    changes.push(PageChange::OptionRemoved {
-                                        form: rf.cgi.clone(),
-                                        field: field.name.clone(),
-                                        option: o.clone(),
-                                    });
-                                }
-                            }
-                            (a, b) if std::mem::discriminant(a) != std::mem::discriminant(b) => {
-                                changes.push(PageChange::WidgetKindChanged {
-                                    form: rf.cgi.clone(),
-                                    field: field.name.clone(),
-                                });
-                            }
-                            _ => {}
-                        },
-                    }
-                }
-                for lf in live.data_fields() {
-                    if !rf.fields.iter().any(|f| f.name == lf.name) {
-                        changes.push(PageChange::FieldAdded {
-                            form: rf.cgi.clone(),
-                            field: lf.name.clone(),
-                            mandatory_inferred: lf.kind.inferred_mandatory() == Some(true),
-                        });
-                    }
-                }
-            }
-        }
-        if !page
-            .forms
-            .iter()
-            .any(|f| !recorded_forms.iter().any(|r| r.cgi == f.action) && f.action == rf.cgi)
-        { /* handled above */
+            Some(live) => diff_form_fields(rf, live, &mut changes),
         }
     }
     for live in &page.forms {
@@ -261,6 +200,53 @@ fn diff_node(
             Severity::ManualIntervention => report.manual_needed += 1,
         }
         report.changes.push((node, change));
+    }
+}
+
+/// Diff a recorded form against its live counterpart: removed fields,
+/// option-list changes, widget-kind changes, and new fields. Shared by
+/// `check_map` and the in-flight repair path ([`crate::healing`]).
+pub(crate) fn diff_form_fields(rf: &FormDescr, live: &Form, changes: &mut Vec<PageChange>) {
+    for field in &rf.fields {
+        match live.data_fields().find(|f| f.name == field.name) {
+            None => changes
+                .push(PageChange::FieldRemoved { form: rf.cgi.clone(), field: field.name.clone() }),
+            Some(lf) => match (&field.widget, &lf.kind) {
+                (WidgetKind::Select { options: old }, WidgetKind::Select { options: new })
+                | (WidgetKind::Radio { options: old }, WidgetKind::Radio { options: new }) => {
+                    for o in new.iter().filter(|o| !old.contains(o)) {
+                        changes.push(PageChange::OptionAdded {
+                            form: rf.cgi.clone(),
+                            field: field.name.clone(),
+                            option: o.clone(),
+                        });
+                    }
+                    for o in old.iter().filter(|o| !new.contains(o)) {
+                        changes.push(PageChange::OptionRemoved {
+                            form: rf.cgi.clone(),
+                            field: field.name.clone(),
+                            option: o.clone(),
+                        });
+                    }
+                }
+                (a, b) if std::mem::discriminant(a) != std::mem::discriminant(b) => {
+                    changes.push(PageChange::WidgetKindChanged {
+                        form: rf.cgi.clone(),
+                        field: field.name.clone(),
+                    });
+                }
+                _ => {}
+            },
+        }
+    }
+    for lf in live.data_fields() {
+        if !rf.fields.iter().any(|f| f.name == lf.name) {
+            changes.push(PageChange::FieldAdded {
+                form: rf.cgi.clone(),
+                field: lf.name.clone(),
+                mandatory_inferred: lf.kind.inferred_mandatory() == Some(true),
+            });
+        }
     }
 }
 
@@ -386,6 +372,26 @@ mod tests {
         // f2 are both auto-applicable.
         assert!(report.auto_applied >= 1, "{:?}", report.changes);
         assert_eq!(report.manual_needed, 0, "{:?}", report.changes);
+    }
+
+    #[test]
+    fn follow_by_value_replay_is_case_insensitive() {
+        // The recorder lowercases exemplar choices today, but older maps
+        // (and hand-edited ones) carry the raw anchor text. Replay must
+        // match the live link however the case fell.
+        let data = Dataset::generate(5, 60);
+        let web = standard_web(data, LatencyModel::zero());
+        let mut map = NavigationMap::new("www.newsday.com");
+        let home = map.add_node("HomePg", "/|", "Newsday");
+        let autos = map.add_node("AutoPg", "/auto|", "Automobiles");
+        map.add_edge_with(
+            home,
+            autos,
+            ActionDescr::FollowByValue { attr: "section".into(), choices: Vec::new() },
+            vec![("section".into(), "aUtOmObIlEs".into())],
+        );
+        let report = check_map(web, &mut map);
+        assert!(report.unreachable.is_empty(), "mixed-case choice must replay: {report:?}");
     }
 
     #[test]

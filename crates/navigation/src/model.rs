@@ -163,6 +163,29 @@ impl ActionDescr {
         }
     }
 
+    /// Project the `Follow` links out of an action catalogue. Shared by
+    /// offline maintenance (`check_map`) and the in-flight repair path.
+    pub fn recorded_links(actions: &[ActionDescr]) -> Vec<LinkDescr> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ActionDescr::Follow(l) => Some(l.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Project the `Submit` forms out of an action catalogue.
+    pub fn recorded_forms(actions: &[ActionDescr]) -> Vec<FormDescr> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ActionDescr::Submit(f) => Some(f.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// A short label for map rendering (Figure 2 style).
     pub fn label(&self) -> String {
         match self {

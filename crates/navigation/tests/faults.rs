@@ -6,13 +6,13 @@ use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 use webbase_navigation::executor::SiteNavigator;
-use webbase_navigation::maintenance::check_map;
+use webbase_navigation::maintenance::{check_map, check_map_with_policy};
 use webbase_navigation::recorder::Recorder;
 use webbase_navigation::sessions;
 use webbase_navigation::{FetchPolicy, NavigationMap};
 use webbase_relational::Value;
 use webbase_webworld::data::{Dataset, SiteSlice, MAKES};
-use webbase_webworld::faults::{FlakySite, TruncatingSite};
+use webbase_webworld::faults::{FlakySite, StallingSite, TruncatingSite};
 use webbase_webworld::prelude::*;
 use webbase_webworld::sites::Newsday;
 
@@ -94,6 +94,63 @@ fn maintenance_reports_unreachable_on_dead_server() {
         !report.unreachable.is_empty() || !report.changes.is_empty(),
         "a half-dead site cannot look clean"
     );
+}
+
+#[test]
+fn dead_site_is_unreachable_not_drifted() {
+    // Every request 500s: the probe cannot even reach the entry page.
+    // That is a reachability fact, not a structural one — a report full
+    // of phantom LinkRemoved/FormRemoved changes would tell the designer
+    // to rewrite a map that is actually fine.
+    let (data, map) = prop_fixture();
+    let mut m = map.clone();
+    let report = check_map(flaky_newsday(data, 1), &mut m);
+    assert_eq!(report.unreachable, vec![m.entry]);
+    assert!(report.changes.is_empty(), "an outage is not drift: {:?}", report.changes);
+    assert_eq!(report.auto_applied, 0);
+}
+
+#[test]
+fn flaky_probes_fail_closed_without_phantom_changes() {
+    // Intermittent failures: maintenance runs without retries, so failed
+    // probes land in `unreachable` — and the pages that *did* load are
+    // healthy, so no change of any severity may be reported.
+    let (data, map) = prop_fixture();
+    for period in 2..6 {
+        let mut m = map.clone();
+        let report = check_map(flaky_newsday(data, period), &mut m);
+        assert!(!report.unreachable.is_empty(), "period {period}: a flaky site cannot probe clean");
+        assert!(report.changes.is_empty(), "period {period}: {:?}", report.changes);
+    }
+}
+
+#[test]
+fn stalled_probes_time_out_into_unreachable() {
+    let (data, map) = prop_fixture();
+    let stalling = SyntheticWeb::builder()
+        .site(StallingSite::new(Newsday::new(data.clone(), 1), 3, Duration::from_secs(300)))
+        .latency(LatencyModel::zero())
+        .build();
+    let policy = FetchPolicy {
+        timeout: Some(Duration::from_secs(30)),
+        ..webbase_navigation::FetchPolicy::no_retry()
+    };
+    let mut m = map.clone();
+    let report = check_map_with_policy(stalling, &mut m, policy);
+    assert!(!report.unreachable.is_empty(), "stalled probes must not look reachable");
+    assert!(report.changes.is_empty(), "a stall is not drift: {:?}", report.changes);
+}
+
+#[test]
+fn maintenance_reports_are_deterministic_per_seed() {
+    let (data, map) = prop_fixture();
+    for period in [1, 2, 3, 5] {
+        let run = || {
+            let mut m = map.clone();
+            check_map(flaky_newsday(data, period), &mut m)
+        };
+        assert_eq!(run(), run(), "period {period}: same seed, same fault schedule, same report");
+    }
 }
 
 /// Recording Newsday once is enough for every property case: faulty webs

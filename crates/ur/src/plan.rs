@@ -47,6 +47,10 @@ pub struct UrPlan {
     /// fast-fails, and abandoned branches (empty until [`UrPlanner::execute`]
     /// runs the plan, and clean when every site behaved).
     pub degradation: webbase_logical::DegradationReport,
+    /// What self-healing did during *this* execution: repairs applied,
+    /// runs replayed, sessions recovered, nodes quarantined (same
+    /// lifecycle as `degradation`).
+    pub repairs: webbase_logical::RepairReport,
 }
 
 impl UrPlan {
@@ -190,6 +194,7 @@ impl UrPlanner {
             objects,
             skipped,
             degradation: webbase_logical::DegradationReport::default(),
+            repairs: webbase_logical::RepairReport::default(),
         })
     }
 
@@ -271,6 +276,7 @@ impl UrPlanner {
         // Snapshot cumulative per-site degradation so the plan reports
         // only what *this* execution endured.
         let degradation_before = layer.vps.degradation();
+        let repairs_before = layer.vps.repairs();
         let mut result: Option<Relation> = None;
         for obj in &plan.objects {
             let rel = Evaluator::new(layer).eval(&obj.expr, &AccessSpec::new())?;
@@ -292,6 +298,7 @@ impl UrPlanner {
             });
         }
         plan.degradation = layer.vps.degradation().since(&degradation_before);
+        plan.repairs = layer.vps.repairs().since(&repairs_before);
         Ok((result.expect("objects is non-empty"), plan))
     }
 }

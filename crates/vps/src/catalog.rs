@@ -7,7 +7,7 @@ use std::rc::Rc;
 use std::time::Duration;
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
-use webbase_navigation::DegradationReport;
+use webbase_navigation::{DegradationReport, RepairReport};
 use webbase_relational::binding::{Binding, BindingSet};
 use webbase_relational::eval::{AccessSpec, EvalError, RelationProvider};
 use webbase_relational::{Attr, Relation, Schema, Tuple, Value};
@@ -120,6 +120,21 @@ impl VpsCatalog {
             let nav = &self.entries[name].navigator;
             if seen.insert(Rc::as_ptr(nav)) {
                 report.merge(&nav.degradation());
+            }
+        }
+        report
+    }
+
+    /// Per-site self-healing activity merged across every navigator in
+    /// the catalog (same identity-dedup as [`VpsCatalog::degradation`]).
+    pub fn repairs(&self) -> RepairReport {
+        let mut seen: std::collections::HashSet<*const SiteNavigator> =
+            std::collections::HashSet::new();
+        let mut report = RepairReport::default();
+        for name in &self.order {
+            let nav = &self.entries[name].navigator;
+            if seen.insert(Rc::as_ptr(nav)) {
+                report.merge(&nav.repair_report());
             }
         }
         report

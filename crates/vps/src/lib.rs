@@ -24,4 +24,6 @@ pub use catalog::{VpsCatalog, VpsStats};
 pub use handle::{derive_handles, Handle};
 // Degradation reporting surfaces through every layer; re-export so
 // upper layers need not depend on webbase-navigation directly.
-pub use webbase_navigation::{DegradationReport, FetchPolicy, SiteDegradation};
+pub use webbase_navigation::{
+    DegradationReport, FetchPolicy, RepairReport, SiteDegradation, SiteRepair,
+};

@@ -130,6 +130,162 @@ impl<S: Site> Site for StallingSite<S> {
     }
 }
 
+/// The CGI state-token failure mode: the site threads a session token
+/// through every parameterised link it serves, and rejects tokens older
+/// than `ttl` requests with HTTP 440 ("Login Time-out", the 1999 IIS
+/// status). The rejection body names the expired parameter so a client
+/// can re-enter the chain from its checkpointed inputs — the remaining
+/// query parameters — instead of restarting the whole session.
+///
+/// Token grammar: requests without a `sess` parameter are granted one
+/// (every `href="…?…"` in the response gets `&sess=<n>` appended, where
+/// `n` is the server's request counter); requests carrying `sess=<k>`
+/// are served iff no more than `ttl` requests have hit the server since
+/// the token was minted.
+pub struct ExpiringSessionSite<S> {
+    inner: S,
+    ttl: u64,
+    counter: AtomicU64,
+}
+
+/// The session parameter [`ExpiringSessionSite`] threads through links.
+pub const SESSION_PARAM: &str = "sess";
+
+impl<S: Site> ExpiringSessionSite<S> {
+    /// Wrap `inner`; tokens expire once `ttl` further requests have been
+    /// served. `ttl` 0 expires every token on its first use.
+    pub fn new(inner: S, ttl: u64) -> ExpiringSessionSite<S> {
+        ExpiringSessionSite { inner, ttl, counter: AtomicU64::new(0) }
+    }
+
+    /// Append `&sess=<n>` inside every quoted href that already carries
+    /// a query string (static page links stay stateless).
+    fn stamp(body: &str, n: u64) -> String {
+        let mut out = String::with_capacity(body.len() + 64);
+        let mut rest = body;
+        while let Some(i) = rest.find("href=\"") {
+            let after = &rest[i + 6..];
+            let Some(close) = after.find('"') else { break };
+            let href = &after[..close];
+            out.push_str(&rest[..i + 6]);
+            out.push_str(href);
+            if href.contains('?') {
+                out.push_str(&format!("&amp;{SESSION_PARAM}={n}"));
+            }
+            rest = &after[close..];
+        }
+        out.push_str(rest);
+        out
+    }
+
+    /// `req` without its session parameter (the checkpointed inputs).
+    fn stripped(req: &Request) -> Request {
+        let mut url = req.url.clone();
+        url.query.retain(|(k, _)| k != SESSION_PARAM);
+        let mut req = req.clone();
+        req.url = url;
+        req.params.retain(|(k, _)| k != SESSION_PARAM);
+        req
+    }
+}
+
+impl<S: Site> Site for ExpiringSessionSite<S> {
+    fn host(&self) -> &str {
+        self.inner.host()
+    }
+
+    fn entry(&self) -> crate::url::Url {
+        self.inner.entry()
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(tok) = req.param(SESSION_PARAM) {
+            let minted: Option<u64> = tok.parse().ok();
+            let fresh = minted.is_some_and(|k| n.saturating_sub(k) <= self.ttl);
+            if !fresh {
+                return Response {
+                    status: 440,
+                    body: bytes::Bytes::from(format!(
+                        "<html><body><h1>440 Login Time-out</h1>\
+                         <p>expired-param: {SESSION_PARAM}</p>"
+                    )),
+                    stall: Duration::ZERO,
+                };
+            }
+        }
+        let resp = self.inner.handle(&Self::stripped(req));
+        if resp.is_ok() {
+            let stamped = Self::stamp(resp.html(), n);
+            Response { body: bytes::Bytes::from(stamped), ..resp }
+        } else {
+            resp
+        }
+    }
+}
+
+/// The site-evolution failure mode: the site's markup drifts between
+/// recording and execution. A plain string rewrite (`needle` →
+/// `replacement`) applied to served pages, optionally scoped to one
+/// path and optionally deferred until the `starting_at`-th request —
+/// enough to rename a link, an option, or a form field deterministically
+/// mid-query.
+pub struct DriftingSite<S> {
+    inner: S,
+    needle: String,
+    replacement: String,
+    only_path: Option<String>,
+    from_request: u64,
+    counter: AtomicU64,
+}
+
+impl<S: Site> DriftingSite<S> {
+    pub fn new(inner: S, needle: &str, replacement: &str) -> DriftingSite<S> {
+        DriftingSite {
+            inner,
+            needle: needle.to_string(),
+            replacement: replacement.to_string(),
+            only_path: None,
+            from_request: 1,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Restrict the rewrite to responses for exactly this path.
+    pub fn only_on_path(mut self, path: &str) -> DriftingSite<S> {
+        self.only_path = Some(path.to_string());
+        self
+    }
+
+    /// Defer the drift: requests before the `n`-th are served unchanged.
+    pub fn starting_at(mut self, n: u64) -> DriftingSite<S> {
+        self.from_request = n;
+        self
+    }
+}
+
+impl<S: Site> Site for DriftingSite<S> {
+    fn host(&self) -> &str {
+        self.inner.host()
+    }
+
+    fn entry(&self) -> crate::url::Url {
+        self.inner.entry()
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let resp = self.inner.handle(req);
+        let in_scope = self.only_path.as_ref().is_none_or(|p| *p == req.url.path);
+        if n >= self.from_request && in_scope && resp.is_ok() {
+            let drifted = resp.html().replace(&self.needle, &self.replacement);
+            Response { body: bytes::Bytes::from(drifted), ..resp }
+        } else {
+            resp
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +388,77 @@ mod tests {
         assert!(latencies[2] >= minute, "third request stalls");
         assert!(latencies[5] >= minute, "sixth request stalls");
         assert!(latencies[3] < minute && latencies[4] < minute);
+    }
+
+    /// A paginated CGI: every page links to the next via a query href.
+    struct ChainSite;
+    impl Site for ChainSite {
+        fn host(&self) -> &str {
+            "chain.test"
+        }
+        fn handle(&self, req: &Request) -> Response {
+            let page: u32 =
+                req.param_nonempty("page").and_then(|p| p.parse().ok()).unwrap_or_default();
+            Response::ok(format!(
+                "<html><body><p>page {page}</p>\
+                 <a href=\"/list?page={}\">More</a>",
+                page + 1
+            ))
+        }
+    }
+
+    #[test]
+    fn session_site_stamps_query_hrefs_and_accepts_fresh_tokens() {
+        let site = ExpiringSessionSite::new(ChainSite, 5);
+        let first = site.handle(&Request::get(Url::new("chain.test", "/list")));
+        assert!(first.is_ok());
+        assert!(
+            first.html().contains("page=1&amp;sess=1"),
+            "query hrefs must carry the token: {}",
+            first.html()
+        );
+        let followed =
+            Url::new("chain.test", "/list").with_query([("page", "1"), (SESSION_PARAM, "1")]);
+        let second = site.handle(&Request::get(followed));
+        assert!(second.is_ok(), "fresh token must be honoured: {}", second.status);
+        assert!(second.html().contains("page 1"));
+    }
+
+    #[test]
+    fn session_site_rejects_stale_tokens_naming_the_param() {
+        let site = ExpiringSessionSite::new(ChainSite, 0);
+        let _ = site.handle(&Request::get(Url::new("chain.test", "/list")));
+        let stale =
+            Url::new("chain.test", "/list").with_query([("page", "1"), (SESSION_PARAM, "1")]);
+        let resp = site.handle(&Request::get(stale.clone()));
+        assert_eq!(resp.status, 440);
+        assert!(resp.html().contains(&format!("expired-param: {SESSION_PARAM}")));
+        // The checkpointed inputs — the same request minus the token —
+        // re-enter the chain at the same page.
+        let mut retry = stale;
+        retry.query.retain(|(k, _)| k != SESSION_PARAM);
+        let resp = site.handle(&Request::get(retry));
+        assert!(resp.is_ok(), "stripped replay must be granted a new session");
+        assert!(resp.html().contains("page 1"), "chain resumes at the checkpoint, not page 0");
+    }
+
+    #[test]
+    fn drifting_site_rewrites_in_scope_only() {
+        let site = DriftingSite::new(ChainSite, ">More<", ">Next batch<").only_on_path("/list");
+        let hit = site.handle(&Request::get(Url::new("chain.test", "/list")));
+        assert!(hit.html().contains(">Next batch<"), "{}", hit.html());
+        let miss = site.handle(&Request::get(Url::new("chain.test", "/other")));
+        assert!(miss.html().contains(">More<"), "out-of-scope paths serve the original markup");
+    }
+
+    #[test]
+    fn drifting_site_can_defer_the_drift() {
+        let site = DriftingSite::new(ChainSite, ">More<", ">Next<").starting_at(3);
+        for n in 1..=4 {
+            let resp = site.handle(&Request::get(Url::new("chain.test", "/list")));
+            let drifted = resp.html().contains(">Next<");
+            assert_eq!(drifted, n >= 3, "request {n}: drift must begin exactly at 3");
+        }
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Shared fixture for the fault-injection integration suites
+//! (`fault_matrix.rs`, `self_healing.rs`).
+//!
+//! Maps are recorded once against a healthy web and shipped (the
+//! fact-map deployment mode); every faulty or drifted run reloads the
+//! same maps, so the only difference between runs is the web's
+//! behaviour. The dataset seed comes from `WEBBASE_TEST_SEED` (default
+//! 11) so CI can sweep the suite across seeds.
+
+use std::sync::{Arc, OnceLock};
+use webbase::{LatencyModel, Webbase};
+use webbase_relational::Relation;
+use webbase_webworld::data::Dataset;
+use webbase_webworld::prelude::*;
+use webbase_webworld::server::Site;
+
+/// The §1 jaguar query (good safety, priced under blue book).
+#[allow(dead_code)]
+pub const JAGUAR_QUERY: &str = "UsedCarUR(make='jaguar', model, year >= 1993, price, bbprice, \
+                                safety='good', condition='good') WHERE price < bbprice";
+
+/// The §7 timing-table query.
+#[allow(dead_code)]
+pub const FORD_SELECT: &str = "SELECT make, model, year, price WHERE make=ford AND model=escort";
+
+/// The dataset seed under test: `WEBBASE_TEST_SEED` or 11.
+pub fn seed() -> u64 {
+    std::env::var("WEBBASE_TEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(11)
+}
+
+pub fn fixture() -> &'static (Arc<Dataset>, Vec<String>) {
+    static FIX: OnceLock<(Arc<Dataset>, Vec<String>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let wb = Webbase::build_demo(seed(), 400, LatencyModel::lan());
+        (wb.data.clone(), wb.export_fact_maps())
+    })
+}
+
+pub fn webbase_on(web: SyntheticWeb) -> Webbase {
+    let (data, maps) = fixture();
+    Webbase::build_from_fact_maps(web, data.clone(), maps).expect("fact maps reload")
+}
+
+pub fn healthy_webbase_at(latency: LatencyModel) -> Webbase {
+    let (data, _) = fixture();
+    webbase_on(standard_web(data.clone(), latency))
+}
+
+pub fn healthy_webbase() -> Webbase {
+    healthy_webbase_at(LatencyModel::lan())
+}
+
+pub fn faulty_webbase_at(
+    latency: LatencyModel,
+    wrap: impl Fn(&str, Box<dyn Site>) -> Box<dyn Site>,
+) -> Webbase {
+    let (data, _) = fixture();
+    webbase_on(standard_web_faulty(data.clone(), latency, wrap))
+}
+
+pub fn faulty_webbase(wrap: impl Fn(&str, Box<dyn Site>) -> Box<dyn Site>) -> Webbase {
+    faulty_webbase_at(LatencyModel::lan(), wrap)
+}
+
+/// Every tuple of `partial` appears in `full` — degraded answers may be
+/// fewer, never fabricated.
+#[allow(dead_code)]
+pub fn subset(partial: &Relation, full: &Relation) -> bool {
+    partial.tuples().iter().all(|t| full.tuples().contains(t))
+}

@@ -8,65 +8,17 @@
 //! exactly the sites that misbehaved, and identical seeds produce
 //! byte-identical answers and reports.
 
+mod common;
+
+use common::{
+    faulty_webbase, faulty_webbase_at, healthy_webbase, healthy_webbase_at, subset, FORD_SELECT,
+    JAGUAR_QUERY,
+};
 use std::collections::BTreeSet;
-use std::sync::{Arc, OnceLock};
 use std::time::Duration;
-use webbase::{LatencyModel, Webbase};
-use webbase_relational::Relation;
-use webbase_webworld::data::Dataset;
+use webbase::LatencyModel;
 use webbase_webworld::faults::{FlakySite, StallingSite, TruncatingSite};
-use webbase_webworld::prelude::*;
 use webbase_webworld::server::Site;
-
-/// The §1 jaguar query (good safety, priced under blue book).
-const JAGUAR_QUERY: &str = "UsedCarUR(make='jaguar', model, year >= 1993, price, bbprice, \
-                            safety='good', condition='good') WHERE price < bbprice";
-
-/// The §7 timing-table query.
-const FORD_SELECT: &str = "SELECT make, model, year, price WHERE make=ford AND model=escort";
-
-/// Maps are recorded once against a healthy web and shipped (the
-/// fact-map deployment mode); every faulty run reloads the same maps, so
-/// the only difference between runs is the web's behaviour.
-fn fixture() -> &'static (Arc<Dataset>, Vec<String>) {
-    static FIX: OnceLock<(Arc<Dataset>, Vec<String>)> = OnceLock::new();
-    FIX.get_or_init(|| {
-        let wb = Webbase::build_demo(11, 400, LatencyModel::lan());
-        (wb.data.clone(), wb.export_fact_maps())
-    })
-}
-
-fn webbase_on(web: SyntheticWeb) -> Webbase {
-    let (data, maps) = fixture();
-    Webbase::build_from_fact_maps(web, data.clone(), maps).expect("fact maps reload")
-}
-
-fn healthy_webbase_at(latency: LatencyModel) -> Webbase {
-    let (data, _) = fixture();
-    webbase_on(standard_web(data.clone(), latency))
-}
-
-fn healthy_webbase() -> Webbase {
-    healthy_webbase_at(LatencyModel::lan())
-}
-
-fn faulty_webbase_at(
-    latency: LatencyModel,
-    wrap: impl Fn(&str, Box<dyn Site>) -> Box<dyn Site>,
-) -> Webbase {
-    let (data, _) = fixture();
-    webbase_on(standard_web_faulty(data.clone(), latency, wrap))
-}
-
-fn faulty_webbase(wrap: impl Fn(&str, Box<dyn Site>) -> Box<dyn Site>) -> Webbase {
-    faulty_webbase_at(LatencyModel::lan(), wrap)
-}
-
-/// Every tuple of `partial` appears in `full` — degraded answers may be
-/// fewer, never fabricated.
-fn subset(partial: &Relation, full: &Relation) -> bool {
-    partial.tuples().iter().all(|t| full.tuples().contains(t))
-}
 
 #[test]
 fn fault_matrix_partial_answers_are_sound() {
