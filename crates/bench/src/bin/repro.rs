@@ -23,6 +23,20 @@
 //! | `--query` | §1/§2 — the jaguar query end to end |
 //! | `--query62` | §6.2 — monthly payments below $1,000 (computed column) |
 //! | `--ordering` | ablation — greedy vs exact join ordering on random instances |
+//!
+//! Budgeted execution (applies to `--query`, and implies it):
+//!
+//! | flag | effect |
+//! |---|---|
+//! | `--deadline-ms N` | run the jaguar query under a simulated deadline of N ms |
+//! | `--fetch-quota N` | cap the query at N page fetches across all sites |
+//! | `--resume FILE` | resume from FILE's token if it exists; on exhaustion, write the new token there |
+//!
+//! ```bash
+//! # First slice of the answer, then finish it from the saved token:
+//! cargo run -p webbase-bench --bin repro -- --deadline-ms 40000 --resume /tmp/jaguar.token
+//! cargo run -p webbase-bench --bin repro -- --resume /tmp/jaguar.token
+//! ```
 
 use webbase::layers::render_figure1;
 use webbase::timing;
@@ -35,6 +49,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let arg_value = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let deadline_ms: Option<u64> = arg_value("--deadline-ms").map(|v| {
+        v.parse().unwrap_or_else(|_| panic!("--deadline-ms needs a millisecond count, got {v:?}"))
+    });
+    let fetch_quota: Option<u64> = arg_value("--fetch-quota").map(|v| {
+        v.parse().unwrap_or_else(|_| panic!("--fetch-quota needs a fetch count, got {v:?}"))
+    });
+    let resume_path = arg_value("--resume");
 
     println!("Building the used-car webbase over the simulated 1999 Web…\n");
     let mut wb = bench_webbase();
@@ -129,17 +153,78 @@ fn main() {
         section("Ablation — greedy vs exact join ordering (random feasible instances)");
         ordering_ablation();
     }
-    if want("--query") {
+    let budgeted = deadline_ms.is_some() || fetch_quota.is_some() || resume_path.is_some();
+    if want("--query") || budgeted {
         section("§1 — the jaguar query, end to end");
         let q = "UsedCarUR(make='jaguar', model, year >= 1993, price, bbprice, \
                  safety='good', condition='good') WHERE price < bbprice";
         println!("{q}\n");
-        match wb.query(q) {
+        let mut query = webbase_ur::query::parse_query(q).expect("the demo query parses");
+        if budgeted {
+            let mut budget = webbase_logical::QueryBudget::unlimited();
+            if let Some(ms) = deadline_ms {
+                budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            if let Some(n) = fetch_quota {
+                budget = budget.with_fetch_quota(n);
+            }
+            if !budget.is_unlimited() {
+                query = query.with_budget(budget);
+            }
+        }
+        // A token saved by an earlier exhausted run continues that run:
+        // its journal preloads the caches, its budget applies unless a
+        // fresh one was given on this command line.
+        let prior = resume_path
+            .as_ref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .map(|text| webbase_navigation::parse_resume(&text).expect("valid resume token"));
+        if prior.is_some() {
+            println!("(resuming from saved token)\n");
+        }
+        match wb.planner.execute_with(&query, &mut wb.layer, prior.as_ref()) {
             Ok((result, plan)) => {
                 println!("{}", plan.render());
                 println!("{}", result.to_table());
                 println!("Site degradation:\n{}", plan.degradation.render());
                 println!("Self-healing:\n{}", plan.repairs.render());
+                if let Some(snap) = &plan.budget {
+                    println!(
+                        "Budget: {} fetches, {:.1} ms simulated elapsed{}",
+                        snap.fetches,
+                        snap.elapsed.as_secs_f64() * 1e3,
+                        match &snap.exhausted {
+                            Some(d) => format!(" — exhausted ({d})"),
+                            None => String::new(),
+                        }
+                    );
+                    let starved = snap.starved_sites();
+                    if !starved.is_empty() {
+                        println!("Starved sites: {}", starved.join(", "));
+                    }
+                }
+                match (&plan.resume, &resume_path) {
+                    (Some(token), Some(path)) => {
+                        std::fs::write(path, webbase_navigation::render_resume(token))
+                            .unwrap_or_else(|e| panic!("writing resume token to {path}: {e}"));
+                        println!(
+                            "Partial result — resume token ({} journalled pages) written to {path}",
+                            token.journal.len()
+                        );
+                    }
+                    (Some(token), None) => println!(
+                        "Partial result — rerun with --resume FILE to save the token \
+                         ({} journalled pages) and continue later",
+                        token.journal.len()
+                    ),
+                    (None, Some(path)) => {
+                        // Finished: a stale token would resurrect an old
+                        // partial state on the next run.
+                        let _ = std::fs::remove_file(path);
+                        println!("Query complete — cleared the resume token at {path}");
+                    }
+                    (None, None) => {}
+                }
             }
             Err(e) => println!("query failed: {e}"),
         }

@@ -13,10 +13,13 @@
 //! crucial for obtaining acceptable response times".
 
 use crate::webbase::Webbase;
+use std::sync::Arc;
 use std::time::Duration;
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
-use webbase_navigation::{DegradationReport, RepairReport};
+use webbase_navigation::{
+    BudgetSnapshot, BudgetTracker, DegradationReport, QueryBudget, RepairReport,
+};
 use webbase_relational::Value;
 use webbase_webworld::prelude::*;
 
@@ -89,7 +92,24 @@ fn run_one(
     make: &str,
     model: &str,
 ) -> SiteTiming {
+    run_one_with(web, map, relation, make, model, None)
+}
+
+/// [`run_one`], optionally under a shared query budget. Each navigator
+/// is still fresh; only the tracker is shared, which is exactly how the
+/// timing experiments observe cross-site quota contention.
+fn run_one_with(
+    web: &SyntheticWeb,
+    map: &NavigationMap,
+    relation: &str,
+    make: &str,
+    model: &str,
+    budget: Option<Arc<BudgetTracker>>,
+) -> SiteTiming {
     let nav = SiteNavigator::new(web.clone(), map.clone());
+    if let Some(b) = budget {
+        nav.set_budget(b);
+    }
     let given = given_for(relation, make, model);
     let (records, stats) = nav
         .run_relation(relation, &given)
@@ -139,6 +159,71 @@ pub fn serial_timing(wb: &Webbase, make: &str, model: &str) -> Vec<SiteTiming> {
             run_one(&wb.web, map, relation, make, model)
         })
         .collect()
+}
+
+/// [`serial_timing`] under one shared query budget: every site draws on
+/// the same deadline and fetch quotas, so the returned snapshot shows
+/// exactly where the budget went (and which sites were denied).
+pub fn serial_timing_budgeted(
+    wb: &Webbase,
+    make: &str,
+    model: &str,
+    budget: QueryBudget,
+) -> (Vec<SiteTiming>, BudgetSnapshot) {
+    let tracker = Arc::new(BudgetTracker::new(budget));
+    for (host, _) in timing_relations() {
+        tracker.register_site(host);
+    }
+    let rows = timing_relations()
+        .into_iter()
+        .map(|(host, relation)| {
+            let map = wb.map_for(host).expect("demo webbase maps every timing site");
+            let row = run_one_with(&wb.web, map, relation, make, model, Some(tracker.clone()));
+            tracker.mark_served(host);
+            row
+        })
+        .collect();
+    (rows, tracker.snapshot())
+}
+
+/// [`parallel_timing`] under one shared query budget. The tracker is the
+/// only state the site threads share — quota admission is atomic across
+/// them, so the global quota holds even under concurrency.
+pub fn parallel_timing_budgeted(
+    wb: &Webbase,
+    make: &str,
+    model: &str,
+    budget: QueryBudget,
+) -> (Vec<SiteTiming>, BudgetSnapshot) {
+    let tracker = Arc::new(BudgetTracker::new(budget));
+    let pairs = timing_relations();
+    for (host, _) in &pairs {
+        tracker.register_site(host);
+    }
+    let mut rows: Vec<Option<SiteTiming>> = Vec::new();
+    rows.resize_with(pairs.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, (host, relation)) in pairs.iter().enumerate() {
+            let map = wb.map_for(host).expect("mapped").clone();
+            let web = wb.web.clone();
+            let tracker = tracker.clone();
+            handles.push((
+                i,
+                scope.spawn(move |_| {
+                    let row =
+                        run_one_with(&web, &map, relation, make, model, Some(tracker.clone()));
+                    tracker.mark_served(host);
+                    row
+                }),
+            ));
+        }
+        for (i, h) in handles {
+            rows[i] = Some(h.join().expect("site query thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    (rows.into_iter().map(|r| r.expect("every slot filled")).collect(), tracker.snapshot())
 }
 
 /// The same queries, one thread per site (crossbeam scoped threads —
@@ -239,6 +324,48 @@ mod tests {
             assert_eq!(s.tuples, p.tuples, "{}: tuple counts differ", s.site);
             assert_eq!(s.pages, p.pages, "{}: page counts differ", s.site);
         }
+    }
+
+    #[test]
+    fn fair_share_budget_spreads_pages_across_sites() {
+        let wb = demo();
+        // 10 sites, quota 20, fair share on: every site's floor of 2 is
+        // reserved, so nobody starves.
+        let budget = QueryBudget::unlimited().with_fetch_quota(20).with_fair_share(true);
+        let (rows, snap) = serial_timing_budgeted(&wb, "ford", "escort", budget);
+        assert!(rows.iter().all(|r| r.pages >= 1), "{}", render_table(&rows));
+        assert_eq!(snap.fetches, 20, "the whole quota is spent");
+        assert!(snap.exhausted.is_some());
+        // Same quota without fair share: the sites early in the row
+        // order drain it and the tail gets nothing.
+        let (rows, snap) = serial_timing_budgeted(
+            &wb,
+            "ford",
+            "escort",
+            QueryBudget::unlimited().with_fetch_quota(20),
+        );
+        assert!(snap.fetches <= 20);
+        assert_eq!(
+            rows.last().expect("rows").pages,
+            0,
+            "without fair share the last site must starve:\n{}",
+            render_table(&rows)
+        );
+    }
+
+    #[test]
+    fn parallel_budget_is_shared_across_threads() {
+        let wb = demo();
+        let (rows, snap) = parallel_timing_budgeted(
+            &wb,
+            "ford",
+            "escort",
+            QueryBudget::unlimited().with_fetch_quota(15),
+        );
+        assert!(snap.fetches <= 15, "admission is atomic across site threads");
+        let total: u32 = rows.iter().map(|r| r.pages).sum();
+        assert!(total <= 15, "page spend bounded by the shared quota, got {total}");
+        assert!(snap.exhausted.is_some(), "ten sites cannot fit in 15 fetches");
     }
 
     #[test]

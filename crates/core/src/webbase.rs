@@ -146,6 +146,33 @@ impl Webbase {
         self.planner.execute(&q, &mut self.layer).map_err(WebbaseError::Plan)
     }
 
+    /// Parse and execute a structured-UR query under a resource budget.
+    /// Exhaustion yields the sound partial result; the returned plan then
+    /// carries the spend snapshot and a resume token (see
+    /// [`Webbase::resume`]).
+    pub fn query_with_budget(
+        &mut self,
+        text: &str,
+        budget: webbase_logical::QueryBudget,
+    ) -> Result<(Relation, UrPlan), WebbaseError> {
+        let q = parse_query(text).map_err(WebbaseError::Query)?.with_budget(budget);
+        self.planner.execute(&q, &mut self.layer).map_err(WebbaseError::Plan)
+    }
+
+    /// Re-run a query from an earlier run's resume token: the token's
+    /// journal is preloaded into the page caches (those pages are never
+    /// re-fetched) and a fresh budget — the token's own, unless the query
+    /// text is paired with a new one via [`Webbase::query_with_budget`]'s
+    /// semantics — covers the unfinished tail.
+    pub fn resume(
+        &mut self,
+        text: &str,
+        token: &webbase_logical::ResumeToken,
+    ) -> Result<(Relation, UrPlan), WebbaseError> {
+        let q = parse_query(text).map_err(WebbaseError::Query)?;
+        self.planner.execute_with(&q, &mut self.layer, Some(token)).map_err(WebbaseError::Plan)
+    }
+
     /// Plan a query without executing it (for EXPLAIN-style output).
     pub fn explain(&self, text: &str) -> Result<UrPlan, WebbaseError> {
         let q = parse_query(text).map_err(WebbaseError::Query)?;
@@ -242,6 +269,43 @@ mod tests {
             wb.query("UsedCarUR(make='ford', bbprice)"),
             Err(WebbaseError::Plan(UrError::InsufficientBindings(_)))
         ));
+    }
+
+    #[test]
+    fn budgeted_query_resumes_to_the_full_answer_without_refetches() {
+        use webbase_logical::QueryBudget;
+        let q = "UsedCarUR(make='ford', price)";
+        let mut unbounded = demo();
+        let before = unbounded.web.total_stats().requests;
+        let (full, _) = unbounded.query(q).expect("runs");
+        let full_requests = unbounded.web.total_stats().requests - before;
+        assert!(!full.is_empty());
+
+        let mut wb = demo();
+        let (mut result, plan) =
+            wb.query_with_budget(q, QueryBudget::unlimited().with_fetch_quota(10)).expect("runs");
+        let mut token = plan.resume;
+        assert!(token.is_some(), "a quota of 10 cannot finish the ford query");
+        let mut journal_len = 0;
+        let mut rounds = 0;
+        while let Some(t) = token {
+            assert!(t.journal.len() > journal_len, "every round must journal new pages");
+            journal_len = t.journal.len();
+            rounds += 1;
+            assert!(rounds < 100, "resume loop failed to converge");
+            // Fresh webbase per round: only the token carries state over.
+            let mut next = demo();
+            let before = next.web.total_stats().requests;
+            let (r, p) = next.resume(q, &t).expect("resumes");
+            let spent = (next.web.total_stats().requests - before) as usize;
+            assert!(
+                spent + journal_len <= full_requests as usize,
+                "a resumed run re-fetched journalled pages ({spent} new + {journal_len} journalled > {full_requests} total)"
+            );
+            result = r;
+            token = p.resume;
+        }
+        assert_eq!(result, full, "partial runs resumed to exactly the unbounded answer");
     }
 
     #[test]

@@ -29,5 +29,10 @@ pub use layer::LogicalLayer;
 pub use schema::{paper_schema, LogicalRelation};
 pub use webbase_relational::standardize::Standardizer;
 // Re-exported so the external-schema layer can surface per-site
-// degradation without depending on the navigation crate.
-pub use webbase_vps::{DegradationReport, FetchPolicy, RepairReport, SiteDegradation, SiteRepair};
+// degradation and query budgets without depending on the navigation
+// crate.
+pub use webbase_vps::{
+    parse_resume, render_resume, BudgetDenial, BudgetSnapshot, BudgetTracker, DegradationReport,
+    FetchPolicy, JournalEntry, NavPosition, QueryBudget, RepairReport, ResumeToken,
+    SiteDegradation, SiteRepair, SiteSpend,
+};

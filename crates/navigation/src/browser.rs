@@ -11,10 +11,12 @@
 //! touching the (simulated) network — the paper relies on the same
 //! idempotence when it re-runs navigation expressions.
 
+use crate::budget::{BudgetDenial, BudgetTracker, JournalEntry};
 use crate::resilience::{CircuitState, DegradationReport, FetchPolicy, HostHealth};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 use webbase_html::extract::{self, Form, Link, WidgetKind};
 use webbase_html::Document;
@@ -144,6 +146,13 @@ pub enum BrowseError {
     SessionExpired {
         url: String,
     },
+    /// The query budget refused the request (deadline, fetch quota, or
+    /// fair-share admission). The branch is abandoned cleanly; the
+    /// shortfall is itemised in the degradation report.
+    BudgetExhausted {
+        host: String,
+        denial: BudgetDenial,
+    },
 }
 
 impl BrowseError {
@@ -152,7 +161,9 @@ impl BrowseError {
     pub fn is_degradation(&self) -> bool {
         match self {
             BrowseError::HttpError { status, .. } => *status >= 500,
-            BrowseError::Timeout { .. } | BrowseError::CircuitOpen { .. } => true,
+            BrowseError::Timeout { .. }
+            | BrowseError::CircuitOpen { .. }
+            | BrowseError::BudgetExhausted { .. } => true,
             _ => false,
         }
     }
@@ -176,6 +187,9 @@ impl fmt::Display for BrowseError {
             }
             BrowseError::SessionExpired { url } => {
                 write!(f, "session expired fetching {url} (unrecoverable)")
+            }
+            BrowseError::BudgetExhausted { host, denial } => {
+                write!(f, "budget refused request to {host}: {denial}")
             }
         }
     }
@@ -208,6 +222,18 @@ pub struct Browser {
     /// Per-host count of stale-session replays (HTTP 440 recovered by
     /// re-issuing the request from its checkpointed inputs).
     session_recoveries: HashMap<String, u64>,
+    /// The query budget this session spends against, shared with every
+    /// other session the same query drives. `None` = unbudgeted (the
+    /// pre-budget behaviour, bit for bit).
+    budget: Option<Arc<BudgetTracker>>,
+    /// Journal of every successfully fetched page (request + raw body),
+    /// kept only while a budget is attached — it becomes the resume
+    /// token's page intern.
+    journal: Vec<JournalEntry>,
+    /// Charge fetches to the owning site's quota only, not the global
+    /// one — set by the executor around quarantined `FollowByValue`
+    /// scans so a drifted node cannot drain other sites' budgets.
+    site_only_charging: bool,
 }
 
 impl Browser {
@@ -232,6 +258,9 @@ impl Browser {
             health: HashMap::new(),
             degradation: DegradationReport::default(),
             session_recoveries: HashMap::new(),
+            budget: None,
+            journal: Vec::new(),
+            site_only_charging: false,
         }
     }
 
@@ -265,6 +294,64 @@ impl Browser {
     /// fetch on `host` failed.
     pub fn note_abandoned_branch(&mut self, host: &str) {
         self.degradation.site_mut(host).branches_abandoned += 1;
+    }
+
+    /// Attach the query budget this session spends against.
+    pub fn set_budget(&mut self, budget: Arc<BudgetTracker>) {
+        self.budget = Some(budget);
+    }
+
+    pub fn budget(&self) -> Option<&Arc<BudgetTracker>> {
+        self.budget.as_ref()
+    }
+
+    /// The pages fetched while a budget was attached, in fetch order.
+    pub fn journal(&self) -> &[JournalEntry] {
+        &self.journal
+    }
+
+    /// Charge subsequent fetches to their site's quota only (the
+    /// quarantined-node path). Callers must reset this when the scan
+    /// ends.
+    pub fn set_site_only_charging(&mut self, on: bool) {
+        self.site_only_charging = on;
+    }
+
+    /// Intern a journalled page into the fetch cache without touching
+    /// the network or the fetch counters. Resuming a query preloads the
+    /// token's journal this way, so the re-run traverses the completed
+    /// frontier on cache hits alone.
+    pub fn preload(&mut self, entry: &JournalEntry) {
+        let resp =
+            Response { status: 200, body: entry.body.clone(), stall: std::time::Duration::ZERO };
+        let page = Rc::new(LoadedPage::from_response(entry.request.url.clone(), &resp));
+        self.cache.insert(entry.request.clone(), page);
+        // A preloaded page stays journalled: it is already paid for, and
+        // the *next* resume token must keep covering it even though this
+        // run will only ever see it as a cache hit.
+        self.journal.push(entry.clone());
+    }
+
+    /// Cooperative deadline check for the executor's iteration points
+    /// ("More" chains, choice scans). Past the deadline the denial is
+    /// recorded and the branch abandons cleanly *before* the next parse.
+    pub fn budget_check(&mut self, host: &str) -> Result<(), BrowseError> {
+        let Some(budget) = &self.budget else { return Ok(()) };
+        if budget.deadline_exceeded() {
+            let denial = budget.try_admit(host, true).expect_err("deadline passed");
+            self.degradation.site_mut(host).budget_denied += 1;
+            return Err(BrowseError::BudgetExhausted { host: host.to_string(), denial });
+        }
+        Ok(())
+    }
+
+    /// Charge simulated network time to this session and, when a budget
+    /// is attached, to the query deadline.
+    fn charge_network(&mut self, d: Duration) {
+        self.simulated_network += d;
+        if let Some(budget) = &self.budget {
+            budget.charge(d);
+        }
     }
 
     pub fn current(&self) -> Option<&Rc<LoadedPage>> {
@@ -305,8 +392,28 @@ impl Browser {
         let probing = self.circuit_state(&host) == CircuitState::HalfOpen;
         let max_retries = if probing { 0 } else { self.policy.max_retries };
 
+        // A probe whose worst case (the policy timeout) no longer fits
+        // in the remaining deadline is not worth spending: keep failing
+        // fast and leave the probe for a caller with time to wait.
+        if probing {
+            if let (Some(budget), Some(timeout)) = (&self.budget, self.policy.timeout) {
+                if budget.remaining_deadline().is_some_and(|r| r < timeout) {
+                    self.degradation.site_mut(&host).fast_failures += 1;
+                    return Err(BrowseError::CircuitOpen { host });
+                }
+            }
+        }
+
         let mut retry = 0;
         loop {
+            // Budget admission, per network attempt (cache hits never
+            // get here and are free).
+            if let Some(budget) = self.budget.clone() {
+                if let Err(denial) = budget.try_admit(&host, self.site_only_charging) {
+                    self.degradation.site_mut(&host).budget_denied += 1;
+                    return Err(BrowseError::BudgetExhausted { host, denial });
+                }
+            }
             let (resp, latency) = self.web.fetch(&req);
             self.fetches += 1;
             self.degradation.site_mut(&host).requests += 1;
@@ -317,7 +424,7 @@ impl Browser {
             // charged the timeout, not the full stall.
             let timed_out = self.policy.timeout.is_some_and(|t| latency > t);
             let failure = if timed_out {
-                self.simulated_network += self.policy.timeout.expect("checked");
+                self.charge_network(self.policy.timeout.expect("checked"));
                 let d = self.degradation.site_mut(&host);
                 d.failures += 1;
                 d.timeouts += 1;
@@ -326,7 +433,7 @@ impl Browser {
                     after: self.policy.timeout.expect("checked"),
                 })
             } else if resp.status >= 500 {
-                self.simulated_network += latency;
+                self.charge_network(latency);
                 self.degradation.site_mut(&host).failures += 1;
                 Some(BrowseError::HttpError { url: req.url.to_string(), status: resp.status })
             } else {
@@ -334,7 +441,7 @@ impl Browser {
             };
 
             let Some(err) = failure else {
-                self.simulated_network += latency;
+                self.charge_network(latency);
                 self.health.entry(host.clone()).or_default().record_success();
                 if resp.status == 440 {
                     // Stale CGI session token: replay from checkpointed
@@ -350,6 +457,10 @@ impl Browser {
                     });
                 }
                 let page = Rc::new(LoadedPage::from_response(req.url.clone(), &resp));
+                if self.budget.is_some() {
+                    self.journal
+                        .push(JournalEntry { request: req.clone(), body: resp.body.clone() });
+                }
                 if self.caching {
                     self.cache.insert(req, page.clone());
                 }
@@ -365,7 +476,17 @@ impl Browser {
             if retry >= max_retries {
                 return Err(err);
             }
-            self.simulated_network += self.policy.backoff_for(retry);
+            let backoff = self.policy.backoff_for(retry);
+            if let Some(remaining) = self.budget.as_ref().and_then(|b| b.remaining_deadline()) {
+                if backoff >= remaining {
+                    // The scheduled retry would land past the deadline:
+                    // no caller could use its response. Charge only the
+                    // time actually left and surface the last error.
+                    self.charge_network(remaining);
+                    return Err(err);
+                }
+            }
+            self.charge_network(backoff);
             self.retries += 1;
             self.degradation.site_mut(&host).retries += 1;
             retry += 1;
@@ -392,7 +513,17 @@ impl Browser {
         match stripped {
             Some(s) if s != req => {
                 *self.session_recoveries.entry(req.url.host.clone()).or_default() += 1;
-                let page = self.request(s)?;
+                let page = self.request(s.clone())?;
+                // Journal under the stale key too (same body as the
+                // replayed request): a resumed query re-issues the
+                // original request verbatim and must hit the cache.
+                if self.budget.is_some() {
+                    if let Some(body) =
+                        self.journal.iter().rev().find(|e| e.request == s).map(|e| e.body.clone())
+                    {
+                        self.journal.push(JournalEntry { request: req.clone(), body });
+                    }
+                }
                 // Cache under the stale key too: backtracking re-issues
                 // the original request verbatim.
                 if self.caching {
@@ -783,6 +914,92 @@ mod tests {
         let mut b = Browser::new(single_site_web(Always440));
         let err = b.goto(Url::new("locked.test", "/")).expect_err("no checkpoint to replay");
         assert!(matches!(err, BrowseError::SessionExpired { .. }));
+    }
+
+    #[test]
+    fn budget_quota_denial_fails_cleanly() {
+        use crate::budget::{BudgetTracker, QueryBudget};
+        let mut b = Browser::new(single_site_web(RecoveringSite::new(0)));
+        b.set_budget(Arc::new(BudgetTracker::new(QueryBudget::unlimited().with_fetch_quota(1))));
+        b.goto(Url::new("recover.test", "/")).expect("first fetch admitted");
+        b.goto(Url::new("recover.test", "/")).expect("cache hit is free");
+        let err = b.goto(Url::new("recover.test", "/other")).expect_err("quota spent");
+        assert!(
+            matches!(
+                &err,
+                BrowseError::BudgetExhausted { denial: BudgetDenial::GlobalQuotaExhausted, .. }
+            ),
+            "got {err:?}"
+        );
+        assert!(err.is_degradation(), "exhaustion abandons the branch like a site fault");
+        assert_eq!(b.fetches, 1, "the denied request never touched the network");
+        assert_eq!(b.degradation().sites["recover.test"].budget_denied, 1);
+        assert_eq!(b.journal().len(), 1, "only the admitted page is journalled");
+    }
+
+    #[test]
+    fn retry_backoff_is_clipped_to_the_deadline() {
+        use crate::budget::{BudgetTracker, QueryBudget};
+        let policy = FetchPolicy { breaker_threshold: 0, ..FetchPolicy::default_policy() };
+        let mut b = Browser::with_policy(single_site_web(RecoveringSite::new(10)), policy);
+        let deadline = Duration::from_millis(50);
+        let tracker =
+            Arc::new(BudgetTracker::new(QueryBudget::unlimited().with_deadline(deadline)));
+        b.set_budget(tracker.clone());
+        // First attempt fails; the 100ms backoff exceeds the 50ms left,
+        // so the retry is abandoned and only the remainder is charged —
+        // never simulated time past the point any caller could use the
+        // response.
+        let err = b.goto(Url::new("recover.test", "/")).expect_err("down");
+        assert!(matches!(err, BrowseError::HttpError { status: 500, .. }));
+        assert_eq!(b.retries, 0, "clipped retry never happened");
+        assert_eq!(b.simulated_network, deadline);
+        assert_eq!(tracker.remaining_deadline(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn preloaded_journal_pages_serve_from_cache() {
+        use crate::budget::{BudgetTracker, QueryBudget};
+        let mut first = Browser::new(single_site_web(RecoveringSite::new(0)));
+        first.set_budget(Arc::new(BudgetTracker::new(QueryBudget::unlimited())));
+        let page = first.goto(Url::new("recover.test", "/")).expect("loads");
+        let journal: Vec<_> = first.journal().to_vec();
+        assert_eq!(journal.len(), 1);
+
+        let mut resumed = Browser::new(single_site_web(RecoveringSite::new(0)));
+        for entry in &journal {
+            resumed.preload(entry);
+        }
+        let again = resumed.goto(Url::new("recover.test", "/")).expect("cache");
+        assert_eq!(resumed.fetches, 0, "journalled page never re-fetched");
+        assert_eq!(resumed.cache_hits, 1);
+        assert_eq!(again.title, page.title);
+        assert_eq!(again.signature(), page.signature(), "byte-identical reconstruction");
+    }
+
+    #[test]
+    fn half_open_probe_defers_when_deadline_cannot_cover_it() {
+        use crate::budget::{BudgetTracker, QueryBudget};
+        use webbase_webworld::faults::FlakySite;
+        let web = single_site_web(FlakySite::new(RecoveringSite::new(0), 1));
+        let mut b = Browser::new(web);
+        let url = Url::new("recover.test", "/");
+        b.goto(url.clone()).expect_err("dead site trips the breaker");
+        for _ in 0..b.policy.breaker_cooldown {
+            b.goto(url.clone()).expect_err("open circuit");
+        }
+        assert_eq!(b.circuit_state("recover.test"), CircuitState::HalfOpen);
+        // With less deadline left than the probe's worst case (the
+        // policy timeout), the probe is deferred, not spent.
+        let tracker = Arc::new(BudgetTracker::new(
+            QueryBudget::unlimited().with_deadline(Duration::from_secs(1)),
+        ));
+        b.set_budget(tracker);
+        let fetches = b.fetches;
+        let err = b.goto(url).expect_err("probe deferred");
+        assert!(matches!(err, BrowseError::CircuitOpen { .. }));
+        assert_eq!(b.fetches, fetches, "no network spend on the deferred probe");
+        assert_eq!(b.circuit_state("recover.test"), CircuitState::HalfOpen, "probe not consumed");
     }
 
     #[test]

@@ -1,0 +1,442 @@
+//! Query budgets: deadlines, fetch quotas, fair-share admission, and
+//! resumable partial results.
+//!
+//! The paper's executor navigates unbounded "More"-button chains, so a
+//! single slow or degraded site can hold an entire UR query hostage.
+//! A [`QueryBudget`] bounds a *query* the way PR 1's `FetchPolicy`
+//! bounds a *fetch*: a simulated wall-clock deadline, a total page-fetch
+//! quota, and a per-site fetch quota, all checked cooperatively at every
+//! fetch boundary (never mid-parse). The live counters are held by a
+//! [`BudgetTracker`], shared by every browser session a query touches —
+//! it is `Sync`, so the parallel timing harness can share one tracker
+//! across its per-site threads.
+//!
+//! On exhaustion the executor abandons the branch (the same clean
+//! cancellation path a dead site takes), the shortfall lands in the
+//! `DegradationReport` as `budget_denied` counts, and the query's
+//! journal of fetched pages can be serialised as a [`ResumeToken`]
+//! (via [`crate::persist::render_resume`]): re-running with the token
+//! preloads every journalled page into the browser cache, so the
+//! resumed query re-traverses the completed frontier with **zero
+//! re-fetches** and spends its fresh budget entirely on new ground.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+use webbase_relational::Value;
+use webbase_webworld::request::Request;
+
+/// The admission-control limits attached to one query. `None` fields
+/// are unlimited; [`QueryBudget::unlimited`] disables everything (the
+/// healthy-path default).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryBudget {
+    /// Simulated wall-clock deadline for the whole query (network time
+    /// charged across every site; CPU is not charged — the 1999 webbase
+    /// is network-bound).
+    pub deadline: Option<Duration>,
+    /// Total page-fetch quota across all sites (network attempts;
+    /// retries count, cache hits are free).
+    pub max_fetches: Option<u64>,
+    /// Per-site page-fetch quota.
+    pub site_fetches: Option<u64>,
+    /// Fair-share admission: while unserved sites remain, no site may
+    /// eat into the global quota floor reserved for them (max-min over
+    /// `max_fetches / registered sites`).
+    pub fair_share: bool,
+}
+
+impl QueryBudget {
+    /// No limits at all — tracking only.
+    pub fn unlimited() -> QueryBudget {
+        QueryBudget::default()
+    }
+
+    pub fn with_deadline(mut self, deadline: Duration) -> QueryBudget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    pub fn with_fetch_quota(mut self, max_fetches: u64) -> QueryBudget {
+        self.max_fetches = Some(max_fetches);
+        self
+    }
+
+    pub fn with_site_quota(mut self, site_fetches: u64) -> QueryBudget {
+        self.site_fetches = Some(site_fetches);
+        self
+    }
+
+    pub fn with_fair_share(mut self, fair_share: bool) -> QueryBudget {
+        self.fair_share = fair_share;
+        self
+    }
+
+    /// Does this budget constrain anything?
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_fetches.is_none() && self.site_fetches.is_none()
+    }
+}
+
+/// Why an admission was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetDenial {
+    /// The simulated clock passed the query deadline.
+    DeadlineExceeded,
+    /// The global page-fetch quota is spent.
+    GlobalQuotaExhausted,
+    /// This site's page-fetch quota is spent.
+    SiteQuotaExhausted,
+    /// Granting this fetch would eat into the floor reserved for sites
+    /// that have not yet been served (fair-share admission).
+    FairShareDeferred,
+}
+
+impl fmt::Display for BudgetDenial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetDenial::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            BudgetDenial::GlobalQuotaExhausted => write!(f, "global fetch quota exhausted"),
+            BudgetDenial::SiteQuotaExhausted => write!(f, "site fetch quota exhausted"),
+            BudgetDenial::FairShareDeferred => {
+                write!(f, "fetch deferred: quota reserved for unserved sites")
+            }
+        }
+    }
+}
+
+/// What one site consumed and was denied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteSpend {
+    /// Fetches charged to this site (site-only charges included).
+    pub fetches: u64,
+    /// Admissions denied to this site.
+    pub denied: u64,
+    /// The site completed at least one full relation invocation, so its
+    /// fair-share reservation is released.
+    pub served: bool,
+}
+
+/// A point-in-time copy of the tracker's counters, for reporting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BudgetSnapshot {
+    /// Simulated network time charged so far.
+    pub elapsed: Duration,
+    /// Globally charged fetches.
+    pub fetches: u64,
+    /// Per-site spend.
+    pub sites: BTreeMap<String, SiteSpend>,
+    /// The first denial, if any admission was refused — the signal that
+    /// the results are partial and a resume token is worth emitting.
+    pub exhausted: Option<BudgetDenial>,
+}
+
+impl BudgetSnapshot {
+    /// Sites that were refused at least one admission.
+    pub fn starved_sites(&self) -> Vec<&str> {
+        self.sites.iter().filter(|(_, s)| s.denied > 0).map(|(h, _)| h.as_str()).collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct TrackerState {
+    elapsed: Duration,
+    fetches: u64,
+    sites: BTreeMap<String, SiteSpend>,
+    exhausted: Option<BudgetDenial>,
+}
+
+/// The live counters of one query's budget, shared (behind an `Arc`) by
+/// every browser session the query drives. All checks and charges are
+/// cooperative: the tracker never interrupts anything, it only answers
+/// admission requests.
+#[derive(Debug)]
+pub struct BudgetTracker {
+    budget: QueryBudget,
+    state: Mutex<TrackerState>,
+}
+
+impl BudgetTracker {
+    pub fn new(budget: QueryBudget) -> BudgetTracker {
+        BudgetTracker { budget, state: Mutex::new(TrackerState::default()) }
+    }
+
+    pub fn budget(&self) -> &QueryBudget {
+        &self.budget
+    }
+
+    /// Declare a site up front so fair-share admission can reserve its
+    /// floor before it fields a single request.
+    pub fn register_site(&self, host: &str) {
+        self.state.lock().expect("budget lock").sites.entry(host.to_string()).or_default();
+    }
+
+    /// Ask to spend one fetch on `host`. On success the fetch is charged
+    /// (to the site always; to the global count unless `site_only` —
+    /// the quarantined-node path, whose spend must not drain other
+    /// sites' budgets). On denial nothing is charged and the denial is
+    /// recorded against the site.
+    pub fn try_admit(&self, host: &str, site_only: bool) -> Result<(), BudgetDenial> {
+        let mut state = self.state.lock().expect("budget lock");
+        let denial = self.check(&state, host, site_only);
+        match denial {
+            Some(d) => {
+                let site = state.sites.entry(host.to_string()).or_default();
+                site.denied += 1;
+                state.exhausted.get_or_insert(d);
+                Err(d)
+            }
+            None => {
+                if !site_only {
+                    state.fetches += 1;
+                }
+                state.sites.entry(host.to_string()).or_default().fetches += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn check(&self, state: &TrackerState, host: &str, site_only: bool) -> Option<BudgetDenial> {
+        if let Some(deadline) = self.budget.deadline {
+            if state.elapsed >= deadline {
+                return Some(BudgetDenial::DeadlineExceeded);
+            }
+        }
+        if let Some(quota) = self.budget.site_fetches {
+            let used = state.sites.get(host).map(|s| s.fetches).unwrap_or(0);
+            if used >= quota {
+                return Some(BudgetDenial::SiteQuotaExhausted);
+            }
+        }
+        if site_only {
+            return None;
+        }
+        if let Some(quota) = self.budget.max_fetches {
+            if state.fetches >= quota {
+                return Some(BudgetDenial::GlobalQuotaExhausted);
+            }
+            if self.budget.fair_share {
+                // Max-min floor: every registered-but-unserved site other
+                // than the requester keeps `floor - usage` fetches
+                // reserved out of the global quota.
+                let floor = quota / (state.sites.len().max(1) as u64);
+                let reserved: u64 = state
+                    .sites
+                    .iter()
+                    .filter(|(h, s)| h.as_str() != host && !s.served)
+                    .map(|(_, s)| floor.saturating_sub(s.fetches))
+                    .sum();
+                if state.fetches + 1 + reserved > quota {
+                    return Some(BudgetDenial::FairShareDeferred);
+                }
+            }
+        }
+        None
+    }
+
+    /// Charge simulated network time against the deadline.
+    pub fn charge(&self, network: Duration) {
+        self.state.lock().expect("budget lock").elapsed += network;
+    }
+
+    /// Simulated time left before the deadline (`None` = no deadline).
+    pub fn remaining_deadline(&self) -> Option<Duration> {
+        let deadline = self.budget.deadline?;
+        let elapsed = self.state.lock().expect("budget lock").elapsed;
+        Some(deadline.saturating_sub(elapsed))
+    }
+
+    /// Has the simulated clock passed the deadline? (Records nothing —
+    /// callers that shed load on this must account for it themselves.)
+    pub fn deadline_exceeded(&self) -> bool {
+        self.remaining_deadline().is_some_and(|r| r.is_zero())
+    }
+
+    /// A site completed a full relation invocation: release its
+    /// fair-share reservation.
+    pub fn mark_served(&self, host: &str) {
+        self.state.lock().expect("budget lock").sites.entry(host.to_string()).or_default().served =
+            true;
+    }
+
+    /// The first denial, if any — set once and sticky.
+    pub fn exhausted(&self) -> Option<BudgetDenial> {
+        self.state.lock().expect("budget lock").exhausted
+    }
+
+    pub fn snapshot(&self) -> BudgetSnapshot {
+        let state = self.state.lock().expect("budget lock");
+        BudgetSnapshot {
+            elapsed: state.elapsed,
+            fetches: state.fetches,
+            sites: state.sites.clone(),
+            exhausted: state.exhausted,
+        }
+    }
+}
+
+/// One journalled fetch: the canonical request and the response body it
+/// produced, byte-identical. Reconstructing the `LoadedPage` from the
+/// body is deterministic, so preloading the journal into a browser
+/// cache reproduces the original pages exactly. The body shares the
+/// response's allocation (`Bytes`), so journalling a fetch is a
+/// refcount bump, not a copy — the budget hooks stay off the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    pub request: Request,
+    pub body: bytes::Bytes,
+}
+
+/// A completed navigation position: one relation invocation that ran to
+/// completion (its tuples are all in the partial result).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NavPosition {
+    pub relation: String,
+    pub given: Vec<(String, Value)>,
+}
+
+/// The checkpoint a budget-exhausted query emits: the budget it ran
+/// under, what it spent, the navigation positions completed, and the
+/// journal of every page fetched. Serialisable as F-logic facts via
+/// [`crate::persist::render_resume`] / [`crate::persist::parse_resume`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResumeToken {
+    /// The budget the interrupted run was charged against.
+    pub budget: QueryBudget,
+    /// Simulated network time the interrupted run spent.
+    pub spent_network: Duration,
+    /// Fetches the interrupted run spent.
+    pub spent_fetches: u64,
+    /// Relation invocations that ran to completion before exhaustion.
+    pub positions: Vec<NavPosition>,
+    /// Every page the interrupted run fetched, in fetch order.
+    pub journal: Vec<JournalEntry>,
+}
+
+impl ResumeToken {
+    pub fn is_empty(&self) -> bool {
+        self.journal.is_empty() && self.positions.is_empty()
+    }
+
+    /// The journal entries for one host.
+    pub fn journal_for<'a>(&'a self, host: &'a str) -> impl Iterator<Item = &'a JournalEntry> + 'a {
+        self.journal.iter().filter(move |e| e.request.url.host == host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_admits_everything() {
+        let t = BudgetTracker::new(QueryBudget::unlimited());
+        for _ in 0..10_000 {
+            t.try_admit("a.com", false).expect("unlimited");
+        }
+        t.charge(Duration::from_secs(3600));
+        assert!(t.exhausted().is_none());
+        assert!(!t.deadline_exceeded());
+        assert_eq!(t.snapshot().fetches, 10_000);
+    }
+
+    #[test]
+    fn deadline_denies_after_elapsed() {
+        let t = BudgetTracker::new(QueryBudget::unlimited().with_deadline(Duration::from_secs(5)));
+        t.try_admit("a.com", false).expect("fresh clock");
+        t.charge(Duration::from_secs(5));
+        assert!(t.deadline_exceeded());
+        assert_eq!(t.try_admit("a.com", false), Err(BudgetDenial::DeadlineExceeded));
+        assert_eq!(t.exhausted(), Some(BudgetDenial::DeadlineExceeded));
+        assert_eq!(t.remaining_deadline(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn global_and_site_quotas() {
+        let t = BudgetTracker::new(QueryBudget::unlimited().with_fetch_quota(3).with_site_quota(2));
+        t.try_admit("a.com", false).expect("1");
+        t.try_admit("a.com", false).expect("2");
+        assert_eq!(t.try_admit("a.com", false), Err(BudgetDenial::SiteQuotaExhausted));
+        t.try_admit("b.com", false).expect("3");
+        assert_eq!(t.try_admit("b.com", false), Err(BudgetDenial::GlobalQuotaExhausted));
+        let snap = t.snapshot();
+        assert_eq!(snap.fetches, 3);
+        assert_eq!(snap.sites["a.com"].fetches, 2);
+        assert_eq!(snap.sites["a.com"].denied, 1);
+        assert_eq!(snap.starved_sites(), vec!["a.com", "b.com"]);
+        // The *first* denial is the sticky one.
+        assert_eq!(t.exhausted(), Some(BudgetDenial::SiteQuotaExhausted));
+    }
+
+    #[test]
+    fn site_only_charges_skip_the_global_count() {
+        let t = BudgetTracker::new(QueryBudget::unlimited().with_fetch_quota(2).with_site_quota(5));
+        // Quarantined-path spend on a.com: charged to a.com only.
+        for _ in 0..4 {
+            t.try_admit("a.com", true).expect("site-only");
+        }
+        // The global quota is untouched: other sites still get their 2.
+        t.try_admit("b.com", false).expect("global 1");
+        t.try_admit("b.com", false).expect("global 2");
+        assert_eq!(t.try_admit("b.com", false), Err(BudgetDenial::GlobalQuotaExhausted));
+        // And a.com's own site quota still binds its quarantined spend.
+        t.try_admit("a.com", true).expect("5th");
+        assert_eq!(t.try_admit("a.com", true), Err(BudgetDenial::SiteQuotaExhausted));
+        assert_eq!(t.snapshot().fetches, 2);
+        assert_eq!(t.snapshot().sites["a.com"].fetches, 5);
+    }
+
+    #[test]
+    fn fair_share_reserves_floors_for_unserved_sites() {
+        let budget = QueryBudget::unlimited().with_fetch_quota(6).with_fair_share(true);
+        let t = BudgetTracker::new(budget);
+        t.register_site("a.com");
+        t.register_site("b.com");
+        t.register_site("c.com");
+        // floor = 6/3 = 2. a.com may take its own floor plus the slack
+        // (none: 6 = 3 × 2), but not b's or c's reservations.
+        t.try_admit("a.com", false).expect("within floor");
+        t.try_admit("a.com", false).expect("within floor");
+        assert_eq!(t.try_admit("a.com", false), Err(BudgetDenial::FairShareDeferred));
+        // b.com is served after one fetch: its remaining reservation is
+        // released, and a.com may now take the freed fetch.
+        t.try_admit("b.com", false).expect("b's own floor");
+        t.mark_served("b.com");
+        t.try_admit("a.com", false).expect("b's released reservation");
+        // c.com's floor is still protected.
+        assert_eq!(t.try_admit("a.com", false), Err(BudgetDenial::FairShareDeferred));
+        t.try_admit("c.com", false).expect("c's reserved floor survives");
+    }
+
+    #[test]
+    fn without_fair_share_first_site_can_drain_the_quota() {
+        let t = BudgetTracker::new(QueryBudget::unlimited().with_fetch_quota(3));
+        t.register_site("a.com");
+        t.register_site("b.com");
+        for _ in 0..3 {
+            t.try_admit("a.com", false).expect("no reservations");
+        }
+        assert_eq!(t.try_admit("b.com", false), Err(BudgetDenial::GlobalQuotaExhausted));
+    }
+
+    #[test]
+    fn tracker_is_shareable_across_threads() {
+        let t =
+            std::sync::Arc::new(BudgetTracker::new(QueryBudget::unlimited().with_fetch_quota(100)));
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                let host = format!("s{i}.com");
+                let mut granted = 0;
+                while t.try_admit(&host, false).is_ok() {
+                    granted += 1;
+                }
+                granted
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().expect("thread")).sum();
+        assert_eq!(total, 100, "exactly the quota granted across threads");
+    }
+}

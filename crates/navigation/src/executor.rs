@@ -25,6 +25,7 @@
 //! the browser's cache on re-execution.
 
 use crate::browser::{Browser, LoadedPage};
+use crate::budget::{BudgetTracker, JournalEntry};
 use crate::compile::{compile_map, CompiledRelation, CompiledSite};
 use crate::extractor::ExtractionSpec;
 use crate::healing::{apply_heal, needs_recompile, PageProbe, PendingChange, RepairReport};
@@ -32,6 +33,7 @@ use crate::map::{NavigationMap, NodeId, NodeKind};
 use crate::resilience::{DegradationReport, FetchPolicy};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 use webbase_flogic::oracle::{Oracle, OracleOutcome};
 use webbase_flogic::store::ObjectStore;
@@ -120,6 +122,22 @@ impl NavOracle {
     /// Stale CGI sessions replayed per host (HTTP 440 recovery).
     pub fn session_recoveries(&self) -> &HashMap<String, u64> {
         self.browser.session_recoveries()
+    }
+
+    /// Attach the query budget this oracle's browser spends against.
+    pub fn set_budget(&mut self, budget: Arc<BudgetTracker>) {
+        self.browser.set_budget(budget);
+    }
+
+    /// The pages fetched while a budget was attached (the resume
+    /// token's page intern).
+    pub fn journal(&self) -> &[JournalEntry] {
+        self.browser.journal()
+    }
+
+    /// Intern a journalled page into the fetch cache (resume path).
+    pub fn preload(&mut self, entry: &JournalEntry) {
+        self.browser.preload(entry);
     }
 
     pub fn register_spec(&mut self, id: &str, spec: ExtractionSpec) {
@@ -243,6 +261,11 @@ impl NavOracle {
         let Some(url) = self.entries.get(&site).cloned() else {
             return OracleOutcome::Fail;
         };
+        // Cooperative deadline check before the chain even starts.
+        if let Err(e) = self.browser.budget_check(&url.host) {
+            self.note_branch(&url.host, &e);
+            return OracleOutcome::Fail;
+        }
         match self.browser.goto(url.clone()) {
             Ok(page) => {
                 let oid = self.intern_page(page, store);
@@ -265,6 +288,10 @@ impl NavOracle {
             return OracleOutcome::Fail;
         };
         let Some(url) = Url::parse(url_str) else { return OracleOutcome::Fail };
+        if let Err(e) = self.browser.budget_check(&url.host) {
+            self.note_branch(&url.host, &e);
+            return OracleOutcome::Fail;
+        }
         match self.browser.goto(url.clone()) {
             Ok(page) => {
                 let oid = self.intern_page(page, store);
@@ -282,6 +309,18 @@ impl NavOracle {
         let Some(concrete) = self.actions.get(action_sym).cloned() else {
             return OracleOutcome::Fail;
         };
+        // Cooperative deadline check per action — this is what cancels
+        // a "More" chain cleanly *between* iterations instead of
+        // mid-parse.
+        let check_host = match &concrete {
+            ConcreteAction::Follow { page, .. } | ConcreteAction::Submit { page, .. } => {
+                self.pages[*page].url.host.clone()
+            }
+        };
+        if let Err(e) = self.browser.budget_check(&check_host) {
+            self.note_branch(&check_host, &e);
+            return OracleOutcome::Fail;
+        }
         let (result, host) = match concrete {
             ConcreteAction::Follow { page, href } => {
                 let page = self.pages[page].clone();
@@ -342,8 +381,23 @@ impl NavOracle {
             _ => return OracleOutcome::Fail,
         };
         let bound = !matches!(&args[2], Term::Var(_));
+        // Scanning the choices of a quarantined node is speculative work
+        // on a drifted page: charge it to the owning site's quota only,
+        // so the scan cannot drain other sites' share of the global
+        // budget.
+        let quarantined = self.probe.as_ref().is_some_and(|p| p.page_quarantined(&page));
+        if quarantined {
+            self.browser.set_site_only_charging(true);
+        }
+        let host = page.url.host.clone();
         let mut solutions = Vec::new();
         for (value, href) in selected {
+            // Deadline check per choice: a long enumeration cancels
+            // between follows, not mid-parse.
+            if let Err(e) = self.browser.budget_check(&host) {
+                self.note_branch(&host, &e);
+                break;
+            }
             match self.browser.follow_on(&page, &href) {
                 Ok(next) => {
                     let oid = self.intern_page(next, store);
@@ -354,8 +408,11 @@ impl NavOracle {
                 }
                 // A degraded choice is abandoned; the surviving choices
                 // still answer (graceful partial enumeration).
-                Err(e) => self.note_branch(&page.url.host.clone(), &e),
+                Err(e) => self.note_branch(&host, &e),
             }
+        }
+        if quarantined {
+            self.browser.set_site_only_charging(false);
         }
         if solutions.is_empty() {
             OracleOutcome::Fail
@@ -579,6 +636,26 @@ impl SiteNavigator {
             report.site_mut(host).sessions_recovered = *n;
         }
         report
+    }
+
+    /// Attach the query budget every subsequent run spends against.
+    pub fn set_budget(&self, budget: Arc<BudgetTracker>) {
+        self.oracle.borrow_mut().set_budget(budget);
+    }
+
+    /// The pages fetched while a budget was attached, in fetch order —
+    /// this navigator's slice of a resume token's journal.
+    pub fn journal(&self) -> Vec<JournalEntry> {
+        self.oracle.borrow().journal().to_vec()
+    }
+
+    /// Intern journalled pages into the fetch cache so a resumed query
+    /// re-traverses them without network fetches.
+    pub fn preload_journal<'a>(&self, entries: impl IntoIterator<Item = &'a JournalEntry>) {
+        let mut oracle = self.oracle.borrow_mut();
+        for entry in entries {
+            oracle.preload(entry);
+        }
     }
 
     fn with_caching(

@@ -249,6 +249,14 @@ impl PageProbe {
         self.quarantined.insert(node);
     }
 
+    /// Is the map node this page matches under quarantine? The executor
+    /// charges fetches made while scanning a quarantined node to the
+    /// owning site's quota only, so a drifted node cannot drain other
+    /// sites' budgets.
+    pub(crate) fn page_quarantined(&self, page: &LoadedPage) -> bool {
+        self.node_for(page).is_some_and(|i| self.quarantined.contains(&self.nodes[i].id))
+    }
+
     pub fn take_pending(&mut self) -> Vec<PendingChange> {
         std::mem::take(&mut self.pending)
     }

@@ -27,6 +27,7 @@
 //! used-car webbase.
 
 pub mod browser;
+pub mod budget;
 pub mod compile;
 pub mod executor;
 pub mod extractor;
@@ -39,11 +40,15 @@ pub mod recorder;
 pub mod resilience;
 pub mod sessions;
 
+pub use budget::{
+    BudgetDenial, BudgetSnapshot, BudgetTracker, JournalEntry, NavPosition, QueryBudget,
+    ResumeToken, SiteSpend,
+};
 pub use compile::{compile_map, CompiledSite};
 pub use executor::{NavError, RunStats, SiteNavigator};
 pub use extractor::{CellParse, ExtractionSpec, FieldSpec, Record};
 pub use healing::{RepairReport, SiteRepair};
 pub use map::{NavigationMap, NodeKind};
-pub use persist::{map_from_facts, parse_map, render_facts};
+pub use persist::{map_from_facts, parse_map, parse_resume, render_facts, render_resume};
 pub use recorder::{DesignerAction, MapStats, RecordError, Recorder};
 pub use resilience::{CircuitState, DegradationReport, FetchPolicy, SiteDegradation};

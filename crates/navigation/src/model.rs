@@ -163,6 +163,18 @@ impl ActionDescr {
         }
     }
 
+    /// Upper bound on the network fetches one execution of this action
+    /// can spend: one for a fixed link or a form submission, one per
+    /// choice for a link-defined attribute enumerated unbound. Budget
+    /// sizing uses this to relate a per-site fetch quota to a map's
+    /// worst-case traversal.
+    pub fn fetch_bound(&self) -> usize {
+        match self {
+            ActionDescr::Follow(_) | ActionDescr::Submit(_) => 1,
+            ActionDescr::FollowByValue { choices, .. } => choices.len().max(1),
+        }
+    }
+
     /// Project the `Follow` links out of an action catalogue. Shared by
     /// offline maintenance (`check_map`) and the in-flight repair path.
     pub fn recorded_links(actions: &[ActionDescr]) -> Vec<LinkDescr> {
@@ -251,6 +263,19 @@ mod tests {
         assert!(a.attribute_count() >= 10);
         let l = ActionDescr::Follow(LinkDescr { name: "More".into(), href: "/x".into() });
         assert_eq!(l.object_count(), 2);
+    }
+
+    #[test]
+    fn fetch_bounds() {
+        let f = ActionDescr::Submit(sample_form());
+        assert_eq!(f.fetch_bound(), 1);
+        let l = ActionDescr::Follow(LinkDescr { name: "More".into(), href: "/x".into() });
+        assert_eq!(l.fetch_bound(), 1);
+        let fv = ActionDescr::FollowByValue {
+            attr: "make".into(),
+            choices: vec![("ford".into(), "/f".into()), ("jaguar".into(), "/j".into())],
+        };
+        assert_eq!(fv.fetch_bound(), 2, "unbound enumeration follows every choice");
     }
 
     #[test]

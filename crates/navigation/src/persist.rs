@@ -16,14 +16,19 @@
 //! ...
 //! ```
 
+use crate::budget::{JournalEntry, NavPosition, ResumeToken};
 use crate::extractor::{CellParse, ExtractionSpec, FieldSpec};
 use crate::map::{NavigationMap, NodeKind};
 use crate::model::{ActionDescr, FieldDescr, FormDescr, LinkDescr};
 use std::fmt::Write as _;
+use std::time::Duration;
 use webbase_flogic::parser::{parse_program, ParseError};
 use webbase_flogic::program::Program;
 use webbase_flogic::term::{Sym, Term};
 use webbase_html::extract::WidgetKind;
+use webbase_relational::Value;
+use webbase_webworld::request::{Method, Request};
+use webbase_webworld::url::Url;
 
 /// Errors loading a map from facts.
 #[derive(Debug)]
@@ -52,6 +57,56 @@ impl From<ParseError> for PersistError {
 
 fn q(s: &str) -> String {
     format!("'{}'", s.replace('\'', "’"))
+}
+
+/// Percent-encode a string so it survives [`q`] byte-identically: the
+/// fact syntax cannot escape single quotes (`q` transliterates them —
+/// acceptable for map titles, fatal for journalled page bodies that
+/// must reconstruct exactly). The encoded form contains only
+/// `[A-Za-z0-9-._~/%]`, so `q(pct(s))` is lossless for any input.
+fn pct(s: &str) -> String {
+    pct_bytes(s.as_bytes())
+}
+
+fn pct_bytes(s: &[u8]) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' | b'/' => {
+                out.push(b as char)
+            }
+            _ => {
+                let _ = write!(out, "%{b:02X}");
+            }
+        }
+    }
+    out
+}
+
+fn unpct(s: &str) -> Result<String, PersistError> {
+    String::from_utf8(unpct_bytes(s)?)
+        .map_err(|_| PersistError::Malformed("percent-decoded text is not UTF-8".into()))
+}
+
+fn unpct_bytes(s: &str) -> Result<Vec<u8>, PersistError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| PersistError::Malformed("truncated percent escape".into()))?;
+            let v = u8::from_str_radix(hex, 16)
+                .map_err(|_| PersistError::Malformed(format!("bad percent escape %{hex}")))?;
+            out.push(v);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    Ok(out)
 }
 
 fn parse_name(p: CellParse) -> &'static str {
@@ -420,9 +475,212 @@ fn load_fields(
     Ok(rows.into_iter().map(|(_, f)| f).collect())
 }
 
+// ---- resume tokens ----
+
+/// Render a [`ResumeToken`] as F-logic facts. The serialisation follows
+/// the same convention as the map facts, but every free-form payload
+/// (relation names, attribute values, URLs, page bodies) goes through
+/// [`pct`] so the round-trip is byte-identical — a resumed query must
+/// reconstruct journalled pages *exactly* or its cache keys miss.
+///
+/// ```text
+/// resume_budget(deadline_ns, 5000000000).
+/// resume_spent(fetches, 17).
+/// resume_position(0, 'newsday').
+/// resume_given(0, 0, 'make', str, 'ford').
+/// resume_journal(0, get, 'www.newsday.com', '/').
+/// resume_body(0, '%3Chtml%3E...').
+/// ```
+pub fn render_resume(token: &ResumeToken) -> String {
+    // Nanosecond granularity: the spend is charged from simulated
+    // latencies, so anything coarser would break the render → parse
+    // identity.
+    let nanos = |d: Duration| d.as_nanos().min(i64::MAX as u128) as i64;
+    let mut out = String::new();
+    let _ = writeln!(out, "% query resume token, serialised as F-logic facts");
+    if let Some(d) = token.budget.deadline {
+        let _ = writeln!(out, "resume_budget(deadline_ns, {}).", nanos(d));
+    }
+    if let Some(n) = token.budget.max_fetches {
+        let _ = writeln!(out, "resume_budget(max_fetches, {n}).");
+    }
+    if let Some(n) = token.budget.site_fetches {
+        let _ = writeln!(out, "resume_budget(site_fetches, {n}).");
+    }
+    if token.budget.fair_share {
+        let _ = writeln!(out, "resume_budget(fair_share, 1).");
+    }
+    let _ = writeln!(out, "resume_spent(elapsed_ns, {}).", nanos(token.spent_network));
+    let _ = writeln!(out, "resume_spent(fetches, {}).", token.spent_fetches);
+    for (i, p) in token.positions.iter().enumerate() {
+        let _ = writeln!(out, "resume_position({i}, {}).", q(&pct(&p.relation)));
+        for (j, (attr, value)) in p.given.iter().enumerate() {
+            let (kind, payload) = match value {
+                Value::Str(s) => ("str", s.clone()),
+                Value::Int(n) => ("int", n.to_string()),
+                Value::Float(f) => ("float", f.to_string()),
+                Value::Bool(b) => ("bool", b.to_string()),
+                Value::Null => ("null", String::new()),
+            };
+            let _ = writeln!(
+                out,
+                "resume_given({i}, {j}, {}, {kind}, {}).",
+                q(&pct(attr)),
+                q(&pct(&payload))
+            );
+        }
+    }
+    for (i, e) in token.journal.iter().enumerate() {
+        let method = match e.request.method {
+            Method::Get => "get",
+            Method::Post => "post",
+        };
+        let _ = writeln!(
+            out,
+            "resume_journal({i}, {method}, {}, {}).",
+            q(&pct(&e.request.url.host)),
+            q(&pct(&e.request.url.path))
+        );
+        for (j, (k, v)) in e.request.url.query.iter().enumerate() {
+            let _ = writeln!(out, "resume_query({i}, {j}, {}, {}).", q(&pct(k)), q(&pct(v)));
+        }
+        for (j, (k, v)) in e.request.params.iter().enumerate() {
+            let _ = writeln!(out, "resume_param({i}, {j}, {}, {}).", q(&pct(k)), q(&pct(v)));
+        }
+        let _ = writeln!(out, "resume_body({i}, {}).", q(&pct_bytes(&e.body)));
+    }
+    out
+}
+
+fn as_i64(t: &Term, what: &str) -> Result<i64, PersistError> {
+    match t {
+        Term::Int(i) => Ok(*i),
+        other => {
+            Err(PersistError::Malformed(format!("{what}: expected an integer, got {other:?}")))
+        }
+    }
+}
+
+/// Indexed rows of one predicate, sorted by the leading integer key.
+fn indexed<'p>(prog: &'p Program, pred: &str, arity: usize) -> Vec<(usize, &'p [Term])> {
+    let mut rows: Vec<(usize, &[Term])> = facts(prog, pred, arity)
+        .into_iter()
+        .filter_map(|a| match a[0] {
+            Term::Int(i) if i >= 0 => Some((i as usize, a)),
+            _ => None,
+        })
+        .collect();
+    rows.sort_by_key(|(i, _)| *i);
+    rows
+}
+
+/// Load a resume token from fact text (inverse of [`render_resume`]).
+pub fn parse_resume(text: &str) -> Result<ResumeToken, PersistError> {
+    let prog = parse_program(text)?;
+    let mut token = ResumeToken::default();
+
+    for a in facts(&prog, "resume_budget", 2) {
+        let key = as_str(&a[0], "budget key")?;
+        let n = as_i64(&a[1], "budget value")?;
+        match key.as_str() {
+            "deadline_ns" => token.budget.deadline = Some(Duration::from_nanos(n as u64)),
+            "max_fetches" => token.budget.max_fetches = Some(n as u64),
+            "site_fetches" => token.budget.site_fetches = Some(n as u64),
+            "fair_share" => token.budget.fair_share = n != 0,
+            other => {
+                return Err(PersistError::Malformed(format!("unknown budget key {other}")));
+            }
+        }
+    }
+    for a in facts(&prog, "resume_spent", 2) {
+        let key = as_str(&a[0], "spent key")?;
+        let n = as_i64(&a[1], "spent value")?;
+        match key.as_str() {
+            "elapsed_ns" => token.spent_network = Duration::from_nanos(n as u64),
+            "fetches" => token.spent_fetches = n as u64,
+            other => return Err(PersistError::Malformed(format!("unknown spent key {other}"))),
+        }
+    }
+
+    for (i, a) in indexed(&prog, "resume_position", 2) {
+        let relation = unpct(&as_str(&a[1], "position relation")?)?;
+        let mut given: Vec<(usize, (String, Value))> = Vec::new();
+        for g in facts(&prog, "resume_given", 5) {
+            if g[0] != Term::Int(i as i64) {
+                continue;
+            }
+            let j = as_usize(&g[1], "given seq")?;
+            let attr = unpct(&as_str(&g[2], "given attr")?)?;
+            let kind = as_str(&g[3], "given kind")?;
+            let payload = unpct(&as_str(&g[4], "given payload")?)?;
+            let value =
+                match kind.as_str() {
+                    "str" => Value::Str(payload),
+                    "int" => Value::Int(payload.parse().map_err(|_| {
+                        PersistError::Malformed(format!("bad int payload {payload}"))
+                    })?),
+                    "float" => Value::Float(payload.parse().map_err(|_| {
+                        PersistError::Malformed(format!("bad float payload {payload}"))
+                    })?),
+                    "bool" => Value::Bool(payload == "true"),
+                    "null" => Value::Null,
+                    other => {
+                        return Err(PersistError::Malformed(format!("unknown value kind {other}")));
+                    }
+                };
+            given.push((j, (attr, value)));
+        }
+        given.sort_by_key(|(j, _)| *j);
+        token
+            .positions
+            .push(NavPosition { relation, given: given.into_iter().map(|(_, kv)| kv).collect() });
+    }
+
+    for (i, a) in indexed(&prog, "resume_journal", 4) {
+        let method = match as_str(&a[1], "journal method")?.as_str() {
+            "get" => Method::Get,
+            "post" => Method::Post,
+            other => return Err(PersistError::Malformed(format!("unknown method {other}"))),
+        };
+        let host = unpct(&as_str(&a[2], "journal host")?)?;
+        let path = unpct(&as_str(&a[3], "journal path")?)?;
+        let pairs = |pred: &str| -> Result<Vec<(String, String)>, PersistError> {
+            let mut rows: Vec<(usize, (String, String))> = Vec::new();
+            for p in facts(&prog, pred, 4) {
+                if p[0] != Term::Int(i as i64) {
+                    continue;
+                }
+                let j = as_usize(&p[1], "pair seq")?;
+                rows.push((
+                    j,
+                    (unpct(&as_str(&p[2], "pair key")?)?, unpct(&as_str(&p[3], "pair value")?)?),
+                ));
+            }
+            rows.sort_by_key(|(j, _)| *j);
+            Ok(rows.into_iter().map(|(_, kv)| kv).collect())
+        };
+        let mut url = Url::new(&host, &path);
+        url.query = pairs("resume_query")?;
+        let body = facts(&prog, "resume_body", 2)
+            .into_iter()
+            .find(|b| b[0] == Term::Int(i as i64))
+            .map(|b| as_str(&b[1], "journal body"))
+            .transpose()?
+            .map(|s| unpct_bytes(&s))
+            .transpose()?
+            .ok_or_else(|| PersistError::Malformed(format!("journal entry {i}: missing body")))?;
+        token.journal.push(JournalEntry {
+            request: Request { method, url, params: pairs("resume_param")? },
+            body: bytes::Bytes::from(body),
+        });
+    }
+    Ok(token)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::QueryBudget;
     use crate::recorder::Recorder;
     use crate::sessions;
     use webbase_webworld::prelude::*;
@@ -488,6 +746,75 @@ mod tests {
         // Single quotes are transliterated (the fact syntax cannot escape
         // them); everything else survives.
         assert_eq!(loaded.node(0).title, "Bob’s \"Cars\"");
+    }
+
+    #[test]
+    fn resume_token_roundtrips_byte_identically() {
+        let url = Url::new("www.newsday.com", "/cgi-bin/nclassy")
+            .with_query([("make", "ford"), ("odd", "a'b \"c\" %20\n&=?")]);
+        let token = ResumeToken {
+            budget: QueryBudget::unlimited()
+                .with_deadline(Duration::from_millis(5500))
+                .with_fetch_quota(40)
+                .with_site_quota(10)
+                .with_fair_share(true),
+            spent_network: Duration::from_micros(123_456),
+            spent_fetches: 17,
+            positions: vec![NavPosition {
+                relation: "newsday".into(),
+                given: vec![
+                    ("make".into(), Value::str("ford")),
+                    ("year".into(), Value::Int(1999)),
+                    ("price".into(), Value::Float(1234.5)),
+                    ("sold".into(), Value::Bool(false)),
+                    ("note".into(), Value::Null),
+                ],
+            }],
+            journal: vec![
+                JournalEntry {
+                    request: Request::get(url),
+                    body: "<html><head><title>Bob's \"Cars\"</title></head>\n<body>100%</html>"
+                        .into(),
+                },
+                JournalEntry {
+                    request: Request::post(
+                        Url::new("www.kbb.com", "/cgi-bin/bb"),
+                        [("condition", "good"), ("tricky", "it's 50% & more")],
+                    ),
+                    body: bytes::Bytes::new(),
+                },
+            ],
+        };
+        let text = render_resume(&token);
+        let loaded = parse_resume(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        // Byte-identical — single quotes, percent signs, newlines and all
+        // (the map serialiser's transliteration would corrupt these).
+        assert_eq!(loaded, token);
+    }
+
+    #[test]
+    fn empty_resume_token_roundtrips() {
+        let token = ResumeToken::default();
+        assert!(token.is_empty());
+        let loaded = parse_resume(&render_resume(&token)).expect("loads");
+        assert_eq!(loaded, token);
+    }
+
+    #[test]
+    fn malformed_resume_facts_are_rejected() {
+        assert!(matches!(
+            parse_resume("resume_budget(warp_factor, 9)."),
+            Err(PersistError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_resume("resume_journal(0, get, 'h', '/')."),
+            Err(PersistError::Malformed(_)) // missing body
+        ));
+        assert!(matches!(
+            parse_resume("resume_journal(0, get, 'h', '/'). resume_body(0, '%ZZ')."),
+            Err(PersistError::Malformed(_)) // bad percent escape
+        ));
+        assert!(matches!(parse_resume("( syntax"), Err(PersistError::Parse(_))));
     }
 
     #[test]

@@ -180,6 +180,10 @@ pub struct SiteDegradation {
     /// Navigation branches the executor abandoned because a fetch on
     /// this site failed.
     pub branches_abandoned: u64,
+    /// Requests refused by the query budget (deadline, quota, or
+    /// fair-share admission) — the itemised shortfall of a partial
+    /// result.
+    pub budget_denied: u64,
     /// Whether the circuit was still open when the report was taken.
     pub breaker_open: bool,
 }
@@ -187,7 +191,7 @@ pub struct SiteDegradation {
 impl SiteDegradation {
     /// Did this site degrade the run at the network level?
     pub fn is_degraded(&self) -> bool {
-        self.failures > 0 || self.timeouts > 0 || self.fast_failures > 0
+        self.failures > 0 || self.timeouts > 0 || self.fast_failures > 0 || self.budget_denied > 0
     }
 
     pub fn merge(&mut self, other: &SiteDegradation) {
@@ -198,6 +202,7 @@ impl SiteDegradation {
         self.fast_failures += other.fast_failures;
         self.breaker_trips += other.breaker_trips;
         self.branches_abandoned += other.branches_abandoned;
+        self.budget_denied += other.budget_denied;
         self.breaker_open |= other.breaker_open;
     }
 
@@ -212,6 +217,7 @@ impl SiteDegradation {
             fast_failures: self.fast_failures.saturating_sub(base.fast_failures),
             breaker_trips: self.breaker_trips.saturating_sub(base.breaker_trips),
             branches_abandoned: self.branches_abandoned.saturating_sub(base.branches_abandoned),
+            budget_denied: self.budget_denied.saturating_sub(base.budget_denied),
             breaker_open: self.breaker_open,
         }
     }
@@ -278,13 +284,15 @@ impl DegradationReport {
             }
             out.push_str(&format!(
                 "  {host:<24} {:>4} requests  {:>3} retries  {:>3} failures \
-                 ({:>2} timeouts)  {:>3} fast-failed  {:>2} branches dropped  circuit {}\n",
+                 ({:>2} timeouts)  {:>3} fast-failed  {:>2} branches dropped  \
+                 {:>2} budget-denied  circuit {}\n",
                 d.requests,
                 d.retries,
                 d.failures,
                 d.timeouts,
                 d.fast_failures,
                 d.branches_abandoned,
+                d.budget_denied,
                 if d.breaker_open { "OPEN" } else { "closed" },
             ));
         }

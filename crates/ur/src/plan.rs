@@ -23,7 +23,8 @@ use crate::hierarchy::Hierarchy;
 use crate::maximal::{compatible_sets, AltSet};
 use crate::query::UrQuery;
 use std::collections::BTreeSet;
-use webbase_logical::LogicalLayer;
+use std::sync::Arc;
+use webbase_logical::{BudgetSnapshot, BudgetTracker, LogicalLayer, ResumeToken};
 use webbase_relational::eval::{AccessSpec, EvalError, Evaluator, RelationProvider};
 use webbase_relational::ordering::{order_exact, JoinInput};
 use webbase_relational::{Attr, Expr, Pred, Relation};
@@ -51,6 +52,14 @@ pub struct UrPlan {
     /// runs replayed, sessions recovered, nodes quarantined (same
     /// lifecycle as `degradation`).
     pub repairs: webbase_logical::RepairReport,
+    /// Spend accounting when the query carried a budget: elapsed
+    /// simulated time, fetches, and the per-site breakdown including
+    /// every denial.
+    pub budget: Option<BudgetSnapshot>,
+    /// Set when the budget ran out before the plan finished: replaying
+    /// the query with this token (see [`UrPlanner::execute_with`])
+    /// continues from the journalled pages without re-fetching them.
+    pub resume: Option<ResumeToken>,
 }
 
 impl UrPlan {
@@ -195,6 +204,8 @@ impl UrPlanner {
             skipped,
             degradation: webbase_logical::DegradationReport::default(),
             repairs: webbase_logical::RepairReport::default(),
+            budget: None,
+            resume: None,
         })
     }
 
@@ -272,7 +283,37 @@ impl UrPlanner {
         query: &UrQuery,
         layer: &mut LogicalLayer,
     ) -> Result<(Relation, UrPlan), UrError> {
+        self.execute_with(query, layer, None)
+    }
+
+    /// Plan and execute under the query's budget, optionally resuming
+    /// from an earlier run's token.
+    ///
+    /// With a budget attached, exhaustion does not fail the query: the
+    /// affected navigation branches are abandoned soundly, the partial
+    /// result is returned, and the plan carries a [`ResumeToken`]
+    /// journalling every page already paid for. Re-running through this
+    /// method with that token preloads the journal into the page caches,
+    /// so the resumed execution re-fetches none of them and spends its
+    /// fresh budget entirely on the unfinished tail.
+    pub fn execute_with(
+        &self,
+        query: &UrQuery,
+        layer: &mut LogicalLayer,
+        resume: Option<&ResumeToken>,
+    ) -> Result<(Relation, UrPlan), UrError> {
         let mut plan = self.plan(query, layer)?;
+        // A resumed run inherits the original budget unless the query
+        // supplies its own.
+        let budget_spec = query.budget.clone().or_else(|| resume.map(|t| t.budget.clone()));
+        let tracker = budget_spec.map(|b| {
+            let tracker = Arc::new(BudgetTracker::new(b));
+            layer.vps.set_budget(tracker.clone());
+            tracker
+        });
+        if let Some(token) = resume {
+            layer.vps.preload(token);
+        }
         // Snapshot cumulative per-site degradation so the plan reports
         // only what *this* execution endured.
         let degradation_before = layer.vps.degradation();
@@ -299,6 +340,20 @@ impl UrPlanner {
         }
         plan.degradation = layer.vps.degradation().since(&degradation_before);
         plan.repairs = layer.vps.repairs().since(&repairs_before);
+        if let Some(tracker) = tracker {
+            plan.budget = Some(tracker.snapshot());
+            if tracker.exhausted().is_some() {
+                plan.resume = layer.vps.resume_token().map(|mut t| {
+                    // Spend is cumulative across resumptions, so the
+                    // token always reports the query's true total cost.
+                    if let Some(prev) = resume {
+                        t.spent_network += prev.spent_network;
+                        t.spent_fetches += prev.spent_fetches;
+                    }
+                    t
+                });
+            }
+        }
         Ok((result.expect("objects is non-empty"), plan))
     }
 }
@@ -396,6 +451,34 @@ mod tests {
         let (layer, _) = layer();
         let q = parse_query("UsedCarUR(warp_drive)").expect("parses");
         assert!(matches!(planner().plan(&q, &layer), Err(UrError::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn budgeted_execution_returns_sound_partial_results_and_a_token() {
+        use webbase_logical::QueryBudget;
+        let (mut unbounded, _) = layer();
+        let q = parse_query("UsedCarUR(make='ford', price)").expect("parses");
+        let (full, _) = planner().execute(&q, &mut unbounded).expect("executes");
+        assert!(!full.is_empty());
+
+        let (mut tight, _) = layer();
+        let bq = q.clone().with_budget(QueryBudget::unlimited().with_fetch_quota(2));
+        let (partial, plan) =
+            planner().execute(&bq, &mut tight).expect("exhaustion degrades, never fails");
+        assert!(partial.len() < full.len(), "{} vs {}", partial.len(), full.len());
+        for t in partial.tuples() {
+            assert!(full.tuples().contains(t), "partial tuple absent from the unbounded run");
+        }
+        let snap = plan.budget.expect("budgeted run snapshots its spend");
+        assert!(snap.exhausted.is_some(), "quota of 2 must run out");
+        assert!(snap.sites.values().map(|s| s.denied).sum::<u64>() > 0);
+        assert!(!plan.degradation.is_clean(), "denials surface in the degradation report");
+        let token = plan.resume.expect("exhausted run leaves a resume token");
+        assert_eq!(
+            token.journal.len() as u64,
+            snap.fetches,
+            "every paid-for page is journalled for resumption"
+        );
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! `RelationProvider`.
 
 use crate::handle::{derive_handles, Handle};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
+use webbase_navigation::budget::{BudgetTracker, JournalEntry, NavPosition, ResumeToken};
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
 use webbase_navigation::{DegradationReport, RepairReport};
@@ -60,6 +62,11 @@ pub struct VpsCatalog {
     /// Registration order, for stable Table 1 output.
     order: Vec<String>,
     pub stats: VpsStats,
+    /// The query budget shared by every navigator, when one is attached.
+    budget: Option<Arc<BudgetTracker>>,
+    /// Relation invocations that ran to completion under the budget —
+    /// the resume token's navigation positions.
+    positions: Vec<NavPosition>,
 }
 
 impl Default for VpsCatalog {
@@ -70,7 +77,13 @@ impl Default for VpsCatalog {
 
 impl VpsCatalog {
     pub fn new() -> VpsCatalog {
-        VpsCatalog { entries: HashMap::new(), order: Vec::new(), stats: VpsStats::default() }
+        VpsCatalog {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            stats: VpsStats::default(),
+            budget: None,
+            positions: Vec::new(),
+        }
     }
 
     /// Add every relation of a recorded map, compiling it for `web`.
@@ -138,6 +151,113 @@ impl VpsCatalog {
             }
         }
         report
+    }
+
+    /// Attach a query budget: every navigator in the catalog shares the
+    /// one tracker, and every mapped site is registered up front so
+    /// fair-share floors also cover sites the query has not reached yet.
+    pub fn set_budget(&mut self, budget: Arc<BudgetTracker>) {
+        let mut seen: HashSet<*const SiteNavigator> = HashSet::new();
+        for name in &self.order {
+            let nav = &self.entries[name].navigator;
+            if seen.insert(Rc::as_ptr(nav)) {
+                budget.register_site(&nav.map.site);
+                nav.set_budget(budget.clone());
+            }
+        }
+        self.budget = Some(budget);
+    }
+
+    pub fn budget(&self) -> Option<&Arc<BudgetTracker>> {
+        self.budget.as_ref()
+    }
+
+    /// Relation invocations that ran to completion — no budget denial
+    /// truncated them — in execution order.
+    pub fn positions(&self) -> &[NavPosition] {
+        &self.positions
+    }
+
+    /// Every page fetched while the budget was attached, across all
+    /// navigators (identity-dedup, as in [`VpsCatalog::degradation`]).
+    pub fn resume_journal(&self) -> Vec<JournalEntry> {
+        let mut seen: HashSet<*const SiteNavigator> = HashSet::new();
+        let mut journal = Vec::new();
+        for name in &self.order {
+            let nav = &self.entries[name].navigator;
+            if seen.insert(Rc::as_ptr(nav)) {
+                journal.extend(nav.journal());
+            }
+        }
+        journal
+    }
+
+    /// The resume token for the current run: the budget it ran under,
+    /// the spend so far, the completed navigation positions, and the
+    /// journal of every page already paid for.
+    pub fn resume_token(&self) -> Option<ResumeToken> {
+        let tracker = self.budget.as_ref()?;
+        let snap = tracker.snapshot();
+        Some(ResumeToken {
+            budget: tracker.budget().clone(),
+            spent_network: snap.elapsed,
+            spent_fetches: snap.fetches,
+            positions: self.positions.clone(),
+            journal: self.resume_journal(),
+        })
+    }
+
+    /// Preload a resume token's journal into the navigators' page
+    /// caches. Entries are routed to the navigator owning their host, so
+    /// a resumed run serves them as cache hits — zero re-fetches of
+    /// already-paid-for pages.
+    pub fn preload(&self, token: &ResumeToken) {
+        let mut seen: HashSet<*const SiteNavigator> = HashSet::new();
+        for name in &self.order {
+            let nav = &self.entries[name].navigator;
+            if seen.insert(Rc::as_ptr(nav)) {
+                nav.preload_journal(token.journal_for(&nav.map.site));
+            }
+        }
+    }
+
+    /// Evaluate a batch of relation invocations with fair-share
+    /// interleaving: jobs are grouped by owning site and served
+    /// round-robin, one invocation per site per round, so a site that is
+    /// burning its quota (or stalling) cannot drain the global budget
+    /// before the other sites get their first turn. Results come back in
+    /// input order; an unknown relation yields its error in place.
+    pub fn execute(&mut self, jobs: &[(String, AccessSpec)]) -> Vec<Result<Relation, EvalError>> {
+        let mut slots: Vec<Option<Result<Relation, EvalError>>> =
+            jobs.iter().map(|_| None).collect();
+        let mut site_order: Vec<String> = Vec::new();
+        let mut queues: HashMap<String, VecDeque<usize>> = HashMap::new();
+        for (i, (name, _)) in jobs.iter().enumerate() {
+            match self.entries.get(name) {
+                Some(e) => {
+                    let site = e.navigator.map.site.clone();
+                    if !queues.contains_key(&site) {
+                        site_order.push(site.clone());
+                    }
+                    queues.entry(site).or_default().push_back(i);
+                }
+                None => slots[i] = Some(Err(EvalError::UnknownRelation(name.clone()))),
+            }
+        }
+        loop {
+            let mut progressed = false;
+            for site in &site_order {
+                if let Some(i) = queues.get_mut(site).and_then(VecDeque::pop_front) {
+                    let (name, spec) = &jobs[i];
+                    slots[i] = Some(self.fetch(name, spec));
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        slots.into_iter().map(|s| s.expect("every job scheduled")).collect()
     }
 
     /// The Table 1 rendering: relation name, site, schema.
@@ -211,10 +331,25 @@ impl RelationProvider for VpsCatalog {
             .filter(|(a, _)| handle.selection.contains(a.as_str()))
             .map(|(a, v)| (a.as_str().to_string(), v.clone()))
             .collect();
+        let denied_before = self
+            .budget
+            .as_ref()
+            .map(|b| b.snapshot().sites.values().map(|s| s.denied).sum::<u64>());
         let (records, run) = e
             .navigator
             .run_relation(name, &given)
             .map_err(|err| EvalError::Provider(err.to_string()))?;
+        if let (Some(budget), Some(before)) = (self.budget.as_ref(), denied_before) {
+            let after: u64 = budget.snapshot().sites.values().map(|s| s.denied).sum();
+            // A position joins the resume token only when the budget did
+            // not truncate the invocation: resuming replays exactly the
+            // completed work, and the truncated tail re-runs.
+            if after == before {
+                self.positions
+                    .push(NavPosition { relation: name.to_string(), given: given.clone() });
+            }
+            budget.mark_served(&e.navigator.map.site);
+        }
         *self.stats.invocations.entry(name.to_string()).or_default() += 1;
         *self.stats.pages.entry(name.to_string()).or_default() += run.pages_fetched;
         *self.stats.retries.entry(name.to_string()).or_default() += run.retries;
@@ -336,6 +471,47 @@ mod tests {
         assert_eq!(b.bindings()[0].len(), 4); // make, model, condition, pricetype
         let free = cat.bindings("autoWeb").expect("bindings");
         assert!(free.satisfied_by(&Default::default()), "autoWeb is enumerable");
+    }
+
+    #[test]
+    fn budgeted_fetch_records_positions_and_journal() {
+        use webbase_navigation::budget::QueryBudget;
+        let (mut cat, _) = catalog();
+        let tracker = Arc::new(BudgetTracker::new(QueryBudget::unlimited()));
+        cat.set_budget(tracker.clone());
+        let spec = AccessSpec::new().with("make", "ford");
+        cat.fetch("newsday", &spec).expect("fetches");
+        assert_eq!(cat.positions().len(), 1);
+        assert_eq!(cat.positions()[0].relation, "newsday");
+        let token = cat.resume_token().expect("budget attached");
+        assert!(!token.journal.is_empty(), "every fetched page is journalled");
+        assert!(token.journal.iter().all(|e| e.request.url.host == "www.newsday.com"));
+        let snap = tracker.snapshot();
+        assert!(
+            snap.sites.get("www.newsday.com").is_some_and(|s| s.served),
+            "fair-share floor released after the site's first completed invocation"
+        );
+    }
+
+    #[test]
+    fn execute_returns_results_in_input_order() {
+        let (mut cat, data) = catalog();
+        let make = sessions::popular_newsday_make(&data);
+        let jobs = vec![
+            ("newsday".to_string(), AccessSpec::new().with("make", make.clone())),
+            ("autoWeb".to_string(), AccessSpec::new()),
+            ("newsday".to_string(), AccessSpec::new().with("make", make.clone())),
+            ("nosuch".to_string(), AccessSpec::new()),
+        ];
+        let results = cat.execute(&jobs);
+        assert_eq!(results.len(), 4);
+        assert!(results[0].is_ok() && results[1].is_ok() && results[2].is_ok());
+        assert!(matches!(&results[3], Err(EvalError::UnknownRelation(n)) if n == "nosuch"));
+        assert_eq!(
+            results[0].as_ref().map(Relation::len),
+            results[2].as_ref().map(Relation::len),
+            "repeated invocation is deterministic (second hits the cache)"
+        );
     }
 
     #[test]

@@ -22,8 +22,11 @@ pub mod handle;
 
 pub use catalog::{VpsCatalog, VpsStats};
 pub use handle::{derive_handles, Handle};
-// Degradation reporting surfaces through every layer; re-export so
-// upper layers need not depend on webbase-navigation directly.
+// Degradation reporting and query budgets surface through every layer;
+// re-export so upper layers need not depend on webbase-navigation
+// directly.
 pub use webbase_navigation::{
-    DegradationReport, FetchPolicy, RepairReport, SiteDegradation, SiteRepair,
+    parse_resume, render_resume, BudgetDenial, BudgetSnapshot, BudgetTracker, DegradationReport,
+    FetchPolicy, JournalEntry, NavPosition, QueryBudget, RepairReport, ResumeToken,
+    SiteDegradation, SiteRepair, SiteSpend,
 };

@@ -130,6 +130,40 @@ impl<S: Site> Site for StallingSite<S> {
     }
 }
 
+/// Delays *every* response by a constant `delay` of simulated server
+/// time — the uniformly-slow-server failure mode. Unlike
+/// [`StallingSite`]'s periodic spikes, the constant drain makes deadline
+/// consumption exactly predictable: a query with a simulated deadline of
+/// `k × delay` affords at most `k` fetches, which is what the
+/// budget-exhaustion experiments need to be deterministic.
+pub struct DelayedSite<S> {
+    inner: S,
+    delay: Duration,
+}
+
+impl<S: Site> DelayedSite<S> {
+    /// Wrap `inner`; every response carries `delay` extra stall.
+    pub fn new(inner: S, delay: Duration) -> DelayedSite<S> {
+        DelayedSite { inner, delay }
+    }
+}
+
+impl<S: Site> Site for DelayedSite<S> {
+    fn host(&self) -> &str {
+        self.inner.host()
+    }
+
+    fn entry(&self) -> crate::url::Url {
+        self.inner.entry()
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        let resp = self.inner.handle(req);
+        let stall = resp.stall + self.delay;
+        resp.with_stall(stall)
+    }
+}
+
 /// The CGI state-token failure mode: the site threads a session token
 /// through every parameterised link it serves, and rejects tokens older
 /// than `ttl` requests with HTTP 440 ("Login Time-out", the 1999 IIS
@@ -369,6 +403,20 @@ mod tests {
         let cut = t.handle(&Request::get(Url::new("unicode.test", "/")));
         assert!(full.html().starts_with(cut.html()));
         assert!(cut.len_bytes() <= 33);
+    }
+
+    #[test]
+    fn delayed_site_charges_a_constant_stall() {
+        let delay = std::time::Duration::from_millis(250);
+        let web = SyntheticWeb::builder()
+            .site(DelayedSite::new(Kellys::new(1), delay))
+            .latency(LatencyModel::zero())
+            .build();
+        for _ in 0..4 {
+            let (r, d) = web.fetch(&Request::get(Url::new("www.kbb.com", "/")));
+            assert!(r.is_ok(), "a delay is slowness, not an error");
+            assert_eq!(d, delay, "every response pays exactly the configured delay");
+        }
     }
 
     #[test]

@@ -17,8 +17,17 @@ use common::{
 use std::collections::BTreeSet;
 use std::time::Duration;
 use webbase::LatencyModel;
-use webbase_webworld::faults::{FlakySite, StallingSite, TruncatingSite};
+use webbase_logical::{BudgetDenial, QueryBudget};
+use webbase_webworld::faults::{
+    DelayedSite, ExpiringSessionSite, FlakySite, StallingSite, TruncatingSite,
+};
 use webbase_webworld::server::Site;
+
+/// A query whose newsday branch paginates (model unbound → a long
+/// "More" chain).
+const FORD_QUERY: &str = "UsedCarUR(make='ford', price)";
+
+const NEWSDAY: &str = "www.newsday.com";
 
 #[test]
 fn fault_matrix_partial_answers_are_sound() {
@@ -93,6 +102,90 @@ fn stalling_sites_time_out_but_queries_recover() {
     for (host, site) in &plan.degradation.sites {
         assert!(!site.breaker_open, "{host}: isolated timeouts must not open the circuit");
     }
+}
+
+#[test]
+fn stalling_sites_under_a_deadline_yield_sound_partials_and_a_token() {
+    let (jag_full, _) = healthy_webbase().query(JAGUAR_QUERY).expect("healthy jaguar query");
+
+    // Every 5th request stalls past the 30s fetch timeout; two such
+    // timeouts blow a 45s query deadline, so the run must end early —
+    // cleanly, with a sound partial answer and a resume token.
+    let run = || {
+        let mut wb = faulty_webbase(|_h, s| {
+            Box::new(StallingSite::new(s, 5, Duration::from_secs(120))) as Box<dyn Site>
+        });
+        let budget = QueryBudget::unlimited().with_deadline(Duration::from_secs(45));
+        let (partial, plan) =
+            wb.query_with_budget(JAGUAR_QUERY, budget).expect("deadline exhaustion must not abort");
+        (partial, plan)
+    };
+    let (partial, plan) = run();
+    assert!(subset(&partial, &jag_full), "fabricated answers under the deadline");
+    assert!(partial.len() < jag_full.len(), "two 30s timeouts must blow a 45s deadline");
+    let snap = plan.budget.as_ref().expect("budgeted runs carry a snapshot");
+    assert_eq!(snap.exhausted, Some(BudgetDenial::DeadlineExceeded));
+    assert!(!plan.degradation.is_clean(), "the shortfall must be reported");
+    assert!(plan.resume.is_some(), "deadline exhaustion must leave a resume token");
+
+    // Determinism: same seed, same faults, same deadline → identical
+    // partial answers and an identical spend.
+    let (partial2, plan2) = run();
+    assert_eq!(partial, partial2, "partials must be a pure function of the seed");
+    assert_eq!(snap.fetches, plan2.budget.expect("snapshot").fetches);
+}
+
+#[test]
+fn expiring_sessions_under_a_deadline_yield_sound_partials() {
+    let (ford_full, _) = healthy_webbase().query(FORD_QUERY).expect("healthy ford query");
+
+    // Newsday's sessions all expire (every "More" step goes through
+    // replay) and every newsday page costs a simulated second: a 3s
+    // deadline affords at most a few newsday pages, nowhere near the
+    // replaying chain.
+    let mut wb = faulty_webbase(|h, s| {
+        if h == NEWSDAY {
+            Box::new(DelayedSite::new(ExpiringSessionSite::new(s, 0), Duration::from_secs(1)))
+                as Box<dyn Site>
+        } else {
+            s
+        }
+    });
+    let budget = QueryBudget::unlimited().with_deadline(Duration::from_secs(3));
+    let (partial, plan) =
+        wb.query_with_budget(FORD_QUERY, budget).expect("expiring sessions must not abort");
+    assert!(subset(&partial, &ford_full), "fabricated answers under the deadline");
+    assert!(partial.len() < ford_full.len(), "the delayed newsday chain cannot finish in 3s");
+    let snap = plan.budget.expect("budgeted runs carry a snapshot");
+    assert_eq!(snap.exhausted, Some(BudgetDenial::DeadlineExceeded));
+    assert!(!plan.degradation.is_clean(), "the shortfall must be reported");
+}
+
+#[test]
+fn session_replays_are_charged_to_the_owning_site_quota() {
+    let (ford_full, _) = healthy_webbase().query(FORD_QUERY).expect("healthy ford query");
+
+    // Per-site quota of 4: newsday's entry chain fits, but its stale-
+    // session replays (charged to newsday, not to the global pool) push
+    // it over and the site is cut off mid-chain.
+    let mut wb = faulty_webbase(|h, s| {
+        if h == NEWSDAY {
+            Box::new(ExpiringSessionSite::new(s, 0)) as Box<dyn Site>
+        } else {
+            s
+        }
+    });
+    let budget = QueryBudget::unlimited().with_site_quota(4);
+    let (partial, plan) =
+        wb.query_with_budget(FORD_QUERY, budget).expect("site quota must not abort");
+    assert!(subset(&partial, &ford_full), "fabricated answers under the site quota");
+    assert!(partial.len() < ford_full.len(), "newsday's replaying chain cannot fit in 4 fetches");
+    let snap = plan.budget.expect("budgeted runs carry a snapshot");
+    for (host, spend) in &snap.sites {
+        assert!(spend.fetches <= 4, "{host} overspent its site quota: {}", spend.fetches);
+    }
+    let newsday = snap.sites.get(NEWSDAY).expect("newsday must be tracked");
+    assert!(newsday.denied > 0, "newsday's replays must be charged to newsday");
 }
 
 #[test]

@@ -48,7 +48,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_join_and_borrow() {
-        let data = vec![1, 2, 3];
+        let data = [1, 2, 3];
         let sum = super::thread::scope(|s| {
             let hs: Vec<_> = data.iter().map(|&n| s.spawn(move |_| n * 2)).collect();
             hs.into_iter().map(|h| h.join().expect("no panic")).sum::<i32>()
