@@ -23,7 +23,7 @@ fn bench_binding(c: &mut Criterion) {
                 false,
             );
             black_box(bs.bindings().len())
-        })
+        });
     });
 
     // Scaling: a chain of n joins R0 ⋈ R1 ⋈ … where each Ri binds on the
@@ -70,7 +70,7 @@ fn bench_binding(c: &mut Criterion) {
                     false,
                 );
                 black_box(bs.bindings().len())
-            })
+            });
         });
     }
     group.finish();

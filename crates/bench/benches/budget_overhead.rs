@@ -58,14 +58,14 @@ fn bench_budget_overhead(c: &mut Criterion) {
                 nav.set_budget(tracker);
                 let (records, _) = nav.run_relation(relation, black_box(&given)).expect("runs");
                 black_box(records.len())
-            })
+            });
         });
         group.bench_function(format!("{host}/budget_off"), |b| {
             b.iter(|| {
                 let nav = SiteNavigator::new(web.clone(), map.clone());
                 let (records, _) = nav.run_relation(relation, black_box(&given)).expect("runs");
                 black_box(records.len())
-            })
+            });
         });
     }
     group.finish();

@@ -22,14 +22,14 @@ fn bench_caching(c: &mut Criterion) {
             let nav = SiteNavigator::new(web.clone(), map.clone());
             let (records, stats) = nav.run_relation("newsday", black_box(&given)).expect("runs");
             black_box((records.len(), stats.pages_fetched))
-        })
+        });
     });
     group.bench_function("uncached", |b| {
         b.iter(|| {
             let nav = SiteNavigator::new(web.clone(), map.clone()).without_cache();
             let (records, stats) = nav.run_relation("newsday", black_box(&given)).expect("runs");
             black_box((records.len(), stats.pages_fetched))
-        })
+        });
     });
     // Repeated invocation of one relation through a shared navigator —
     // the dependent-join access pattern.
@@ -43,7 +43,7 @@ fn bench_caching(c: &mut Criterion) {
                 total += records.len();
             }
             black_box(total)
-        })
+        });
     });
     group.finish();
 }

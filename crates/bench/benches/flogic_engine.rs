@@ -23,7 +23,7 @@ fn bench_flogic(c: &mut Criterion) {
         b.iter(|| {
             let mut m = Machine::new(&facts, ObjectStore::new());
             black_box(m.solve_all(black_box(&goal), &vars).expect("solves").len())
-        })
+        });
     });
 
     // Recursive descent, like a "More" chain of n pages.
@@ -54,7 +54,7 @@ fn bench_flogic(c: &mut Criterion) {
             b.iter(|| {
                 let mut m = Machine::with_oracle(&rec, ObjectStore::new(), Step);
                 black_box(m.solve_all(black_box(&g), &vars).expect("solves").len())
-            })
+            });
         });
     }
 
@@ -93,7 +93,7 @@ fn bench_flogic(c: &mut Criterion) {
         b.iter(|| {
             let mut m = Machine::new(&fan, ObjectStore::new());
             black_box(m.solve_all(black_box(&fg), &fvars).expect("solves").len())
-        })
+        });
     });
     group.finish();
 }

@@ -25,7 +25,7 @@ fn bench_parse(c: &mut Criterion) {
     for (name, page) in [("well_formed", &well_formed), ("faulty", &faulty)] {
         group.throughput(Throughput::Bytes(page.len() as u64));
         group.bench_with_input(BenchmarkId::new("parse", name), page, |b, p| {
-            b.iter(|| black_box(webbase_html::parse(black_box(p)).len()))
+            b.iter(|| black_box(webbase_html::parse(black_box(p)).len()));
         });
         group.bench_with_input(BenchmarkId::new("parse_and_extract", name), page, |b, p| {
             b.iter(|| {
@@ -34,7 +34,7 @@ fn bench_parse(c: &mut Criterion) {
                 let links = webbase_html::extract::links(&doc);
                 let forms = webbase_html::extract::forms(&doc);
                 black_box((tables.len(), links.len(), forms.len()))
-            })
+            });
         });
     }
 
@@ -49,7 +49,7 @@ fn bench_parse(c: &mut Criterion) {
         b.iter(|| {
             let doc = webbase_html::parse(black_box(&big));
             black_box(webbase_html::extract::tables(&doc)[0].rows.len())
-        })
+        });
     });
     group.finish();
 }

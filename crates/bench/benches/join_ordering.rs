@@ -59,14 +59,14 @@ fn bench_ordering(c: &mut Criterion) {
     for n in [6usize, 10, 14] {
         let (inputs, init) = chain(n);
         group.bench_with_input(BenchmarkId::new("exact_chain", n), &n, |b, _| {
-            b.iter(|| black_box(order_exact(black_box(&inputs), &init)))
+            b.iter(|| black_box(order_exact(black_box(&inputs), &init)));
         });
         group.bench_with_input(BenchmarkId::new("greedy_chain", n), &n, |b, _| {
-            b.iter(|| black_box(order_greedy(black_box(&inputs), &init)))
+            b.iter(|| black_box(order_greedy(black_box(&inputs), &init)));
         });
         let (mi, minit) = multi_binding(n);
         group.bench_with_input(BenchmarkId::new("exact_multibinding", n), &n, |b, _| {
-            b.iter(|| black_box(order_exact(black_box(&mi), &minit)))
+            b.iter(|| black_box(order_exact(black_box(&mi), &minit)));
         });
     }
     group.finish();

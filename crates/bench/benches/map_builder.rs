@@ -23,7 +23,7 @@ fn bench_map_builder(c: &mut Criterion) {
                 Recorder::record(web.clone(), "www.newsday.com", black_box(&newsday))
                     .expect("records");
             black_box((map.nodes.len(), stats.objects))
-        })
+        });
     });
 
     // All thirteen sites.
@@ -36,13 +36,13 @@ fn bench_map_builder(c: &mut Criterion) {
                 total += map.object_count();
             }
             black_box(total)
-        })
+        });
     });
 
     // Map → Transaction F-logic compilation (the paper: linear time).
     let (map, _) = Recorder::record(web.clone(), "www.newsday.com", &newsday).expect("records");
     group.bench_function("compile_newsday", |b| {
-        b.iter(|| black_box(compile_map(black_box(&map)).program.rule_count()))
+        b.iter(|| black_box(compile_map(black_box(&map)).program.rule_count()));
     });
     group.finish();
 }

@@ -27,14 +27,14 @@ fn bench_repair_overhead(c: &mut Criterion) {
                 let nav = SiteNavigator::new(web.clone(), map.clone());
                 let (records, _) = nav.run_relation(relation, black_box(&given)).expect("runs");
                 black_box(records.len())
-            })
+            });
         });
         group.bench_function(format!("{host}/healing_off"), |b| {
             b.iter(|| {
                 let nav = SiteNavigator::new(web.clone(), map.clone()).without_healing();
                 let (records, _) = nav.run_relation(relation, black_box(&given)).expect("runs");
                 black_box(records.len())
-            })
+            });
         });
     }
     group.finish();

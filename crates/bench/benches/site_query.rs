@@ -39,7 +39,7 @@ fn bench_site_queries(c: &mut Criterion) {
                 let nav = SiteNavigator::new(web.clone(), map.clone());
                 let (records, _) = nav.run_relation(relation, black_box(&given)).expect("runs");
                 black_box(records.len())
-            })
+            });
         });
     }
     group.finish();

@@ -40,13 +40,13 @@ fn bench_ur(c: &mut Criterion) {
     let h = figure5();
     let rules = example62_rules();
     group.bench_function("maximal_objects_figure5", |b| {
-        b.iter(|| black_box(maximal_objects(black_box(&h), black_box(&rules)).len()))
+        b.iter(|| black_box(maximal_objects(black_box(&h), black_box(&rules)).len()));
     });
 
     for n in [4usize, 6, 8] {
         let (sh, sr) = synthetic(n);
         group.bench_with_input(BenchmarkId::new("maximal_objects_synthetic", n), &n, |b, _| {
-            b.iter(|| black_box(maximal_objects(black_box(&sh), black_box(&sr)).len()))
+            b.iter(|| black_box(maximal_objects(black_box(&sh), black_box(&sr)).len()));
         });
     }
 
@@ -55,13 +55,13 @@ fn bench_ur(c: &mut Criterion) {
     let text = "UsedCarUR(make='jaguar', model, year >= 1993, price, bbprice, \
                 safety='good', condition='good') WHERE price < bbprice";
     group.bench_function("parse_query", |b| {
-        b.iter(|| black_box(parse_query(black_box(text)).expect("parses").outputs.len()))
+        b.iter(|| black_box(parse_query(black_box(text)).expect("parses").outputs.len()));
     });
     let q = parse_query(text).expect("parses");
     group.bench_function("plan_jaguar_query", |b| {
         b.iter(|| {
             black_box(wb.planner.plan(black_box(&q), &wb.layer).expect("plans").objects.len())
-        })
+        });
     });
     group.finish();
 }

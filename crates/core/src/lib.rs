@@ -33,8 +33,11 @@ pub mod layers;
 pub mod timing;
 pub mod webbase;
 
-pub use crate::webbase::{BuildReport, Webbase};
+pub use crate::webbase::{check_stack, BuildReport, Webbase, WebbaseError};
 pub use timing::{parallel_timing, serial_timing, SiteTiming, TimingComparison};
 pub use webbase_relational::Relation;
 pub use webbase_ur::{UrPlan, UrQuery};
+pub use webbase_webcheck::{
+    check_cross_layer, check_map, check_site, Diagnostic, Report, Severity,
+};
 pub use webbase_webworld::prelude::LatencyModel;

@@ -48,6 +48,9 @@ pub enum WebbaseError {
     Plan(UrError),
     /// A §7-style SELECT failed to parse or evaluate.
     Select(String),
+    /// Pre-flight static analysis found E-level defects in the maps
+    /// being loaded; the report carries every finding.
+    Check(webbase_webcheck::Report),
 }
 
 impl std::fmt::Display for WebbaseError {
@@ -57,6 +60,9 @@ impl std::fmt::Display for WebbaseError {
             WebbaseError::Query(e) => write!(f, "{e}"),
             WebbaseError::Plan(e) => write!(f, "{e}"),
             WebbaseError::Select(m) => write!(f, "{m}"),
+            WebbaseError::Check(r) => {
+                write!(f, "pre-flight check rejected the maps:\n{}", r.render())
+            }
         }
     }
 }
@@ -114,9 +120,11 @@ impl Webbase {
         let mut catalog = VpsCatalog::new();
         let mut maps = Vec::new();
         let mut stats = Vec::new();
+        let mut preflight = webbase_webcheck::Report::new();
         for text in fact_maps {
             let map = webbase_navigation::persist::parse_map(text)
                 .map_err(|e| WebbaseError::Select(format!("loading map: {e}")))?;
+            preflight.merge(webbase_webcheck::check_site(&map));
             stats.push((
                 map.site.clone(),
                 MapStats {
@@ -126,8 +134,18 @@ impl Webbase {
                     ..MapStats::default()
                 },
             ));
-            maps.push(map.clone());
-            catalog.add_map(web.clone(), map);
+            maps.push(map);
+        }
+        // Shipped maps are untrusted input: the deployment path rejects
+        // anything the pre-flight analysis flags at E level *before*
+        // handle derivation and navigator construction ever see the map
+        // (a recorded session, by contrast, is checked but always loaded
+        // — see `VpsCatalog::add_map`).
+        if preflight.has_errors() {
+            return Err(WebbaseError::Check(preflight));
+        }
+        for map in &maps {
+            catalog.add_map(web.clone(), map.clone());
         }
         let layer = LogicalLayer::new(catalog, paper_schema());
         let planner = UrPlanner::new(figure5(), example62_rules());
@@ -138,6 +156,15 @@ impl Webbase {
     /// [`Webbase::build_from_fact_maps`]).
     pub fn export_fact_maps(&self) -> Vec<String> {
         self.maps.iter().map(webbase_navigation::persist::render_facts).collect()
+    }
+
+    /// Run the full three-pass static analysis over the assembled
+    /// webbase: every map is linted and its compiled program checked
+    /// (webcheck passes 1–2), then the logical schema, VPS catalog, and
+    /// UR planner are checked against each other (pass 3). Pure — no
+    /// navigation, no fetches; safe to run on every load.
+    pub fn check(&self) -> webbase_webcheck::Report {
+        check_stack(&self.maps, &self.layer, &self.planner)
     }
 
     /// Parse and execute a structured-UR query.
@@ -207,6 +234,75 @@ impl Webbase {
         };
         result.map_err(|e| WebbaseError::Select(e.to_string()))
     }
+}
+
+/// The three-pass analysis over an arbitrary layered stack — any
+/// domain's maps, logical layer, and planner, not only the built-in
+/// used-car webbase ([`Webbase::check`] delegates here). The VPS
+/// catalog and its sites are read out of `layer.vps`.
+pub fn check_stack(
+    maps: &[NavigationMap],
+    layer: &LogicalLayer,
+    planner: &UrPlanner,
+) -> webbase_webcheck::Report {
+    use webbase_relational::eval::RelationProvider;
+    use webbase_webcheck::{CompatRuleSpec, CrossLayerInput, HandleSpec, LogicalSpec, VpsRelSpec};
+    let mut report = webbase_webcheck::Report::new();
+    for map in maps {
+        report.merge(webbase_webcheck::check_site(map));
+    }
+    let vps = &layer.vps;
+    let attrs_of = |schema: Option<webbase_relational::Schema>| -> Vec<String> {
+        schema
+            .map(|s| s.attrs().iter().map(|a| a.as_str().to_string()).collect())
+            .unwrap_or_default()
+    };
+    let vps_specs: Vec<VpsRelSpec> = vps
+        .relations()
+        .map(|name| VpsRelSpec {
+            name: name.to_string(),
+            site: vps.navigator(name).map(|n| n.map.site.clone()).unwrap_or_default(),
+            attrs: attrs_of(vps.schema(name)),
+            handles: vps
+                .handles(name)
+                .iter()
+                .map(|h| HandleSpec {
+                    mandatory: h.mandatory.iter().cloned().collect(),
+                    selection: h.selection.iter().cloned().collect(),
+                })
+                .collect(),
+        })
+        .collect();
+    let logical: Vec<LogicalSpec> = layer
+        .relations()
+        .iter()
+        .map(|r| LogicalSpec {
+            name: r.name.clone(),
+            attrs: attrs_of(layer.schema(&r.name)),
+            bases: r.def.base_relations().iter().map(ToString::to_string).collect(),
+        })
+        .collect();
+    let concepts = planner.hierarchy.alternatives().map(|a| a.name.clone()).collect();
+    let compat = planner
+        .rules
+        .rules
+        .iter()
+        .map(|r| match r {
+            webbase_ur::compat::CompatRule::Requires { premise, then } => {
+                CompatRuleSpec::Requires { premise: premise.clone(), then: then.clone() }
+            }
+            webbase_ur::compat::CompatRule::Excludes { premise, then_not } => {
+                CompatRuleSpec::Excludes { premise: premise.clone(), then_not: then_not.clone() }
+            }
+        })
+        .collect();
+    report.merge(webbase_webcheck::check_cross_layer(&CrossLayerInput {
+        logical,
+        vps: vps_specs,
+        concepts,
+        compat,
+    }));
+    report
 }
 
 #[cfg(test)]
@@ -306,6 +402,49 @@ mod tests {
             token = p.resume;
         }
         assert_eq!(result, full, "partial runs resumed to exactly the unbounded answer");
+    }
+
+    #[test]
+    fn preflight_check_is_clean_on_the_demo() {
+        let wb = demo();
+        let report = wb.check();
+        assert!(report.is_clean(), "unexpected findings:\n{}", report.render());
+    }
+
+    #[test]
+    fn fact_map_loading_rejects_broken_maps() {
+        use webbase_navigation::map::NodeKind;
+        let original = demo();
+        let mut exported = original.export_fact_maps();
+        // Corrupt one shipped map: sever every edge into its data nodes,
+        // leaving registered relations unreachable (E101).
+        let idx = original
+            .maps
+            .iter()
+            .position(|m| m.site == "www.newsday.com")
+            .expect("newsday is mapped");
+        let mut broken = original.maps[idx].clone();
+        let data_nodes: Vec<usize> = broken
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Data(_)))
+            .map(|(i, _)| i)
+            .collect();
+        broken.edges.retain(|e| !data_nodes.contains(&e.to));
+        exported[idx] = webbase_navigation::persist::render_facts(&broken);
+        let Err(err) =
+            Webbase::build_from_fact_maps(original.web.clone(), original.data.clone(), &exported)
+        else {
+            panic!("an E-level map must be rejected at load time");
+        };
+        match err {
+            WebbaseError::Check(report) => {
+                assert!(report.has_errors());
+                assert!(!report.with_code("E101").is_empty(), "{}", report.render());
+            }
+            other => panic!("expected Check, got {other}"),
+        }
     }
 
     #[test]

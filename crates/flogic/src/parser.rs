@@ -244,7 +244,7 @@ impl<'a> Parser<'a> {
         let mut hops: Vec<Goal> = Vec::new();
         let mut subject = t;
         while self.peek() == b'.'
-            && self.bytes.get(self.pos + 1).is_some_and(|b| b.is_ascii_lowercase())
+            && self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_lowercase)
         {
             self.pos += 1;
             let attr = self.raw_ident()?;

@@ -9,6 +9,7 @@
 
 use crate::store::ObjectStore;
 use crate::term::Sym;
+use std::collections::HashMap;
 use std::fmt::Write;
 
 /// Arrow kind in a signature declaration.
@@ -101,6 +102,73 @@ impl ClassDecl {
     }
 }
 
+/// A queryable index over a set of class declarations: answers "is this
+/// class declared?" and "what does attribute `a` mean on class `c`?",
+/// resolving attributes through the transitive superclass chain (an
+/// attribute declared on `web_page` is inherited by `data_page`).
+///
+/// This is what turns the Figure 3 signatures from pretty-printed
+/// documentation into something a checker can enforce.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureIndex {
+    classes: HashMap<String, ClassDecl>,
+}
+
+impl SignatureIndex {
+    pub fn new(decls: impl IntoIterator<Item = ClassDecl>) -> SignatureIndex {
+        let mut idx = SignatureIndex::default();
+        for d in decls {
+            idx.add(d);
+        }
+        idx
+    }
+
+    /// Add a declaration; a repeated class name merges superclasses and
+    /// entries (layers may supplement the base declarations).
+    pub fn add(&mut self, decl: ClassDecl) {
+        match self.classes.get_mut(&decl.name) {
+            Some(existing) => {
+                for s in decl.superclasses {
+                    if !existing.superclasses.contains(&s) {
+                        existing.superclasses.push(s);
+                    }
+                }
+                for e in decl.entries {
+                    if !existing.entries.iter().any(|x| x.attr == e.attr) {
+                        existing.entries.push(e);
+                    }
+                }
+            }
+            None => {
+                self.classes.insert(decl.name.clone(), decl);
+            }
+        }
+    }
+
+    pub fn has_class(&self, name: &str) -> bool {
+        self.classes.contains_key(name)
+    }
+
+    /// Resolve `attr` on `class`, walking superclasses breadth-first.
+    /// `None` when the class is unknown or declares no such attribute
+    /// anywhere up the chain.
+    pub fn resolve(&self, class: &str, attr: &str) -> Option<&SigEntry> {
+        let mut queue = std::collections::VecDeque::from([class.to_string()]);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(c) = queue.pop_front() {
+            if !seen.insert(c.clone()) {
+                continue; // cycle guard
+            }
+            let Some(decl) = self.classes.get(&c) else { continue };
+            if let Some(e) = decl.entries.iter().find(|e| e.attr == attr) {
+                return Some(e);
+            }
+            queue.extend(decl.superclasses.iter().cloned());
+        }
+        None
+    }
+}
+
 /// The common WWW data structures of Figure 3, verbatim in structure.
 pub fn figure3_classes() -> Vec<ClassDecl> {
     vec![
@@ -183,6 +251,30 @@ mod tests {
         assert!(st.is_subclass(Sym::new("data_page"), Sym::new("web_page")));
         st.insert_isa(Term::atom("p1"), Sym::new("data_page"));
         assert!(st.is_member(&Term::atom("p1"), Sym::new("web_page")));
+    }
+
+    #[test]
+    fn index_resolves_through_superclasses() {
+        let idx = SignatureIndex::new(figure3_classes());
+        assert!(idx.has_class("data_page"));
+        assert!(!idx.has_class("bogus"));
+        // declared directly
+        assert_eq!(idx.resolve("web_page", "address").map(|e| e.arrow), Some(SigArrow::Scalar));
+        assert_eq!(idx.resolve("web_page", "actions").map(|e| e.arrow), Some(SigArrow::SetValued));
+        // inherited: data_page :: web_page
+        assert_eq!(idx.resolve("data_page", "title").map(|e| e.arrow), Some(SigArrow::Scalar));
+        // unknown attribute / class
+        assert!(idx.resolve("web_page", "nope").is_none());
+        assert!(idx.resolve("bogus", "address").is_none());
+    }
+
+    #[test]
+    fn index_merges_supplementary_declarations() {
+        let mut idx = SignatureIndex::new(figure3_classes());
+        idx.add(ClassDecl::new("link_follow", "supplement").scalar("name", "string", "anchor"));
+        assert_eq!(idx.resolve("link_follow", "name").map(|e| e.arrow), Some(SigArrow::Scalar));
+        // the base subclass edge survives the merge
+        assert_eq!(idx.resolve("link_follow", "source").map(|e| e.arrow), Some(SigArrow::Scalar));
     }
 
     #[test]

@@ -127,7 +127,7 @@ pub fn links(doc: &Document) -> Vec<Link> {
         let env = ["table", "ul", "ol", "dl", "form"]
             .iter()
             .find(|t| doc.ancestor_by_tag(id, t).is_some())
-            .map(|t| t.to_string());
+            .map(ToString::to_string);
         out.push(Link { text: doc.text_content(id), href: href.to_string(), environment: env });
     }
     out

@@ -290,7 +290,7 @@ impl PageProbe {
             match action {
                 ActionDescr::Follow(link) => check_follow(node, link, page, &mut found),
                 ActionDescr::Submit(form) if forms_comparable => {
-                    check_submit(node, form, page, &mut found)
+                    check_submit(node, form, page, &mut found);
                 }
                 ActionDescr::Submit(_) => {}
                 // Link-defined attributes enumerate the live page at

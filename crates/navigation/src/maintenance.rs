@@ -61,12 +61,9 @@ pub fn check_map_with_policy(
 ) -> MaintenanceReport {
     let mut report = MaintenanceReport::default();
     let mut browser = Browser::with_policy(web.clone(), policy);
-    let entry_url = match web.entry(&map.site) {
-        Some(u) => u,
-        None => {
-            report.unreachable.push(map.entry);
-            return report;
-        }
+    let Some(entry_url) = web.entry(&map.site) else {
+        report.unreachable.push(map.entry);
+        return report;
     };
     let Ok(entry_page) = browser.goto(entry_url) else {
         report.unreachable.push(map.entry);

@@ -73,6 +73,12 @@ pub struct NavigationMap {
     /// Entry node (the site's home page).
     pub entry: NodeId,
     pub relations: Vec<RelationReg>,
+    /// Edge insertions that were dropped as duplicates *with different
+    /// exemplar values* — the recorded exemplar disagreed with the kept
+    /// edge's, so information was lost. `webcheck` surfaces these as
+    /// W002 findings; identical re-insertions (session replays) are not
+    /// recorded.
+    pub dropped_duplicates: Vec<MapEdge>,
 }
 
 impl NavigationMap {
@@ -83,6 +89,7 @@ impl NavigationMap {
             edges: Vec::new(),
             entry: 0,
             relations: Vec::new(),
+            dropped_duplicates: Vec::new(),
         }
     }
 
@@ -127,11 +134,20 @@ impl NavigationMap {
         action: ActionDescr,
         exemplar: Vec<(String, String)>,
     ) -> bool {
-        let exists = self.edges.iter().any(|e| e.from == from && e.to == to && e.action == action);
-        if !exists {
-            self.edges.push(MapEdge { from, to, action, exemplar });
+        let existing =
+            self.edges.iter().find(|e| e.from == from && e.to == to && e.action == action);
+        match existing {
+            Some(kept) => {
+                if !exemplar.is_empty() && kept.exemplar != exemplar {
+                    self.dropped_duplicates.push(MapEdge { from, to, action, exemplar });
+                }
+                false
+            }
+            None => {
+                self.edges.push(MapEdge { from, to, action, exemplar });
+                true
+            }
         }
-        !exists
     }
 
     /// Edges leaving `node`.
@@ -278,6 +294,21 @@ mod tests {
         assert!(!m.add_edge(0, 1, follow("auto")), "duplicate rejected");
         assert!(m.add_edge(0, 1, follow("other")), "different action accepted");
         assert_eq!(m.edges.len(), 4);
+    }
+
+    #[test]
+    fn conflicting_exemplars_are_recorded_not_lost_silently() {
+        let mut m = sample_map();
+        // Identical re-insertion (session replay): dropped, not recorded.
+        assert!(!m.add_edge(0, 1, follow("auto")));
+        assert!(m.dropped_duplicates.is_empty());
+        // Same edge, different exemplar: the drop is recorded.
+        assert!(!m.add_edge_with(0, 1, follow("auto"), vec![("make".into(), "ford".into())]));
+        assert_eq!(m.dropped_duplicates.len(), 1);
+        assert_eq!(m.dropped_duplicates[0].exemplar[0].1, "ford");
+        // The kept edge is unchanged.
+        assert_eq!(m.edges.len(), 3);
+        assert!(m.edges[0].exemplar.is_empty());
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn pct_bytes(s: &[u8]) -> String {
     for &b in s {
         match b {
             b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' | b'/' => {
-                out.push(b as char)
+                out.push(b as char);
             }
             _ => {
                 let _ = write!(out, "%{b:02X}");
@@ -323,7 +323,10 @@ pub fn map_from_facts(prog: &Program) -> Result<NavigationMap, PersistError> {
             .filter(|x| x[0] == Term::Int(eid as i64))
             .map(|x| Ok((as_str(&x[1], "exemplar name")?, as_str(&x[2], "exemplar value")?)))
             .collect::<Result<_, PersistError>>()?;
-        map.add_edge_with(from, to, action, exemplar);
+        // A duplicate edge row is tolerated: the map records the drop in
+        // `dropped_duplicates` and webcheck surfaces it as W002 when the
+        // loaded map is preflighted.
+        let _ = map.add_edge_with(from, to, action, exemplar);
     }
 
     for a in facts(prog, "relation_reg", 2) {

@@ -73,6 +73,11 @@ pub struct MapStats {
     /// Field names the standardiser renamed *automatically* (synonym
     /// table or fuzzy match) — designer input the §7 pipeline saved.
     pub auto_standardized: usize,
+    /// Edge insertions the map rejected as duplicates while recording
+    /// (revisits of already-mapped actions). Conflicting-exemplar drops
+    /// additionally land in `NavigationMap::dropped_duplicates`, which
+    /// `webcheck` reports as W002.
+    pub duplicate_edges: usize,
 }
 
 impl MapStats {
@@ -131,6 +136,7 @@ pub struct Recorder {
     history: Vec<(NodeId, Rc<LoadedPage>)>,
     manual_facts: usize,
     auto_standardized: usize,
+    duplicate_edges: usize,
     standardizer: Standardizer,
 }
 
@@ -154,6 +160,7 @@ impl Recorder {
             history: Vec::new(),
             manual_facts: 0,
             auto_standardized: 0,
+            duplicate_edges: 0,
             standardizer,
         }
     }
@@ -182,6 +189,7 @@ impl Recorder {
             attributes: self.map.attribute_count(),
             manual_facts: self.manual_facts,
             auto_standardized: self.auto_standardized,
+            duplicate_edges: self.duplicate_edges,
         }
     }
 
@@ -191,6 +199,7 @@ impl Recorder {
             attributes: self.map.attribute_count(),
             manual_facts: self.manual_facts,
             auto_standardized: self.auto_standardized,
+            duplicate_edges: self.duplicate_edges,
         };
         (self.map, stats)
     }
@@ -273,11 +282,12 @@ impl Recorder {
                 self.history.push((from, from_page));
                 let page = self.browser.follow_link(text)?;
                 let to = self.absorb_page(&page);
-                self.map.add_edge(
+                let new = self.map.add_edge(
                     from,
                     to,
                     ActionDescr::Follow(LinkDescr { name: text.clone(), href }),
                 );
+                self.duplicate_edges += usize::from(!new);
                 self.current_node = Some(to);
             }
             DesignerAction::FollowLinkAsValue { attr, chosen } => {
@@ -298,12 +308,13 @@ impl Recorder {
                 self.history.push((from, from_page.clone()));
                 let page = self.browser.follow_link(chosen)?;
                 let to = self.absorb_page(&page);
-                self.map.add_edge_with(
+                let new = self.map.add_edge_with(
                     from,
                     to,
                     ActionDescr::FollowByValue { attr: attr.clone(), choices },
                     vec![(attr.clone(), chosen.to_lowercase())],
                 );
+                self.duplicate_edges += usize::from(!new);
                 self.current_node = Some(to);
             }
             DesignerAction::SubmitForm { action, values } => {
@@ -322,7 +333,9 @@ impl Recorder {
                 self.history.push((from, from_page));
                 let page = self.browser.submit_form(action, values)?;
                 let to = self.absorb_page(&page);
-                self.map.add_edge_with(from, to, ActionDescr::Submit(descr), values.clone());
+                let new =
+                    self.map.add_edge_with(from, to, ActionDescr::Submit(descr), values.clone());
+                self.duplicate_edges += usize::from(!new);
                 self.current_node = Some(to);
             }
             DesignerAction::RenameField { form_action, field, attr } => {

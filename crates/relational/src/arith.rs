@@ -25,10 +25,6 @@ pub enum ArithExpr {
     Div(Box<ArithExpr>, Box<ArithExpr>),
 }
 
-// Builder methods deliberately shadow the `std::ops` names: formulas read
-// as `price.mul(rate).div(months)`, and operator overloading would hide
-// the Box allocations.
-#[allow(clippy::should_implement_trait)]
 impl ArithExpr {
     pub fn attr(a: impl Into<Attr>) -> ArithExpr {
         ArithExpr::Attr(a.into())
@@ -36,22 +32,6 @@ impl ArithExpr {
 
     pub fn constant(v: f64) -> ArithExpr {
         ArithExpr::Const(v)
-    }
-
-    pub fn add(self, other: ArithExpr) -> ArithExpr {
-        ArithExpr::Add(Box::new(self), Box::new(other))
-    }
-
-    pub fn sub(self, other: ArithExpr) -> ArithExpr {
-        ArithExpr::Sub(Box::new(self), Box::new(other))
-    }
-
-    pub fn mul(self, other: ArithExpr) -> ArithExpr {
-        ArithExpr::Mul(Box::new(self), Box::new(other))
-    }
-
-    pub fn div(self, other: ArithExpr) -> ArithExpr {
-        ArithExpr::Div(Box::new(self), Box::new(other))
     }
 
     /// Attributes the formula reads.
@@ -112,6 +92,42 @@ impl ArithExpr {
     }
 }
 
+impl std::ops::Add for ArithExpr {
+    type Output = ArithExpr;
+    fn add(self, other: ArithExpr) -> ArithExpr {
+        ArithExpr::Add(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Sub for ArithExpr {
+    type Output = ArithExpr;
+    fn sub(self, other: ArithExpr) -> ArithExpr {
+        ArithExpr::Sub(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Mul for ArithExpr {
+    type Output = ArithExpr;
+    fn mul(self, other: ArithExpr) -> ArithExpr {
+        ArithExpr::Mul(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Div for ArithExpr {
+    type Output = ArithExpr;
+    fn div(self, other: ArithExpr) -> ArithExpr {
+        ArithExpr::Div(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::str::FromStr for ArithExpr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ArithExpr, String> {
+        parse_arith(s)
+    }
+}
+
 impl fmt::Display for ArithExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -146,7 +162,7 @@ struct AScan<'a> {
 
 impl<'a> AScan<'a> {
     fn ws(&mut self) {
-        while self.b.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
+        while self.b.get(self.i).is_some_and(u8::is_ascii_whitespace) {
             self.i += 1;
         }
     }
@@ -158,11 +174,11 @@ impl<'a> AScan<'a> {
             match self.b.get(self.i) {
                 Some(b'+') => {
                     self.i += 1;
-                    e = e.add(self.product()?);
+                    e = e + self.product()?;
                 }
                 Some(b'-') => {
                     self.i += 1;
-                    e = e.sub(self.product()?);
+                    e = e - self.product()?;
                 }
                 _ => return Ok(e),
             }
@@ -176,11 +192,11 @@ impl<'a> AScan<'a> {
             match self.b.get(self.i) {
                 Some(b'*') => {
                     self.i += 1;
-                    e = e.mul(self.atom()?);
+                    e = e * self.atom()?;
                 }
                 Some(b'/') => {
                     self.i += 1;
-                    e = e.div(self.atom()?);
+                    e = e / self.atom()?;
                 }
                 _ => return Ok(e),
             }

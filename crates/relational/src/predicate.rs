@@ -178,11 +178,11 @@ impl fmt::Display for Pred {
             Pred::CmpAttr(a, op, b) => write!(f, "{a} {} {b}", op.symbol()),
             Pred::Contains(a, s) => write!(f, "{a} contains {s:?}"),
             Pred::And(ps) => {
-                let parts: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                let parts: Vec<String> = ps.iter().map(ToString::to_string).collect();
                 write!(f, "({})", parts.join(" AND "))
             }
             Pred::Or(ps) => {
-                let parts: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                let parts: Vec<String> = ps.iter().map(ToString::to_string).collect();
                 write!(f, "({})", parts.join(" OR "))
             }
             Pred::Not(p) => write!(f, "NOT {p}"),

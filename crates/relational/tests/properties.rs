@@ -310,10 +310,10 @@ fn arb_arith() -> impl Strategy<Value = webbase_relational::arith::ArithExpr> {
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.div(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner).prop_map(|(a, b)| a / b),
         ]
     })
 }

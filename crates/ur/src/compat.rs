@@ -24,14 +24,14 @@ pub enum CompatRule {
 impl CompatRule {
     pub fn requires(premise: &[&str], then: &str) -> CompatRule {
         CompatRule::Requires {
-            premise: premise.iter().map(|s| s.to_string()).collect(),
+            premise: premise.iter().map(ToString::to_string).collect(),
             then: then.to_string(),
         }
     }
 
     pub fn excludes(premise: &[&str], then_not: &str) -> CompatRule {
         CompatRule::Excludes {
-            premise: premise.iter().map(|s| s.to_string()).collect(),
+            premise: premise.iter().map(ToString::to_string).collect(),
             then_not: then_not.to_string(),
         }
     }
@@ -103,7 +103,7 @@ mod tests {
     use super::*;
 
     fn set(names: &[&str]) -> BTreeSet<String> {
-        names.iter().map(|s| s.to_string()).collect()
+        names.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]

@@ -72,7 +72,7 @@ mod tests {
     use crate::hierarchy::figure5;
 
     fn set(names: &[&str]) -> AltSet {
-        names.iter().map(|s| s.to_string()).collect()
+        names.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]

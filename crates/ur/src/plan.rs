@@ -523,7 +523,12 @@ mod tests {
         assert_eq!(result.len(), expected.len(), "{}", result.to_table());
         // Shape: outputs in mention order.
         assert_eq!(
-            result.schema().attrs().iter().map(|a| a.as_str()).collect::<Vec<_>>(),
+            result
+                .schema()
+                .attrs()
+                .iter()
+                .map(webbase_relational::Attr::as_str)
+                .collect::<Vec<_>>(),
             vec!["make", "model", "year", "price", "bbprice", "safety", "condition"]
         );
     }

@@ -67,6 +67,10 @@ pub struct VpsCatalog {
     /// Relation invocations that ran to completion under the budget —
     /// the resume token's navigation positions.
     positions: Vec<NavPosition>,
+    /// The pre-flight static analysis of every loaded map, accumulated
+    /// at [`VpsCatalog::add_map`] time — quarantine/healing reports can
+    /// cite the load-time diagnostic alongside the runtime repair.
+    preflight: webbase_webcheck::Report,
 }
 
 impl Default for VpsCatalog {
@@ -83,11 +87,19 @@ impl VpsCatalog {
             stats: VpsStats::default(),
             budget: None,
             positions: Vec::new(),
+            preflight: webbase_webcheck::Report::new(),
         }
     }
 
     /// Add every relation of a recorded map, compiling it for `web`.
+    ///
+    /// The map is statically analyzed first (webcheck passes 1–2); the
+    /// findings accumulate in [`VpsCatalog::preflight`]. Loading itself
+    /// is not refused here — deployment paths that must reject E-level
+    /// maps (e.g. `Webbase::build_from_fact_maps`) consult the report
+    /// before calling in.
     pub fn add_map(&mut self, web: SyntheticWeb, map: NavigationMap) {
+        self.preflight.merge(webbase_webcheck::check_site(&map));
         let handles = derive_handles(&map);
         let navigator = Rc::new(SiteNavigator::new(web, map));
         for rel in navigator.relations() {
@@ -106,6 +118,18 @@ impl VpsCatalog {
             assert!(prev.is_none(), "duplicate VPS relation {}", rel.name);
             self.order.push(rel.name.clone());
         }
+    }
+
+    /// The accumulated pre-flight diagnostics of every map loaded so
+    /// far.
+    pub fn preflight(&self) -> &webbase_webcheck::Report {
+        &self.preflight
+    }
+
+    /// Pre-flight findings for one site, for citation next to that
+    /// site's quarantine/healing entries.
+    pub fn preflight_for(&self, site: &str) -> Vec<&webbase_webcheck::Diagnostic> {
+        self.preflight.for_site(site)
     }
 
     /// Relation names in registration order.

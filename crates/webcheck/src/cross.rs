@@ -1,0 +1,179 @@
+//! Pass 3 — cross-layer conformance.
+//!
+//! The three layers make promises to each other: the logical schema
+//! promises its attributes come *from somewhere* in the VPS catalog
+//! (Tables 1–2), handles promise their binding patterns are satisfiable
+//! (Table 3), and the UR's compatibility rules promise to constrain
+//! real concepts. This pass checks those promises against plain
+//! descriptions of each layer, so it needs no dependency on the layer
+//! crates themselves — `core` assembles the input from the live stack.
+
+use crate::diag::{self, Diagnostic, Report};
+use std::collections::BTreeSet;
+
+/// Site name used for findings that span layers rather than belonging
+/// to one site's map.
+pub const CROSS_LAYER: &str = "<cross-layer>";
+
+/// One logical-layer relation: its exported schema and the VPS base
+/// relations its definition draws from.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalSpec {
+    pub name: String,
+    pub attrs: Vec<String>,
+    pub bases: Vec<String>,
+}
+
+/// One VPS catalog relation: schema plus derived invocation handles.
+#[derive(Debug, Clone, Default)]
+pub struct VpsRelSpec {
+    pub name: String,
+    pub site: String,
+    pub attrs: Vec<String>,
+    pub handles: Vec<HandleSpec>,
+}
+
+/// One handle's binding pattern.
+#[derive(Debug, Clone, Default)]
+pub struct HandleSpec {
+    pub mandatory: Vec<String>,
+    pub selection: Vec<String>,
+}
+
+/// A UR compatibility rule, mirrored from `ur::CompatRule`.
+#[derive(Debug, Clone)]
+pub enum CompatRuleSpec {
+    Requires { premise: Vec<String>, then: String },
+    Excludes { premise: Vec<String>, then_not: String },
+}
+
+/// Everything pass 3 looks at.
+#[derive(Debug, Clone, Default)]
+pub struct CrossLayerInput {
+    pub logical: Vec<LogicalSpec>,
+    pub vps: Vec<VpsRelSpec>,
+    /// Concept (alternative) names declared in the UR hierarchy.
+    pub concepts: Vec<String>,
+    pub compat: Vec<CompatRuleSpec>,
+}
+
+/// Run the cross-layer conformance checks.
+pub fn check_cross_layer(input: &CrossLayerInput) -> Report {
+    let mut report = Report::new();
+
+    // E121/E122 — logical definitions against the VPS catalog.
+    for spec in &input.logical {
+        let loc = format!("logical relation {}", spec.name);
+        let mut known_bases: Vec<&VpsRelSpec> = Vec::new();
+        for base in &spec.bases {
+            match input.vps.iter().find(|v| v.name == *base) {
+                Some(v) => known_bases.push(v),
+                None => report.push(Diagnostic::new(
+                    diag::UNKNOWN_VPS_SOURCE,
+                    CROSS_LAYER,
+                    &loc,
+                    format!("definition uses VPS relation {base}, which is not in the catalog"),
+                )),
+            }
+        }
+        if known_bases.is_empty() {
+            continue; // every base already reported; attrs have no source to check against
+        }
+        for attr in &spec.attrs {
+            let sourced = known_bases.iter().any(|v| v.attrs.iter().any(|a| a == attr));
+            if !sourced {
+                report.push(Diagnostic::new(
+                    diag::UNMAPPED_ATTRIBUTE,
+                    CROSS_LAYER,
+                    &loc,
+                    format!("schema attribute {attr} maps to no attribute of any VPS source"),
+                ));
+            }
+        }
+    }
+
+    // E123 — handle binding patterns. A mandatory attribute outside the
+    // relation schema can never be supplied by a query binding; a
+    // mandatory attribute outside its own selection breaks the §3
+    // `mandatory ⊆ selection` convention the evaluator relies on.
+    for rel in &input.vps {
+        let schema: BTreeSet<&String> = rel.attrs.iter().collect();
+        for (i, h) in rel.handles.iter().enumerate() {
+            let loc = format!("relation {} handle #{i}", rel.name);
+            let selection: BTreeSet<&String> = h.selection.iter().collect();
+            for m in &h.mandatory {
+                if !schema.contains(m) {
+                    report.push(Diagnostic::new(
+                        diag::UNSATISFIABLE_BINDING,
+                        &rel.site,
+                        &loc,
+                        format!("mandatory attribute {m} is not in the relation schema"),
+                    ));
+                } else if !selection.contains(m) {
+                    report.push(Diagnostic::new(
+                        diag::UNSATISFIABLE_BINDING,
+                        &rel.site,
+                        &loc,
+                        format!("mandatory attribute {m} is missing from the selection set"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // W021/E124 — compatibility rules against the concept universe.
+    let concepts: BTreeSet<&String> = input.concepts.iter().collect();
+    for (i, rule) in input.compat.iter().enumerate() {
+        let loc = format!("compat rule #{i}");
+        let (premise, conclusion) = match rule {
+            CompatRuleSpec::Requires { premise, then } => (premise, then),
+            CompatRuleSpec::Excludes { premise, then_not } => (premise, then_not),
+        };
+        for name in premise.iter().chain(std::iter::once(conclusion)) {
+            if !concepts.contains(name) {
+                report.push(Diagnostic::new(
+                    diag::VACUOUS_COMPAT_RULE,
+                    CROSS_LAYER,
+                    &loc,
+                    format!("references {name:?}, which names no concept in the hierarchy — the rule can never fire"),
+                ));
+            }
+        }
+        // A rule that excludes part of its own premise rejects every
+        // selection it applies to.
+        if let CompatRuleSpec::Excludes { premise, then_not } = rule {
+            if premise.contains(then_not) {
+                report.push(Diagnostic::new(
+                    diag::CONTRADICTORY_COMPAT_RULES,
+                    CROSS_LAYER,
+                    &loc,
+                    format!("excludes {then_not:?}, which is part of its own premise"),
+                ));
+            }
+        }
+    }
+    // Requires/Excludes pairs over the same concept whose premises are
+    // in a subset relation: any selection satisfying the larger premise
+    // fires both rules, demanding the concept and forbidding it at once.
+    for (i, a) in input.compat.iter().enumerate() {
+        let CompatRuleSpec::Requires { premise: req_p, then } = a else { continue };
+        for (j, b) in input.compat.iter().enumerate() {
+            let CompatRuleSpec::Excludes { premise: exc_p, then_not } = b else { continue };
+            if then != then_not {
+                continue;
+            }
+            let req: BTreeSet<&String> = req_p.iter().collect();
+            let exc: BTreeSet<&String> = exc_p.iter().collect();
+            if req.is_subset(&exc) || exc.is_subset(&req) {
+                report.push(Diagnostic::new(
+                    diag::CONTRADICTORY_COMPAT_RULES,
+                    CROSS_LAYER,
+                    format!("compat rules #{i} and #{j}"),
+                    format!("one requires {then:?} and the other excludes it under overlapping premises"),
+                ));
+            }
+        }
+    }
+
+    report
+}

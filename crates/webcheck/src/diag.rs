@@ -1,0 +1,227 @@
+//! The diagnostics framework: stable codes, severities, findings, and
+//! the rendered report.
+//!
+//! Every analysis pass speaks this vocabulary. Codes are *stable* — CI
+//! gates, tests, and quarantine reports reference them by id — so a code
+//! is never renumbered or reused; retired checks leave a hole.
+//! `W0xx`/`W01x`/`W02x` are warnings (the webbase still loads), `E1xx`
+//! are errors (the spec is rejected at load time).
+
+use std::fmt;
+
+/// Finding severity. Errors make [`Report::has_errors`] true and fail
+/// the `repro --check` gate; warnings are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A stable diagnostic code: id, severity, and a one-line title.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Code {
+    pub id: &'static str,
+    pub severity: Severity,
+    pub title: &'static str,
+}
+
+macro_rules! codes {
+    ($($name:ident = ($id:literal, $sev:ident, $title:literal);)*) => {
+        $(pub const $name: Code =
+            Code { id: $id, severity: Severity::$sev, title: $title };)*
+        /// Every registered code, for the README reference table.
+        pub const ALL_CODES: &[Code] = &[$($name),*];
+    };
+}
+
+codes! {
+    // ── Pass 1: map linting ─────────────────────────────────────────
+    UNREACHABLE_NODE = ("W001", Warning, "node unreachable from the entry page");
+    DUPLICATE_EDGE = ("W002", Warning, "duplicate edge (identical action and target)");
+    AMBIGUOUS_EDGE = ("W003", Warning, "ambiguous edges (identical action and exemplar, different targets)");
+    MORE_NO_PROGRESS = ("W004", Warning, "More-style self-loop with no progress guarantee");
+    EDGE_NOT_CATALOGUED = ("W005", Warning, "edge action missing from the source node's catalogue");
+    UNREACHABLE_DATA_NODE = ("E101", Error, "registered relation's data node unreachable from the entry");
+    RELATION_NOT_DATA = ("E102", Error, "relation registered on a node with no extraction script");
+    MANDATORY_UNCOVERED = ("E103", Error, "form edge does not cover the site's inferred-mandatory fields");
+    NO_VIABLE_HANDLE = ("E104", Error, "relation has no viable handle (no invocation can ever succeed)");
+    // ── Pass 2: program safety ──────────────────────────────────────
+    RANGE_RESTRICTION = ("E111", Error, "head variable never bound in the rule body");
+    UNDEFINED_PREDICATE = ("E112", Error, "call to a predicate that is neither defined nor a builtin");
+    UNUSED_RULE = ("W011", Warning, "rule unreachable from any exported relation");
+    SIGNATURE_VIOLATION = ("E113", Error, "attribute used against its signature arrow (=> vs =>>)");
+    UNKNOWN_CLASS = ("E114", Error, "membership query against an undeclared class");
+    UNKNOWN_ATTRIBUTE = ("W012", Warning, "attribute not declared for the object's class");
+    // ── Pass 3: cross-layer conformance ─────────────────────────────
+    UNKNOWN_VPS_SOURCE = ("E121", Error, "logical definition references a relation missing from the VPS catalog");
+    UNMAPPED_ATTRIBUTE = ("E122", Error, "logical schema attribute maps to no VPS catalog source");
+    UNSATISFIABLE_BINDING = ("E123", Error, "handle binding pattern cannot be satisfied through the schema");
+    VACUOUS_COMPAT_RULE = ("W021", Warning, "compatibility rule references no known concept (never fires)");
+    CONTRADICTORY_COMPAT_RULES = ("E124", Error, "compatibility rules contradict each other");
+}
+
+/// One finding: a code anchored at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    /// The site the finding belongs to, or `"<cross-layer>"` for pass-3
+    /// findings that span sites.
+    pub site: String,
+    /// Human-readable source location within the analyzed artefact
+    /// (node, edge, rule, relation, …).
+    pub location: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        code: Code,
+        site: &str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            site: site.to_string(),
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
+    pub fn severity(&self) -> Severity {
+        self.code.severity
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {} at {}: {}",
+            self.severity(),
+            self.code.id,
+            self.site,
+            self.location,
+            self.message
+        )
+    }
+}
+
+/// The outcome of one or more analysis passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity() == Severity::Error)
+    }
+
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity() == Severity::Error)
+    }
+
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity() == Severity::Warning)
+    }
+
+    /// Findings with a given stable code id (`"E101"`, …).
+    pub fn with_code(&self, id: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code.id == id).collect()
+    }
+
+    /// Findings belonging to one site.
+    pub fn for_site(&self, site: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.site == site).collect()
+    }
+
+    /// Human-readable report, errors first.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return String::from("webcheck: no findings\n");
+        }
+        let mut out = String::new();
+        for d in self.errors() {
+            out.push_str(&format!("  {d}\n"));
+        }
+        for d in self.warnings() {
+            out.push_str(&format!("  {d}\n"));
+        }
+        out.push_str(&format!(
+            "webcheck: {} error(s), {} warning(s)\n",
+            self.errors().count(),
+            self.warnings().count()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for c in ALL_CODES {
+            assert!(seen.insert(c.id), "duplicate code id {}", c.id);
+            let level = match c.severity {
+                Severity::Warning => 'W',
+                Severity::Error => 'E',
+            };
+            assert!(c.id.starts_with(level), "{} severity does not match its prefix", c.id);
+            assert!(!c.title.is_empty());
+        }
+    }
+
+    #[test]
+    fn report_partitions_and_renders() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(UNREACHABLE_NODE, "a.com", "node 3", "lonely"));
+        r.push(Diagnostic::new(RANGE_RESTRICTION, "a.com", "rule p/2 #0", "V1 unbound"));
+        assert!(!r.is_clean());
+        assert!(r.has_errors());
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.warnings().count(), 1);
+        assert_eq!(r.with_code("E111").len(), 1);
+        assert_eq!(r.for_site("a.com").len(), 2);
+        let text = r.render();
+        assert!(text.contains("error[E111]"), "{text}");
+        assert!(text.contains("warning[W001]"), "{text}");
+        // errors render before warnings
+        assert!(text.find("E111").unwrap() < text.find("W001").unwrap());
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::new();
+        assert!(r.is_clean() && !r.has_errors());
+        assert_eq!(r.render(), "webcheck: no findings\n");
+    }
+}

@@ -1,0 +1,252 @@
+//! Pass 1 — navigation-map linting.
+//!
+//! A recorded map is a claim about a site's structure; these checks
+//! verify the claim is *internally* coherent before anything is compiled
+//! or fetched: every node reachable, registered relations actually
+//! invocable, edges unambiguous, and form edges covering what the page's
+//! own widgets say is mandatory.
+
+use crate::diag::{self, Diagnostic, Report};
+use std::collections::BTreeSet;
+use webbase_navigation::map::{MapEdge, NavigationMap, NodeKind};
+use webbase_navigation::model::ActionDescr;
+
+/// Lint one navigation map.
+pub fn check_map(map: &NavigationMap) -> Report {
+    let mut report = Report::new();
+    let reachable = reachable_from_entry(map);
+
+    // W001: nodes the entry can never reach. Dead map weight — usually a
+    // branch recorded from the wrong page, or an orphan left by an edit.
+    for node in &map.nodes {
+        if !reachable[node.id] {
+            report.push(Diagnostic::new(
+                diag::UNREACHABLE_NODE,
+                &map.site,
+                format!("node {} ({})", node.id, node.name),
+                "no path from the entry page reaches this node".to_string(),
+            ));
+        }
+    }
+
+    // W002: literal duplicate edges (hand-built or merged maps), plus
+    // insertions the map itself dropped because a conflicting exemplar
+    // arrived for an existing edge.
+    for (i, e) in map.edges.iter().enumerate() {
+        if map.edges[..i].iter().any(|p| p.from == e.from && p.to == e.to && p.action == e.action) {
+            report.push(Diagnostic::new(
+                diag::DUPLICATE_EDGE,
+                &map.site,
+                edge_loc(map, e),
+                "edge appears more than once in the map".to_string(),
+            ));
+        }
+    }
+    for e in &map.dropped_duplicates {
+        report.push(Diagnostic::new(
+            diag::DUPLICATE_EDGE,
+            &map.site,
+            edge_loc(map, e),
+            format!(
+                "a recorded insertion with exemplar {:?} was dropped in favour of the existing edge",
+                e.exemplar
+            ),
+        ));
+    }
+
+    // W003: the same action with the same exemplar recorded toward
+    // *different* targets — replay cannot tell which page to expect.
+    // (Same action with different exemplars branching to different
+    // targets is legitimate: Newsday's search form leads to a listing
+    // page or a direct detail page depending on the make.)
+    for (i, e) in map.edges.iter().enumerate() {
+        if map.edges[..i].iter().any(|p| {
+            p.from == e.from && p.action == e.action && p.exemplar == e.exemplar && p.to != e.to
+        }) {
+            report.push(Diagnostic::new(
+                diag::AMBIGUOUS_EDGE,
+                &map.site,
+                edge_loc(map, e),
+                format!(
+                    "action {:?} with exemplar {:?} also leads to a different target",
+                    e.action.label(),
+                    e.exemplar
+                ),
+            ));
+        }
+    }
+
+    // W004: a "More"-style self-loop whose link carries no visible
+    // progress state (no query string, no page number). Such a loop can
+    // refetch the same page forever; the executor's iteration bound
+    // masks it, but the map is suspect.
+    for e in &map.edges {
+        if e.from == e.to {
+            if let ActionDescr::Follow(link) = &e.action {
+                let progresses =
+                    link.href.contains('?') || link.href.chars().any(|c| c.is_ascii_digit());
+                if !progresses {
+                    report.push(Diagnostic::new(
+                        diag::MORE_NO_PROGRESS,
+                        &map.site,
+                        edge_loc(map, e),
+                        format!(
+                            "self-loop link {:?} (href {:?}) carries no page/query state",
+                            link.name, link.href
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // W005: the edge's action does not appear in the source node's
+    // catalogue of observed actions — the edge promises an action the
+    // recorded page never showed (typical of drift or a bad repair).
+    for e in &map.edges {
+        let actions = &map.node(e.from).actions;
+        let catalogued = match &e.action {
+            ActionDescr::Follow(l) => actions.iter().any(|a| match a {
+                ActionDescr::Follow(c) => c.name == l.name,
+                _ => false,
+            }),
+            ActionDescr::Submit(f) => actions.iter().any(|a| match a {
+                ActionDescr::Submit(c) => c.cgi == f.cgi,
+                _ => false,
+            }),
+            // Link-set choices are catalogued as individual links; the
+            // edge is covered when at least one choice's href was seen.
+            ActionDescr::FollowByValue { choices, .. } => choices.iter().any(|(_, href)| {
+                actions.iter().any(|a| match a {
+                    ActionDescr::Follow(c) => c.href == *href,
+                    _ => false,
+                })
+            }),
+        };
+        if !catalogued {
+            report.push(Diagnostic::new(
+                diag::EDGE_NOT_CATALOGUED,
+                &map.site,
+                edge_loc(map, e),
+                format!(
+                    "action {:?} is not in the source page's recorded action catalogue",
+                    e.action.label()
+                ),
+            ));
+        }
+    }
+
+    // Relation registrations: E101/E102/E103/E104.
+    for reg in &map.relations {
+        let loc = format!("relation {} (data node {})", reg.relation, reg.data_node);
+        let node = map.node(reg.data_node);
+        let NodeKind::Data(spec) = &node.kind else {
+            report.push(Diagnostic::new(
+                diag::RELATION_NOT_DATA,
+                &map.site,
+                loc,
+                format!("node {} ({}) carries no extraction script", node.id, node.name),
+            ));
+            continue;
+        };
+        if !reachable[reg.data_node] {
+            report.push(Diagnostic::new(
+                diag::UNREACHABLE_DATA_NODE,
+                &map.site,
+                loc,
+                "the navigation can never arrive at this relation's data page".to_string(),
+            ));
+            continue;
+        }
+
+        // E103: along the invocation path, every field the page's own
+        // widgets mark mandatory must be present on the recorded form
+        // edge (html::extract inference lives in the catalogue copy).
+        let path = map.path_to(reg.data_node).unwrap_or_default();
+        for &edge_idx in &path {
+            let e = &map.edges[edge_idx];
+            let ActionDescr::Submit(edge_form) = &e.action else { continue };
+            let Some(cat_form) = map.node(e.from).actions.iter().find_map(|a| match a {
+                ActionDescr::Submit(c) if c.cgi == edge_form.cgi => Some(c),
+                _ => None,
+            }) else {
+                continue; // W005 already covers the missing catalogue entry
+            };
+            for mf in cat_form.fields.iter().filter(|f| f.mandatory) {
+                let covered = edge_form.fields.iter().any(|f| f.name == mf.name);
+                if !covered {
+                    report.push(Diagnostic::new(
+                        diag::MANDATORY_UNCOVERED,
+                        &map.site,
+                        edge_loc(map, e),
+                        format!(
+                            "mandatory field {:?} of form {} is missing from the recorded edge",
+                            mf.name, edge_form.cgi
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // E104: no viable handle. Mirrors `vps::derive_handles`: a path
+        // handle exists unless some mandatory form field lies outside
+        // the relation schema (nothing could ever supply its value); a
+        // direct handle exists when the extraction uses the page URL.
+        let schema: BTreeSet<String> = spec.attrs().into_iter().collect();
+        let mut path_viable = true;
+        for &edge_idx in &path {
+            if let ActionDescr::Submit(form) = &map.edges[edge_idx].action {
+                for f in form.settable() {
+                    if !schema.contains(&f.attr) && f.mandatory {
+                        path_viable = false;
+                    }
+                }
+            }
+        }
+        let direct = spec
+            .fields()
+            .iter()
+            .any(|f| f.source == webbase_navigation::extractor::PAGE_URL_SOURCE);
+        if !path_viable && !direct {
+            report.push(Diagnostic::new(
+                diag::NO_VIABLE_HANDLE,
+                &map.site,
+                format!("relation {}", reg.relation),
+                "every invocation path requires a mandatory value outside the relation schema, \
+                 and the extraction offers no direct-URL handle"
+                    .to_string(),
+            ));
+        }
+    }
+
+    report
+}
+
+fn reachable_from_entry(map: &NavigationMap) -> Vec<bool> {
+    let mut seen = vec![false; map.nodes.len()];
+    if map.nodes.is_empty() {
+        return seen;
+    }
+    let mut queue = std::collections::VecDeque::from([map.entry]);
+    seen[map.entry] = true;
+    while let Some(n) = queue.pop_front() {
+        for e in map.out_edges(n) {
+            if !seen[e.to] {
+                seen[e.to] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    seen
+}
+
+fn edge_loc(map: &NavigationMap, e: &MapEdge) -> String {
+    format!(
+        "edge {} ({}) --{}--> {} ({})",
+        e.from,
+        map.node(e.from).name,
+        e.action.label(),
+        e.to,
+        map.node(e.to).name
+    )
+}

@@ -1,0 +1,276 @@
+//! Pass 2 — program safety over `compile_map`'s output.
+//!
+//! The compiled Transaction F-logic program is checked the way a
+//! compiler checks its own IR: range restriction (a rule cannot export
+//! an unbound variable), call resolution (every predicate is a rule or
+//! an oracle builtin), dead-rule detection, and conformance of object
+//! molecules against the Figure 3 signature declarations.
+
+use crate::diag::{self, Diagnostic, Report};
+use std::collections::{HashMap, HashSet, VecDeque};
+use webbase_flogic::goal::Goal;
+use webbase_flogic::program::{Program, Rule};
+use webbase_flogic::signatures::{SigArrow, SignatureIndex};
+use webbase_flogic::term::{Sym, Term, Var};
+use webbase_navigation::compile::CompiledSite;
+
+/// The builtin actions resolved by the executor's oracle
+/// (`NavOracle`): these are callable without a rule definition.
+pub const ORACLE_BUILTINS: &[(&str, usize)] =
+    &[("fetch_entry", 2), ("goto_url", 2), ("doit", 3), ("doit_value", 4), ("collect", 3)];
+
+/// Check a compiled site: the exported predicates are its registered
+/// relations, and molecules are checked against the navigation-layer
+/// signatures (Figure 3 plus the executor's asserted supplements).
+pub fn check_compiled(site: &str, compiled: &CompiledSite) -> Report {
+    let exports: Vec<String> = compiled.relations.iter().map(|r| r.name.clone()).collect();
+    check_program(site, &compiled.program, &exports, &crate::signatures::navigation_index())
+}
+
+/// Check any program against an export list and a signature index.
+pub fn check_program(
+    site: &str,
+    program: &Program,
+    exports: &[String],
+    sigs: &SignatureIndex,
+) -> Report {
+    let mut report = Report::new();
+
+    for (idx, rule) in program.rules().enumerate() {
+        let loc = rule_loc(rule, idx);
+        check_range_restriction(site, rule, &loc, &mut report);
+        check_calls(site, program, &rule.body, &loc, &mut report);
+        let mut env: HashMap<Var, String> = HashMap::new();
+        check_signatures(site, sigs, &rule.body, &mut env, &loc, &mut report);
+    }
+
+    check_unused_rules(site, program, exports, &mut report);
+    report
+}
+
+fn rule_loc(rule: &Rule, idx: usize) -> String {
+    format!("rule #{idx} {}/{}", rule.head_pred, rule.head_args.len())
+}
+
+/// E111 — every variable in the head must be bound by the body. A rule
+/// violating this exports unbound variables as answers.
+fn check_range_restriction(site: &str, rule: &Rule, loc: &str, report: &mut Report) {
+    let mut head_vars = Vec::new();
+    for t in &rule.head_args {
+        t.collect_vars(&mut head_vars);
+    }
+    let mut bound = Vec::new();
+    binding_vars(&rule.body, &mut bound);
+    let bound: HashSet<Var> = bound.into_iter().collect();
+    for v in head_vars {
+        if !bound.contains(&v) {
+            report.push(Diagnostic::new(
+                diag::RANGE_RESTRICTION,
+                site,
+                loc,
+                format!("head variable V{} is never bound in the body", v.0),
+            ));
+        }
+    }
+}
+
+/// Variables that a successful execution of `goal` binds. Negation
+/// binds nothing (no binding escapes `naf`), and comparisons require
+/// their operands to be ground already.
+fn binding_vars(goal: &Goal, out: &mut Vec<Var>) {
+    match goal {
+        Goal::Atom(_, args) => {
+            for t in args {
+                t.collect_vars(out);
+            }
+        }
+        Goal::IsA(o, _) | Goal::InsertIsA(o, _) | Goal::DeleteScalar(o, _) => o.collect_vars(out),
+        Goal::ScalarAttr(o, _, v)
+        | Goal::SetAttr(o, _, v)
+        | Goal::InsertScalar(o, _, v)
+        | Goal::InsertSet(o, _, v)
+        | Goal::DeleteSet(o, _, v) => {
+            o.collect_vars(out);
+            v.collect_vars(out);
+        }
+        Goal::Seq(gs) | Goal::Choice(gs) => {
+            for g in gs {
+                binding_vars(g, out);
+            }
+        }
+        Goal::Naf(_) | Goal::Cmp(..) | Goal::True | Goal::Fail => {}
+    }
+}
+
+/// E112 — every called predicate must have rules or be an oracle
+/// builtin; anything else fails at runtime, mid-navigation.
+fn check_calls(site: &str, program: &Program, goal: &Goal, loc: &str, report: &mut Report) {
+    match goal {
+        Goal::Atom(pred, args) => {
+            let name = pred.name();
+            let arity = args.len();
+            let builtin = ORACLE_BUILTINS.iter().any(|&(n, a)| n == name && a == arity);
+            if !builtin && !program.is_defined(*pred, arity) {
+                report.push(Diagnostic::new(
+                    diag::UNDEFINED_PREDICATE,
+                    site,
+                    loc,
+                    format!("call to {name}/{arity}, which has no rules and is not a builtin"),
+                ));
+            }
+        }
+        Goal::Seq(gs) | Goal::Choice(gs) => {
+            for g in gs {
+                check_calls(site, program, g, loc, report);
+            }
+        }
+        Goal::Naf(g) => check_calls(site, program, g, loc, report),
+        _ => {}
+    }
+}
+
+/// W011 — rules of predicates unreachable from any exported relation.
+fn check_unused_rules(site: &str, program: &Program, exports: &[String], report: &mut Report) {
+    let mut live: HashSet<(Sym, usize)> = HashSet::new();
+    let mut queue: VecDeque<(Sym, usize)> = VecDeque::new();
+    for (pred, arity) in program.predicates() {
+        if exports.iter().any(|e| Sym::new(e) == pred) {
+            live.insert((pred, arity));
+            queue.push_back((pred, arity));
+        }
+    }
+    while let Some((pred, arity)) = queue.pop_front() {
+        for rule in program.lookup(pred, arity) {
+            let mut called = Vec::new();
+            collect_calls(&rule.body, &mut called);
+            for key in called {
+                if program.is_defined(key.0, key.1) && live.insert(key) {
+                    queue.push_back(key);
+                }
+            }
+        }
+    }
+    for (idx, rule) in program.rules().enumerate() {
+        let key = (rule.head_pred, rule.head_args.len());
+        if !live.contains(&key) {
+            report.push(Diagnostic::new(
+                diag::UNUSED_RULE,
+                site,
+                rule_loc(rule, idx),
+                format!(
+                    "{}/{} is not reachable from any exported relation",
+                    rule.head_pred,
+                    rule.head_args.len()
+                ),
+            ));
+        }
+    }
+}
+
+fn collect_calls(goal: &Goal, out: &mut Vec<(Sym, usize)>) {
+    match goal {
+        Goal::Atom(pred, args) => out.push((*pred, args.len())),
+        Goal::Seq(gs) | Goal::Choice(gs) => {
+            for g in gs {
+                collect_calls(g, out);
+            }
+        }
+        Goal::Naf(g) => collect_calls(g, out),
+        _ => {}
+    }
+}
+
+/// E113/E114/W012 — object molecules against the signature index. The
+/// walk tracks `V : class` memberships seen earlier in the serial
+/// conjunction; attribute molecules on a variable of known class are
+/// then checked for arrow conformance (`=>` vs `=>>`) and declaredness.
+/// Attributes on variables of unknown class are skipped — static
+/// analysis cannot refute them.
+fn check_signatures(
+    site: &str,
+    sigs: &SignatureIndex,
+    goal: &Goal,
+    env: &mut HashMap<Var, String>,
+    loc: &str,
+    report: &mut Report,
+) {
+    match goal {
+        Goal::IsA(o, class) | Goal::InsertIsA(o, class) => {
+            let cname = class.name();
+            if !sigs.has_class(&cname) {
+                report.push(Diagnostic::new(
+                    diag::UNKNOWN_CLASS,
+                    site,
+                    loc,
+                    format!("class {cname} is not declared in the signatures"),
+                ));
+            } else if let Term::Var(v) = o {
+                env.insert(*v, cname);
+            }
+        }
+        Goal::ScalarAttr(o, attr, _) | Goal::InsertScalar(o, attr, _) => {
+            check_molecule(site, sigs, env, o, *attr, SigArrow::Scalar, loc, report);
+        }
+        Goal::SetAttr(o, attr, _) | Goal::InsertSet(o, attr, _) | Goal::DeleteSet(o, attr, _) => {
+            check_molecule(site, sigs, env, o, *attr, SigArrow::SetValued, loc, report);
+        }
+        Goal::DeleteScalar(o, attr) => {
+            check_molecule(site, sigs, env, o, *attr, SigArrow::Scalar, loc, report);
+        }
+        Goal::Seq(gs) => {
+            for g in gs {
+                check_signatures(site, sigs, g, env, loc, report);
+            }
+        }
+        Goal::Choice(gs) => {
+            for g in gs {
+                let mut branch_env = env.clone();
+                check_signatures(site, sigs, g, &mut branch_env, loc, report);
+            }
+        }
+        Goal::Naf(g) => {
+            let mut inner_env = env.clone();
+            check_signatures(site, sigs, g, &mut inner_env, loc, report);
+        }
+        _ => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_molecule(
+    site: &str,
+    sigs: &SignatureIndex,
+    env: &HashMap<Var, String>,
+    object: &Term,
+    attr: Sym,
+    used_as: SigArrow,
+    loc: &str,
+    report: &mut Report,
+) {
+    let Term::Var(v) = object else { return };
+    let Some(class) = env.get(v) else { return };
+    let aname = attr.name();
+    match sigs.resolve(class, &aname) {
+        None => {
+            report.push(Diagnostic::new(
+                diag::UNKNOWN_ATTRIBUTE,
+                site,
+                loc,
+                format!("attribute {aname} is not declared for class {class}"),
+            ));
+        }
+        Some(entry) if entry.arrow != used_as => {
+            let (decl, used) = match entry.arrow {
+                SigArrow::Scalar => ("=>", "->>"),
+                SigArrow::SetValued => ("=>>", "->"),
+            };
+            report.push(Diagnostic::new(
+                diag::SIGNATURE_VIOLATION,
+                site,
+                loc,
+                format!("{class}[{aname} {decl} …] is declared, but the molecule uses {used}"),
+            ));
+        }
+        Some(_) => {}
+    }
+}

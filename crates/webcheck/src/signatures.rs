@@ -1,0 +1,65 @@
+//! The signature universe the analyzer checks navigation programs
+//! against: Figure 3, plus the attributes the executor *actually
+//! asserts* on action objects when it interns a page.
+//!
+//! Figure 3 declares `name`/`address` on `link` and `cgi` on `form`,
+//! but the compiled programs query them on the *action* objects
+//! (`A : link_follow, A[name -> …]`) — mirroring the executor, which
+//! copies those attributes onto the action when cataloguing a page.
+//! The supplements record that de-facto model so conformance checking
+//! matches what runs, not only what the paper's figure prints.
+
+use webbase_flogic::signatures::{figure3_classes, ClassDecl, SignatureIndex};
+
+/// The executor-supplement declarations.
+pub fn executor_supplements() -> Vec<ClassDecl> {
+    vec![
+        ClassDecl::new(
+            "link_follow",
+            "Executor supplement: link attributes copied onto the action",
+        )
+        .scalar("name", "string", "Anchor text of the underlying link")
+        .scalar("address", "url", "URL of the underlying link"),
+        ClassDecl::new(
+            "form_submit",
+            "Executor supplement: form attributes copied onto the action",
+        )
+        .scalar("cgi", "url", "CGI script of the underlying form"),
+    ]
+}
+
+/// Figure 3 plus the executor supplements.
+pub fn navigation_signatures() -> Vec<ClassDecl> {
+    let mut decls = figure3_classes();
+    decls.extend(executor_supplements());
+    decls
+}
+
+/// The index used by pass 2 for compiled navigation programs.
+pub fn navigation_index() -> SignatureIndex {
+    SignatureIndex::new(navigation_signatures())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_flogic::signatures::SigArrow;
+
+    #[test]
+    fn supplements_cover_what_compiled_programs_query() {
+        let idx = navigation_index();
+        // Queried by compiled link rules.
+        assert_eq!(idx.resolve("link_follow", "name").map(|e| e.arrow), Some(SigArrow::Scalar));
+        assert_eq!(idx.resolve("link_follow", "address").map(|e| e.arrow), Some(SigArrow::Scalar));
+        // Queried by compiled form rules.
+        assert_eq!(idx.resolve("form_submit", "cgi").map(|e| e.arrow), Some(SigArrow::Scalar));
+        // Inherited from the Figure 3 action class.
+        assert_eq!(idx.resolve("form_submit", "source").map(|e| e.arrow), Some(SigArrow::Scalar));
+        assert_eq!(
+            idx.resolve("link_follow", "targets").map(|e| e.arrow),
+            Some(SigArrow::SetValued)
+        );
+        // Page molecules.
+        assert_eq!(idx.resolve("data_page", "actions").map(|e| e.arrow), Some(SigArrow::SetValued));
+    }
+}

@@ -48,7 +48,7 @@ impl Widget {
         Widget::Select {
             name: name.into(),
             label: label.into(),
-            options: options.iter().map(|s| s.to_string()).collect(),
+            options: options.iter().map(ToString::to_string).collect(),
             include_any,
         }
     }
@@ -66,7 +66,7 @@ impl Widget {
         Widget::Radio {
             name: name.into(),
             label: label.into(),
-            options: options.iter().map(|s| s.to_string()).collect(),
+            options: options.iter().map(ToString::to_string).collect(),
         }
     }
 

@@ -109,7 +109,7 @@ impl SyntheticWeb {
 
     /// Entry URL of a host, if registered.
     pub fn entry(&self, host: &str) -> Option<Url> {
-        self.inner.sites.get(host).map(|s| s.entry())
+        self.inner.sites.get(host).map(Site::entry)
     }
 }
 

@@ -165,8 +165,13 @@ impl Site for AptListings {
 /// The fair-rent guideline site.
 pub struct RentGuide;
 
+impl Default for RentGuide {
+    fn default() -> Self {
+        RentGuide::new()
+    }
+}
+
 impl RentGuide {
-    #[allow(clippy::new_without_default)]
     pub fn new() -> RentGuide {
         RentGuide
     }

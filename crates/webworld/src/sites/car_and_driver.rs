@@ -8,8 +8,13 @@ use crate::server::Site;
 
 pub struct CarAndDriver;
 
+impl Default for CarAndDriver {
+    fn default() -> Self {
+        CarAndDriver::new()
+    }
+}
+
 impl CarAndDriver {
-    #[allow(clippy::new_without_default)]
     pub fn new() -> CarAndDriver {
         CarAndDriver
     }

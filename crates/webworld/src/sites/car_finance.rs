@@ -12,15 +12,20 @@ use crate::server::Site;
 
 pub struct CarFinance;
 
+impl Default for CarFinance {
+    fn default() -> Self {
+        CarFinance::new()
+    }
+}
+
 impl CarFinance {
-    #[allow(clippy::new_without_default)]
     pub fn new() -> CarFinance {
         CarFinance
     }
 
     fn home(&self) -> Response {
         let makes: Vec<&str> = MAKES.iter().map(|(m, _)| *m).collect();
-        let durations: Vec<String> = DURATIONS.iter().map(|d| d.to_string()).collect();
+        let durations: Vec<String> = DURATIONS.iter().map(ToString::to_string).collect();
         let dur_refs: Vec<&str> = durations.iter().map(String::as_str).collect();
         Response::ok(
             PageBuilder::new("CarFinance.com - Rate Quote")

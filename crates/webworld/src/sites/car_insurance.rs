@@ -12,8 +12,13 @@ use crate::server::Site;
 
 pub struct CarInsurance;
 
+impl Default for CarInsurance {
+    fn default() -> Self {
+        CarInsurance::new()
+    }
+}
+
 impl CarInsurance {
-    #[allow(clippy::new_without_default)]
     pub fn new() -> CarInsurance {
         CarInsurance
     }

@@ -84,7 +84,7 @@ impl Kellys {
                         Widget::select_owned(
                             "model",
                             "Model",
-                            models.iter().map(|s| s.to_string()).collect(),
+                            models.iter().map(ToString::to_string).collect(),
                             false,
                         ),
                     ],

@@ -137,7 +137,7 @@ pub fn encode(s: &str) -> String {
     for b in s.bytes() {
         match b {
             b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
-                out.push(b as char)
+                out.push(b as char);
             }
             b' ' => out.push('+'),
             _ => out.push_str(&format!("%{b:02X}")),

@@ -142,7 +142,7 @@ mod tests {
         assert_eq!(runs, 1 + super::TIMED_ITERS);
         let mut runs2 = 0u32;
         group.bench_with_input(crate::BenchmarkId::new("p", 3), &3usize, |b, &n| {
-            b.iter(|| runs2 += n as u32)
+            b.iter(|| runs2 += n as u32);
         });
         group.finish();
         assert!(runs2 > 0);
