@@ -25,6 +25,14 @@
 //! | `--ordering` | ablation — greedy vs exact join ordering on random instances |
 //! | `--check` | webcheck — three-pass static analysis of all 15 webworld sites; exits nonzero on any E-level finding (honours `WEBBASE_TEST_SEED`) |
 //!
+//! Observability (applies to `--query`, and implies it):
+//!
+//! | flag | effect |
+//! |---|---|
+//! | `--trace` | print the structured query trace as an indented span tree (simulated-clock timestamps; byte-deterministic per seed) |
+//! | `--trace-json` | print the same trace as JSON lines, one span per line |
+//! | `--metrics` | print the metrics registry: counters and the fetch-latency histogram |
+//!
 //! Budgeted execution (applies to `--query`, and implies it):
 //!
 //! | flag | effect |
@@ -182,7 +190,11 @@ fn main() {
         ordering_ablation();
     }
     let budgeted = deadline_ms.is_some() || fetch_quota.is_some() || resume_path.is_some();
-    if want("--query") || budgeted {
+    let trace_tree = args.iter().any(|a| a == "--trace");
+    let trace_json = args.iter().any(|a| a == "--trace-json");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let traced = trace_tree || trace_json || metrics;
+    if want("--query") || budgeted || traced {
         section("§1 — the jaguar query, end to end");
         let q = "UsedCarUR(make='jaguar', model, year >= 1993, price, bbprice, \
                  safety='good', condition='good') WHERE price < bbprice";
@@ -209,6 +221,12 @@ fn main() {
             .map(|text| webbase_navigation::parse_resume(&text).expect("valid resume token"));
         if prior.is_some() {
             println!("(resuming from saved token)\n");
+        }
+        // Observability rides along with any execution mode (budgeted,
+        // resumed, or plain): attach for the duration, detach after.
+        let obs = if traced { webbase::Obs::full() } else { webbase::Obs::none() };
+        if traced {
+            wb.layer.vps.set_obs(obs.clone());
         }
         match wb.planner.execute_with(&query, &mut wb.layer, prior.as_ref()) {
             Ok((result, plan)) => {
@@ -255,6 +273,23 @@ fn main() {
                 }
             }
             Err(e) => println!("query failed: {e}"),
+        }
+        if traced {
+            let trace = obs.sink.finish();
+            let snapshot = obs.metrics.as_ref().map(|m| m.snapshot()).unwrap_or_default();
+            wb.layer.vps.set_obs(webbase::Obs::none());
+            if trace_tree {
+                section("Query trace (simulated clock)");
+                println!("{}", trace.render_tree());
+            }
+            if trace_json {
+                section("Query trace (JSON lines)");
+                println!("{}", trace.render_jsonl());
+            }
+            if metrics {
+                section("Metrics");
+                println!("{}", snapshot.render());
+            }
         }
     }
 }

@@ -34,7 +34,14 @@ pub mod timing;
 pub mod webbase;
 
 pub use crate::webbase::{check_stack, BuildReport, Webbase, WebbaseError};
-pub use timing::{parallel_timing, serial_timing, SiteTiming, TimingComparison};
+pub use timing::{
+    merged_degradation, merged_metrics, merged_repairs, parallel_timing, serial_timing, SiteTiming,
+    TimingComparison,
+};
+pub use webbase_logical::{
+    Metric, MetricsRegistry, MetricsSnapshot, Obs, QueryObservation, QueryTrace, Span, SpanKind,
+    TraceSink, METRICS,
+};
 pub use webbase_relational::Relation;
 pub use webbase_ur::{UrPlan, UrQuery};
 pub use webbase_webcheck::{

@@ -18,7 +18,8 @@ use std::time::Duration;
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
 use webbase_navigation::{
-    BudgetSnapshot, BudgetTracker, DegradationReport, QueryBudget, RepairReport,
+    BudgetSnapshot, BudgetTracker, DegradationReport, MetricsRegistry, MetricsSnapshot, Obs,
+    QueryBudget, RepairReport,
 };
 use webbase_relational::Value;
 use webbase_webworld::prelude::*;
@@ -39,6 +40,9 @@ pub struct SiteTiming {
     /// What self-healing did during this site's run. Clean on an
     /// undrifted web.
     pub repairs: RepairReport,
+    /// This run's counters and fetch-latency histogram (each navigator
+    /// carries its own registry, so rows merge without double counting).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Serial vs parallel wall-clock comparison.
@@ -110,6 +114,8 @@ fn run_one_with(
     if let Some(b) = budget {
         nav.set_budget(b);
     }
+    let registry = Arc::new(MetricsRegistry::new());
+    nav.set_obs(Obs::metrics_only(registry.clone()));
     let given = given_for(relation, make, model);
     let (records, stats) = nav
         .run_relation(relation, &given)
@@ -125,28 +131,41 @@ fn run_one_with(
         // this run's.
         degradation: nav.degradation(),
         repairs: nav.repair_report(),
+        metrics: registry.snapshot(),
     }
 }
 
-/// Merge the per-row degradation reports of a timing run (serial or
-/// parallel — parallel rows come from independent per-thread navigators,
-/// so the merge is the whole story).
-pub fn merged_degradation(rows: &[SiteTiming]) -> DegradationReport {
-    let mut report = DegradationReport::default();
+/// Fold one per-row report into its merged whole — the shape shared by
+/// degradation, repair, and metrics merging (rows come from independent
+/// per-site navigators, so the merge is the whole story, serial or
+/// parallel).
+fn merged<T: Default>(
+    rows: &[SiteTiming],
+    project: impl Fn(&SiteTiming) -> &T,
+    fold: impl Fn(&mut T, &T),
+) -> T {
+    let mut out = T::default();
     for r in rows {
-        report.merge(&r.degradation);
+        fold(&mut out, project(r));
     }
-    report
+    out
+}
+
+/// Merge the per-row degradation reports of a timing run.
+pub fn merged_degradation(rows: &[SiteTiming]) -> DegradationReport {
+    merged(rows, |r| &r.degradation, DegradationReport::merge)
 }
 
 /// Merge the per-row repair reports of a timing run (same shape as
 /// [`merged_degradation`]).
 pub fn merged_repairs(rows: &[SiteTiming]) -> RepairReport {
-    let mut report = RepairReport::default();
-    for r in rows {
-        report.merge(&r.repairs);
-    }
-    report
+    merged(rows, |r| &r.repairs, RepairReport::merge)
+}
+
+/// Merge the per-row metrics snapshots of a timing run (same shape as
+/// [`merged_degradation`]).
+pub fn merged_metrics(rows: &[SiteTiming]) -> MetricsSnapshot {
+    merged(rows, |r| &r.metrics, MetricsSnapshot::merge)
 }
 
 /// The §7 table: the query against each site in turn. Also returns the

@@ -1,7 +1,7 @@
 //! The assembled webbase.
 
 use std::sync::Arc;
-use webbase_logical::{paper_schema, LogicalLayer};
+use webbase_logical::{paper_schema, LogicalLayer, Obs, QueryObservation};
 use webbase_navigation::map::NavigationMap;
 use webbase_navigation::recorder::{MapStats, RecordError, Recorder};
 use webbase_navigation::sessions;
@@ -171,6 +171,30 @@ impl Webbase {
     pub fn query(&mut self, text: &str) -> Result<(Relation, UrPlan), WebbaseError> {
         let q = parse_query(text).map_err(WebbaseError::Query)?;
         self.planner.execute(&q, &mut self.layer).map_err(WebbaseError::Plan)
+    }
+
+    /// Parse and execute a structured-UR query with full observability:
+    /// a fresh trace sink and metrics registry are attached for the
+    /// duration of the execution and detached afterwards, so the
+    /// returned [`QueryObservation`] describes exactly this query —
+    /// every plan step, rewrite, handle invocation, navigation step,
+    /// fetch disposition, and repair, stamped with the simulated clock.
+    /// Per seed the rendered trace is byte-identical run to run.
+    pub fn query_traced(
+        &mut self,
+        text: &str,
+    ) -> Result<(Relation, UrPlan, QueryObservation), WebbaseError> {
+        let q = parse_query(text).map_err(WebbaseError::Query)?;
+        let obs = Obs::full();
+        self.layer.vps.set_obs(obs.clone());
+        let out = self.planner.execute(&q, &mut self.layer);
+        let observation = QueryObservation {
+            trace: obs.sink.finish(),
+            metrics: obs.metrics.as_ref().map(|m| m.snapshot()).unwrap_or_default(),
+        };
+        self.layer.vps.set_obs(Obs::none());
+        let (rel, plan) = out.map_err(WebbaseError::Plan)?;
+        Ok((rel, plan, observation))
     }
 
     /// Parse and execute a structured-UR query under a resource budget.

@@ -13,7 +13,7 @@ use crate::schema::LogicalRelation;
 use webbase_relational::binding::{propagate, BindingSet};
 use webbase_relational::eval::{AccessSpec, EvalError, Evaluator, RelationProvider};
 use webbase_relational::{Relation, Schema};
-use webbase_vps::VpsCatalog;
+use webbase_vps::{SpanKind, VpsCatalog, QUERY_TRACK};
 
 /// The logical layer: definitions + the VPS beneath them.
 pub struct LogicalLayer {
@@ -73,7 +73,26 @@ impl RelationProvider for LogicalLayer {
             .def
             .clone();
         let relaxed = self.relaxed_union;
-        Evaluator::new(&mut self.vps).with_relaxed_union(relaxed).eval(&def, spec)
+        let obs = self.vps.obs().clone();
+        let span = if obs.tracing() {
+            obs.sink.begin(
+                QUERY_TRACK,
+                SpanKind::Logical,
+                name.to_string(),
+                vec![("given", spec.to_string())],
+            )
+        } else {
+            webbase_vps::SpanHandle::INERT
+        };
+        let out = Evaluator::new(&mut self.vps).with_relaxed_union(relaxed).eval(&def, spec);
+        if obs.tracing() {
+            obs.sink.advance(QUERY_TRACK, self.vps.stats.total_network());
+            match &out {
+                Ok(rel) => obs.sink.end_with(span, vec![("tuples", rel.len().to_string())]),
+                Err(e) => obs.sink.end_with(span, vec![("error", e.to_string())]),
+            }
+        }
+        out
     }
 }
 

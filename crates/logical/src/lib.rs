@@ -36,3 +36,7 @@ pub use webbase_vps::{
     FetchPolicy, JournalEntry, NavPosition, QueryBudget, RepairReport, ResumeToken,
     SiteDegradation, SiteRepair, SiteSpend,
 };
+pub use webbase_vps::{
+    Metric, MetricsRegistry, MetricsSnapshot, Obs, QueryObservation, QueryTrace, Span, SpanHandle,
+    SpanKind, TraceSink, METRICS, QUERY_TRACK,
+};

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use webbase_html::extract::{self, Form, Link, WidgetKind};
 use webbase_html::Document;
+use webbase_obs::{Metric, Obs, SpanKind};
 use webbase_webworld::prelude::*;
 
 /// A fetched-and-parsed page.
@@ -234,6 +235,10 @@ pub struct Browser {
     /// one — set by the executor around quarantined `FollowByValue`
     /// scans so a drifted node cannot drain other sites' budgets.
     site_only_charging: bool,
+    /// Observability handle (trace sink + metrics registry), shared down
+    /// the layer stack like the budget tracker. Disabled by default, in
+    /// which case every touch point below is a single branch.
+    obs: Obs,
 }
 
 impl Browser {
@@ -261,6 +266,7 @@ impl Browser {
             budget: None,
             journal: Vec::new(),
             site_only_charging: false,
+            obs: Obs::none(),
         }
     }
 
@@ -299,6 +305,21 @@ impl Browser {
     /// Attach the query budget this session spends against.
     pub fn set_budget(&mut self, budget: Arc<BudgetTracker>) {
         self.budget = Some(budget);
+    }
+
+    /// Attach (or detach, with [`Obs::none`]) the observability handle.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Bring this browser's trace track (its host's simulated clock) up
+    /// to the network time accumulated so far.
+    fn obs_advance(&mut self, host: &str) {
+        self.obs.sink.advance(host, self.simulated_network);
     }
 
     pub fn budget(&self) -> Option<&Arc<BudgetTracker>> {
@@ -340,6 +361,19 @@ impl Browser {
         if budget.deadline_exceeded() {
             let denial = budget.try_admit(host, true).expect_err("deadline passed");
             self.degradation.site_mut(host).budget_denied += 1;
+            self.obs.count(Metric::BudgetDenials);
+            if self.obs.tracing() {
+                self.obs.sink.advance(host, self.simulated_network);
+                self.obs.sink.event(
+                    host,
+                    SpanKind::Fetch,
+                    "cooperative check".to_string(),
+                    vec![
+                        ("disposition", "budget_denied".to_string()),
+                        ("denial", denial.to_string()),
+                    ],
+                );
+            }
             return Err(BrowseError::BudgetExhausted { host: host.to_string(), denial });
         }
         Ok(())
@@ -371,9 +405,15 @@ impl Browser {
 
     fn request(&mut self, req: Request) -> Result<Rc<LoadedPage>, BrowseError> {
         if self.caching {
-            if let Some(page) = self.cache.get(&req) {
+            if let Some(page) = self.cache.get(&req).cloned() {
                 self.cache_hits += 1;
-                return Ok(page.clone());
+                self.obs.count(Metric::CacheHits);
+                if self.obs.tracing() {
+                    let host = req.url.host.clone();
+                    self.obs_advance(&host);
+                    self.obs.sink.event(&host, SpanKind::CacheHit, req.url.to_string(), Vec::new());
+                }
+                return Ok(page);
             }
         }
         let host = req.url.host.clone();
@@ -385,6 +425,16 @@ impl Browser {
             if health.state == CircuitState::Open {
                 health.record_skip(&self.policy);
                 self.degradation.site_mut(&host).fast_failures += 1;
+                self.obs.count(Metric::FastFailures);
+                if self.obs.tracing() {
+                    self.obs_advance(&host);
+                    self.obs.sink.event(
+                        &host,
+                        SpanKind::Fetch,
+                        req.url.to_string(),
+                        vec![("disposition", "breaker_open".to_string())],
+                    );
+                }
                 return Err(BrowseError::CircuitOpen { host });
             }
         }
@@ -399,6 +449,16 @@ impl Browser {
             if let (Some(budget), Some(timeout)) = (&self.budget, self.policy.timeout) {
                 if budget.remaining_deadline().is_some_and(|r| r < timeout) {
                     self.degradation.site_mut(&host).fast_failures += 1;
+                    self.obs.count(Metric::FastFailures);
+                    if self.obs.tracing() {
+                        self.obs_advance(&host);
+                        self.obs.sink.event(
+                            &host,
+                            SpanKind::Fetch,
+                            req.url.to_string(),
+                            vec![("disposition", "probe_deferred".to_string())],
+                        );
+                    }
                     return Err(BrowseError::CircuitOpen { host });
                 }
             }
@@ -411,11 +471,36 @@ impl Browser {
             if let Some(budget) = self.budget.clone() {
                 if let Err(denial) = budget.try_admit(&host, self.site_only_charging) {
                     self.degradation.site_mut(&host).budget_denied += 1;
+                    self.obs.count(Metric::BudgetDenials);
+                    if self.obs.tracing() {
+                        self.obs_advance(&host);
+                        self.obs.sink.event(
+                            &host,
+                            SpanKind::Fetch,
+                            req.url.to_string(),
+                            vec![
+                                ("disposition", "budget_denied".to_string()),
+                                ("denial", denial.to_string()),
+                            ],
+                        );
+                    }
                     return Err(BrowseError::BudgetExhausted { host, denial });
                 }
             }
+            let span = if self.obs.tracing() {
+                self.obs_advance(&host);
+                self.obs.sink.begin(
+                    &host,
+                    SpanKind::Fetch,
+                    req.url.to_string(),
+                    vec![("attempt", (retry + 1).to_string())],
+                )
+            } else {
+                webbase_obs::SpanHandle::INERT
+            };
             let (resp, latency) = self.web.fetch(&req);
             self.fetches += 1;
+            self.obs.count(Metric::Fetches);
             self.degradation.site_mut(&host).requests += 1;
 
             // Classify the attempt. The simulated latency (which
@@ -428,6 +513,8 @@ impl Browser {
                 let d = self.degradation.site_mut(&host);
                 d.failures += 1;
                 d.timeouts += 1;
+                self.obs.count(Metric::Timeouts);
+                self.obs.observe_fetch_latency(self.policy.timeout.expect("checked"));
                 Some(BrowseError::Timeout {
                     url: req.url.to_string(),
                     after: self.policy.timeout.expect("checked"),
@@ -435,6 +522,8 @@ impl Browser {
             } else if resp.status >= 500 {
                 self.charge_network(latency);
                 self.degradation.site_mut(&host).failures += 1;
+                self.obs.count(Metric::HttpFailures);
+                self.obs.observe_fetch_latency(latency);
                 Some(BrowseError::HttpError { url: req.url.to_string(), status: resp.status })
             } else {
                 None
@@ -442,7 +531,19 @@ impl Browser {
 
             let Some(err) = failure else {
                 self.charge_network(latency);
+                self.obs.observe_fetch_latency(latency);
                 self.health.entry(host.clone()).or_default().record_success();
+                if self.obs.tracing() {
+                    self.obs_advance(&host);
+                    let disposition = if resp.status == 440 {
+                        "session_expired".to_string()
+                    } else if resp.is_ok() {
+                        "ok".to_string()
+                    } else {
+                        format!("http={}", resp.status)
+                    };
+                    self.obs.sink.end_with(span, vec![("disposition", disposition)]);
+                }
                 if resp.status == 440 {
                     // Stale CGI session token: replay from checkpointed
                     // inputs (the request minus the expired parameter).
@@ -457,6 +558,7 @@ impl Browser {
                     });
                 }
                 let page = Rc::new(LoadedPage::from_response(req.url.clone(), &resp));
+                self.obs.count(Metric::PagesParsed);
                 if self.budget.is_some() {
                     self.journal
                         .push(JournalEntry { request: req.clone(), body: resp.body.clone() });
@@ -467,9 +569,19 @@ impl Browser {
                 return Ok(page);
             };
 
+            if self.obs.tracing() {
+                self.obs_advance(&host);
+                let disposition =
+                    if timed_out { "timeout".to_string() } else { format!("http={}", resp.status) };
+                self.obs.sink.end_with(span, vec![("disposition", disposition)]);
+            }
             let tripped = self.health.entry(host.clone()).or_default().record_failure(&self.policy);
             if tripped {
                 self.degradation.site_mut(&host).breaker_trips += 1;
+                self.obs.count(Metric::BreakerOpens);
+                if self.obs.tracing() {
+                    self.obs.sink.event(&host, SpanKind::BreakerOpen, host.clone(), Vec::new());
+                }
                 // The breaker just opened: stop retrying this request.
                 return Err(err);
             }
@@ -483,12 +595,31 @@ impl Browser {
                     // no caller could use its response. Charge only the
                     // time actually left and surface the last error.
                     self.charge_network(remaining);
+                    if self.obs.tracing() {
+                        self.obs_advance(&host);
+                        self.obs.sink.event(
+                            &host,
+                            SpanKind::Backoff,
+                            "clipped to deadline".to_string(),
+                            Vec::new(),
+                        );
+                    }
                     return Err(err);
                 }
             }
             self.charge_network(backoff);
             self.retries += 1;
+            self.obs.count(Metric::Retries);
             self.degradation.site_mut(&host).retries += 1;
+            if self.obs.tracing() {
+                self.obs_advance(&host);
+                self.obs.sink.event(
+                    &host,
+                    SpanKind::Backoff,
+                    format!("retry {}", retry + 1),
+                    vec![("backoff_us", backoff.as_micros().to_string())],
+                );
+            }
             retry += 1;
         }
     }
@@ -513,6 +644,17 @@ impl Browser {
         match stripped {
             Some(s) if s != req => {
                 *self.session_recoveries.entry(req.url.host.clone()).or_default() += 1;
+                self.obs.count(Metric::SessionRecoveries);
+                if self.obs.tracing() {
+                    let host = req.url.host.clone();
+                    self.obs_advance(&host);
+                    self.obs.sink.event(
+                        &host,
+                        SpanKind::SessionRecovery,
+                        req.url.to_string(),
+                        Vec::new(),
+                    );
+                }
                 let page = self.request(s.clone())?;
                 // Journal under the stale key too (same body as the
                 // replayed request): a resumed query re-issues the

@@ -40,13 +40,14 @@ use webbase_flogic::store::ObjectStore;
 use webbase_flogic::term::{Sym, Term};
 use webbase_flogic::unify::Bindings;
 use webbase_flogic::{Machine, Program};
+use webbase_obs::{Metric, Obs, SpanHandle, SpanKind};
 use webbase_relational::Value;
 use webbase_webworld::prelude::*;
 
 /// A concrete, executable action attached to an asserted action object.
 #[derive(Debug, Clone)]
 enum ConcreteAction {
-    Follow { page: usize, href: String },
+    Follow { page: usize, href: String, text: String },
     Submit { page: usize, cgi: String },
 }
 
@@ -127,6 +128,38 @@ impl NavOracle {
     /// Attach the query budget this oracle's browser spends against.
     pub fn set_budget(&mut self, budget: Arc<BudgetTracker>) {
         self.browser.set_budget(budget);
+    }
+
+    /// Attach (or detach) the observability handle on the browser.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.browser.set_obs(obs);
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        self.browser.obs()
+    }
+
+    /// Open a navigation-step span on `host`, counting the step. The
+    /// label is only built when tracing is live.
+    fn nav_span(&self, host: &str, label: impl FnOnce() -> String) -> SpanHandle {
+        let obs = self.browser.obs();
+        obs.count(Metric::NavSteps);
+        if obs.tracing() {
+            obs.sink.advance(host, self.browser.simulated_network);
+            obs.sink.begin(host, SpanKind::Nav, label(), Vec::new())
+        } else {
+            SpanHandle::INERT
+        }
+    }
+
+    /// Close a navigation-step span at the host's advanced clock.
+    fn nav_end(&self, host: &str, span: SpanHandle) {
+        let obs = self.browser.obs();
+        if obs.tracing() {
+            obs.sink.advance(host, self.browser.simulated_network);
+            obs.sink.end(span);
+        }
     }
 
     /// The pages fetched while a budget was attached (the resume
@@ -228,7 +261,11 @@ impl NavOracle {
             store.insert_setval(oid.clone(), Sym::new("actions"), a.clone());
             self.actions.insert(
                 term_sym(&a),
-                ConcreteAction::Follow { page: idx, href: link.href.clone() },
+                ConcreteAction::Follow {
+                    page: idx,
+                    href: link.href.clone(),
+                    text: link.text.clone(),
+                },
             );
         }
         for (k, form) in page.forms.iter().enumerate() {
@@ -266,7 +303,10 @@ impl NavOracle {
             self.note_branch(&url.host, &e);
             return OracleOutcome::Fail;
         }
-        match self.browser.goto(url.clone()) {
+        let span = self.nav_span(&url.host, || format!("entry {site}"));
+        let result = self.browser.goto(url.clone());
+        self.nav_end(&url.host, span);
+        match result {
             Ok(page) => {
                 let oid = self.intern_page(page, store);
                 OracleOutcome::Solutions(vec![vec![args[0].clone(), oid]])
@@ -292,7 +332,10 @@ impl NavOracle {
             self.note_branch(&url.host, &e);
             return OracleOutcome::Fail;
         }
-        match self.browser.goto(url.clone()) {
+        let span = self.nav_span(&url.host, || format!("goto {url_str}"));
+        let result = self.browser.goto(url.clone());
+        self.nav_end(&url.host, span);
+        match result {
             Ok(page) => {
                 let oid = self.intern_page(page, store);
                 OracleOutcome::Solutions(vec![vec![args[0].clone(), oid]])
@@ -322,10 +365,13 @@ impl NavOracle {
             return OracleOutcome::Fail;
         }
         let (result, host) = match concrete {
-            ConcreteAction::Follow { page, href } => {
+            ConcreteAction::Follow { page, href, text } => {
                 let page = self.pages[page].clone();
                 let host = page.url.host.clone();
-                (self.browser.follow_on(&page, &href), host)
+                let span = self.nav_span(&host, || format!("follow '{text}'"));
+                let result = self.browser.follow_on(&page, &href);
+                self.nav_end(&host, span);
+                (result, host)
             }
             ConcreteAction::Submit { page, cgi } => {
                 let page = self.pages[page].clone();
@@ -344,7 +390,14 @@ impl NavOracle {
                         }
                     }
                 }
-                (self.browser.submit_on(&page, &cgi, &values), host)
+                let span = self.nav_span(&host, || {
+                    let params: Vec<String> =
+                        values.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    format!("submit {cgi} {{{}}}", params.join(", "))
+                });
+                let result = self.browser.submit_on(&page, &cgi, &values);
+                self.nav_end(&host, span);
+                (result, host)
             }
         };
         match result {
@@ -398,7 +451,10 @@ impl NavOracle {
                 self.note_branch(&host, &e);
                 break;
             }
-            match self.browser.follow_on(&page, &href) {
+            let span = self.nav_span(&host, || format!("choice {}='{value}'", set_sym.name()));
+            let result = self.browser.follow_on(&page, &href);
+            self.nav_end(&host, span);
+            match result {
                 Ok(next) => {
                     let oid = self.intern_page(next, store);
                     // Echo the caller's own term back when it was bound:
@@ -440,6 +496,17 @@ impl NavOracle {
                 vec![args[0].clone(), args[1].clone(), Term::Compound(Sym::new("t"), tuple_args)]
             })
             .collect();
+        let obs = self.browser.obs();
+        if obs.tracing() {
+            let host = page.url.host.clone();
+            obs.sink.advance(&host, self.browser.simulated_network);
+            obs.sink.event(
+                &host,
+                SpanKind::Nav,
+                format!("collect {}", spec_sym.name()),
+                vec![("rows", records.len().to_string())],
+            );
+        }
         OracleOutcome::Solutions(solutions)
     }
 }
@@ -643,6 +710,13 @@ impl SiteNavigator {
         self.oracle.borrow_mut().set_budget(budget);
     }
 
+    /// Attach (or detach, with [`Obs::none`]) the observability handle
+    /// every subsequent run reports into. The navigator traces onto the
+    /// track named after its site.
+    pub fn set_obs(&self, obs: Obs) {
+        self.oracle.borrow_mut().set_obs(obs);
+    }
+
     /// The pages fetched while a budget was attached, in fetch order —
     /// this navigator's slice of a resume token's journal.
     pub fn journal(&self) -> Vec<JournalEntry> {
@@ -719,6 +793,19 @@ impl SiteNavigator {
         let mut oracle = self.oracle.borrow_mut();
         let (fetches0, hits0, retries0, net0) =
             (oracle.fetches(), oracle.cache_hits(), oracle.retries(), oracle.simulated_network());
+        let obs = oracle.obs().clone();
+        let span = if obs.tracing() {
+            obs.sink.advance(&self.map.site, net0);
+            let given_str: Vec<String> = given.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            obs.sink.begin(
+                &self.map.site,
+                SpanKind::NavRun,
+                relation.to_string(),
+                vec![("given", given_str.join(" "))],
+            )
+        } else {
+            SpanHandle::INERT
+        };
         let mut cpu = Duration::ZERO;
         let mut attempt = 0;
         let records = loop {
@@ -798,6 +885,10 @@ impl SiteNavigator {
             network: oracle.simulated_network() - net0,
             cpu,
         };
+        if obs.tracing() {
+            obs.sink.advance(&self.map.site, oracle.simulated_network());
+            obs.sink.end_with(span, vec![("records", records.len().to_string())]);
+        }
         Ok((records, stats))
     }
 
@@ -810,6 +901,7 @@ impl SiteNavigator {
         let mut healing = self.healing.borrow_mut();
         let Some(state) = healing.as_mut() else { return false };
         let host = self.map.site.clone();
+        let obs = oracle.obs().clone();
         let mut constants_changed = false;
         for p in pending {
             let site = state.report.site_mut(&host);
@@ -823,6 +915,16 @@ impl SiteNavigator {
                     apply_heal(working, p);
                     constants_changed |= needs_recompile(&p.change);
                     site.auto_applied.push(entry);
+                    obs.count(Metric::Repairs);
+                    if obs.tracing() {
+                        obs.sink.advance(&host, oracle.simulated_network());
+                        obs.sink.event(
+                            &host,
+                            SpanKind::Repair,
+                            self.map.node(p.node).name.clone(),
+                            vec![("change", format!("{:?}", p.change))],
+                        );
+                    }
                 }
                 Severity::ManualIntervention => {
                     if site.quarantined.iter().any(|(n, _)| *n == p.node) {
@@ -830,6 +932,16 @@ impl SiteNavigator {
                     }
                     site.quarantined.push((p.node, self.map.node(p.node).name.clone()));
                     oracle.probe_quarantine(p.node);
+                    obs.count(Metric::Quarantines);
+                    if obs.tracing() {
+                        obs.sink.advance(&host, oracle.simulated_network());
+                        obs.sink.event(
+                            &host,
+                            SpanKind::Quarantine,
+                            self.map.node(p.node).name.clone(),
+                            vec![("change", format!("{:?}", p.change))],
+                        );
+                    }
                 }
             }
         }
@@ -842,6 +954,16 @@ impl SiteNavigator {
             oracle.rebuild_probe(working);
             state.report.site_mut(&host).steps_replayed += 1;
             state.compiled = Some(compiled);
+            obs.count(Metric::Replays);
+            if obs.tracing() {
+                obs.sink.advance(&host, oracle.simulated_network());
+                obs.sink.event(
+                    &host,
+                    SpanKind::Replay,
+                    "recompiled program".to_string(),
+                    Vec::new(),
+                );
+            }
         }
         constants_changed
     }

@@ -52,3 +52,7 @@ pub use map::{NavigationMap, NodeKind};
 pub use persist::{map_from_facts, parse_map, parse_resume, render_facts, render_resume};
 pub use recorder::{DesignerAction, MapStats, RecordError, Recorder};
 pub use resilience::{CircuitState, DegradationReport, FetchPolicy, SiteDegradation};
+pub use webbase_obs::{
+    Metric, MetricsRegistry, MetricsSnapshot, Obs, QueryObservation, QueryTrace, Span, SpanKind,
+    TraceSink, METRICS,
+};

@@ -1,0 +1,430 @@
+//! Structured query traces: a span tree over the *simulated* clock.
+//!
+//! Every span carries the track it was emitted on — `"query"` for the
+//! planner/logical/VPS layers, the site host for each navigator's
+//! browser — and is stamped with that track's simulated clock. Tracks
+//! give the tree a deterministic shape even when the timing harness runs
+//! navigators on parallel OS threads: [`TraceSink::finish`] orders spans
+//! by (track, per-track sequence), never by wall-clock arrival, so a
+//! trace is a pure function of the dataset seed.
+//!
+//! The sink is a clone-cheap handle. Disabled (the default) it is a
+//! `None` and every operation is a single branch; enabled it appends to
+//! a mutex-protected log shared by every layer of one query.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The track carrying planner, logical-layer, and VPS spans.
+pub const QUERY_TRACK: &str = "query";
+
+/// Span taxonomy — one kind per observable execution step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Root: one whole UR query.
+    Query,
+    /// UR planning: covering alternatives → per-object plans.
+    Plan,
+    /// One planned UR object (an alternative set with its expression).
+    PlanObject,
+    /// An alternative set the planner skipped, with the reason.
+    PlanSkipped,
+    /// A logical rewrite: raw object expression → optimized expression.
+    Rewrite,
+    /// One planned object being evaluated.
+    Object,
+    /// A logical-layer relation fetch (expression evaluation entry).
+    Logical,
+    /// A VPS handle invocation against one site.
+    Handle,
+    /// One `run_relation` on a site navigator (root of a site track).
+    NavRun,
+    /// A navigation step: entry, goto, follow link, submit form, choice.
+    Nav,
+    /// One network fetch attempt, with its disposition.
+    Fetch,
+    /// A request answered from the page cache.
+    CacheHit,
+    /// Retry backoff charged to the simulated clock.
+    Backoff,
+    /// The circuit breaker tripping open.
+    BreakerOpen,
+    /// A map repair auto-applied in flight.
+    Repair,
+    /// A navigation node quarantined for manual intervention.
+    Quarantine,
+    /// A recompiled navigation program being replayed.
+    Replay,
+    /// An expired session re-established from checkpointed inputs.
+    SessionRecovery,
+}
+
+impl SpanKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Query => "query",
+            SpanKind::Plan => "plan",
+            SpanKind::PlanObject => "plan-object",
+            SpanKind::PlanSkipped => "plan-skipped",
+            SpanKind::Rewrite => "rewrite",
+            SpanKind::Object => "object",
+            SpanKind::Logical => "logical",
+            SpanKind::Handle => "handle",
+            SpanKind::NavRun => "nav-run",
+            SpanKind::Nav => "nav",
+            SpanKind::Fetch => "fetch",
+            SpanKind::CacheHit => "cache-hit",
+            SpanKind::Backoff => "backoff",
+            SpanKind::BreakerOpen => "breaker-open",
+            SpanKind::Repair => "repair",
+            SpanKind::Quarantine => "quarantine",
+            SpanKind::Replay => "replay",
+            SpanKind::SessionRecovery => "session-recovery",
+        }
+    }
+}
+
+/// One recorded span. `start`/`end` are simulated-clock stamps on the
+/// span's track; instant events have `start == end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    pub id: usize,
+    pub parent: Option<usize>,
+    pub track: String,
+    pub kind: SpanKind,
+    pub label: String,
+    pub fields: Vec<(&'static str, String)>,
+    pub start: Duration,
+    pub end: Duration,
+}
+
+impl Span {
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Handle to an open span; `end`/`end_with` close it. A handle from a
+/// disabled sink is inert.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanHandle(Option<usize>);
+
+impl SpanHandle {
+    pub const INERT: SpanHandle = SpanHandle(None);
+}
+
+#[derive(Debug, Default)]
+struct Track {
+    clock: Duration,
+    stack: Vec<usize>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Rec {
+    seq: u64,
+    parent: Option<usize>,
+    track: String,
+    kind: SpanKind,
+    label: String,
+    fields: Vec<(&'static str, String)>,
+    start: Duration,
+    end: Option<Duration>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<Rec>,
+    tracks: BTreeMap<String, Track>,
+}
+
+impl State {
+    fn push(
+        &mut self,
+        track: &str,
+        kind: SpanKind,
+        label: String,
+        fields: Vec<(&'static str, String)>,
+        open: bool,
+    ) -> usize {
+        // The first span ever recorded roots the tree; spans opened on a
+        // track with an empty stack hang off that root (site tracks
+        // attach to the query span).
+        let root = if self.spans.is_empty() { None } else { Some(0) };
+        let id = self.spans.len();
+        let t = self.tracks.entry(track.to_string()).or_default();
+        let parent = t.stack.last().copied().or(root);
+        let seq = t.next_seq;
+        t.next_seq += 1;
+        let clock = t.clock;
+        if open {
+            t.stack.push(id);
+        }
+        self.spans.push(Rec {
+            seq,
+            parent,
+            track: track.to_string(),
+            kind,
+            label,
+            fields,
+            start: clock,
+            end: if open { None } else { Some(clock) },
+        });
+        id
+    }
+}
+
+/// The trace sink threaded `UrPlan → LogicalLayer → VpsCatalog →
+/// SiteNavigator → Browser`. Clones share one underlying log.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    core: Option<Arc<Mutex<State>>>,
+}
+
+impl TraceSink {
+    /// The no-op sink: every operation is one branch on a `None`.
+    pub fn disabled() -> TraceSink {
+        TraceSink::default()
+    }
+
+    pub fn enabled() -> TraceSink {
+        TraceSink { core: Some(Arc::new(Mutex::new(State::default()))) }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    fn lock(&self) -> Option<std::sync::MutexGuard<'_, State>> {
+        self.core.as_ref().map(|c| c.lock().expect("trace sink poisoned"))
+    }
+
+    /// Open a span on `track`, nested under the track's innermost open
+    /// span; its start is the track's current simulated clock.
+    pub fn begin(
+        &self,
+        track: &str,
+        kind: SpanKind,
+        label: impl Into<String>,
+        fields: Vec<(&'static str, String)>,
+    ) -> SpanHandle {
+        match self.lock() {
+            Some(mut s) => SpanHandle(Some(s.push(track, kind, label.into(), fields, true))),
+            None => SpanHandle::INERT,
+        }
+    }
+
+    /// Close a span at its track's current clock.
+    pub fn end(&self, handle: SpanHandle) {
+        self.end_with(handle, Vec::new());
+    }
+
+    /// Close a span, appending fields learned while it ran.
+    pub fn end_with(&self, handle: SpanHandle, fields: Vec<(&'static str, String)>) {
+        let (Some(id), Some(mut s)) = (handle.0, self.lock()) else { return };
+        let track = s.spans[id].track.clone();
+        let clock = match s.tracks.get_mut(&track) {
+            Some(t) => {
+                t.stack.retain(|open| *open != id);
+                t.clock
+            }
+            None => Duration::ZERO,
+        };
+        let rec = &mut s.spans[id];
+        rec.fields.extend(fields);
+        rec.end = Some(clock);
+    }
+
+    /// Record an instant event (a zero-width span) on `track`.
+    pub fn event(
+        &self,
+        track: &str,
+        kind: SpanKind,
+        label: impl Into<String>,
+        fields: Vec<(&'static str, String)>,
+    ) {
+        if let Some(mut s) = self.lock() {
+            s.push(track, kind, label.into(), fields, false);
+        }
+    }
+
+    /// Advance `track`'s simulated clock (monotone: the max wins).
+    pub fn advance(&self, track: &str, clock: Duration) {
+        if let Some(mut s) = self.lock() {
+            let t = s.tracks.entry(track.to_string()).or_default();
+            t.clock = t.clock.max(clock);
+        }
+    }
+
+    /// Drain the log into a [`QueryTrace`]. Open spans are closed at
+    /// their track's final clock; spans are renumbered deterministically
+    /// — the `"query"` track first, then site tracks in name order, each
+    /// in per-track sequence order — so parallel execution renders the
+    /// same bytes as serial.
+    pub fn finish(&self) -> QueryTrace {
+        let Some(mut s) = self.lock() else { return QueryTrace::default() };
+        let state = std::mem::take(&mut *s);
+        drop(s);
+
+        let mut order: Vec<usize> = (0..state.spans.len()).collect();
+        let track_rank = |track: &str| -> (usize, String) {
+            if track == QUERY_TRACK {
+                (0, String::new())
+            } else {
+                (1, track.to_string())
+            }
+        };
+        order.sort_by_key(|i| {
+            let r = &state.spans[*i];
+            (track_rank(&r.track), r.seq)
+        });
+        let mut new_id = vec![0usize; state.spans.len()];
+        for (new, old) in order.iter().enumerate() {
+            new_id[*old] = new;
+        }
+        let mut spans: Vec<Span> = order
+            .iter()
+            .map(|old| {
+                let r = &state.spans[*old];
+                let final_clock = state.tracks.get(&r.track).map(|t| t.clock).unwrap_or_default();
+                Span {
+                    id: new_id[*old],
+                    parent: r.parent.map(|p| new_id[p]),
+                    track: r.track.clone(),
+                    kind: r.kind,
+                    label: r.label.clone(),
+                    fields: r.fields.clone(),
+                    start: r.start,
+                    end: r.end.unwrap_or(final_clock),
+                }
+            })
+            .collect();
+        spans.sort_by_key(|sp| sp.id);
+        // Nesting is an invariant of the finished trace, not a hope: a
+        // parent's interval is widened to cover any child that outlived
+        // it (possible when an open span is auto-closed while another
+        // track's clock ran ahead). Parents always renumber before their
+        // children, so one reverse pass settles every ancestor.
+        for i in (1..spans.len()).rev() {
+            if let Some(p) = spans[i].parent {
+                let (start, end) = (spans[i].start, spans[i].end);
+                spans[p].start = spans[p].start.min(start);
+                spans[p].end = spans[p].end.max(end);
+            }
+        }
+        QueryTrace { spans }
+    }
+}
+
+/// A finished trace: the span tree of one query, ready to render as a
+/// human tree or JSON lines, or to assert against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    pub spans: Vec<Span>,
+}
+
+impl QueryTrace {
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The root span (the one without a parent), when well-formed.
+    pub fn root(&self) -> Option<&Span> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// All spans of one kind, in trace order.
+    pub fn of_kind(&self, kind: SpanKind) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.kind == kind).collect()
+    }
+
+    fn children(&self, id: usize) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.parent == Some(id))
+    }
+
+    /// The human tree: one line per span, indented by depth, stamped
+    /// with integer-microsecond simulated times (byte-deterministic —
+    /// no floats anywhere).
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        for root in self.spans.iter().filter(|s| s.parent.is_none()) {
+            self.render_node(root, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, span: &Span, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let _ = write!(
+            out,
+            "{indent}{} {} [{}..{}]",
+            span.kind.as_str(),
+            span.label,
+            fmt_us(span.start),
+            fmt_us(span.end)
+        );
+        for (k, v) in &span.fields {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        for child in self.children(span.id) {
+            self.render_node(child, depth + 1, out);
+        }
+    }
+
+    /// JSON lines: one object per span, insertion-ordered keys, fields
+    /// inlined under `"fields"`. Hand-rolled (no serde) and
+    /// byte-deterministic.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"parent\":{},\"track\":{},\"kind\":{},\"label\":{},\"start_us\":{},\"end_us\":{},\"fields\":{{",
+                s.id,
+                s.parent.map_or_else(|| "null".to_string(), |p| p.to_string()),
+                json_str(&s.track),
+                json_str(s.kind.as_str()),
+                json_str(&s.label),
+                s.start.as_micros(),
+                s.end.as_micros()
+            );
+            for (i, (k, v)) in s.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(k), json_str(v));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+/// `Duration` → `"12.345ms"` via integer microseconds only.
+fn fmt_us(d: Duration) -> String {
+    let us = d.as_micros();
+    format!("{}.{:03}ms", us / 1000, us % 1000)
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

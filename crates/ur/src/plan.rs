@@ -24,7 +24,9 @@ use crate::maximal::{compatible_sets, AltSet};
 use crate::query::UrQuery;
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use webbase_logical::{BudgetSnapshot, BudgetTracker, LogicalLayer, ResumeToken};
+use webbase_logical::{
+    BudgetSnapshot, BudgetTracker, LogicalLayer, ResumeToken, SpanHandle, SpanKind, QUERY_TRACK,
+};
 use webbase_relational::eval::{AccessSpec, EvalError, Evaluator, RelationProvider};
 use webbase_relational::ordering::{order_exact, JoinInput};
 use webbase_relational::{Attr, Expr, Pred, Relation};
@@ -198,6 +200,27 @@ impl UrPlanner {
             let reasons: Vec<String> = skipped.iter().map(|(s, r)| format!("{s:?}: {r}")).collect();
             return Err(UrError::InsufficientBindings(reasons.join("; ")));
         }
+        let obs = layer.vps.obs();
+        if obs.tracing() {
+            for o in &objects {
+                let names: Vec<&str> = o.alternatives.iter().map(String::as_str).collect();
+                obs.sink.event(
+                    QUERY_TRACK,
+                    SpanKind::PlanObject,
+                    names.join(" ⋈ "),
+                    vec![("expr", o.expr.to_string())],
+                );
+            }
+            for (set, why) in &skipped {
+                let names: Vec<&str> = set.iter().map(String::as_str).collect();
+                obs.sink.event(
+                    QUERY_TRACK,
+                    SpanKind::PlanSkipped,
+                    names.join(" ⋈ "),
+                    vec![("reason", why.clone())],
+                );
+            }
+        }
         Ok(UrPlan {
             query: query.clone(),
             objects,
@@ -274,7 +297,21 @@ impl UrPlanner {
         // are akin to relational algebra transformations" — push the
         // selections toward the base relations, which also surfaces
         // binding values earlier.
-        Ok(webbase_relational::optimize::optimize(&expr, &|n| layer.schema(n)))
+        let optimized = webbase_relational::optimize::optimize(&expr, &|n| layer.schema(n));
+        let obs = layer.vps.obs();
+        if obs.tracing() {
+            let from = expr.to_string();
+            let to = optimized.to_string();
+            if from != to {
+                obs.sink.event(
+                    QUERY_TRACK,
+                    SpanKind::Rewrite,
+                    "push selections".to_string(),
+                    vec![("from", from), ("to", to)],
+                );
+            }
+        }
+        Ok(optimized)
     }
 
     /// Plan and execute: the union over the objects' results.
@@ -302,7 +339,38 @@ impl UrPlanner {
         layer: &mut LogicalLayer,
         resume: Option<&ResumeToken>,
     ) -> Result<(Relation, UrPlan), UrError> {
-        let mut plan = self.plan(query, layer)?;
+        // The Query root span is begun *before* planning so the Plan
+        // span (and the rewrite/object events it emits) nest under it.
+        let obs = layer.vps.obs().clone();
+        let root = if obs.tracing() {
+            obs.sink.begin(
+                QUERY_TRACK,
+                SpanKind::Query,
+                format!("{}({})", query.ur_name, query.outputs.join(", ")),
+                vec![("resumed", resume.is_some().to_string())],
+            )
+        } else {
+            SpanHandle::INERT
+        };
+        let plan_span = if obs.tracing() {
+            obs.sink.begin(QUERY_TRACK, SpanKind::Plan, "plan".to_string(), Vec::new())
+        } else {
+            SpanHandle::INERT
+        };
+        let planned = self.plan(query, layer);
+        if obs.tracing() {
+            match &planned {
+                Ok(p) => obs.sink.end_with(
+                    plan_span,
+                    vec![
+                        ("objects", p.objects.len().to_string()),
+                        ("skipped", p.skipped.len().to_string()),
+                    ],
+                ),
+                Err(e) => obs.sink.end_with(plan_span, vec![("error", e.to_string())]),
+            }
+        }
+        let mut plan = planned?;
         // A resumed run inherits the original budget unless the query
         // supplies its own.
         let budget_spec = query.budget.clone().or_else(|| resume.map(|t| t.budget.clone()));
@@ -320,7 +388,24 @@ impl UrPlanner {
         let repairs_before = layer.vps.repairs();
         let mut result: Option<Relation> = None;
         for obj in &plan.objects {
-            let rel = Evaluator::new(layer).eval(&obj.expr, &AccessSpec::new())?;
+            let obj_span = if obs.tracing() {
+                let names: Vec<&str> = obj.alternatives.iter().map(String::as_str).collect();
+                obs.sink.advance(QUERY_TRACK, layer.vps.stats.total_network());
+                obs.sink.begin(QUERY_TRACK, SpanKind::Object, names.join(" ⋈ "), Vec::new())
+            } else {
+                SpanHandle::INERT
+            };
+            let evaled = Evaluator::new(layer).eval(&obj.expr, &AccessSpec::new());
+            if obs.tracing() {
+                obs.sink.advance(QUERY_TRACK, layer.vps.stats.total_network());
+                match &evaled {
+                    Ok(rel) => {
+                        obs.sink.end_with(obj_span, vec![("tuples", rel.len().to_string())]);
+                    }
+                    Err(e) => obs.sink.end_with(obj_span, vec![("error", e.to_string())]),
+                }
+            }
+            let rel = evaled?;
             result = Some(match result {
                 None => rel,
                 Some(mut acc) => {
@@ -354,7 +439,18 @@ impl UrPlanner {
                 });
             }
         }
-        Ok((result.expect("objects is non-empty"), plan))
+        let result = result.expect("objects is non-empty");
+        if obs.tracing() {
+            obs.sink.advance(QUERY_TRACK, layer.vps.stats.total_network());
+            obs.sink.end_with(
+                root,
+                vec![
+                    ("tuples", result.len().to_string()),
+                    ("degraded", (!plan.degradation.is_clean()).to_string()),
+                ],
+            );
+        }
+        Ok((result, plan))
     }
 }
 

@@ -10,6 +10,7 @@ use webbase_navigation::budget::{BudgetTracker, JournalEntry, NavPosition, Resum
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
 use webbase_navigation::{DegradationReport, RepairReport};
+use webbase_obs::{Metric, Obs, SpanHandle, SpanKind, QUERY_TRACK};
 use webbase_relational::binding::{Binding, BindingSet};
 use webbase_relational::eval::{AccessSpec, EvalError, RelationProvider};
 use webbase_relational::{Attr, Relation, Schema, Tuple, Value};
@@ -71,6 +72,9 @@ pub struct VpsCatalog {
     /// at [`VpsCatalog::add_map`] time — quarantine/healing reports can
     /// cite the load-time diagnostic alongside the runtime repair.
     preflight: webbase_webcheck::Report,
+    /// Observability handle shared with every navigator (and through
+    /// them, every browser). Disabled by default.
+    obs: Obs,
 }
 
 impl Default for VpsCatalog {
@@ -88,6 +92,7 @@ impl VpsCatalog {
             budget: None,
             positions: Vec::new(),
             preflight: webbase_webcheck::Report::new(),
+            obs: Obs::none(),
         }
     }
 
@@ -194,6 +199,27 @@ impl VpsCatalog {
 
     pub fn budget(&self) -> Option<&Arc<BudgetTracker>> {
         self.budget.as_ref()
+    }
+
+    /// Attach (or detach, with [`Obs::none`]) the observability handle:
+    /// every navigator in the catalog shares it, exactly like the budget
+    /// tracker (identity-dedup across the relations of one site). A map
+    /// added later does not retroactively receive the handle — attach
+    /// before executing, as `UrPlanner::execute_with` does.
+    pub fn set_obs(&mut self, obs: Obs) {
+        let mut seen: HashSet<*const SiteNavigator> = HashSet::new();
+        for name in &self.order {
+            let nav = &self.entries[name].navigator;
+            if seen.insert(Rc::as_ptr(nav)) {
+                nav.set_obs(obs.clone());
+            }
+        }
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Relation invocations that ran to completion — no budget denial
@@ -355,14 +381,36 @@ impl RelationProvider for VpsCatalog {
             .filter(|(a, _)| handle.selection.contains(a.as_str()))
             .map(|(a, v)| (a.as_str().to_string(), v.clone()))
             .collect();
+        self.obs.count(Metric::HandleInvocations);
+        let span = if self.obs.tracing() {
+            self.obs.sink.advance(QUERY_TRACK, self.stats.total_network());
+            let given_str: Vec<String> = given.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            self.obs.sink.begin(
+                QUERY_TRACK,
+                SpanKind::Handle,
+                name.to_string(),
+                vec![
+                    ("site", e.navigator.map.site.clone()),
+                    ("mandatory", handle.mandatory.iter().cloned().collect::<Vec<_>>().join(",")),
+                    ("given", given_str.join(" ")),
+                ],
+            )
+        } else {
+            SpanHandle::INERT
+        };
         let denied_before = self
             .budget
             .as_ref()
             .map(|b| b.snapshot().sites.values().map(|s| s.denied).sum::<u64>());
-        let (records, run) = e
-            .navigator
-            .run_relation(name, &given)
-            .map_err(|err| EvalError::Provider(err.to_string()))?;
+        let (records, run) = match e.navigator.run_relation(name, &given) {
+            Ok(out) => out,
+            Err(err) => {
+                if self.obs.tracing() {
+                    self.obs.sink.end_with(span, vec![("error", err.to_string())]);
+                }
+                return Err(EvalError::Provider(err.to_string()));
+            }
+        };
         if let (Some(budget), Some(before)) = (self.budget.as_ref(), denied_before) {
             let after: u64 = budget.snapshot().sites.values().map(|s| s.denied).sum();
             // A position joins the resume token only when the budget did
@@ -388,6 +436,17 @@ impl RelationProvider for VpsCatalog {
                     .iter()
                     .map(|a| rec.get(a.as_str()).cloned().unwrap_or(Value::Null)),
             ));
+        }
+        self.obs.count_n(Metric::TuplesEmitted, rel.len() as u64);
+        if self.obs.tracing() {
+            // The query track's clock is the serial network time summed
+            // over every handle invocation so far — monotone, and equal
+            // between serial and (hypothetical) parallel execution.
+            self.obs.sink.advance(QUERY_TRACK, self.stats.total_network());
+            self.obs.sink.end_with(
+                span,
+                vec![("tuples", rel.len().to_string()), ("pages", run.pages_fetched.to_string())],
+            );
         }
         Ok(rel)
     }

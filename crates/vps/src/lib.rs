@@ -30,3 +30,8 @@ pub use webbase_navigation::{
     FetchPolicy, JournalEntry, NavPosition, QueryBudget, RepairReport, ResumeToken,
     SiteDegradation, SiteRepair, SiteSpend,
 };
+// Observability flows through every layer the same way budgets do.
+pub use webbase_obs::{
+    Metric, MetricsRegistry, MetricsSnapshot, Obs, QueryObservation, QueryTrace, Span, SpanHandle,
+    SpanKind, TraceSink, METRICS, QUERY_TRACK,
+};

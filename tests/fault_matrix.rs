@@ -16,10 +16,10 @@ use common::{
 };
 use std::collections::BTreeSet;
 use std::time::Duration;
-use webbase::LatencyModel;
+use webbase::{LatencyModel, Metric, Obs, SpanKind};
 use webbase_logical::{BudgetDenial, QueryBudget};
 use webbase_webworld::faults::{
-    DelayedSite, ExpiringSessionSite, FlakySite, StallingSite, TruncatingSite,
+    DelayedSite, DriftingSite, ExpiringSessionSite, FlakySite, StallingSite, TruncatingSite,
 };
 use webbase_webworld::server::Site;
 
@@ -229,5 +229,162 @@ fn dead_site_trips_the_breaker_and_stays_fast() {
     assert!(
         dead_net <= healthy_net * 2,
         "dead site blew up the wall-clock: {dead_net:?} vs healthy {healthy_net:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Observability cross-checks: the metrics registry, the trace, and the
+// degradation/repair reports are three independent records of the same
+// execution. They are incremented at the same instrumentation points,
+// so any drift between them is a bug in one of the three.
+// ---------------------------------------------------------------------
+
+/// A paginating select (model unbound → newsday's whole "More" chain).
+const FORD_ALL: &str = "SELECT make, model, year, price WHERE make=ford";
+
+#[test]
+fn metrics_counters_cross_check_the_degradation_report() {
+    let mut wb = faulty_webbase(|_h, s| Box::new(FlakySite::new(s, 7)) as Box<dyn Site>);
+    let (result, plan, obs) = wb.query_traced(JAGUAR_QUERY).expect("flaky traced query");
+    assert!(!result.is_empty());
+    let m = &obs.metrics;
+    let deg = &plan.degradation;
+    assert!(deg.total_retries() > 0, "a flaky web must force retries for this test to bite");
+
+    assert_eq!(m.get(Metric::Retries), deg.total_retries(), "retries: counter vs report");
+    let timeouts: u64 = deg.sites.values().map(|s| s.timeouts).sum();
+    assert_eq!(m.get(Metric::Timeouts), timeouts, "timeouts: counter vs report");
+    let failures: u64 = deg.sites.values().map(|s| s.failures).sum();
+    assert_eq!(
+        m.get(Metric::HttpFailures) + m.get(Metric::Timeouts),
+        failures,
+        "failures split into 5xx + timeouts"
+    );
+    let fast: u64 = deg.sites.values().map(|s| s.fast_failures).sum();
+    assert_eq!(m.get(Metric::FastFailures), fast, "fast failures: counter vs report");
+    let trips: u64 = deg.sites.values().map(|s| s.breaker_trips).sum();
+    assert_eq!(m.get(Metric::BreakerOpens), trips, "breaker trips: counter vs report");
+
+    // The trace is the third record: one backoff event per retry, and
+    // the latency histogram observed every completed network attempt.
+    let backoffs = obs.trace.of_kind(SpanKind::Backoff).len() as u64;
+    assert_eq!(backoffs, deg.total_retries(), "one backoff span per retry");
+    assert_eq!(
+        m.fetch_latency.count,
+        m.get(Metric::Fetches),
+        "every network attempt lands in the latency histogram"
+    );
+}
+
+#[test]
+fn budget_denials_in_the_degradation_report_match_the_counter() {
+    let mut wb = healthy_webbase();
+    let obs = Obs::full();
+    wb.layer.vps.set_obs(obs.clone());
+    let budget = QueryBudget::unlimited().with_fetch_quota(10);
+    let (_, plan) = wb.query_with_budget(FORD_QUERY, budget).expect("quota must not abort");
+    let trace = obs.sink.finish();
+    let m = obs.metrics.as_ref().expect("full obs carries a registry").snapshot();
+    wb.layer.vps.set_obs(Obs::none());
+
+    let deg_denied: u64 = plan.degradation.sites.values().map(|s| s.budget_denied).sum();
+    assert!(deg_denied > 0, "a quota of 10 must deny fetches for this test to bite");
+    assert_eq!(m.get(Metric::BudgetDenials), deg_denied, "denials: counter vs report");
+    // Every denial is also visible in the trace as a budget_denied fetch
+    // disposition.
+    let denied_spans = trace
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Fetch && s.field("disposition") == Some("budget_denied"))
+        .count() as u64;
+    assert_eq!(denied_spans, deg_denied, "denials: trace vs report");
+}
+
+#[test]
+fn repairs_in_the_repair_report_match_counter_and_spans() {
+    // Newsday's auto hub renames its "Used Cars" link — auto-repaired
+    // mid-query, then the run is replayed (compiled constant changed).
+    let mut wb = faulty_webbase(|h, s| {
+        if h == NEWSDAY {
+            Box::new(
+                DriftingSite::new(s, ">Used Cars</a>", ">Pre-owned Cars</a>").only_on_path("/auto"),
+            ) as Box<dyn Site>
+        } else {
+            s
+        }
+    });
+    let obs = Obs::full();
+    wb.layer.vps.set_obs(obs.clone());
+    wb.select("classifieds", FORD_ALL).expect("drifted query must not abort");
+    let trace = obs.sink.finish();
+    let m = obs.metrics.as_ref().expect("registry").snapshot();
+    wb.layer.vps.set_obs(Obs::none());
+
+    let rep = wb.layer.vps.repairs();
+    let auto_applied: u64 = rep.sites.values().map(|s| s.auto_applied.len() as u64).sum();
+    let replayed: u64 = rep.sites.values().map(|s| s.steps_replayed).sum();
+    assert!(auto_applied > 0, "the renamed link must be auto-repaired for this test to bite");
+    assert!(replayed > 0, "a repaired compiled constant must force a replay");
+    assert_eq!(m.get(Metric::Repairs), auto_applied, "repairs: counter vs report");
+    assert_eq!(m.get(Metric::Replays), replayed, "replays: counter vs report");
+    assert_eq!(
+        trace.of_kind(SpanKind::Repair).len() as u64,
+        auto_applied,
+        "repairs: spans vs report"
+    );
+    assert_eq!(trace.of_kind(SpanKind::Replay).len() as u64, replayed, "replays: spans vs report");
+    assert_eq!(m.get(Metric::Quarantines), 0, "auto-repairable drift must not quarantine");
+}
+
+#[test]
+fn quarantines_and_session_recoveries_match_their_counters() {
+    // Scenario C: newsday's search form renames its mandatory field —
+    // not auto-repairable, the node is quarantined.
+    let mut wb = faulty_webbase(|h, s| {
+        if h == NEWSDAY {
+            Box::new(DriftingSite::new(s, "name=make>", "name=mk2>").only_on_path("/auto/used"))
+                as Box<dyn Site>
+        } else {
+            s
+        }
+    });
+    let obs = Obs::full();
+    wb.layer.vps.set_obs(obs.clone());
+    wb.select("classifieds", FORD_ALL).expect("quarantine must not abort");
+    let trace = obs.sink.finish();
+    let m = obs.metrics.as_ref().expect("registry").snapshot();
+    wb.layer.vps.set_obs(Obs::none());
+    let quarantined: u64 =
+        wb.layer.vps.repairs().sites.values().map(|s| s.quarantined.len() as u64).sum();
+    assert!(quarantined > 0, "the renamed mandatory field must quarantine its node");
+    assert_eq!(m.get(Metric::Quarantines), quarantined, "quarantines: counter vs report");
+    assert_eq!(
+        trace.of_kind(SpanKind::Quarantine).len() as u64,
+        quarantined,
+        "quarantines: spans vs report"
+    );
+
+    // Stale CGI sessions on newsday: every "More" step is recovered from
+    // checkpointed inputs, and each recovery is counted and traced.
+    let mut wb = faulty_webbase(|h, s| {
+        if h == NEWSDAY {
+            Box::new(ExpiringSessionSite::new(s, 0)) as Box<dyn Site>
+        } else {
+            s
+        }
+    });
+    let obs = Obs::full();
+    wb.layer.vps.set_obs(obs.clone());
+    wb.select("classifieds", FORD_ALL).expect("session replay must not abort");
+    let trace = obs.sink.finish();
+    let m = obs.metrics.as_ref().expect("registry").snapshot();
+    wb.layer.vps.set_obs(Obs::none());
+    let recovered: u64 = wb.layer.vps.repairs().sites.values().map(|s| s.sessions_recovered).sum();
+    assert!(recovered > 0, "ttl-0 sessions must force recoveries");
+    assert_eq!(m.get(Metric::SessionRecoveries), recovered, "recoveries: counter vs report");
+    assert_eq!(
+        trace.of_kind(SpanKind::SessionRecovery).len() as u64,
+        recovered,
+        "recoveries: spans vs report"
     );
 }
