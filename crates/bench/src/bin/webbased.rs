@@ -1,0 +1,143 @@
+//! `webbased` — the long-lived multi-query daemon.
+//!
+//! Builds the shared [`Engine`] once, then serves the line-oriented
+//! wire protocol (see `webbase::server`) to any number of concurrent
+//! TCP connections, one thread per connection. Every connection is a
+//! tenant session over the same engine: compiled maps, page store,
+//! answer memo, and connection pools are shared; traces, budgets, and
+//! answers are private.
+//!
+//! ```text
+//! webbased [--port 1999] [--seed 42] [--ads 1500] [--dialup]
+//!          [--admission N] [--epoch-every N]
+//! ```
+//!
+//! Try it with netcat:
+//!
+//! ```text
+//! $ cargo run -p webbase-bench --bin webbased -- --port 1999 &
+//! $ printf 'TENANT alice\nQUERY UsedCarUR(make=%s, price)\nQUIT\n' "'ford'" | nc 127.0.0.1 1999
+//! ```
+
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+use webbase::{
+    serve_connection, AdmissionConfig, Engine, EngineConfig, LatencyModel, ServerConfig,
+};
+
+struct Args {
+    port: u16,
+    seed: u64,
+    ads: usize,
+    dialup: bool,
+    admission: Option<u64>,
+    fair_share: bool,
+    epoch_every: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        port: 1999,
+        seed: 42,
+        ads: 1500,
+        dialup: false,
+        admission: None,
+        fair_share: true,
+        epoch_every: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--port" => args.port = value("--port")?.parse().map_err(|e| format!("--port: {e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--ads" => args.ads = value("--ads")?.parse().map_err(|e| format!("--ads: {e}"))?,
+            "--dialup" => args.dialup = true,
+            "--no-fair-share" => args.fair_share = false,
+            "--admission" => {
+                args.admission =
+                    Some(value("--admission")?.parse().map_err(|e| format!("--admission: {e}"))?);
+            }
+            "--epoch-every" => {
+                args.epoch_every = Some(
+                    value("--epoch-every")?.parse().map_err(|e| format!("--epoch-every: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "webbased [--port 1999] [--seed 42] [--ads 1500] [--dialup] \
+                     [--admission N] [--no-fair-share] [--epoch-every N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("webbased: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let latency = if args.dialup { LatencyModel::dialup_1999() } else { LatencyModel::lan() };
+    eprintln!("webbased: building engine (seed {}, {} ads)...", args.seed, args.ads);
+    let data = webbase_webworld::data::Dataset::generate(args.seed, args.ads);
+    let web = webbase_webworld::prelude::standard_web(data.clone(), latency);
+    let config = EngineConfig {
+        admission: args.admission.map(|queries_per_epoch| AdmissionConfig {
+            queries_per_epoch,
+            fair_share: args.fair_share,
+        }),
+        ..EngineConfig::default()
+    };
+    let engine = match Engine::build_on(web, data, config) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("webbased: build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server_config =
+        Arc::new(ServerConfig { epoch_every: args.epoch_every, ..ServerConfig::default() });
+    let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("webbased: bind 127.0.0.1:{}: {e}", args.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("webbased: serving {} sites on 127.0.0.1:{}", engine.report().sites.len(), args.port);
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("webbased: accept: {e}");
+                continue;
+            }
+        };
+        let engine = engine.clone();
+        let server_config = server_config.clone();
+        thread::spawn(move || {
+            let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+            let reader = match stream.try_clone() {
+                Ok(s) => BufReader::new(s),
+                Err(e) => {
+                    eprintln!("webbased: clone stream for {peer}: {e}");
+                    return;
+                }
+            };
+            if let Err(e) = serve_connection(&engine, &server_config, reader, stream) {
+                eprintln!("webbased: connection {peer}: {e}");
+            }
+        });
+    }
+    ExitCode::SUCCESS
+}

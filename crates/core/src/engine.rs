@@ -1,0 +1,810 @@
+//! The multi-query engine: one shared, thread-safe webbase serving
+//! many concurrent UR queries.
+//!
+//! [`crate::Webbase`] is the single-owner stack: one catalog, one
+//! logical layer, `&mut self` per query. The [`Engine`] turns the same
+//! three layers into a server runtime. It is built **once** — sessions
+//! replayed, maps recorded, every map compiled to Transaction F-logic
+//! and vetted by webcheck exactly once — and then shared (`Engine` is
+//! `Clone + Send + Sync`, an `Arc` inside) by any number of query
+//! threads.
+//!
+//! What is shared engine-wide and what stays per query is the whole
+//! design:
+//!
+//! * **Shared**: the simulated Web, the compiled site programs
+//!   (`Arc<CompiledSite>`), the [`PageStore`] (fetch+parse once, every
+//!   query hits), the [`AnswerMemo`] (whole-invocation result reuse),
+//!   the per-host connection pools, and the tenant admission tracker.
+//! * **Per query**: the navigator oracles, the VPS catalog, the logical
+//!   layer, the `Obs` handle, and any `QueryBudget` — everything that
+//!   carries query state, so tenants can never observe each other's
+//!   traces, budgets, or degradation.
+//!
+//! Multi-tenant admission reuses the navigation layer's max-min
+//! fair-share [`BudgetTracker`] with *tenant names* where hosts
+//! usually go: each admitted query charges one unit, and while
+//! unserved tenants remain no tenant may eat into the floor reserved
+//! for them. Epochs make the scheme long-lived: a denied tenant is
+//! deferred (the wire protocol's `DEFER`), and [`Engine::reset_epoch`]
+//! opens the next round.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use webbase_logical::{paper_schema, LogicalLayer, LogicalRelation, Obs, QueryObservation};
+use webbase_navigation::map::NavigationMap;
+use webbase_navigation::recorder::{MapStats, Recorder};
+use webbase_navigation::sessions;
+use webbase_navigation::{
+    compile_map, BudgetDenial, BudgetSnapshot, BudgetTracker, CompiledSite, FetchPolicy, HostPools,
+    PageStore, QueryBudget,
+};
+use webbase_relational::Relation;
+use webbase_ur::compat::example62_rules;
+use webbase_ur::hierarchy::figure5;
+use webbase_ur::plan::{UrError, UrPlan, UrPlanner};
+use webbase_ur::query::{parse_query, UrQuery};
+use webbase_vps::{derive_handles, AnswerMemo, Handle, MemoClaim, VpsCatalog};
+use webbase_vps::{MetricsRegistry, MetricsSnapshot};
+use webbase_webworld::prelude::*;
+
+use crate::webbase::{BuildReport, WebbaseError};
+
+/// How the engine is shared and scheduled. [`EngineConfig::default`]
+/// is the server default: default fetch policy, unbounded page store,
+/// four connections per host, no admission control.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Retry/backoff/circuit policy for every navigator session.
+    pub policy: FetchPolicy,
+    /// Shared page-store capacity (`None` = unbounded).
+    pub page_capacity: Option<usize>,
+    /// Simultaneous in-flight fetches allowed per host.
+    pub per_host_connections: usize,
+    /// Multi-tenant admission control (`None` = admit everything).
+    pub admission: Option<AdmissionConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            policy: FetchPolicy::default_policy(),
+            page_capacity: None,
+            per_host_connections: 4,
+            admission: None,
+        }
+    }
+}
+
+/// Fair-share admission over tenants: at most `queries_per_epoch`
+/// admissions per epoch, max-min floors reserved for tenants that have
+/// not yet completed a query this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    pub queries_per_epoch: u64,
+    pub fair_share: bool,
+}
+
+/// The tenant scheduler: a [`BudgetTracker`] whose "sites" are tenant
+/// names and whose "fetches" are admitted queries. Epoch-scoped — the
+/// tracker is replaced wholesale on [`EngineAdmission::reset_epoch`],
+/// with every known tenant re-registered so its floor is reserved
+/// from the first admission of the new round.
+#[derive(Debug)]
+pub struct EngineAdmission {
+    budget: QueryBudget,
+    state: Mutex<AdmissionState>,
+}
+
+#[derive(Debug)]
+struct AdmissionState {
+    tracker: Arc<BudgetTracker>,
+    tenants: BTreeSet<String>,
+}
+
+impl EngineAdmission {
+    fn new(config: AdmissionConfig) -> EngineAdmission {
+        let budget = QueryBudget::unlimited()
+            .with_fetch_quota(config.queries_per_epoch)
+            .with_fair_share(config.fair_share);
+        EngineAdmission {
+            budget: budget.clone(),
+            state: Mutex::new(AdmissionState {
+                tracker: Arc::new(BudgetTracker::new(budget)),
+                tenants: BTreeSet::new(),
+            }),
+        }
+    }
+
+    /// Ask to run one query as `tenant`. Denial is a deferral, not an
+    /// error: the tenant may retry next epoch.
+    pub fn admit(&self, tenant: &str) -> Result<(), BudgetDenial> {
+        let mut state = self.state.lock().expect("admission lock");
+        if state.tenants.insert(tenant.to_string()) {
+            state.tracker.register_site(tenant);
+        }
+        state.tracker.try_admit(tenant, false)
+    }
+
+    /// A tenant's admitted query completed: release its fair-share
+    /// reservation for the rest of the epoch.
+    pub fn complete(&self, tenant: &str) {
+        self.state.lock().expect("admission lock").tracker.mark_served(tenant);
+    }
+
+    /// Open a new epoch: fresh counters, same tenant floors.
+    pub fn reset_epoch(&self) {
+        let mut state = self.state.lock().expect("admission lock");
+        let tracker = Arc::new(BudgetTracker::new(self.budget.clone()));
+        for tenant in &state.tenants {
+            tracker.register_site(tenant);
+        }
+        state.tracker = tracker;
+    }
+
+    /// The current epoch's per-tenant spend.
+    pub fn snapshot(&self) -> BudgetSnapshot {
+        self.state.lock().expect("admission lock").tracker.snapshot()
+    }
+}
+
+/// Per-query knobs. [`QueryOptions::default`] is a plain unbudgeted,
+/// untraced query (counters still collected).
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Resource budget; budgeted queries bypass the answer memo (they
+    /// must do their own admission and journalling).
+    pub budget: Option<QueryBudget>,
+    /// Collect a full span trace for this query.
+    pub trace: bool,
+}
+
+impl QueryOptions {
+    pub fn traced() -> QueryOptions {
+        QueryOptions { budget: None, trace: true }
+    }
+
+    pub fn budgeted(budget: QueryBudget) -> QueryOptions {
+        QueryOptions { budget: Some(budget), trace: false }
+    }
+}
+
+/// Everything one query produced. The observation is present only for
+/// traced queries; the metrics snapshot is always present and is
+/// *this query's* counters alone — cross-tenant isolation is the
+/// point of the per-query registry.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub relation: Relation,
+    pub plan: UrPlan,
+    pub observation: Option<QueryObservation>,
+    pub metrics: MetricsSnapshot,
+}
+
+/// Engine-level errors. `Deferred` is load shedding, not failure.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Admission control deferred this tenant to a later epoch.
+    Deferred(BudgetDenial),
+    Query(webbase_ur::query::QueryParseError),
+    Plan(UrError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Deferred(d) => write!(f, "deferred: {d}"),
+            EngineError::Query(e) => write!(f, "{e}"),
+            EngineError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Cumulative counters across the engine's lifetime, for the wire
+/// protocol's `STATS` reply and the load generator's report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries that ran to a result (including budget-partial ones).
+    pub queries: u64,
+    /// Admissions deferred by the tenant scheduler.
+    pub deferred: u64,
+    /// Shared page-store hits / misses / evictions.
+    pub store_hits: u64,
+    pub store_misses: u64,
+    pub store_evictions: u64,
+    /// Shared answer-memo hits / misses and resident answers.
+    pub memo_hits: u64,
+    pub memo_misses: u64,
+    pub memo_len: usize,
+    /// Invocations that waited for an in-flight leader's answer
+    /// instead of recomputing it (memo singleflight).
+    pub memo_coalesced: u64,
+    /// Whole-query result cache hits / misses / coalesced waits.
+    pub result_hits: u64,
+    pub result_misses: u64,
+    pub result_coalesced: u64,
+    /// Times a fetch waited on a saturated per-host connection pool.
+    pub pool_waits: u64,
+}
+
+struct SiteArtifacts {
+    map: NavigationMap,
+    compiled: Arc<CompiledSite>,
+    /// Handles derived once at build time; sessions reuse them instead
+    /// of re-walking the map graph per query.
+    handles: Vec<Handle>,
+}
+
+struct EngineInner {
+    web: SyntheticWeb,
+    data: Arc<Dataset>,
+    sites: Vec<SiteArtifacts>,
+    relations: Vec<LogicalRelation>,
+    planner: UrPlanner,
+    policy: FetchPolicy,
+    store: PageStore,
+    pool: Arc<HostPools>,
+    memo: AnswerMemo,
+    admission: Option<EngineAdmission>,
+    /// Parsed-query + plan cache, keyed by query text. Every session
+    /// is built from the same shared artifacts, so a plan computed
+    /// once is valid for every later session (see
+    /// `UrPlanner::execute_planned`). Traced and isolated runs bypass
+    /// it — traced ones so the Plan span is real, isolated ones
+    /// because the cache is one of the shared resources the baseline
+    /// must not touch.
+    plans: RwLock<HashMap<String, Arc<(UrQuery, UrPlan)>>>,
+    /// Whole-query result cache, keyed by query text, with the same
+    /// singleflight protocol as the invocation memo: when N identical
+    /// queries arrive at once, one session executes and the rest wait
+    /// for — and then share — its answer. Only complete answers from
+    /// undegraded, unbudgeted, untraced runs are ever published.
+    results: AnswerMemo,
+    preflight: webbase_webcheck::Report,
+    report: BuildReport,
+    queries: AtomicU64,
+    deferred: AtomicU64,
+}
+
+/// The shared multi-query engine. Clone-cheap (`Arc` inside); every
+/// clone serves the same webbase.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Engine {
+    /// Build the paper's used-car webbase as a shared engine (the
+    /// server-side analogue of [`crate::Webbase::build_demo`]).
+    pub fn build_demo(seed: u64, n_ads: usize, latency: LatencyModel) -> Engine {
+        let data = Dataset::generate(seed, n_ads);
+        let web = standard_web(data.clone(), latency);
+        Engine::build_on(web, data, EngineConfig::default())
+            .expect("the standard sessions replay cleanly")
+    }
+
+    /// Build over an existing Web: replay every designer session,
+    /// record the maps, compile each exactly once, and assemble the
+    /// shared artifacts. Webcheck vets every map here — not once per
+    /// query session.
+    pub fn build_on(
+        web: SyntheticWeb,
+        data: Arc<Dataset>,
+        config: EngineConfig,
+    ) -> Result<Engine, WebbaseError> {
+        let mut sites = Vec::new();
+        let mut stats: Vec<(String, MapStats)> = Vec::new();
+        let mut preflight = webbase_webcheck::Report::new();
+        for (host, session) in sessions::all_sessions(&data) {
+            let (map, s) = Recorder::record(web.clone(), host, &session)
+                .map_err(|e| WebbaseError::Record(host.to_string(), e))?;
+            preflight.merge(webbase_webcheck::check_site(&map));
+            stats.push((host.to_string(), s));
+            let compiled = Arc::new(compile_map(&map));
+            let handles = derive_handles(&map);
+            sites.push(SiteArtifacts { map, compiled, handles });
+        }
+        let store = match config.page_capacity {
+            Some(cap) => PageStore::with_capacity(cap),
+            None => PageStore::new(),
+        };
+        Ok(Engine {
+            inner: Arc::new(EngineInner {
+                web,
+                data,
+                sites,
+                relations: paper_schema(),
+                planner: UrPlanner::new(figure5(), example62_rules()),
+                policy: config.policy,
+                store,
+                pool: Arc::new(HostPools::new(config.per_host_connections)),
+                memo: AnswerMemo::new(),
+                admission: config.admission.map(EngineAdmission::new),
+                plans: RwLock::new(HashMap::new()),
+                results: AnswerMemo::new(),
+                preflight,
+                report: BuildReport { sites: stats },
+                queries: AtomicU64::new(0),
+                deferred: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// A fresh per-query session over the shared artifacts: private
+    /// navigators and catalog, shared compiled programs, page store,
+    /// connection pools, and answer memo.
+    fn new_session(&self) -> LogicalLayer {
+        self.session_with(
+            self.inner.store.clone(),
+            Some(self.inner.pool.clone()),
+            Some(self.inner.memo.clone()),
+        )
+    }
+
+    /// A session that shares *nothing* mutable: private page store, no
+    /// memo, no pools — the pre-engine single-owner cost model. The
+    /// load generator's serial baseline and the concurrency tests'
+    /// byte-identity oracle run here.
+    fn isolated_session(&self) -> LogicalLayer {
+        self.session_with(PageStore::new(), None, None)
+    }
+
+    fn session_with(
+        &self,
+        store: PageStore,
+        pool: Option<Arc<HostPools>>,
+        memo: Option<AnswerMemo>,
+    ) -> LogicalLayer {
+        let inner = &self.inner;
+        let mut catalog = VpsCatalog::new();
+        for site in &inner.sites {
+            catalog.add_map_compiled(
+                inner.web.clone(),
+                site.map.clone(),
+                site.compiled.clone(),
+                &site.handles,
+                inner.policy,
+                store.clone(),
+                pool.clone(),
+            );
+        }
+        if let Some(memo) = memo {
+            catalog.set_memo(memo);
+        }
+        LogicalLayer::new(catalog, inner.relations.clone())
+    }
+
+    /// Parse and execute one UR query as `tenant`.
+    ///
+    /// Admission control (when configured) runs first: a denial
+    /// returns [`EngineError::Deferred`] without touching the Web.
+    /// Admitted queries run on a private session — per-query metrics
+    /// and (optionally) a span trace come back in the outcome.
+    pub fn query(
+        &self,
+        tenant: &str,
+        text: &str,
+        options: QueryOptions,
+    ) -> Result<QueryOutcome, EngineError> {
+        self.run(tenant, text, options, false)
+    }
+
+    /// Run one query on a fully isolated session (private page store,
+    /// no memo, no pools): the single-owner cost model, side by side
+    /// with the shared engine. Bypasses admission and the `queries`
+    /// counter — it is a measurement tool, not a tenant.
+    pub fn query_isolated(
+        &self,
+        tenant: &str,
+        text: &str,
+        options: QueryOptions,
+    ) -> Result<QueryOutcome, EngineError> {
+        self.run(tenant, text, options, true)
+    }
+
+    fn run(
+        &self,
+        tenant: &str,
+        text: &str,
+        options: QueryOptions,
+        isolated: bool,
+    ) -> Result<QueryOutcome, EngineError> {
+        let inner = &self.inner;
+        // Plan-cache fast path: reuse the parse and the plan computed
+        // by an earlier query with the same text.
+        let cached = if isolated || options.trace {
+            None
+        } else {
+            inner.plans.read().expect("plan cache lock").get(text).cloned()
+        };
+        let mut q = match &cached {
+            Some(entry) => entry.0.clone(),
+            None => parse_query(text).map_err(EngineError::Query)?,
+        };
+        if let Some(budget) = options.budget.clone() {
+            q = q.with_budget(budget);
+        }
+        if !isolated {
+            if let Some(admission) = &inner.admission {
+                if let Err(denial) = admission.admit(tenant) {
+                    inner.deferred.fetch_add(1, Ordering::Relaxed);
+                    return Err(EngineError::Deferred(denial));
+                }
+            }
+        }
+        // Whole-query singleflight over the result cache: when N
+        // identical eligible queries are in flight, one session
+        // executes and the rest block here until its answer settles,
+        // then return it as their own. The tenant still paid
+        // admission for the query — sharing the computation does not
+        // share the slot.
+        let result_lead = if !isolated && !options.trace && options.budget.is_none() {
+            match inner.results.claim(&AnswerMemo::key(text, &[])) {
+                MemoClaim::Hit(relation) => {
+                    // The leader populated the plan cache before it
+                    // executed, so a hit always finds the clean plan.
+                    let entry = inner.plans.read().expect("plan cache lock").get(text).cloned();
+                    if let Some(entry) = entry {
+                        if let Some(admission) = &inner.admission {
+                            admission.complete(tenant);
+                        }
+                        inner.queries.fetch_add(1, Ordering::Relaxed);
+                        return Ok(QueryOutcome {
+                            relation,
+                            plan: entry.1.clone(),
+                            observation: None,
+                            metrics: MetricsSnapshot::default(),
+                        });
+                    }
+                    None
+                }
+                MemoClaim::Leader(guard) => Some(guard),
+            }
+        } else {
+            None
+        };
+        let mut layer = if isolated { self.isolated_session() } else { self.new_session() };
+        let obs = if options.trace {
+            Obs::full()
+        } else {
+            Obs::metrics_only(Arc::new(MetricsRegistry::new()))
+        };
+        layer.vps.set_obs(obs.clone());
+        // Plan before executing so the cache is populated as soon as
+        // the plan exists — not after the first execution finishes.
+        // Under a concurrent cold start every same-text query would
+        // otherwise re-plan redundantly for the whole duration of the
+        // first run. Planning is pure metadata work (no fetches), so
+        // double-checked re-reads under the write lock are cheap.
+        let out: Result<(Relation, UrPlan), EngineError> = match &cached {
+            Some(entry) => {
+                inner.planner.execute_planned(&q, &entry.1, &mut layer).map_err(EngineError::Plan)
+            }
+            None if !isolated && !options.trace => {
+                let entry = {
+                    let mut plans = inner.plans.write().expect("plan cache lock");
+                    match plans.get(text) {
+                        Some(entry) => Ok(entry.clone()),
+                        None => {
+                            // Plan from the *base* parse: a budget on
+                            // `q` must not leak into the shared cache.
+                            parse_query(text).map_err(EngineError::Query).and_then(|base| {
+                                inner.planner.plan(&base, &layer).map_err(EngineError::Plan).map(
+                                    |plan| {
+                                        let entry = Arc::new((base, plan));
+                                        plans.insert(text.to_string(), entry.clone());
+                                        entry
+                                    },
+                                )
+                            })
+                        }
+                    }
+                };
+                entry.and_then(|entry| {
+                    inner
+                        .planner
+                        .execute_planned(&q, &entry.1, &mut layer)
+                        .map_err(EngineError::Plan)
+                })
+            }
+            None => inner.planner.execute(&q, &mut layer).map_err(EngineError::Plan),
+        };
+        // The tenant consumed its admission whether or not the query
+        // succeeded — the slot was held either way.
+        if !isolated {
+            if let Some(admission) = &inner.admission {
+                admission.complete(tenant);
+            }
+        }
+        let (relation, plan) = out?;
+        // Publish only complete answers: a degraded or resumable run
+        // must not be replayed to other tenants as the full result.
+        // (An error return above drops the guard instead, releasing
+        // the key so a waiting session takes over as leader.)
+        if let Some(guard) = result_lead {
+            guard.settle(
+                (plan.degradation.is_clean() && plan.resume.is_none()).then(|| relation.clone()),
+            );
+        }
+        if !isolated {
+            inner.queries.fetch_add(1, Ordering::Relaxed);
+        }
+        let metrics = obs.metrics.as_ref().map(|m| m.snapshot()).unwrap_or_default();
+        let observation = options
+            .trace
+            .then(|| QueryObservation { trace: obs.sink.finish(), metrics: metrics.clone() });
+        Ok(QueryOutcome { relation, plan, observation, metrics })
+    }
+
+    /// Plan without executing (no admission charge, no fetches).
+    pub fn explain(&self, text: &str) -> Result<UrPlan, EngineError> {
+        let q = parse_query(text).map_err(EngineError::Query)?;
+        let layer = self.new_session();
+        self.inner.planner.plan(&q, &layer).map_err(EngineError::Plan)
+    }
+
+    /// Open a new admission epoch (no-op without admission control).
+    pub fn reset_epoch(&self) {
+        if let Some(admission) = &self.inner.admission {
+            admission.reset_epoch();
+        }
+    }
+
+    /// The current epoch's per-tenant admission spend.
+    pub fn admission_snapshot(&self) -> Option<BudgetSnapshot> {
+        self.inner.admission.as_ref().map(EngineAdmission::snapshot)
+    }
+
+    pub fn stats(&self) -> EngineStats {
+        let inner = &self.inner;
+        EngineStats {
+            queries: inner.queries.load(Ordering::Relaxed),
+            deferred: inner.deferred.load(Ordering::Relaxed),
+            store_hits: inner.store.hits(),
+            store_misses: inner.store.misses(),
+            store_evictions: inner.store.evictions(),
+            memo_hits: inner.memo.hits(),
+            memo_misses: inner.memo.misses(),
+            memo_len: inner.memo.len(),
+            memo_coalesced: inner.memo.coalesced(),
+            result_hits: inner.results.hits(),
+            result_misses: inner.results.misses(),
+            result_coalesced: inner.results.coalesced(),
+            pool_waits: inner.pool.waits(),
+        }
+    }
+
+    pub fn web(&self) -> &SyntheticWeb {
+        &self.inner.web
+    }
+
+    pub fn data(&self) -> &Arc<Dataset> {
+        &self.inner.data
+    }
+
+    /// The shared page store (for tests and diagnostics).
+    pub fn store(&self) -> &PageStore {
+        &self.inner.store
+    }
+
+    /// The shared answer memo (for tests and diagnostics).
+    pub fn memo(&self) -> &AnswerMemo {
+        &self.inner.memo
+    }
+
+    /// The §7 map-builder statistics from the build.
+    pub fn report(&self) -> &BuildReport {
+        &self.inner.report
+    }
+
+    /// The accumulated build-time webcheck findings.
+    pub fn preflight(&self) -> &webbase_webcheck::Report {
+        &self.inner.preflight
+    }
+
+    /// The UR's attribute list.
+    pub fn ur_attributes(&self) -> Vec<String> {
+        self.inner.planner.ur_attributes(&self.new_session())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Webbase;
+
+    const JAGUAR: &str = "UsedCarUR(make='jaguar', model, year >= 1993, price, bbprice, \
+                          safety='good', condition='good') WHERE price < bbprice";
+
+    #[test]
+    fn engine_is_send_sync_and_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<Engine>();
+    }
+
+    #[test]
+    fn engine_answers_match_the_single_owner_stack() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let mut wb = Webbase::build_demo(5, 400, LatencyModel::lan());
+        let (expected, _) = wb.query(JAGUAR).expect("webbase answers");
+        let out = engine.query("t0", JAGUAR, QueryOptions::default()).expect("engine answers");
+        assert_eq!(out.relation, expected, "shared engine changed the answer");
+        assert!(!out.plan.objects.is_empty());
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_shared_store_and_memo() {
+        let engine = Engine::build_demo(7, 400, LatencyModel::lan());
+        let a = engine.query("alice", JAGUAR, QueryOptions::default()).expect("first");
+        let before = engine.web().total_stats().requests;
+        let b = engine.query("bob", JAGUAR, QueryOptions::default()).expect("second");
+        assert_eq!(a.relation, b.relation);
+        // The second tenant's identical query is answered entirely out
+        // of the shared result cache: zero new network requests.
+        assert_eq!(engine.web().total_stats().requests, before, "repeat query re-fetched");
+        let stats = engine.stats();
+        assert_eq!(stats.result_hits, 1, "repeat text must hit the result cache: {stats:?}");
+        assert_eq!(stats.queries, 2);
+    }
+
+    #[test]
+    fn concurrent_identical_queries_coalesce_onto_one_leader() {
+        let engine = Engine::build_demo(7, 400, LatencyModel::lan());
+        let answers: Vec<Relation> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..4)
+                .map(|t| {
+                    let engine = engine.clone();
+                    scope.spawn(move || {
+                        let tenant = format!("tenant{t}");
+                        engine
+                            .query(&tenant, JAGUAR, QueryOptions::default())
+                            .expect("query runs")
+                            .relation
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().expect("worker")).collect()
+        });
+        assert!(answers.windows(2).all(|w| w[0] == w[1]), "coalesced answers diverged");
+        let stats = engine.stats();
+        // One session executed; the other three either waited for its
+        // answer (coalesced) or arrived after it settled (hits).
+        assert_eq!(stats.result_misses, 1, "exactly one leader: {stats:?}");
+        assert_eq!(stats.result_hits, 3, "three followers shared the answer: {stats:?}");
+        assert_eq!(stats.queries, 4);
+    }
+
+    #[test]
+    fn overlapping_queries_share_pages_not_answers() {
+        let engine = Engine::build_demo(7, 400, LatencyModel::lan());
+        engine.query("alice", JAGUAR, QueryOptions::default()).expect("jaguar");
+        let misses_before = engine.stats().store_misses;
+        // A different query over the same sites: memo cannot help, but
+        // every page the jaguar query already fetched is store-hit.
+        let out = engine
+            .query(
+                "bob",
+                "UsedCarUR(make='jaguar', model, year >= 1995, price, bbprice, \
+                 safety='good', condition='good') WHERE price < bbprice",
+                QueryOptions::default(),
+            )
+            .expect("narrower jaguar");
+        drop(out);
+        let stats = engine.stats();
+        assert!(stats.store_hits > 0, "no cross-query page sharing: {stats:?}");
+        assert!(stats.store_misses >= misses_before, "miss counter went backwards");
+    }
+
+    #[test]
+    fn traced_queries_get_private_span_trees() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let out = engine.query("t", JAGUAR, QueryOptions::traced()).expect("traced");
+        let obs = out.observation.expect("trace present");
+        assert!(!obs.trace.spans.is_empty(), "traced query produced no spans");
+        // An untraced query returns no observation but still counts.
+        let out2 = engine.query("t", JAGUAR, QueryOptions::default()).expect("untraced");
+        assert!(out2.observation.is_none());
+        assert!(out2.metrics.counters.values().any(|v| *v > 0), "metrics-only still counts");
+    }
+
+    #[test]
+    fn budgeted_queries_bypass_the_memo_and_stay_partial() {
+        let q = "UsedCarUR(make='ford', price)";
+        // Cold engine: nothing shared yet, so a tiny quota binds and
+        // the partial carries a resume token.
+        let cold = Engine::build_demo(5, 400, LatencyModel::lan());
+        let out = cold
+            .query("tight", q, QueryOptions::budgeted(QueryBudget::unlimited().with_fetch_quota(2)))
+            .expect("budgeted runs return partials");
+        assert!(out.plan.resume.is_some(), "a cold 2-fetch quota cannot finish the ford query");
+
+        // Warm engine: a full run seeds both the memo and the page
+        // store. A budgeted repeat must not consult the memo — but the
+        // shared store's cache hits are budget-free, so it still walks
+        // to the complete answer.
+        let warm = Engine::build_demo(5, 400, LatencyModel::lan());
+        let full = warm.query("warm", q, QueryOptions::default()).expect("full run");
+        let memo_hits_before = warm.stats().memo_hits;
+        let out2 = warm
+            .query("tight", q, QueryOptions::budgeted(QueryBudget::unlimited().with_fetch_quota(2)))
+            .expect("budgeted warm run");
+        assert_eq!(
+            warm.stats().memo_hits,
+            memo_hits_before,
+            "a budgeted query consulted the shared memo"
+        );
+        assert!(out2.plan.resume.is_none(), "store hits are budget-free on the warm walk");
+        assert_eq!(out2.relation, full.relation, "the warm budgeted walk re-derives the answer");
+    }
+
+    #[test]
+    fn admission_defers_over_quota_tenants_and_resets_by_epoch() {
+        let config = EngineConfig {
+            admission: Some(AdmissionConfig { queries_per_epoch: 2, fair_share: true }),
+            ..EngineConfig::default()
+        };
+        let data = Dataset::generate(5, 400);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let engine = Engine::build_on(web, data, config).expect("builds");
+        let q = "UsedCarUR(make='honda', model='civic', year, price)";
+        engine.query("a", q, QueryOptions::default()).expect("first admitted");
+        engine.query("a", q, QueryOptions::default()).expect("second admitted");
+        let err = engine.query("a", q, QueryOptions::default());
+        assert!(matches!(err, Err(EngineError::Deferred(_))), "third must defer: {err:?}");
+        assert_eq!(engine.stats().deferred, 1);
+        let snap = engine.admission_snapshot().expect("admission configured");
+        assert_eq!(snap.sites["a"].fetches, 2);
+        engine.reset_epoch();
+        engine.query("a", q, QueryOptions::default()).expect("fresh epoch admits again");
+    }
+
+    #[test]
+    fn fair_share_reserves_floors_for_quiet_tenants() {
+        let config = EngineConfig {
+            admission: Some(AdmissionConfig { queries_per_epoch: 4, fair_share: true }),
+            ..EngineConfig::default()
+        };
+        let data = Dataset::generate(5, 400);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let engine = Engine::build_on(web, data, config).expect("builds");
+        let q = "UsedCarUR(make='honda', model='civic', year, price)";
+        // Register both tenants, then let "greedy" try to drain the epoch.
+        engine.query("greedy", q, QueryOptions::default()).expect("greedy 1");
+        engine.query("quiet", q, QueryOptions::default()).expect("quiet 1");
+        engine.reset_epoch();
+        // floor = 4/2 = 2 each. Greedy is served after its first query,
+        // releasing its own reservation, but quiet's floor holds.
+        engine.query("greedy", q, QueryOptions::default()).expect("greedy within floor");
+        engine.query("greedy", q, QueryOptions::default()).expect("greedy takes slack");
+        let third = engine.query("greedy", q, QueryOptions::default());
+        assert!(
+            matches!(third, Err(EngineError::Deferred(BudgetDenial::FairShareDeferred))),
+            "quiet tenant's floor must survive: {third:?}"
+        );
+        engine.query("quiet", q, QueryOptions::default()).expect("quiet's reserved floor");
+    }
+
+    #[test]
+    fn isolated_queries_share_nothing_and_agree() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let iso = engine.query_isolated("x", JAGUAR, QueryOptions::default()).expect("isolated");
+        assert_eq!(engine.stats().queries, 0, "isolated runs are not admitted queries");
+        assert!(engine.store().is_empty(), "isolated run leaked into the shared store");
+        assert!(engine.memo().is_empty(), "isolated run leaked into the shared memo");
+        let shared = engine.query("x", JAGUAR, QueryOptions::default()).expect("shared");
+        assert_eq!(iso.relation, shared.relation, "isolation changed the answer");
+    }
+
+    #[test]
+    fn explain_charges_nothing() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let before = engine.web().total_stats().requests;
+        let plan = engine.explain(JAGUAR).expect("plans");
+        assert!(!plan.objects.is_empty());
+        assert_eq!(engine.web().total_stats().requests, before);
+        assert_eq!(engine.stats().queries, 0, "explain is not an admitted query");
+    }
+}

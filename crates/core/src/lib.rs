@@ -29,10 +29,16 @@
 //! println!("{result}");
 //! ```
 
+pub mod engine;
 pub mod layers;
+pub mod server;
 pub mod timing;
 pub mod webbase;
 
+pub use crate::engine::{
+    AdmissionConfig, Engine, EngineConfig, EngineError, EngineStats, QueryOptions, QueryOutcome,
+};
+pub use crate::server::{serve_connection, ServerConfig};
 pub use crate::webbase::{check_stack, BuildReport, Webbase, WebbaseError};
 pub use timing::{
     merged_degradation, merged_metrics, merged_repairs, parallel_timing, serial_timing, SiteTiming,

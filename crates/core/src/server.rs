@@ -1,0 +1,259 @@
+//! The `webbased` wire protocol: a line-oriented query service over
+//! the shared [`Engine`].
+//!
+//! One connection is one tenant session. Requests are single lines;
+//! replies are a status line (`OK …`, `ERR …`, or `DEFER …`),
+//! optionally followed by a tab-separated body terminated by `END`.
+//! The protocol is deliberately 1999-shaped — telnet-friendly, no
+//! framing beyond newlines:
+//!
+//! ```text
+//! TENANT alice          → OK tenant alice
+//! TRACE ON              → OK trace on
+//! BUDGET 40             → OK budget 40
+//! BUDGET NONE           → OK budget none
+//! QUERY UsedCarUR(...)  → OK 3 12          (columns, rows)
+//!                         make model ...   (tab-separated header)
+//!                         jaguar xj6 ...   (tab-separated tuples)
+//!                         END
+//! EXPLAIN UsedCarUR(..) → OK plan / rendered plan / END
+//! STATS                 → OK stats / key value lines / END
+//! PING                  → OK pong
+//! QUIT                  → OK bye           (connection closes)
+//! ```
+//!
+//! `DEFER <reason>` answers a query the admission scheduler refused
+//! this epoch — the tenant's cue to back off and retry, not an error.
+//! [`serve_connection`] is generic over `BufRead`/`Write`, so the
+//! same loop serves a TCP socket (the `webbased` binary), an
+//! in-memory buffer (the tests), or stdio.
+
+use std::io::{self, BufRead, Write};
+
+use crate::engine::{Engine, EngineError, QueryOptions};
+use webbase_navigation::QueryBudget;
+
+/// Per-connection defaults (a connection can change all of these with
+/// `TENANT` / `TRACE` / `BUDGET` commands).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Tenant name used before any `TENANT` command.
+    pub default_tenant: String,
+    /// Reset the admission epoch automatically every `n` completed
+    /// queries (`None` = only explicit `EPOCH` commands reset it).
+    pub epoch_every: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { default_tenant: "anonymous".to_string(), epoch_every: None }
+    }
+}
+
+struct Session {
+    tenant: String,
+    trace: bool,
+    budget: Option<QueryBudget>,
+    served: u64,
+}
+
+/// Serve one connection until `QUIT` or EOF. Errors out only on I/O
+/// failure — protocol misuse answers `ERR` and keeps the connection.
+pub fn serve_connection<R: BufRead, W: Write>(
+    engine: &Engine,
+    config: &ServerConfig,
+    reader: R,
+    mut writer: W,
+) -> io::Result<()> {
+    let mut session =
+        Session { tenant: config.default_tenant.clone(), trace: false, budget: None, served: 0 };
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "PING" => writeln!(writer, "OK pong")?,
+            "QUIT" => {
+                writeln!(writer, "OK bye")?;
+                break;
+            }
+            "TENANT" => {
+                if rest.is_empty() {
+                    writeln!(writer, "ERR tenant name required")?;
+                } else {
+                    session.tenant = rest.to_string();
+                    writeln!(writer, "OK tenant {}", session.tenant)?;
+                }
+            }
+            "TRACE" => match rest.to_ascii_uppercase().as_str() {
+                "ON" => {
+                    session.trace = true;
+                    writeln!(writer, "OK trace on")?;
+                }
+                "OFF" => {
+                    session.trace = false;
+                    writeln!(writer, "OK trace off")?;
+                }
+                _ => writeln!(writer, "ERR TRACE takes ON or OFF")?,
+            },
+            "BUDGET" => {
+                if rest.eq_ignore_ascii_case("none") {
+                    session.budget = None;
+                    writeln!(writer, "OK budget none")?;
+                } else {
+                    match rest.parse::<u64>() {
+                        Ok(n) => {
+                            session.budget = Some(QueryBudget::unlimited().with_fetch_quota(n));
+                            writeln!(writer, "OK budget {n}")?;
+                        }
+                        Err(_) => writeln!(writer, "ERR BUDGET takes a fetch quota or NONE")?,
+                    }
+                }
+            }
+            "EPOCH" => {
+                engine.reset_epoch();
+                writeln!(writer, "OK epoch")?;
+            }
+            "QUERY" => {
+                if rest.is_empty() {
+                    writeln!(writer, "ERR query text required")?;
+                    continue;
+                }
+                let options = QueryOptions { budget: session.budget.clone(), trace: session.trace };
+                match engine.query(&session.tenant, rest, options) {
+                    Ok(out) => {
+                        let rel = &out.relation;
+                        let attrs = rel.schema().attrs();
+                        writeln!(writer, "OK {} {}", attrs.len(), rel.len())?;
+                        let header: Vec<&str> =
+                            attrs.iter().map(webbase_relational::Attr::as_str).collect();
+                        writeln!(writer, "{}", header.join("\t"))?;
+                        for t in rel.tuples() {
+                            let row: Vec<String> =
+                                (0..attrs.len()).map(|i| t.get(i).to_string()).collect();
+                            writeln!(writer, "{}", row.join("\t"))?;
+                        }
+                        if out.plan.resume.is_some() {
+                            writeln!(writer, "PARTIAL budget exhausted")?;
+                        }
+                        if let Some(obs) = &out.observation {
+                            writeln!(writer, "TRACE {} spans", obs.trace.spans.len())?;
+                        }
+                        writeln!(writer, "END")?;
+                        session.served += 1;
+                        if let Some(every) = config.epoch_every {
+                            if session.served.is_multiple_of(every) {
+                                engine.reset_epoch();
+                            }
+                        }
+                    }
+                    Err(EngineError::Deferred(denial)) => {
+                        writeln!(writer, "DEFER {denial}")?;
+                    }
+                    Err(e) => writeln!(writer, "ERR {e}")?,
+                }
+            }
+            "EXPLAIN" => match engine.explain(rest) {
+                Ok(plan) => {
+                    writeln!(writer, "OK plan")?;
+                    for l in plan.render().lines() {
+                        writeln!(writer, "{l}")?;
+                    }
+                    writeln!(writer, "END")?;
+                }
+                Err(e) => writeln!(writer, "ERR {e}")?,
+            },
+            "STATS" => {
+                let s = engine.stats();
+                writeln!(writer, "OK stats")?;
+                writeln!(writer, "queries\t{}", s.queries)?;
+                writeln!(writer, "deferred\t{}", s.deferred)?;
+                writeln!(writer, "store_hits\t{}", s.store_hits)?;
+                writeln!(writer, "store_misses\t{}", s.store_misses)?;
+                writeln!(writer, "store_evictions\t{}", s.store_evictions)?;
+                writeln!(writer, "memo_hits\t{}", s.memo_hits)?;
+                writeln!(writer, "memo_misses\t{}", s.memo_misses)?;
+                writeln!(writer, "memo_len\t{}", s.memo_len)?;
+                writeln!(writer, "memo_coalesced\t{}", s.memo_coalesced)?;
+                writeln!(writer, "result_hits\t{}", s.result_hits)?;
+                writeln!(writer, "result_misses\t{}", s.result_misses)?;
+                writeln!(writer, "result_coalesced\t{}", s.result_coalesced)?;
+                writeln!(writer, "pool_waits\t{}", s.pool_waits)?;
+                writeln!(writer, "END")?;
+            }
+            _ => writeln!(writer, "ERR unknown command {verb}")?,
+        }
+        writer.flush()?;
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_webworld::prelude::LatencyModel;
+
+    fn drive(engine: &Engine, script: &str) -> String {
+        let mut out = Vec::new();
+        serve_connection(engine, &ServerConfig::default(), script.as_bytes(), &mut out)
+            .expect("in-memory serve");
+        String::from_utf8(out).expect("utf8 reply")
+    }
+
+    #[test]
+    fn ping_quit_and_unknown() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let reply = drive(&engine, "PING\nFROB\nQUIT\nPING\n");
+        assert_eq!(reply, "OK pong\nERR unknown command FROB\nOK bye\n");
+    }
+
+    #[test]
+    fn query_streams_header_rows_and_end() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let reply = drive(
+            &engine,
+            "TENANT alice\nQUERY UsedCarUR(make='honda', model='civic', year, price)\n",
+        );
+        let mut lines = reply.lines();
+        assert_eq!(lines.next(), Some("OK tenant alice"));
+        let status = lines.next().expect("status line");
+        assert!(status.starts_with("OK "), "{status}");
+        let header = lines.next().expect("header");
+        assert!(header.split('\t').any(|c| c == "price"), "{header}");
+        assert_eq!(reply.lines().last(), Some("END"));
+    }
+
+    #[test]
+    fn parse_errors_answer_err_and_keep_the_connection() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let reply = drive(&engine, "QUERY Used CarUR(\nPING\n");
+        assert!(reply.starts_with("ERR "), "{reply}");
+        assert!(reply.ends_with("OK pong\n"), "{reply}");
+    }
+
+    #[test]
+    fn budget_yields_partial_marker() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let reply = drive(&engine, "BUDGET 2\nQUERY UsedCarUR(make='ford', price)\n");
+        assert!(reply.contains("OK budget 2"), "{reply}");
+        assert!(reply.contains("PARTIAL budget exhausted"), "{reply}");
+    }
+
+    #[test]
+    fn trace_reports_span_count_and_stats_report_counters() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let reply = drive(
+            &engine,
+            "TRACE ON\nQUERY UsedCarUR(make='honda', model='civic', year, price)\nSTATS\nQUIT\n",
+        );
+        assert!(reply.contains("TRACE "), "{reply}");
+        assert!(reply.contains("queries\t1"), "{reply}");
+        assert!(reply.contains("OK bye"), "{reply}");
+    }
+}

@@ -5,17 +5,21 @@
 //! link by its text, fill out and submit a form. Every loaded page is
 //! parsed once and kept with its extracted links and forms.
 //!
-//! The session carries a **fetch cache** keyed by the canonical request;
-//! backtracking in the Transaction F-logic interpreter re-executes
-//! navigation prefixes, and the cache keeps those re-executions from
-//! touching the (simulated) network — the paper relies on the same
-//! idempotence when it re-runs navigation expressions.
+//! The session reads through a **fetch cache** keyed by the canonical
+//! request (see [`crate::store::PageStore`]); backtracking in the
+//! Transaction F-logic interpreter re-executes navigation prefixes, and
+//! the cache keeps those re-executions from touching the (simulated)
+//! network — the paper relies on the same idempotence when it re-runs
+//! navigation expressions. By default each session owns a private
+//! store; the multi-query engine hands every session one shared store
+//! so concurrent queries serve each other's pages.
 
 use crate::budget::{BudgetDenial, BudgetTracker, JournalEntry};
+use crate::pool::HostPools;
 use crate::resilience::{CircuitState, DegradationReport, FetchPolicy, HostHealth};
+use crate::store::PageStore;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 use webbase_html::extract::{self, Form, Link, WidgetKind};
@@ -26,6 +30,11 @@ use webbase_webworld::prelude::*;
 /// A fetched-and-parsed page.
 #[derive(Debug)]
 pub struct LoadedPage {
+    /// The canonical request this page answered. This — not the cache
+    /// slot or the allocation address — is the page's identity: the
+    /// simulated Web is a pure function of the request, so equal
+    /// requests denote the same page even across eviction and refetch.
+    pub request: Request,
     pub url: Url,
     pub doc: Document,
     pub title: String,
@@ -39,14 +48,15 @@ pub struct LoadedPage {
 }
 
 impl LoadedPage {
-    fn from_response(url: Url, resp: &Response) -> LoadedPage {
+    pub fn from_response(request: Request, resp: &Response) -> LoadedPage {
         let html = resp.html();
         let complete = html.trim_end().ends_with("</html>");
         let doc = webbase_html::parse(html);
         let title = doc.title().unwrap_or_default();
         let links = extract::links(&doc);
         let forms = extract::forms(&doc);
-        LoadedPage { url, doc, title, links, forms, complete }
+        let url = request.url.clone();
+        LoadedPage { request, url, doc, title, links, forms, complete }
     }
 
     /// Structural signature for map-node identity: URL path (digit runs
@@ -203,8 +213,11 @@ impl std::error::Error for BrowseError {}
 /// degradation accounting).
 pub struct Browser {
     web: SyntheticWeb,
-    current: Option<Rc<LoadedPage>>,
-    cache: HashMap<Request, Rc<LoadedPage>>,
+    current: Option<Arc<LoadedPage>>,
+    /// The fetch cache. Private to this session unless constructed with
+    /// [`Browser::with_store`], in which case it is shared with every
+    /// other session holding the same store.
+    store: PageStore,
     /// Network attempts (cache misses; retries count).
     pub fetches: u32,
     /// Cache hits.
@@ -239,6 +252,9 @@ pub struct Browser {
     /// the layer stack like the budget tracker. Disabled by default, in
     /// which case every touch point below is a single branch.
     obs: Obs,
+    /// Per-host connection pools, shared across sessions by the engine.
+    /// `None` = unpooled (every fetch goes straight to the Web).
+    pool: Option<Arc<HostPools>>,
 }
 
 impl Browser {
@@ -250,10 +266,17 @@ impl Browser {
     /// [`FetchPolicy::no_retry`] so flaky responses surface on the
     /// first attempt).
     pub fn with_policy(web: SyntheticWeb, policy: FetchPolicy) -> Browser {
+        Browser::with_store(web, policy, PageStore::new())
+    }
+
+    /// A browser reading through a caller-supplied (possibly shared)
+    /// page store. The engine uses this to let concurrent queries serve
+    /// each other's fetches.
+    pub fn with_store(web: SyntheticWeb, policy: FetchPolicy, store: PageStore) -> Browser {
         Browser {
             web,
             current: None,
-            cache: HashMap::new(),
+            store,
             fetches: 0,
             cache_hits: 0,
             retries: 0,
@@ -267,7 +290,19 @@ impl Browser {
             journal: Vec::new(),
             site_only_charging: false,
             obs: Obs::none(),
+            pool: None,
         }
+    }
+
+    /// The page store this session reads through.
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Attach shared per-host connection pools; subsequent fetches
+    /// acquire a slot for the target host around the network exchange.
+    pub fn set_pool(&mut self, pool: Arc<HostPools>) {
+        self.pool = Some(pool);
     }
 
     pub fn without_cache(web: SyntheticWeb) -> Browser {
@@ -345,8 +380,8 @@ impl Browser {
     pub fn preload(&mut self, entry: &JournalEntry) {
         let resp =
             Response { status: 200, body: entry.body.clone(), stall: std::time::Duration::ZERO };
-        let page = Rc::new(LoadedPage::from_response(entry.request.url.clone(), &resp));
-        self.cache.insert(entry.request.clone(), page);
+        let page = Arc::new(LoadedPage::from_response(entry.request.clone(), &resp));
+        self.store.insert(entry.request.clone(), page);
         // A preloaded page stays journalled: it is already paid for, and
         // the *next* resume token must keep covering it even though this
         // run will only ever see it as a cache hit.
@@ -388,7 +423,7 @@ impl Browser {
         }
     }
 
-    pub fn current(&self) -> Option<&Rc<LoadedPage>> {
+    pub fn current(&self) -> Option<&Arc<LoadedPage>> {
         self.current.as_ref()
     }
 
@@ -399,13 +434,13 @@ impl Browser {
 
     /// Make a previously loaded page current again without a fetch
     /// (browser Back).
-    pub fn restore(&mut self, page: Rc<LoadedPage>) {
+    pub fn restore(&mut self, page: Arc<LoadedPage>) {
         self.current = Some(page);
     }
 
-    fn request(&mut self, req: Request) -> Result<Rc<LoadedPage>, BrowseError> {
+    fn request(&mut self, req: Request) -> Result<Arc<LoadedPage>, BrowseError> {
         if self.caching {
-            if let Some(page) = self.cache.get(&req).cloned() {
+            if let Some(page) = self.store.get(&req) {
                 self.cache_hits += 1;
                 self.obs.count(Metric::CacheHits);
                 if self.obs.tracing() {
@@ -498,7 +533,13 @@ impl Browser {
             } else {
                 webbase_obs::SpanHandle::INERT
             };
-            let (resp, latency) = self.web.fetch(&req);
+            let (resp, latency) = match &self.pool {
+                Some(pool) => {
+                    let _slot = pool.acquire(&host);
+                    self.web.fetch(&req)
+                }
+                None => self.web.fetch(&req),
+            };
             self.fetches += 1;
             self.obs.count(Metric::Fetches);
             self.degradation.site_mut(&host).requests += 1;
@@ -557,14 +598,14 @@ impl Browser {
                         status: resp.status,
                     });
                 }
-                let page = Rc::new(LoadedPage::from_response(req.url.clone(), &resp));
+                let page = Arc::new(LoadedPage::from_response(req.clone(), &resp));
                 self.obs.count(Metric::PagesParsed);
                 if self.budget.is_some() {
                     self.journal
                         .push(JournalEntry { request: req.clone(), body: resp.body.clone() });
                 }
                 if self.caching {
-                    self.cache.insert(req, page.clone());
+                    self.store.insert(req, page.clone());
                 }
                 return Ok(page);
             };
@@ -634,7 +675,7 @@ impl Browser {
         &mut self,
         req: Request,
         resp: &Response,
-    ) -> Result<Rc<LoadedPage>, BrowseError> {
+    ) -> Result<Arc<LoadedPage>, BrowseError> {
         let stripped = parse_expired_param(resp.html()).map(|p| {
             let mut s = req.clone();
             s.url.query.retain(|(k, _)| k != &p);
@@ -667,9 +708,10 @@ impl Browser {
                     }
                 }
                 // Cache under the stale key too: backtracking re-issues
-                // the original request verbatim.
+                // the original request verbatim. The page's *identity*
+                // stays the stripped request it canonically answers.
                 if self.caching {
-                    self.cache.insert(req, page.clone());
+                    self.store.insert(req, page.clone());
                 }
                 Ok(page)
             }
@@ -678,14 +720,14 @@ impl Browser {
     }
 
     /// Load an absolute URL.
-    pub fn goto(&mut self, url: Url) -> Result<Rc<LoadedPage>, BrowseError> {
+    pub fn goto(&mut self, url: Url) -> Result<Arc<LoadedPage>, BrowseError> {
         let page = self.request(Request::get(url))?;
         self.current = Some(page.clone());
         Ok(page)
     }
 
     /// Follow the link with the given anchor text on the current page.
-    pub fn follow_link(&mut self, text: &str) -> Result<Rc<LoadedPage>, BrowseError> {
+    pub fn follow_link(&mut self, text: &str) -> Result<Arc<LoadedPage>, BrowseError> {
         let current = self.current.clone().ok_or(BrowseError::NoCurrentPage)?;
         let link =
             current.link_by_text(text).ok_or_else(|| BrowseError::NoSuchLink(text.to_string()))?;
@@ -701,7 +743,7 @@ impl Browser {
         &mut self,
         page: &LoadedPage,
         href: &str,
-    ) -> Result<Rc<LoadedPage>, BrowseError> {
+    ) -> Result<Arc<LoadedPage>, BrowseError> {
         let target = page.url.resolve(href);
         let loaded = self.request(Request::get(target))?;
         self.current = Some(loaded.clone());
@@ -718,7 +760,7 @@ impl Browser {
         page: &LoadedPage,
         form_action: &str,
         values: &[(String, String)],
-    ) -> Result<Rc<LoadedPage>, BrowseError> {
+    ) -> Result<Arc<LoadedPage>, BrowseError> {
         let form = page
             .form_by_action(form_action)
             .ok_or_else(|| BrowseError::NoSuchForm(form_action.to_string()))?;
@@ -761,7 +803,7 @@ impl Browser {
         &mut self,
         form_action: &str,
         values: &[(String, String)],
-    ) -> Result<Rc<LoadedPage>, BrowseError> {
+    ) -> Result<Arc<LoadedPage>, BrowseError> {
         let current = self.current.clone().ok_or(BrowseError::NoCurrentPage)?;
         self.submit_on(&current, form_action, values)
     }
@@ -1033,7 +1075,7 @@ mod tests {
         // absorbs it without another round of recovery.
         let fetches = b.fetches;
         let again = b.follow_on(&p0, &more).expect("cached");
-        assert!(Rc::ptr_eq(&p1, &again));
+        assert!(Arc::ptr_eq(&p1, &again));
         assert_eq!(b.fetches, fetches);
         assert_eq!(b.session_recoveries()["pager.test"], 1);
     }

@@ -31,8 +31,9 @@ use crate::extractor::ExtractionSpec;
 use crate::healing::{apply_heal, needs_recompile, PageProbe, PendingChange, RepairReport};
 use crate::map::{NavigationMap, NodeId, NodeKind};
 use crate::resilience::{DegradationReport, FetchPolicy};
+use crate::store::PageStore;
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 use webbase_flogic::oracle::{Oracle, OracleOutcome};
@@ -54,13 +55,16 @@ enum ConcreteAction {
 /// The oracle: browser + page/action registries + extraction specs.
 pub struct NavOracle {
     browser: Browser,
-    pages: Vec<Rc<LoadedPage>>,
+    pages: Vec<Arc<LoadedPage>>,
     /// Loaded-page identity → page index (so backtracked re-executions
-    /// reuse oids). Keyed by the `Rc` pointer: the browser cache returns
-    /// the *same* `Rc` for the same request, and distinct requests —
-    /// including POSTs to one URL with different form parameters — get
-    /// distinct pages. (A URL key would conflate those POSTs.)
-    page_ids: HashMap<usize, usize>,
+    /// reuse oids). Keyed by the page's canonical *request*: distinct
+    /// requests — including POSTs to one URL with different form
+    /// parameters — get distinct pages (a URL key would conflate those
+    /// POSTs), while the same request always names the same page even
+    /// if the cache evicted and refetched it in between. (The old
+    /// pointer key broke exactly there: eviction re-allocated the page
+    /// and silently minted a second identity for it.)
+    page_ids: HashMap<Request, usize>,
     actions: HashMap<Sym, ConcreteAction>,
     specs: HashMap<String, ExtractionSpec>,
     value_link_sets: HashMap<String, Vec<(String, String)>>,
@@ -76,9 +80,20 @@ impl NavOracle {
 
     /// An oracle whose browser applies an explicit [`FetchPolicy`].
     pub fn with_policy(web: SyntheticWeb, caching: bool, policy: FetchPolicy) -> NavOracle {
+        NavOracle::with_store(web, caching, policy, PageStore::new())
+    }
+
+    /// An oracle whose browser reads through a caller-supplied (possibly
+    /// shared) page store.
+    pub fn with_store(
+        web: SyntheticWeb,
+        caching: bool,
+        policy: FetchPolicy,
+        store: PageStore,
+    ) -> NavOracle {
         let entries: HashMap<String, Url> =
             web.hosts().into_iter().filter_map(|h| web.entry(&h).map(|u| (h, u))).collect();
-        let mut browser = Browser::with_policy(web, policy);
+        let mut browser = Browser::with_store(web, policy, store);
         browser.caching = caching;
         NavOracle {
             browser,
@@ -128,6 +143,11 @@ impl NavOracle {
     /// Attach the query budget this oracle's browser spends against.
     pub fn set_budget(&mut self, budget: Arc<BudgetTracker>) {
         self.browser.set_budget(budget);
+    }
+
+    /// Attach shared per-host connection pools on the browser.
+    pub fn set_pool(&mut self, pool: Arc<crate::pool::HostPools>) {
+        self.browser.set_pool(pool);
     }
 
     /// Attach (or detach) the observability handle on the browser.
@@ -222,19 +242,18 @@ impl NavOracle {
     }
 
     /// Register (or find) a page, asserting its F-logic objects.
-    fn intern_page(&mut self, page: Rc<LoadedPage>, store: &mut ObjectStore) -> Term {
-        let key = Rc::as_ptr(&page) as usize;
-        let idx = match self.page_ids.get(&key) {
+    fn intern_page(&mut self, page: Arc<LoadedPage>, store: &mut ObjectStore) -> Term {
+        let idx = match self.page_ids.get(&page.request) {
             Some(&i) => i,
             None => {
                 let i = self.pages.len();
-                self.pages.push(page.clone());
-                self.page_ids.insert(key, i);
+                self.page_ids.insert(page.request.clone(), i);
                 // First sight of this page: check it against the
                 // recorded catalogue for structural drift.
                 if let Some(p) = &mut self.probe {
-                    p.inspect(key, &page);
+                    p.inspect(&page.request, &page);
                 }
+                self.pages.push(page.clone());
                 i
             }
         };
@@ -282,7 +301,7 @@ impl NavOracle {
         oid
     }
 
-    fn page_of(&self, term: &Term) -> Option<Rc<LoadedPage>> {
+    fn page_of(&self, term: &Term) -> Option<Arc<LoadedPage>> {
         let Term::Atom(s) = term else { return None };
         let name = s.name();
         let idx: usize = name.strip_prefix("pg")?.parse().ok()?;
@@ -613,14 +632,22 @@ pub struct RunStats {
 /// persists across `run_relation` calls — so a dependent join that
 /// invokes a relation once per key (the `newsdayCarFeatures` pattern)
 /// re-traverses the site from the cache instead of the network.
+///
+/// The oracle and healing state sit behind mutexes (lock order: oracle
+/// then healing, never the reverse), so a navigator shared behind an
+/// `Arc` is `Send + Sync`; `run_relation` holds the oracle lock for the
+/// whole run, serialising runs *per navigator* while distinct
+/// navigators — even over one shared page store — run concurrently.
 pub struct SiteNavigator {
-    compiled: CompiledSite,
+    /// Shared with every other navigator built from the same map by the
+    /// engine: compilation happens once, not per query.
+    compiled: Arc<CompiledSite>,
     pub map: NavigationMap,
-    oracle: std::cell::RefCell<NavOracle>,
+    oracle: Mutex<NavOracle>,
     /// Self-healing state; `None` when disabled. `map` stays the
     /// pristine recorded map — repairs go to a lazily cloned working
     /// copy inside.
-    healing: std::cell::RefCell<Option<HealState>>,
+    healing: Mutex<Option<HealState>>,
 }
 
 /// The navigator's self-healing side: the working (repaired) map, its
@@ -630,7 +657,7 @@ struct HealState {
     /// Cloned from the recorded map on first repair.
     working: Option<NavigationMap>,
     /// Present once a repair touched compiled constants.
-    compiled: Option<CompiledSite>,
+    compiled: Option<Arc<CompiledSite>>,
     report: RepairReport,
 }
 
@@ -681,24 +708,23 @@ impl SiteNavigator {
     /// Disable query-time self-healing (the overhead-ablation
     /// benchmark): no drift probe, no repair/retry loop, no report.
     pub fn without_healing(self) -> SiteNavigator {
-        self.oracle.borrow_mut().clear_probe();
-        *self.healing.borrow_mut() = None;
+        self.oracle.lock().clear_probe();
+        *self.healing.lock() = None;
         self
     }
 
     /// Per-site degradation accumulated over every run of this
     /// navigator (retries, timeouts, fast-fails, abandoned branches).
     pub fn degradation(&self) -> DegradationReport {
-        self.oracle.borrow().degradation()
+        self.oracle.lock().degradation()
     }
 
     /// What self-healing did across every run of this navigator:
     /// repairs auto-applied, runs replayed, sessions recovered, nodes
     /// quarantined.
     pub fn repair_report(&self) -> RepairReport {
-        let mut report =
-            self.healing.borrow().as_ref().map(|h| h.report.clone()).unwrap_or_default();
-        let oracle = self.oracle.borrow();
+        let mut report = self.healing.lock().as_ref().map(|h| h.report.clone()).unwrap_or_default();
+        let oracle = self.oracle.lock();
         for (host, n) in oracle.session_recoveries() {
             report.site_mut(host).sessions_recovered = *n;
         }
@@ -707,26 +733,32 @@ impl SiteNavigator {
 
     /// Attach the query budget every subsequent run spends against.
     pub fn set_budget(&self, budget: Arc<BudgetTracker>) {
-        self.oracle.borrow_mut().set_budget(budget);
+        self.oracle.lock().set_budget(budget);
     }
 
     /// Attach (or detach, with [`Obs::none`]) the observability handle
     /// every subsequent run reports into. The navigator traces onto the
     /// track named after its site.
     pub fn set_obs(&self, obs: Obs) {
-        self.oracle.borrow_mut().set_obs(obs);
+        self.oracle.lock().set_obs(obs);
+    }
+
+    /// Attach shared per-host connection pools to this navigator's
+    /// browser session.
+    pub fn set_pool(&self, pool: Arc<crate::pool::HostPools>) {
+        self.oracle.lock().set_pool(pool);
     }
 
     /// The pages fetched while a budget was attached, in fetch order —
     /// this navigator's slice of a resume token's journal.
     pub fn journal(&self) -> Vec<JournalEntry> {
-        self.oracle.borrow().journal().to_vec()
+        self.oracle.lock().journal().to_vec()
     }
 
     /// Intern journalled pages into the fetch cache so a resumed query
     /// re-traverses them without network fetches.
     pub fn preload_journal<'a>(&self, entries: impl IntoIterator<Item = &'a JournalEntry>) {
-        let mut oracle = self.oracle.borrow_mut();
+        let mut oracle = self.oracle.lock();
         for entry in entries {
             oracle.preload(entry);
         }
@@ -738,8 +770,33 @@ impl SiteNavigator {
         caching: bool,
         policy: FetchPolicy,
     ) -> SiteNavigator {
-        let compiled = compile_map(&map);
-        let mut oracle = NavOracle::with_policy(web, caching, policy);
+        let compiled = Arc::new(compile_map(&map));
+        SiteNavigator::from_artifacts(web, map, compiled, caching, policy, PageStore::new())
+    }
+
+    /// Build a session around *already-compiled* artifacts and a
+    /// (possibly shared) page store — the multi-query engine's
+    /// per-query constructor: compilation happens once per map, and
+    /// every session over the same store serves the others' fetches.
+    pub fn from_compiled(
+        web: SyntheticWeb,
+        map: NavigationMap,
+        compiled: Arc<CompiledSite>,
+        policy: FetchPolicy,
+        store: PageStore,
+    ) -> SiteNavigator {
+        SiteNavigator::from_artifacts(web, map, compiled, true, policy, store)
+    }
+
+    fn from_artifacts(
+        web: SyntheticWeb,
+        map: NavigationMap,
+        compiled: Arc<CompiledSite>,
+        caching: bool,
+        policy: FetchPolicy,
+        store: PageStore,
+    ) -> SiteNavigator {
+        let mut oracle = NavOracle::with_store(web, caching, policy, store);
         // Register extraction specs (one per relation registration) and
         // link-defined attribute sets once, up front.
         for reg in &map.relations {
@@ -757,9 +814,15 @@ impl SiteNavigator {
         SiteNavigator {
             compiled,
             map,
-            oracle: std::cell::RefCell::new(oracle),
-            healing: std::cell::RefCell::new(Some(HealState::default())),
+            oracle: Mutex::new(oracle),
+            healing: Mutex::new(Some(HealState::default())),
         }
+    }
+
+    /// The shared compiled artifacts (for engines that reuse one
+    /// compilation across many per-query sessions).
+    pub fn compiled(&self) -> Arc<CompiledSite> {
+        self.compiled.clone()
     }
 
     /// The compiled relations (name, attrs).
@@ -790,7 +853,7 @@ impl SiteNavigator {
         relation: &str,
         given: &[(String, Value)],
     ) -> Result<(Vec<crate::extractor::Record>, RunStats), NavError> {
-        let mut oracle = self.oracle.borrow_mut();
+        let mut oracle = self.oracle.lock();
         let (fetches0, hits0, retries0, net0) =
             (oracle.fetches(), oracle.cache_hits(), oracle.retries(), oracle.simulated_network());
         let obs = oracle.obs().clone();
@@ -809,9 +872,9 @@ impl SiteNavigator {
         let mut cpu = Duration::ZERO;
         let mut attempt = 0;
         let records = loop {
-            let healing = self.healing.borrow();
-            let active =
-                healing.as_ref().and_then(|h| h.compiled.as_ref()).unwrap_or(&self.compiled);
+            let healing = self.healing.lock();
+            let active: &CompiledSite =
+                healing.as_ref().and_then(|h| h.compiled.as_deref()).unwrap_or(&self.compiled);
             let rel = active
                 .relations
                 .iter()
@@ -898,7 +961,7 @@ impl SiteNavigator {
     /// a repair touched compiled constants (→ recompile and replay).
     fn absorb_repairs(&self, oracle: &mut NavOracle, pending: &[PendingChange]) -> bool {
         use webbase_html::diff::Severity;
-        let mut healing = self.healing.borrow_mut();
+        let mut healing = self.healing.lock();
         let Some(state) = healing.as_mut() else { return false };
         let host = self.map.site.clone();
         let obs = oracle.obs().clone();
@@ -953,7 +1016,7 @@ impl SiteNavigator {
             }
             oracle.rebuild_probe(working);
             state.report.site_mut(&host).steps_replayed += 1;
-            state.compiled = Some(compiled);
+            state.compiled = Some(Arc::new(compiled));
             obs.count(Metric::Replays);
             if obs.tracing() {
                 obs.sink.advance(&host, oracle.simulated_network());
@@ -1174,6 +1237,39 @@ mod tests {
         for r in &records {
             assert_eq!(r["make"], Value::str("jaguar"), "bound term echoed back, not recased");
         }
+    }
+
+    /// Regression: the executor used to key page objects by the cache
+    /// pointer (`Rc::as_ptr`), so evicting a page and refetching it
+    /// minted a *second* F-logic identity for the same page — silently,
+    /// since the deterministic Web returns identical bytes. Identity is
+    /// now the canonical request: eviction and refetch must yield the
+    /// same oid.
+    #[test]
+    fn page_identity_by_request_survives_eviction() {
+        let (web, _data) = web_and_data();
+        let mut oracle = NavOracle::new(web, true);
+        let mut objs = ObjectStore::new();
+        let url = Url::parse("http://www.newsday.com/").expect("valid");
+        let p1 = oracle.browser.goto(url.clone()).expect("loads");
+        let oid1 = oracle.intern_page(p1.clone(), &mut objs);
+        // Evict and refetch: a fresh parse at a fresh allocation.
+        assert!(oracle.browser.store().evict(&p1.request));
+        let p2 = oracle.browser.goto(url).expect("reloads");
+        assert!(!Arc::ptr_eq(&p1, &p2), "eviction forces a fresh allocation");
+        let oid2 = oracle.intern_page(p2, &mut objs);
+        assert_eq!(oid1, oid2, "page identity is the request, not the allocation");
+        assert_eq!(oracle.pages.len(), 1, "one page, one registry slot");
+    }
+
+    #[test]
+    fn navigator_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SiteNavigator>();
+        assert_send_sync::<NavOracle>();
+        assert_send_sync::<crate::browser::Browser>();
+        assert_send_sync::<crate::browser::LoadedPage>();
+        assert_send_sync::<crate::store::PageStore>();
     }
 
     #[test]

@@ -209,8 +209,8 @@ struct HealNode {
 pub(crate) struct PageProbe {
     nodes: Vec<HealNode>,
     quarantined: HashSet<NodeId>,
-    /// Pages (by `Rc` pointer key) already inspected.
-    checked: HashSet<usize>,
+    /// Pages (by canonical request) already inspected.
+    checked: HashSet<webbase_webworld::request::Request>,
     pending: Vec<PendingChange>,
 }
 
@@ -261,9 +261,9 @@ impl PageProbe {
         std::mem::take(&mut self.pending)
     }
 
-    /// Inspect a freshly interned page (`key` is its `Rc` pointer).
-    pub fn inspect(&mut self, key: usize, page: &LoadedPage) {
-        if !self.checked.insert(key) {
+    /// Inspect a freshly interned page (`key` is its canonical request).
+    pub fn inspect(&mut self, key: &webbase_webworld::request::Request, page: &LoadedPage) {
+        if !self.checked.insert(key.clone()) {
             return;
         }
         // A document that didn't close properly may have been truncated

@@ -36,9 +36,11 @@ pub mod maintenance;
 pub mod map;
 pub mod model;
 pub mod persist;
+pub mod pool;
 pub mod recorder;
 pub mod resilience;
 pub mod sessions;
+pub mod store;
 
 pub use budget::{
     BudgetDenial, BudgetSnapshot, BudgetTracker, JournalEntry, NavPosition, QueryBudget,
@@ -50,8 +52,10 @@ pub use extractor::{CellParse, ExtractionSpec, FieldSpec, Record};
 pub use healing::{RepairReport, SiteRepair};
 pub use map::{NavigationMap, NodeKind};
 pub use persist::{map_from_facts, parse_map, parse_resume, render_facts, render_resume};
+pub use pool::HostPools;
 pub use recorder::{DesignerAction, MapStats, RecordError, Recorder};
 pub use resilience::{CircuitState, DegradationReport, FetchPolicy, SiteDegradation};
+pub use store::PageStore;
 pub use webbase_obs::{
     Metric, MetricsRegistry, MetricsSnapshot, Obs, QueryObservation, QueryTrace, Span, SpanKind,
     TraceSink, METRICS,

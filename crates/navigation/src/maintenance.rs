@@ -18,7 +18,7 @@ use crate::browser::{Browser, LoadedPage};
 use crate::map::{NavigationMap, NodeId};
 use crate::model::{ActionDescr, FieldDescr, FormDescr, LinkDescr};
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 use webbase_html::diff::{PageChange, Severity};
 use webbase_html::extract::{Form, WidgetKind};
 use webbase_webworld::prelude::*;
@@ -71,7 +71,7 @@ pub fn check_map_with_policy(
     };
 
     // BFS over recorded edges, keeping one live exemplar page per node.
-    let mut live: Vec<Option<Rc<LoadedPage>>> = vec![None; map.nodes.len()];
+    let mut live: Vec<Option<Arc<LoadedPage>>> = vec![None; map.nodes.len()];
     live[map.entry] = Some(entry_page);
     let mut visited = vec![false; map.nodes.len()];
     let mut queue = VecDeque::from([map.entry]);
@@ -112,7 +112,7 @@ fn replay(
     page: &LoadedPage,
     action: &ActionDescr,
     exemplar: &[(String, String)],
-) -> Result<Rc<LoadedPage>, crate::browser::BrowseError> {
+) -> Result<Arc<LoadedPage>, crate::browser::BrowseError> {
     match action {
         ActionDescr::Follow(link) => {
             // Follow by name against the live page (hrefs may have moved).

@@ -27,7 +27,7 @@ use crate::browser::{BrowseError, Browser, LoadedPage};
 use crate::extractor::ExtractionSpec;
 use crate::map::{NavigationMap, NodeId, NodeKind};
 use crate::model::{ActionDescr, FieldDescr, FormDescr, LinkDescr};
-use std::rc::Rc;
+use std::sync::Arc;
 use webbase_relational::standardize::Standardizer;
 use webbase_webworld::prelude::*;
 
@@ -133,7 +133,7 @@ pub struct Recorder {
     browser: Browser,
     map: NavigationMap,
     current_node: Option<NodeId>,
-    history: Vec<(NodeId, Rc<LoadedPage>)>,
+    history: Vec<(NodeId, Arc<LoadedPage>)>,
     manual_facts: usize,
     auto_standardized: usize,
     duplicate_edges: usize,
@@ -252,7 +252,7 @@ impl Recorder {
         id
     }
 
-    fn current(&self) -> Result<(NodeId, Rc<LoadedPage>), RecordError> {
+    fn current(&self) -> Result<(NodeId, Arc<LoadedPage>), RecordError> {
         match (self.current_node, self.browser.current()) {
             (Some(n), Some(p)) => Ok((n, p.clone())),
             _ => Err(RecordError::NoCurrentPage),

@@ -1,0 +1,215 @@
+//! The shared page store: a thread-safe fetch cache keyed by the
+//! canonical request, shareable across browser sessions and across
+//! concurrent queries.
+//!
+//! Historically every [`crate::browser::Browser`] owned a private
+//! `HashMap<Request, Rc<LoadedPage>>`: nothing outlived a query, and a
+//! second query re-fetched (and re-parsed) every page the first had
+//! already paid for. The store lifts that cache into an `Arc`-shared,
+//! lock-guarded map so the multi-query engine can hand **one** store to
+//! every per-query browser session: the first query to touch a page
+//! parses it, every later query — on any thread — gets the same
+//! `Arc<LoadedPage>` back as a cache hit.
+//!
+//! Identity is **by request**, never by pointer: distinct POSTs to one
+//! CGI URL are distinct pages, and an evicted-then-refetched page is
+//! *the same page* (same request ⇒ same deterministic body ⇒ same
+//! parse). The executor keys its F-logic page objects the same way, so
+//! eviction can never silently change page identity (see the
+//! regression test in `crate::executor`).
+//!
+//! Eviction is FIFO over insertion order when a capacity is set; the
+//! default store is unbounded (the simulated Web is small). Hit, miss,
+//! and eviction totals are atomic counters, readable without a lock.
+
+use crate::browser::LoadedPage;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use webbase_webworld::request::Request;
+
+#[derive(Debug, Default)]
+struct StoreState {
+    pages: HashMap<Request, Arc<LoadedPage>>,
+    /// Insertion order, for FIFO eviction under a capacity bound.
+    order: VecDeque<Request>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    state: RwLock<StoreState>,
+    capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A clone-cheap handle to one shared page store (`Arc` inside).
+#[derive(Debug, Clone)]
+pub struct PageStore {
+    inner: Arc<StoreInner>,
+}
+
+impl Default for PageStore {
+    fn default() -> PageStore {
+        PageStore::new()
+    }
+}
+
+impl PageStore {
+    /// An unbounded store (the per-session default).
+    pub fn new() -> PageStore {
+        PageStore {
+            inner: Arc::new(StoreInner {
+                state: RwLock::new(StoreState::default()),
+                capacity: None,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A store holding at most `capacity` pages, evicting FIFO.
+    pub fn with_capacity(capacity: usize) -> PageStore {
+        PageStore {
+            inner: Arc::new(StoreInner {
+                state: RwLock::new(StoreState::default()),
+                capacity: Some(capacity.max(1)),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Look up the page a request resolved to, counting a hit or miss.
+    pub fn get(&self, req: &Request) -> Option<Arc<LoadedPage>> {
+        let found = self.inner.state.read().expect("page store lock").pages.get(req).cloned();
+        match &found {
+            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Intern a page under its canonical request. Under a capacity
+    /// bound the oldest entries are evicted first.
+    pub fn insert(&self, req: Request, page: Arc<LoadedPage>) {
+        let mut state = self.inner.state.write().expect("page store lock");
+        if state.pages.insert(req.clone(), page).is_none() {
+            state.order.push_back(req);
+        }
+        if let Some(cap) = self.inner.capacity {
+            while state.pages.len() > cap {
+                let Some(oldest) = state.order.pop_front() else { break };
+                state.pages.remove(&oldest);
+                self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drop one entry (returns whether it was present).
+    pub fn evict(&self, req: &Request) -> bool {
+        let mut state = self.inner.state.write().expect("page store lock");
+        let present = state.pages.remove(req).is_some();
+        if present {
+            state.order.retain(|r| r != req);
+            self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        present
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        let mut state = self.inner.state.write().expect("page store lock");
+        let n = state.pages.len() as u64;
+        state.pages.clear();
+        state.order.clear();
+        self.inner.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.state.read().expect("page store lock").pages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the store since creation.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing since creation.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped (capacity, `evict`, or `clear`) since creation.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Do two handles name the same underlying store?
+    pub fn same_store(&self, other: &PageStore) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_webworld::prelude::*;
+    use webbase_webworld::request::Response;
+
+    fn page(host: &str, path: &str) -> (Request, Arc<LoadedPage>) {
+        let req = Request::get(Url::new(host, path));
+        let resp = Response::ok(format!("<html><head><title>{path}</title></head></html>"));
+        (req.clone(), Arc::new(LoadedPage::from_response(req, &resp)))
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let store = PageStore::new();
+        let (req, pg) = page("a.test", "/x");
+        assert!(store.get(&req).is_none());
+        store.insert(req.clone(), pg.clone());
+        let back = store.get(&req).expect("present");
+        assert!(Arc::ptr_eq(&back, &pg));
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let store = PageStore::with_capacity(2);
+        let (r1, p1) = page("a.test", "/1");
+        let (r2, p2) = page("a.test", "/2");
+        let (r3, p3) = page("a.test", "/3");
+        store.insert(r1.clone(), p1);
+        store.insert(r2.clone(), p2);
+        store.insert(r3.clone(), p3);
+        assert_eq!(store.len(), 2);
+        assert!(store.get(&r1).is_none(), "oldest entry evicted first");
+        assert!(store.get(&r2).is_some() && store.get(&r3).is_some());
+        assert_eq!(store.evictions(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let store = PageStore::new();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    let (req, pg) = page("a.test", &format!("/{i}"));
+                    store.insert(req.clone(), pg);
+                    store.get(&req).is_some()
+                })
+            })
+            .collect();
+        assert!(handles.into_iter().all(|h| h.join().expect("thread")));
+        assert_eq!(store.len(), 4);
+    }
+}

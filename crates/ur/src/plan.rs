@@ -25,7 +25,8 @@ use crate::query::UrQuery;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 use webbase_logical::{
-    BudgetSnapshot, BudgetTracker, LogicalLayer, ResumeToken, SpanHandle, SpanKind, QUERY_TRACK,
+    BudgetSnapshot, BudgetTracker, LogicalLayer, Obs, ResumeToken, SpanHandle, SpanKind,
+    QUERY_TRACK,
 };
 use webbase_relational::eval::{AccessSpec, EvalError, Evaluator, RelationProvider};
 use webbase_relational::ordering::{order_exact, JoinInput};
@@ -370,7 +371,46 @@ impl UrPlanner {
                 Err(e) => obs.sink.end_with(plan_span, vec![("error", e.to_string())]),
             }
         }
-        let mut plan = planned?;
+        let plan = planned?;
+        self.run_plan(query, plan, layer, resume, &obs, root)
+    }
+
+    /// Execute a *previously computed* plan, skipping the planning
+    /// pass. Sound only when `plan` came from [`UrPlanner::plan`] for
+    /// the same query text over a layer with the same schema and
+    /// handles — which is exactly the multi-query engine's situation:
+    /// every per-query session is built from the same shared artifacts,
+    /// so a plan computed once is valid for every session, and the
+    /// engine caches it by query text.
+    pub fn execute_planned(
+        &self,
+        query: &UrQuery,
+        plan: &UrPlan,
+        layer: &mut LogicalLayer,
+    ) -> Result<(Relation, UrPlan), UrError> {
+        let obs = layer.vps.obs().clone();
+        let root = if obs.tracing() {
+            obs.sink.begin(
+                QUERY_TRACK,
+                SpanKind::Query,
+                format!("{}({})", query.ur_name, query.outputs.join(", ")),
+                vec![("plan", "cached".to_string())],
+            )
+        } else {
+            SpanHandle::INERT
+        };
+        self.run_plan(query, plan.clone(), layer, None, &obs, root)
+    }
+
+    fn run_plan(
+        &self,
+        query: &UrQuery,
+        mut plan: UrPlan,
+        layer: &mut LogicalLayer,
+        resume: Option<&ResumeToken>,
+        obs: &Obs,
+        root: SpanHandle,
+    ) -> Result<(Relation, UrPlan), UrError> {
         // A resumed run inherits the original budget unless the query
         // supplies its own.
         let budget_spec = query.budget.clone().or_else(|| resume.map(|t| t.budget.clone()));

@@ -2,14 +2,16 @@
 //! `RelationProvider`.
 
 use crate::handle::{derive_handles, Handle};
+use crate::memo::{AnswerMemo, MemoClaim};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Duration;
 use webbase_navigation::budget::{BudgetTracker, JournalEntry, NavPosition, ResumeToken};
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
-use webbase_navigation::{DegradationReport, RepairReport};
+use webbase_navigation::pool::HostPools;
+use webbase_navigation::store::PageStore;
+use webbase_navigation::{CompiledSite, DegradationReport, FetchPolicy, RepairReport};
 use webbase_obs::{Metric, Obs, SpanHandle, SpanKind, QUERY_TRACK};
 use webbase_relational::binding::{Binding, BindingSet};
 use webbase_relational::eval::{AccessSpec, EvalError, RelationProvider};
@@ -52,7 +54,7 @@ impl VpsStats {
 }
 
 struct VpsEntry {
-    navigator: Rc<SiteNavigator>,
+    navigator: Arc<SiteNavigator>,
     schema: Schema,
     handles: Vec<Handle>,
 }
@@ -75,6 +77,10 @@ pub struct VpsCatalog {
     /// Observability handle shared with every navigator (and through
     /// them, every browser). Disabled by default.
     obs: Obs,
+    /// Shared answer memo; `None` outside the multi-query engine. Only
+    /// consulted on unbudgeted invocations of clean navigators (see
+    /// [`crate::memo`]).
+    memo: Option<AnswerMemo>,
 }
 
 impl Default for VpsCatalog {
@@ -93,6 +99,7 @@ impl VpsCatalog {
             positions: Vec::new(),
             preflight: webbase_webcheck::Report::new(),
             obs: Obs::none(),
+            memo: None,
         }
     }
 
@@ -105,8 +112,37 @@ impl VpsCatalog {
     /// before calling in.
     pub fn add_map(&mut self, web: SyntheticWeb, map: NavigationMap) {
         self.preflight.merge(webbase_webcheck::check_site(&map));
-        let handles = derive_handles(&map);
-        let navigator = Rc::new(SiteNavigator::new(web, map));
+        let navigator = Arc::new(SiteNavigator::new(web, map));
+        let handles = derive_handles(&navigator.map);
+        self.register(navigator, &handles);
+    }
+
+    /// Add a map around *already-compiled* artifacts, pre-derived
+    /// handles, and a shared page store — the multi-query engine's
+    /// per-session path. No pre-flight analysis and no handle
+    /// derivation here: the engine vets and derives each map once at
+    /// build time, not once per query. The navigator session is private
+    /// to this catalog; only the compiled program, the handles, and the
+    /// page store are shared.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_map_compiled(
+        &mut self,
+        web: SyntheticWeb,
+        map: NavigationMap,
+        compiled: Arc<CompiledSite>,
+        handles: &[Handle],
+        policy: FetchPolicy,
+        store: PageStore,
+        pool: Option<Arc<HostPools>>,
+    ) {
+        let navigator = Arc::new(SiteNavigator::from_compiled(web, map, compiled, policy, store));
+        if let Some(pool) = pool {
+            navigator.set_pool(pool);
+        }
+        self.register(navigator, handles);
+    }
+
+    fn register(&mut self, navigator: Arc<SiteNavigator>, handles: &[Handle]) {
         for rel in navigator.relations() {
             let schema = Schema::new(rel.attrs.iter().map(String::as_str));
             let rel_handles: Vec<Handle> =
@@ -146,7 +182,7 @@ impl VpsCatalog {
         self.entries.get(relation).map(|e| e.handles.as_slice()).unwrap_or(&[])
     }
 
-    pub fn navigator(&self, relation: &str) -> Option<&Rc<SiteNavigator>> {
+    pub fn navigator(&self, relation: &str) -> Option<&Arc<SiteNavigator>> {
         self.entries.get(relation).map(|e| &e.navigator)
     }
 
@@ -160,7 +196,7 @@ impl VpsCatalog {
         let mut report = DegradationReport::default();
         for name in &self.order {
             let nav = &self.entries[name].navigator;
-            if seen.insert(Rc::as_ptr(nav)) {
+            if seen.insert(Arc::as_ptr(nav)) {
                 report.merge(&nav.degradation());
             }
         }
@@ -175,7 +211,7 @@ impl VpsCatalog {
         let mut report = RepairReport::default();
         for name in &self.order {
             let nav = &self.entries[name].navigator;
-            if seen.insert(Rc::as_ptr(nav)) {
+            if seen.insert(Arc::as_ptr(nav)) {
                 report.merge(&nav.repair_report());
             }
         }
@@ -189,7 +225,7 @@ impl VpsCatalog {
         let mut seen: HashSet<*const SiteNavigator> = HashSet::new();
         for name in &self.order {
             let nav = &self.entries[name].navigator;
-            if seen.insert(Rc::as_ptr(nav)) {
+            if seen.insert(Arc::as_ptr(nav)) {
                 budget.register_site(&nav.map.site);
                 nav.set_budget(budget.clone());
             }
@@ -210,7 +246,7 @@ impl VpsCatalog {
         let mut seen: HashSet<*const SiteNavigator> = HashSet::new();
         for name in &self.order {
             let nav = &self.entries[name].navigator;
-            if seen.insert(Rc::as_ptr(nav)) {
+            if seen.insert(Arc::as_ptr(nav)) {
                 nav.set_obs(obs.clone());
             }
         }
@@ -220,6 +256,12 @@ impl VpsCatalog {
     /// The attached observability handle (disabled by default).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Attach a shared answer memo (the multi-query engine's
+    /// whole-invocation result cache).
+    pub fn set_memo(&mut self, memo: AnswerMemo) {
+        self.memo = Some(memo);
     }
 
     /// Relation invocations that ran to completion — no budget denial
@@ -235,7 +277,7 @@ impl VpsCatalog {
         let mut journal = Vec::new();
         for name in &self.order {
             let nav = &self.entries[name].navigator;
-            if seen.insert(Rc::as_ptr(nav)) {
+            if seen.insert(Arc::as_ptr(nav)) {
                 journal.extend(nav.journal());
             }
         }
@@ -265,7 +307,7 @@ impl VpsCatalog {
         let mut seen: HashSet<*const SiteNavigator> = HashSet::new();
         for name in &self.order {
             let nav = &self.entries[name].navigator;
-            if seen.insert(Rc::as_ptr(nav)) {
+            if seen.insert(Arc::as_ptr(nav)) {
                 nav.preload_journal(token.journal_for(&nav.map.site));
             }
         }
@@ -381,6 +423,41 @@ impl RelationProvider for VpsCatalog {
             .filter(|(a, _)| handle.selection.contains(a.as_str()))
             .map(|(a, v)| (a.as_str().to_string(), v.clone()))
             .collect();
+        // Shared answer memo, unbudgeted invocations only: a budgeted
+        // run must do its own admission/journalling/position work. The
+        // claim is singleflight: under a concurrent herd one session
+        // leads each distinct invocation and the rest wait for — and
+        // then hit — its settled answer instead of recomputing.
+        let memo_lead = match (&self.memo, &self.budget) {
+            (Some(memo), None) => {
+                let key = AnswerMemo::key(name, &given);
+                match memo.claim(&key) {
+                    MemoClaim::Hit(rel) => {
+                        self.obs.count(Metric::HandleInvocations);
+                        self.obs.count_n(Metric::TuplesEmitted, rel.len() as u64);
+                        if self.obs.tracing() {
+                            self.obs.sink.advance(QUERY_TRACK, self.stats.total_network());
+                            self.obs.sink.event(
+                                QUERY_TRACK,
+                                SpanKind::Handle,
+                                name.to_string(),
+                                vec![
+                                    ("disposition", "memo_hit".to_string()),
+                                    ("tuples", rel.len().to_string()),
+                                ],
+                            );
+                        }
+                        *self.stats.invocations.entry(name.to_string()).or_default() += 1;
+                        return Ok(rel);
+                    }
+                    // Held through the computation below; an early
+                    // error return drops it, releasing the key so a
+                    // waiter takes over as leader.
+                    MemoClaim::Leader(guard) => Some(guard),
+                }
+            }
+            _ => None,
+        };
         self.obs.count(Metric::HandleInvocations);
         let span = if self.obs.tracing() {
             self.obs.sink.advance(QUERY_TRACK, self.stats.total_network());
@@ -447,6 +524,13 @@ impl RelationProvider for VpsCatalog {
                 span,
                 vec![("tuples", rel.len().to_string()), ("pages", run.pages_fetched.to_string())],
             );
+        }
+        // Memoize only answers from a navigator that has never seen
+        // degradation: a truncated or partially healed run must not be
+        // replayed to other queries as complete. Settling `None` still
+        // releases the key and wakes waiting sessions.
+        if let Some(guard) = memo_lead {
+            guard.settle(e.navigator.degradation().is_clean().then(|| rel.clone()));
         }
         Ok(rel)
     }

@@ -19,9 +19,11 @@
 
 pub mod catalog;
 pub mod handle;
+pub mod memo;
 
 pub use catalog::{VpsCatalog, VpsStats};
 pub use handle::{derive_handles, Handle};
+pub use memo::{AnswerMemo, LeaderGuard, MemoClaim};
 // Degradation reporting and query budgets surface through every layer;
 // re-export so upper layers need not depend on webbase-navigation
 // directly.

@@ -1,0 +1,288 @@
+//! The shared answer memo: whole-invocation result caching across
+//! concurrent queries.
+//!
+//! The page store (navigation layer) already lets a second query skip
+//! the *network*; the memo lets it skip the Transaction F-logic
+//! interpretation too. Keyed by `(relation, access-spec bindings)`, it
+//! returns the exact `Relation` a previous identical invocation
+//! produced — sound because the simulated Web is a pure function of the
+//! request, so equal invocations denote equal answers.
+//!
+//! The catalog only consults it on *unbudgeted* invocations whose
+//! navigator has seen no degradation: a budgeted run must do its own
+//! admission, journalling, and position bookkeeping, and a degraded
+//! navigator may have produced a partial answer that must not be
+//! replayed to other tenants as complete.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+use webbase_relational::{Relation, Value};
+
+/// Memo key: relation name + the access-spec bindings, sorted by
+/// attribute so equivalent specs collide.
+pub type MemoKey = (String, Vec<(String, Value)>);
+
+#[derive(Debug)]
+struct MemoInner {
+    answers: RwLock<HashMap<MemoKey, Relation>>,
+    /// Keys some session is computing right now (singleflight): a
+    /// second session asking for an in-flight key waits for the
+    /// leader's answer instead of recomputing it.
+    inflight: Mutex<HashSet<MemoKey>>,
+    settled: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// A clone-cheap handle to one shared answer memo (`Arc` inside).
+#[derive(Debug, Clone)]
+pub struct AnswerMemo {
+    inner: Arc<MemoInner>,
+}
+
+impl Default for AnswerMemo {
+    fn default() -> AnswerMemo {
+        AnswerMemo::new()
+    }
+}
+
+impl AnswerMemo {
+    pub fn new() -> AnswerMemo {
+        AnswerMemo {
+            inner: Arc::new(MemoInner {
+                answers: RwLock::new(HashMap::new()),
+                inflight: Mutex::new(HashSet::new()),
+                settled: Condvar::new(),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Build the canonical key for an invocation.
+    pub fn key(relation: &str, given: &[(String, Value)]) -> MemoKey {
+        let mut bindings = given.to_vec();
+        bindings.sort_by(|a, b| a.0.cmp(&b.0));
+        (relation.to_string(), bindings)
+    }
+
+    pub fn get(&self, key: &MemoKey) -> Option<Relation> {
+        let found = self.inner.answers.read().expect("memo lock").get(key).cloned();
+        match &found {
+            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    pub fn insert(&self, key: MemoKey, answer: Relation) {
+        self.inner.answers.write().expect("memo lock").insert(key, answer);
+    }
+
+    /// Singleflight claim: either a memoised answer, or leadership of
+    /// this key's computation. When another session is already
+    /// computing the key, the caller blocks until that leader settles
+    /// and then retries — under a concurrent thundering herd, one
+    /// session pays for each distinct invocation and every other
+    /// session gets it for a hash lookup.
+    ///
+    /// Deadlock-free by construction: a session leads at most one key
+    /// at a time (invocations are not nested), and a leader never
+    /// waits — so every edge in the wait-for graph points at a
+    /// non-waiting session. The wait is additionally bounded: a waiter
+    /// re-checks every 50ms, so if a leader vanishes without settling
+    /// (its query failed), a waiter takes over.
+    pub fn claim(&self, key: &MemoKey) -> MemoClaim {
+        let mut first = true;
+        loop {
+            let inflight = self.inner.inflight.lock().expect("inflight lock");
+            // Answers are published *before* the in-flight mark is
+            // cleared, so checking under the in-flight lock cannot
+            // miss a settling leader.
+            if let Some(rel) = self.inner.answers.read().expect("memo lock").get(key).cloned() {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                return MemoClaim::Hit(rel);
+            }
+            let mut inflight = inflight;
+            if inflight.insert(key.clone()) {
+                if first {
+                    self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                return MemoClaim::Leader(LeaderGuard { memo: self.clone(), key: key.clone() });
+            }
+            if first {
+                self.inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                first = false;
+            }
+            let (woken, _timeout) = self
+                .inner
+                .settled
+                .wait_timeout(inflight, Duration::from_millis(50))
+                .expect("inflight lock");
+            drop(woken);
+        }
+    }
+
+    /// Requests that found their key already being computed by another
+    /// session and waited for its answer instead of recomputing.
+    pub fn coalesced(&self) -> u64 {
+        self.inner.coalesced.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.answers.read().expect("memo lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// What `AnswerMemo::claim` resolved to.
+#[derive(Debug)]
+pub enum MemoClaim {
+    /// A previous identical invocation already settled its answer.
+    Hit(Relation),
+    /// The caller owns this key's computation; every other session
+    /// asking for it waits until the guard settles (or is dropped).
+    Leader(LeaderGuard),
+}
+
+/// Leadership of one in-flight memo key. Dropping the guard releases
+/// the key and wakes waiters even when the computation failed, so an
+/// error path can never strand the herd: the next waiter simply takes
+/// over as leader.
+#[derive(Debug)]
+pub struct LeaderGuard {
+    memo: AnswerMemo,
+    key: MemoKey,
+}
+
+impl LeaderGuard {
+    /// Publish the computed answer — `None` when the run degraded and
+    /// must not be replayed to other tenants — then release the key.
+    pub fn settle(self, answer: Option<Relation>) {
+        if let Some(rel) = answer {
+            self.memo.insert(self.key.clone(), rel);
+        }
+        // Drop runs next: it clears the in-flight mark *after* the
+        // answer is visible, which is the ordering `claim` relies on.
+    }
+}
+
+impl Drop for LeaderGuard {
+    fn drop(&mut self) {
+        let mut inflight = self.memo.inner.inflight.lock().expect("inflight lock");
+        inflight.remove(&self.key);
+        self.memo.inner.settled.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_relational::{Schema, Tuple};
+
+    #[test]
+    fn key_normalises_binding_order() {
+        let a = AnswerMemo::key(
+            "r",
+            &[("b".to_string(), Value::str("2")), ("a".to_string(), Value::str("1"))],
+        );
+        let b = AnswerMemo::key(
+            "r",
+            &[("a".to_string(), Value::str("1")), ("b".to_string(), Value::str("2"))],
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_and_counters() {
+        let memo = AnswerMemo::new();
+        let key = AnswerMemo::key("r", &[]);
+        assert!(memo.get(&key).is_none());
+        let mut rel = Relation::new(Schema::new(["x"]));
+        rel.push(Tuple::from_values([Value::Int(7)]));
+        memo.insert(key.clone(), rel.clone());
+        let back = memo.get(&key).expect("present");
+        assert_eq!(back.len(), 1);
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+    }
+
+    fn one_row() -> Relation {
+        let mut rel = Relation::new(Schema::new(["x"]));
+        rel.push(Tuple::from_values([Value::Int(7)]));
+        rel
+    }
+
+    #[test]
+    fn claim_leads_then_hits() {
+        let memo = AnswerMemo::new();
+        let key = AnswerMemo::key("r", &[]);
+        match memo.claim(&key) {
+            MemoClaim::Leader(guard) => guard.settle(Some(one_row())),
+            MemoClaim::Hit(_) => panic!("empty memo cannot hit"),
+        }
+        match memo.claim(&key) {
+            MemoClaim::Hit(rel) => assert_eq!(rel.len(), 1),
+            MemoClaim::Leader(_) => panic!("settled key must hit"),
+        }
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        assert_eq!(memo.coalesced(), 0);
+    }
+
+    #[test]
+    fn claim_coalesces_a_concurrent_herd_onto_one_leader() {
+        let memo = AnswerMemo::new();
+        let key = AnswerMemo::key("r", &[("a".to_string(), Value::str("1"))]);
+        let leader = match memo.claim(&key) {
+            MemoClaim::Leader(guard) => guard,
+            MemoClaim::Hit(_) => panic!("empty memo cannot hit"),
+        };
+        let herd: Vec<_> = (0..4)
+            .map(|_| {
+                let memo = memo.clone();
+                let key = key.clone();
+                std::thread::spawn(move || match memo.claim(&key) {
+                    MemoClaim::Hit(rel) => rel.len(),
+                    MemoClaim::Leader(_) => panic!("key is led; follower must wait for the answer"),
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        leader.settle(Some(one_row()));
+        for worker in herd {
+            assert_eq!(worker.join().expect("follower"), 1);
+        }
+        assert_eq!(memo.coalesced(), 4);
+        assert_eq!(memo.misses(), 1);
+    }
+
+    #[test]
+    fn dropping_an_unsettled_leader_hands_leadership_to_a_waiter() {
+        let memo = AnswerMemo::new();
+        let key = AnswerMemo::key("r", &[]);
+        let leader = match memo.claim(&key) {
+            MemoClaim::Leader(guard) => guard,
+            MemoClaim::Hit(_) => panic!("empty memo cannot hit"),
+        };
+        drop(leader); // failed computation: nothing published
+        match memo.claim(&key) {
+            MemoClaim::Leader(guard) => guard.settle(None),
+            MemoClaim::Hit(_) => panic!("nothing was published"),
+        }
+        assert!(memo.is_empty());
+    }
+}

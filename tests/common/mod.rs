@@ -28,6 +28,7 @@ pub fn seed() -> u64 {
     std::env::var("WEBBASE_TEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(11)
 }
 
+#[allow(dead_code)]
 pub fn fixture() -> &'static (Arc<Dataset>, Vec<String>) {
     static FIX: OnceLock<(Arc<Dataset>, Vec<String>)> = OnceLock::new();
     FIX.get_or_init(|| {
@@ -36,20 +37,24 @@ pub fn fixture() -> &'static (Arc<Dataset>, Vec<String>) {
     })
 }
 
+#[allow(dead_code)]
 pub fn webbase_on(web: SyntheticWeb) -> Webbase {
     let (data, maps) = fixture();
     Webbase::build_from_fact_maps(web, data.clone(), maps).expect("fact maps reload")
 }
 
+#[allow(dead_code)]
 pub fn healthy_webbase_at(latency: LatencyModel) -> Webbase {
     let (data, _) = fixture();
     webbase_on(standard_web(data.clone(), latency))
 }
 
+#[allow(dead_code)]
 pub fn healthy_webbase() -> Webbase {
     healthy_webbase_at(LatencyModel::lan())
 }
 
+#[allow(dead_code)]
 pub fn faulty_webbase_at(
     latency: LatencyModel,
     wrap: impl Fn(&str, Box<dyn Site>) -> Box<dyn Site>,
@@ -58,6 +63,7 @@ pub fn faulty_webbase_at(
     webbase_on(standard_web_faulty(data.clone(), latency, wrap))
 }
 
+#[allow(dead_code)]
 pub fn faulty_webbase(wrap: impl Fn(&str, Box<dyn Site>) -> Box<dyn Site>) -> Webbase {
     faulty_webbase_at(LatencyModel::lan(), wrap)
 }

@@ -193,3 +193,98 @@ fn fair_share_spreads_a_tight_quota_across_sites() {
         "fair share must cap the greediest site: {max_fair} vs {max_greedy}"
     );
 }
+
+// ---------------------------------------------------------------------
+// Fair-share admission as a property, over random multi-tenant traffic.
+//
+// The engine's admission scheduler reuses the budget tracker with
+// *tenants* in the site role: one query = one fetch charge, completion
+// = `mark_served`. The properties below are therefore stated directly
+// against the tracker, which makes them exhaustive over arrival orders
+// rather than over whatever interleaving a live engine happens to
+// produce.
+
+use proptest::prelude::*;
+use webbase_logical::BudgetTracker;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation and the max-min floor, at every step of a random
+    /// admission history:
+    ///
+    /// 1. per-tenant spends always sum to the global spend (no charge
+    ///    is lost or double-counted),
+    /// 2. the global spend never exceeds the quota, and
+    /// 3. for every tenant `h`, the spend so far plus the floors still
+    ///    reserved for *other unserved* tenants fits in the quota —
+    ///    i.e. no tenant can eat into another's max-min share before
+    ///    that tenant has been served.
+    #[test]
+    fn fair_share_conserves_spend_and_respects_max_min_floors(
+        quota in 1u64..40,
+        n_tenants in 2usize..6,
+        ops in proptest::collection::vec((0usize..6, 0u8..4), 1..120),
+    ) {
+        let budget = QueryBudget::unlimited().with_fetch_quota(quota).with_fair_share(true);
+        let tracker = BudgetTracker::new(budget);
+        let tenants: Vec<String> = (0..n_tenants).map(|i| format!("tenant{i}")).collect();
+        for t in &tenants {
+            tracker.register_site(t);
+        }
+        let floor = quota / n_tenants as u64;
+        let mut admitted = 0u64;
+        let mut denied = 0u64;
+        for (pick, op) in ops {
+            let tenant = &tenants[pick % n_tenants];
+            if op == 3 {
+                tracker.mark_served(tenant);
+            } else {
+                match tracker.try_admit(tenant, false) {
+                    Ok(()) => admitted += 1,
+                    Err(_) => denied += 1,
+                }
+            }
+            let snap = tracker.snapshot();
+            // (1) Conservation: per-tenant spends sum to the global
+            // spend, and both match our own ledger; denials likewise.
+            let spent: u64 = snap.sites.values().map(|s| s.fetches).sum();
+            prop_assert_eq!(spent, snap.fetches, "per-tenant spends drifted from global");
+            prop_assert_eq!(snap.fetches, admitted, "tracker lost or invented a charge");
+            let refused: u64 = snap.sites.values().map(|s| s.denied).sum();
+            prop_assert_eq!(refused, denied, "tracker lost or invented a denial");
+            // (2) The quota is a hard cap.
+            prop_assert!(snap.fetches <= quota, "overspent: {} > {}", snap.fetches, quota);
+            // (3) Max-min: from any tenant's viewpoint, what everyone
+            // has spent plus the floors still reserved for the other
+            // unserved tenants must fit in the quota.
+            for h in &tenants {
+                let reserved: u64 = snap
+                    .sites
+                    .iter()
+                    .filter(|(o, s)| o.as_str() != h.as_str() && !s.served)
+                    .map(|(_, s)| floor.saturating_sub(s.fetches))
+                    .sum();
+                prop_assert!(
+                    snap.fetches + reserved <= quota,
+                    "{h}'s admissions invaded an unserved tenant's floor: \
+                     spent {} + reserved {} > quota {}",
+                    snap.fetches,
+                    reserved,
+                    quota
+                );
+            }
+        }
+        // A tenant that was never served and never asked keeps its full
+        // floor available at the end of any history.
+        let snap = tracker.snapshot();
+        for (h, s) in &snap.sites {
+            if !s.served && s.fetches == 0 {
+                prop_assert!(
+                    snap.fetches + floor <= quota || floor == 0,
+                    "{h} was starved out of its floor"
+                );
+            }
+        }
+    }
+}
