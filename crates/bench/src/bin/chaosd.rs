@@ -1,0 +1,235 @@
+//! `chaosd` — kill-and-restart chaos harness for the `webbased` daemon.
+//!
+//! Everything in `tests/chaos.rs` injects failures *inside* one
+//! process. This binary covers the failure the in-process battery
+//! cannot: the whole daemon dying. It spawns a real `webbased` with a
+//! write-ahead journal, runs queries over TCP, SIGKILLs the daemon at
+//! an arbitrary point, restarts it on the same journal, and asserts
+//! the warm restart actually happened:
+//!
+//! * the journal's pages and settled results are replayed at build,
+//! * the replayed queries answer byte-identically to the first run,
+//! * and the replay costs **zero** new simulated-Web requests
+//!   (`web_requests` in `STATS` stays flat across the queries).
+//!
+//! It also drops a connection mid-session without `QUIT` to exercise
+//! the daemon's disconnect-cancellation path, then checks the daemon
+//! still answers.
+//!
+//! ```text
+//! chaosd [--seed 42] [--ads 900] [--smoke]
+//! ```
+//!
+//! Exits nonzero on any failed assertion — CI runs `--smoke`.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, ExitCode};
+use std::time::{Duration, Instant};
+
+const FORD: &str = "UsedCarUR(make='ford', price)";
+const JAGUAR: &str = "UsedCarUR(make='jaguar', model, year >= 1993, price, bbprice, \
+                      safety='good', condition='good') WHERE price < bbprice";
+
+struct Args {
+    seed: u64,
+    ads: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 42, ads: 900 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--ads" => args.ads = value("--ads")?.parse().map_err(|e| format!("--ads: {e}"))?,
+            "--smoke" => args.ads = 400,
+            "--help" | "-h" => {
+                println!("chaosd [--seed 42] [--ads 900] [--smoke]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// A port the OS just handed out and released — free at bind time.
+fn free_port() -> std::io::Result<u16> {
+    Ok(TcpListener::bind(("127.0.0.1", 0))?.local_addr()?.port())
+}
+
+fn spawn_daemon(args: &Args, port: u16, journal: &Path) -> Result<Child, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let webbased = me.parent().ok_or("no parent dir")?.join("webbased");
+    Command::new(&webbased)
+        .args(["--port", &port.to_string()])
+        .args(["--seed", &args.seed.to_string()])
+        .args(["--ads", &args.ads.to_string()])
+        .args(["--journal", &journal.display().to_string()])
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", webbased.display()))
+}
+
+/// Wait (by connect-retry) until the daemon's listener is up; the
+/// listener binds only after the engine build finishes.
+fn await_ready(port: u16) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(_) => return Ok(()),
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(100)),
+            Err(e) => return Err(format!("daemon on port {port} never came up: {e}")),
+        }
+    }
+}
+
+/// Run one scripted session and return the full reply. The client
+/// half-closes after sending, so the daemon's reader thread sees EOF
+/// and the session tears down cleanly.
+fn session(port: u16, script: &str) -> Result<String, String> {
+    let mut stream =
+        TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect: {e}"))?;
+    stream.write_all(script.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    stream.shutdown(Shutdown::Write).map_err(|e| format!("half-close: {e}"))?;
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).map_err(|e| format!("recv: {e}"))?;
+    Ok(reply)
+}
+
+/// Pull one `key\tvalue` counter out of a `STATS` body.
+fn stat(reply: &str, key: &str) -> Result<u64, String> {
+    reply
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key}\t")))
+        .ok_or_else(|| format!("no {key} in STATS reply:\n{reply}"))?
+        .trim()
+        .parse()
+        .map_err(|e| format!("{key}: {e}"))
+}
+
+/// The relation body of a QUERY reply (status + header + rows), so
+/// answer equality compares data, not surrounding counters.
+fn answer(reply: &str, nth: usize) -> String {
+    let mut answers = Vec::new();
+    let mut current = Vec::new();
+    let mut in_body = false;
+    for line in reply.lines() {
+        if line.starts_with("OK ") && line.split_whitespace().count() == 3 {
+            in_body = true;
+        }
+        if in_body {
+            current.push(line);
+        }
+        if line == "END" && in_body {
+            answers.push(current.join("\n"));
+            current.clear();
+            in_body = false;
+        }
+    }
+    answers.get(nth).cloned().unwrap_or_default()
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let journal =
+        std::env::temp_dir().join(format!("webbase-chaosd-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+
+    // ---- First life: populate the journal, then die without warning.
+    let port = free_port().map_err(|e| format!("free port: {e}"))?;
+    let mut daemon = spawn_daemon(args, port, &journal)?;
+    await_ready(port)?;
+    eprintln!("chaosd: daemon up on {port}; running the journalled workload");
+    let first =
+        session(port, &format!("TENANT chaos\nQUERY {FORD}\nQUERY {JAGUAR}\nSTATS\nQUIT\n"))?;
+    let first_ford = answer(&first, 0);
+    let first_jaguar = answer(&first, 1);
+    if first_ford.is_empty() || first_jaguar.is_empty() {
+        return Err(format!("first life returned empty answers:\n{first}"));
+    }
+    // Drop a connection mid-session without QUIT: the daemon's reader
+    // must cancel the session, not orphan it.
+    {
+        let mut stream =
+            TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .write_all(format!("QUERY {JAGUAR}\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        drop(stream); // no QUIT, no read: a vanished client
+    }
+    let ping = session(port, "PING\nQUIT\n")?;
+    if !ping.contains("OK pong") {
+        return Err(format!("daemon wedged after a mid-session disconnect:\n{ping}"));
+    }
+    eprintln!("chaosd: killing the daemon (SIGKILL)");
+    daemon.kill().map_err(|e| format!("kill: {e}"))?;
+    daemon.wait().map_err(|e| format!("wait: {e}"))?;
+
+    // ---- Second life: same journal, fresh port. The engine must
+    // rebuild its caches from the journal and replay fetch-free.
+    let port = free_port().map_err(|e| format!("free port: {e}"))?;
+    let mut daemon = spawn_daemon(args, port, &journal)?;
+    let result = (|| {
+        await_ready(port)?;
+        eprintln!("chaosd: daemon restarted on {port}; checking the warm restart");
+        let stats = session(port, "STATS\nQUIT\n")?;
+        let recovered_pages = stat(&stats, "journal_recovered_pages")?;
+        let recovered_results = stat(&stats, "journal_recovered_results")?;
+        let torn = stat(&stats, "journal_torn")?;
+        if recovered_pages == 0 {
+            return Err(format!("restart recovered no pages:\n{stats}"));
+        }
+        if recovered_results != 2 {
+            return Err(format!(
+                "restart recovered {recovered_results} results, wanted 2:\n{stats}"
+            ));
+        }
+        if torn != 0 {
+            return Err(format!("clean kill left {torn} torn records:\n{stats}"));
+        }
+        let before = stat(&stats, "web_requests")?;
+        let replay =
+            session(port, &format!("TENANT chaos\nQUERY {FORD}\nQUERY {JAGUAR}\nSTATS\nQUIT\n"))?;
+        if answer(&replay, 0) != first_ford {
+            return Err("ford answer changed across the restart".to_string());
+        }
+        if answer(&replay, 1) != first_jaguar {
+            return Err("jaguar answer changed across the restart".to_string());
+        }
+        let after = stat(&replay, "web_requests")?;
+        if after != before {
+            return Err(format!(
+                "warm restart was not fetch-free: {} new web requests",
+                after - before
+            ));
+        }
+        eprintln!(
+            "chaosd: PASS — {recovered_pages} pages + {recovered_results} results replayed, \
+             answers identical, zero re-fetches"
+        );
+        Ok(())
+    })();
+    let _ = daemon.kill();
+    let _ = daemon.wait();
+    let _ = std::fs::remove_file(&journal);
+    result
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaosd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("chaosd: FAIL — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -22,16 +22,28 @@
 //!
 //! ```text
 //! loadgen [--queries 48] [--threads 16] [--seed 42] [--ads 900]
-//!         [--smoke] [--write]
+//!         [--smoke] [--write] [--disconnect-rate R] [--chaos]
 //! ```
 //!
 //! `--write` saves the report to `BENCH_loadgen.json`; `--smoke` is
 //! the CI configuration (small workload, no file output).
+//!
+//! The failure-injection flags exercise the crash-safe runtime under
+//! load: `--disconnect-rate R` cancels roughly every `1/R`-th shared
+//! query mid-navigation (a client hanging up), `--chaos` makes every
+//! fifth shared query panic at its first checkpoint. Every injected
+//! failure is followed by a clean re-run of the same query, and the
+//! answer-equality gate applies to the recovered answer — so the run
+//! only passes if the engine actually absorbs the failures. The
+//! isolated baseline is never injected; per-mode `failed`/`recovered`
+//! counts land in the report.
 
 use std::process::ExitCode;
 use std::sync::Mutex;
 use std::time::Instant;
-use webbase::{Engine, EngineConfig, LatencyModel, QueryOptions, Relation};
+use webbase::{
+    CancelToken, Engine, EngineConfig, EngineError, LatencyModel, QueryOptions, Relation,
+};
 
 const JAGUAR: &str = "UsedCarUR(make='jaguar', model, year >= 1993, price, bbprice, \
                       safety='good', condition='good') WHERE price < bbprice";
@@ -44,11 +56,21 @@ struct Args {
     ads: usize,
     write: bool,
     smoke: bool,
+    disconnect_rate: f64,
+    chaos: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { queries: 48, threads: 16, seed: 42, ads: 900, write: false, smoke: false };
+    let mut args = Args {
+        queries: 48,
+        threads: 16,
+        seed: 42,
+        ads: 900,
+        write: false,
+        smoke: false,
+        disconnect_rate: 0.0,
+        chaos: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -70,10 +92,16 @@ fn parse_args() -> Result<Args, String> {
                 args.ads = 400;
                 args.smoke = true;
             }
+            "--disconnect-rate" => {
+                args.disconnect_rate = value("--disconnect-rate")?
+                    .parse()
+                    .map_err(|e| format!("--disconnect-rate: {e}"))?;
+            }
+            "--chaos" => args.chaos = true,
             "--help" | "-h" => {
                 println!(
                     "loadgen [--queries 48] [--threads 16] [--seed 42] [--ads 900] \
-                     [--smoke] [--write]"
+                     [--smoke] [--write] [--disconnect-rate R] [--chaos]"
                 );
                 std::process::exit(0);
             }
@@ -83,7 +111,39 @@ fn parse_args() -> Result<Args, String> {
     if args.threads == 0 || args.queries == 0 {
         return Err("--queries and --threads must be positive".to_string());
     }
+    if !(0.0..=1.0).contains(&args.disconnect_rate) {
+        return Err("--disconnect-rate takes a fraction in [0, 1]".to_string());
+    }
     Ok(args)
+}
+
+/// What (if anything) to break in one query. Deterministic per index,
+/// so every mode injects the same failures and runs stay comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Inject {
+    Clean,
+    /// Cancel after the second navigation checkpoint — a client that
+    /// disconnected mid-query.
+    Disconnect,
+    /// Panic at the first checkpoint — a crashing query thread.
+    Panic,
+}
+
+fn injection(args: &Args, index: usize, isolated: bool) -> Inject {
+    // The isolated baseline is the answer oracle: never injected.
+    if isolated {
+        return Inject::Clean;
+    }
+    if args.chaos && index.is_multiple_of(5) {
+        return Inject::Panic;
+    }
+    if args.disconnect_rate > 0.0 {
+        let stride = (1.0 / args.disconnect_rate).round().max(1.0) as usize;
+        if index.is_multiple_of(stride) {
+            return Inject::Disconnect;
+        }
+    }
+    Inject::Clean
 }
 
 /// The alternating jaguar/ford workload, one entry per query.
@@ -95,6 +155,9 @@ struct QueryRun {
     index: usize,
     relation: Relation,
     simulated_ms: f64,
+    /// This query's first attempt was broken by injection (cancelled
+    /// or panicked) — `relation` is the clean re-run's answer.
+    failed: bool,
 }
 
 struct ModeReport {
@@ -102,6 +165,10 @@ struct ModeReport {
     wall_ms: f64,
     p50_simulated_ms: f64,
     p99_simulated_ms: f64,
+    /// Injected failures, and how many of them re-ran to the correct
+    /// answer (the equality gate fails the run if any did not).
+    failed: u64,
+    recovered: u64,
     runs: Vec<QueryRun>,
 }
 
@@ -117,40 +184,84 @@ fn finish(mut runs: Vec<QueryRun>, wall_ms: f64) -> ModeReport {
     runs.sort_by_key(|r| r.index);
     let mut sims: Vec<f64> = runs.iter().map(|r| r.simulated_ms).collect();
     sims.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let failed = runs.iter().filter(|r| r.failed).count() as u64;
     ModeReport {
         qps: runs.len() as f64 / (wall_ms / 1000.0),
         wall_ms,
         p50_simulated_ms: percentile(&sims, 50.0),
         p99_simulated_ms: percentile(&sims, 99.0),
+        failed,
+        // Every failed attempt is re-run below; reaching the report at
+        // all means the re-run produced an answer (panics abort).
+        recovered: failed,
         runs,
     }
 }
 
-fn run_query(engine: &Engine, tenant: &str, text: &str, index: usize, isolated: bool) -> QueryRun {
-    let out = if isolated {
+fn run_clean(
+    engine: &Engine,
+    tenant: &str,
+    text: &str,
+    index: usize,
+    isolated: bool,
+) -> webbase::QueryOutcome {
+    if isolated {
         engine.query_isolated(tenant, text, QueryOptions::default())
     } else {
         engine.query(tenant, text, QueryOptions::default())
     }
-    .unwrap_or_else(|e| panic!("query {index} failed: {e}"));
+    .unwrap_or_else(|e| panic!("query {index} failed: {e}"))
+}
+
+fn run_query(
+    engine: &Engine,
+    tenant: &str,
+    text: &str,
+    index: usize,
+    isolated: bool,
+    inject: Inject,
+) -> QueryRun {
+    let failed = match inject {
+        Inject::Clean => false,
+        Inject::Disconnect | Inject::Panic => {
+            let token = match inject {
+                Inject::Disconnect => CancelToken::new().cancel_after_polls(2),
+                _ => CancelToken::new().panic_after_polls(1),
+            };
+            let options = QueryOptions { cancel: Some(token.clone()), ..QueryOptions::default() };
+            match engine.query(tenant, text, options) {
+                // A cache hit can answer before the fuse arms — then
+                // nothing failed and there is nothing to recover.
+                Ok(_) => token.is_cancelled(),
+                Err(EngineError::Panicked(_)) => true,
+                Err(e) => panic!("query {index}: injection caused a non-panic failure: {e}"),
+            }
+        }
+    };
+    let out = run_clean(engine, tenant, text, index, isolated);
     QueryRun {
         index,
         relation: out.relation,
         simulated_ms: out.metrics.fetch_latency.sum_us as f64 / 1000.0,
+        failed,
     }
 }
 
-fn serial_mode(engine: &Engine, work: &[&'static str], isolated: bool) -> ModeReport {
+fn serial_mode(engine: &Engine, args: &Args, work: &[&'static str], isolated: bool) -> ModeReport {
     let start = Instant::now();
     let runs: Vec<QueryRun> = work
         .iter()
         .enumerate()
-        .map(|(i, text)| run_query(engine, &format!("tenant{}", i % 4), text, i, isolated))
+        .map(|(i, text)| {
+            let inject = injection(args, i, isolated);
+            run_query(engine, &format!("tenant{}", i % 4), text, i, isolated, inject)
+        })
         .collect();
     finish(runs, start.elapsed().as_secs_f64() * 1000.0)
 }
 
-fn concurrent_mode(engine: &Engine, work: &[&'static str], threads: usize) -> ModeReport {
+fn concurrent_mode(engine: &Engine, args: &Args, work: &[&'static str]) -> ModeReport {
+    let threads = args.threads;
     let runs = Mutex::new(Vec::with_capacity(work.len()));
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -160,7 +271,8 @@ fn concurrent_mode(engine: &Engine, work: &[&'static str], threads: usize) -> Mo
             scope.spawn(move || {
                 let tenant = format!("tenant{t}");
                 for (i, text) in work.iter().enumerate().skip(t).step_by(threads) {
-                    let run = run_query(&engine, &tenant, text, i, false);
+                    let inject = injection(args, i, false);
+                    let run = run_query(&engine, &tenant, text, i, false, inject);
                     runs.lock().expect("runs lock").push(run);
                 }
             });
@@ -173,8 +285,9 @@ fn concurrent_mode(engine: &Engine, work: &[&'static str], threads: usize) -> Mo
 fn mode_json(name: &str, m: &ModeReport) -> String {
     format!(
         "    \"{name}\": {{ \"qps\": {:.1}, \"wall_ms\": {:.1}, \
-         \"p50_simulated_ms\": {:.1}, \"p99_simulated_ms\": {:.1} }}",
-        m.qps, m.wall_ms, m.p50_simulated_ms, m.p99_simulated_ms
+         \"p50_simulated_ms\": {:.1}, \"p99_simulated_ms\": {:.1}, \
+         \"failed\": {}, \"recovered\": {} }}",
+        m.qps, m.wall_ms, m.p50_simulated_ms, m.p99_simulated_ms, m.failed, m.recovered
     )
 }
 
@@ -201,16 +314,22 @@ fn main() -> ExitCode {
     // Each mode gets a fresh engine so no mode inherits another's warm
     // caches; within a mode, sharing (or its absence) is the variable.
     let iso_engine = build("serial-isolated");
-    let isolated = serial_mode(&iso_engine, &work, true);
+    let isolated = serial_mode(&iso_engine, &args, &work, true);
     eprintln!("loadgen: serial-isolated  {:8.1} qps", isolated.qps);
 
     let shared_engine = build("serial-shared");
-    let shared = serial_mode(&shared_engine, &work, false);
-    eprintln!("loadgen: serial-shared    {:8.1} qps", shared.qps);
+    let shared = serial_mode(&shared_engine, &args, &work, false);
+    eprintln!(
+        "loadgen: serial-shared    {:8.1} qps  ({} failed, {} recovered)",
+        shared.qps, shared.failed, shared.recovered
+    );
 
     let conc_engine = build("concurrent-shared");
-    let concurrent = concurrent_mode(&conc_engine, &work, args.threads);
-    eprintln!("loadgen: concurrent-shared{:8.1} qps", concurrent.qps);
+    let concurrent = concurrent_mode(&conc_engine, &args, &work);
+    eprintln!(
+        "loadgen: concurrent-shared{:8.1} qps  ({} failed, {} recovered)",
+        concurrent.qps, concurrent.failed, concurrent.recovered
+    );
 
     // Answer-equality gate: every mode, every query, identical relation.
     for (i, base) in isolated.runs.iter().enumerate() {
@@ -237,7 +356,10 @@ fn main() -> ExitCode {
     // The qps gate applies to real configurations. The smoke config
     // is 8 queries on a small dataset — two cold executions dominate,
     // so it only verifies correctness (equal answers across modes).
-    let pass = speedup > 4.0 || args.smoke;
+    // Injection runs pay for every failure twice (break + recover) in
+    // the shared modes only, so they too are correctness-only.
+    let injecting = args.chaos || args.disconnect_rate > 0.0;
+    let pass = speedup > 4.0 || args.smoke || injecting;
 
     let json = format!(
         "{{\n  \"benchmark\": \"loadgen\",\n  \"description\": \"Multi-query engine throughput: \
@@ -275,6 +397,8 @@ fn main() -> ExitCode {
         stats.pool_waits,
         if args.smoke {
             "SMOKE (answers verified; qps gate not applied)"
+        } else if injecting {
+            "CHAOS (failures injected and recovered; qps gate not applied)"
         } else if pass {
             "PASS"
         } else {

@@ -2,14 +2,25 @@
 //!
 //! Builds the shared [`Engine`] once, then serves the line-oriented
 //! wire protocol (see `webbase::server`) to any number of concurrent
-//! TCP connections, one thread per connection. Every connection is a
-//! tenant session over the same engine: compiled maps, page store,
-//! answer memo, and connection pools are shared; traces, budgets, and
-//! answers are private.
+//! TCP connections. Every connection is a tenant session over the same
+//! engine: compiled maps, page store, answer memo, and connection
+//! pools are shared; traces, budgets, and answers are private.
+//!
+//! Each connection gets *two* threads: a reader that owns the socket's
+//! read half and a worker that runs the dispatch loop off a channel of
+//! request lines. The split is what makes mid-query disconnects
+//! observable — when the client goes away without `QUIT`, the reader
+//! cancels the session's token and the in-flight query abandons
+//! navigation at its next checkpoint instead of running orphaned.
+//!
+//! With `--journal`, admitted page bodies and settled results are
+//! written to a write-ahead journal; restarting `webbased` on the same
+//! journal rebuilds the page store and result cache without touching
+//! the (simulated) network — warm restart.
 //!
 //! ```text
 //! webbased [--port 1999] [--seed 42] [--ads 1500] [--dialup]
-//!          [--admission N] [--epoch-every N]
+//!          [--admission N] [--epoch-every N] [--journal PATH]
 //! ```
 //!
 //! Try it with netcat:
@@ -19,13 +30,16 @@
 //! $ printf 'TENANT alice\nQUERY UsedCarUR(make=%s, price)\nQUIT\n' "'ford'" | nc 127.0.0.1 1999
 //! ```
 
-use std::io::BufReader;
-use std::net::TcpListener;
+use std::io::{BufRead, BufReader};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::Duration;
 use webbase::{
-    serve_connection, AdmissionConfig, Engine, EngineConfig, LatencyModel, ServerConfig,
+    serve_channel, AdmissionConfig, CancelToken, Engine, EngineConfig, LatencyModel, ServerConfig,
+    SessionEnd,
 };
 
 struct Args {
@@ -36,6 +50,7 @@ struct Args {
     admission: Option<u64>,
     fair_share: bool,
     epoch_every: Option<u64>,
+    journal: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         admission: None,
         fair_share: true,
         epoch_every: None,
+        journal: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,10 +82,11 @@ fn parse_args() -> Result<Args, String> {
                     value("--epoch-every")?.parse().map_err(|e| format!("--epoch-every: {e}"))?,
                 );
             }
+            "--journal" => args.journal = Some(PathBuf::from(value("--journal")?)),
             "--help" | "-h" => {
                 println!(
                     "webbased [--port 1999] [--seed 42] [--ads 1500] [--dialup] \
-                     [--admission N] [--no-fair-share] [--epoch-every N]"
+                     [--admission N] [--no-fair-share] [--epoch-every N] [--journal PATH]"
                 );
                 std::process::exit(0);
             }
@@ -77,6 +94,37 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Pump request lines from the socket into the worker's channel.
+/// Returns once the client hangs up (EOF or read error); a hangup
+/// *without* a pipelined `QUIT`/`SHUTDOWN` is a disconnect, and the
+/// session token is cancelled so an in-flight query stops cooperatively
+/// instead of navigating for nobody.
+fn pump_lines(read_half: TcpStream, tx: mpsc::Sender<Vec<u8>>, cancel: CancelToken) {
+    let mut reader = BufReader::new(read_half);
+    let mut quit_seen = false;
+    loop {
+        let mut buf = Vec::new();
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break,
+            Ok(_) => {
+                if let Ok(text) = std::str::from_utf8(&buf) {
+                    let verb = text.trim();
+                    if verb.eq_ignore_ascii_case("quit") || verb.eq_ignore_ascii_case("shutdown") {
+                        quit_seen = true;
+                    }
+                }
+                if tx.send(buf).is_err() {
+                    return; // the worker already ended the session
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if !quit_seen {
+        cancel.cancel();
+    }
 }
 
 fn main() -> ExitCode {
@@ -96,6 +144,7 @@ fn main() -> ExitCode {
             queries_per_epoch,
             fair_share: args.fair_share,
         }),
+        journal: args.journal.clone(),
         ..EngineConfig::default()
     };
     let engine = match Engine::build_on(web, data, config) {
@@ -105,6 +154,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let stats = engine.stats();
+    if stats.journal_recovered_pages > 0 || stats.journal_recovered_results > 0 {
+        eprintln!(
+            "webbased: warm restart: {} pages, {} results replayed ({} torn records dropped)",
+            stats.journal_recovered_pages, stats.journal_recovered_results, stats.journal_torn
+        );
+    }
     let server_config =
         Arc::new(ServerConfig { epoch_every: args.epoch_every, ..ServerConfig::default() });
     let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
@@ -127,15 +183,28 @@ fn main() -> ExitCode {
         let server_config = server_config.clone();
         thread::spawn(move || {
             let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
-            let reader = match stream.try_clone() {
-                Ok(s) => BufReader::new(s),
+            let read_half = match stream.try_clone() {
+                Ok(s) => s,
                 Err(e) => {
                     eprintln!("webbased: clone stream for {peer}: {e}");
                     return;
                 }
             };
-            if let Err(e) = serve_connection(&engine, &server_config, reader, stream) {
-                eprintln!("webbased: connection {peer}: {e}");
+            let cancel = CancelToken::new();
+            let (tx, rx) = mpsc::channel::<Vec<u8>>();
+            {
+                let cancel = cancel.clone();
+                thread::spawn(move || pump_lines(read_half, tx, cancel));
+            }
+            match serve_channel(&engine, &server_config, &rx, &stream, &cancel) {
+                Ok(SessionEnd::Shutdown) => {
+                    eprintln!("webbased: shutdown requested by {peer}; draining...");
+                    engine.drain_wait(Duration::from_secs(30));
+                    eprintln!("webbased: bye");
+                    std::process::exit(0);
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!("webbased: connection {peer}: {e}"),
             }
         });
     }

@@ -30,16 +30,20 @@
 //! opens the next round.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use webbase_logical::{paper_schema, LogicalLayer, LogicalRelation, Obs, QueryObservation};
 use webbase_navigation::map::NavigationMap;
 use webbase_navigation::recorder::{MapStats, Recorder};
 use webbase_navigation::sessions;
 use webbase_navigation::{
-    compile_map, BudgetDenial, BudgetSnapshot, BudgetTracker, CompiledSite, FetchPolicy, HostPools,
-    PageStore, QueryBudget,
+    compile_map, BudgetDenial, BudgetSnapshot, BudgetTracker, CancelToken, CompiledSite,
+    FetchPolicy, HostPools, PageStore, QueryBudget, ResumeToken, WalRecovery, WriteAheadLog,
 };
+use webbase_obs::sync::{SafeMutex, SafeRwLock};
 use webbase_relational::Relation;
 use webbase_ur::compat::example62_rules;
 use webbase_ur::hierarchy::figure5;
@@ -64,6 +68,10 @@ pub struct EngineConfig {
     pub per_host_connections: usize,
     /// Multi-tenant admission control (`None` = admit everything).
     pub admission: Option<AdmissionConfig>,
+    /// Write-ahead journal path (`None` = no durability). When the
+    /// file already holds records from an earlier run, the build
+    /// replays them — warm restart — before serving queries.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +81,7 @@ impl Default for EngineConfig {
             page_capacity: None,
             per_host_connections: 4,
             admission: None,
+            journal: None,
         }
     }
 }
@@ -94,7 +103,7 @@ pub struct AdmissionConfig {
 #[derive(Debug)]
 pub struct EngineAdmission {
     budget: QueryBudget,
-    state: Mutex<AdmissionState>,
+    state: SafeMutex<AdmissionState>,
 }
 
 #[derive(Debug)]
@@ -110,7 +119,7 @@ impl EngineAdmission {
             .with_fair_share(config.fair_share);
         EngineAdmission {
             budget: budget.clone(),
-            state: Mutex::new(AdmissionState {
+            state: SafeMutex::new(AdmissionState {
                 tracker: Arc::new(BudgetTracker::new(budget)),
                 tenants: BTreeSet::new(),
             }),
@@ -120,7 +129,7 @@ impl EngineAdmission {
     /// Ask to run one query as `tenant`. Denial is a deferral, not an
     /// error: the tenant may retry next epoch.
     pub fn admit(&self, tenant: &str) -> Result<(), BudgetDenial> {
-        let mut state = self.state.lock().expect("admission lock");
+        let mut state = self.state.lock();
         if state.tenants.insert(tenant.to_string()) {
             state.tracker.register_site(tenant);
         }
@@ -130,12 +139,12 @@ impl EngineAdmission {
     /// A tenant's admitted query completed: release its fair-share
     /// reservation for the rest of the epoch.
     pub fn complete(&self, tenant: &str) {
-        self.state.lock().expect("admission lock").tracker.mark_served(tenant);
+        self.state.lock().tracker.mark_served(tenant);
     }
 
     /// Open a new epoch: fresh counters, same tenant floors.
     pub fn reset_epoch(&self) {
-        let mut state = self.state.lock().expect("admission lock");
+        let mut state = self.state.lock();
         let tracker = Arc::new(BudgetTracker::new(self.budget.clone()));
         for tenant in &state.tenants {
             tracker.register_site(tenant);
@@ -145,7 +154,7 @@ impl EngineAdmission {
 
     /// The current epoch's per-tenant spend.
     pub fn snapshot(&self) -> BudgetSnapshot {
-        self.state.lock().expect("admission lock").tracker.snapshot()
+        self.state.lock().tracker.snapshot()
     }
 }
 
@@ -158,15 +167,29 @@ pub struct QueryOptions {
     pub budget: Option<QueryBudget>,
     /// Collect a full span trace for this query.
     pub trace: bool,
+    /// Cooperative cancellation: the navigators poll this token at
+    /// every budget checkpoint, so cancelling abandons navigation
+    /// before the next page request. The server arms one per session
+    /// and cancels it when the client disconnects mid-query.
+    pub cancel: Option<CancelToken>,
+    /// Resume an earlier budget-exhausted (or cancelled) run from its
+    /// token: the journalled pages are preloaded, so the fresh budget
+    /// is spent entirely on the unfinished tail. Resumed runs bypass
+    /// the plan and result caches.
+    pub resume: Option<ResumeToken>,
 }
 
 impl QueryOptions {
     pub fn traced() -> QueryOptions {
-        QueryOptions { budget: None, trace: true }
+        QueryOptions { trace: true, ..QueryOptions::default() }
     }
 
     pub fn budgeted(budget: QueryBudget) -> QueryOptions {
-        QueryOptions { budget: Some(budget), trace: false }
+        QueryOptions { budget: Some(budget), ..QueryOptions::default() }
+    }
+
+    pub fn resuming(token: ResumeToken) -> QueryOptions {
+        QueryOptions { resume: Some(token), ..QueryOptions::default() }
     }
 }
 
@@ -189,6 +212,23 @@ pub enum EngineError {
     Deferred(BudgetDenial),
     Query(webbase_ur::query::QueryParseError),
     Plan(UrError),
+    /// The query's execution panicked. The panic was contained at the
+    /// engine boundary: shared state is intact (poison-recovering
+    /// locks), any result-cache leadership was handed to a waiter, and
+    /// the tenant's admission slot was consumed — the failure is
+    /// charged to the tenant that caused it.
+    Panicked(QueryFailure),
+    /// The engine is draining or stopped: no new queries are admitted.
+    Draining,
+}
+
+/// What a contained panic looked like from the outside, for the wire
+/// protocol's structured failure reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFailure {
+    pub tenant: String,
+    pub query: String,
+    pub message: String,
 }
 
 impl std::fmt::Display for EngineError {
@@ -197,11 +237,27 @@ impl std::fmt::Display for EngineError {
             EngineError::Deferred(d) => write!(f, "deferred: {d}"),
             EngineError::Query(e) => write!(f, "{e}"),
             EngineError::Plan(e) => write!(f, "{e}"),
+            EngineError::Panicked(failure) => write!(f, "query panicked: {}", failure.message),
+            EngineError::Draining => write!(f, "engine is draining; new queries are not admitted"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Where the engine is in its life: `Running` admits queries,
+/// `Draining` rejects new ones while in-flight queries finish,
+/// `Stopped` additionally cancels the in-flight ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    Running,
+    Draining,
+    Stopped,
+}
+
+const LIFECYCLE_RUNNING: u8 = 0;
+const LIFECYCLE_DRAINING: u8 = 1;
+const LIFECYCLE_STOPPED: u8 = 2;
 
 /// Cumulative counters across the engine's lifetime, for the wire
 /// protocol's `STATS` reply and the load generator's report.
@@ -228,6 +284,28 @@ pub struct EngineStats {
     pub result_coalesced: u64,
     /// Times a fetch waited on a saturated per-host connection pool.
     pub pool_waits: u64,
+    /// Queries whose execution panicked (contained at the engine
+    /// boundary; the engine kept serving).
+    pub panics: u64,
+    /// Queries that were cancelled and still completed cleanly — they
+    /// returned whatever was settled before the cancel landed.
+    pub cancelled: u64,
+    /// Result-cache / invocation-memo leaderships released by a
+    /// panicking holder (each one promoted a waiter).
+    pub result_aborted: u64,
+    pub memo_aborted: u64,
+    /// Times a poisoned lock was recovered instead of propagating the
+    /// poison. Process-global (covers every engine in this process).
+    pub lock_poison_recovered: u64,
+    /// Warm-restart recovery: journalled pages / settled results
+    /// replayed at build time, and torn records dropped.
+    pub journal_recovered_pages: u64,
+    pub journal_recovered_results: u64,
+    pub journal_torn: u64,
+    /// Total simulated-Web requests since the web was created
+    /// (includes the build's recording pass). The warm-restart smoke
+    /// asserts this stays flat across a replayed query.
+    pub web_requests: u64,
 }
 
 struct SiteArtifacts {
@@ -256,7 +334,7 @@ struct EngineInner {
     /// it — traced ones so the Plan span is real, isolated ones
     /// because the cache is one of the shared resources the baseline
     /// must not touch.
-    plans: RwLock<HashMap<String, Arc<(UrQuery, UrPlan)>>>,
+    plans: SafeRwLock<HashMap<String, Arc<(UrQuery, UrPlan)>>>,
     /// Whole-query result cache, keyed by query text, with the same
     /// singleflight protocol as the invocation memo: when N identical
     /// queries arrive at once, one session executes and the rest wait
@@ -267,6 +345,22 @@ struct EngineInner {
     report: BuildReport,
     queries: AtomicU64,
     deferred: AtomicU64,
+    /// The attached write-ahead journal (None without `config.journal`).
+    /// Pages are journalled by the store's fetch path; settled result
+    /// cache entries are journalled here when a leader publishes.
+    wal: Option<WriteAheadLog>,
+    /// `LIFECYCLE_*`: running / draining / stopped.
+    lifecycle: AtomicU8,
+    /// Cancel tokens of every admitted in-flight query, so `shutdown`
+    /// can cancel them and `drain_wait` can watch them finish.
+    inflight: SafeMutex<HashMap<u64, CancelToken>>,
+    next_query_id: AtomicU64,
+    panics: AtomicU64,
+    cancelled: AtomicU64,
+    /// Warm-restart recovery tallies (set once right after the build).
+    recovered_pages: AtomicU64,
+    recovered_results: AtomicU64,
+    journal_torn: AtomicU64,
 }
 
 /// The shared multi-query engine. Clone-cheap (`Arc` inside); every
@@ -311,7 +405,26 @@ impl Engine {
             Some(cap) => PageStore::with_capacity(cap),
             None => PageStore::new(),
         };
-        Ok(Engine {
+        // Warm restart: replay the journal's surviving records into the
+        // shared caches *before* attaching the WAL, so recovery never
+        // re-journals what is already on disk. Torn records are dropped
+        // and counted; an unreadable file is a build error.
+        let recovery = match &config.journal {
+            Some(path) => WalRecovery::load(path).map_err(WebbaseError::Journal)?,
+            None => WalRecovery::default(),
+        };
+        for entry in &recovery.pages {
+            store.preload(entry);
+        }
+        let wal = match &config.journal {
+            Some(path) => {
+                let wal = WriteAheadLog::open(path).map_err(WebbaseError::Journal)?;
+                store.set_wal(wal.clone());
+                Some(wal)
+            }
+            None => None,
+        };
+        let engine = Engine {
             inner: Arc::new(EngineInner {
                 web,
                 data,
@@ -323,14 +436,48 @@ impl Engine {
                 pool: Arc::new(HostPools::new(config.per_host_connections)),
                 memo: AnswerMemo::new(),
                 admission: config.admission.map(EngineAdmission::new),
-                plans: RwLock::new(HashMap::new()),
+                plans: SafeRwLock::new(HashMap::new()),
                 results: AnswerMemo::new(),
                 preflight,
                 report: BuildReport { sites: stats },
                 queries: AtomicU64::new(0),
                 deferred: AtomicU64::new(0),
+                wal,
+                lifecycle: AtomicU8::new(LIFECYCLE_RUNNING),
+                inflight: SafeMutex::new(HashMap::new()),
+                next_query_id: AtomicU64::new(0),
+                panics: AtomicU64::new(0),
+                cancelled: AtomicU64::new(0),
+                recovered_pages: AtomicU64::new(0),
+                recovered_results: AtomicU64::new(0),
+                journal_torn: AtomicU64::new(0),
             }),
-        })
+        };
+        // Settled results re-enter the cache alongside a fresh plan
+        // (planning is pure metadata work — no fetches — so the replay
+        // stays network-free). A record whose query no longer parses or
+        // plans is dropped like a torn one.
+        let mut recovered_results = 0u64;
+        let mut torn = recovery.torn;
+        for (text, relation) in &recovery.results {
+            let replay = parse_query(text).ok().and_then(|base| {
+                let layer = engine.new_session();
+                engine.inner.planner.plan(&base, &layer).ok().map(|plan| (base, plan))
+            });
+            match replay {
+                Some((base, plan)) => {
+                    let entry = Arc::new((base, plan));
+                    engine.inner.plans.write().insert(text.clone(), entry);
+                    engine.inner.results.insert(AnswerMemo::key(text, &[]), relation.clone());
+                    recovered_results += 1;
+                }
+                None => torn += 1,
+            }
+        }
+        engine.inner.recovered_pages.store(recovery.pages.len() as u64, Ordering::Relaxed);
+        engine.inner.recovered_results.store(recovered_results, Ordering::Relaxed);
+        engine.inner.journal_torn.store(torn, Ordering::Relaxed);
+        Ok(engine)
     }
 
     /// A fresh per-query session over the shared artifacts: private
@@ -413,12 +560,18 @@ impl Engine {
         isolated: bool,
     ) -> Result<QueryOutcome, EngineError> {
         let inner = &self.inner;
+        // Lifecycle gate. Isolated runs stay admissible while
+        // draining: they are the measurement oracle, not tenants, and
+        // the chaos harness compares in-flight answers against them.
+        if !isolated && inner.lifecycle.load(Ordering::SeqCst) != LIFECYCLE_RUNNING {
+            return Err(EngineError::Draining);
+        }
         // Plan-cache fast path: reuse the parse and the plan computed
         // by an earlier query with the same text.
-        let cached = if isolated || options.trace {
+        let cached = if isolated || options.trace || options.resume.is_some() {
             None
         } else {
-            inner.plans.read().expect("plan cache lock").get(text).cloned()
+            inner.plans.read().get(text).cloned()
         };
         let mut q = match &cached {
             Some(entry) => entry.0.clone(),
@@ -435,23 +588,75 @@ impl Engine {
                 }
             }
         }
+        // From here to the end of the function the tenant holds an
+        // admission slot, and the panic domain is this query alone:
+        // execution runs under `catch_unwind`, so a panicking query is
+        // converted into a structured failure — charged to its tenant —
+        // while the engine keeps serving everyone else. All shared
+        // state an unwinding thread can abandon mid-update is behind
+        // poison-recovering locks or drop guards (the result-cache
+        // leadership hands itself to a waiter on drop).
+        let cancel = options.cancel.clone().unwrap_or_default();
+        let _inflight = if isolated { None } else { Some(InflightGuard::register(inner, &cancel)) };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.run_admitted(text, &q, &options, isolated, &cancel, cached.as_deref())
+        }));
+        // The tenant consumed its admission whether the query
+        // succeeded, failed, or panicked — the slot was held either
+        // way, so a crashing tenant pays for its own partial spend.
+        if !isolated {
+            if let Some(admission) = &inner.admission {
+                admission.complete(tenant);
+            }
+        }
+        match outcome {
+            Ok(result) => {
+                if !isolated && result.is_ok() {
+                    inner.queries.fetch_add(1, Ordering::Relaxed);
+                    if cancel.is_cancelled() {
+                        inner.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                result
+            }
+            Err(payload) => {
+                inner.panics.fetch_add(1, Ordering::Relaxed);
+                Err(EngineError::Panicked(QueryFailure {
+                    tenant: tenant.to_string(),
+                    query: text.to_string(),
+                    message: panic_message(payload.as_ref()),
+                }))
+            }
+        }
+    }
+
+    /// Everything that runs *inside* the panic domain: singleflight
+    /// claim, session build, execution, publication.
+    fn run_admitted(
+        &self,
+        text: &str,
+        q: &UrQuery,
+        options: &QueryOptions,
+        isolated: bool,
+        cancel: &CancelToken,
+        cached: Option<&(UrQuery, UrPlan)>,
+    ) -> Result<QueryOutcome, EngineError> {
+        let inner = &self.inner;
         // Whole-query singleflight over the result cache: when N
         // identical eligible queries are in flight, one session
         // executes and the rest block here until its answer settles,
         // then return it as their own. The tenant still paid
         // admission for the query — sharing the computation does not
         // share the slot.
-        let result_lead = if !isolated && !options.trace && options.budget.is_none() {
+        let eligible =
+            !isolated && !options.trace && options.budget.is_none() && options.resume.is_none();
+        let result_lead = if eligible {
             match inner.results.claim(&AnswerMemo::key(text, &[])) {
                 MemoClaim::Hit(relation) => {
                     // The leader populated the plan cache before it
                     // executed, so a hit always finds the clean plan.
-                    let entry = inner.plans.read().expect("plan cache lock").get(text).cloned();
+                    let entry = inner.plans.read().get(text).cloned();
                     if let Some(entry) = entry {
-                        if let Some(admission) = &inner.admission {
-                            admission.complete(tenant);
-                        }
-                        inner.queries.fetch_add(1, Ordering::Relaxed);
                         return Ok(QueryOutcome {
                             relation,
                             plan: entry.1.clone(),
@@ -473,70 +678,130 @@ impl Engine {
             Obs::metrics_only(Arc::new(MetricsRegistry::new()))
         };
         layer.vps.set_obs(obs.clone());
+        layer.vps.set_cancel(cancel.clone());
         // Plan before executing so the cache is populated as soon as
         // the plan exists — not after the first execution finishes.
         // Under a concurrent cold start every same-text query would
         // otherwise re-plan redundantly for the whole duration of the
         // first run. Planning is pure metadata work (no fetches), so
         // double-checked re-reads under the write lock are cheap.
-        let out: Result<(Relation, UrPlan), EngineError> = match &cached {
-            Some(entry) => {
-                inner.planner.execute_planned(&q, &entry.1, &mut layer).map_err(EngineError::Plan)
-            }
-            None if !isolated && !options.trace => {
-                let entry = {
-                    let mut plans = inner.plans.write().expect("plan cache lock");
-                    match plans.get(text) {
-                        Some(entry) => Ok(entry.clone()),
-                        None => {
-                            // Plan from the *base* parse: a budget on
-                            // `q` must not leak into the shared cache.
-                            parse_query(text).map_err(EngineError::Query).and_then(|base| {
-                                inner.planner.plan(&base, &layer).map_err(EngineError::Plan).map(
-                                    |plan| {
-                                        let entry = Arc::new((base, plan));
-                                        plans.insert(text.to_string(), entry.clone());
-                                        entry
-                                    },
-                                )
-                            })
+        let out: Result<(Relation, UrPlan), EngineError> = if options.resume.is_some() {
+            // A resumed run preloads its token's journal and re-plans
+            // privately — its partial provenance must not touch the
+            // shared plan or result caches.
+            inner
+                .planner
+                .execute_with(q, &mut layer, options.resume.as_ref())
+                .map_err(EngineError::Plan)
+        } else {
+            match cached {
+                Some(entry) => inner
+                    .planner
+                    .execute_planned(q, &entry.1, &mut layer)
+                    .map_err(EngineError::Plan),
+                None if !isolated && !options.trace => {
+                    let entry = {
+                        let mut plans = inner.plans.write();
+                        match plans.get(text) {
+                            Some(entry) => Ok(entry.clone()),
+                            None => {
+                                // Plan from the *base* parse: a budget on
+                                // `q` must not leak into the shared cache.
+                                parse_query(text).map_err(EngineError::Query).and_then(|base| {
+                                    inner
+                                        .planner
+                                        .plan(&base, &layer)
+                                        .map_err(EngineError::Plan)
+                                        .map(|plan| {
+                                            let entry = Arc::new((base, plan));
+                                            plans.insert(text.to_string(), entry.clone());
+                                            entry
+                                        })
+                                })
+                            }
                         }
-                    }
-                };
-                entry.and_then(|entry| {
-                    inner
-                        .planner
-                        .execute_planned(&q, &entry.1, &mut layer)
-                        .map_err(EngineError::Plan)
-                })
+                    };
+                    entry.and_then(|entry| {
+                        inner
+                            .planner
+                            .execute_planned(q, &entry.1, &mut layer)
+                            .map_err(EngineError::Plan)
+                    })
+                }
+                None => inner.planner.execute(q, &mut layer).map_err(EngineError::Plan),
             }
-            None => inner.planner.execute(&q, &mut layer).map_err(EngineError::Plan),
         };
-        // The tenant consumed its admission whether or not the query
-        // succeeded — the slot was held either way.
-        if !isolated {
-            if let Some(admission) = &inner.admission {
-                admission.complete(tenant);
-            }
-        }
         let (relation, plan) = out?;
-        // Publish only complete answers: a degraded or resumable run
-        // must not be replayed to other tenants as the full result.
-        // (An error return above drops the guard instead, releasing
-        // the key so a waiting session takes over as leader.)
+        // Publish only complete answers: a degraded, cancelled, or
+        // resumable run must not be replayed to other tenants as the
+        // full result. (An error return above drops the guard instead,
+        // releasing the key so a waiting session takes over as leader.)
         if let Some(guard) = result_lead {
-            guard.settle(
-                (plan.degradation.is_clean() && plan.resume.is_none()).then(|| relation.clone()),
-            );
-        }
-        if !isolated {
-            inner.queries.fetch_add(1, Ordering::Relaxed);
+            let publish =
+                (plan.degradation.is_clean() && plan.resume.is_none()).then(|| relation.clone());
+            if let (Some(rel), Some(wal)) = (&publish, &inner.wal) {
+                // Best-effort, like page journalling: losing the record
+                // costs warm-restart coverage, not the answer.
+                let _ = wal.append_result(text, rel);
+            }
+            guard.settle(publish);
         }
         let metrics = obs.metrics.as_ref().map(|m| m.snapshot()).unwrap_or_default();
         let observation = options
             .trace
             .then(|| QueryObservation { trace: obs.sink.finish(), metrics: metrics.clone() });
         Ok(QueryOutcome { relation, plan, observation, metrics })
+    }
+
+    /// Stop admitting new queries; in-flight queries keep running.
+    /// Idempotent, and a no-op once the engine is stopped.
+    pub fn drain(&self) {
+        let _ = self.inner.lifecycle.compare_exchange(
+            LIFECYCLE_RUNNING,
+            LIFECYCLE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Stop admitting *and* cancel every in-flight query: each one
+    /// abandons navigation at its next checkpoint (budgeted queries
+    /// checkpoint to a resume token, so their spend is not wasted).
+    pub fn shutdown(&self) {
+        self.inner.lifecycle.store(LIFECYCLE_STOPPED, Ordering::SeqCst);
+        for token in self.inner.inflight.lock().values() {
+            token.cancel();
+        }
+    }
+
+    pub fn lifecycle(&self) -> Lifecycle {
+        match self.inner.lifecycle.load(Ordering::SeqCst) {
+            LIFECYCLE_RUNNING => Lifecycle::Running,
+            LIFECYCLE_DRAINING => Lifecycle::Draining,
+            _ => Lifecycle::Stopped,
+        }
+    }
+
+    /// Admitted queries currently executing.
+    pub fn inflight_queries(&self) -> usize {
+        self.inner.inflight.lock().len()
+    }
+
+    /// Block until every in-flight query has finished (true) or the
+    /// timeout elapses with queries still running (false). Call after
+    /// [`Engine::drain`] or [`Engine::shutdown`] — while admissions
+    /// are open, new queries can keep the count from reaching zero.
+    pub fn drain_wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.inner.inflight.lock().is_empty() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     /// Plan without executing (no admission charge, no fetches).
@@ -574,6 +839,15 @@ impl Engine {
             result_misses: inner.results.misses(),
             result_coalesced: inner.results.coalesced(),
             pool_waits: inner.pool.waits(),
+            panics: inner.panics.load(Ordering::Relaxed),
+            cancelled: inner.cancelled.load(Ordering::Relaxed),
+            result_aborted: inner.results.aborted(),
+            memo_aborted: inner.memo.aborted(),
+            lock_poison_recovered: webbase_obs::sync::poison_recoveries(),
+            journal_recovered_pages: inner.recovered_pages.load(Ordering::Relaxed),
+            journal_recovered_results: inner.recovered_results.load(Ordering::Relaxed),
+            journal_torn: inner.journal_torn.load(Ordering::Relaxed),
+            web_requests: inner.web.total_stats().requests,
         }
     }
 
@@ -608,6 +882,40 @@ impl Engine {
     /// The UR's attribute list.
     pub fn ur_attributes(&self) -> Vec<String> {
         self.inner.planner.ur_attributes(&self.new_session())
+    }
+}
+
+/// RAII registration of one admitted query's cancel token: the entry
+/// is removed however the query ends — success, error, or unwind.
+struct InflightGuard<'a> {
+    inner: &'a EngineInner,
+    id: u64,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn register(inner: &'a EngineInner, cancel: &CancelToken) -> InflightGuard<'a> {
+        let id = inner.next_query_id.fetch_add(1, Ordering::Relaxed);
+        inner.inflight.lock().insert(id, cancel.clone());
+        InflightGuard { inner, id }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.inner.inflight.lock().remove(&self.id);
+    }
+}
+
+/// Extract a human-readable message from a caught panic payload
+/// (`panic!("...")` carries `&str` or `String`; anything else is
+/// reported by type only).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -796,6 +1104,133 @@ mod tests {
         assert!(engine.memo().is_empty(), "isolated run leaked into the shared memo");
         let shared = engine.query("x", JAGUAR, QueryOptions::default()).expect("shared");
         assert_eq!(iso.relation, shared.relation, "isolation changed the answer");
+    }
+
+    #[test]
+    fn a_panicking_query_is_contained_and_charged_to_its_tenant() {
+        let config = EngineConfig {
+            admission: Some(AdmissionConfig { queries_per_epoch: 8, fair_share: true }),
+            ..EngineConfig::default()
+        };
+        let data = Dataset::generate(5, 400);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let engine = Engine::build_on(web, data, config).expect("builds");
+        let chaos = QueryOptions {
+            cancel: Some(CancelToken::new().panic_after_polls(1)),
+            ..QueryOptions::default()
+        };
+        let err = engine.query("crashy", JAGUAR, chaos);
+        let Err(EngineError::Panicked(failure)) = err else {
+            panic!("fused query must panic: {err:?}");
+        };
+        assert_eq!(failure.tenant, "crashy");
+        assert_eq!(failure.query, JAGUAR);
+        assert!(failure.message.contains("chaos"), "{failure:?}");
+        let stats = engine.stats();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.queries, 0, "a panicked query did not complete");
+        assert_eq!(stats.result_aborted, 1, "the leadership was released by a panicking holder");
+        assert_eq!(engine.inflight_queries(), 0, "no orphaned in-flight registration");
+        // The admission slot was consumed by the failing tenant...
+        let snap = engine.admission_snapshot().expect("admission configured");
+        assert_eq!(snap.sites["crashy"].fetches, 1);
+        // ...and the engine keeps serving everyone else correctly.
+        let clean = engine.query("steady", JAGUAR, QueryOptions::default()).expect("serves on");
+        let oracle = engine.query_isolated("o", JAGUAR, QueryOptions::default()).expect("oracle");
+        assert_eq!(clean.relation, oracle.relation, "post-panic answer diverged");
+    }
+
+    #[test]
+    fn drain_stops_admissions_but_not_the_oracle() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        assert_eq!(engine.lifecycle(), Lifecycle::Running);
+        engine.drain();
+        assert_eq!(engine.lifecycle(), Lifecycle::Draining);
+        let err = engine.query("t", JAGUAR, QueryOptions::default());
+        assert!(matches!(err, Err(EngineError::Draining)), "{err:?}");
+        engine.query_isolated("o", JAGUAR, QueryOptions::default()).expect("oracle still runs");
+        engine.shutdown();
+        assert_eq!(engine.lifecycle(), Lifecycle::Stopped);
+        assert!(engine.drain_wait(Duration::from_millis(50)), "nothing in flight");
+    }
+
+    #[test]
+    fn poisoned_plan_cache_recovers_and_is_counted() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let before = webbase_obs::sync::poison_recoveries();
+        let poisoner = {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                let _guard = engine.inner.plans.raw().write().expect("first writer");
+                panic!("poison the plan cache");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(engine.inner.plans.raw().is_poisoned());
+        let out = engine.query("t", JAGUAR, QueryOptions::default()).expect("recovers");
+        assert!(!out.relation.is_empty());
+        assert!(engine.stats().lock_poison_recovered > before);
+    }
+
+    #[test]
+    fn poisoned_admission_lock_recovers_and_is_counted() {
+        let config = EngineConfig {
+            admission: Some(AdmissionConfig { queries_per_epoch: 4, fair_share: false }),
+            ..EngineConfig::default()
+        };
+        let data = Dataset::generate(5, 400);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let engine = Engine::build_on(web, data, config).expect("builds");
+        let before = webbase_obs::sync::poison_recoveries();
+        let poisoner = {
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                let admission = engine.inner.admission.as_ref().expect("configured");
+                let _guard = admission.state.raw().lock().expect("first holder");
+                panic!("poison the admission lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        let q = "UsedCarUR(make='honda', model='civic', year, price)";
+        engine.query("t", q, QueryOptions::default()).expect("admission recovered");
+        assert!(engine.stats().lock_poison_recovered > before);
+        assert_eq!(engine.stats().queries, 1);
+    }
+
+    #[test]
+    fn warm_restart_replays_the_journal_fetch_free() {
+        let path = std::env::temp_dir()
+            .join(format!("webbase-engine-wal-{}-warm-restart", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let config = EngineConfig { journal: Some(path.clone()), ..EngineConfig::default() };
+        let data = Dataset::generate(5, 400);
+        let first = Engine::build_on(standard_web(data.clone(), LatencyModel::lan()), data, config)
+            .expect("builds");
+        let original = first.query("t", JAGUAR, QueryOptions::default()).expect("journalled run");
+        assert!(first.stats().journal_recovered_pages == 0, "cold start recovered nothing");
+        drop(first);
+
+        // "Restart": a fresh engine over the same journal rebuilds the
+        // page store and result cache without touching the network.
+        let config = EngineConfig { journal: Some(path.clone()), ..EngineConfig::default() };
+        let data = Dataset::generate(5, 400);
+        let second =
+            Engine::build_on(standard_web(data.clone(), LatencyModel::lan()), data, config)
+                .expect("rebuilds");
+        let stats = second.stats();
+        assert!(stats.journal_recovered_pages > 0, "pages replayed: {stats:?}");
+        assert_eq!(stats.journal_recovered_results, 1, "settled result replayed: {stats:?}");
+        assert_eq!(stats.journal_torn, 0, "clean journal: {stats:?}");
+        let requests_before = second.web().total_stats().requests;
+        let replay = second.query("t", JAGUAR, QueryOptions::default()).expect("replayed run");
+        assert_eq!(replay.relation, original.relation, "restart changed the answer");
+        assert_eq!(
+            second.web().total_stats().requests,
+            requests_before,
+            "warm restart still fetched"
+        );
+        assert_eq!(second.stats().result_hits, 1, "served from the recovered result cache");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

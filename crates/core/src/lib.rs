@@ -36,9 +36,10 @@ pub mod timing;
 pub mod webbase;
 
 pub use crate::engine::{
-    AdmissionConfig, Engine, EngineConfig, EngineError, EngineStats, QueryOptions, QueryOutcome,
+    AdmissionConfig, Engine, EngineConfig, EngineError, EngineStats, Lifecycle, QueryFailure,
+    QueryOptions, QueryOutcome,
 };
-pub use crate::server::{serve_connection, ServerConfig};
+pub use crate::server::{serve_channel, serve_connection, ServerConfig, SessionEnd, MAX_LINE};
 pub use crate::webbase::{check_stack, BuildReport, Webbase, WebbaseError};
 pub use timing::{
     merged_degradation, merged_metrics, merged_repairs, parallel_timing, serial_timing, SiteTiming,
@@ -48,6 +49,7 @@ pub use webbase_logical::{
     Metric, MetricsRegistry, MetricsSnapshot, Obs, QueryObservation, QueryTrace, Span, SpanKind,
     TraceSink, METRICS,
 };
+pub use webbase_navigation::{CancelToken, ResumeToken};
 pub use webbase_relational::Relation;
 pub use webbase_ur::{UrPlan, UrQuery};
 pub use webbase_webcheck::{

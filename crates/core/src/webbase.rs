@@ -51,6 +51,10 @@ pub enum WebbaseError {
     /// Pre-flight static analysis found E-level defects in the maps
     /// being loaded; the report carries every finding.
     Check(webbase_webcheck::Report),
+    /// The write-ahead journal could not be opened or read. (A *torn*
+    /// journal is not an error — recovery drops the torn records and
+    /// counts them — this is the file itself being unreachable.)
+    Journal(std::io::Error),
 }
 
 impl std::fmt::Display for WebbaseError {
@@ -63,6 +67,7 @@ impl std::fmt::Display for WebbaseError {
             WebbaseError::Check(r) => {
                 write!(f, "pre-flight check rejected the maps:\n{}", r.render())
             }
+            WebbaseError::Journal(e) => write!(f, "journal: {e}"),
         }
     }
 }

@@ -15,6 +15,7 @@
 //! so concurrent queries serve each other's pages.
 
 use crate::budget::{BudgetDenial, BudgetTracker, JournalEntry};
+use crate::cancel::{CancelToken, Interrupt};
 use crate::pool::HostPools;
 use crate::resilience::{CircuitState, DegradationReport, FetchPolicy, HostHealth};
 use crate::store::PageStore;
@@ -164,6 +165,12 @@ pub enum BrowseError {
         host: String,
         denial: BudgetDenial,
     },
+    /// The query was cancelled (client disconnect or server shutdown).
+    /// Like a budget denial, the branch abandons cleanly at the next
+    /// checkpoint and partial results stay sound.
+    Cancelled {
+        host: String,
+    },
 }
 
 impl BrowseError {
@@ -174,7 +181,8 @@ impl BrowseError {
             BrowseError::HttpError { status, .. } => *status >= 500,
             BrowseError::Timeout { .. }
             | BrowseError::CircuitOpen { .. }
-            | BrowseError::BudgetExhausted { .. } => true,
+            | BrowseError::BudgetExhausted { .. }
+            | BrowseError::Cancelled { .. } => true,
             _ => false,
         }
     }
@@ -201,6 +209,9 @@ impl fmt::Display for BrowseError {
             }
             BrowseError::BudgetExhausted { host, denial } => {
                 write!(f, "budget refused request to {host}: {denial}")
+            }
+            BrowseError::Cancelled { host } => {
+                write!(f, "query cancelled before a request to {host}")
             }
         }
     }
@@ -248,6 +259,9 @@ pub struct Browser {
     /// one — set by the executor around quarantined `FollowByValue`
     /// scans so a drifted node cannot drain other sites' budgets.
     site_only_charging: bool,
+    /// Cooperative cancellation token, polled at every budget
+    /// checkpoint. `None` = uncancellable (the single-owner behaviour).
+    cancel: Option<CancelToken>,
     /// Observability handle (trace sink + metrics registry), shared down
     /// the layer stack like the budget tracker. Disabled by default, in
     /// which case every touch point below is a single branch.
@@ -289,6 +303,7 @@ impl Browser {
             budget: None,
             journal: Vec::new(),
             site_only_charging: false,
+            cancel: None,
             obs: Obs::none(),
             pool: None,
         }
@@ -342,6 +357,12 @@ impl Browser {
         self.budget = Some(budget);
     }
 
+    /// Attach the cancellation token this session polls at every budget
+    /// checkpoint.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
+    }
+
     /// Attach (or detach, with [`Obs::none`]) the observability handle.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
@@ -388,10 +409,43 @@ impl Browser {
         self.journal.push(entry.clone());
     }
 
+    /// Cooperative cancellation check, run at every budget checkpoint.
+    /// A cancelled query abandons the branch exactly like a spent
+    /// budget: degradation is itemised, and when a budget tracker is
+    /// attached the sticky exhaustion cause makes the planner emit a
+    /// resume token for the unfinished work.
+    fn check_cancel(&mut self, host: &str) -> Result<(), BrowseError> {
+        let Some(cancel) = &self.cancel else { return Ok(()) };
+        match cancel.poll() {
+            Interrupt::None => Ok(()),
+            Interrupt::Panic => panic!("chaos: injected panic before a request to {host}"),
+            Interrupt::Cancel => {
+                self.degradation.site_mut(host).cancelled += 1;
+                self.obs.count(Metric::Cancellations);
+                if let Some(budget) = &self.budget {
+                    budget.note_cancelled(host);
+                }
+                if self.obs.tracing() {
+                    self.obs.sink.advance(host, self.simulated_network);
+                    self.obs.sink.event(
+                        host,
+                        SpanKind::Fetch,
+                        "cooperative check".to_string(),
+                        vec![("disposition", "cancelled".to_string())],
+                    );
+                }
+                Err(BrowseError::Cancelled { host: host.to_string() })
+            }
+        }
+    }
+
     /// Cooperative deadline check for the executor's iteration points
     /// ("More" chains, choice scans). Past the deadline the denial is
     /// recorded and the branch abandons cleanly *before* the next parse.
+    /// Cancellation is polled first — it fires even on unbudgeted
+    /// queries, whose checkpoints are otherwise free.
     pub fn budget_check(&mut self, host: &str) -> Result<(), BrowseError> {
+        self.check_cancel(host)?;
         let Some(budget) = &self.budget else { return Ok(()) };
         if budget.deadline_exceeded() {
             let denial = budget.try_admit(host, true).expect_err("deadline passed");
@@ -439,6 +493,9 @@ impl Browser {
     }
 
     fn request(&mut self, req: Request) -> Result<Arc<LoadedPage>, BrowseError> {
+        // Cancellation precedes even the cache: once the client is
+        // gone, every remaining navigation step is wasted work.
+        self.check_cancel(&req.url.host.clone())?;
         if self.caching {
             if let Some(page) = self.store.get(&req) {
                 self.cache_hits += 1;
@@ -605,7 +662,9 @@ impl Browser {
                         .push(JournalEntry { request: req.clone(), body: resp.body.clone() });
                 }
                 if self.caching {
-                    self.store.insert(req, page.clone());
+                    // `insert_fetched` journals the body to the WAL (if
+                    // one is attached) so a warm restart can replay it.
+                    self.store.insert_fetched(req, page.clone(), &resp.body);
                 }
                 return Ok(page);
             };

@@ -91,6 +91,10 @@ pub enum BudgetDenial {
     /// Granting this fetch would eat into the floor reserved for sites
     /// that have not yet been served (fair-share admission).
     FairShareDeferred,
+    /// The query was cancelled (client disconnect or server shutdown);
+    /// remaining navigation checkpoints to a resume token like any
+    /// other exhaustion.
+    Cancelled,
 }
 
 impl fmt::Display for BudgetDenial {
@@ -102,6 +106,7 @@ impl fmt::Display for BudgetDenial {
             BudgetDenial::FairShareDeferred => {
                 write!(f, "fetch deferred: quota reserved for unserved sites")
             }
+            BudgetDenial::Cancelled => write!(f, "query cancelled"),
         }
     }
 }
@@ -195,6 +200,16 @@ impl BudgetTracker {
                 Ok(())
             }
         }
+    }
+
+    /// Record a cooperative cancellation observed at `host`'s
+    /// checkpoint. The sticky exhaustion cause makes the planner emit a
+    /// [`ResumeToken`] exactly as it would for a spent quota, so a
+    /// cancelled budgeted query checkpoints instead of vanishing.
+    pub fn note_cancelled(&self, host: &str) {
+        let mut state = self.state.lock().expect("budget lock");
+        state.sites.entry(host.to_string()).or_default().denied += 1;
+        state.exhausted.get_or_insert(BudgetDenial::Cancelled);
     }
 
     fn check(&self, state: &TrackerState, host: &str, site_only: bool) -> Option<BudgetDenial> {

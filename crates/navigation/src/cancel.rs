@@ -1,0 +1,125 @@
+//! Cooperative cancellation for in-flight queries.
+//!
+//! A [`CancelToken`] is a clone-cheap flag handed from the server down
+//! the layer stack (`Engine → VpsCatalog → SiteNavigator → Browser`).
+//! The browser polls it at every budget checkpoint — the same points
+//! where `QueryBudget` admission runs, i.e. immediately before any
+//! network attempt and between navigation chain steps — so a cancelled
+//! query abandons its remaining navigation cleanly: partial tuples
+//! already extracted stay sound, and no orphaned navigation continues
+//! in the background.
+//!
+//! The token doubles as the chaos harness's fault injector: a fuse armed
+//! with [`CancelToken::cancel_after_polls`] flips the token at a
+//! deterministic checkpoint, and [`CancelToken::panic_after_polls`]
+//! makes that checkpoint panic instead — which is how the test battery
+//! drives a panic through an arbitrary depth of the real stack without
+//! bespoke fault wiring per layer.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a checkpoint poll tells the caller to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// Keep going.
+    None,
+    /// Stop cooperatively: abandon the current branch, keep partials.
+    Cancel,
+    /// Chaos fuse: the checkpoint must panic (test injection only).
+    Panic,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Checkpoint polls observed so far (drives the chaos fuses).
+    polls: AtomicU64,
+    /// Flip `cancelled` once `polls` reaches this (0 = no fuse).
+    cancel_at: AtomicU64,
+    /// Panic once `polls` reaches this (0 = no fuse).
+    panic_at: AtomicU64,
+}
+
+/// A shared cancellation flag with optional deterministic chaos fuses.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cooperative cancellation (idempotent, thread-safe).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Arm a fuse: the `n`-th checkpoint poll flips the token, as if the
+    /// client disconnected exactly there. `n` is 1-based.
+    pub fn cancel_after_polls(self, n: u64) -> CancelToken {
+        self.inner.cancel_at.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arm a fuse: the `n`-th checkpoint poll panics, simulating a bug
+    /// deep inside query execution. `n` is 1-based.
+    pub fn panic_after_polls(self, n: u64) -> CancelToken {
+        self.inner.panic_at.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Checkpoint poll: counts the call, fires any due fuse, and reports
+    /// whether execution should continue, cancel, or (chaos) panic.
+    pub fn poll(&self) -> Interrupt {
+        let polls = self.inner.polls.fetch_add(1, Ordering::Relaxed) + 1;
+        let panic_at = self.inner.panic_at.load(Ordering::Relaxed);
+        if panic_at != 0 && polls >= panic_at {
+            return Interrupt::Panic;
+        }
+        let cancel_at = self.inner.cancel_at.load(Ordering::Relaxed);
+        if cancel_at != 0 && polls >= cancel_at {
+            self.cancel();
+        }
+        if self.is_cancelled() {
+            Interrupt::Cancel
+        } else {
+            Interrupt::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_sticky_and_shared_across_clones() {
+        let token = CancelToken::new();
+        let twin = token.clone();
+        assert_eq!(token.poll(), Interrupt::None);
+        twin.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(token.poll(), Interrupt::Cancel);
+        assert_eq!(token.poll(), Interrupt::Cancel, "cancel never un-fires");
+    }
+
+    #[test]
+    fn fuses_fire_at_the_armed_poll() {
+        let token = CancelToken::new().cancel_after_polls(3);
+        assert_eq!(token.poll(), Interrupt::None);
+        assert_eq!(token.poll(), Interrupt::None);
+        assert_eq!(token.poll(), Interrupt::Cancel);
+
+        let chaos = CancelToken::new().panic_after_polls(2);
+        assert_eq!(chaos.poll(), Interrupt::None);
+        assert_eq!(chaos.poll(), Interrupt::Panic);
+        assert_eq!(chaos.poll(), Interrupt::Panic, "panic fuse stays latched");
+    }
+}

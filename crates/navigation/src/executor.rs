@@ -145,6 +145,11 @@ impl NavOracle {
         self.browser.set_budget(budget);
     }
 
+    /// Attach the cancellation token this oracle's browser polls.
+    pub fn set_cancel(&mut self, cancel: crate::cancel::CancelToken) {
+        self.browser.set_cancel(cancel);
+    }
+
     /// Attach shared per-host connection pools on the browser.
     pub fn set_pool(&mut self, pool: Arc<crate::pool::HostPools>) {
         self.browser.set_pool(pool);
@@ -734,6 +739,12 @@ impl SiteNavigator {
     /// Attach the query budget every subsequent run spends against.
     pub fn set_budget(&self, budget: Arc<BudgetTracker>) {
         self.oracle.lock().set_budget(budget);
+    }
+
+    /// Attach the cancellation token every subsequent run polls at its
+    /// budget checkpoints.
+    pub fn set_cancel(&self, cancel: crate::cancel::CancelToken) {
+        self.oracle.lock().set_cancel(cancel);
     }
 
     /// Attach (or detach, with [`Obs::none`]) the observability handle

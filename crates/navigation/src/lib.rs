@@ -28,6 +28,7 @@
 
 pub mod browser;
 pub mod budget;
+pub mod cancel;
 pub mod compile;
 pub mod executor;
 pub mod extractor;
@@ -41,11 +42,13 @@ pub mod recorder;
 pub mod resilience;
 pub mod sessions;
 pub mod store;
+pub mod wal;
 
 pub use budget::{
     BudgetDenial, BudgetSnapshot, BudgetTracker, JournalEntry, NavPosition, QueryBudget,
     ResumeToken, SiteSpend,
 };
+pub use cancel::{CancelToken, Interrupt};
 pub use compile::{compile_map, CompiledSite};
 pub use executor::{NavError, RunStats, SiteNavigator};
 pub use extractor::{CellParse, ExtractionSpec, FieldSpec, Record};
@@ -56,6 +59,7 @@ pub use pool::HostPools;
 pub use recorder::{DesignerAction, MapStats, RecordError, Recorder};
 pub use resilience::{CircuitState, DegradationReport, FetchPolicy, SiteDegradation};
 pub use store::PageStore;
+pub use wal::{WalRecovery, WriteAheadLog};
 pub use webbase_obs::{
     Metric, MetricsRegistry, MetricsSnapshot, Obs, QueryObservation, QueryTrace, Span, SpanKind,
     TraceSink, METRICS,

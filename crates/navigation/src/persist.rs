@@ -55,7 +55,7 @@ impl From<ParseError> for PersistError {
     }
 }
 
-fn q(s: &str) -> String {
+pub(crate) fn q(s: &str) -> String {
     format!("'{}'", s.replace('\'', "’"))
 }
 
@@ -64,11 +64,11 @@ fn q(s: &str) -> String {
 /// acceptable for map titles, fatal for journalled page bodies that
 /// must reconstruct exactly). The encoded form contains only
 /// `[A-Za-z0-9-._~/%]`, so `q(pct(s))` is lossless for any input.
-fn pct(s: &str) -> String {
+pub(crate) fn pct(s: &str) -> String {
     pct_bytes(s.as_bytes())
 }
 
-fn pct_bytes(s: &[u8]) -> String {
+pub(crate) fn pct_bytes(s: &[u8]) -> String {
     let mut out = String::with_capacity(s.len());
     for &b in s {
         match b {
@@ -83,12 +83,12 @@ fn pct_bytes(s: &[u8]) -> String {
     out
 }
 
-fn unpct(s: &str) -> Result<String, PersistError> {
+pub(crate) fn unpct(s: &str) -> Result<String, PersistError> {
     String::from_utf8(unpct_bytes(s)?)
         .map_err(|_| PersistError::Malformed("percent-decoded text is not UTF-8".into()))
 }
 
-fn unpct_bytes(s: &str) -> Result<Vec<u8>, PersistError> {
+pub(crate) fn unpct_bytes(s: &str) -> Result<Vec<u8>, PersistError> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -228,7 +228,7 @@ fn render_action(out: &mut String, parent: &str, idx: usize, action: &ActionDesc
 
 // ---- loading ----
 
-fn as_str(t: &Term, what: &str) -> Result<String, PersistError> {
+pub(crate) fn as_str(t: &Term, what: &str) -> Result<String, PersistError> {
     match t {
         Term::Atom(s) => Ok(s.name()),
         Term::Str(s) => Ok(s.clone()),
@@ -236,7 +236,7 @@ fn as_str(t: &Term, what: &str) -> Result<String, PersistError> {
     }
 }
 
-fn as_usize(t: &Term, what: &str) -> Result<usize, PersistError> {
+pub(crate) fn as_usize(t: &Term, what: &str) -> Result<usize, PersistError> {
     match t {
         Term::Int(i) if *i >= 0 => Ok(*i as usize),
         other => Err(PersistError::Malformed(format!("{what}: expected an index, got {other:?}"))),
@@ -244,7 +244,7 @@ fn as_usize(t: &Term, what: &str) -> Result<usize, PersistError> {
 }
 
 /// The facts of one predicate, as argument vectors.
-fn facts<'p>(prog: &'p Program, pred: &str, arity: usize) -> Vec<&'p [Term]> {
+pub(crate) fn facts<'p>(prog: &'p Program, pred: &str, arity: usize) -> Vec<&'p [Term]> {
     prog.lookup(Sym::new(pred), arity).iter().map(|r| r.head_args.as_slice()).collect()
 }
 
@@ -555,7 +555,7 @@ pub fn render_resume(token: &ResumeToken) -> String {
     out
 }
 
-fn as_i64(t: &Term, what: &str) -> Result<i64, PersistError> {
+pub(crate) fn as_i64(t: &Term, what: &str) -> Result<i64, PersistError> {
     match t {
         Term::Int(i) => Ok(*i),
         other => {
@@ -565,7 +565,7 @@ fn as_i64(t: &Term, what: &str) -> Result<i64, PersistError> {
 }
 
 /// Indexed rows of one predicate, sorted by the leading integer key.
-fn indexed<'p>(prog: &'p Program, pred: &str, arity: usize) -> Vec<(usize, &'p [Term])> {
+pub(crate) fn indexed<'p>(prog: &'p Program, pred: &str, arity: usize) -> Vec<(usize, &'p [Term])> {
     let mut rows: Vec<(usize, &[Term])> = facts(prog, pred, arity)
         .into_iter()
         .filter_map(|a| match a[0] {

@@ -184,6 +184,10 @@ pub struct SiteDegradation {
     /// fair-share admission) — the itemised shortfall of a partial
     /// result.
     pub budget_denied: u64,
+    /// Checkpoints at which a cooperative cancellation (client
+    /// disconnect or server shutdown) abandoned navigation on this
+    /// site.
+    pub cancelled: u64,
     /// Whether the circuit was still open when the report was taken.
     pub breaker_open: bool,
 }
@@ -191,7 +195,11 @@ pub struct SiteDegradation {
 impl SiteDegradation {
     /// Did this site degrade the run at the network level?
     pub fn is_degraded(&self) -> bool {
-        self.failures > 0 || self.timeouts > 0 || self.fast_failures > 0 || self.budget_denied > 0
+        self.failures > 0
+            || self.timeouts > 0
+            || self.fast_failures > 0
+            || self.budget_denied > 0
+            || self.cancelled > 0
     }
 
     pub fn merge(&mut self, other: &SiteDegradation) {
@@ -203,6 +211,7 @@ impl SiteDegradation {
         self.breaker_trips += other.breaker_trips;
         self.branches_abandoned += other.branches_abandoned;
         self.budget_denied += other.budget_denied;
+        self.cancelled += other.cancelled;
         self.breaker_open |= other.breaker_open;
     }
 
@@ -218,6 +227,7 @@ impl SiteDegradation {
             breaker_trips: self.breaker_trips.saturating_sub(base.breaker_trips),
             branches_abandoned: self.branches_abandoned.saturating_sub(base.branches_abandoned),
             budget_denied: self.budget_denied.saturating_sub(base.budget_denied),
+            cancelled: self.cancelled.saturating_sub(base.cancelled),
             breaker_open: self.breaker_open,
         }
     }
@@ -285,7 +295,7 @@ impl DegradationReport {
             out.push_str(&format!(
                 "  {host:<24} {:>4} requests  {:>3} retries  {:>3} failures \
                  ({:>2} timeouts)  {:>3} fast-failed  {:>2} branches dropped  \
-                 {:>2} budget-denied  circuit {}\n",
+                 {:>2} budget-denied  {:>2} cancelled  circuit {}\n",
                 d.requests,
                 d.retries,
                 d.failures,
@@ -293,6 +303,7 @@ impl DegradationReport {
                 d.fast_failures,
                 d.branches_abandoned,
                 d.budget_denied,
+                d.cancelled,
                 if d.breaker_open { "OPEN" } else { "closed" },
             ));
         }

@@ -23,9 +23,12 @@
 //! and eviction totals are atomic counters, readable without a lock.
 
 use crate::browser::LoadedPage;
+use crate::budget::JournalEntry;
+use crate::wal::WriteAheadLog;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+use webbase_obs::sync::{SafeMutex, SafeRwLock};
 use webbase_webworld::request::Request;
 
 #[derive(Debug, Default)]
@@ -37,11 +40,14 @@ struct StoreState {
 
 #[derive(Debug)]
 struct StoreInner {
-    state: RwLock<StoreState>,
+    state: SafeRwLock<StoreState>,
     capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Optional write-ahead journal: freshly fetched bodies are
+    /// appended so a restarted engine can rebuild the store fetch-free.
+    wal: SafeMutex<Option<WriteAheadLog>>,
 }
 
 /// A clone-cheap handle to one shared page store (`Arc` inside).
@@ -61,11 +67,12 @@ impl PageStore {
     pub fn new() -> PageStore {
         PageStore {
             inner: Arc::new(StoreInner {
-                state: RwLock::new(StoreState::default()),
+                state: SafeRwLock::new(StoreState::default()),
                 capacity: None,
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
+                wal: SafeMutex::new(None),
             }),
         }
     }
@@ -74,18 +81,27 @@ impl PageStore {
     pub fn with_capacity(capacity: usize) -> PageStore {
         PageStore {
             inner: Arc::new(StoreInner {
-                state: RwLock::new(StoreState::default()),
+                state: SafeRwLock::new(StoreState::default()),
                 capacity: Some(capacity.max(1)),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
+                wal: SafeMutex::new(None),
             }),
         }
     }
 
+    /// Attach a write-ahead journal: every later [`insert_fetched`]
+    /// appends its body before interning.
+    ///
+    /// [`insert_fetched`]: PageStore::insert_fetched
+    pub fn set_wal(&self, wal: WriteAheadLog) {
+        *self.inner.wal.lock() = Some(wal);
+    }
+
     /// Look up the page a request resolved to, counting a hit or miss.
     pub fn get(&self, req: &Request) -> Option<Arc<LoadedPage>> {
-        let found = self.inner.state.read().expect("page store lock").pages.get(req).cloned();
+        let found = self.inner.state.read().pages.get(req).cloned();
         match &found {
             Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
             None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
@@ -93,10 +109,40 @@ impl PageStore {
         found
     }
 
+    /// Intern a page that was just fetched from the wire, journalling
+    /// its body when a WAL is attached. Preloads and recovery use plain
+    /// [`insert`] so replayed pages are not re-journalled.
+    ///
+    /// [`insert`]: PageStore::insert
+    pub fn insert_fetched(&self, req: Request, page: Arc<LoadedPage>, body: &bytes::Bytes) {
+        if let Some(wal) = self.inner.wal.lock().as_ref() {
+            // Best-effort durability: a full disk costs warm-restart
+            // coverage for this page, never the in-flight query.
+            let _ = wal.append_page(&JournalEntry { request: req.clone(), body: body.clone() });
+        }
+        self.insert(req, page);
+    }
+
+    /// Re-intern a journalled page body — warm restart's replay path.
+    /// The body is re-parsed exactly as the original fetch parsed it,
+    /// and the plain [`insert`] keeps the WAL untouched (the record is
+    /// already on disk).
+    ///
+    /// [`insert`]: PageStore::insert
+    pub fn preload(&self, entry: &JournalEntry) {
+        let resp = webbase_webworld::request::Response {
+            status: 200,
+            body: entry.body.clone(),
+            stall: std::time::Duration::ZERO,
+        };
+        let page = Arc::new(LoadedPage::from_response(entry.request.clone(), &resp));
+        self.insert(entry.request.clone(), page);
+    }
+
     /// Intern a page under its canonical request. Under a capacity
     /// bound the oldest entries are evicted first.
     pub fn insert(&self, req: Request, page: Arc<LoadedPage>) {
-        let mut state = self.inner.state.write().expect("page store lock");
+        let mut state = self.inner.state.write();
         if state.pages.insert(req.clone(), page).is_none() {
             state.order.push_back(req);
         }
@@ -111,7 +157,7 @@ impl PageStore {
 
     /// Drop one entry (returns whether it was present).
     pub fn evict(&self, req: &Request) -> bool {
-        let mut state = self.inner.state.write().expect("page store lock");
+        let mut state = self.inner.state.write();
         let present = state.pages.remove(req).is_some();
         if present {
             state.order.retain(|r| r != req);
@@ -122,7 +168,7 @@ impl PageStore {
 
     /// Drop every entry.
     pub fn clear(&self) {
-        let mut state = self.inner.state.write().expect("page store lock");
+        let mut state = self.inner.state.write();
         let n = state.pages.len() as u64;
         state.pages.clear();
         state.order.clear();
@@ -130,7 +176,7 @@ impl PageStore {
     }
 
     pub fn len(&self) -> usize {
-        self.inner.state.read().expect("page store lock").pages.len()
+        self.inner.state.read().pages.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -194,6 +240,28 @@ mod tests {
         assert!(store.get(&r1).is_none(), "oldest entry evicted first");
         assert!(store.get(&r2).is_some() && store.get(&r3).is_some());
         assert_eq!(store.evictions(), 1);
+    }
+
+    #[test]
+    fn poisoned_state_lock_recovers_and_is_counted() {
+        let store = PageStore::new();
+        let (req, pg) = page("a.test", "/x");
+        store.insert(req.clone(), pg);
+        let before = webbase_obs::sync::poison_recoveries();
+        let poisoner = store.clone();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = poisoner.inner.state.raw().write().expect("clean lock");
+            panic!("holder dies mid-update");
+        }));
+        assert!(store.inner.state.raw().is_poisoned(), "raw lock really poisoned");
+        assert!(store.get(&req).is_some(), "store stays usable after a panicked holder");
+        let (r2, p2) = page("a.test", "/y");
+        store.insert(r2.clone(), p2);
+        assert_eq!(store.len(), 2);
+        assert!(
+            webbase_obs::sync::poison_recoveries() > before,
+            "lock_poison_recovered counter incremented"
+        );
     }
 
     #[test]

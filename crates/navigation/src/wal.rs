@@ -1,0 +1,386 @@
+//! Write-ahead journal for warm restarts.
+//!
+//! The shared engine's page store and whole-query result cache live in
+//! memory; a daemon restart used to discard both and re-pay every fetch.
+//! This module persists the two durable artifacts as they are produced —
+//! admitted page bodies (the same `request + body` pairs a
+//! [`ResumeToken`] journals) and settled result-cache entries — in the
+//! `persist` module's F-logic fact syntax, so the journal is readable by
+//! the same calculus that reads navigation maps:
+//!
+//! ```text
+//! wal_page(0, get, 'www.newsday.com', '/auto').
+//! wal_query(0, 0, 'make', 'ford').
+//! wal_body(0, '%3Chtml%3E...').
+//! wal_commit(0).
+//! wal_result(1, 'UsedCarUR%28...%29').
+//! wal_attr(1, 0, 'make').
+//! wal_row(1, 0, 0, str, 'ford').
+//! wal_commit(1).
+//! ```
+//!
+//! Every record is one block of facts terminated by a `wal_commit`
+//! line, appended with a single `write_all` + flush, so a crash can at
+//! worst leave one torn block at the tail. Recovery splits the file at
+//! `wal_commit` lines, parses each block independently, and **drops**
+//! any block that is uncommitted or unparseable (counting it in
+//! [`WalRecovery::torn`]) — a torn journal never poisons a restart, it
+//! just costs a re-fetch.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::budget::JournalEntry;
+use crate::persist::{as_i64, as_str, as_usize, facts, pct, pct_bytes, q, unpct, unpct_bytes};
+use std::fmt::Write as _;
+use webbase_flogic::parser::parse_program;
+use webbase_flogic::program::Program;
+use webbase_flogic::term::Term;
+use webbase_obs::sync::SafeMutex;
+use webbase_relational::{Relation, Schema, Tuple, Value};
+use webbase_webworld::request::{Method, Request};
+use webbase_webworld::url::Url;
+
+#[derive(Debug)]
+struct WalInner {
+    file: SafeMutex<File>,
+    seq: AtomicU64,
+}
+
+/// An append-only journal of admitted pages and settled results.
+/// Clone-cheap; appends are serialised under one lock and flushed per
+/// record so the commit line hits the file with its block.
+#[derive(Debug, Clone)]
+pub struct WriteAheadLog {
+    inner: Arc<WalInner>,
+}
+
+impl WriteAheadLog {
+    /// Open (or create) the journal at `path` for appending. Existing
+    /// records are left in place — run [`WalRecovery::load`] first to
+    /// read them.
+    pub fn open(path: &Path) -> io::Result<WriteAheadLog> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(WriteAheadLog {
+            inner: Arc::new(WalInner { file: SafeMutex::new(file), seq: AtomicU64::new(0) }),
+        })
+    }
+
+    fn append(&self, body: &str) -> io::Result<()> {
+        let mut file = self.inner.file.lock();
+        file.write_all(body.as_bytes())?;
+        file.flush()
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Journal one admitted page body (called from the fetch-success
+    /// path; cache hits and preloads are not re-journalled).
+    pub fn append_page(&self, entry: &JournalEntry) -> io::Result<()> {
+        let seq = self.next_seq();
+        let mut out = String::new();
+        let method = match entry.request.method {
+            Method::Get => "get",
+            Method::Post => "post",
+        };
+        let _ = writeln!(
+            out,
+            "wal_page({seq}, {method}, {}, {}).",
+            q(&pct(&entry.request.url.host)),
+            q(&pct(&entry.request.url.path))
+        );
+        for (j, (k, v)) in entry.request.url.query.iter().enumerate() {
+            let _ = writeln!(out, "wal_query({seq}, {j}, {}, {}).", q(&pct(k)), q(&pct(v)));
+        }
+        for (j, (k, v)) in entry.request.params.iter().enumerate() {
+            let _ = writeln!(out, "wal_param({seq}, {j}, {}, {}).", q(&pct(k)), q(&pct(v)));
+        }
+        let _ = writeln!(out, "wal_body({seq}, {}).", q(&pct_bytes(&entry.body)));
+        let _ = writeln!(out, "wal_commit({seq}).");
+        self.append(&out)
+    }
+
+    /// Journal one settled result-cache entry: the exact query text and
+    /// the clean, complete relation that was published for it.
+    pub fn append_result(&self, query: &str, relation: &Relation) -> io::Result<()> {
+        let seq = self.next_seq();
+        let mut out = String::new();
+        let _ = writeln!(out, "wal_result({seq}, {}).", q(&pct(query)));
+        for (j, attr) in relation.schema().attrs().iter().enumerate() {
+            let _ = writeln!(out, "wal_attr({seq}, {j}, {}).", q(&pct(attr.as_str())));
+        }
+        for (r, tuple) in relation.tuples().iter().enumerate() {
+            for (c, value) in tuple.values().iter().enumerate() {
+                let (kind, payload) = render_value(value);
+                let _ = writeln!(out, "wal_row({seq}, {r}, {c}, {kind}, {}).", q(&pct(&payload)));
+            }
+        }
+        let _ = writeln!(out, "wal_commit({seq}).");
+        self.append(&out)
+    }
+}
+
+fn render_value(value: &Value) -> (&'static str, String) {
+    match value {
+        Value::Str(s) => ("str", s.clone()),
+        Value::Int(n) => ("int", n.to_string()),
+        Value::Float(f) => ("float", f.to_string()),
+        Value::Bool(b) => ("bool", b.to_string()),
+        Value::Null => ("null", String::new()),
+    }
+}
+
+fn parse_value(kind: &str, payload: String) -> Option<Value> {
+    Some(match kind {
+        "str" => Value::Str(payload),
+        "int" => Value::Int(payload.parse().ok()?),
+        "float" => Value::Float(payload.parse().ok()?),
+        "bool" => Value::Bool(payload == "true"),
+        "null" => Value::Null,
+        _ => return None,
+    })
+}
+
+/// What survived a journal file: recovered pages and results, plus the
+/// count of torn (uncommitted or unparseable) blocks that were dropped.
+#[derive(Debug, Default)]
+pub struct WalRecovery {
+    pub pages: Vec<JournalEntry>,
+    pub results: Vec<(String, Relation)>,
+    pub torn: u64,
+}
+
+impl WalRecovery {
+    /// Read every committed record from `path`. A missing file is an
+    /// empty (cold) journal, not an error.
+    pub fn load(path: &Path) -> io::Result<WalRecovery> {
+        let text = match std::fs::read(path) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(WalRecovery::default()),
+            Err(e) => return Err(e),
+        };
+        let mut recovery = WalRecovery::default();
+        let mut block = String::new();
+        for line in text.lines() {
+            block.push_str(line);
+            block.push('\n');
+            if line.trim_start().starts_with("wal_commit(") {
+                recovery.absorb(&block);
+                block.clear();
+            }
+        }
+        if !block.trim().is_empty() {
+            recovery.torn += 1; // tail block never committed
+        }
+        Ok(recovery)
+    }
+
+    fn absorb(&mut self, block: &str) {
+        match parse_program(block).ok().and_then(|prog| parse_block(&prog)) {
+            Some(WalRecord::Page(entry)) => self.pages.push(entry),
+            Some(WalRecord::Result(query, relation)) => self.results.push((query, relation)),
+            None => self.torn += 1,
+        }
+    }
+}
+
+enum WalRecord {
+    Page(JournalEntry),
+    Result(String, Relation),
+}
+
+/// Interpret one committed block; `None` means the block is malformed
+/// (counted as torn by the caller).
+fn parse_block(prog: &Program) -> Option<WalRecord> {
+    if let Some(a) = facts(prog, "wal_page", 4).first() {
+        let seq = as_i64(&a[0], "wal seq").ok()?;
+        let method = match as_str(&a[1], "wal method").ok()?.as_str() {
+            "get" => Method::Get,
+            "post" => Method::Post,
+            _ => return None,
+        };
+        let host = unpct(&as_str(&a[2], "wal host").ok()?).ok()?;
+        let path = unpct(&as_str(&a[3], "wal path").ok()?).ok()?;
+        let pairs = |pred: &str| -> Option<Vec<(String, String)>> {
+            let mut rows = Vec::new();
+            for p in facts(prog, pred, 4) {
+                if p[0] != Term::Int(seq) {
+                    continue;
+                }
+                let j = as_usize(&p[1], "wal pair seq").ok()?;
+                let k = unpct(&as_str(&p[2], "wal pair key").ok()?).ok()?;
+                let v = unpct(&as_str(&p[3], "wal pair value").ok()?).ok()?;
+                rows.push((j, (k, v)));
+            }
+            rows.sort_by_key(|(j, _)| *j);
+            Some(rows.into_iter().map(|(_, kv)| kv).collect())
+        };
+        let body = facts(prog, "wal_body", 2)
+            .into_iter()
+            .find(|b| b[0] == Term::Int(seq))
+            .and_then(|b| as_str(&b[1], "wal body").ok())
+            .and_then(|s| unpct_bytes(&s).ok())?;
+        let mut url = Url::new(&host, &path);
+        url.query = pairs("wal_query")?;
+        let request = Request { method, url, params: pairs("wal_param")? };
+        return Some(WalRecord::Page(JournalEntry { request, body: bytes::Bytes::from(body) }));
+    }
+    if let Some(a) = facts(prog, "wal_result", 2).first() {
+        let seq = as_i64(&a[0], "wal seq").ok()?;
+        let query = unpct(&as_str(&a[1], "wal query").ok()?).ok()?;
+        let mut attrs = Vec::new();
+        for f in facts(prog, "wal_attr", 3) {
+            if f[0] != Term::Int(seq) {
+                continue;
+            }
+            let j = as_usize(&f[1], "wal attr seq").ok()?;
+            attrs.push((j, unpct(&as_str(&f[2], "wal attr").ok()?).ok()?));
+        }
+        attrs.sort_by_key(|(j, _)| *j);
+        let attrs: Vec<String> = attrs.into_iter().map(|(_, a)| a).collect();
+        if attrs.iter().enumerate().any(|(i, a)| attrs[..i].contains(a)) {
+            return None; // duplicate attrs would panic Schema::new
+        }
+        let mut cells: Vec<(usize, usize, Value)> = Vec::new();
+        for f in facts(prog, "wal_row", 5) {
+            if f[0] != Term::Int(seq) {
+                continue;
+            }
+            let r = as_usize(&f[1], "wal row").ok()?;
+            let c = as_usize(&f[2], "wal col").ok()?;
+            let kind = as_str(&f[3], "wal kind").ok()?;
+            let payload = unpct(&as_str(&f[4], "wal payload").ok()?).ok()?;
+            cells.push((r, c, parse_value(&kind, payload)?));
+        }
+        cells.sort_by_key(|(r, c, _)| (*r, *c));
+        let mut relation = Relation::new(Schema::new(attrs.iter().map(String::as_str)));
+        let mut row: Vec<Value> = Vec::new();
+        let mut current = 0usize;
+        for (r, c, value) in cells {
+            if r != current {
+                if row.len() != attrs.len() {
+                    return None; // short row: torn record
+                }
+                relation.push(Tuple::from_values(std::mem::take(&mut row)));
+                current = r;
+            }
+            if c != row.len() {
+                return None; // gap or duplicate cell
+            }
+            row.push(value);
+        }
+        if !row.is_empty() {
+            if row.len() != attrs.len() {
+                return None;
+            }
+            relation.push(Tuple::from_values(row));
+        }
+        return Some(WalRecord::Result(query, relation));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("webbase-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    fn entry(host: &str, path: &str, body: &str) -> JournalEntry {
+        let mut url = Url::new(host, path);
+        url.query = vec![("make".to_string(), "ford".to_string())];
+        JournalEntry {
+            request: Request { method: Method::Get, url, params: Vec::new() },
+            body: bytes::Bytes::from(body.as_bytes().to_vec()),
+        }
+    }
+
+    fn sample_relation() -> Relation {
+        let mut rel = Relation::new(Schema::new(["make", "year", "price"]));
+        rel.push(Tuple::from_values([Value::str("ford"), Value::Int(1999), Value::Float(1234.5)]));
+        rel.push(Tuple::from_values([Value::str("jaguar"), Value::Int(1995), Value::Null]));
+        rel
+    }
+
+    #[test]
+    fn pages_and_results_roundtrip() {
+        let path = temp("roundtrip");
+        let wal = WriteAheadLog::open(&path).expect("open wal");
+        let page = entry("www.newsday.com", "/auto", "<html>tricky 'quotes' & bytes\n</html>");
+        wal.append_page(&page).expect("append page");
+        let rel = sample_relation();
+        wal.append_result("UsedCarUR(make='ford', price)", &rel).expect("append result");
+
+        let recovered = WalRecovery::load(&path).expect("recover");
+        assert_eq!(recovered.torn, 0);
+        assert_eq!(recovered.pages.len(), 1);
+        assert_eq!(recovered.pages[0].request, page.request);
+        assert_eq!(recovered.pages[0].body, page.body, "bodies are byte-identical");
+        assert_eq!(recovered.results.len(), 1);
+        assert_eq!(recovered.results[0].0, "UsedCarUR(make='ford', price)");
+        assert_eq!(recovered.results[0].1, rel);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_recovers_empty() {
+        let r = WalRecovery::load(Path::new("/nonexistent/webbase-wal")).expect("cold journal");
+        assert_eq!(r.pages.len() + r.results.len(), 0);
+        assert_eq!(r.torn, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_counted() {
+        let path = temp("torn");
+        let wal = WriteAheadLog::open(&path).expect("open wal");
+        wal.append_page(&entry("a.example.com", "/", "first")).expect("append");
+        wal.append_page(&entry("b.example.com", "/", "second")).expect("append");
+        drop(wal);
+        // Simulate a crash mid-append: chop bytes off the tail so the
+        // last block loses its commit line.
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::write(&path, &bytes[..bytes.len() - 20]).expect("truncate");
+        let recovered = WalRecovery::load(&path).expect("recover");
+        assert_eq!(recovered.pages.len(), 1, "only the committed record survives");
+        assert_eq!(recovered.pages[0].request.url.host, "a.example.com");
+        assert_eq!(recovered.torn, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_block_is_torn_not_fatal() {
+        let path = temp("garbage");
+        std::fs::write(&path, "wal_page(0, get, 'h').\nwal_commit(0).\n!!!not facts\n")
+            .expect("write garbage");
+        let recovered = WalRecovery::load(&path).expect("recover");
+        assert_eq!(recovered.pages.len(), 0);
+        assert_eq!(recovered.torn, 2, "bad-arity block and uncommitted tail both counted");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopened_journal_appends_after_existing_records() {
+        let path = temp("reopen");
+        {
+            let wal = WriteAheadLog::open(&path).expect("open");
+            wal.append_page(&entry("a.example.com", "/", "first")).expect("append");
+        }
+        {
+            let wal = WriteAheadLog::open(&path).expect("reopen");
+            wal.append_page(&entry("b.example.com", "/", "second")).expect("append");
+        }
+        let recovered = WalRecovery::load(&path).expect("recover");
+        assert_eq!(recovered.pages.len(), 2);
+        assert_eq!(recovered.torn, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -17,6 +17,7 @@
 //! fully disabled and costs one branch per instrumentation point.
 
 mod metrics;
+pub mod sync;
 mod trace;
 
 pub use metrics::{

@@ -49,10 +49,13 @@ pub enum Metric {
     HandleInvocations,
     /// Tuples emitted by VPS handles into the logical layer.
     TuplesEmitted,
+    /// Navigation attempts abandoned because the query was cancelled
+    /// (client disconnect, shutdown, or an explicit cancel).
+    Cancellations,
 }
 
 /// All metrics, in declaration order (= atomic array order).
-pub const METRICS: [Metric; 16] = [
+pub const METRICS: [Metric; 17] = [
     Metric::Fetches,
     Metric::CacheHits,
     Metric::Retries,
@@ -69,6 +72,7 @@ pub const METRICS: [Metric; 16] = [
     Metric::NavSteps,
     Metric::HandleInvocations,
     Metric::TuplesEmitted,
+    Metric::Cancellations,
 ];
 
 impl Metric {
@@ -91,6 +95,7 @@ impl Metric {
             Metric::NavSteps => "nav_steps",
             Metric::HandleInvocations => "handle_invocations",
             Metric::TuplesEmitted => "tuples_emitted",
+            Metric::Cancellations => "cancellations",
         }
     }
 

@@ -11,7 +11,7 @@ use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
 use webbase_navigation::pool::HostPools;
 use webbase_navigation::store::PageStore;
-use webbase_navigation::{CompiledSite, DegradationReport, FetchPolicy, RepairReport};
+use webbase_navigation::{CancelToken, CompiledSite, DegradationReport, FetchPolicy, RepairReport};
 use webbase_obs::{Metric, Obs, SpanHandle, SpanKind, QUERY_TRACK};
 use webbase_relational::binding::{Binding, BindingSet};
 use webbase_relational::eval::{AccessSpec, EvalError, RelationProvider};
@@ -256,6 +256,20 @@ impl VpsCatalog {
     /// The attached observability handle (disabled by default).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Attach a cancellation token: every navigator polls it at its
+    /// budget checkpoints, so a cancel lands before the next page
+    /// request rather than mid-navigation (identity-dedup across the
+    /// relations of one site, exactly like [`VpsCatalog::set_obs`]).
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        let mut seen: HashSet<*const SiteNavigator> = HashSet::new();
+        for name in &self.order {
+            let nav = &self.entries[name].navigator;
+            if seen.insert(Arc::as_ptr(nav)) {
+                nav.set_cancel(cancel.clone());
+            }
+        }
     }
 
     /// Attach a shared answer memo (the multi-query engine's

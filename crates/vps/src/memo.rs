@@ -16,8 +16,9 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar};
 use std::time::Duration;
+use webbase_obs::sync::{recover, SafeMutex, SafeRwLock};
 use webbase_relational::{Relation, Value};
 
 /// Memo key: relation name + the access-spec bindings, sorted by
@@ -26,15 +27,19 @@ pub type MemoKey = (String, Vec<(String, Value)>);
 
 #[derive(Debug)]
 struct MemoInner {
-    answers: RwLock<HashMap<MemoKey, Relation>>,
+    answers: SafeRwLock<HashMap<MemoKey, Relation>>,
     /// Keys some session is computing right now (singleflight): a
     /// second session asking for an in-flight key waits for the
     /// leader's answer instead of recomputing it.
-    inflight: Mutex<HashSet<MemoKey>>,
+    inflight: SafeMutex<HashSet<MemoKey>>,
     settled: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    /// Leaderships released by a *panicking* holder (the guard dropped
+    /// during unwinding): each one is a waiter promotion with the
+    /// failed leader's spend already charged to its own tenant.
+    aborted: AtomicU64,
 }
 
 /// A clone-cheap handle to one shared answer memo (`Arc` inside).
@@ -53,12 +58,13 @@ impl AnswerMemo {
     pub fn new() -> AnswerMemo {
         AnswerMemo {
             inner: Arc::new(MemoInner {
-                answers: RwLock::new(HashMap::new()),
-                inflight: Mutex::new(HashSet::new()),
+                answers: SafeRwLock::new(HashMap::new()),
+                inflight: SafeMutex::new(HashSet::new()),
                 settled: Condvar::new(),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 coalesced: AtomicU64::new(0),
+                aborted: AtomicU64::new(0),
             }),
         }
     }
@@ -71,7 +77,7 @@ impl AnswerMemo {
     }
 
     pub fn get(&self, key: &MemoKey) -> Option<Relation> {
-        let found = self.inner.answers.read().expect("memo lock").get(key).cloned();
+        let found = self.inner.answers.read().get(key).cloned();
         match &found {
             Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
             None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
@@ -80,7 +86,7 @@ impl AnswerMemo {
     }
 
     pub fn insert(&self, key: MemoKey, answer: Relation) {
-        self.inner.answers.write().expect("memo lock").insert(key, answer);
+        self.inner.answers.write().insert(key, answer);
     }
 
     /// Singleflight claim: either a memoised answer, or leadership of
@@ -99,11 +105,11 @@ impl AnswerMemo {
     pub fn claim(&self, key: &MemoKey) -> MemoClaim {
         let mut first = true;
         loop {
-            let inflight = self.inner.inflight.lock().expect("inflight lock");
+            let inflight = self.inner.inflight.lock();
             // Answers are published *before* the in-flight mark is
             // cleared, so checking under the in-flight lock cannot
             // miss a settling leader.
-            if let Some(rel) = self.inner.answers.read().expect("memo lock").get(key).cloned() {
+            if let Some(rel) = self.inner.answers.read().get(key).cloned() {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
                 return MemoClaim::Hit(rel);
             }
@@ -118,11 +124,8 @@ impl AnswerMemo {
                 self.inner.coalesced.fetch_add(1, Ordering::Relaxed);
                 first = false;
             }
-            let (woken, _timeout) = self
-                .inner
-                .settled
-                .wait_timeout(inflight, Duration::from_millis(50))
-                .expect("inflight lock");
+            let (woken, _timeout) =
+                recover(self.inner.settled.wait_timeout(inflight, Duration::from_millis(50)));
             drop(woken);
         }
     }
@@ -134,7 +137,7 @@ impl AnswerMemo {
     }
 
     pub fn len(&self) -> usize {
-        self.inner.answers.read().expect("memo lock").len()
+        self.inner.answers.read().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -147,6 +150,12 @@ impl AnswerMemo {
 
     pub fn misses(&self) -> u64 {
         self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Leaderships released because their holder panicked (each one
+    /// promoted a waiter; see [`LeaderGuard`]).
+    pub fn aborted(&self) -> u64 {
+        self.inner.aborted.load(Ordering::Relaxed)
     }
 }
 
@@ -184,7 +193,15 @@ impl LeaderGuard {
 
 impl Drop for LeaderGuard {
     fn drop(&mut self) {
-        let mut inflight = self.memo.inner.inflight.lock().expect("inflight lock");
+        // A leader that dies *panicking* (unwinding through the engine's
+        // catch_unwind) still hands leadership off cleanly — the next
+        // waiter retries its claim and takes over — but the handoff is
+        // counted separately: the partial spend stays charged to the
+        // panicking tenant, and chaos tests assert the promotion.
+        if std::thread::panicking() {
+            self.memo.inner.aborted.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut inflight = self.memo.inner.inflight.lock();
         inflight.remove(&self.key);
         self.memo.inner.settled.notify_all();
     }
@@ -268,6 +285,62 @@ mod tests {
         }
         assert_eq!(memo.coalesced(), 4);
         assert_eq!(memo.misses(), 1);
+    }
+
+    #[test]
+    fn a_panicking_leader_hands_leadership_to_a_waiter_and_is_counted() {
+        let memo = AnswerMemo::new();
+        let key = AnswerMemo::key("r", &[]);
+        let panicker = {
+            let memo = memo.clone();
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let _leader = match memo.claim(&key) {
+                    MemoClaim::Leader(guard) => guard,
+                    MemoClaim::Hit(_) => panic!("empty memo cannot hit"),
+                };
+                panic!("chaos: leader dies mid-computation");
+            })
+        };
+        assert!(panicker.join().is_err());
+        assert_eq!(memo.aborted(), 1);
+        // The key is released: the next claimant becomes leader and the
+        // herd converges as if the panic never happened.
+        match memo.claim(&key) {
+            MemoClaim::Leader(guard) => guard.settle(Some(one_row())),
+            MemoClaim::Hit(_) => panic!("nothing was published by the panicker"),
+        }
+        match memo.claim(&key) {
+            MemoClaim::Hit(rel) => assert_eq!(rel.len(), 1),
+            MemoClaim::Leader(_) => panic!("settled key must hit"),
+        }
+    }
+
+    #[test]
+    fn poisoned_memo_locks_recover_and_are_counted() {
+        let memo = AnswerMemo::new();
+        let key = AnswerMemo::key("r", &[]);
+        memo.insert(key.clone(), one_row());
+        let before = webbase_obs::sync::poison_recoveries();
+        let panicker = {
+            let memo = memo.clone();
+            std::thread::spawn(move || {
+                let _answers = memo.inner.answers.raw().write().expect("first writer");
+                let _inflight = memo.inner.inflight.raw().lock().expect("first holder");
+                panic!("poison both memo locks");
+            })
+        };
+        assert!(panicker.join().is_err());
+        assert!(memo.inner.answers.raw().is_poisoned());
+        assert!(memo.inner.inflight.raw().is_poisoned());
+        // Reads, writes, and the singleflight protocol all keep working.
+        assert_eq!(memo.get(&key).expect("still memoised").len(), 1);
+        memo.insert(AnswerMemo::key("s", &[]), one_row());
+        match memo.claim(&AnswerMemo::key("t", &[])) {
+            MemoClaim::Leader(guard) => guard.settle(None),
+            MemoClaim::Hit(_) => panic!("unknown key cannot hit"),
+        }
+        assert!(webbase_obs::sync::poison_recoveries() > before);
     }
 
     #[test]

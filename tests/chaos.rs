@@ -1,0 +1,272 @@
+//! Chaos battery for the crash-safe server runtime.
+//!
+//! Every scenario injects a failure — a panicking leader, a client
+//! disconnect mid-query, a torn journal, a kill-and-restart cycle —
+//! and gates on the same two invariants:
+//!
+//! 1. **Answer equality**: after recovery, the engine's answer equals
+//!    the isolated serial oracle's (a private session sharing nothing).
+//! 2. **Counter/span sanity**: failures are counted where they were
+//!    contained, nothing is left in flight, and no lock stays poisoned.
+//!
+//! The dataset seed comes from `WEBBASE_TEST_SEED` (default 11); CI
+//! sweeps seeds 11/23/47.
+
+mod common;
+
+use common::{seed, subset, JAGUAR_QUERY};
+use webbase::{
+    CancelToken, Engine, EngineConfig, EngineError, LatencyModel, Lifecycle, QueryOptions, Relation,
+};
+use webbase_logical::QueryBudget;
+
+const FORD: &str = "UsedCarUR(make='ford', price)";
+
+fn engine() -> Engine {
+    Engine::build_demo(seed(), 400, LatencyModel::lan())
+}
+
+fn journaled_engine(path: &std::path::Path) -> Engine {
+    let data = webbase_webworld::data::Dataset::generate(seed(), 400);
+    let web = webbase_webworld::prelude::standard_web(data.clone(), LatencyModel::lan());
+    let config = EngineConfig { journal: Some(path.to_path_buf()), ..EngineConfig::default() };
+    Engine::build_on(web, data, config).expect("journaled engine builds")
+}
+
+fn oracle(engine: &Engine, text: &str) -> Relation {
+    engine.query_isolated("oracle", text, QueryOptions::default()).expect("oracle runs").relation
+}
+
+fn journal_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("webbase-chaos-{}-{}-{name}", std::process::id(), seed()))
+}
+
+#[test]
+fn leader_panic_hands_off_and_the_engine_survives() {
+    let engine = engine();
+    let chaos = QueryOptions {
+        cancel: Some(CancelToken::new().panic_after_polls(1)),
+        ..QueryOptions::default()
+    };
+    let err = engine.query("crashy", JAGUAR_QUERY, chaos);
+    assert!(matches!(err, Err(EngineError::Panicked(_))), "fuse must fire: {err:?}");
+    let stats = engine.stats();
+    assert_eq!(stats.panics, 1, "{stats:?}");
+    assert!(stats.result_aborted >= 1, "the panicking leader must hand off: {stats:?}");
+    assert_eq!(engine.inflight_queries(), 0, "no orphaned in-flight entry");
+    // The same query now runs to the oracle's answer — the panic
+    // neither cached garbage nor wedged any shared structure.
+    let after = engine.query("steady", JAGUAR_QUERY, QueryOptions::default()).expect("serves on");
+    assert_eq!(after.relation, oracle(&engine, JAGUAR_QUERY), "post-panic answer diverged");
+    assert_eq!(engine.stats().panics, 1, "recovery run panicked");
+}
+
+#[test]
+fn concurrent_followers_survive_a_leader_panic() {
+    let engine = engine();
+    let expected = oracle(&engine, JAGUAR_QUERY);
+    let results: Vec<Result<Relation, EngineError>> = std::thread::scope(|scope| {
+        let fused = {
+            let engine = engine.clone();
+            scope.spawn(move || {
+                let chaos = QueryOptions {
+                    cancel: Some(CancelToken::new().panic_after_polls(1)),
+                    ..QueryOptions::default()
+                };
+                engine.query("crashy", JAGUAR_QUERY, chaos).map(|o| o.relation)
+            })
+        };
+        // Give the fused query time to claim result-cache leadership,
+        // then pile followers onto the same key.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let followers: Vec<_> = (0..3)
+            .map(|t| {
+                let engine = engine.clone();
+                scope.spawn(move || {
+                    let tenant = format!("tenant{t}");
+                    engine.query(&tenant, JAGUAR_QUERY, QueryOptions::default()).map(|o| o.relation)
+                })
+            })
+            .collect();
+        let mut results = vec![fused.join().expect("fused thread")];
+        results.extend(followers.into_iter().map(|f| f.join().expect("follower thread")));
+        results
+    });
+    let ok: Vec<&Relation> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+    let errs: Vec<&EngineError> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    assert!(ok.len() >= 3, "at most the fused query may fail: {errs:?}");
+    for rel in &ok {
+        assert_eq!(**rel, expected, "a survivor's answer diverged from the oracle");
+    }
+    for e in &errs {
+        assert!(matches!(e, EngineError::Panicked(_)), "only the injected panic may fail: {e}");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.panics as usize, errs.len(), "{stats:?}");
+    assert_eq!(engine.inflight_queries(), 0);
+}
+
+#[test]
+fn a_cancelled_query_aborts_cleanly_and_is_not_cached() {
+    let engine = engine();
+    let expected = oracle(&engine, FORD);
+    let token = CancelToken::new().cancel_after_polls(2);
+    let out = engine
+        .query(
+            "leaver",
+            FORD,
+            QueryOptions { cancel: Some(token.clone()), ..QueryOptions::default() },
+        )
+        .expect("cancellation is a clean partial, not an error");
+    assert!(token.is_cancelled(), "the fuse must have fired");
+    assert!(!out.plan.degradation.is_clean(), "a cancelled run is degraded by definition");
+    assert!(subset(&out.relation, &expected), "a cancelled partial fabricated tuples");
+    assert!(out.relation.len() < expected.len(), "cancel at poll 2 cannot finish the walk");
+    let stats = engine.stats();
+    assert_eq!(stats.cancelled, 1, "{stats:?}");
+    assert_eq!(engine.inflight_queries(), 0, "no orphaned navigation");
+    // The partial must not have been published: a fresh tenant gets
+    // the full answer, not the cancelled remnant.
+    let after = engine.query("steady", FORD, QueryOptions::default()).expect("full run");
+    assert_eq!(after.relation, expected, "the cancelled partial leaked into the result cache");
+}
+
+#[test]
+fn a_budgeted_cancel_checkpoints_to_a_resume_token() {
+    let engine = engine();
+    let expected = oracle(&engine, FORD);
+    let chaos = QueryOptions {
+        budget: Some(QueryBudget::unlimited()),
+        cancel: Some(CancelToken::new().cancel_after_polls(3)),
+        ..QueryOptions::default()
+    };
+    let partial = engine.query("leaver", FORD, chaos).expect("budgeted cancel stays a partial");
+    let token = partial.plan.resume.expect("a budgeted cancelled run must leave a resume token");
+    assert!(subset(&partial.relation, &expected));
+    // Resuming spends a fresh (unlimited) budget on the unfinished
+    // tail and converges to the oracle's answer.
+    let resumed = engine.query("leaver", FORD, QueryOptions::resuming(token)).expect("resumes");
+    assert_eq!(resumed.relation, expected, "resume after cancel did not converge");
+    assert_eq!(engine.stats().cancelled, 1);
+}
+
+#[test]
+fn shutdown_cancels_in_flight_queries_and_drains() {
+    let engine = engine();
+    let expected = oracle(&engine, FORD);
+    let worker = {
+        let engine = engine.clone();
+        std::thread::spawn(move || engine.query("slow", FORD, QueryOptions::default()))
+    };
+    // Let the worker get in flight (cold engine: the walk takes a
+    // while), then pull the plug under it.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    engine.shutdown();
+    assert_eq!(engine.lifecycle(), Lifecycle::Stopped);
+    let result = worker.join().expect("worker thread");
+    // Depending on timing the worker either finished before the
+    // cancel landed (full answer) or aborted cleanly (sound partial).
+    match result {
+        Ok(out) => assert!(subset(&out.relation, &expected), "shutdown fabricated tuples"),
+        Err(e) => panic!("shutdown must cancel cooperatively, not fail the query: {e}"),
+    }
+    assert!(engine.drain_wait(std::time::Duration::from_secs(5)), "queries left in flight");
+    let err = engine.query("late", FORD, QueryOptions::default());
+    assert!(matches!(err, Err(EngineError::Draining)), "stopped engine admitted: {err:?}");
+    // The isolated oracle is a measurement tool, not a tenant: it
+    // still runs after shutdown.
+    assert_eq!(oracle(&engine, FORD), expected);
+}
+
+#[test]
+fn warm_restart_replays_the_journal_fetch_free() {
+    let path = journal_path("warm");
+    let _ = std::fs::remove_file(&path);
+    let first = journaled_engine(&path);
+    let original = first.query("t", FORD, QueryOptions::default()).expect("journalled run");
+    drop(first);
+
+    let second = journaled_engine(&path);
+    let stats = second.stats();
+    assert!(stats.journal_recovered_pages > 0, "{stats:?}");
+    assert_eq!(stats.journal_recovered_results, 1, "{stats:?}");
+    assert_eq!(stats.journal_torn, 0, "{stats:?}");
+    let before = second.web().total_stats().requests;
+    let replay = second.query("t", FORD, QueryOptions::default()).expect("replayed run");
+    let after = second.web().total_stats().requests;
+    assert_eq!(replay.relation, original.relation, "restart changed the answer");
+    // The oracle below runs on a private store and fetches freely —
+    // measure the replay's cost before it, not after.
+    assert_eq!(after, before, "warm restart re-fetched");
+    assert_eq!(replay.relation, oracle(&second, FORD), "restart diverged from the oracle");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_torn_journal_recovers_the_surviving_prefix() {
+    let path = journal_path("torn");
+    let _ = std::fs::remove_file(&path);
+    let first = journaled_engine(&path);
+    first.query("t", FORD, QueryOptions::default()).expect("journalled run");
+    drop(first);
+    // Tear the tail off mid-record — the crash case fsync cannot save.
+    let bytes = std::fs::read(&path).expect("journal exists");
+    assert!(bytes.len() > 40, "journal too small to tear meaningfully");
+    std::fs::write(&path, &bytes[..bytes.len() - 25]).expect("truncate");
+
+    let second = journaled_engine(&path);
+    let stats = second.stats();
+    assert!(stats.journal_torn > 0, "the torn record must be detected: {stats:?}");
+    // Whatever survived is a sound cache; the engine re-fetches the
+    // rest and still converges to the oracle.
+    let out = second.query("t", FORD, QueryOptions::default()).expect("degraded journal serves");
+    assert_eq!(out.relation, oracle(&second, FORD), "torn recovery diverged");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn stats_snapshots_are_fieldwise_monotone_under_load() {
+    // STATS reads its counters individually (torn *group* reads are
+    // accepted by design — see the server's STATS handler), so the
+    // pinned contract is per-field monotonicity across snapshots.
+    let engine = engine();
+    let snapshots: Vec<webbase::EngineStats> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..3)
+            .map(|t| {
+                let engine = engine.clone();
+                scope.spawn(move || {
+                    let tenant = format!("tenant{t}");
+                    for text in [FORD, JAGUAR_QUERY, FORD] {
+                        let _ = engine.query(&tenant, text, QueryOptions::default());
+                    }
+                })
+            })
+            .collect();
+        let mut snaps = Vec::new();
+        while workers.iter().any(|w| !w.is_finished()) {
+            snaps.push(engine.stats());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        for w in workers {
+            w.join().expect("worker");
+        }
+        snaps.push(engine.stats());
+        snaps
+    });
+    for pair in snapshots.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        assert!(b.queries >= a.queries, "queries went backwards: {a:?} -> {b:?}");
+        assert!(b.store_hits >= a.store_hits, "store_hits went backwards: {a:?} -> {b:?}");
+        assert!(b.store_misses >= a.store_misses, "store_misses went backwards: {a:?} -> {b:?}");
+        assert!(b.memo_hits >= a.memo_hits, "memo_hits went backwards: {a:?} -> {b:?}");
+        assert!(b.memo_misses >= a.memo_misses, "memo_misses went backwards: {a:?} -> {b:?}");
+        assert!(b.memo_len >= a.memo_len, "memo_len went backwards: {a:?} -> {b:?}");
+        assert!(b.result_hits >= a.result_hits, "result_hits went backwards: {a:?} -> {b:?}");
+        assert!(b.result_misses >= a.result_misses, "result_misses went backwards: {a:?} -> {b:?}");
+        assert!(b.web_requests >= a.web_requests, "web_requests went backwards: {a:?} -> {b:?}");
+        assert!(b.panics >= a.panics && b.cancelled >= a.cancelled, "{a:?} -> {b:?}");
+    }
+    let last = snapshots.last().expect("at least one snapshot");
+    assert_eq!(last.queries, 9, "all nine queries completed: {last:?}");
+    assert_eq!(last.panics, 0);
+}
