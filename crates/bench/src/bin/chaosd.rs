@@ -16,11 +16,19 @@
 //! the daemon's disconnect-cancellation path, then checks the daemon
 //! still answers.
 //!
+//! With `--mutate`, a third life restarts the daemon on the same
+//! journal with the NYTimes site advanced one drift generation
+//! (`webbased --drift-gen 1`): the web changed *while the daemon was
+//! down*. The harness then asserts `REFRESH www.nytimes.com` detects
+//! the drift, invalidates the journal-recovered views, and that the
+//! re-served ford answer reflects the new generation — with
+//! `stale_served` still zero.
+//!
 //! ```text
-//! chaosd [--seed 42] [--ads 900] [--smoke]
+//! chaosd [--seed 42] [--ads 900] [--smoke] [--mutate]
 //! ```
 //!
-//! Exits nonzero on any failed assertion — CI runs `--smoke`.
+//! Exits nonzero on any failed assertion — CI runs `--smoke --mutate`.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -35,10 +43,11 @@ const JAGUAR: &str = "UsedCarUR(make='jaguar', model, year >= 1993, price, bbpri
 struct Args {
     seed: u64,
     ads: usize,
+    mutate: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { seed: 42, ads: 900 };
+    let mut args = Args { seed: 42, ads: 900, mutate: false };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -46,8 +55,9 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--ads" => args.ads = value("--ads")?.parse().map_err(|e| format!("--ads: {e}"))?,
             "--smoke" => args.ads = 400,
+            "--mutate" => args.mutate = true,
             "--help" | "-h" => {
-                println!("chaosd [--seed 42] [--ads 900] [--smoke]");
+                println!("chaosd [--seed 42] [--ads 900] [--smoke] [--mutate]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -61,16 +71,23 @@ fn free_port() -> std::io::Result<u16> {
     Ok(TcpListener::bind(("127.0.0.1", 0))?.local_addr()?.port())
 }
 
-fn spawn_daemon(args: &Args, port: u16, journal: &Path) -> Result<Child, String> {
+fn spawn_daemon(
+    args: &Args,
+    port: u16,
+    journal: &Path,
+    drift_gen: Option<u64>,
+) -> Result<Child, String> {
     let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let webbased = me.parent().ok_or("no parent dir")?.join("webbased");
-    Command::new(&webbased)
-        .args(["--port", &port.to_string()])
+    let mut cmd = Command::new(&webbased);
+    cmd.args(["--port", &port.to_string()])
         .args(["--seed", &args.seed.to_string()])
         .args(["--ads", &args.ads.to_string()])
-        .args(["--journal", &journal.display().to_string()])
-        .spawn()
-        .map_err(|e| format!("spawn {}: {e}", webbased.display()))
+        .args(["--journal", &journal.display().to_string()]);
+    if let Some(generation) = drift_gen {
+        cmd.args(["--drift-gen", &generation.to_string()]);
+    }
+    cmd.spawn().map_err(|e| format!("spawn {}: {e}", webbased.display()))
 }
 
 /// Wait (by connect-retry) until the daemon's listener is up; the
@@ -139,7 +156,7 @@ fn run(args: &Args) -> Result<(), String> {
 
     // ---- First life: populate the journal, then die without warning.
     let port = free_port().map_err(|e| format!("free port: {e}"))?;
-    let mut daemon = spawn_daemon(args, port, &journal)?;
+    let mut daemon = spawn_daemon(args, port, &journal, None)?;
     await_ready(port)?;
     eprintln!("chaosd: daemon up on {port}; running the journalled workload");
     let first =
@@ -170,7 +187,7 @@ fn run(args: &Args) -> Result<(), String> {
     // ---- Second life: same journal, fresh port. The engine must
     // rebuild its caches from the journal and replay fetch-free.
     let port = free_port().map_err(|e| format!("free port: {e}"))?;
-    let mut daemon = spawn_daemon(args, port, &journal)?;
+    let mut daemon = spawn_daemon(args, port, &journal, None)?;
     let result = (|| {
         await_ready(port)?;
         eprintln!("chaosd: daemon restarted on {port}; checking the warm restart");
@@ -213,7 +230,73 @@ fn run(args: &Args) -> Result<(), String> {
     })();
     let _ = daemon.kill();
     let _ = daemon.wait();
+    let result = match result {
+        Ok(()) if args.mutate => third_life(args, &journal, &first_ford),
+        other => other,
+    };
     let _ = std::fs::remove_file(&journal);
+    result
+}
+
+/// Pull one named count out of an `OK refresh N checked M changed ...`
+/// reply line (the number precedes its label).
+fn refresh_count(reply: &str, label: &str) -> Result<u64, String> {
+    let line = reply
+        .lines()
+        .find(|l| l.starts_with("OK refresh "))
+        .ok_or_else(|| format!("no refresh reply in:\n{reply}"))?;
+    let words: Vec<&str> = line.split_whitespace().collect();
+    words
+        .windows(2)
+        .find_map(|w| (w[1] == label).then(|| w[0].parse().ok()).flatten())
+        .ok_or_else(|| format!("no {label} count in refresh reply: {line}"))
+}
+
+/// Third life (`--mutate`): restart on the same journal with the drift
+/// host one generation ahead — the web changed while the daemon was
+/// down. The journal-recovered views must be detected stale, refreshed,
+/// and never served.
+fn third_life(args: &Args, journal: &Path, first_ford: &str) -> Result<(), String> {
+    let port = free_port().map_err(|e| format!("free port: {e}"))?;
+    let mut daemon = spawn_daemon(args, port, journal, Some(1))?;
+    let result = (|| {
+        await_ready(port)?;
+        eprintln!("chaosd: daemon restarted on {port} with drifted web; refreshing");
+        let stats = session(port, "STATS\nQUIT\n")?;
+        if stat(&stats, "journal_recovered_results")? != 2 {
+            return Err(format!("third life recovered the wrong result count:\n{stats}"));
+        }
+        let reply = session(
+            port,
+            &format!("TENANT chaos\nREFRESH www.nytimes.com\nQUERY {FORD}\nSTATS\nQUIT\n"),
+        )?;
+        let changed = refresh_count(&reply, "changed")?;
+        if changed == 0 {
+            return Err(format!("refresh missed the drift (0 pages changed):\n{reply}"));
+        }
+        let refreshed = refresh_count(&reply, "delta")?
+            + refresh_count(&reply, "cold")?
+            + refresh_count(&reply, "evicted")?;
+        if refreshed == 0 {
+            return Err(format!("drift invalidated no recovered views:\n{reply}"));
+        }
+        if stat(&reply, "view_invalidated")? == 0 {
+            return Err(format!("view_invalidated stayed 0 under drift:\n{reply}"));
+        }
+        if stat(&reply, "stale_served")? != 0 {
+            return Err(format!("a stale journal-recovered answer was served:\n{reply}"));
+        }
+        if answer(&reply, 0) == first_ford {
+            return Err("ford answer ignored the drifted generation".to_string());
+        }
+        eprintln!(
+            "chaosd: PASS — drift while down: {changed} pages changed, \
+             {refreshed} views refreshed, zero stale answers"
+        );
+        Ok(())
+    })();
+    let _ = daemon.kill();
+    let _ = daemon.wait();
     result
 }
 

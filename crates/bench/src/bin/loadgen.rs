@@ -23,10 +23,22 @@
 //! ```text
 //! loadgen [--queries 48] [--threads 16] [--seed 42] [--ads 900]
 //!         [--smoke] [--write] [--disconnect-rate R] [--chaos]
+//!         [--drift-rate R] [--consistency]
 //! ```
 //!
 //! `--write` saves the report to `BENCH_loadgen.json`; `--smoke` is
 //! the CI configuration (small workload, no file output).
+//!
+//! The freshness flags benchmark the result cache under drift instead:
+//! `--drift-rate R` mutates the NYTimes site under roughly `R` drift
+//! events per query and runs the workload twice — once with
+//! incremental view maintenance (`engine.refresh`: sweep + the delta /
+//! cold-rebuild ladder) and once with sweep-only invalidation (views
+//! evicted, every refresh paid as a cold recompute on the next miss) —
+//! reporting `stale_hits` (served stale answers: must be 0) and
+//! `refreshes` (delta/cold) columns per mode. `--consistency` runs
+//! that comparison at 1%, 5%, and 20% drift and (with `--write`)
+//! saves `BENCH_consistency.json`.
 //!
 //! The failure-injection flags exercise the crash-safe runtime under
 //! load: `--disconnect-rate R` cancels roughly every `1/R`-th shared
@@ -58,6 +70,8 @@ struct Args {
     smoke: bool,
     disconnect_rate: f64,
     chaos: bool,
+    drift_rate: f64,
+    consistency: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         disconnect_rate: 0.0,
         chaos: false,
+        drift_rate: 0.0,
+        consistency: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,10 +114,16 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--disconnect-rate: {e}"))?;
             }
             "--chaos" => args.chaos = true,
+            "--drift-rate" => {
+                args.drift_rate =
+                    value("--drift-rate")?.parse().map_err(|e| format!("--drift-rate: {e}"))?;
+            }
+            "--consistency" => args.consistency = true,
             "--help" | "-h" => {
                 println!(
                     "loadgen [--queries 48] [--threads 16] [--seed 42] [--ads 900] \
-                     [--smoke] [--write] [--disconnect-rate R] [--chaos]"
+                     [--smoke] [--write] [--disconnect-rate R] [--chaos] \
+                     [--drift-rate R] [--consistency]"
                 );
                 std::process::exit(0);
             }
@@ -113,6 +135,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if !(0.0..=1.0).contains(&args.disconnect_rate) {
         return Err("--disconnect-rate takes a fraction in [0, 1]".to_string());
+    }
+    if !(0.0..=1.0).contains(&args.drift_rate) {
+        return Err("--drift-rate takes a fraction in [0, 1]".to_string());
     }
     Ok(args)
 }
@@ -282,6 +307,194 @@ fn concurrent_mode(engine: &Engine, args: &Args, work: &[&'static str]) -> ModeR
     finish(runs.into_inner().expect("runs lock"), wall_ms)
 }
 
+// ── freshness under drift: incremental maintenance vs cold recompute ──
+
+use webbase_bench::{drifting_web, DRIFT_GENERATIONS, DRIFT_HOST as NYTIMES};
+
+fn drifting_build(args: &Args) -> (Engine, webbase_webworld::faults::MutationClock) {
+    let data = webbase_webworld::data::Dataset::generate(args.seed, args.ads);
+    let (web, clock) = drifting_web(data.clone(), LatencyModel::lan());
+    let engine = Engine::build_on(web, data, EngineConfig::default()).expect("engine builds");
+    (engine, clock)
+}
+
+/// Deterministic drift placement: an event fires at query `i` whenever
+/// the cumulative expected event count `(i+1)·rate` crosses an integer,
+/// so a run of `n` queries sees ~`n·rate` events, evenly spread.
+fn drift_due(i: usize, rate: f64) -> bool {
+    rate > 0.0 && ((i + 1) as f64 * rate).floor() > (i as f64 * rate).floor()
+}
+
+struct DriftReport {
+    qps: f64,
+    wall_ms: f64,
+    p50_simulated_ms: f64,
+    p99_simulated_ms: f64,
+    drift_events: u64,
+    delta_refresh: u64,
+    cold_refresh: u64,
+    stale_hits: u64,
+    web_requests: u64,
+    diverged: u64,
+}
+
+/// One pass of the workload under drift. `incremental` runs the
+/// engine's refresh ladder at every drift event; otherwise the event is
+/// a sweep only — views are invalidated and every refresh is paid as a
+/// cold recompute by the next query that misses.
+fn drift_mode(args: &Args, rate: f64, work: &[&'static str], incremental: bool) -> DriftReport {
+    use webbase_navigation::{sweep, DriftOrigin};
+    let (engine, clock) = drifting_build(args);
+    let mut sims = Vec::with_capacity(work.len());
+    let mut drift_events = 0u64;
+    let start = Instant::now();
+    for (i, text) in work.iter().enumerate() {
+        if drift_due(i, rate) && clock.generation() < DRIFT_GENERATIONS as u64 {
+            clock.advance();
+            drift_events += 1;
+            if incremental {
+                engine.refresh(Some(NYTIMES), DriftOrigin::Maintenance, None, None);
+            } else {
+                sweep(
+                    engine.web(),
+                    engine.store(),
+                    engine.drift_bus(),
+                    Some(NYTIMES),
+                    DriftOrigin::Sweep,
+                    None,
+                    None,
+                );
+            }
+        }
+        let out = run_clean(&engine, &format!("tenant{}", i % 4), text, i, false);
+        sims.push(out.metrics.fetch_latency.sum_us as f64 / 1000.0);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let stats = engine.stats();
+    // Freshness gate (after the stats snapshot, so oracle traffic does
+    // not pollute the web_requests column): the final served answers
+    // must equal cold isolated re-runs against the drifted web.
+    let mut diverged = 0u64;
+    for text in [JAGUAR, FORD] {
+        let fresh = engine
+            .query_isolated("oracle", text, QueryOptions::default())
+            .expect("oracle runs")
+            .relation;
+        let served =
+            engine.query("gate", text, QueryOptions::default()).expect("gate runs").relation;
+        if served != fresh {
+            diverged += 1;
+        }
+    }
+    sims.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    DriftReport {
+        qps: work.len() as f64 / (wall_ms / 1000.0),
+        wall_ms,
+        p50_simulated_ms: percentile(&sims, 50.0),
+        p99_simulated_ms: percentile(&sims, 99.0),
+        drift_events,
+        delta_refresh: stats.delta_refresh,
+        cold_refresh: stats.cold_refresh,
+        stale_hits: stats.stale_served,
+        web_requests: stats.web_requests,
+        diverged,
+    }
+}
+
+fn drift_json(name: &str, m: &DriftReport) -> String {
+    format!(
+        "      \"{name}\": {{ \"qps\": {:.1}, \"wall_ms\": {:.1}, \
+         \"p50_simulated_ms\": {:.1}, \"p99_simulated_ms\": {:.1}, \
+         \"drift_events\": {}, \"delta_refresh\": {}, \"cold_refresh\": {}, \
+         \"stale_hits\": {}, \"web_requests\": {} }}",
+        m.qps,
+        m.wall_ms,
+        m.p50_simulated_ms,
+        m.p99_simulated_ms,
+        m.drift_events,
+        m.delta_refresh,
+        m.cold_refresh,
+        m.stale_hits,
+        m.web_requests
+    )
+}
+
+fn drift_row(label: &str, m: &DriftReport) {
+    eprintln!(
+        "loadgen: {label:<18}{:8.1} qps  events {:>3}  refreshes {} delta / {} cold  \
+         stale_hits {}  web requests {:>5}",
+        m.qps, m.drift_events, m.delta_refresh, m.cold_refresh, m.stale_hits, m.web_requests
+    );
+}
+
+/// The `--drift-rate` / `--consistency` entry point: incremental view
+/// maintenance vs sweep-and-recompute, at one or three drift rates.
+fn drift_main(args: &Args) -> ExitCode {
+    // 1% drift needs ≥100 queries to place a single event.
+    let n = args.queries.max(100);
+    let work = workload(n);
+    let rates: Vec<f64> =
+        if args.consistency { vec![0.01, 0.05, 0.20] } else { vec![args.drift_rate] };
+    eprintln!(
+        "loadgen: freshness benchmark — {} queries, seed {}, {} ads, drift rates {:?}",
+        n, args.seed, args.ads, rates
+    );
+    let mut failed = false;
+    let mut sections = Vec::new();
+    for &rate in &rates {
+        eprintln!("loadgen: drift rate {:.0}%", rate * 100.0);
+        let incremental = drift_mode(args, rate, &work, true);
+        drift_row("drift-incremental", &incremental);
+        let cold = drift_mode(args, rate, &work, false);
+        drift_row("drift-cold", &cold);
+        for (label, m) in [("incremental", &incremental), ("cold", &cold)] {
+            if m.stale_hits > 0 {
+                eprintln!("loadgen: FAIL — {label} served {} stale answers", m.stale_hits);
+                failed = true;
+            }
+            if m.diverged > 0 {
+                eprintln!("loadgen: FAIL — {label} final answers diverged from cold re-runs");
+                failed = true;
+            }
+        }
+        sections.push(format!(
+            "    \"drift_{}pct\": {{\n{},\n{}\n    }}",
+            (rate * 100.0).round() as u64,
+            drift_json("incremental", &incremental),
+            drift_json("cold", &cold)
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"consistency\",\n  \"description\": \"Freshness-safe result cache \
+         under drift: the NYTimes site mutates every rendered price on a generation clock at the \
+         given rate per query. 'incremental' runs the engine's refresh ladder (sweep + delta \
+         refresh of affected plan objects, cold rebuild where no strict subset exists) at every \
+         drift event; 'cold' only sweeps (views evicted, each refresh paid as a full recompute by \
+         the next miss). Served answers are gated against cold isolated re-runs; stale_hits is \
+         the engine's stale_served tripwire and must be zero.\",\n  \
+         \"command\": \"cargo run --release -p webbase-bench --bin loadgen -- --consistency \
+         --queries {} --seed {} --ads {} --write\",\n  \
+         \"results\": {{\n{}\n  }},\n  \
+         \"target\": \"zero stale answers at every drift rate; incremental refresh re-fetches \
+         only the drifted site\",\n  \"verdict\": \"{}\"\n}}\n",
+        n,
+        args.seed,
+        args.ads,
+        sections.join(",\n"),
+        if failed { "FAIL" } else { "PASS — no stale answers served at any drift rate" }
+    );
+    println!("{json}");
+    if args.write {
+        std::fs::write("BENCH_consistency.json", &json).expect("write BENCH_consistency.json");
+        eprintln!("loadgen: wrote BENCH_consistency.json");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn mode_json(name: &str, m: &ModeReport) -> String {
     format!(
         "    \"{name}\": {{ \"qps\": {:.1}, \"wall_ms\": {:.1}, \
@@ -299,6 +512,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.consistency || args.drift_rate > 0.0 {
+        return drift_main(&args);
+    }
     let work = workload(args.queries);
     eprintln!(
         "loadgen: {} queries, {} threads, seed {}, {} ads",

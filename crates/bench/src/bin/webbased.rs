@@ -51,6 +51,7 @@ struct Args {
     fair_share: bool,
     epoch_every: Option<u64>,
     journal: Option<PathBuf>,
+    drift_gen: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         fair_share: true,
         epoch_every: None,
         journal: None,
+        drift_gen: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,10 +85,15 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--journal" => args.journal = Some(PathBuf::from(value("--journal")?)),
+            "--drift-gen" => {
+                args.drift_gen =
+                    Some(value("--drift-gen")?.parse().map_err(|e| format!("--drift-gen: {e}"))?);
+            }
             "--help" | "-h" => {
                 println!(
                     "webbased [--port 1999] [--seed 42] [--ads 1500] [--dialup] \
-                     [--admission N] [--no-fair-share] [--epoch-every N] [--journal PATH]"
+                     [--admission N] [--no-fair-share] [--epoch-every N] [--journal PATH] \
+                     [--drift-gen N]"
                 );
                 std::process::exit(0);
             }
@@ -138,7 +145,16 @@ fn main() -> ExitCode {
     let latency = if args.dialup { LatencyModel::dialup_1999() } else { LatencyModel::lan() };
     eprintln!("webbased: building engine (seed {}, {} ads)...", args.seed, args.ads);
     let data = webbase_webworld::data::Dataset::generate(args.seed, args.ads);
-    let web = webbase_webworld::prelude::standard_web(data.clone(), latency);
+    // With --drift-gen, the drift host carries a mutation schedule:
+    // the engine records its maps against generation 0 (mutations
+    // inert), then the clock jumps to N before serving — a web that
+    // changed while the daemon was down.
+    let (web, drift_clock) = if args.drift_gen.is_some() {
+        let (web, clock) = webbase_bench::drifting_web(data.clone(), latency);
+        (web, Some(clock))
+    } else {
+        (webbase_webworld::prelude::standard_web(data.clone(), latency), None)
+    };
     let config = EngineConfig {
         admission: args.admission.map(|queries_per_epoch| AdmissionConfig {
             queries_per_epoch,
@@ -154,6 +170,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let (Some(clock), Some(generation)) = (&drift_clock, args.drift_gen) {
+        clock.set(generation);
+        if generation > 0 {
+            eprintln!(
+                "webbased: {} now serves drift generation {generation}",
+                webbase_bench::DRIFT_HOST
+            );
+        }
+    }
     let stats = engine.stats();
     if stats.journal_recovered_pages > 0 || stats.journal_recovered_results > 0 {
         eprintln!(

@@ -41,3 +41,49 @@ pub fn lan_webbase() -> Webbase {
 pub fn bench_dataset() -> Arc<Dataset> {
     Dataset::generate(BENCH_SEED, BENCH_ADS)
 }
+
+/// The host the drift harness mutates (NYTimes classifieds).
+pub const DRIFT_HOST: &str = "www.nytimes.com";
+
+/// How many scheduled mutations the drifting site carries. Each
+/// generation prepends another `9` to every rendered price, so prices
+/// stay numeric (12 extra digits keeps them inside `i64`), every
+/// generation is answer-visible, and page markup/links never change.
+pub const DRIFT_GENERATIONS: usize = 12;
+
+/// The shared drift-storm schedule (see [`DRIFT_GENERATIONS`]).
+pub fn drift_schedule() -> Vec<webbase_webworld::faults::Mutation> {
+    (0..DRIFT_GENERATIONS)
+        .map(|k| {
+            webbase_webworld::faults::Mutation::new(
+                &format!("${}", "9".repeat(k)),
+                &format!("${}", "9".repeat(k + 1)),
+            )
+        })
+        .collect()
+}
+
+/// The standard web with [`DRIFT_HOST`] wrapped in a
+/// [`webbase_webworld::faults::MutatingSite`] carrying
+/// [`drift_schedule`]. Mutations are inert at generation 0, so engines
+/// record their maps against the healthy web; advance the returned
+/// clock to drift.
+pub fn drifting_web(
+    data: Arc<Dataset>,
+    latency: LatencyModel,
+) -> (webbase_webworld::prelude::SyntheticWeb, webbase_webworld::faults::MutationClock) {
+    use webbase_webworld::faults::MutatingSite;
+    use webbase_webworld::server::Site;
+    let slot = std::sync::Mutex::new(None);
+    let web = webbase_webworld::prelude::standard_web_faulty(data, latency, |h, s| {
+        if h == DRIFT_HOST {
+            let (site, clock) = MutatingSite::new(s, drift_schedule());
+            *slot.lock().expect("clock slot") = Some(clock);
+            Box::new(site) as Box<dyn Site>
+        } else {
+            s
+        }
+    });
+    let clock = slot.into_inner().expect("clock slot").expect("drift host wrapped");
+    (web, clock)
+}

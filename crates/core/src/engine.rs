@@ -29,29 +29,34 @@
 //! deferred (the wire protocol's `DEFER`), and [`Engine::reset_epoch`]
 //! opens the next round.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use webbase_logical::{paper_schema, LogicalLayer, LogicalRelation, Obs, QueryObservation};
+use webbase_navigation::drift::events_from_repairs;
 use webbase_navigation::map::NavigationMap;
 use webbase_navigation::recorder::{MapStats, Recorder};
 use webbase_navigation::sessions;
+use webbase_navigation::store::ReadSet;
 use webbase_navigation::{
-    compile_map, BudgetDenial, BudgetSnapshot, BudgetTracker, CancelToken, CompiledSite,
-    FetchPolicy, HostPools, PageStore, QueryBudget, ResumeToken, WalRecovery, WriteAheadLog,
+    compile_map, sweep, BudgetDenial, BudgetSnapshot, BudgetTracker, CancelToken, CompiledSite,
+    DriftBus, DriftEvent, DriftKind, DriftOrigin, FetchPolicy, HostPools, PageStore, QueryBudget,
+    RepairReport, ResumeToken, SweepReport, WalRecovery, WriteAheadLog,
 };
 use webbase_obs::sync::{SafeMutex, SafeRwLock};
-use webbase_relational::Relation;
+use webbase_relational::eval::{AccessSpec, Evaluator};
+use webbase_relational::{BaseDelta, Expr, Incremental, Relation};
 use webbase_ur::compat::example62_rules;
 use webbase_ur::hierarchy::figure5;
 use webbase_ur::plan::{UrError, UrPlan, UrPlanner};
 use webbase_ur::query::{parse_query, UrQuery};
-use webbase_vps::{derive_handles, AnswerMemo, Handle, MemoClaim, VpsCatalog};
-use webbase_vps::{MetricsRegistry, MetricsSnapshot};
+use webbase_vps::{derive_handles, AnswerMemo, Handle, MemoClaim, MemoKey, VpsCatalog};
+use webbase_vps::{Metric, MetricsRegistry, MetricsSnapshot};
 use webbase_webworld::prelude::*;
+use webbase_webworld::request::Request;
 
 use crate::webbase::{BuildReport, WebbaseError};
 
@@ -306,6 +311,19 @@ pub struct EngineStats {
     /// (includes the build's recording pass). The warm-restart smoke
     /// asserts this stays flat across a replayed query.
     pub web_requests: u64,
+    /// Drift events applied (page changes, repairs, quarantines).
+    pub drift_events: u64,
+    /// Result-cache views evicted by drift invalidation.
+    pub view_invalidated: u64,
+    /// Views refreshed by incremental delta propagation.
+    pub delta_refresh: u64,
+    /// Views refreshed by re-evaluation or left cold-evicted.
+    pub cold_refresh: u64,
+    /// Freshness tripwire: cached answers that would have been served
+    /// although their dependencies drifted after publication. The
+    /// eviction protocol makes this impossible; the consistency suites
+    /// pin it at zero.
+    pub stale_served: u64,
 }
 
 struct SiteArtifacts {
@@ -314,6 +332,100 @@ struct SiteArtifacts {
     /// Handles derived once at build time; sessions reuse them instead
     /// of re-walking the map graph per query.
     handles: Vec<Handle>,
+}
+
+/// Everything the engine remembers about one published result-cache
+/// entry, for precise drift invalidation and incremental refresh.
+struct ViewRecord {
+    /// Freshness epoch at publication: values published at or after the
+    /// last drift touching their deps are current by definition.
+    epoch: u64,
+    /// Every page request the published answer read (tracked reads plus
+    /// memo-hit dependency replays).
+    deps: Vec<Request>,
+    /// Per-object results, in plan order (empty for journal-recovered
+    /// entries — those refresh by re-evaluation, not delta).
+    object_results: Vec<Relation>,
+    /// The VPS relations each object reads, for mapping a changed page
+    /// up to the objects it can affect.
+    object_rels: Vec<BTreeSet<String>>,
+    /// VPS invocations (memo key + page deps) the answer was built from.
+    invocations: Vec<(MemoKey, Vec<Request>)>,
+    /// Changed page requests accumulated since invalidation.
+    pending: HashSet<Request>,
+    /// A node/site-scoped event tainted the whole host: per-page delta
+    /// provenance is unusable, refresh falls back to re-evaluation.
+    pending_host_wide: bool,
+}
+
+/// The freshness ledger: which cached views depend on which pages, and
+/// which of them drift has invalidated. One mutex guards the whole
+/// ledger *and* the paired result-cache evictions, so a concurrent
+/// reader sees either the pre-drift entry or the post-drift absence —
+/// never a torn in-between.
+#[derive(Default)]
+struct Freshness {
+    /// Monotone drift clock: bumped once per applied event.
+    epoch: u64,
+    /// Last drift epoch per changed page / per host-wide taint.
+    page_drift: HashMap<Request, u64>,
+    host_drift: HashMap<String, u64>,
+    /// Views invalidated by drift and not yet re-published.
+    drifted: BTreeSet<String>,
+    views: HashMap<String, ViewRecord>,
+}
+
+/// What one [`Engine::refresh`] pass did: the page-level sweep findings
+/// plus how each invalidated view was brought back (or not).
+#[derive(Debug, Default)]
+pub struct RefreshReport {
+    /// The revalidation sweep over the page store.
+    pub sweep: SweepReport,
+    /// Views rebuilt by incremental delta propagation.
+    pub delta_refreshed: usize,
+    /// Views rebuilt by full re-evaluation.
+    pub cold_refreshed: usize,
+    /// Views left evicted (no cached plan, or the refresh degraded);
+    /// the next query recomputes them.
+    pub evicted: usize,
+}
+
+/// How [`Engine::refresh_view`] resolved one drifted view.
+enum RefreshOutcome {
+    Delta,
+    Cold,
+    Evicted,
+}
+
+/// Point-in-time freshness summary (the `FRESHNESS` verb's payload).
+#[derive(Debug, Clone)]
+pub struct FreshnessReport {
+    /// Current drift-clock value.
+    pub epoch: u64,
+    /// Result-cache entries with recorded provenance.
+    pub tracked_views: usize,
+    /// Query texts invalidated by drift and not yet re-published.
+    pub drifted: Vec<String>,
+    /// Drift events published on the bus since the engine was built.
+    pub events_published: u64,
+    /// The most recent events (newest last), for diagnostics.
+    pub recent: Vec<DriftEvent>,
+}
+
+/// Collect every base relation name an expression mentions.
+fn expr_rel_names(expr: &Expr, out: &mut BTreeSet<String>) {
+    match expr {
+        Expr::Rel(name) => {
+            out.insert(name.clone());
+        }
+        Expr::Select(e, _) | Expr::Project(e, _) | Expr::Rename(e, _) | Expr::Extend(e, _, _) => {
+            expr_rel_names(e, out)
+        }
+        Expr::Join(l, r) | Expr::Union(l, r) | Expr::Diff(l, r) => {
+            expr_rel_names(l, out);
+            expr_rel_names(r, out);
+        }
+    }
 }
 
 struct EngineInner {
@@ -361,6 +473,14 @@ struct EngineInner {
     recovered_pages: AtomicU64,
     recovered_results: AtomicU64,
     journal_torn: AtomicU64,
+    /// The drift bus: maintenance sweeps, healing, and the `REFRESH`
+    /// verb publish here; the engine's own subscriber invalidates.
+    drift: DriftBus,
+    /// Engine-wide freshness counters (drift_events, view_invalidated,
+    /// delta_refresh, cold_refresh, stale_served) — deliberately apart
+    /// from the per-query registries, which stay tenant-isolated.
+    drift_metrics: Arc<MetricsRegistry>,
+    freshness: SafeMutex<Freshness>,
 }
 
 /// The shared multi-query engine. Clone-cheap (`Arc` inside); every
@@ -451,15 +571,28 @@ impl Engine {
                 recovered_pages: AtomicU64::new(0),
                 recovered_results: AtomicU64::new(0),
                 journal_torn: AtomicU64::new(0),
+                drift: DriftBus::new(),
+                drift_metrics: Arc::new(MetricsRegistry::new()),
+                freshness: SafeMutex::new(Freshness::default()),
             }),
         };
+        // The engine reacts to its own bus (weak, or the bus inside the
+        // inner would keep the inner alive forever): every published
+        // event synchronously evicts the dependent cache entries before
+        // `publish` returns.
+        let weak = Arc::downgrade(&engine.inner);
+        engine.inner.drift.subscribe(move |event| {
+            if let Some(inner) = weak.upgrade() {
+                Engine::apply_drift(&inner, event);
+            }
+        });
         // Settled results re-enter the cache alongside a fresh plan
         // (planning is pure metadata work — no fetches — so the replay
         // stays network-free). A record whose query no longer parses or
         // plans is dropped like a torn one.
         let mut recovered_results = 0u64;
         let mut torn = recovery.torn;
-        for (text, relation) in &recovery.results {
+        for (text, relation, deps) in &recovery.results {
             let replay = parse_query(text).ok().and_then(|base| {
                 let layer = engine.new_session();
                 engine.inner.planner.plan(&base, &layer).ok().map(|plan| (base, plan))
@@ -469,6 +602,22 @@ impl Engine {
                     let entry = Arc::new((base, plan));
                     engine.inner.plans.write().insert(text.clone(), entry);
                     engine.inner.results.insert(AnswerMemo::key(text, &[]), relation.clone());
+                    // The journal carries the result's page deps, so a
+                    // recovered entry keeps being invalidated precisely.
+                    // Per-object provenance is not journalled: recovered
+                    // views refresh by re-evaluation, not delta.
+                    engine.inner.freshness.lock().views.insert(
+                        text.clone(),
+                        ViewRecord {
+                            epoch: 0,
+                            deps: deps.clone(),
+                            object_results: Vec::new(),
+                            object_rels: Vec::new(),
+                            invocations: Vec::new(),
+                            pending: HashSet::new(),
+                            pending_host_wide: false,
+                        },
+                    );
                     recovered_results += 1;
                 }
                 None => torn += 1,
@@ -497,6 +646,18 @@ impl Engine {
     /// byte-identity oracle run here.
     fn isolated_session(&self) -> LogicalLayer {
         self.session_with(PageStore::new(), None, None)
+    }
+
+    /// A shared session whose page reads are recorded: the [`ReadSet`]
+    /// is the provenance the freshness ledger stores with published
+    /// results, so drift can invalidate exactly the dependent entries.
+    fn tracked_session(&self) -> (LogicalLayer, ReadSet) {
+        let reads = ReadSet::new();
+        let store = self.inner.store.tracked(reads.clone());
+        let mut layer =
+            self.session_with(store, Some(self.inner.pool.clone()), Some(self.inner.memo.clone()));
+        layer.vps.set_reads(reads.clone());
+        (layer, reads)
     }
 
     fn session_with(
@@ -652,17 +813,24 @@ impl Engine {
             !isolated && !options.trace && options.budget.is_none() && options.resume.is_none();
         let result_lead = if eligible {
             match inner.results.claim(&AnswerMemo::key(text, &[])) {
-                MemoClaim::Hit(relation) => {
-                    // The leader populated the plan cache before it
-                    // executed, so a hit always finds the clean plan.
-                    let entry = inner.plans.read().get(text).cloned();
-                    if let Some(entry) = entry {
-                        return Ok(QueryOutcome {
-                            relation,
-                            plan: entry.1.clone(),
-                            observation: None,
-                            metrics: MetricsSnapshot::default(),
-                        });
+                MemoClaim::Hit(_) => {
+                    // A drift event may have invalidated the entry
+                    // between the claim and this point; serve the
+                    // *current* cache value, vetted by the freshness
+                    // ledger under its lock — never the claimed copy.
+                    // A `None` drops through to an ordinary recompute.
+                    if let Some(relation) = self.fresh_hit(text) {
+                        // The leader populated the plan cache before it
+                        // executed, so a hit always finds the clean plan.
+                        let entry = inner.plans.read().get(text).cloned();
+                        if let Some(entry) = entry {
+                            return Ok(QueryOutcome {
+                                relation,
+                                plan: entry.1.clone(),
+                                observation: None,
+                                metrics: MetricsSnapshot::default(),
+                            });
+                        }
                     }
                     None
                 }
@@ -671,7 +839,14 @@ impl Engine {
         } else {
             None
         };
-        let mut layer = if isolated { self.isolated_session() } else { self.new_session() };
+        let mut reads = None;
+        let mut layer = if isolated {
+            self.isolated_session()
+        } else {
+            let (layer, r) = self.tracked_session();
+            reads = Some(r);
+            layer
+        };
         let obs = if options.trace {
             Obs::full()
         } else {
@@ -732,6 +907,16 @@ impl Engine {
             }
         };
         let (relation, plan) = out?;
+        // Self-healing quarantined a node during this execution: the
+        // site structurally drifted and awaits manual intervention, so
+        // cached answers depending on it must not stay serveable. The
+        // bus subscriber evicts them before `publish` returns. (Auto-
+        // applied repairs are *not* published from here — healing
+        // already replayed them, so the answers derived afterwards are
+        // fresh; sweeps report them with a Maintenance origin instead.)
+        if !isolated {
+            self.publish_quarantines(&plan.repairs);
+        }
         // Publish only complete answers: a degraded, cancelled, or
         // resumable run must not be replayed to other tenants as the
         // full result. (An error return above drops the guard instead,
@@ -739,10 +924,9 @@ impl Engine {
         if let Some(guard) = result_lead {
             let publish =
                 (plan.degradation.is_clean() && plan.resume.is_none()).then(|| relation.clone());
-            if let (Some(rel), Some(wal)) = (&publish, &inner.wal) {
-                // Best-effort, like page journalling: losing the record
-                // costs warm-restart coverage, not the answer.
-                let _ = wal.append_result(text, rel);
+            if let Some(rel) = &publish {
+                let deps = reads.as_ref().map(ReadSet::all).unwrap_or_default();
+                self.record_view(text, rel, &plan, &layer, deps);
             }
             guard.settle(publish);
         }
@@ -751,6 +935,387 @@ impl Engine {
             .trace
             .then(|| QueryObservation { trace: obs.sink.finish(), metrics: metrics.clone() });
         Ok(QueryOutcome { relation, plan, observation, metrics })
+    }
+
+    /// Serve-side of the freshness contract: the result-cache value for
+    /// `text`, but only if the ledger agrees it is current. `None`
+    /// sends the caller down the recompute path — a drift event landed
+    /// between the cache claim and now. `stale_served` is the tripwire
+    /// for values that *would* have gone out stale: a resident entry
+    /// whose recorded deps drifted after publication without the view
+    /// being marked. The eviction protocol (evict + mark under this
+    /// same lock, synchronously with the event) makes that impossible,
+    /// which is exactly what the consistency suites pin by asserting
+    /// the counter stays zero.
+    fn fresh_hit(&self, text: &str) -> Option<Relation> {
+        let inner = &self.inner;
+        let ledger = inner.freshness.lock();
+        if ledger.drifted.contains(text) {
+            return None;
+        }
+        let relation = inner.results.peek(&AnswerMemo::key(text, &[]))?;
+        if let Some(record) = ledger.views.get(text) {
+            let stale = record.deps.iter().any(|r| {
+                ledger.page_drift.get(r).copied().unwrap_or(0) > record.epoch
+                    || ledger.host_drift.get(&r.url.host).copied().unwrap_or(0) > record.epoch
+            });
+            if stale {
+                inner.drift_metrics.inc(Metric::StaleServed);
+                return None; // refuse even here: recompute beats serving stale
+            }
+        }
+        Some(relation)
+    }
+
+    /// Enter a freshly published result into the freshness ledger (and
+    /// the journal) with everything a later drift event needs: its page
+    /// deps, its per-object values, and which VPS relations each object
+    /// reads.
+    fn record_view(
+        &self,
+        text: &str,
+        relation: &Relation,
+        plan: &UrPlan,
+        layer: &LogicalLayer,
+        deps: Vec<Request>,
+    ) {
+        let inner = &self.inner;
+        let object_rels: Vec<BTreeSet<String>> = plan
+            .objects
+            .iter()
+            .map(|o| {
+                let mut logical = BTreeSet::new();
+                expr_rel_names(&o.expr, &mut logical);
+                let mut vps = BTreeSet::new();
+                for name in &logical {
+                    match layer.relation(name) {
+                        Some(def) => expr_rel_names(&def.def, &mut vps),
+                        // An object naming a VPS relation directly.
+                        None => {
+                            vps.insert(name.clone());
+                        }
+                    }
+                }
+                vps
+            })
+            .collect();
+        let invocations: Vec<(MemoKey, Vec<Request>)> =
+            layer.vps.invocation_log().iter().map(|(k, _, d)| (k.clone(), d.clone())).collect();
+        if let Some(wal) = &inner.wal {
+            // Best-effort, like page journalling: losing the record
+            // costs warm-restart coverage, not the answer.
+            let _ = wal.append_result(text, relation, &deps);
+        }
+        let mut ledger = inner.freshness.lock();
+        let epoch = ledger.epoch;
+        ledger.drifted.remove(text);
+        ledger.views.insert(
+            text.to_string(),
+            ViewRecord {
+                epoch,
+                deps,
+                object_results: plan.object_results.clone(),
+                object_rels,
+                invocations,
+                pending: HashSet::new(),
+                pending_host_wide: false,
+            },
+        );
+    }
+
+    /// React to one drift event: bump the drift clock, evict exactly
+    /// the dependent result-cache views and memo entries, journal the
+    /// invalidations, and mark the views for refresh. Runs
+    /// synchronously on the publisher's thread — `publish` returns only
+    /// after this completes, so a sweep-then-query sequence can never
+    /// observe the stale entries.
+    fn apply_drift(inner: &EngineInner, event: &DriftEvent) {
+        inner.drift_metrics.inc(Metric::DriftEvents);
+        let page_scoped = event.page_scoped();
+        // Invocation memo first: anything that read a changed page (or
+        // a tainted host) recomputes on next use — against the already
+        // sweep-refreshed store, so precisely without re-fetching.
+        if page_scoped {
+            inner.memo.invalidate_dependents(&event.requests);
+        } else {
+            inner.memo.invalidate_host(&event.host);
+        }
+        let mut ledger = inner.freshness.lock();
+        ledger.epoch += 1;
+        let epoch = ledger.epoch;
+        if page_scoped {
+            for r in &event.requests {
+                ledger.page_drift.insert(r.clone(), epoch);
+            }
+        } else {
+            ledger.host_drift.insert(event.host.clone(), epoch);
+        }
+        let victims: Vec<String> = ledger
+            .views
+            .iter()
+            .filter(|(_, rec)| {
+                if rec.deps.is_empty() {
+                    // Unknown provenance (pre-tracking or torn journal):
+                    // never prefer a possibly-stale answer to a recompute.
+                    return true;
+                }
+                if page_scoped {
+                    rec.deps.iter().any(|d| event.requests.contains(d))
+                } else {
+                    rec.deps.iter().any(|d| d.url.host == event.host)
+                }
+            })
+            .map(|(text, _)| text.clone())
+            .collect();
+        for text in victims {
+            if inner.results.remove(&AnswerMemo::key(&text, &[])) {
+                inner.drift_metrics.inc(Metric::ViewInvalidated);
+                if let Some(wal) = &inner.wal {
+                    // Journalled so a crash between the eviction and the
+                    // re-publish cannot resurrect the stale entry on
+                    // warm restart.
+                    let _ = wal.append_invalidate(&text);
+                }
+            }
+            let rec = ledger.views.get_mut(&text).expect("victim came from views");
+            if page_scoped {
+                rec.pending.extend(event.requests.iter().cloned());
+            } else {
+                rec.pending_host_wide = true;
+            }
+            ledger.drifted.insert(text);
+        }
+    }
+
+    /// Revalidate cached pages against the live Web (optionally one
+    /// host) and bring every drift-invalidated view back to freshness.
+    /// This is the background sweep and the `REFRESH` verb: budget-
+    /// charged and cancellable like any other navigation work.
+    pub fn refresh(
+        &self,
+        host: Option<&str>,
+        origin: DriftOrigin,
+        budget: Option<&BudgetTracker>,
+        cancel: Option<&CancelToken>,
+    ) -> RefreshReport {
+        let inner = &self.inner;
+        let swept = sweep(&inner.web, &inner.store, &inner.drift, host, origin, budget, cancel);
+        let mut report = RefreshReport { sweep: swept, ..RefreshReport::default() };
+        // The subscriber already invalidated during the sweep's
+        // publishes; now rebuild — including views tainted by earlier
+        // events (healing quarantines and the like).
+        let drifted: Vec<String> = inner.freshness.lock().drifted.iter().cloned().collect();
+        for text in drifted {
+            match self.refresh_view(&text) {
+                RefreshOutcome::Delta => report.delta_refreshed += 1,
+                RefreshOutcome::Cold => report.cold_refreshed += 1,
+                RefreshOutcome::Evicted => report.evicted += 1,
+            }
+        }
+        report
+    }
+
+    /// The refresh ladder for one invalidated view:
+    ///
+    /// 1. **Incremental** — when the drift is page-scoped and only some
+    ///    of the plan's objects read an affected VPS relation:
+    ///    re-evaluate just those objects (unchanged invocations
+    ///    memo-hit; re-run invocations read the sweep-refreshed store,
+    ///    so no new wire fetches) and propagate the per-object deltas
+    ///    through the union with [`Incremental`].
+    /// 2. **Re-evaluation** — otherwise re-run the whole query; still
+    ///    fetch-economical for the same reasons, but no delta math.
+    /// 3. **Eviction** — a failed or degraded refresh leaves the view
+    ///    evicted; the next query recomputes and re-publishes it.
+    fn refresh_view(&self, text: &str) -> RefreshOutcome {
+        let inner = &self.inner;
+        let plan_entry = inner.plans.read().get(text).cloned();
+        let Some(plan_entry) = plan_entry else {
+            // No cached plan to rebuild from (a recovered entry whose
+            // replay failed): stays evicted until someone queries it.
+            return RefreshOutcome::Evicted;
+        };
+        let (query, plan) = (&plan_entry.0, &plan_entry.1);
+        let snapshot = {
+            let ledger = inner.freshness.lock();
+            ledger.views.get(text).map(|r| {
+                (
+                    r.object_results.clone(),
+                    r.object_rels.clone(),
+                    r.invocations.clone(),
+                    r.pending.clone(),
+                    r.pending_host_wide,
+                    r.deps.clone(),
+                )
+            })
+        };
+        // Rung 1 applies when per-page provenance lets us bound the
+        // affected objects to a strict, non-empty subset.
+        let incremental = snapshot.and_then(|(objects, rels, invocations, pending, wide, deps)| {
+            if wide || pending.is_empty() || objects.len() != plan.objects.len() {
+                return None;
+            }
+            if rels.len() != plan.objects.len() {
+                return None;
+            }
+            let mut affected_rels: BTreeSet<String> = BTreeSet::new();
+            for (key, inv_deps) in &invocations {
+                if inv_deps.is_empty() || inv_deps.iter().any(|d| pending.contains(d)) {
+                    affected_rels.insert(key.0.clone());
+                }
+            }
+            let affected: Vec<usize> = (0..plan.objects.len())
+                .filter(|i| rels[*i].iter().any(|n| affected_rels.contains(n)))
+                .collect();
+            if affected.is_empty() || affected.len() == plan.objects.len() {
+                return None; // nothing attributable, or nothing to save
+            }
+            Some((objects, affected, deps))
+        });
+        if let Some((old_objects, affected, old_deps)) = incremental {
+            if let Some(outcome) = self.refresh_delta(text, plan, &old_objects, &affected, old_deps)
+            {
+                return outcome;
+            }
+        }
+        // Rung 2: full re-evaluation on a tracked session. The memo
+        // entries drift touched are already evicted, so this re-runs
+        // exactly the affected invocations — against the refreshed
+        // store — and memo-hits the rest.
+        let (mut layer, reads) = self.tracked_session();
+        layer.vps.set_obs(Obs::metrics_only(Arc::new(MetricsRegistry::new())));
+        match inner.planner.execute_planned(query, plan, &mut layer) {
+            Ok((relation, executed)) if executed.degradation.is_clean() => {
+                // Structural drift found while rebuilding taints its
+                // host like healing-time drift — dependants evict
+                // before this view re-publishes at the bumped epoch.
+                self.publish_quarantines(&executed.repairs);
+                inner.results.insert(AnswerMemo::key(text, &[]), relation.clone());
+                self.record_view(text, &relation, &executed, &layer, reads.all());
+                inner.drift_metrics.inc(Metric::ColdRefresh);
+                RefreshOutcome::Cold
+            }
+            _ => {
+                // Rung 3: stay evicted; counted as a cold fallback so
+                // the bench's refresh column reflects the failed path.
+                inner.drift_metrics.inc(Metric::ColdRefresh);
+                RefreshOutcome::Evicted
+            }
+        }
+    }
+
+    /// Publish the quarantines of one execution's repair report on the
+    /// drift bus (the subscriber evicts every cached view depending on
+    /// the tainted host before `publish` returns). Auto-applied repairs
+    /// are not republished: healing already replayed them, so answers
+    /// derived afterwards are fresh.
+    fn publish_quarantines(&self, repairs: &RepairReport) {
+        for event in events_from_repairs(repairs, DriftOrigin::Healing) {
+            if event.kind == DriftKind::Quarantined {
+                self.inner.drift.publish(event);
+            }
+        }
+    }
+
+    /// Rung 1 of the ladder: re-evaluate only `affected` objects and
+    /// derive the new view value by delta-propagating through the
+    /// union. Returns `None` to fall through to re-evaluation.
+    fn refresh_delta(
+        &self,
+        text: &str,
+        plan: &UrPlan,
+        old_objects: &[Relation],
+        affected: &[usize],
+        old_deps: Vec<Request>,
+    ) -> Option<RefreshOutcome> {
+        let inner = &self.inner;
+        let (mut layer, reads) = self.tracked_session();
+        layer.vps.set_obs(Obs::metrics_only(Arc::new(MetricsRegistry::new())));
+        let mut new_objects = old_objects.to_vec();
+        for &i in affected {
+            match Evaluator::new(&mut layer).eval(&plan.objects[i].expr, &AccessSpec::new()) {
+                Ok(rel) => new_objects[i] = rel,
+                Err(_) => return None,
+            }
+        }
+        if !layer.vps.degradation().is_clean() {
+            return None;
+        }
+        self.publish_quarantines(&layer.vps.repairs());
+        // Union delta propagation over the per-object bases.
+        let mut bases = HashMap::new();
+        let mut expr: Option<Expr> = None;
+        for i in 0..old_objects.len() {
+            let name = format!("object{i}");
+            let base = if affected.contains(&i) {
+                BaseDelta { old: old_objects[i].clone(), new: new_objects[i].clone() }
+            } else {
+                BaseDelta::unchanged(old_objects[i].clone())
+            };
+            bases.insert(name.clone(), base);
+            let rel = Expr::relation(&name);
+            expr = Some(match expr {
+                None => rel,
+                Some(e) => e.union(rel),
+            });
+        }
+        let node =
+            Incremental::new(bases).refresh(&expr.expect("plans have at least one object")).ok()?;
+        let value = node.new_value();
+        // New provenance: the refreshed session's reads (memo-hit
+        // replays included) plus the carried-over deps of the objects
+        // we did not touch.
+        let mut deps = old_deps;
+        for r in reads.all() {
+            if !deps.contains(&r) {
+                deps.push(r);
+            }
+        }
+        let refreshed_invocations: Vec<(MemoKey, Vec<Request>)> =
+            layer.vps.invocation_log().iter().map(|(k, _, d)| (k.clone(), d.clone())).collect();
+        if let Some(wal) = &inner.wal {
+            let _ = wal.append_result(text, &value, &deps);
+        }
+        let mut ledger = inner.freshness.lock();
+        let epoch = ledger.epoch;
+        inner.results.insert(AnswerMemo::key(text, &[]), value);
+        ledger.drifted.remove(text);
+        if let Some(rec) = ledger.views.get_mut(text) {
+            rec.epoch = epoch;
+            rec.deps = deps;
+            rec.object_results = new_objects;
+            rec.pending.clear();
+            rec.pending_host_wide = false;
+            // Merge: re-run invocations replace their old entries;
+            // untouched objects keep theirs.
+            for (key, inv_deps) in refreshed_invocations {
+                match rec.invocations.iter_mut().find(|(k, _)| *k == key) {
+                    Some(slot) => slot.1 = inv_deps,
+                    None => rec.invocations.push((key, inv_deps)),
+                }
+            }
+        }
+        inner.drift_metrics.inc(Metric::DeltaRefresh);
+        Some(RefreshOutcome::Delta)
+    }
+
+    /// The drift bus (publish maintenance findings here; subscribe for
+    /// diagnostics).
+    pub fn drift_bus(&self) -> &DriftBus {
+        &self.inner.drift
+    }
+
+    /// Point-in-time freshness summary for the `FRESHNESS` verb.
+    pub fn freshness(&self) -> FreshnessReport {
+        let inner = &self.inner;
+        let ledger = inner.freshness.lock();
+        FreshnessReport {
+            epoch: ledger.epoch,
+            tracked_views: ledger.views.len(),
+            drifted: ledger.drifted.iter().cloned().collect(),
+            events_published: inner.drift.published(),
+            recent: inner.drift.recent(),
+        }
     }
 
     /// Stop admitting new queries; in-flight queries keep running.
@@ -848,6 +1413,11 @@ impl Engine {
             journal_recovered_results: inner.recovered_results.load(Ordering::Relaxed),
             journal_torn: inner.journal_torn.load(Ordering::Relaxed),
             web_requests: inner.web.total_stats().requests,
+            drift_events: inner.drift_metrics.get(Metric::DriftEvents),
+            view_invalidated: inner.drift_metrics.get(Metric::ViewInvalidated),
+            delta_refresh: inner.drift_metrics.get(Metric::DeltaRefresh),
+            cold_refresh: inner.drift_metrics.get(Metric::ColdRefresh),
+            stale_served: inner.drift_metrics.get(Metric::StaleServed),
         }
     }
 
@@ -1241,5 +1811,234 @@ mod tests {
         assert!(!plan.objects.is_empty());
         assert_eq!(engine.web().total_stats().requests, before);
         assert_eq!(engine.stats().queries, 0, "explain is not an admitted query");
+    }
+
+    // ── freshness: drift invalidation and the refresh ladder ──────────
+
+    use webbase_webworld::faults::{MutatingSite, Mutation, MutationClock};
+    use webbase_webworld::server::Site;
+
+    const FORD: &str = "UsedCarUR(make='ford', price)";
+    const NYTIMES: &str = "www.nytimes.com";
+    const KELLYS: &str = "www.kbb.com";
+    const NEWSDAY: &str = "www.newsday.com";
+
+    /// An engine whose `host` site carries a mutation schedule switched
+    /// on by the returned clock (generation 0 during the build, so maps
+    /// record cleanly).
+    fn mutating_engine(host: &str, schedule: Vec<Mutation>) -> (Engine, MutationClock) {
+        let data = Dataset::generate(5, 400);
+        let slot = std::sync::Mutex::new(None);
+        let web = standard_web_faulty(data.clone(), LatencyModel::lan(), |h, s| {
+            if h == host {
+                let (site, clock) = MutatingSite::new(s, schedule.clone());
+                *slot.lock().expect("clock slot") = Some(clock);
+                Box::new(site) as Box<dyn Site>
+            } else {
+                s
+            }
+        });
+        let engine = Engine::build_on(web, data, EngineConfig::default()).expect("builds");
+        let clock = slot.lock().expect("clock slot").take().expect("host wrapped");
+        (engine, clock)
+    }
+
+    fn oracle(engine: &Engine, text: &str) -> Relation {
+        engine.query_isolated("oracle", text, QueryOptions::default()).expect("oracle").relation
+    }
+
+    #[test]
+    fn page_drift_refreshes_incrementally_and_fetches_only_the_drifted_site() {
+        // Prices on the NYTimes classifieds drift; the ford query's
+        // Dealers object is untouched, so the refresh ladder's first
+        // rung applies: only the Classifieds object re-evaluates, and
+        // the only wire traffic is the sweep's revalidation of the
+        // drifted host itself.
+        let (engine, clock) = mutating_engine(NYTIMES, vec![Mutation::new("$", "$1")]);
+        let before_drift = engine.query("t", FORD, QueryOptions::default()).expect("runs").relation;
+        clock.advance();
+
+        let traffic_before = engine.web().stats();
+        let report = engine.refresh(Some(NYTIMES), DriftOrigin::Maintenance, None, None);
+        let traffic_after = engine.web().stats();
+
+        assert!(report.sweep.changed > 0, "the price rewrite must be detected: {report:?}");
+        assert_eq!(report.delta_refreshed, 1, "one view, delta-refreshed: {report:?}");
+        let stats = engine.stats();
+        assert_eq!(stats.view_invalidated, 1, "{stats:?}");
+        assert_eq!(stats.delta_refresh, 1, "{stats:?}");
+        assert_eq!(stats.stale_served, 0, "{stats:?}");
+
+        // Counter-verified selectivity: undrifted hosts saw zero new
+        // requests; the drifted host saw exactly the revalidation.
+        for (host, after) in &traffic_after {
+            let before = traffic_before.get(host).map_or(0, |s| s.requests);
+            if host == NYTIMES {
+                assert_eq!(
+                    after.requests,
+                    before + report.sweep.checked as u64,
+                    "drifted host: sweep revalidation only"
+                );
+            } else {
+                assert_eq!(after.requests, before, "undrifted host {host} was fetched");
+            }
+        }
+
+        // The refreshed cache equals a cold isolated re-run, and keeps
+        // serving hits without further traffic.
+        let expected = oracle(&engine, FORD);
+        assert_ne!(before_drift, expected, "the mutation must be answer-visible");
+        let wire = engine.web().total_stats().requests;
+        let served = engine.query("t2", FORD, QueryOptions::default()).expect("runs").relation;
+        assert_eq!(served, expected, "maintained view diverged from a cold re-run");
+        assert_eq!(engine.web().total_stats().requests, wire, "a refreshed view re-fetched");
+        assert_eq!(engine.stats().stale_served, 0);
+    }
+
+    #[test]
+    fn drift_invalidates_exactly_the_dependent_views() {
+        // Blue-book prices drift: the jaguar view (reads Kelly's) must
+        // evict; the ford view (classifieds + dealers only) must keep
+        // serving untouched.
+        let (engine, clock) =
+            mutating_engine(KELLYS, vec![Mutation::new("$", "$1").on_path("/cgi-bin/bb")]);
+        engine.query("t", JAGUAR, QueryOptions::default()).expect("jaguar");
+        engine.query("t", FORD, QueryOptions::default()).expect("ford");
+        clock.advance();
+
+        let report = engine.refresh(Some(KELLYS), DriftOrigin::Maintenance, None, None);
+        assert!(report.sweep.changed > 0, "{report:?}");
+        let stats = engine.stats();
+        assert_eq!(stats.view_invalidated, 1, "only the jaguar view depends on Kelly's: {stats:?}");
+        // Every jaguar object carries a BlueBookPrice alternative, so
+        // the whole plan is affected — no strict subset, rung 2.
+        assert_eq!(stats.delta_refresh, 0, "{stats:?}");
+        assert!(stats.cold_refresh >= 1, "{stats:?}");
+
+        // The untouched ford view still serves from cache...
+        let wire = engine.web().total_stats().requests;
+        engine.query("t2", FORD, QueryOptions::default()).expect("ford again");
+        assert_eq!(engine.web().total_stats().requests, wire, "the stable view re-fetched");
+        // ...and the refreshed jaguar view equals a cold re-run.
+        let served = engine.query("t2", JAGUAR, QueryOptions::default()).expect("runs").relation;
+        assert_eq!(served, oracle(&engine, JAGUAR), "refreshed view diverged");
+        assert_eq!(engine.stats().stale_served, 0);
+    }
+
+    #[test]
+    fn quarantine_evicts_dependent_cached_answers() {
+        // Regression: a Quarantined event (ManualIntervention drift)
+        // used to leave cached answers depending on the host serveable.
+        // Publishing the event must evict them before `publish` returns.
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        engine.query("t", FORD, QueryOptions::default()).expect("ford");
+        assert_eq!(engine.stats().result_misses, 1);
+
+        engine.drift_bus().publish(DriftEvent {
+            host: NEWSDAY.to_string(),
+            kind: DriftKind::Quarantined,
+            origin: DriftOrigin::Manual,
+            requests: Vec::new(),
+            node: None,
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.view_invalidated, 1, "the ford view reads newsday: {stats:?}");
+
+        // The next identical query must recompute (miss), not serve the
+        // quarantined answer — and its re-publish self-heals the view.
+        engine.query("t2", FORD, QueryOptions::default()).expect("recompute");
+        assert_eq!(engine.stats().result_misses, 2, "quarantined answer was served");
+        let wire = engine.web().total_stats().requests;
+        engine.query("t3", FORD, QueryOptions::default()).expect("republished");
+        assert_eq!(engine.web().total_stats().requests, wire);
+        let stats = engine.stats();
+        assert!(stats.result_hits >= 1, "re-published view must serve again: {stats:?}");
+        assert_eq!(stats.stale_served, 0, "{stats:?}");
+    }
+
+    #[test]
+    fn structural_drift_quarantines_during_refresh_and_answers_match_cold_runs() {
+        // Newsday renames its mandatory `make` field — manual-
+        // intervention drift. The refresh detects the changed form
+        // page, the rebuild quarantines the node, and whatever the
+        // engine serves afterwards equals a cold isolated re-run (both
+        // lose the newsday branch; neither serves the stale answer).
+        let (engine, clock) = mutating_engine(
+            NEWSDAY,
+            vec![Mutation::new("name=make>", "name=mk2>").on_path("/auto/used")],
+        );
+        let healthy = engine.query("t", FORD, QueryOptions::default()).expect("runs").relation;
+        clock.advance();
+
+        engine.refresh(Some(NEWSDAY), DriftOrigin::Maintenance, None, None);
+        let expected = oracle(&engine, FORD);
+        assert!(expected.len() < healthy.len(), "the newsday branch must be lost, not faked");
+        let served = engine.query("t2", FORD, QueryOptions::default()).expect("runs").relation;
+        assert_eq!(served, expected, "post-quarantine answer diverged from a cold re-run");
+        assert_eq!(engine.stats().stale_served, 0);
+    }
+
+    #[test]
+    fn refresh_without_drift_is_a_no_op() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        engine.query("t", FORD, QueryOptions::default()).expect("runs");
+        let report = engine.refresh(None, DriftOrigin::Manual, None, None);
+        assert_eq!(report.sweep.changed, 0, "{report:?}");
+        assert_eq!(report.delta_refreshed + report.cold_refreshed + report.evicted, 0);
+        let stats = engine.stats();
+        assert_eq!(stats.view_invalidated, 0, "{stats:?}");
+        let f = engine.freshness();
+        assert_eq!(f.tracked_views, 1);
+        assert!(f.drifted.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn invalidations_survive_a_warm_restart() {
+        // Crash between a drift invalidation and the re-publish: the
+        // journalled invalidation must keep the stale result from
+        // resurrecting on restart.
+        let path = std::env::temp_dir()
+            .join(format!("webbase-engine-wal-{}-drift-invalidate", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let data = Dataset::generate(5, 400);
+        let slot = std::sync::Mutex::new(None);
+        let schedule = vec![Mutation::new("$", "$1")];
+        let web = standard_web_faulty(data.clone(), LatencyModel::lan(), |h, s| {
+            if h == NYTIMES {
+                let (site, clock) = MutatingSite::new(s, schedule.clone());
+                *slot.lock().expect("slot") = Some(clock);
+                Box::new(site) as Box<dyn Site>
+            } else {
+                s
+            }
+        });
+        let config = EngineConfig { journal: Some(path.clone()), ..EngineConfig::default() };
+        let first = Engine::build_on(web, data, config).expect("builds");
+        let clock = slot.lock().expect("slot").take().expect("wrapped");
+        first.query("t", FORD, QueryOptions::default()).expect("journalled run");
+        clock.advance();
+        // Sweep (which invalidates and journals the invalidation) but
+        // do NOT let the refresh ladder re-publish: crash right after.
+        sweep(
+            first.web(),
+            first.store(),
+            first.drift_bus(),
+            Some(NYTIMES),
+            DriftOrigin::Sweep,
+            None,
+            None,
+        );
+        assert_eq!(first.stats().view_invalidated, 1);
+        drop(first);
+
+        // The restarted engine must not recover the invalidated result.
+        let data = Dataset::generate(5, 400);
+        let config = EngineConfig { journal: Some(path.clone()), ..EngineConfig::default() };
+        let second =
+            Engine::build_on(standard_web(data.clone(), LatencyModel::lan()), data, config)
+                .expect("rebuilds");
+        let stats = second.stats();
+        assert_eq!(stats.journal_recovered_results, 0, "stale result resurrected: {stats:?}");
+        let _ = std::fs::remove_file(&path);
     }
 }

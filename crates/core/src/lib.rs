@@ -36,8 +36,8 @@ pub mod timing;
 pub mod webbase;
 
 pub use crate::engine::{
-    AdmissionConfig, Engine, EngineConfig, EngineError, EngineStats, Lifecycle, QueryFailure,
-    QueryOptions, QueryOutcome,
+    AdmissionConfig, Engine, EngineConfig, EngineError, EngineStats, FreshnessReport, Lifecycle,
+    QueryFailure, QueryOptions, QueryOutcome, RefreshReport,
 };
 pub use crate::server::{serve_channel, serve_connection, ServerConfig, SessionEnd, MAX_LINE};
 pub use crate::webbase::{check_stack, BuildReport, Webbase, WebbaseError};

@@ -18,6 +18,8 @@
 //!                         END
 //! EXPLAIN UsedCarUR(..) → OK plan / rendered plan / END
 //! STATS                 → OK stats / key value lines / END
+//! REFRESH [site]        → OK refresh ... (revalidate pages, rebuild views)
+//! FRESHNESS             → OK freshness / ledger + recent drift / END
 //! PING                  → OK pong
 //! DRAIN                 → OK draining 0 in flight   (admissions stop)
 //! SHUTDOWN              → OK shutting down          (session ends)
@@ -50,7 +52,7 @@ use std::io::{self, BufRead, Write};
 use std::sync::mpsc::Receiver;
 
 use crate::engine::{Engine, EngineError, QueryOptions};
-use webbase_navigation::{CancelToken, QueryBudget};
+use webbase_navigation::{BudgetTracker, CancelToken, DriftOrigin, QueryBudget};
 
 /// Longest request line the server accepts (bytes, newline included).
 /// Longer lines answer `ERR 413` and are discarded; the session lives.
@@ -281,6 +283,51 @@ fn handle_line<W: Write>(
                 Err(e) => writeln!(writer, "ERR 422 {e}")?,
             }
         }
+        "REFRESH" => {
+            // Revalidate cached pages against the live Web (optionally
+            // one site) and rebuild whatever drift invalidated. Charged
+            // against the session budget like any navigation work, and
+            // cancellable on client disconnect.
+            let host = (!rest.is_empty()).then_some(rest);
+            let tracker = session.budget.clone().map(BudgetTracker::new);
+            let report = engine.refresh(
+                host,
+                DriftOrigin::Manual,
+                tracker.as_ref(),
+                session.cancel.as_ref(),
+            );
+            writeln!(
+                writer,
+                "OK refresh {} checked {} changed {} delta {} cold {} evicted",
+                report.sweep.checked,
+                report.sweep.changed,
+                report.delta_refreshed,
+                report.cold_refreshed,
+                report.evicted
+            )?;
+        }
+        "FRESHNESS" => {
+            let f = engine.freshness();
+            writeln!(writer, "OK freshness")?;
+            writeln!(writer, "epoch\t{}", f.epoch)?;
+            writeln!(writer, "tracked_views\t{}", f.tracked_views)?;
+            writeln!(writer, "drifted\t{}", f.drifted.len())?;
+            writeln!(writer, "events_published\t{}", f.events_published)?;
+            for text in &f.drifted {
+                writeln!(writer, "stale\t{text}")?;
+            }
+            for event in &f.recent {
+                writeln!(
+                    writer,
+                    "event\t{:?}\t{:?}\t{}\t{}",
+                    event.kind,
+                    event.origin,
+                    event.host,
+                    event.requests.len()
+                )?;
+            }
+            writeln!(writer, "END")?;
+        }
         "EXPLAIN" => match engine.explain(rest) {
             Ok(plan) => {
                 writeln!(writer, "OK plan")?;
@@ -325,6 +372,11 @@ fn handle_line<W: Write>(
             writeln!(writer, "journal_recovered_results\t{}", s.journal_recovered_results)?;
             writeln!(writer, "journal_torn\t{}", s.journal_torn)?;
             writeln!(writer, "web_requests\t{}", s.web_requests)?;
+            writeln!(writer, "drift_events\t{}", s.drift_events)?;
+            writeln!(writer, "view_invalidated\t{}", s.view_invalidated)?;
+            writeln!(writer, "delta_refresh\t{}", s.delta_refresh)?;
+            writeln!(writer, "cold_refresh\t{}", s.cold_refresh)?;
+            writeln!(writer, "stale_served\t{}", s.stale_served)?;
             writeln!(writer, "END")?;
         }
         _ => writeln!(writer, "ERR 404 unknown command {verb}")?,
@@ -420,6 +472,25 @@ mod tests {
         assert!(reply.contains("panics\t0"), "{reply}");
         assert!(reply.contains("web_requests\t"), "{reply}");
         assert!(reply.contains("OK bye"), "{reply}");
+    }
+
+    #[test]
+    fn refresh_and_freshness_verbs_answer() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let reply = drive(
+            &engine,
+            "QUERY UsedCarUR(make='honda', model='civic', year, price)\n\
+             REFRESH\nFRESHNESS\nSTATS\nQUIT\n",
+        );
+        assert!(reply.contains("OK refresh "), "{reply}");
+        assert!(reply.contains(" checked "), "{reply}");
+        assert!(reply.contains("OK freshness"), "{reply}");
+        assert!(reply.contains("epoch\t"), "{reply}");
+        assert!(reply.contains("tracked_views\t"), "{reply}");
+        // Nothing mutated, so the sweep found no drift and the
+        // freshness counters show a quiet system.
+        assert!(reply.contains("view_invalidated\t0"), "{reply}");
+        assert!(reply.contains("stale_served\t0"), "{reply}");
     }
 
     #[test]

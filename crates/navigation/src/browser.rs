@@ -46,6 +46,21 @@ pub struct LoadedPage {
     /// conclusions (drift detection) must not be drawn from it.
     /// Deliberately ill-formed sites never set this.
     pub complete: bool,
+    /// Hash of the raw response body this page was parsed from. Two
+    /// fetches of one request served the same bytes iff the hashes
+    /// match — the revalidation sweep's change detector (conservative:
+    /// any byte difference counts as drift).
+    pub body_hash: u64,
+}
+
+/// FNV-1a over the raw body bytes.
+pub(crate) fn body_hash(body: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in body {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 impl LoadedPage {
@@ -57,7 +72,8 @@ impl LoadedPage {
         let links = extract::links(&doc);
         let forms = extract::forms(&doc);
         let url = request.url.clone();
-        LoadedPage { request, url, doc, title, links, forms, complete }
+        let body_hash = body_hash(&resp.body);
+        LoadedPage { request, url, doc, title, links, forms, complete, body_hash }
     }
 
     /// Structural signature for map-node identity: URL path (digit runs

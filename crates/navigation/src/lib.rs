@@ -30,6 +30,7 @@ pub mod browser;
 pub mod budget;
 pub mod cancel;
 pub mod compile;
+pub mod drift;
 pub mod executor;
 pub mod extractor;
 pub mod healing;
@@ -50,6 +51,7 @@ pub use budget::{
 };
 pub use cancel::{CancelToken, Interrupt};
 pub use compile::{compile_map, CompiledSite};
+pub use drift::{sweep, DriftBus, DriftEvent, DriftKind, DriftOrigin, SweepReport};
 pub use executor::{NavError, RunStats, SiteNavigator};
 pub use extractor::{CellParse, ExtractionSpec, FieldSpec, Record};
 pub use healing::{RepairReport, SiteRepair};

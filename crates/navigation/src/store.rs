@@ -50,10 +50,70 @@ struct StoreInner {
     wal: SafeMutex<Option<WriteAheadLog>>,
 }
 
+/// The page requests one query session touched, shared between the
+/// store handle that records them and the layer that turns them into
+/// cache-entry dependencies. Clone-cheap (`Arc` inside); appends keep
+/// arrival order so a caller can mark a position and slice what one
+/// invocation read.
+#[derive(Debug, Clone, Default)]
+pub struct ReadSet {
+    reads: Arc<SafeMutex<Vec<Request>>>,
+}
+
+impl ReadSet {
+    pub fn new() -> ReadSet {
+        ReadSet::default()
+    }
+
+    pub fn record(&self, req: &Request) {
+        self.reads.lock().push(req.clone());
+    }
+
+    /// Append foreign requests (e.g. the recorded dependencies of a
+    /// memoised answer this session reused without re-fetching).
+    pub fn extend(&self, reqs: &[Request]) {
+        self.reads.lock().extend_from_slice(reqs);
+    }
+
+    /// Requests recorded so far (a position usable with
+    /// [`ReadSet::slice_from`]).
+    pub fn len(&self) -> usize {
+        self.reads.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The requests recorded since `mark`, deduplicated, order kept.
+    pub fn slice_from(&self, mark: usize) -> Vec<Request> {
+        let reads = self.reads.lock();
+        let mut seen = std::collections::HashSet::new();
+        reads
+            .get(mark..)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|r| seen.insert((*r).clone()))
+            .cloned()
+            .collect()
+    }
+
+    /// Every request recorded, deduplicated.
+    pub fn all(&self) -> Vec<Request> {
+        self.slice_from(0)
+    }
+}
+
 /// A clone-cheap handle to one shared page store (`Arc` inside).
+///
+/// A handle may carry a [`ReadSet`] recorder (see [`PageStore::tracked`]):
+/// the recorder is a property of the *handle*, not the store, so one
+/// engine-shared store can serve many sessions that each record their
+/// own page-request dependencies.
 #[derive(Debug, Clone)]
 pub struct PageStore {
     inner: Arc<StoreInner>,
+    reads: Option<ReadSet>,
 }
 
 impl Default for PageStore {
@@ -74,6 +134,7 @@ impl PageStore {
                 evictions: AtomicU64::new(0),
                 wal: SafeMutex::new(None),
             }),
+            reads: None,
         }
     }
 
@@ -88,7 +149,17 @@ impl PageStore {
                 evictions: AtomicU64::new(0),
                 wal: SafeMutex::new(None),
             }),
+            reads: None,
         }
+    }
+
+    /// A handle onto the *same* store that records every page this
+    /// handle (and its clones) touches into `reads` — the dependency
+    /// tracking behind drift-driven cache invalidation. Both cache hits
+    /// and fresh inserts count: either way the session's answer was
+    /// computed from that page.
+    pub fn tracked(&self, reads: ReadSet) -> PageStore {
+        PageStore { inner: self.inner.clone(), reads: Some(reads) }
     }
 
     /// Attach a write-ahead journal: every later [`insert_fetched`]
@@ -103,8 +174,15 @@ impl PageStore {
     pub fn get(&self, req: &Request) -> Option<Arc<LoadedPage>> {
         let found = self.inner.state.read().pages.get(req).cloned();
         match &found {
-            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(reads) = &self.reads {
+                    reads.record(req);
+                }
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+            }
         };
         found
     }
@@ -142,6 +220,9 @@ impl PageStore {
     /// Intern a page under its canonical request. Under a capacity
     /// bound the oldest entries are evicted first.
     pub fn insert(&self, req: Request, page: Arc<LoadedPage>) {
+        if let Some(reads) = &self.reads {
+            reads.record(&req);
+        }
         let mut state = self.inner.state.write();
         if state.pages.insert(req.clone(), page).is_none() {
             state.order.push_back(req);
@@ -196,6 +277,12 @@ impl PageStore {
     /// Entries dropped (capacity, `evict`, or `clear`) since creation.
     pub fn evictions(&self) -> u64 {
         self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Every interned request, in insertion order — the revalidation
+    /// sweep's worklist.
+    pub fn requests(&self) -> Vec<Request> {
+        self.inner.state.read().order.iter().cloned().collect()
     }
 
     /// Do two handles name the same underlying store?
@@ -262,6 +349,38 @@ mod tests {
             webbase_obs::sync::poison_recoveries() > before,
             "lock_poison_recovered counter incremented"
         );
+    }
+
+    #[test]
+    fn tracked_handle_records_hits_and_inserts_only_for_itself() {
+        let store = PageStore::new();
+        let (r1, p1) = page("a.test", "/1");
+        let (r2, p2) = page("a.test", "/2");
+        store.insert(r1.clone(), p1);
+        let reads = ReadSet::new();
+        let tracked = store.tracked(reads.clone());
+        assert!(tracked.same_store(&store), "tracked handle aliases the same store");
+        let mark = reads.len();
+        let _ = tracked.get(&r1); // hit → recorded
+        let _ = tracked.get(&r2); // miss → not a dependency
+        tracked.insert(r2.clone(), p2); // insert → recorded
+        let _ = tracked.get(&r1); // duplicate hit
+        assert_eq!(reads.slice_from(mark), vec![r1.clone(), r2.clone()], "deduped, in order");
+        // The untracked base handle records nothing.
+        let _ = store.get(&r1);
+        assert_eq!(reads.len(), 3, "base-handle reads invisible to the session's set");
+    }
+
+    #[test]
+    fn requests_lists_interned_pages_in_order() {
+        let store = PageStore::new();
+        let (r1, p1) = page("a.test", "/1");
+        let (r2, p2) = page("b.test", "/2");
+        store.insert(r1.clone(), p1);
+        store.insert(r2.clone(), p2);
+        assert_eq!(store.requests(), vec![r1.clone(), r2]);
+        store.evict(&r1);
+        assert_eq!(store.requests().len(), 1);
     }
 
     #[test]

@@ -105,9 +105,17 @@ impl WriteAheadLog {
         self.append(&out)
     }
 
-    /// Journal one settled result-cache entry: the exact query text and
-    /// the clean, complete relation that was published for it.
-    pub fn append_result(&self, query: &str, relation: &Relation) -> io::Result<()> {
+    /// Journal one settled result-cache entry: the exact query text, the
+    /// clean, complete relation that was published for it, and the page
+    /// requests the answer was computed from (`wal_dep` facts), so a
+    /// warm restart can keep invalidating the recovered entry precisely
+    /// when those pages drift.
+    pub fn append_result(
+        &self,
+        query: &str,
+        relation: &Relation,
+        deps: &[Request],
+    ) -> io::Result<()> {
         let seq = self.next_seq();
         let mut out = String::new();
         let _ = writeln!(out, "wal_result({seq}, {}).", q(&pct(query)));
@@ -120,6 +128,39 @@ impl WriteAheadLog {
                 let _ = writeln!(out, "wal_row({seq}, {r}, {c}, {kind}, {}).", q(&pct(&payload)));
             }
         }
+        for (j, req) in deps.iter().enumerate() {
+            let method = match req.method {
+                Method::Get => "get",
+                Method::Post => "post",
+            };
+            let _ = writeln!(
+                out,
+                "wal_dep({seq}, {j}, {method}, {}, {}).",
+                q(&pct(&req.url.host)),
+                q(&pct(&req.url.path))
+            );
+            for (k, (key, val)) in req.url.query.iter().enumerate() {
+                let _ =
+                    writeln!(out, "wal_depq({seq}, {j}, {k}, {}, {}).", q(&pct(key)), q(&pct(val)));
+            }
+            for (k, (key, val)) in req.params.iter().enumerate() {
+                let _ =
+                    writeln!(out, "wal_depp({seq}, {j}, {k}, {}, {}).", q(&pct(key)), q(&pct(val)));
+            }
+        }
+        let _ = writeln!(out, "wal_commit({seq}).");
+        self.append(&out)
+    }
+
+    /// Journal the drift-driven eviction of a cached result, so a warm
+    /// restart does not resurrect an entry that was invalidated before
+    /// the crash. Recovery applies blocks in file order: an invalidation
+    /// drops earlier-journalled results for `query`, and a later
+    /// re-published `wal_result` block re-adds the fresh one.
+    pub fn append_invalidate(&self, query: &str) -> io::Result<()> {
+        let seq = self.next_seq();
+        let mut out = String::new();
+        let _ = writeln!(out, "wal_invalidate({seq}, {}).", q(&pct(query)));
         let _ = writeln!(out, "wal_commit({seq}).");
         self.append(&out)
     }
@@ -146,12 +187,15 @@ fn parse_value(kind: &str, payload: String) -> Option<Value> {
     })
 }
 
-/// What survived a journal file: recovered pages and results, plus the
-/// count of torn (uncommitted or unparseable) blocks that were dropped.
+/// What survived a journal file: recovered pages and results (each
+/// result with the page requests it depends on), plus the count of torn
+/// (uncommitted or unparseable) blocks that were dropped. Blocks apply
+/// in file order, so a journalled `wal_invalidate` removes the results
+/// committed before it while a re-publish after it survives.
 #[derive(Debug, Default)]
 pub struct WalRecovery {
     pub pages: Vec<JournalEntry>,
-    pub results: Vec<(String, Relation)>,
+    pub results: Vec<(String, Relation, Vec<Request>)>,
     pub torn: u64,
 }
 
@@ -183,7 +227,12 @@ impl WalRecovery {
     fn absorb(&mut self, block: &str) {
         match parse_program(block).ok().and_then(|prog| parse_block(&prog)) {
             Some(WalRecord::Page(entry)) => self.pages.push(entry),
-            Some(WalRecord::Result(query, relation)) => self.results.push((query, relation)),
+            Some(WalRecord::Result(query, relation, deps)) => {
+                self.results.push((query, relation, deps));
+            }
+            Some(WalRecord::Invalidate(query)) => {
+                self.results.retain(|(text, _, _)| *text != query);
+            }
             None => self.torn += 1,
         }
     }
@@ -191,7 +240,8 @@ impl WalRecovery {
 
 enum WalRecord {
     Page(JournalEntry),
-    Result(String, Relation),
+    Result(String, Relation, Vec<Request>),
+    Invalidate(String),
 }
 
 /// Interpret one committed block; `None` means the block is malformed
@@ -280,7 +330,47 @@ fn parse_block(prog: &Program) -> Option<WalRecord> {
             }
             relation.push(Tuple::from_values(row));
         }
-        return Some(WalRecord::Result(query, relation));
+        let mut deps: Vec<(usize, Request)> = Vec::new();
+        for d in facts(prog, "wal_dep", 5) {
+            if d[0] != Term::Int(seq) {
+                continue;
+            }
+            let j = as_usize(&d[1], "wal dep idx").ok()?;
+            let method = match as_str(&d[2], "wal dep method").ok()?.as_str() {
+                "get" => Method::Get,
+                "post" => Method::Post,
+                _ => return None,
+            };
+            let host = unpct(&as_str(&d[3], "wal dep host").ok()?).ok()?;
+            let path = unpct(&as_str(&d[4], "wal dep path").ok()?).ok()?;
+            let dep_pairs = |pred: &str| -> Option<Vec<(String, String)>> {
+                let mut rows = Vec::new();
+                for p in facts(prog, pred, 5) {
+                    if p[0] != Term::Int(seq) {
+                        continue;
+                    }
+                    if as_usize(&p[1], "wal dep pair idx").ok()? != j {
+                        continue;
+                    }
+                    let k = as_usize(&p[2], "wal dep pair seq").ok()?;
+                    let key = unpct(&as_str(&p[3], "wal dep pair key").ok()?).ok()?;
+                    let val = unpct(&as_str(&p[4], "wal dep pair value").ok()?).ok()?;
+                    rows.push((k, (key, val)));
+                }
+                rows.sort_by_key(|(k, _)| *k);
+                Some(rows.into_iter().map(|(_, kv)| kv).collect())
+            };
+            let mut url = Url::new(&host, &path);
+            url.query = dep_pairs("wal_depq")?;
+            deps.push((j, Request { method, url, params: dep_pairs("wal_depp")? }));
+        }
+        deps.sort_by_key(|(j, _)| *j);
+        let deps = deps.into_iter().map(|(_, r)| r).collect();
+        return Some(WalRecord::Result(query, relation, deps));
+    }
+    if let Some(a) = facts(prog, "wal_invalidate", 2).first() {
+        let query = unpct(&as_str(&a[1], "wal query").ok()?).ok()?;
+        return Some(WalRecord::Invalidate(query));
     }
     None
 }
@@ -318,7 +408,11 @@ mod tests {
         let page = entry("www.newsday.com", "/auto", "<html>tricky 'quotes' & bytes\n</html>");
         wal.append_page(&page).expect("append page");
         let rel = sample_relation();
-        wal.append_result("UsedCarUR(make='ford', price)", &rel).expect("append result");
+        let mut post = entry("www.newsday.com", "/search", "").request;
+        post.method = Method::Post;
+        post.params = vec![("model".to_string(), "escort".to_string())];
+        let deps = vec![page.request.clone(), post];
+        wal.append_result("UsedCarUR(make='ford', price)", &rel, &deps).expect("append result");
 
         let recovered = WalRecovery::load(&path).expect("recover");
         assert_eq!(recovered.torn, 0);
@@ -328,6 +422,29 @@ mod tests {
         assert_eq!(recovered.results.len(), 1);
         assert_eq!(recovered.results[0].0, "UsedCarUR(make='ford', price)");
         assert_eq!(recovered.results[0].1, rel);
+        assert_eq!(recovered.results[0].2, deps, "dependency requests roundtrip exactly");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalidations_apply_in_file_order() {
+        let path = temp("invalidate");
+        let wal = WriteAheadLog::open(&path).expect("open wal");
+        let stale = sample_relation();
+        let deps = vec![entry("www.newsday.com", "/auto", "").request];
+        wal.append_result("Q(a)", &stale, &deps).expect("stale publish");
+        wal.append_result("Other(b)", &stale, &[]).expect("unrelated publish");
+        wal.append_invalidate("Q(a)").expect("drift invalidation");
+        let mut fresh = Relation::new(Schema::new(["make", "year", "price"]));
+        fresh.push(Tuple::from_values([Value::str("saab"), Value::Int(2001), Value::Null]));
+        wal.append_result("Q(a)", &fresh, &deps).expect("re-publish after refresh");
+
+        let recovered = WalRecovery::load(&path).expect("recover");
+        assert_eq!(recovered.torn, 0);
+        assert_eq!(recovered.results.len(), 2, "stale entry removed, re-publish kept");
+        assert_eq!(recovered.results[0].0, "Other(b)");
+        assert_eq!(recovered.results[1].0, "Q(a)");
+        assert_eq!(recovered.results[1].1, fresh, "recovered Q(a) is the post-drift value");
         let _ = std::fs::remove_file(&path);
     }
 

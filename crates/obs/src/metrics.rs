@@ -52,10 +52,23 @@ pub enum Metric {
     /// Navigation attempts abandoned because the query was cancelled
     /// (client disconnect, shutdown, or an explicit cancel).
     Cancellations,
+    /// Drift events published on the navigation drift bus (page change,
+    /// repair, or quarantine detections).
+    DriftEvents,
+    /// Cached views (result-cache entries) invalidated by drift.
+    ViewInvalidated,
+    /// Drifted views refreshed incrementally (delta propagation).
+    DeltaRefresh,
+    /// Drifted views refreshed by falling back to re-evaluation or
+    /// eviction (non-incrementalizable drift).
+    ColdRefresh,
+    /// Answers served from a cache entry *after* drift had invalidated
+    /// it — the freshness contract's tripwire; must stay 0.
+    StaleServed,
 }
 
 /// All metrics, in declaration order (= atomic array order).
-pub const METRICS: [Metric; 17] = [
+pub const METRICS: [Metric; 22] = [
     Metric::Fetches,
     Metric::CacheHits,
     Metric::Retries,
@@ -73,6 +86,11 @@ pub const METRICS: [Metric; 17] = [
     Metric::HandleInvocations,
     Metric::TuplesEmitted,
     Metric::Cancellations,
+    Metric::DriftEvents,
+    Metric::ViewInvalidated,
+    Metric::DeltaRefresh,
+    Metric::ColdRefresh,
+    Metric::StaleServed,
 ];
 
 impl Metric {
@@ -96,6 +114,11 @@ impl Metric {
             Metric::HandleInvocations => "handle_invocations",
             Metric::TuplesEmitted => "tuples_emitted",
             Metric::Cancellations => "cancellations",
+            Metric::DriftEvents => "drift_events",
+            Metric::ViewInvalidated => "view_invalidated",
+            Metric::DeltaRefresh => "delta_refresh",
+            Metric::ColdRefresh => "cold_refresh",
+            Metric::StaleServed => "stale_served",
         }
     }
 

@@ -63,6 +63,11 @@ pub struct UrPlan {
     /// the query with this token (see [`UrPlanner::execute_with`])
     /// continues from the journalled pages without re-fetching them.
     pub resume: Option<ResumeToken>,
+    /// Each object's individual result, in `objects` order (empty until
+    /// execution). The full answer is their union; keeping the per-object
+    /// values lets a maintained view refresh only the objects a drift
+    /// event touched and re-derive the union incrementally.
+    pub object_results: Vec<Relation>,
 }
 
 impl UrPlan {
@@ -230,6 +235,7 @@ impl UrPlanner {
             repairs: webbase_logical::RepairReport::default(),
             budget: None,
             resume: None,
+            object_results: Vec::new(),
         })
     }
 
@@ -446,6 +452,7 @@ impl UrPlanner {
                 }
             }
             let rel = evaled?;
+            plan.object_results.push(rel.clone());
             result = Some(match result {
                 None => rel,
                 Some(mut acc) => {

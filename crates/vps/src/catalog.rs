@@ -10,7 +10,7 @@ use webbase_navigation::budget::{BudgetTracker, JournalEntry, NavPosition, Resum
 use webbase_navigation::executor::SiteNavigator;
 use webbase_navigation::map::NavigationMap;
 use webbase_navigation::pool::HostPools;
-use webbase_navigation::store::PageStore;
+use webbase_navigation::store::{PageStore, ReadSet};
 use webbase_navigation::{CancelToken, CompiledSite, DegradationReport, FetchPolicy, RepairReport};
 use webbase_obs::{Metric, Obs, SpanHandle, SpanKind, QUERY_TRACK};
 use webbase_relational::binding::{Binding, BindingSet};
@@ -81,6 +81,16 @@ pub struct VpsCatalog {
     /// consulted on unbudgeted invocations of clean navigators (see
     /// [`crate::memo`]).
     memo: Option<AnswerMemo>,
+    /// The session's page-read recorder (the same [`ReadSet`] the
+    /// engine's tracked [`PageStore`] handle records into). With it
+    /// attached, each invocation's page dependencies are sliced off and
+    /// remembered — and a memo *hit* replays the leader's recorded
+    /// dependencies, since a hit fetches nothing itself.
+    reads: Option<ReadSet>,
+    /// Every invocation this catalog served, with its answer and page
+    /// dependencies — the base-relation log incremental view
+    /// maintenance re-runs selectively.
+    invocation_log: Vec<(crate::memo::MemoKey, Relation, Vec<Request>)>,
 }
 
 impl Default for VpsCatalog {
@@ -100,6 +110,8 @@ impl VpsCatalog {
             preflight: webbase_webcheck::Report::new(),
             obs: Obs::none(),
             memo: None,
+            reads: None,
+            invocation_log: Vec::new(),
         }
     }
 
@@ -278,6 +290,18 @@ impl VpsCatalog {
         self.memo = Some(memo);
     }
 
+    /// Attach the session's page-read recorder (see the `reads` field).
+    pub fn set_reads(&mut self, reads: ReadSet) {
+        self.reads = Some(reads);
+    }
+
+    /// Invocations served so far: `(memo key, answer, page deps)` in
+    /// execution order. Memo hits appear too, carrying the leader's
+    /// recorded dependencies.
+    pub fn invocation_log(&self) -> &[(crate::memo::MemoKey, Relation, Vec<Request>)] {
+        &self.invocation_log
+    }
+
     /// Relation invocations that ran to completion — no budget denial
     /// truncated them — in execution order.
     pub fn positions(&self) -> &[NavPosition] {
@@ -442,11 +466,22 @@ impl RelationProvider for VpsCatalog {
         // claim is singleflight: under a concurrent herd one session
         // leads each distinct invocation and the rest wait for — and
         // then hit — its settled answer instead of recomputing.
+        // Where this session's page reads stood before the invocation:
+        // everything recorded past this mark is what the invocation read.
+        let read_mark = self.reads.as_ref().map(ReadSet::len).unwrap_or(0);
         let memo_lead = match (&self.memo, &self.budget) {
             (Some(memo), None) => {
                 let key = AnswerMemo::key(name, &given);
                 match memo.claim(&key) {
                     MemoClaim::Hit(rel) => {
+                        // A hit fetches nothing, but the answer still
+                        // *depends* on the pages its leader read — fold
+                        // them into this session's read set so the
+                        // result-cache entry records them too.
+                        let deps = memo.deps_of(&key);
+                        if let Some(reads) = &self.reads {
+                            reads.extend(&deps);
+                        }
                         self.obs.count(Metric::HandleInvocations);
                         self.obs.count_n(Metric::TuplesEmitted, rel.len() as u64);
                         if self.obs.tracing() {
@@ -462,6 +497,7 @@ impl RelationProvider for VpsCatalog {
                             );
                         }
                         *self.stats.invocations.entry(name.to_string()).or_default() += 1;
+                        self.invocation_log.push((key, rel.clone(), deps));
                         return Ok(rel);
                     }
                     // Held through the computation below; an early
@@ -539,13 +575,24 @@ impl RelationProvider for VpsCatalog {
                 vec![("tuples", rel.len().to_string()), ("pages", run.pages_fetched.to_string())],
             );
         }
+        // The pages this invocation read (cache hits and fresh fetches
+        // alike — either way the answer was computed from them).
+        let deps = self.reads.as_ref().map(|r| r.slice_from(read_mark)).unwrap_or_default();
         // Memoize only answers from a navigator that has never seen
         // degradation: a truncated or partially healed run must not be
         // replayed to other queries as complete. Settling `None` still
         // releases the key and wakes waiting sessions.
         if let Some(guard) = memo_lead {
-            guard.settle(e.navigator.degradation().is_clean().then(|| rel.clone()));
+            if e.navigator.degradation().is_clean() {
+                if let Some(memo) = &self.memo {
+                    memo.set_deps(&AnswerMemo::key(name, &given), deps.clone());
+                }
+                guard.settle(Some(rel.clone()));
+            } else {
+                guard.settle(None);
+            }
         }
+        self.invocation_log.push((AnswerMemo::key(name, &given), rel.clone(), deps));
         Ok(rel)
     }
 }

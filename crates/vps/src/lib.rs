@@ -23,7 +23,7 @@ pub mod memo;
 
 pub use catalog::{VpsCatalog, VpsStats};
 pub use handle::{derive_handles, Handle};
-pub use memo::{AnswerMemo, LeaderGuard, MemoClaim};
+pub use memo::{AnswerMemo, LeaderGuard, MemoClaim, MemoKey};
 // Degradation reporting and query budgets surface through every layer;
 // re-export so upper layers need not depend on webbase-navigation
 // directly.

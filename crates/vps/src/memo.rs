@@ -20,6 +20,7 @@ use std::sync::{Arc, Condvar};
 use std::time::Duration;
 use webbase_obs::sync::{recover, SafeMutex, SafeRwLock};
 use webbase_relational::{Relation, Value};
+use webbase_webworld::request::Request;
 
 /// Memo key: relation name + the access-spec bindings, sorted by
 /// attribute so equivalent specs collide.
@@ -28,6 +29,11 @@ pub type MemoKey = (String, Vec<(String, Value)>);
 #[derive(Debug)]
 struct MemoInner {
     answers: SafeRwLock<HashMap<MemoKey, Relation>>,
+    /// The page requests each memoised answer was computed from —
+    /// recorded by the leader so drift in any of those pages can evict
+    /// exactly the dependent entries (and so a memo *hit* can report
+    /// the same dependencies without re-fetching anything).
+    deps: SafeRwLock<HashMap<MemoKey, Vec<Request>>>,
     /// Keys some session is computing right now (singleflight): a
     /// second session asking for an in-flight key waits for the
     /// leader's answer instead of recomputing it.
@@ -59,6 +65,7 @@ impl AnswerMemo {
         AnswerMemo {
             inner: Arc::new(MemoInner {
                 answers: SafeRwLock::new(HashMap::new()),
+                deps: SafeRwLock::new(HashMap::new()),
                 inflight: SafeMutex::new(HashSet::new()),
                 settled: Condvar::new(),
                 hits: AtomicU64::new(0),
@@ -87,6 +94,83 @@ impl AnswerMemo {
 
     pub fn insert(&self, key: MemoKey, answer: Relation) {
         self.inner.answers.write().insert(key, answer);
+    }
+
+    /// Current answer for `key` without touching the hit/miss counters
+    /// (freshness re-checks must not distort cache accounting).
+    pub fn peek(&self, key: &MemoKey) -> Option<Relation> {
+        self.inner.answers.read().get(key).cloned()
+    }
+
+    /// Evict one entry (and its recorded deps). Returns whether an
+    /// answer was actually present.
+    pub fn remove(&self, key: &MemoKey) -> bool {
+        self.inner.deps.write().remove(key);
+        self.inner.answers.write().remove(key).is_some()
+    }
+
+    /// Record the page requests `key`'s answer was computed from.
+    pub fn set_deps(&self, key: &MemoKey, deps: Vec<Request>) {
+        self.inner.deps.write().insert(key.clone(), deps);
+    }
+
+    /// The recorded page dependencies of a memoised answer.
+    pub fn deps_of(&self, key: &MemoKey) -> Vec<Request> {
+        self.inner.deps.read().get(key).cloned().unwrap_or_default()
+    }
+
+    /// Evict every entry that read one of `changed` — plus, conservatively,
+    /// entries with *no* recorded dependencies (pre-tracking answers whose
+    /// provenance is unknown). Returns the evicted keys.
+    pub fn invalidate_dependents(&self, changed: &[Request]) -> Vec<MemoKey> {
+        let changed: HashSet<&Request> = changed.iter().collect();
+        let deps = self.inner.deps.read();
+        let mut victims: Vec<MemoKey> = Vec::new();
+        for key in self.inner.answers.read().keys() {
+            match deps.get(key) {
+                Some(reads) => {
+                    if reads.iter().any(|r| changed.contains(r)) {
+                        victims.push(key.clone());
+                    }
+                }
+                None => victims.push(key.clone()),
+            }
+        }
+        drop(deps);
+        self.remove_all(&victims);
+        victims
+    }
+
+    /// Evict every entry whose recorded dependencies touch `host` —
+    /// plus, conservatively, deps-less entries. Returns the evicted keys.
+    pub fn invalidate_host(&self, host: &str) -> Vec<MemoKey> {
+        let deps = self.inner.deps.read();
+        let mut victims: Vec<MemoKey> = Vec::new();
+        for key in self.inner.answers.read().keys() {
+            match deps.get(key) {
+                Some(reads) => {
+                    if reads.iter().any(|r| r.url.host == host) {
+                        victims.push(key.clone());
+                    }
+                }
+                None => victims.push(key.clone()),
+            }
+        }
+        drop(deps);
+        self.remove_all(&victims);
+        victims
+    }
+
+    fn remove_all(&self, keys: &[MemoKey]) {
+        if keys.is_empty() {
+            return;
+        }
+        let mut answers = self.inner.answers.write();
+        let mut deps = self.inner.deps.write();
+        for key in keys {
+            answers.remove(key);
+            deps.remove(key);
+        }
     }
 
     /// Singleflight claim: either a memoised answer, or leadership of
@@ -341,6 +425,37 @@ mod tests {
             MemoClaim::Hit(_) => panic!("unknown key cannot hit"),
         }
         assert!(webbase_obs::sync::poison_recoveries() > before);
+    }
+
+    #[test]
+    fn drift_invalidates_exactly_the_dependent_entries() {
+        use webbase_webworld::prelude::Url;
+        let memo = AnswerMemo::new();
+        let page_a = Request::get(Url::new("a.test", "/1"));
+        let page_b = Request::get(Url::new("b.test", "/1"));
+        let on_a = AnswerMemo::key("r_a", &[]);
+        let on_b = AnswerMemo::key("r_b", &[]);
+        let unknown = AnswerMemo::key("legacy", &[]);
+        memo.insert(on_a.clone(), one_row());
+        memo.set_deps(&on_a, vec![page_a.clone()]);
+        memo.insert(on_b.clone(), one_row());
+        memo.set_deps(&on_b, vec![page_b.clone()]);
+        memo.insert(unknown.clone(), one_row());
+        assert_eq!(memo.deps_of(&on_a), vec![page_a.clone()]);
+
+        // page_a drifts: r_a dies, r_b survives, deps-less legacy dies
+        // conservatively.
+        let evicted = memo.invalidate_dependents(std::slice::from_ref(&page_a));
+        assert!(evicted.contains(&on_a) && evicted.contains(&unknown));
+        assert!(memo.get(&on_a).is_none());
+        assert!(memo.get(&unknown).is_none());
+        assert!(memo.get(&on_b).is_some());
+        assert!(memo.deps_of(&on_a).is_empty(), "deps evicted with the answer");
+
+        // Host-wide invalidation takes out the rest of b.test.
+        let evicted = memo.invalidate_host("b.test");
+        assert_eq!(evicted, vec![on_b.clone()]);
+        assert!(memo.get(&on_b).is_none());
     }
 
     #[test]

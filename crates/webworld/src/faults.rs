@@ -9,6 +9,7 @@
 use crate::request::{Request, Response};
 use crate::server::Site;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Fails every `period`-th request with HTTP 500 (deterministic given
@@ -320,6 +321,127 @@ impl<S: Site> Site for DriftingSite<S> {
     }
 }
 
+/// One scheduled markup mutation: a plain string rewrite applied to
+/// served pages once its position in a [`MutatingSite`] schedule has
+/// been reached by the site's generation clock. Optionally scoped to a
+/// single path, like [`DriftingSite`]'s rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutation {
+    pub needle: String,
+    pub replacement: String,
+    pub only_path: Option<String>,
+}
+
+impl Mutation {
+    pub fn new(needle: &str, replacement: &str) -> Mutation {
+        Mutation {
+            needle: needle.to_string(),
+            replacement: replacement.to_string(),
+            only_path: None,
+        }
+    }
+
+    /// Restrict the rewrite to responses for exactly this path.
+    pub fn on_path(mut self, path: &str) -> Mutation {
+        self.only_path = Some(path.to_string());
+        self
+    }
+}
+
+/// The shared generation clock of a [`MutatingSite`]: how many of the
+/// scheduled mutations are live. Unlike [`DriftingSite`]'s request
+/// counter, the clock is advanced *explicitly* by the harness, so the
+/// site's current state is a pure function of `(request, generation)` —
+/// never of how much traffic happened to flow. That is what makes
+/// "maintained view ≡ cold re-run at the same generation" a
+/// well-defined property.
+#[derive(Debug, Clone, Default)]
+pub struct MutationClock {
+    gen: Arc<AtomicU64>,
+}
+
+impl MutationClock {
+    /// Apply the next scheduled mutation; returns the new generation.
+    pub fn advance(&self) -> u64 {
+        self.gen.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Jump the clock to an absolute generation.
+    pub fn set(&self, generation: u64) {
+        self.gen.store(generation, Ordering::SeqCst);
+    }
+
+    /// Scheduled mutations currently live.
+    pub fn generation(&self) -> u64 {
+        self.gen.load(Ordering::SeqCst)
+    }
+}
+
+/// The drift-storm failure mode: the site applies a *schedule* of
+/// mutations, each switched on by an externally advanced generation
+/// clock. Live mutations are applied in schedule order to every
+/// successful response in scope, so repeated fetches at one generation
+/// are deterministic and byte-identical.
+pub struct MutatingSite<S> {
+    inner: S,
+    schedule: Vec<Mutation>,
+    clock: MutationClock,
+}
+
+impl<S: Site> MutatingSite<S> {
+    /// Wrap `inner` with a mutation schedule; returns the site and the
+    /// clock that switches its mutations on.
+    pub fn new(inner: S, schedule: Vec<Mutation>) -> (MutatingSite<S>, MutationClock) {
+        let clock = MutationClock::default();
+        (MutatingSite { inner, schedule, clock: clock.clone() }, clock)
+    }
+}
+
+impl<S: Site> Site for MutatingSite<S> {
+    fn host(&self) -> &str {
+        self.inner.host()
+    }
+
+    fn entry(&self) -> crate::url::Url {
+        self.inner.entry()
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        let resp = self.inner.handle(req);
+        let live = (self.clock.generation() as usize).min(self.schedule.len());
+        if live == 0 || !resp.is_ok() {
+            return resp;
+        }
+        let mut body = resp.html().to_string();
+        let mut touched = false;
+        for m in &self.schedule[..live] {
+            if m.only_path.as_ref().is_none_or(|p| *p == req.url.path) && body.contains(&m.needle) {
+                body = body.replace(&m.needle, &m.replacement);
+                touched = true;
+            }
+        }
+        if touched {
+            Response { body: bytes::Bytes::from(body), ..resp }
+        } else {
+            resp
+        }
+    }
+}
+
+/// A deterministic mutation schedule: `len` distinct picks from `pool`,
+/// ordered by a seeded LCG permutation (no external RNG dependency, so
+/// the same seed yields the same drift storm everywhere).
+pub fn seeded_schedule(seed: u64, pool: &[Mutation], len: usize) -> Vec<Mutation> {
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    for i in (1..idx.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        idx.swap(i, j);
+    }
+    idx.into_iter().take(len.min(pool.len())).map(|i| pool[i].clone()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,6 +629,51 @@ mod tests {
             let drifted = resp.html().contains(">Next<");
             assert_eq!(drifted, n >= 3, "request {n}: drift must begin exactly at 3");
         }
+    }
+
+    #[test]
+    fn mutating_site_is_a_pure_function_of_request_and_generation() {
+        let schedule = vec![
+            Mutation::new(">More<", ">Next<"),
+            Mutation::new("page", "sheet").on_path("/list"),
+        ];
+        let (site, clock) = MutatingSite::new(ChainSite, schedule);
+        let req = Request::get(Url::new("chain.test", "/list"));
+        // Generation 0: untouched, and repeat fetches are identical.
+        assert_eq!(site.handle(&req), site.handle(&req));
+        assert!(site.handle(&req).html().contains(">More<"));
+        // Generation 1: first mutation live, second still dormant.
+        assert_eq!(clock.advance(), 1);
+        assert!(site.handle(&req).html().contains(">Next<"));
+        assert!(site.handle(&req).html().contains("page"));
+        // Generation 2: both live; repeat fetches still identical.
+        clock.advance();
+        let a = site.handle(&req);
+        assert!(a.html().contains("sheet") && !a.html().contains("page"));
+        assert_eq!(a, site.handle(&req));
+        // Out-of-scope path keeps the path-scoped mutation off.
+        let other = site.handle(&Request::get(Url::new("chain.test", "/other")));
+        assert!(other.html().contains("page"), "{}", other.html());
+        // A generation past the schedule clamps.
+        clock.set(99);
+        assert_eq!(site.handle(&req), a);
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic_and_distinct() {
+        let pool: Vec<Mutation> =
+            (0..8).map(|i| Mutation::new(&format!("n{i}"), &format!("r{i}"))).collect();
+        let a = seeded_schedule(11, &pool, 5);
+        let b = seeded_schedule(11, &pool, 5);
+        assert_eq!(a, b, "same seed, same storm");
+        assert_eq!(a.len(), 5);
+        let mut needles: Vec<&str> = a.iter().map(|m| m.needle.as_str()).collect();
+        needles.sort();
+        needles.dedup();
+        assert_eq!(needles.len(), 5, "picks are distinct");
+        let c = seeded_schedule(23, &pool, 5);
+        assert_ne!(a, c, "different seed, different storm");
+        assert_eq!(seeded_schedule(47, &pool, 100).len(), pool.len(), "len clamps to the pool");
     }
 
     #[test]

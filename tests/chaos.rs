@@ -265,8 +265,17 @@ fn stats_snapshots_are_fieldwise_monotone_under_load() {
         assert!(b.result_misses >= a.result_misses, "result_misses went backwards: {a:?} -> {b:?}");
         assert!(b.web_requests >= a.web_requests, "web_requests went backwards: {a:?} -> {b:?}");
         assert!(b.panics >= a.panics && b.cancelled >= a.cancelled, "{a:?} -> {b:?}");
+        assert!(b.drift_events >= a.drift_events, "drift_events went backwards: {a:?} -> {b:?}");
+        assert!(
+            b.view_invalidated >= a.view_invalidated,
+            "view_invalidated went backwards: {a:?} -> {b:?}"
+        );
+        assert!(b.delta_refresh >= a.delta_refresh, "delta_refresh went backwards: {a:?} -> {b:?}");
+        assert!(b.cold_refresh >= a.cold_refresh, "cold_refresh went backwards: {a:?} -> {b:?}");
+        assert_eq!(b.stale_served, 0, "a stale answer was served under load: {b:?}");
     }
     let last = snapshots.last().expect("at least one snapshot");
     assert_eq!(last.queries, 9, "all nine queries completed: {last:?}");
     assert_eq!(last.panics, 0);
+    assert_eq!(last.stale_served, 0, "the freshness tripwire fired: {last:?}");
 }
