@@ -334,6 +334,7 @@ struct DriftReport {
     delta_refresh: u64,
     cold_refresh: u64,
     stale_hits: u64,
+    readset_escape: u64,
     web_requests: u64,
     diverged: u64,
 }
@@ -396,6 +397,7 @@ fn drift_mode(args: &Args, rate: f64, work: &[&'static str], incremental: bool) 
         delta_refresh: stats.delta_refresh,
         cold_refresh: stats.cold_refresh,
         stale_hits: stats.stale_served,
+        readset_escape: stats.readset_escape,
         web_requests: stats.web_requests,
         diverged,
     }
@@ -454,6 +456,13 @@ fn drift_main(args: &Args) -> ExitCode {
             }
             if m.diverged > 0 {
                 eprintln!("loadgen: FAIL — {label} final answers diverged from cold re-runs");
+                failed = true;
+            }
+            if m.readset_escape > 0 {
+                eprintln!(
+                    "loadgen: FAIL — {label} saw {} fetches outside the static read set",
+                    m.readset_escape
+                );
                 failed = true;
             }
         }
@@ -557,6 +566,20 @@ fn main() -> ExitCode {
         }
     }
     eprintln!("loadgen: all {} answers byte-identical across modes", args.queries);
+
+    // Soundness tripwire: the abstract interpreter's static read sets
+    // must cover every page any mode actually fetched.
+    for (label, engine) in [
+        ("serial-isolated", &iso_engine),
+        ("serial-shared", &shared_engine),
+        ("concurrent-shared", &conc_engine),
+    ] {
+        let escapes = engine.stats().readset_escape;
+        if escapes > 0 {
+            eprintln!("loadgen: FAIL — {label} saw {escapes} fetches outside the static read set");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let speedup = concurrent.qps / isolated.qps;
     let stats = conc_engine.stats();

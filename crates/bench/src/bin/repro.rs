@@ -23,7 +23,8 @@
 //! | `--query` | §1/§2 — the jaguar query end to end |
 //! | `--query62` | §6.2 — monthly payments below $1,000 (computed column) |
 //! | `--ordering` | ablation — greedy vs exact join ordering on random instances |
-//! | `--check` | webcheck — three-pass static analysis of all 15 webworld sites; exits nonzero on any E-level finding (honours `WEBBASE_TEST_SEED`) |
+//! | `--check` | webcheck — static analysis (map lint, program safety, cross-layer, semantic) of all 15 webworld sites; exits nonzero on any E-level finding (honours `WEBBASE_TEST_SEED`) |
+//! | `--check-json` | the same gate, machine-readable: one JSON object per finding on stdout (implies `--check`) |
 //!
 //! Observability (applies to `--query`, and implies it):
 //!
@@ -69,7 +70,8 @@ fn main() {
     });
     let resume_path = arg_value("--resume");
 
-    if want("--check") {
+    let check_json = args.iter().any(|a| a == "--check-json");
+    if want("--check") || check_json {
         // The analysis gate builds its own (fast, LAN-latency) stacks so
         // CI can sweep seeds via WEBBASE_TEST_SEED without paying for
         // the 1999 network profile the benchmarks use.
@@ -77,21 +79,29 @@ fn main() {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(webbase_bench::BENCH_SEED);
-        section(&format!("webcheck — pre-flight static analysis, seed {seed}"));
+        if !check_json {
+            section(&format!("webcheck — pre-flight static analysis, seed {seed}"));
+        }
         let car = webbase::Webbase::build_demo(seed, 400, webbase::LatencyModel::lan());
         let mut report = car.check();
         let apt_maps = car.maps.len() + {
-            let (maps, layer, planner) = apartment_stack(seed);
+            let (_web, maps, layer, planner) = webbase_bench::apartment_stack(seed);
             report.merge(webbase::check_stack(&maps, &layer, &planner));
             maps.len()
         };
-        println!("{apt_maps} sites analyzed (three passes each, plus cross-layer)\n");
-        println!("{}", report.render());
+        if check_json {
+            // Machine-readable mode: findings only, one JSON object per
+            // line, nothing else on stdout.
+            print!("{}", report.render_jsonl());
+        } else {
+            println!("{apt_maps} sites analyzed (four passes each, plus cross-layer)\n");
+            println!("{}", report.render());
+        }
         if report.has_errors() {
             std::process::exit(1);
         }
-        // A bare `repro --check` is the CI gate: done.
-        if !all && args.iter().all(|a| a == "--check") {
+        // A bare `repro --check` / `--check-json` is the CI gate: done.
+        if !all && args.iter().all(|a| a == "--check" || a == "--check-json") {
             return;
         }
     }
@@ -292,118 +302,6 @@ fn main() {
             }
         }
     }
-}
-
-/// The apartment-domain webbase of `examples/apartment_hunting.rs`,
-/// assembled for analysis: the two rental sites are mapped by replaying
-/// the designer sessions, then wrapped in the example's logical
-/// relations and AptUR hierarchy. Together with the 13 car sites this
-/// brings `--check` to the full 15-site webworld.
-fn apartment_stack(
-    seed: u64,
-) -> (
-    Vec<webbase_navigation::map::NavigationMap>,
-    webbase_logical::LogicalLayer,
-    webbase_ur::plan::UrPlanner,
-) {
-    use webbase_logical::{LogicalLayer, LogicalRelation};
-    use webbase_navigation::extractor::{CellParse, ExtractionSpec, FieldSpec};
-    use webbase_navigation::recorder::{DesignerAction, Recorder};
-    use webbase_relational::prelude::*;
-    use webbase_ur::compat::CompatRules;
-    use webbase_ur::hierarchy::{Alternative, ChoiceGroup, Hierarchy};
-    use webbase_ur::plan::UrPlanner;
-    use webbase_vps::VpsCatalog;
-    use webbase_webworld::prelude::*;
-    use webbase_webworld::sites::{AptListings, AptMarket, RentGuide};
-
-    let market = AptMarket::generate(seed, 150);
-    let web = SyntheticWeb::builder()
-        .site(AptListings::new(market))
-        .site(RentGuide::new())
-        .latency(LatencyModel::lan())
-        .build();
-    let listings_session = vec![
-        DesignerAction::Goto("http://www.aptlistings.com/".into()),
-        DesignerAction::SubmitForm {
-            action: "/cgi-bin/find".into(),
-            values: vec![("borough".into(), "brooklyn".into())],
-        },
-        DesignerAction::MarkDataPage {
-            relation: "aptListings".into(),
-            spec: ExtractionSpec::Table {
-                fields: vec![
-                    FieldSpec::new("Borough", "borough", CellParse::Text),
-                    FieldSpec::new("Bedrooms", "bedrooms", CellParse::Number),
-                    FieldSpec::new("Rent", "rent", CellParse::Number),
-                    FieldSpec::new("Contact", "contact", CellParse::Text),
-                ],
-            },
-        },
-        DesignerAction::FollowLink("More".into()),
-    ];
-    let guide_session = vec![
-        DesignerAction::Goto("http://www.rentguide.com/".into()),
-        DesignerAction::SubmitForm {
-            action: "/cgi-bin/guide".into(),
-            values: vec![("borough".into(), "queens".into()), ("beds".into(), "1".into())],
-        },
-        DesignerAction::MarkDataPage {
-            relation: "rentGuide".into(),
-            spec: ExtractionSpec::Table {
-                fields: vec![
-                    FieldSpec::new("Borough", "borough", CellParse::Text),
-                    FieldSpec::new("Bedrooms", "bedrooms", CellParse::Number),
-                    FieldSpec::new("Fair Rent", "fairrent", CellParse::Number),
-                ],
-            },
-        },
-    ];
-    let standardizer = || {
-        let mut s = webbase_relational::standardize::Standardizer::new([
-            "borough", "bedrooms", "rent", "contact", "fairrent",
-        ]);
-        s.map("beds", "bedrooms");
-        s
-    };
-    let mut catalog = VpsCatalog::new();
-    let mut maps = Vec::new();
-    for (host, session) in
-        [("www.aptlistings.com", listings_session), ("www.rentguide.com", guide_session)]
-    {
-        let mut recorder = Recorder::with_standardizer(web.clone(), host, standardizer());
-        for action in &session {
-            recorder.apply(action).expect("designer action applies");
-        }
-        let (map, _) = recorder.finish();
-        maps.push(map.clone());
-        catalog.add_map(web.clone(), map);
-    }
-    let relations = vec![
-        LogicalRelation::new(
-            "listings",
-            Expr::relation("aptListings").project(["borough", "bedrooms", "rent", "contact"]),
-        ),
-        LogicalRelation::new(
-            "guidelines",
-            Expr::relation("rentGuide").project(["borough", "bedrooms", "fairrent"]),
-        ),
-    ];
-    let layer = LogicalLayer::new(catalog, relations);
-    let hierarchy = Hierarchy {
-        ur_name: "AptUR".into(),
-        groups: vec![
-            ChoiceGroup {
-                name: "Listings".into(),
-                alternatives: vec![Alternative::new("Listings", "listings")],
-            },
-            ChoiceGroup {
-                name: "FairRent".into(),
-                alternatives: vec![Alternative::new("FairRent", "guidelines")],
-            },
-        ],
-    };
-    (maps, layer, UrPlanner::new(hierarchy, CompatRules::default()))
 }
 
 /// Generate random binding-constrained join instances with a

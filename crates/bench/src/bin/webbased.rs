@@ -20,8 +20,14 @@
 //!
 //! ```text
 //! webbased [--port 1999] [--seed 42] [--ads 1500] [--dialup]
-//!          [--admission N] [--epoch-every N] [--journal PATH]
+//!          [--admission N] [--static-admission] [--epoch-every N]
+//!          [--journal PATH]
 //! ```
+//!
+//! With `--static-admission`, queries running under a `BUDGET n` fetch
+//! quota whose statically-derived fetch-cost lower bound already
+//! exceeds `n` are `DEFER`red before the first page fetch (the
+//! `static_denied` counter tracks these).
 //!
 //! Try it with netcat:
 //!
@@ -49,6 +55,7 @@ struct Args {
     dialup: bool,
     admission: Option<u64>,
     fair_share: bool,
+    static_admission: bool,
     epoch_every: Option<u64>,
     journal: Option<PathBuf>,
     drift_gen: Option<u64>,
@@ -62,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         dialup: false,
         admission: None,
         fair_share: true,
+        static_admission: false,
         epoch_every: None,
         journal: None,
         drift_gen: None,
@@ -75,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
             "--ads" => args.ads = value("--ads")?.parse().map_err(|e| format!("--ads: {e}"))?,
             "--dialup" => args.dialup = true,
             "--no-fair-share" => args.fair_share = false,
+            "--static-admission" => args.static_admission = true,
             "--admission" => {
                 args.admission =
                     Some(value("--admission")?.parse().map_err(|e| format!("--admission: {e}"))?);
@@ -92,8 +101,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "webbased [--port 1999] [--seed 42] [--ads 1500] [--dialup] \
-                     [--admission N] [--no-fair-share] [--epoch-every N] [--journal PATH] \
-                     [--drift-gen N]"
+                     [--admission N] [--no-fair-share] [--static-admission] \
+                     [--epoch-every N] [--journal PATH] [--drift-gen N]"
                 );
                 std::process::exit(0);
             }
@@ -161,6 +170,7 @@ fn main() -> ExitCode {
             fair_share: args.fair_share,
         }),
         journal: args.journal.clone(),
+        static_admission: args.static_admission,
         ..EngineConfig::default()
     };
     let engine = match Engine::build_on(web, data, config) {

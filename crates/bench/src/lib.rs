@@ -42,6 +42,120 @@ pub fn bench_dataset() -> Arc<Dataset> {
     Dataset::generate(BENCH_SEED, BENCH_ADS)
 }
 
+/// The apartment-domain webbase of `examples/apartment_hunting.rs`,
+/// assembled for analysis: the two rental sites are mapped by replaying
+/// the designer sessions, then wrapped in the example's logical
+/// relations and AptUR hierarchy. Together with the 13 car sites this
+/// brings the static-analysis gate (and the soundness suites) to the
+/// full 15-site webworld.
+pub fn apartment_stack(
+    seed: u64,
+) -> (
+    webbase_webworld::prelude::SyntheticWeb,
+    Vec<webbase_navigation::map::NavigationMap>,
+    webbase_logical::LogicalLayer,
+    webbase_ur::plan::UrPlanner,
+) {
+    use webbase_logical::{LogicalLayer, LogicalRelation};
+    use webbase_navigation::extractor::{CellParse, ExtractionSpec, FieldSpec};
+    use webbase_navigation::recorder::{DesignerAction, Recorder};
+    use webbase_relational::prelude::*;
+    use webbase_ur::compat::CompatRules;
+    use webbase_ur::hierarchy::{Alternative, ChoiceGroup, Hierarchy};
+    use webbase_ur::plan::UrPlanner;
+    use webbase_vps::VpsCatalog;
+    use webbase_webworld::prelude::*;
+    use webbase_webworld::sites::{AptListings, AptMarket, RentGuide};
+
+    let market = AptMarket::generate(seed, 150);
+    let web = SyntheticWeb::builder()
+        .site(AptListings::new(market))
+        .site(RentGuide::new())
+        .latency(LatencyModel::lan())
+        .build();
+    let listings_session = vec![
+        DesignerAction::Goto("http://www.aptlistings.com/".into()),
+        DesignerAction::SubmitForm {
+            action: "/cgi-bin/find".into(),
+            values: vec![("borough".into(), "brooklyn".into())],
+        },
+        DesignerAction::MarkDataPage {
+            relation: "aptListings".into(),
+            spec: ExtractionSpec::Table {
+                fields: vec![
+                    FieldSpec::new("Borough", "borough", CellParse::Text),
+                    FieldSpec::new("Bedrooms", "bedrooms", CellParse::Number),
+                    FieldSpec::new("Rent", "rent", CellParse::Number),
+                    FieldSpec::new("Contact", "contact", CellParse::Text),
+                ],
+            },
+        },
+        DesignerAction::FollowLink("More".into()),
+    ];
+    let guide_session = vec![
+        DesignerAction::Goto("http://www.rentguide.com/".into()),
+        DesignerAction::SubmitForm {
+            action: "/cgi-bin/guide".into(),
+            values: vec![("borough".into(), "queens".into()), ("beds".into(), "1".into())],
+        },
+        DesignerAction::MarkDataPage {
+            relation: "rentGuide".into(),
+            spec: ExtractionSpec::Table {
+                fields: vec![
+                    FieldSpec::new("Borough", "borough", CellParse::Text),
+                    FieldSpec::new("Bedrooms", "bedrooms", CellParse::Number),
+                    FieldSpec::new("Fair Rent", "fairrent", CellParse::Number),
+                ],
+            },
+        },
+    ];
+    let standardizer = || {
+        let mut s = webbase_relational::standardize::Standardizer::new([
+            "borough", "bedrooms", "rent", "contact", "fairrent",
+        ]);
+        s.map("beds", "bedrooms");
+        s
+    };
+    let mut catalog = VpsCatalog::new();
+    let mut maps = Vec::new();
+    for (host, session) in
+        [("www.aptlistings.com", listings_session), ("www.rentguide.com", guide_session)]
+    {
+        let mut recorder = Recorder::with_standardizer(web.clone(), host, standardizer());
+        for action in &session {
+            recorder.apply(action).expect("designer action applies");
+        }
+        let (map, _) = recorder.finish();
+        maps.push(map.clone());
+        catalog.add_map(web.clone(), map);
+    }
+    let relations = vec![
+        LogicalRelation::new(
+            "listings",
+            Expr::relation("aptListings").project(["borough", "bedrooms", "rent", "contact"]),
+        ),
+        LogicalRelation::new(
+            "guidelines",
+            Expr::relation("rentGuide").project(["borough", "bedrooms", "fairrent"]),
+        ),
+    ];
+    let layer = LogicalLayer::new(catalog, relations);
+    let hierarchy = Hierarchy {
+        ur_name: "AptUR".into(),
+        groups: vec![
+            ChoiceGroup {
+                name: "Listings".into(),
+                alternatives: vec![Alternative::new("Listings", "listings")],
+            },
+            ChoiceGroup {
+                name: "FairRent".into(),
+                alternatives: vec![Alternative::new("FairRent", "guidelines")],
+            },
+        ],
+    };
+    (web, maps, layer, UrPlanner::new(hierarchy, CompatRules::default()))
+}
+
 /// The host the drift harness mutates (NYTimes classifieds).
 pub const DRIFT_HOST: &str = "www.nytimes.com";
 

@@ -29,7 +29,7 @@
 //! deferred (the wire protocol's `DEFER`), and [`Engine::reset_epoch`]
 //! opens the next round.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -38,13 +38,14 @@ use std::time::{Duration, Instant};
 use webbase_logical::{paper_schema, LogicalLayer, LogicalRelation, Obs, QueryObservation};
 use webbase_navigation::drift::events_from_repairs;
 use webbase_navigation::map::NavigationMap;
+use webbase_navigation::map::NodeId;
 use webbase_navigation::recorder::{MapStats, Recorder};
 use webbase_navigation::sessions;
 use webbase_navigation::store::ReadSet;
 use webbase_navigation::{
     compile_map, sweep, BudgetDenial, BudgetSnapshot, BudgetTracker, CancelToken, CompiledSite,
-    DriftBus, DriftEvent, DriftKind, DriftOrigin, FetchPolicy, HostPools, PageStore, QueryBudget,
-    RepairReport, ResumeToken, SweepReport, WalRecovery, WriteAheadLog,
+    DegradationReport, DriftBus, DriftEvent, DriftKind, DriftOrigin, FetchPolicy, HostPools,
+    PageStore, QueryBudget, RepairReport, ResumeToken, SweepReport, WalRecovery, WriteAheadLog,
 };
 use webbase_obs::sync::{SafeMutex, SafeRwLock};
 use webbase_relational::eval::{AccessSpec, Evaluator};
@@ -77,6 +78,13 @@ pub struct EngineConfig {
     /// file already holds records from an earlier run, the build
     /// replays them — warm restart — before serving queries.
     pub journal: Option<PathBuf>,
+    /// Static admission: deny a budgeted query *before any fetch* when
+    /// the abstract interpreter's fetch-cost lower bound already
+    /// exceeds the budget's fetch quota. Opt-in: the lower bound
+    /// assumes a cold page store, but a warm store serves spine pages
+    /// budget-free, so the gate would wrongly deny replays that could
+    /// complete within quota.
+    pub static_admission: bool,
 }
 
 impl Default for EngineConfig {
@@ -87,6 +95,7 @@ impl Default for EngineConfig {
             per_host_connections: 4,
             admission: None,
             journal: None,
+            static_admission: false,
         }
     }
 }
@@ -324,6 +333,14 @@ pub struct EngineStats {
     /// eviction protocol makes this impossible; the consistency suites
     /// pin it at zero.
     pub stale_served: u64,
+    /// Queries denied before any fetch because the abstract
+    /// interpreter proved their fetch-cost lower bound exceeds the
+    /// budget's quota (only with `EngineConfig::static_admission`).
+    pub static_denied: u64,
+    /// Soundness tripwire: runs whose dynamic read-set escaped the
+    /// plan's static read-set (host granularity). The static set
+    /// over-approximates, so this must stay 0.
+    pub readset_escape: u64,
 }
 
 struct SiteArtifacts {
@@ -332,6 +349,10 @@ struct SiteArtifacts {
     /// Handles derived once at build time; sessions reuse them instead
     /// of re-walking the map graph per query.
     handles: Vec<Handle>,
+    /// The abstract interpreter's verdict (fetch-cost intervals and
+    /// static read-sets), computed once at build time and handed to
+    /// every session's catalog.
+    semantics: Arc<webbase_webcheck::SiteSemantics>,
 }
 
 /// Everything the engine remembers about one published result-cache
@@ -356,6 +377,12 @@ struct ViewRecord {
     /// A node/site-scoped event tainted the whole host: per-page delta
     /// provenance is unusable, refresh falls back to re-evaluation.
     pending_host_wide: bool,
+    /// Hosts the plan's static read-set covers — the abstract
+    /// interpreter's pre-seed of this ledger entry. A published view's
+    /// dynamic deps always fall inside this set (the `readset_escape`
+    /// tripwire pins that), so host-scoped drift can consult it even
+    /// when per-page provenance is missing (journal-recovered entries).
+    static_hosts: BTreeSet<String>,
 }
 
 /// The freshness ledger: which cached views depend on which pages, and
@@ -412,6 +439,41 @@ pub struct FreshnessReport {
     pub recent: Vec<DriftEvent>,
 }
 
+/// The abstract interpreter's verdict folded up to one whole plan: the
+/// static fetch-cost interval for one cold execution plus the per-host
+/// static read-set (every `(host, map node)` pair the plan can touch).
+/// Produced fetch-free by [`Engine::explain_semantics`]; the static
+/// admission gate and the `readset_escape` tripwire consume it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSemantics {
+    /// At least `cost.min` pages read on a cold store; at most
+    /// `cost.max` (⊤ when an unbounded "More" chain is reachable).
+    pub cost: webbase_webcheck::CostInterval,
+    /// Static read-set, keyed by host.
+    pub read: BTreeMap<String, BTreeSet<NodeId>>,
+}
+
+impl PlanSemantics {
+    /// The hosts the plan can read.
+    pub fn hosts(&self) -> BTreeSet<String> {
+        self.read.keys().cloned().collect()
+    }
+
+    /// Multi-line EXPLAIN section: the cost interval and the per-host
+    /// read-set.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "static cost: {}", self.cost);
+        let _ = writeln!(out, "static read set:");
+        for (host, nodes) in &self.read {
+            let nodes: Vec<String> = nodes.iter().map(std::string::ToString::to_string).collect();
+            let _ = writeln!(out, "  {host} nodes {{{}}}", nodes.join(", "));
+        }
+        out
+    }
+}
+
 /// Collect every base relation name an expression mentions.
 fn expr_rel_names(expr: &Expr, out: &mut BTreeSet<String>) {
     match expr {
@@ -419,7 +481,7 @@ fn expr_rel_names(expr: &Expr, out: &mut BTreeSet<String>) {
             out.insert(name.clone());
         }
         Expr::Select(e, _) | Expr::Project(e, _) | Expr::Rename(e, _) | Expr::Extend(e, _, _) => {
-            expr_rel_names(e, out)
+            expr_rel_names(e, out);
         }
         Expr::Join(l, r) | Expr::Union(l, r) | Expr::Diff(l, r) => {
             expr_rel_names(l, out);
@@ -455,6 +517,12 @@ struct EngineInner {
     results: AnswerMemo,
     preflight: webbase_webcheck::Report,
     report: BuildReport,
+    /// Static admission gate on/off (see `EngineConfig::static_admission`).
+    static_admission: bool,
+    /// Per-site ledger of static-admission denials — the analysis-time
+    /// analogue of the runtime budget ledger's `budget_denied` rows.
+    /// Engine-level because the denial error itself stays `Copy`.
+    static_denials: SafeMutex<DegradationReport>,
     queries: AtomicU64,
     deferred: AtomicU64,
     /// The attached write-ahead journal (None without `config.journal`).
@@ -515,11 +583,15 @@ impl Engine {
         for (host, session) in sessions::all_sessions(&data) {
             let (map, s) = Recorder::record(web.clone(), host, &session)
                 .map_err(|e| WebbaseError::Record(host.to_string(), e))?;
-            preflight.merge(webbase_webcheck::check_site(&map));
+            // The single analysis entry point: lint + program safety +
+            // the abstract interpreter, once per map per build. The
+            // derived semantics ride along in the shared artifacts.
+            let (report, semantics) = webbase_webcheck::analyze_full(&map);
+            preflight.merge(report);
             stats.push((host.to_string(), s));
             let compiled = Arc::new(compile_map(&map));
             let handles = derive_handles(&map);
-            sites.push(SiteArtifacts { map, compiled, handles });
+            sites.push(SiteArtifacts { map, compiled, handles, semantics: Arc::new(semantics) });
         }
         let store = match config.page_capacity {
             Some(cap) => PageStore::with_capacity(cap),
@@ -560,6 +632,8 @@ impl Engine {
                 results: AnswerMemo::new(),
                 preflight,
                 report: BuildReport { sites: stats },
+                static_admission: config.static_admission,
+                static_denials: SafeMutex::new(DegradationReport::default()),
                 queries: AtomicU64::new(0),
                 deferred: AtomicU64::new(0),
                 wal,
@@ -595,10 +669,17 @@ impl Engine {
         for (text, relation, deps) in &recovery.results {
             let replay = parse_query(text).ok().and_then(|base| {
                 let layer = engine.new_session();
-                engine.inner.planner.plan(&base, &layer).ok().map(|plan| (base, plan))
+                engine.inner.planner.plan(&base, &layer).ok().map(|plan| {
+                    // Re-seed the ledger's static-host stamps from the
+                    // replayed plan — the journal does not carry them.
+                    let hosts = Engine::plan_semantics(&plan, &layer)
+                        .map(|s| s.hosts())
+                        .unwrap_or_default();
+                    (base, plan, hosts)
+                })
             });
             match replay {
-                Some((base, plan)) => {
+                Some((base, plan, static_hosts)) => {
                     let entry = Arc::new((base, plan));
                     engine.inner.plans.write().insert(text.clone(), entry);
                     engine.inner.results.insert(AnswerMemo::key(text, &[]), relation.clone());
@@ -616,6 +697,7 @@ impl Engine {
                             invocations: Vec::new(),
                             pending: HashSet::new(),
                             pending_host_wide: false,
+                            static_hosts,
                         },
                     );
                     recovered_results += 1;
@@ -674,6 +756,7 @@ impl Engine {
                 site.map.clone(),
                 site.compiled.clone(),
                 &site.handles,
+                site.semantics.clone(),
                 inner.policy,
                 store.clone(),
                 pool.clone(),
@@ -854,6 +937,39 @@ impl Engine {
         };
         layer.vps.set_obs(obs.clone());
         layer.vps.set_cancel(cancel.clone());
+        // Static admission (opt-in): when the abstract interpreter
+        // proves the plan cannot complete within the budget's fetch
+        // quota, deny *before any fetch* — planning and the fold over
+        // the stored semantics are pure metadata work. Resumed runs are
+        // exempt: their journalled frontier replays budget-free, so the
+        // cold-store lower bound does not apply to them.
+        if !isolated && inner.static_admission && options.resume.is_none() {
+            if let Some(quota) = options.budget.as_ref().and_then(|b| b.max_fetches) {
+                let planned;
+                let plan_ref = match cached {
+                    Some(entry) => Some(&entry.1),
+                    None => {
+                        planned = parse_query(text)
+                            .ok()
+                            .and_then(|b| inner.planner.plan(&b, &layer).ok());
+                        planned.as_ref()
+                    }
+                };
+                if let Some(semantics) = plan_ref.and_then(|p| Self::plan_semantics(p, &layer)) {
+                    if semantics.cost.min > quota {
+                        inner.drift_metrics.inc(Metric::StaticDenied);
+                        let mut denials = inner.static_denials.lock();
+                        for host in semantics.hosts() {
+                            denials.site_mut(&host).static_denied += 1;
+                        }
+                        return Err(EngineError::Deferred(BudgetDenial::StaticCostExceeded {
+                            needed: semantics.cost.min,
+                            quota,
+                        }));
+                    }
+                }
+            }
+        }
         // Plan before executing so the cache is populated as soon as
         // the plan exists — not after the first execution finishes.
         // Under a concurrent cold start every same-text query would
@@ -907,6 +1023,19 @@ impl Engine {
             }
         };
         let (relation, plan) = out?;
+        // Soundness tripwire: every page this run read must fall inside
+        // the plan's static read-set (host granularity — the static set
+        // over-approximates, so an escape is an analysis bug, not
+        // drift). Memo-replayed deps come from the same relations, so
+        // they are covered too.
+        if let Some(reads) = &reads {
+            if let Some(semantics) = Self::plan_semantics(&plan, &layer) {
+                let hosts = semantics.hosts();
+                if reads.all().iter().any(|r| !hosts.contains(&r.url.host)) {
+                    inner.drift_metrics.inc(Metric::ReadsetEscape);
+                }
+            }
+        }
         // Self-healing quarantined a node during this execution: the
         // site structurally drifted and awaits manual intervention, so
         // cached answers depending on it must not stay serveable. The
@@ -958,6 +1087,11 @@ impl Engine {
             let stale = record.deps.iter().any(|r| {
                 ledger.page_drift.get(r).copied().unwrap_or(0) > record.epoch
                     || ledger.host_drift.get(&r.url.host).copied().unwrap_or(0) > record.epoch
+            }) || record.static_hosts.iter().any(|h| {
+                // The static pre-seed backstops missing page provenance:
+                // host-wide drift on any host the plan *can* read makes
+                // the entry suspect even without a recorded dep there.
+                ledger.host_drift.get(h).copied().unwrap_or(0) > record.epoch
             });
             if stale {
                 inner.drift_metrics.inc(Metric::StaleServed);
@@ -967,21 +1101,12 @@ impl Engine {
         Some(relation)
     }
 
-    /// Enter a freshly published result into the freshness ledger (and
-    /// the journal) with everything a later drift event needs: its page
-    /// deps, its per-object values, and which VPS relations each object
-    /// reads.
-    fn record_view(
-        &self,
-        text: &str,
-        relation: &Relation,
-        plan: &UrPlan,
-        layer: &LogicalLayer,
-        deps: Vec<Request>,
-    ) {
-        let inner = &self.inner;
-        let object_rels: Vec<BTreeSet<String>> = plan
-            .objects
+    /// The VPS relations each plan object reads, resolved through the
+    /// layer's logical definitions (an object can also name a VPS
+    /// relation directly). Shared by the freshness ledger's provenance
+    /// and the abstract interpreter's plan-level fold.
+    fn plan_vps_rels(plan: &UrPlan, layer: &LogicalLayer) -> Vec<BTreeSet<String>> {
+        plan.objects
             .iter()
             .map(|o| {
                 let mut logical = BTreeSet::new();
@@ -998,7 +1123,49 @@ impl Engine {
                 }
                 vps
             })
-            .collect();
+            .collect()
+    }
+
+    /// Fold the per-relation semantics up to one whole plan. The lower
+    /// bound unions navigation-spine nodes per host — relations that
+    /// share a spine prefix (every site's relations share at least the
+    /// entry page) are not double-counted, so the bound stays sound.
+    /// The upper bound sums every (object, relation) occurrence: each
+    /// invocation can spend up to its own max. `None` when a relation
+    /// lacks stored semantics — nothing sound to gate against.
+    fn plan_semantics(plan: &UrPlan, layer: &LogicalLayer) -> Option<PlanSemantics> {
+        let mut spines: BTreeMap<String, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut read: BTreeMap<String, BTreeSet<NodeId>> = BTreeMap::new();
+        let mut max = webbase_webcheck::Bound::Finite(0);
+        for rels in Self::plan_vps_rels(plan, layer) {
+            for name in &rels {
+                let site = layer.vps.relation_site(name)?;
+                let sem = site.relation(name)?;
+                let host = site.host.clone();
+                spines.entry(host.clone()).or_default().extend(sem.spine_nodes.iter().copied());
+                read.entry(host).or_default().extend(sem.read_nodes.iter().copied());
+                max = max.join_add(sem.cost.max);
+            }
+        }
+        let min = spines.values().map(|s| s.len() as u64).sum();
+        Some(PlanSemantics { cost: webbase_webcheck::CostInterval { min, max }, read })
+    }
+
+    /// Enter a freshly published result into the freshness ledger (and
+    /// the journal) with everything a later drift event needs: its page
+    /// deps, its per-object values, which VPS relations each object
+    /// reads, and the plan's static host set.
+    fn record_view(
+        &self,
+        text: &str,
+        relation: &Relation,
+        plan: &UrPlan,
+        layer: &LogicalLayer,
+        deps: Vec<Request>,
+    ) {
+        let inner = &self.inner;
+        let object_rels = Self::plan_vps_rels(plan, layer);
+        let static_hosts = Self::plan_semantics(plan, layer).map(|s| s.hosts()).unwrap_or_default();
         let invocations: Vec<(MemoKey, Vec<Request>)> =
             layer.vps.invocation_log().iter().map(|(k, _, d)| (k.clone(), d.clone())).collect();
         if let Some(wal) = &inner.wal {
@@ -1019,6 +1186,7 @@ impl Engine {
                 invocations,
                 pending: HashSet::new(),
                 pending_host_wide: false,
+                static_hosts,
             },
         );
     }
@@ -1062,7 +1230,12 @@ impl Engine {
                 if page_scoped {
                     rec.deps.iter().any(|d| event.requests.contains(d))
                 } else {
+                    // Host-scoped: the recorded deps decide, backstopped
+                    // by the statically pre-seeded host stamps (they
+                    // cover entries whose page provenance is partial —
+                    // journal-recovered views, for one).
                     rec.deps.iter().any(|d| d.url.host == event.host)
+                        || rec.static_hosts.contains(&event.host)
                 }
             })
             .map(|(text, _)| text.clone())
@@ -1371,9 +1544,28 @@ impl Engine {
 
     /// Plan without executing (no admission charge, no fetches).
     pub fn explain(&self, text: &str) -> Result<UrPlan, EngineError> {
+        Ok(self.explain_semantics(text)?.0)
+    }
+
+    /// [`Engine::explain`] plus the abstract interpreter's plan-level
+    /// verdict (`None` only if a plan relation lacks stored semantics,
+    /// which loaded maps never do). Still fetch-free.
+    pub fn explain_semantics(
+        &self,
+        text: &str,
+    ) -> Result<(UrPlan, Option<PlanSemantics>), EngineError> {
         let q = parse_query(text).map_err(EngineError::Query)?;
         let layer = self.new_session();
-        self.inner.planner.plan(&q, &layer).map_err(EngineError::Plan)
+        let plan = self.inner.planner.plan(&q, &layer).map_err(EngineError::Plan)?;
+        let semantics = Self::plan_semantics(&plan, &layer);
+        Ok((plan, semantics))
+    }
+
+    /// Per-site static-admission denials (the analysis-time analogue of
+    /// the runtime budget ledger's `budget_denied` rows). Empty unless
+    /// `EngineConfig::static_admission` denied something.
+    pub fn static_denials(&self) -> DegradationReport {
+        self.inner.static_denials.lock().clone()
     }
 
     /// Open a new admission epoch (no-op without admission control).
@@ -1418,6 +1610,8 @@ impl Engine {
             delta_refresh: inner.drift_metrics.get(Metric::DeltaRefresh),
             cold_refresh: inner.drift_metrics.get(Metric::ColdRefresh),
             stale_served: inner.drift_metrics.get(Metric::StaleServed),
+            static_denied: inner.drift_metrics.get(Metric::StaticDenied),
+            readset_escape: inner.drift_metrics.get(Metric::ReadsetEscape),
         }
     }
 
@@ -1616,6 +1810,83 @@ mod tests {
         );
         assert!(out2.plan.resume.is_none(), "store hits are budget-free on the warm walk");
         assert_eq!(out2.relation, full.relation, "the warm budgeted walk re-derives the answer");
+    }
+
+    #[test]
+    fn static_admission_denies_before_any_fetch() {
+        let config = EngineConfig { static_admission: true, ..EngineConfig::default() };
+        let data = Dataset::generate(5, 400);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let engine = Engine::build_on(web, data, config).expect("builds");
+        let before = engine.web().total_stats().requests;
+        let err = engine.query(
+            "tight",
+            FORD,
+            QueryOptions::budgeted(QueryBudget::unlimited().with_fetch_quota(2)),
+        );
+        match err {
+            Err(EngineError::Deferred(BudgetDenial::StaticCostExceeded { needed, quota })) => {
+                assert!(needed > quota, "the denial carries its proof: {needed} > {quota}");
+                assert_eq!(quota, 2);
+            }
+            other => panic!("expected a static denial, got {other:?}"),
+        }
+        assert_eq!(
+            engine.web().total_stats().requests,
+            before,
+            "a static denial must precede any fetch"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.static_denied, 1, "{stats:?}");
+        assert_eq!(stats.queries, 0, "a denied query never counts as served");
+        let denials = engine.static_denials();
+        assert!(denials.sites.values().any(|d| d.static_denied > 0), "{denials:?}");
+        // A quota above the lower bound passes the gate; whether the
+        // run then completes or goes partial is the runtime budget
+        // layer's business, not the gate's.
+        engine
+            .query(
+                "roomy",
+                FORD,
+                QueryOptions::budgeted(QueryBudget::unlimited().with_fetch_quota(500)),
+            )
+            .expect("a feasible budget is admitted");
+        assert_eq!(engine.stats().static_denied, 1, "the feasible run was not denied");
+    }
+
+    #[test]
+    fn static_gate_is_off_by_default_and_the_tripwire_stays_zero() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        // Default config: the same infeasible quota yields a budgeted
+        // partial with a resume token, exactly as before the gate.
+        let out = engine
+            .query(
+                "tight",
+                FORD,
+                QueryOptions::budgeted(QueryBudget::unlimited().with_fetch_quota(2)),
+            )
+            .expect("gate off: budgeted queries stay partial");
+        assert!(out.plan.resume.is_some());
+        engine.query("t", JAGUAR, QueryOptions::default()).expect("full run");
+        let stats = engine.stats();
+        assert_eq!(stats.static_denied, 0, "{stats:?}");
+        assert_eq!(stats.readset_escape, 0, "dynamic reads escaped the static read-set");
+    }
+
+    #[test]
+    fn explain_semantics_reports_cost_interval_and_read_set() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let (plan, semantics) = engine.explain_semantics(JAGUAR).expect("plans");
+        let semantics = semantics.expect("every loaded relation carries semantics");
+        assert!(!plan.objects.is_empty());
+        assert!(semantics.cost.min >= 1, "at least the entry fetch: {:?}", semantics.cost);
+        assert!(!semantics.read.is_empty());
+        let rendered = semantics.render();
+        assert!(rendered.contains("static cost: ["), "{rendered}");
+        assert!(rendered.contains("static read set:"), "{rendered}");
+        for host in semantics.hosts() {
+            assert!(rendered.contains(&host), "render names every host: {rendered}");
+        }
     }
 
     #[test]

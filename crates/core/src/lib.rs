@@ -37,7 +37,7 @@ pub mod webbase;
 
 pub use crate::engine::{
     AdmissionConfig, Engine, EngineConfig, EngineError, EngineStats, FreshnessReport, Lifecycle,
-    QueryFailure, QueryOptions, QueryOutcome, RefreshReport,
+    PlanSemantics, QueryFailure, QueryOptions, QueryOutcome, RefreshReport,
 };
 pub use crate::server::{serve_channel, serve_connection, ServerConfig, SessionEnd, MAX_LINE};
 pub use crate::webbase::{check_stack, BuildReport, Webbase, WebbaseError};

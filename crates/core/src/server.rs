@@ -328,11 +328,18 @@ fn handle_line<W: Write>(
             }
             writeln!(writer, "END")?;
         }
-        "EXPLAIN" => match engine.explain(rest) {
-            Ok(plan) => {
+        "EXPLAIN" => match engine.explain_semantics(rest) {
+            Ok((plan, semantics)) => {
                 writeln!(writer, "OK plan")?;
                 for l in plan.render().lines() {
                     writeln!(writer, "{l}")?;
+                }
+                // The abstract interpreter's verdict: the static
+                // fetch-cost interval and the per-host read-set.
+                if let Some(semantics) = semantics {
+                    for l in semantics.render().lines() {
+                        writeln!(writer, "{l}")?;
+                    }
                 }
                 writeln!(writer, "END")?;
             }
@@ -377,6 +384,8 @@ fn handle_line<W: Write>(
             writeln!(writer, "delta_refresh\t{}", s.delta_refresh)?;
             writeln!(writer, "cold_refresh\t{}", s.cold_refresh)?;
             writeln!(writer, "stale_served\t{}", s.stale_served)?;
+            writeln!(writer, "static_denied\t{}", s.static_denied)?;
+            writeln!(writer, "readset_escape\t{}", s.readset_escape)?;
             writeln!(writer, "END")?;
         }
         _ => writeln!(writer, "ERR 404 unknown command {verb}")?,
@@ -472,6 +481,19 @@ mod tests {
         assert!(reply.contains("panics\t0"), "{reply}");
         assert!(reply.contains("web_requests\t"), "{reply}");
         assert!(reply.contains("OK bye"), "{reply}");
+    }
+
+    #[test]
+    fn explain_includes_the_static_analysis_section() {
+        let engine = Engine::build_demo(5, 400, LatencyModel::lan());
+        let reply = drive(&engine, "EXPLAIN UsedCarUR(make='ford', price)\nSTATS\nQUIT\n");
+        assert!(reply.contains("OK plan"), "{reply}");
+        assert!(reply.contains("static cost: ["), "{reply}");
+        assert!(reply.contains("static read set:"), "{reply}");
+        assert!(reply.contains(" nodes {"), "{reply}");
+        // EXPLAIN is fetch-free and never trips the tripwires.
+        assert!(reply.contains("static_denied\t0"), "{reply}");
+        assert!(reply.contains("readset_escape\t0"), "{reply}");
     }
 
     #[test]

@@ -95,6 +95,15 @@ pub enum BudgetDenial {
     /// remaining navigation checkpoints to a resume token like any
     /// other exhaustion.
     Cancelled,
+    /// Static analysis proved the plan's least possible fetch count
+    /// already exceeds the remaining quota, so the query was denied
+    /// before any fetch was attempted.
+    StaticCostExceeded {
+        /// The plan's static lower bound on page fetches.
+        needed: u64,
+        /// The fetch quota that bound exceeds.
+        quota: u64,
+    },
 }
 
 impl fmt::Display for BudgetDenial {
@@ -107,6 +116,9 @@ impl fmt::Display for BudgetDenial {
                 write!(f, "fetch deferred: quota reserved for unserved sites")
             }
             BudgetDenial::Cancelled => write!(f, "query cancelled"),
+            BudgetDenial::StaticCostExceeded { needed, quota } => {
+                write!(f, "static cost lower bound {needed} exceeds fetch quota {quota}")
+            }
         }
     }
 }

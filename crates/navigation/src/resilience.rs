@@ -184,6 +184,10 @@ pub struct SiteDegradation {
     /// fair-share admission) — the itemised shortfall of a partial
     /// result.
     pub budget_denied: u64,
+    /// Invocations this site never even attempted because static
+    /// analysis proved the plan's fetch-cost lower bound exceeds the
+    /// remaining quota — a denial decided before any network traffic.
+    pub static_denied: u64,
     /// Checkpoints at which a cooperative cancellation (client
     /// disconnect or server shutdown) abandoned navigation on this
     /// site.
@@ -199,6 +203,7 @@ impl SiteDegradation {
             || self.timeouts > 0
             || self.fast_failures > 0
             || self.budget_denied > 0
+            || self.static_denied > 0
             || self.cancelled > 0
     }
 
@@ -211,6 +216,7 @@ impl SiteDegradation {
         self.breaker_trips += other.breaker_trips;
         self.branches_abandoned += other.branches_abandoned;
         self.budget_denied += other.budget_denied;
+        self.static_denied += other.static_denied;
         self.cancelled += other.cancelled;
         self.breaker_open |= other.breaker_open;
     }
@@ -227,6 +233,7 @@ impl SiteDegradation {
             breaker_trips: self.breaker_trips.saturating_sub(base.breaker_trips),
             branches_abandoned: self.branches_abandoned.saturating_sub(base.branches_abandoned),
             budget_denied: self.budget_denied.saturating_sub(base.budget_denied),
+            static_denied: self.static_denied.saturating_sub(base.static_denied),
             cancelled: self.cancelled.saturating_sub(base.cancelled),
             breaker_open: self.breaker_open,
         }
@@ -295,7 +302,7 @@ impl DegradationReport {
             out.push_str(&format!(
                 "  {host:<24} {:>4} requests  {:>3} retries  {:>3} failures \
                  ({:>2} timeouts)  {:>3} fast-failed  {:>2} branches dropped  \
-                 {:>2} budget-denied  {:>2} cancelled  circuit {}\n",
+                 {:>2} budget-denied  {:>2} static-denied  {:>2} cancelled  circuit {}\n",
                 d.requests,
                 d.retries,
                 d.failures,
@@ -303,6 +310,7 @@ impl DegradationReport {
                 d.fast_failures,
                 d.branches_abandoned,
                 d.budget_denied,
+                d.static_denied,
                 d.cancelled,
                 if d.breaker_open { "OPEN" } else { "closed" },
             ));

@@ -65,10 +65,16 @@ pub enum Metric {
     /// Answers served from a cache entry *after* drift had invalidated
     /// it — the freshness contract's tripwire; must stay 0.
     StaleServed,
+    /// Queries denied before any fetch because static analysis proved
+    /// the plan's fetch-cost lower bound exceeds the remaining quota.
+    StaticDenied,
+    /// Runtime page reads that escaped the plan's static read-set —
+    /// the abstract interpreter's soundness tripwire; must stay 0.
+    ReadsetEscape,
 }
 
 /// All metrics, in declaration order (= atomic array order).
-pub const METRICS: [Metric; 22] = [
+pub const METRICS: [Metric; 24] = [
     Metric::Fetches,
     Metric::CacheHits,
     Metric::Retries,
@@ -91,6 +97,8 @@ pub const METRICS: [Metric; 22] = [
     Metric::DeltaRefresh,
     Metric::ColdRefresh,
     Metric::StaleServed,
+    Metric::StaticDenied,
+    Metric::ReadsetEscape,
 ];
 
 impl Metric {
@@ -119,6 +127,8 @@ impl Metric {
             Metric::DeltaRefresh => "delta_refresh",
             Metric::ColdRefresh => "cold_refresh",
             Metric::StaleServed => "stale_served",
+            Metric::StaticDenied => "static_denied",
+            Metric::ReadsetEscape => "readset_escape",
         }
     }
 

@@ -74,6 +74,10 @@ pub struct VpsCatalog {
     /// at [`VpsCatalog::add_map`] time — quarantine/healing reports can
     /// cite the load-time diagnostic alongside the runtime repair.
     preflight: webbase_webcheck::Report,
+    /// Per-site semantic analysis (fetch-cost intervals and static
+    /// read-sets), keyed by host. Every map-ingestion path stores one —
+    /// a loaded map without semantics cannot exist.
+    semantics: HashMap<String, Arc<webbase_webcheck::SiteSemantics>>,
     /// Observability handle shared with every navigator (and through
     /// them, every browser). Disabled by default.
     obs: Obs,
@@ -108,6 +112,7 @@ impl VpsCatalog {
             budget: None,
             positions: Vec::new(),
             preflight: webbase_webcheck::Report::new(),
+            semantics: HashMap::new(),
             obs: Obs::none(),
             memo: None,
             reads: None,
@@ -117,25 +122,33 @@ impl VpsCatalog {
 
     /// Add every relation of a recorded map, compiling it for `web`.
     ///
-    /// The map is statically analyzed first (webcheck passes 1–2); the
-    /// findings accumulate in [`VpsCatalog::preflight`]. Loading itself
-    /// is not refused here — deployment paths that must reject E-level
-    /// maps (e.g. `Webbase::build_from_fact_maps`) consult the report
-    /// before calling in.
+    /// The map goes through the full static analysis
+    /// ([`webbase_webcheck::analyze_full`]: map lint, program safety,
+    /// and semantic abstract interpretation); the findings accumulate
+    /// in [`VpsCatalog::preflight`] and the derived semantics are kept
+    /// per site. Loading itself is not refused here — deployment paths
+    /// that must reject E-level maps (e.g.
+    /// `Webbase::build_from_fact_maps`) consult the report before
+    /// calling in.
     pub fn add_map(&mut self, web: SyntheticWeb, map: NavigationMap) {
-        self.preflight.merge(webbase_webcheck::check_site(&map));
+        let (report, semantics) = webbase_webcheck::analyze_full(&map);
+        self.preflight.merge(report);
+        self.semantics.insert(map.site.clone(), Arc::new(semantics));
         let navigator = Arc::new(SiteNavigator::new(web, map));
         let handles = derive_handles(&navigator.map);
         self.register(navigator, &handles);
     }
 
     /// Add a map around *already-compiled* artifacts, pre-derived
-    /// handles, and a shared page store — the multi-query engine's
-    /// per-session path. No pre-flight analysis and no handle
-    /// derivation here: the engine vets and derives each map once at
-    /// build time, not once per query. The navigator session is private
-    /// to this catalog; only the compiled program, the handles, and the
-    /// page store are shared.
+    /// handles, the build-time semantic analysis, and a shared page
+    /// store — the multi-query engine's per-session path. No fresh
+    /// analysis and no handle derivation here: the engine runs
+    /// `analyze_full` and derives each map once at build time, not once
+    /// per query, and hands the results in (so even this fast path
+    /// cannot register a map that skipped the semantic passes). The
+    /// navigator session is private to this catalog; only the compiled
+    /// program, the handles, the semantics, and the page store are
+    /// shared.
     #[allow(clippy::too_many_arguments)]
     pub fn add_map_compiled(
         &mut self,
@@ -143,10 +156,12 @@ impl VpsCatalog {
         map: NavigationMap,
         compiled: Arc<CompiledSite>,
         handles: &[Handle],
+        semantics: Arc<webbase_webcheck::SiteSemantics>,
         policy: FetchPolicy,
         store: PageStore,
         pool: Option<Arc<HostPools>>,
     ) {
+        self.semantics.insert(map.site.clone(), semantics);
         let navigator = Arc::new(SiteNavigator::from_compiled(web, map, compiled, policy, store));
         if let Some(pool) = pool {
             navigator.set_pool(pool);
@@ -183,6 +198,28 @@ impl VpsCatalog {
     /// site's quarantine/healing entries.
     pub fn preflight_for(&self, site: &str) -> Vec<&webbase_webcheck::Diagnostic> {
         self.preflight.for_site(site)
+    }
+
+    /// The semantic analysis of one loaded site (fetch-cost intervals
+    /// and static read-sets), by host.
+    pub fn semantics_for(&self, host: &str) -> Option<&Arc<webbase_webcheck::SiteSemantics>> {
+        self.semantics.get(host)
+    }
+
+    /// The whole-site semantics of the site owning `relation` (the
+    /// host lives on the [`webbase_webcheck::SiteSemantics`]).
+    pub fn relation_site(&self, relation: &str) -> Option<&Arc<webbase_webcheck::SiteSemantics>> {
+        let e = self.entries.get(relation)?;
+        self.semantics.get(&e.navigator.map.site)
+    }
+
+    /// The semantic analysis of the site owning `relation`.
+    pub fn relation_semantics(
+        &self,
+        relation: &str,
+    ) -> Option<&webbase_webcheck::semantic::RelationSemantics> {
+        let e = self.entries.get(relation)?;
+        self.semantics.get(&e.navigator.map.site)?.relation(relation)
     }
 
     /// Relation names in registration order.
@@ -642,6 +679,17 @@ mod tests {
         assert!(t1.contains("newsday(make, model, year, price, contact, url)"), "{t1}");
         let t3 = cat.render_table3();
         assert!(t3.contains("kellys: {condition, make, model, pricetype} | {year}"), "{t3}");
+    }
+
+    #[test]
+    fn every_loaded_map_carries_semantics() {
+        let (cat, _) = catalog();
+        let rels: Vec<String> = cat.relations().map(str::to_string).collect();
+        for name in rels {
+            let sem = cat.relation_semantics(&name).expect("semantics stored at load");
+            assert!(sem.cost.min >= 1, "{name}: at least the entry fetch");
+            assert!(!sem.read_nodes.is_empty(), "{name}: non-empty static read-set");
+        }
     }
 
     #[test]

@@ -26,18 +26,24 @@ impl fmt::Display for Severity {
     }
 }
 
-/// A stable diagnostic code: id, severity, and a one-line title.
+/// A stable diagnostic code: id, severity, owning pass, and a one-line
+/// title. The registry below is the *single* source of truth — the
+/// README diagnostic table is generated from it by
+/// [`render_code_table`], so codes cannot drift from docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Code {
     pub id: &'static str,
     pub severity: Severity,
+    /// The analysis pass that emits this code (`map`, `program`,
+    /// `cross`, or `semantic`) — the README table's middle column.
+    pub pass: &'static str,
     pub title: &'static str,
 }
 
 macro_rules! codes {
-    ($($name:ident = ($id:literal, $sev:ident, $title:literal);)*) => {
+    ($($name:ident = ($id:literal, $sev:ident, $pass:literal, $title:literal);)*) => {
         $(pub const $name: Code =
-            Code { id: $id, severity: Severity::$sev, title: $title };)*
+            Code { id: $id, severity: Severity::$sev, pass: $pass, title: $title };)*
         /// Every registered code, for the README reference table.
         pub const ALL_CODES: &[Code] = &[$($name),*];
     };
@@ -45,28 +51,60 @@ macro_rules! codes {
 
 codes! {
     // ── Pass 1: map linting ─────────────────────────────────────────
-    UNREACHABLE_NODE = ("W001", Warning, "node unreachable from the entry page");
-    DUPLICATE_EDGE = ("W002", Warning, "duplicate edge (identical action and target)");
-    AMBIGUOUS_EDGE = ("W003", Warning, "ambiguous edges (identical action and exemplar, different targets)");
-    MORE_NO_PROGRESS = ("W004", Warning, "More-style self-loop with no progress guarantee");
-    EDGE_NOT_CATALOGUED = ("W005", Warning, "edge action missing from the source node's catalogue");
-    UNREACHABLE_DATA_NODE = ("E101", Error, "registered relation's data node unreachable from the entry");
-    RELATION_NOT_DATA = ("E102", Error, "relation registered on a node with no extraction script");
-    MANDATORY_UNCOVERED = ("E103", Error, "form edge does not cover the site's inferred-mandatory fields");
-    NO_VIABLE_HANDLE = ("E104", Error, "relation has no viable handle (no invocation can ever succeed)");
+    UNREACHABLE_NODE = ("W001", Warning, "map", "node unreachable from the entry page");
+    DUPLICATE_EDGE = ("W002", Warning, "map", "duplicate edge (identical action and target)");
+    AMBIGUOUS_EDGE = ("W003", Warning, "map", "ambiguous edges (identical action and exemplar, different targets)");
+    MORE_NO_PROGRESS = ("W004", Warning, "map", "More-style self-loop with no progress guarantee");
+    EDGE_NOT_CATALOGUED = ("W005", Warning, "map", "edge action missing from the source node's catalogue");
+    UNREACHABLE_DATA_NODE = ("E101", Error, "map", "registered relation's data node unreachable from the entry");
+    RELATION_NOT_DATA = ("E102", Error, "map", "relation registered on a node with no extraction script");
+    MANDATORY_UNCOVERED = ("E103", Error, "map", "form edge does not cover the site's inferred-mandatory fields");
+    NO_VIABLE_HANDLE = ("E104", Error, "map", "relation has no viable handle (no invocation can ever succeed)");
     // ── Pass 2: program safety ──────────────────────────────────────
-    RANGE_RESTRICTION = ("E111", Error, "head variable never bound in the rule body");
-    UNDEFINED_PREDICATE = ("E112", Error, "call to a predicate that is neither defined nor a builtin");
-    UNUSED_RULE = ("W011", Warning, "rule unreachable from any exported relation");
-    SIGNATURE_VIOLATION = ("E113", Error, "attribute used against its signature arrow (=> vs =>>)");
-    UNKNOWN_CLASS = ("E114", Error, "membership query against an undeclared class");
-    UNKNOWN_ATTRIBUTE = ("W012", Warning, "attribute not declared for the object's class");
+    RANGE_RESTRICTION = ("E111", Error, "program", "head variable never bound in the rule body");
+    UNDEFINED_PREDICATE = ("E112", Error, "program", "call to a predicate that is neither defined nor a builtin");
+    UNUSED_RULE = ("W011", Warning, "program", "rule unreachable from any exported relation");
+    SIGNATURE_VIOLATION = ("E113", Error, "program", "attribute used against its signature arrow (=> vs =>>)");
+    UNKNOWN_CLASS = ("E114", Error, "program", "membership query against an undeclared class");
+    UNKNOWN_ATTRIBUTE = ("W012", Warning, "program", "attribute not declared for the object's class");
     // ── Pass 3: cross-layer conformance ─────────────────────────────
-    UNKNOWN_VPS_SOURCE = ("E121", Error, "logical definition references a relation missing from the VPS catalog");
-    UNMAPPED_ATTRIBUTE = ("E122", Error, "logical schema attribute maps to no VPS catalog source");
-    UNSATISFIABLE_BINDING = ("E123", Error, "handle binding pattern cannot be satisfied through the schema");
-    VACUOUS_COMPAT_RULE = ("W021", Warning, "compatibility rule references no known concept (never fires)");
-    CONTRADICTORY_COMPAT_RULES = ("E124", Error, "compatibility rules contradict each other");
+    UNKNOWN_VPS_SOURCE = ("E121", Error, "cross", "logical definition references a relation missing from the VPS catalog");
+    UNMAPPED_ATTRIBUTE = ("E122", Error, "cross", "logical schema attribute maps to no VPS catalog source");
+    UNSATISFIABLE_BINDING = ("E123", Error, "cross", "handle binding pattern cannot be satisfied through the schema");
+    VACUOUS_COMPAT_RULE = ("W021", Warning, "cross", "compatibility rule references no known concept (never fires)");
+    CONTRADICTORY_COMPAT_RULES = ("E124", Error, "cross", "compatibility rules contradict each other");
+    // ── Pass 4: semantic (abstract interpretation) ──────────────────
+    CYCLE_NO_PROGRESS = ("W031", Warning, "semantic", "multi-node cycle on a data path without progress evidence");
+    SESSION_REPLAY_HAZARD = ("W033", Warning, "semantic", "session-like hidden field replayed across chained forms (expiry-replay hazard)");
+    NONPRODUCTIVE_CYCLE = ("E131", Error, "semantic", "entry-reachable cycle from which no data node is reachable (cannot terminate productively)");
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The README `Diagnostic codes (webcheck)` table body, generated from
+/// [`ALL_CODES`] so the docs cannot drift from the registry. Rows are
+/// in registry (pass, then code) order.
+pub fn render_code_table() -> String {
+    let mut out = String::from("| Code | Pass | Meaning |\n|------|------|---------|\n");
+    for c in ALL_CODES {
+        out.push_str(&format!("| `{}` | {} | {} |\n", c.id, c.pass, c.title));
+    }
+    out
 }
 
 /// One finding: a code anchored at a source location.
@@ -180,6 +218,26 @@ impl Report {
         ));
         out
     }
+
+    /// Machine-readable report: one JSON object per finding, one per
+    /// line (JSON-lines), errors first — the `repro --check-json`
+    /// output CI consumes. An empty report renders as an empty string.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for d in self.errors().chain(self.warnings()) {
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"pass\":\"{}\",\"site\":\"{}\",\
+                 \"location\":\"{}\",\"message\":\"{}\"}}\n",
+                d.code.id,
+                d.severity(),
+                d.code.pass,
+                json_escape(&d.site),
+                json_escape(&d.location),
+                json_escape(&d.message)
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +281,44 @@ mod tests {
         let r = Report::new();
         assert!(r.is_clean() && !r.has_errors());
         assert_eq!(r.render(), "webcheck: no findings\n");
+        assert_eq!(r.render_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_escapes_and_orders_errors_first() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(UNREACHABLE_NODE, "a.com", "node \"3\"", "tab\there"));
+        r.push(Diagnostic::new(RANGE_RESTRICTION, "a.com", "rule p/2 #0", "V1 unbound"));
+        let jsonl = r.render_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"code\":\"E111\""), "errors first: {jsonl}");
+        assert!(lines[1].contains("\"location\":\"node \\\"3\\\"\""), "{jsonl}");
+        assert!(lines[1].contains("\"message\":\"tab\\there\""), "{jsonl}");
+        assert!(lines[1].contains("\"pass\":\"map\""), "{jsonl}");
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn code_table_covers_every_registered_code() {
+        let table = render_code_table();
+        for c in ALL_CODES {
+            assert!(table.contains(&format!("| `{}` | {} | {} |", c.id, c.pass, c.title)));
+        }
+        assert_eq!(table.lines().count(), 2 + ALL_CODES.len());
+    }
+
+    #[test]
+    fn passes_are_known() {
+        for c in ALL_CODES {
+            assert!(
+                matches!(c.pass, "map" | "program" | "cross" | "semantic"),
+                "{} has unknown pass {}",
+                c.id,
+                c.pass
+            );
+        }
     }
 }

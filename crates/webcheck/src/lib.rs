@@ -25,31 +25,44 @@ pub mod cross;
 pub mod diag;
 pub mod map_lint;
 pub mod program;
+pub mod semantic;
 pub mod signatures;
 
 pub use cross::{
     check_cross_layer, CompatRuleSpec, CrossLayerInput, HandleSpec, LogicalSpec, VpsRelSpec,
     CROSS_LAYER,
 };
-pub use diag::{Code, Diagnostic, Report, Severity};
+pub use diag::{render_code_table, Code, Diagnostic, Report, Severity};
 pub use map_lint::check_map;
 pub use program::{check_compiled, check_program, ORACLE_BUILTINS};
+pub use semantic::{check_semantics, site_semantics, Bound, CostInterval, SiteSemantics};
 pub use signatures::{navigation_index, navigation_signatures};
 
 use webbase_navigation::compile::compile_map;
 use webbase_navigation::map::NavigationMap;
 
-/// Run passes 1 and 2 over one site's map: lint the map, and — when the
-/// lint finds no errors — compile it and check the resulting program.
-/// (Compilation assumes a map lint-clean enough to compile; an E-level
-/// map finding short-circuits pass 2.)
-pub fn check_site(map: &NavigationMap) -> Report {
+/// The complete per-site analysis: passes 1 (map lint), 2 (program
+/// safety), and 4 (semantic/abstract interpretation), plus the derived
+/// [`SiteSemantics`] the runtime consumes. This is the **single**
+/// map-ingestion entry point — every path that loads a map (catalog
+/// `add_map`, engine build, hot reload) goes through it, so no loaded
+/// map can skip a pass.
+pub fn analyze_full(map: &NavigationMap) -> (Report, SiteSemantics) {
     let mut report = map_lint::check_map(map);
     if !report.has_errors() {
         let compiled = compile_map(map);
         report.merge(program::check_compiled(&map.site, &compiled));
     }
-    report
+    report.merge(semantic::check_semantics(map));
+    (report, semantic::site_semantics(map))
+}
+
+/// Run all analysis passes over one site's map, discarding the derived
+/// semantics (callers that also want them use [`analyze_full`]).
+/// An E-level map finding short-circuits pass 2, which assumes a map
+/// lint-clean enough to compile.
+pub fn check_site(map: &NavigationMap) -> Report {
+    analyze_full(map).0
 }
 
 #[cfg(test)]

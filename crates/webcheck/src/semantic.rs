@@ -1,0 +1,599 @@
+//! Pass 4: semantic analysis by abstract interpretation.
+//!
+//! The compiled navigation program is a guarded walk over the map's
+//! state graph (Figures 3/4), so every question about what an execution
+//! *can* do is a reachability or path question over that graph. This
+//! pass abstractly interprets the graph once, fetch-free, and produces
+//! three artefacts per registered relation:
+//!
+//! 1. **Fetch-cost intervals** ([`CostInterval`]) — the least and
+//!    greatest number of page fetches one invocation can spend. The
+//!    lower bound walks the BFS navigation spine (the exact path the
+//!    compiler emits); the upper bound sums each spine action's
+//!    [`fetch_bound`] and widens to [`Bound::Top`] as soon as a cycle
+//!    (a "More" self-loop, typically) lies inside the relation's
+//!    reachable region — unbounded pagination has no static bound.
+//! 2. **Static read-sets** — the set of map nodes (and hence `(host,
+//!    node)` pairs) an invocation can possibly touch: the spine plus
+//!    everything forward-reachable from the data node. The engine
+//!    pre-seeds its freshness ledger from this set and cross-checks the
+//!    dynamic read-set against it at runtime (`readset_escape`).
+//! 3. **Cycle & taint findings** — multi-node cycles are classified as
+//!    `W031` (on a data path, no progress evidence) or `E131` (no data
+//!    node reachable: the walk can spin forever without producing a
+//!    tuple), and session-like hidden fields replayed across chained
+//!    forms are flagged `W033` (expiry-replay hazard). Self-loops are
+//!    pass 1's domain (`W004`) and are not re-reported here.
+//!
+//! Soundness contract (pinned by `tests/semantics.rs`): for every
+//! completed invocation, the deduplicated pages fetched satisfy
+//! `observed ≤ max` always, and `observed ≥ min` when the invocation
+//! ran to completion without drift repairs or budget cancellation.
+//!
+//! [`fetch_bound`]: webbase_navigation::model::ActionDescr::fetch_bound
+
+use crate::diag::{self, Diagnostic, Report};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use webbase_navigation::map::{NavigationMap, NodeId};
+use webbase_navigation::model::ActionDescr;
+
+/// An abstract fetch count: a finite number of pages, or ⊤ (unbounded
+/// — a cycle with no recorded bound lies on the path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    Finite(u64),
+    Top,
+}
+
+impl Bound {
+    /// Abstract addition: ⊤ absorbs.
+    pub fn plus(self, n: u64) -> Bound {
+        match self {
+            Bound::Finite(m) => Bound::Finite(m + n),
+            Bound::Top => Bound::Top,
+        }
+    }
+
+    /// Abstract sum of two bounds.
+    pub fn join_add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a + b),
+            _ => Bound::Top,
+        }
+    }
+
+    /// Does a concrete observation stay under this bound?
+    pub fn admits(self, observed: u64) -> bool {
+        match self {
+            Bound::Finite(m) => observed <= m,
+            Bound::Top => true,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(n) => write!(f, "{n}"),
+            Bound::Top => write!(f, "⊤"),
+        }
+    }
+}
+
+/// The abstract fetch cost of one relation invocation: at least `min`
+/// pages, at most `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostInterval {
+    pub min: u64,
+    pub max: Bound,
+}
+
+impl CostInterval {
+    /// The zero-cost interval (an unexecutable relation).
+    pub fn empty() -> CostInterval {
+        CostInterval { min: 0, max: Bound::Finite(0) }
+    }
+
+    /// Interval addition (plan objects join relations conjunctively, so
+    /// costs add).
+    pub fn plus(self, other: CostInterval) -> CostInterval {
+        CostInterval { min: self.min + other.min, max: self.max.join_add(other.max) }
+    }
+
+    /// Is a concrete fetch count inside the interval? (The lower bound
+    /// only binds clean, completed invocations — see the module docs.)
+    pub fn contains(self, observed: u64) -> bool {
+        observed >= self.min && self.max.admits(observed)
+    }
+}
+
+impl fmt::Display for CostInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+/// What the abstract interpreter derived for one registered relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSemantics {
+    pub relation: String,
+    /// Fetch-cost interval for one invocation.
+    pub cost: CostInterval,
+    /// The BFS navigation spine (entry plus every hop target): the
+    /// nodes an invocation *must* read. `spine_nodes.len() == cost.min`;
+    /// plan-level lower bounds union these per host so relations that
+    /// share a spine prefix are not double-counted.
+    pub spine_nodes: BTreeSet<NodeId>,
+    /// Map nodes an invocation can touch (the static read-set; pair
+    /// each with [`SiteSemantics::host`] for the ledger's stamps).
+    pub read_nodes: BTreeSet<NodeId>,
+}
+
+/// Per-site result of the semantic pass, stored alongside the compiled
+/// program so the engine can consult it without re-analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteSemantics {
+    /// The site host every `(host, node)` read-set pair names.
+    pub host: String,
+    /// Per-relation semantics, keyed by relation name.
+    pub relations: BTreeMap<String, RelationSemantics>,
+}
+
+impl SiteSemantics {
+    pub fn relation(&self, name: &str) -> Option<&RelationSemantics> {
+        self.relations.get(name)
+    }
+
+    /// Union of every relation's static read-set.
+    pub fn read_nodes(&self) -> BTreeSet<NodeId> {
+        self.relations.values().flat_map(|r| r.read_nodes.iter().copied()).collect()
+    }
+
+    /// The cost of invoking every relation once (the site's worst case
+    /// for a plan object that touches all of them).
+    pub fn total_cost(&self) -> CostInterval {
+        self.relations.values().fold(CostInterval::empty(), |acc, r| acc.plus(r.cost))
+    }
+}
+
+/// Nodes reachable from `start` (inclusive) following edges forward.
+fn forward_reachable(map: &NavigationMap, start: NodeId) -> BTreeSet<NodeId> {
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for e in map.out_edges(n) {
+            if seen.insert(e.to) {
+                queue.push_back(e.to);
+            }
+        }
+    }
+    seen
+}
+
+/// Does any edge in `region` close a cycle (self-loops included)?
+/// Kahn's algorithm over the induced subgraph: nodes left unpeeled sit
+/// on a cycle.
+fn region_has_cycle(map: &NavigationMap, region: &BTreeSet<NodeId>) -> bool {
+    let mut indeg: BTreeMap<NodeId, usize> = region.iter().map(|&n| (n, 0)).collect();
+    for e in &map.edges {
+        if region.contains(&e.from) && region.contains(&e.to) {
+            *indeg.get_mut(&e.to).expect("region node") += 1;
+        }
+    }
+    let mut queue: VecDeque<NodeId> =
+        indeg.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
+    let mut peeled = 0;
+    while let Some(n) = queue.pop_front() {
+        peeled += 1;
+        for e in map.out_edges(n) {
+            if e.from != e.to && region.contains(&e.to) {
+                let d = indeg.get_mut(&e.to).expect("region node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(e.to);
+                }
+            }
+        }
+    }
+    // A self-loop keeps its node's indegree positive forever.
+    peeled < region.len()
+}
+
+/// Tarjan-style strongly connected components over the nodes reachable
+/// from the entry, returned as node sets. Single nodes are included
+/// only when they carry a self-loop.
+fn cyclic_sccs(map: &NavigationMap) -> Vec<BTreeSet<NodeId>> {
+    let reachable = forward_reachable(map, map.entry);
+    // Iterative Tarjan.
+    let n = map.nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0;
+    let mut out: Vec<BTreeSet<NodeId>> = Vec::new();
+
+    // Explicit DFS stack of (node, out-edge cursor).
+    for &root in &reachable {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(NodeId, usize)> = vec![(root, 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&(v, cursor)) = dfs.last() {
+            let succs: Vec<NodeId> = map.out_edges(v).map(|e| e.to).collect();
+            if cursor < succs.len() {
+                let w = succs[cursor];
+                dfs.last_mut().expect("non-empty dfs stack").1 += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = BTreeSet::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.insert(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic =
+                        scc.len() > 1 || map.out_edges(v).any(|e| e.to == v && scc.contains(&v));
+                    if cyclic {
+                        out.push(scc);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The W004 progress heuristic, shared with `map_lint`: a link whose
+/// href carries a query string or a digit plausibly advances a cursor.
+fn shows_progress(action: &ActionDescr) -> bool {
+    match action {
+        ActionDescr::Follow(link) => {
+            link.href.contains('?') || link.href.chars().any(|c| c.is_ascii_digit())
+        }
+        _ => false,
+    }
+}
+
+fn session_like(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("sess") || lower == "sid" || lower.contains("token")
+}
+
+/// Compute per-relation cost intervals and static read-sets.
+pub fn site_semantics(map: &NavigationMap) -> SiteSemantics {
+    let mut relations = BTreeMap::new();
+    for reg in &map.relations {
+        let sem = match map.path_to(reg.data_node) {
+            Some(spine) => {
+                // Every spine edge costs at least one fetch, plus the
+                // entry page itself.
+                let min = 1 + spine.len() as u64;
+                let mut spine_nodes: BTreeSet<NodeId> = BTreeSet::new();
+                spine_nodes.insert(map.entry);
+                for &e in &spine {
+                    spine_nodes.insert(map.edges[e].to);
+                }
+                let mut read = spine_nodes.clone();
+                read.extend(forward_reachable(map, reg.data_node));
+                let max = if region_has_cycle(map, &read) {
+                    Bound::Top
+                } else {
+                    let spent: u64 =
+                        spine.iter().map(|&e| map.edges[e].action.fetch_bound() as u64).sum();
+                    Bound::Finite(1 + spent)
+                };
+                RelationSemantics {
+                    relation: reg.relation.clone(),
+                    cost: CostInterval { min, max },
+                    spine_nodes,
+                    read_nodes: read,
+                }
+            }
+            // Unreachable data node: pass 1 rejects the map (E101);
+            // record an unexecutable relation so lookups stay total.
+            None => RelationSemantics {
+                relation: reg.relation.clone(),
+                cost: CostInterval::empty(),
+                spine_nodes: BTreeSet::new(),
+                read_nodes: BTreeSet::new(),
+            },
+        };
+        relations.insert(reg.relation.clone(), sem);
+    }
+    SiteSemantics { host: map.site.clone(), relations }
+}
+
+/// Cycle/termination and taint diagnostics over one map.
+pub fn check_semantics(map: &NavigationMap) -> Report {
+    let mut report = Report::new();
+    let data_nodes: BTreeSet<NodeId> = map.relations.iter().map(|r| r.data_node).collect();
+
+    // ── Cycle classification ────────────────────────────────────────
+    for scc in cyclic_sccs(map) {
+        if scc.len() == 1 {
+            // Self-loops are pass 1's W004; re-reporting them here
+            // would double every healthy More loop.
+            continue;
+        }
+        let nodes: Vec<String> = scc.iter().map(|&n| format!("[{n}]")).collect();
+        let loc = format!("cycle {{{}}}", nodes.join(", "));
+        let produces =
+            scc.iter().any(|&n| forward_reachable(map, n).iter().any(|m| data_nodes.contains(m)));
+        if !produces {
+            report.push(Diagnostic::new(
+                diag::NONPRODUCTIVE_CYCLE,
+                &map.site,
+                loc,
+                "navigation can enter this cycle but no data page is reachable from it; \
+                 the walk can spin forever without producing a tuple",
+            ));
+        } else {
+            let progress = map
+                .edges
+                .iter()
+                .filter(|e| scc.contains(&e.from) && scc.contains(&e.to))
+                .any(|e| shows_progress(&e.action));
+            if !progress {
+                report.push(Diagnostic::new(
+                    diag::CYCLE_NO_PROGRESS,
+                    &map.site,
+                    loc,
+                    "multi-node cycle on a data path with no progress evidence \
+                     (no edge parameterises a cursor); termination relies on the site",
+                ));
+            }
+        }
+    }
+
+    // ── Session/form taint across chained forms ─────────────────────
+    for reg in &map.relations {
+        let Some(spine) = map.path_to(reg.data_node) else { continue };
+        let mut submits_seen = 0u32;
+        for &ei in &spine {
+            let edge = &map.edges[ei];
+            let ActionDescr::Submit(form) = &edge.action else { continue };
+            submits_seen += 1;
+            if submits_seen < 2 {
+                continue;
+            }
+            for field in &form.fields {
+                if field.is_hidden() && session_like(&field.name) && field.fixed_value.is_some() {
+                    report.push(Diagnostic::new(
+                        diag::SESSION_REPLAY_HAZARD,
+                        &map.site,
+                        format!("edge [{}]->[{}] form {}", edge.from, edge.to, form.cgi),
+                        format!(
+                            "hidden field '{}' replays a session token recorded at design \
+                             time into a chained form; an expired token fails the whole \
+                             chain at query time",
+                            field.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_html::extract::WidgetKind;
+    use webbase_navigation::extractor::{CellParse, ExtractionSpec, FieldSpec};
+    use webbase_navigation::map::{NavigationMap, NodeKind};
+    use webbase_navigation::model::{FieldDescr, FormDescr, LinkDescr};
+
+    fn follow(name: &str, href: &str) -> ActionDescr {
+        ActionDescr::Follow(LinkDescr { name: name.into(), href: href.into() })
+    }
+
+    /// home --link--> hub --submit--> data (More self-loop), as in the
+    /// Figure 2 miniature.
+    fn mini_map() -> NavigationMap {
+        let mut m = NavigationMap::new("www.newsday.com");
+        let home = m.add_node("HomePg", "/|", "Newsday");
+        let hub = m.add_node("UsedCarPg", "/auto/used|form", "Used cars");
+        let data = m.add_node("DataPg", "/cgi|table", "Listings");
+        m.entry = home;
+        m.add_edge(home, hub, follow("Used Cars", "/auto/used"));
+        let form = FormDescr {
+            cgi: "/cgi-bin/nclassy".into(),
+            method: "post".into(),
+            fields: vec![FieldDescr {
+                name: "make".into(),
+                attr: "make".into(),
+                widget: WidgetKind::Select { options: vec!["ford".into()] },
+                mandatory: true,
+                manual_facts: 0,
+                fixed_value: None,
+                default: None,
+            }],
+        };
+        m.add_edge(hub, data, ActionDescr::Submit(form));
+        m.add_edge(data, data, follow("More", "/cgi?page=1"));
+        m.node_mut(data).kind = NodeKind::Data(ExtractionSpec::Table {
+            fields: vec![FieldSpec::new("Make", "make", CellParse::Text)],
+        });
+        m.register_relation("newsday", data);
+        m
+    }
+
+    #[test]
+    fn cost_interval_on_the_miniature() {
+        let sem = site_semantics(&mini_map());
+        let r = sem.relation("newsday").expect("registered");
+        // entry + link + submit = 3 fetches minimum; the More loop
+        // widens the maximum to ⊤.
+        assert_eq!(r.cost, CostInterval { min: 3, max: Bound::Top });
+        assert_eq!(r.read_nodes.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(r.spine_nodes.len() as u64, r.cost.min);
+        assert_eq!(format!("{}", r.cost), "[3, ⊤]");
+    }
+
+    #[test]
+    fn loop_free_map_gets_a_finite_interval() {
+        let mut m = mini_map();
+        m.edges.retain(|e| e.from != e.to);
+        let sem = site_semantics(&m);
+        let r = sem.relation("newsday").expect("registered");
+        assert_eq!(r.cost, CostInterval { min: 3, max: Bound::Finite(3) });
+        assert!(r.cost.contains(3) && !r.cost.contains(2) && !r.cost.contains(4));
+    }
+
+    #[test]
+    fn choice_enumeration_widens_only_the_max() {
+        let mut m = mini_map();
+        m.edges.retain(|e| e.from != e.to);
+        // Replace the fixed link with a two-way link-defined attribute.
+        m.edges[0].action = ActionDescr::FollowByValue {
+            attr: "section".into(),
+            choices: vec![("a".into(), "A".into()), ("b".into(), "B".into())],
+        };
+        let sem = site_semantics(&m);
+        let r = sem.relation("newsday").expect("registered");
+        assert_eq!(r.cost, CostInterval { min: 3, max: Bound::Finite(4) });
+    }
+
+    #[test]
+    fn healthy_miniature_has_no_semantic_findings() {
+        let report = check_semantics(&mini_map());
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn multi_node_cycle_on_data_path_w031() {
+        let mut m = mini_map();
+        // hub -> home back edge closes a 2-node cycle on the data path,
+        // with no cursor parameter anywhere in it.
+        m.add_edge(1, 0, follow("Home", "/"));
+        // The plain home->hub link has no digits either.
+        let report = check_semantics(&m);
+        assert_eq!(report.with_code("W031").len(), 1, "{}", report.render());
+        assert!(report.with_code("E131").is_empty());
+        // Cost max is ⊤ — the cycle sits inside the read region.
+        let sem = site_semantics(&m);
+        assert_eq!(sem.relation("newsday").expect("reg").cost.max, Bound::Top);
+    }
+
+    #[test]
+    fn cursor_parameter_is_progress_evidence() {
+        let mut m = mini_map();
+        m.add_edge(1, 0, follow("Home", "/?from=1"));
+        let report = check_semantics(&m);
+        assert!(report.with_code("W031").is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn nonproductive_cycle_e131() {
+        let mut m = mini_map();
+        // A reachable 2-node cycle hanging off the hub that can never
+        // reach the data page.
+        let a = m.add_node("TrapA", "/a|", "A");
+        let b = m.add_node("TrapB", "/b|", "B");
+        m.add_edge(1, a, follow("promo", "/a"));
+        m.add_edge(a, b, follow("next", "/b"));
+        m.add_edge(b, a, follow("back", "/a"));
+        let report = check_semantics(&m);
+        assert_eq!(report.with_code("E131").len(), 1, "{}", report.render());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn session_token_replay_w033() {
+        let mut m = mini_map();
+        // Insert a login form before the query form; the query form
+        // replays a recorded session id.
+        let login = m.add_node("LoginPg", "/login|form", "Login");
+        m.edges.retain(|e| !(e.from == 0 && e.to == 1));
+        let login_form =
+            FormDescr { cgi: "/cgi-bin/login".into(), method: "post".into(), fields: vec![] };
+        m.add_edge(0, login, ActionDescr::Submit(login_form));
+        m.add_edge(login, 1, follow("Search", "/auto/used"));
+        if let ActionDescr::Submit(f) =
+            &mut m.edges.iter_mut().find(|e| e.from == 1 && e.to == 2).expect("submit").action
+        {
+            f.fields.push(FieldDescr {
+                name: "session_id".into(),
+                attr: "session_id".into(),
+                widget: WidgetKind::Hidden,
+                mandatory: false,
+                manual_facts: 0,
+                fixed_value: Some("x7".into()),
+                default: None,
+            });
+        }
+        let report = check_semantics(&m);
+        assert_eq!(report.with_code("W033").len(), 1, "{}", report.render());
+    }
+
+    #[test]
+    fn plain_hidden_fields_are_not_session_taint() {
+        // Kellys-style chained forms carry hidden make/model — chained
+        // but not session-like, so no W033.
+        let mut m = mini_map();
+        let mid = m.add_node("ModelPg", "/model|form", "Model");
+        m.edges.retain(|e| !(e.from == 1 && e.to == 2));
+        let first =
+            FormDescr { cgi: "/cgi-bin/make".into(), method: "post".into(), fields: vec![] };
+        let second = FormDescr {
+            cgi: "/cgi-bin/model".into(),
+            method: "post".into(),
+            fields: vec![FieldDescr {
+                name: "make".into(),
+                attr: "make".into(),
+                widget: WidgetKind::Hidden,
+                mandatory: false,
+                manual_facts: 0,
+                fixed_value: Some("ford".into()),
+                default: None,
+            }],
+        };
+        m.add_edge(1, mid, ActionDescr::Submit(first));
+        m.add_edge(mid, 2, ActionDescr::Submit(second));
+        let report = check_semantics(&m);
+        assert!(report.with_code("W033").is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = CostInterval { min: 2, max: Bound::Finite(5) };
+        let b = CostInterval { min: 3, max: Bound::Top };
+        assert_eq!(a.plus(a), CostInterval { min: 4, max: Bound::Finite(10) });
+        assert_eq!(a.plus(b), CostInterval { min: 5, max: Bound::Top });
+        assert!(b.contains(1_000_000) && !b.contains(2));
+        assert_eq!(format!("{}", Bound::Top), "⊤");
+    }
+
+    #[test]
+    fn total_cost_sums_relations() {
+        let sem = site_semantics(&mini_map());
+        assert_eq!(sem.total_cost(), CostInterval { min: 3, max: Bound::Top });
+        assert_eq!(sem.read_nodes().len(), 3);
+    }
+}

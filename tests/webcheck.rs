@@ -35,6 +35,49 @@ fn the_deployed_webbase_is_preflight_clean() {
     assert!(wb.layer.vps.preflight().is_clean(), "{}", wb.layer.vps.preflight().render());
 }
 
+#[test]
+fn the_readme_diagnostic_table_is_generated_from_the_registry() {
+    // The README table is pasted from `render_code_table()`; this pin
+    // fails whenever a code is added/changed without regenerating it.
+    let table = webbase_webcheck::render_code_table();
+    let readme = include_str!("../README.md");
+    assert!(
+        readme.contains(&table),
+        "README.md's diagnostic table drifted from the registry; \
+         paste in the output of webbase_webcheck::render_code_table():\n{table}"
+    );
+}
+
+#[test]
+fn every_deployed_map_carries_semantics_from_the_single_entry_point() {
+    // All map ingestion routes through `analyze_full`, so every loaded
+    // site must come with its abstract interpretation: a cost interval
+    // with a positive lower bound and a non-empty static read-set per
+    // registered relation.
+    let wb = healthy_webbase();
+    for map in &wb.maps {
+        let sem = wb
+            .layer
+            .vps
+            .semantics_for(&map.site)
+            .unwrap_or_else(|| panic!("{} loaded without semantics", map.site));
+        assert_eq!(sem.host, map.site);
+        for reg in &map.relations {
+            let r = sem
+                .relation(&reg.relation)
+                .unwrap_or_else(|| panic!("{}: no semantics for {}", map.site, reg.relation));
+            assert!(r.cost.min >= 1, "{}: an invocation fetches at least the entry", map.site);
+            assert!(r.cost.max.admits(r.cost.min), "{}: empty interval", map.site);
+            assert!(!r.read_nodes.is_empty(), "{}: empty static read-set", map.site);
+            assert!(
+                r.spine_nodes.is_subset(&r.read_nodes),
+                "{}: the spine must sit inside the read-set",
+                map.site
+            );
+        }
+    }
+}
+
 // ──────────────── pass 2: signature conformance (flogic) ────────────
 
 /// `r(N) :- P : web_page, P[title -> N]` — well-typed against Figure 3.
