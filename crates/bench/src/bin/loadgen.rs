@@ -29,6 +29,14 @@
 //! `--write` saves the report to `BENCH_loadgen.json`; `--smoke` is
 //! the CI configuration (small workload, no file output).
 //!
+//! `--sites N` switches the workload to a **generated corpus**: `N`
+//! clean seeded webworld sites (see `webbase_webworld::generate`), one
+//! exemplar structured-UR query per site, cycled to the query budget.
+//! The engine builds over the generated corpus via
+//! `Engine::build_corpus`; shared answers are gated byte-identical
+//! against isolated re-runs, and the `readset_escape` and
+//! `stale_served` tripwires must both be zero.
+//!
 //! The freshness flags benchmark the result cache under drift instead:
 //! `--drift-rate R` mutates the NYTimes site under roughly `R` drift
 //! events per query and runs the workload twice — once with
@@ -72,6 +80,7 @@ struct Args {
     chaos: bool,
     drift_rate: f64,
     consistency: bool,
+    sites: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -86,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         chaos: false,
         drift_rate: 0.0,
         consistency: false,
+        sites: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -119,11 +129,14 @@ fn parse_args() -> Result<Args, String> {
                     value("--drift-rate")?.parse().map_err(|e| format!("--drift-rate: {e}"))?;
             }
             "--consistency" => args.consistency = true,
+            "--sites" => {
+                args.sites = value("--sites")?.parse().map_err(|e| format!("--sites: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "loadgen [--queries 48] [--threads 16] [--seed 42] [--ads 900] \
                      [--smoke] [--write] [--disconnect-rate R] [--chaos] \
-                     [--drift-rate R] [--consistency]"
+                     [--drift-rate R] [--consistency] [--sites N]"
                 );
                 std::process::exit(0);
             }
@@ -172,8 +185,8 @@ fn injection(args: &Args, index: usize, isolated: bool) -> Inject {
 }
 
 /// The alternating jaguar/ford workload, one entry per query.
-fn workload(n: usize) -> Vec<&'static str> {
-    (0..n).map(|i| if i % 2 == 0 { JAGUAR } else { FORD }).collect()
+fn workload(n: usize) -> Vec<String> {
+    (0..n).map(|i| if i % 2 == 0 { JAGUAR.to_string() } else { FORD.to_string() }).collect()
 }
 
 struct QueryRun {
@@ -272,7 +285,7 @@ fn run_query(
     }
 }
 
-fn serial_mode(engine: &Engine, args: &Args, work: &[&'static str], isolated: bool) -> ModeReport {
+fn serial_mode(engine: &Engine, args: &Args, work: &[String], isolated: bool) -> ModeReport {
     let start = Instant::now();
     let runs: Vec<QueryRun> = work
         .iter()
@@ -285,7 +298,7 @@ fn serial_mode(engine: &Engine, args: &Args, work: &[&'static str], isolated: bo
     finish(runs, start.elapsed().as_secs_f64() * 1000.0)
 }
 
-fn concurrent_mode(engine: &Engine, args: &Args, work: &[&'static str]) -> ModeReport {
+fn concurrent_mode(engine: &Engine, args: &Args, work: &[String]) -> ModeReport {
     let threads = args.threads;
     let runs = Mutex::new(Vec::with_capacity(work.len()));
     let start = Instant::now();
@@ -343,7 +356,7 @@ struct DriftReport {
 /// engine's refresh ladder at every drift event; otherwise the event is
 /// a sweep only — views are invalidated and every refresh is paid as a
 /// cold recompute by the next query that misses.
-fn drift_mode(args: &Args, rate: f64, work: &[&'static str], incremental: bool) -> DriftReport {
+fn drift_mode(args: &Args, rate: f64, work: &[String], incremental: bool) -> DriftReport {
     use webbase_navigation::{sweep, DriftOrigin};
     let (engine, clock) = drifting_build(args);
     let mut sims = Vec::with_capacity(work.len());
@@ -504,6 +517,103 @@ fn drift_main(args: &Args) -> ExitCode {
     }
 }
 
+// ── generated-corpus mode: N seeded sites, one exemplar query each ──
+
+/// The `--sites N` entry point: build the engine over a clean generated
+/// corpus, cycle each site's exemplar query through the three modes,
+/// gate shared answers against isolated re-runs, and pin both engine
+/// tripwires (`readset_escape`, `stale_served`) to zero. Correctness
+/// only — with one distinct query per site there is little cross-query
+/// sharing, so no qps gate applies.
+fn sites_main(args: &Args) -> ExitCode {
+    use webbase_webworld::generate::{GenCorpus, SiteSpec};
+    let corpus = GenCorpus::generate(args.seed, args.sites);
+    let exemplars: Vec<String> = corpus.specs.iter().map(SiteSpec::exemplar_query).collect();
+    let n = args.queries.max(args.sites);
+    let work: Vec<String> = (0..n).map(|i| exemplars[i % exemplars.len()].clone()).collect();
+    eprintln!(
+        "loadgen: generated corpus — {} sites, {} queries, {} threads, seed {}",
+        args.sites, n, args.threads, args.seed
+    );
+    let build = |label: &str| {
+        eprintln!("loadgen: building {label} engine over the generated corpus...");
+        let web = corpus.web(LatencyModel::lan());
+        Engine::build_corpus(web, webbase::Corpus::generated(&corpus), EngineConfig::default())
+            .expect("engine builds")
+    };
+
+    let iso_engine = build("serial-isolated");
+    let isolated = serial_mode(&iso_engine, args, &work, true);
+    eprintln!("loadgen: serial-isolated  {:8.1} qps", isolated.qps);
+
+    let shared_engine = build("serial-shared");
+    let shared = serial_mode(&shared_engine, args, &work, false);
+    eprintln!("loadgen: serial-shared    {:8.1} qps", shared.qps);
+
+    let conc_engine = build("concurrent-shared");
+    let concurrent = concurrent_mode(&conc_engine, args, &work);
+    eprintln!("loadgen: concurrent-shared{:8.1} qps", concurrent.qps);
+
+    let mut failed = false;
+    for (i, base) in isolated.runs.iter().enumerate() {
+        for (mode, report) in [("serial_shared", &shared), ("concurrent_shared", &concurrent)] {
+            if report.runs[i].relation != base.relation {
+                eprintln!("loadgen: FAIL — {mode} query {i} diverged from the isolated answer");
+                failed = true;
+            }
+        }
+    }
+    if !failed {
+        eprintln!("loadgen: all {n} answers byte-identical across modes");
+    }
+    for (label, engine) in [
+        ("serial-isolated", &iso_engine),
+        ("serial-shared", &shared_engine),
+        ("concurrent-shared", &conc_engine),
+    ] {
+        let stats = engine.stats();
+        if stats.readset_escape > 0 {
+            eprintln!(
+                "loadgen: FAIL — {label} saw {} fetches outside the static read set",
+                stats.readset_escape
+            );
+            failed = true;
+        }
+        if stats.stale_served > 0 {
+            eprintln!("loadgen: FAIL — {label} served {} stale answers", stats.stale_served);
+            failed = true;
+        }
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"loadgen_sites\",\n  \"description\": \"Generated-corpus load: {} \
+         seeded synthetic sites, one exemplar structured-UR query per site, cycled to {} queries \
+         and run serial-isolated, serial-shared, and across {} threads. Answers are gated \
+         byte-identical across modes; readset_escape and stale_served must both be zero.\",\n  \
+         \"command\": \"cargo run --release -p webbase-bench --bin loadgen -- --sites {} \
+         --seed {}\",\n  \"results\": {{\n{},\n{},\n{}\n  }},\n  \
+         \"target\": \"equal answers across modes; zero tripwires\",\n  \"verdict\": \"{}\"\n}}\n",
+        args.sites,
+        n,
+        args.threads,
+        args.sites,
+        args.seed,
+        mode_json("serial_isolated", &isolated),
+        mode_json("serial_shared", &shared),
+        mode_json("concurrent_shared", &concurrent),
+        if failed { "FAIL" } else { "PASS — generated corpus served with zero tripwires" }
+    );
+    println!("{json}");
+    if args.write {
+        std::fs::write("BENCH_loadgen_sites.json", &json).expect("write BENCH_loadgen_sites.json");
+        eprintln!("loadgen: wrote BENCH_loadgen_sites.json");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn mode_json(name: &str, m: &ModeReport) -> String {
     format!(
         "    \"{name}\": {{ \"qps\": {:.1}, \"wall_ms\": {:.1}, \
@@ -521,6 +631,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.sites > 0 {
+        return sites_main(&args);
+    }
     if args.consistency || args.drift_rate > 0.0 {
         return drift_main(&args);
     }

@@ -1,0 +1,209 @@
+//! `sitegen` — describe, verify, and dump the generative webworld.
+//!
+//! The generator (`webbase_webworld::generate`) derives arbitrarily
+//! many synthetic sites from one seed; this binary makes a corpus
+//! inspectable:
+//!
+//! ```text
+//! sitegen [--seed 11] [--sites 12] [--defects] [--verify] [--dump INDEX]
+//! ```
+//!
+//! * default — one table row per site: host, topology knobs, catalogue
+//!   shape, the webcheck-finding manifest, and the exemplar query.
+//! * `--defects` — draw the corpus with the defect knobs cycled on
+//!   (`generate_with_defects`), as the differential battery does.
+//! * `--verify` — replay each site's generated designer session through
+//!   the real recorder, run webcheck on the recorded map, and require
+//!   the report to equal the site's manifest exactly (exit non-zero on
+//!   any mismatch).
+//! * `--dump INDEX` — print one site in full: spec, oracle rows, and
+//!   the complete page inventory (every servable path with its HTML).
+
+use std::process::ExitCode;
+use webbase::{check_manifest, check_site, LatencyModel};
+use webbase_navigation::gen_sessions;
+use webbase_webworld::generate::{GenCorpus, SiteSpec};
+use webbase_webworld::topology::{FaultKnob, Topology};
+
+struct Args {
+    seed: u64,
+    sites: usize,
+    defects: bool,
+    verify: bool,
+    dump: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 11, sites: 12, defects: false, verify: false, dump: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--sites" => {
+                args.sites = value("--sites")?.parse().map_err(|e| format!("--sites: {e}"))?;
+            }
+            "--defects" => args.defects = true,
+            "--verify" => args.verify = true,
+            "--dump" => {
+                args.dump = Some(value("--dump")?.parse().map_err(|e| format!("--dump: {e}"))?);
+            }
+            "--help" | "-h" => {
+                println!("sitegen [--seed 11] [--sites 12] [--defects] [--verify] [--dump INDEX]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.sites == 0 {
+        return Err("--sites must be positive".to_string());
+    }
+    Ok(args)
+}
+
+/// A compact one-line rendering of a site's topology knobs.
+fn knobs(t: &Topology) -> String {
+    let mut parts = vec![format!("hubs={}", t.hub_depth), format!("chain={}", t.chain_depth)];
+    if t.cat_via_links {
+        parts.push("cat-links".into());
+    }
+    if t.paginate {
+        parts.push(format!("page={}", t.page_size));
+    }
+    if t.hidden_carry {
+        parts.push("hidden".into());
+    }
+    if t.ill_formed {
+        parts.push("ill-formed".into());
+    }
+    if let Some(d) = t.defect {
+        parts.push(format!("defect={d:?}"));
+    }
+    match t.fault {
+        Some(FaultKnob::Delayed { millis }) => parts.push(format!("delay={millis}ms")),
+        Some(FaultKnob::Flaky { period }) => parts.push(format!("flaky={period}")),
+        Some(FaultKnob::Drift) => parts.push("drift".into()),
+        None => {}
+    }
+    parts.join(" ")
+}
+
+fn manifest(spec: &SiteSpec) -> String {
+    let findings = spec.expected_findings();
+    if findings.is_empty() {
+        "clean".to_string()
+    } else {
+        findings.join(",")
+    }
+}
+
+fn describe(corpus: &GenCorpus) {
+    println!("{:<20} {:<44} {:>5} {:>9}  exemplar query", "host", "topology", "rows", "manifest");
+    for spec in &corpus.specs {
+        println!(
+            "{:<20} {:<44} {:>5} {:>9}  {}",
+            spec.host,
+            knobs(&spec.topology),
+            spec.rows().len(),
+            manifest(spec),
+            spec.exemplar_query()
+        );
+    }
+}
+
+fn verify(corpus: &GenCorpus) -> ExitCode {
+    let web = corpus.web(LatencyModel::zero());
+    let mut failed = false;
+    for spec in &corpus.specs {
+        let (map, stats) = match gen_sessions::record_spec(web.clone(), spec) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:<20} RECORD FAILED: {e}", spec.host);
+                failed = true;
+                continue;
+            }
+        };
+        let report = check_site(&map);
+        let check = check_manifest(&report, &spec.expected_findings());
+        if check.is_match() {
+            println!(
+                "{:<20} OK    {:>3} objects, {:>3} attrs, manifest [{}]",
+                spec.host,
+                stats.objects,
+                stats.attributes,
+                manifest(spec)
+            );
+        } else {
+            println!("{:<20} FAIL  {check}\n{}", spec.host, report.render());
+            failed = true;
+        }
+    }
+    if failed {
+        println!("sitegen: verification FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("sitegen: all {} sites verified against their manifests", corpus.specs.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn dump(corpus: &GenCorpus, index: usize) -> ExitCode {
+    let Some(spec) = corpus.specs.get(index) else {
+        eprintln!("sitegen: --dump {index} out of range (corpus has {})", corpus.specs.len());
+        return ExitCode::FAILURE;
+    };
+    println!("host:      {}", spec.host);
+    println!("title:     {}", spec.title);
+    println!("relation:  {}", spec.relation);
+    println!("topology:  {}", knobs(&spec.topology));
+    println!("cats:      {}", spec.cats.join(", "));
+    println!("subs:      {}", spec.subs.join(", "));
+    println!("manifest:  {}", manifest(spec));
+    println!("exemplar:  {}", spec.exemplar_query());
+    println!("\noracle ({} rows):", spec.rows().len());
+    for row in spec.rows() {
+        println!(
+            "  {} / {} / {}  qty={} price=${}",
+            row.cat, row.sub, row.item, row.qty, row.price
+        );
+    }
+    println!("\nplan:");
+    for step in spec.plan() {
+        println!("  {step:?}");
+    }
+    for (path, html) in spec.page_inventory() {
+        println!("\n── {path} {}", "─".repeat(60_usize.saturating_sub(path.len())));
+        println!("{html}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sitegen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let corpus = if args.defects {
+        GenCorpus::generate_with_defects(args.seed, args.sites)
+    } else {
+        GenCorpus::generate(args.seed, args.sites)
+    };
+    if let Some(index) = args.dump {
+        return dump(&corpus, index);
+    }
+    println!(
+        "sitegen: seed {} — {} generated site{}{}",
+        args.seed,
+        args.sites,
+        if args.sites == 1 { "" } else { "s" },
+        if args.defects { " (defect knobs cycled)" } else { "" }
+    );
+    describe(&corpus);
+    if args.verify {
+        return verify(&corpus);
+    }
+    ExitCode::SUCCESS
+}

@@ -44,10 +44,10 @@ pub fn bench_dataset() -> Arc<Dataset> {
 
 /// The apartment-domain webbase of `examples/apartment_hunting.rs`,
 /// assembled for analysis: the two rental sites are mapped by replaying
-/// the designer sessions, then wrapped in the example's logical
-/// relations and AptUR hierarchy. Together with the 13 car sites this
-/// brings the static-analysis gate (and the soundness suites) to the
-/// full 15-site webworld.
+/// the designer sessions of [`webbase::Corpus::apartments`], then
+/// wrapped in the example's logical relations and AptUR hierarchy.
+/// Together with the 13 car sites this brings the static-analysis gate
+/// (and the soundness suites) to the full 15-site webworld.
 pub fn apartment_stack(
     seed: u64,
 ) -> (
@@ -56,15 +56,7 @@ pub fn apartment_stack(
     webbase_logical::LogicalLayer,
     webbase_ur::plan::UrPlanner,
 ) {
-    use webbase_logical::{LogicalLayer, LogicalRelation};
-    use webbase_navigation::extractor::{CellParse, ExtractionSpec, FieldSpec};
-    use webbase_navigation::recorder::{DesignerAction, Recorder};
-    use webbase_relational::prelude::*;
-    use webbase_ur::compat::CompatRules;
-    use webbase_ur::hierarchy::{Alternative, ChoiceGroup, Hierarchy};
-    use webbase_ur::plan::UrPlanner;
-    use webbase_vps::VpsCatalog;
-    use webbase_webworld::prelude::*;
+    use webbase_webworld::prelude::SyntheticWeb;
     use webbase_webworld::sites::{AptListings, AptMarket, RentGuide};
 
     let market = AptMarket::generate(seed, 150);
@@ -73,87 +65,22 @@ pub fn apartment_stack(
         .site(RentGuide::new())
         .latency(LatencyModel::lan())
         .build();
-    let listings_session = vec![
-        DesignerAction::Goto("http://www.aptlistings.com/".into()),
-        DesignerAction::SubmitForm {
-            action: "/cgi-bin/find".into(),
-            values: vec![("borough".into(), "brooklyn".into())],
-        },
-        DesignerAction::MarkDataPage {
-            relation: "aptListings".into(),
-            spec: ExtractionSpec::Table {
-                fields: vec![
-                    FieldSpec::new("Borough", "borough", CellParse::Text),
-                    FieldSpec::new("Bedrooms", "bedrooms", CellParse::Number),
-                    FieldSpec::new("Rent", "rent", CellParse::Number),
-                    FieldSpec::new("Contact", "contact", CellParse::Text),
-                ],
-            },
-        },
-        DesignerAction::FollowLink("More".into()),
-    ];
-    let guide_session = vec![
-        DesignerAction::Goto("http://www.rentguide.com/".into()),
-        DesignerAction::SubmitForm {
-            action: "/cgi-bin/guide".into(),
-            values: vec![("borough".into(), "queens".into()), ("beds".into(), "1".into())],
-        },
-        DesignerAction::MarkDataPage {
-            relation: "rentGuide".into(),
-            spec: ExtractionSpec::Table {
-                fields: vec![
-                    FieldSpec::new("Borough", "borough", CellParse::Text),
-                    FieldSpec::new("Bedrooms", "bedrooms", CellParse::Number),
-                    FieldSpec::new("Fair Rent", "fairrent", CellParse::Number),
-                ],
-            },
-        },
-    ];
-    let standardizer = || {
-        let mut s = webbase_relational::standardize::Standardizer::new([
-            "borough", "bedrooms", "rent", "contact", "fairrent",
-        ]);
-        s.map("beds", "bedrooms");
-        s
-    };
-    let mut catalog = VpsCatalog::new();
-    let mut maps = Vec::new();
-    for (host, session) in
-        [("www.aptlistings.com", listings_session), ("www.rentguide.com", guide_session)]
-    {
-        let mut recorder = Recorder::with_standardizer(web.clone(), host, standardizer());
-        for action in &session {
-            recorder.apply(action).expect("designer action applies");
-        }
-        let (map, _) = recorder.finish();
-        maps.push(map.clone());
-        catalog.add_map(web.clone(), map);
-    }
-    let relations = vec![
-        LogicalRelation::new(
-            "listings",
-            Expr::relation("aptListings").project(["borough", "bedrooms", "rent", "contact"]),
-        ),
-        LogicalRelation::new(
-            "guidelines",
-            Expr::relation("rentGuide").project(["borough", "bedrooms", "fairrent"]),
-        ),
-    ];
-    let layer = LogicalLayer::new(catalog, relations);
-    let hierarchy = Hierarchy {
-        ur_name: "AptUR".into(),
-        groups: vec![
-            ChoiceGroup {
-                name: "Listings".into(),
-                alternatives: vec![Alternative::new("Listings", "listings")],
-            },
-            ChoiceGroup {
-                name: "FairRent".into(),
-                alternatives: vec![Alternative::new("FairRent", "guidelines")],
-            },
-        ],
-    };
-    (web, maps, layer, UrPlanner::new(hierarchy, CompatRules::default()))
+    let stack = webbase::Corpus::apartments().record_stack(&web).expect("apartment stack records");
+    (web, stack.maps, stack.layer, stack.planner)
+}
+
+/// A generated-corpus stack: build the [`GenCorpus`] web, replay each
+/// generated designer session, and assemble the layers via
+/// [`webbase::Corpus::generated`] — the same corpus-builder API the car
+/// and apartment stacks use.
+pub fn generated_stack(
+    corpus: &webbase_webworld::generate::GenCorpus,
+    latency: LatencyModel,
+) -> (webbase_webworld::prelude::SyntheticWeb, webbase::RecordedStack) {
+    let web = corpus.web(latency);
+    let stack =
+        webbase::Corpus::generated(corpus).record_stack(&web).expect("generated corpus records");
+    (web, stack)
 }
 
 /// The host the drift harness mutates (NYTimes classifieds).

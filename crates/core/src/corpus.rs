@@ -1,0 +1,262 @@
+//! Corpus registration: the one description of "a webbase's sites and
+//! layers" shared by every builder.
+//!
+//! Historically each stack — the 13-site car demo in
+//! [`crate::Webbase::build_on`] / [`crate::Engine::build_on`], the
+//! apartment example in `webbase-bench`, and now the generated corpora —
+//! hand-rolled the same loop: replay designer sessions, feed maps to a
+//! `VpsCatalog`, wrap logical relations, construct a planner. A
+//! [`Corpus`] captures the description once; [`Corpus::record_stack`]
+//! and [`crate::Engine::build_corpus`] are the two consumers (the
+//! single-owner `Webbase` and the shared `Engine` build paths).
+
+use crate::webbase::{BuildReport, WebbaseError};
+use std::sync::Arc;
+use webbase_logical::{paper_schema, LogicalLayer, LogicalRelation};
+use webbase_navigation::gen_sessions;
+use webbase_navigation::map::NavigationMap;
+use webbase_navigation::recorder::{DesignerAction, MapStats, Recorder};
+use webbase_navigation::sessions;
+use webbase_relational::prelude::Expr;
+use webbase_relational::Standardizer;
+use webbase_ur::compat::{example62_rules, CompatRules};
+use webbase_ur::hierarchy::{figure5, Alternative, ChoiceGroup, Hierarchy};
+use webbase_ur::plan::UrPlanner;
+use webbase_vps::VpsCatalog;
+use webbase_webworld::data::Dataset;
+use webbase_webworld::generate::GenCorpus;
+use webbase_webworld::prelude::SyntheticWeb;
+
+/// One site's registration: the designer session to replay and the
+/// attribute standardiser the recording uses.
+pub struct CorpusSite {
+    pub host: String,
+    pub session: Vec<DesignerAction>,
+    pub standardizer: Standardizer,
+}
+
+/// A complete webbase description: sites plus the logical and UR
+/// layers over them.
+pub struct Corpus {
+    /// The underlying dataset, when the corpus has one (the car demo
+    /// does; generated corpora carry their data inside the site specs).
+    pub data: Option<Arc<Dataset>>,
+    pub sites: Vec<CorpusSite>,
+    pub relations: Vec<LogicalRelation>,
+    pub hierarchy: Hierarchy,
+    pub rules: CompatRules,
+}
+
+/// What [`Corpus::record_stack`] produces: recorded maps and the
+/// assembled layers, ready for queries or analysis.
+pub struct RecordedStack {
+    pub maps: Vec<NavigationMap>,
+    pub report: BuildReport,
+    pub layer: LogicalLayer,
+    pub planner: UrPlanner,
+}
+
+impl Corpus {
+    /// The paper's used-car webbase: the thirteen designer sessions,
+    /// the Table 2 logical schema, and the Figure 5 hierarchy under the
+    /// Example 6.2 compatibility rules.
+    pub fn paper(data: Arc<Dataset>) -> Corpus {
+        let sites = sessions::all_sessions(&data)
+            .into_iter()
+            .map(|(host, session)| CorpusSite {
+                host: host.to_string(),
+                session,
+                standardizer: Standardizer::car_domain(),
+            })
+            .collect();
+        Corpus {
+            data: Some(data),
+            sites,
+            relations: paper_schema(),
+            hierarchy: figure5(),
+            rules: example62_rules(),
+        }
+    }
+
+    /// The apartment-domain webbase of `examples/apartment_hunting.rs`:
+    /// two rental sites, two logical relations, the two-group AptUR
+    /// hierarchy with no compatibility rules.
+    pub fn apartments() -> Corpus {
+        use webbase_navigation::extractor::{CellParse, ExtractionSpec, FieldSpec};
+        let listings_session = vec![
+            DesignerAction::Goto("http://www.aptlistings.com/".into()),
+            DesignerAction::SubmitForm {
+                action: "/cgi-bin/find".into(),
+                values: vec![("borough".into(), "brooklyn".into())],
+            },
+            DesignerAction::MarkDataPage {
+                relation: "aptListings".into(),
+                spec: ExtractionSpec::Table {
+                    fields: vec![
+                        FieldSpec::new("Borough", "borough", CellParse::Text),
+                        FieldSpec::new("Bedrooms", "bedrooms", CellParse::Number),
+                        FieldSpec::new("Rent", "rent", CellParse::Number),
+                        FieldSpec::new("Contact", "contact", CellParse::Text),
+                    ],
+                },
+            },
+            DesignerAction::FollowLink("More".into()),
+        ];
+        let guide_session = vec![
+            DesignerAction::Goto("http://www.rentguide.com/".into()),
+            DesignerAction::SubmitForm {
+                action: "/cgi-bin/guide".into(),
+                values: vec![("borough".into(), "queens".into()), ("beds".into(), "1".into())],
+            },
+            DesignerAction::MarkDataPage {
+                relation: "rentGuide".into(),
+                spec: ExtractionSpec::Table {
+                    fields: vec![
+                        FieldSpec::new("Borough", "borough", CellParse::Text),
+                        FieldSpec::new("Bedrooms", "bedrooms", CellParse::Number),
+                        FieldSpec::new("Fair Rent", "fairrent", CellParse::Number),
+                    ],
+                },
+            },
+        ];
+        let standardizer = || {
+            let mut s = Standardizer::new(["borough", "bedrooms", "rent", "contact", "fairrent"]);
+            s.map("beds", "bedrooms");
+            s
+        };
+        let sites = vec![
+            CorpusSite {
+                host: "www.aptlistings.com".into(),
+                session: listings_session,
+                standardizer: standardizer(),
+            },
+            CorpusSite {
+                host: "www.rentguide.com".into(),
+                session: guide_session,
+                standardizer: standardizer(),
+            },
+        ];
+        let relations = vec![
+            LogicalRelation::new(
+                "listings",
+                Expr::relation("aptListings").project(["borough", "bedrooms", "rent", "contact"]),
+            ),
+            LogicalRelation::new(
+                "guidelines",
+                Expr::relation("rentGuide").project(["borough", "bedrooms", "fairrent"]),
+            ),
+        ];
+        let hierarchy = Hierarchy {
+            ur_name: "AptUR".into(),
+            groups: vec![
+                ChoiceGroup {
+                    name: "Listings".into(),
+                    alternatives: vec![Alternative::new("Listings", "listings")],
+                },
+                ChoiceGroup {
+                    name: "FairRent".into(),
+                    alternatives: vec![Alternative::new("FairRent", "guidelines")],
+                },
+            ],
+        };
+        Corpus { data: None, sites, relations, hierarchy, rules: CompatRules::default() }
+    }
+
+    /// A generated corpus: one site, logical relation, and UR
+    /// alternative per [`webbase_webworld::generate::SiteSpec`]. The
+    /// per-site attribute vocabularies are disjoint (index-suffixed),
+    /// so every query's minimal covering set is exactly one site — the
+    /// hierarchy scales to hundreds of alternatives in one choice
+    /// group (see `webbase_ur::maximal::compatible_sets`).
+    pub fn generated(gen: &GenCorpus) -> Corpus {
+        let mut sites = Vec::new();
+        let mut relations = Vec::new();
+        let mut alternatives = Vec::new();
+        for spec in &gen.specs {
+            sites.push(CorpusSite {
+                host: spec.host.clone(),
+                session: gen_sessions::session(spec),
+                standardizer: gen_sessions::standardizer(spec),
+            });
+            let logical = format!("gensite{}", spec.index);
+            relations.push(LogicalRelation::new(
+                &logical,
+                Expr::relation(&spec.relation).project(spec.attrs()),
+            ));
+            alternatives.push(Alternative::new(&format!("GenSite{}", spec.index), &logical));
+        }
+        Corpus {
+            data: None,
+            sites,
+            relations,
+            hierarchy: Hierarchy {
+                ur_name: "GenUR".into(),
+                groups: vec![ChoiceGroup { name: "sources".into(), alternatives }],
+            },
+            rules: CompatRules::default(),
+        }
+    }
+
+    /// Replay every site's designer session against `web` and assemble
+    /// the three layers — the single-owner build loop shared by
+    /// [`crate::Webbase::build_on`], the bench demo stacks, and any
+    /// generated corpus.
+    pub fn record_stack(&self, web: &SyntheticWeb) -> Result<RecordedStack, WebbaseError> {
+        let mut catalog = VpsCatalog::new();
+        let mut maps = Vec::new();
+        let mut stats: Vec<(String, MapStats)> = Vec::new();
+        for site in &self.sites {
+            let mut recorder =
+                Recorder::with_standardizer(web.clone(), &site.host, site.standardizer.clone());
+            for action in &site.session {
+                recorder.apply(action).map_err(|e| WebbaseError::Record(site.host.clone(), e))?;
+            }
+            let (map, s) = recorder.finish();
+            stats.push((site.host.clone(), s));
+            maps.push(map.clone());
+            catalog.add_map(web.clone(), map);
+        }
+        let layer = LogicalLayer::new(catalog, self.relations.clone());
+        let planner = UrPlanner::new(self.hierarchy.clone(), self.rules.clone());
+        Ok(RecordedStack { maps, report: BuildReport { sites: stats }, layer, planner })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webbase_webworld::prelude::{standard_web, LatencyModel};
+
+    #[test]
+    fn paper_corpus_records_thirteen_sites() {
+        let data = Dataset::generate(5, 400);
+        let web = standard_web(data.clone(), LatencyModel::lan());
+        let stack = Corpus::paper(data).record_stack(&web).expect("records");
+        assert_eq!(stack.maps.len(), 13);
+        assert_eq!(stack.report.sites.len(), 13);
+    }
+
+    #[test]
+    fn generated_corpus_records_and_plans() {
+        use webbase_ur::query::parse_query;
+        let gen = GenCorpus::generate(11, 4);
+        let web = gen.web(LatencyModel::zero());
+        let corpus = Corpus::generated(&gen);
+        let mut stack = corpus.record_stack(&web).expect("records");
+        assert_eq!(stack.maps.len(), 4);
+        for spec in &gen.specs {
+            let q = parse_query(&spec.exemplar_query()).expect("query parses");
+            let plan = stack.planner.plan(&q, &stack.layer).expect("plans");
+            assert_eq!(
+                plan.objects.len(),
+                1,
+                "{}: disjoint attrs must cover via exactly one site",
+                spec.host
+            );
+            let (result, _) = stack.planner.execute(&q, &mut stack.layer).expect("executes");
+            let sub = spec.needs_sub().then(|| spec.exemplar_sub().to_string());
+            let oracle = spec.oracle(spec.exemplar_cat(), sub.as_deref());
+            assert_eq!(result.len(), oracle.len(), "{}: result size != oracle", spec.host);
+        }
+    }
+}

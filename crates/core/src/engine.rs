@@ -35,12 +35,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use webbase_logical::{paper_schema, LogicalLayer, LogicalRelation, Obs, QueryObservation};
+use webbase_logical::{LogicalLayer, LogicalRelation, Obs, QueryObservation};
 use webbase_navigation::drift::events_from_repairs;
 use webbase_navigation::map::NavigationMap;
 use webbase_navigation::map::NodeId;
 use webbase_navigation::recorder::{MapStats, Recorder};
-use webbase_navigation::sessions;
 use webbase_navigation::store::ReadSet;
 use webbase_navigation::{
     compile_map, sweep, BudgetDenial, BudgetSnapshot, BudgetTracker, CancelToken, CompiledSite,
@@ -50,8 +49,6 @@ use webbase_navigation::{
 use webbase_obs::sync::{SafeMutex, SafeRwLock};
 use webbase_relational::eval::{AccessSpec, Evaluator};
 use webbase_relational::{BaseDelta, Expr, Incremental, Relation};
-use webbase_ur::compat::example62_rules;
-use webbase_ur::hierarchy::figure5;
 use webbase_ur::plan::{UrError, UrPlan, UrPlanner};
 use webbase_ur::query::{parse_query, UrQuery};
 use webbase_vps::{derive_handles, AnswerMemo, Handle, MemoClaim, MemoKey, VpsCatalog};
@@ -492,7 +489,9 @@ fn expr_rel_names(expr: &Expr, out: &mut BTreeSet<String>) {
 
 struct EngineInner {
     web: SyntheticWeb,
-    data: Arc<Dataset>,
+    /// The synthetic dataset behind the corpus, when it has one (the
+    /// car demo does; generated corpora carry data inside their specs).
+    data: Option<Arc<Dataset>>,
     sites: Vec<SiteArtifacts>,
     relations: Vec<LogicalRelation>,
     planner: UrPlanner,
@@ -577,18 +576,35 @@ impl Engine {
         data: Arc<Dataset>,
         config: EngineConfig,
     ) -> Result<Engine, WebbaseError> {
+        Engine::build_corpus(web, crate::corpus::Corpus::paper(data), config)
+    }
+
+    /// Build over any [`crate::Corpus`] — the paper's car demo, the
+    /// apartment example, or a generated corpus. The corpus describes
+    /// the sites (sessions + standardisers) and the layers above them;
+    /// this path records, analyses, and compiles each site exactly
+    /// once, then assembles the shared engine.
+    pub fn build_corpus(
+        web: SyntheticWeb,
+        corpus: crate::corpus::Corpus,
+        config: EngineConfig,
+    ) -> Result<Engine, WebbaseError> {
         let mut sites = Vec::new();
         let mut stats: Vec<(String, MapStats)> = Vec::new();
         let mut preflight = webbase_webcheck::Report::new();
-        for (host, session) in sessions::all_sessions(&data) {
-            let (map, s) = Recorder::record(web.clone(), host, &session)
-                .map_err(|e| WebbaseError::Record(host.to_string(), e))?;
+        for site in &corpus.sites {
+            let mut recorder =
+                Recorder::with_standardizer(web.clone(), &site.host, site.standardizer.clone());
+            for action in &site.session {
+                recorder.apply(action).map_err(|e| WebbaseError::Record(site.host.clone(), e))?;
+            }
+            let (map, s) = recorder.finish();
             // The single analysis entry point: lint + program safety +
             // the abstract interpreter, once per map per build. The
             // derived semantics ride along in the shared artifacts.
             let (report, semantics) = webbase_webcheck::analyze_full(&map);
             preflight.merge(report);
-            stats.push((host.to_string(), s));
+            stats.push((site.host.clone(), s));
             let compiled = Arc::new(compile_map(&map));
             let handles = derive_handles(&map);
             sites.push(SiteArtifacts { map, compiled, handles, semantics: Arc::new(semantics) });
@@ -619,10 +635,10 @@ impl Engine {
         let engine = Engine {
             inner: Arc::new(EngineInner {
                 web,
-                data,
+                data: corpus.data,
                 sites,
-                relations: paper_schema(),
-                planner: UrPlanner::new(figure5(), example62_rules()),
+                relations: corpus.relations,
+                planner: UrPlanner::new(corpus.hierarchy, corpus.rules),
                 policy: config.policy,
                 store,
                 pool: Arc::new(HostPools::new(config.per_host_connections)),
@@ -1619,8 +1635,8 @@ impl Engine {
         &self.inner.web
     }
 
-    pub fn data(&self) -> &Arc<Dataset> {
-        &self.inner.data
+    pub fn data(&self) -> Option<&Arc<Dataset>> {
+        self.inner.data.as_ref()
     }
 
     /// The shared page store (for tests and diagnostics).

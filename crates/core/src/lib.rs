@@ -29,12 +29,14 @@
 //! println!("{result}");
 //! ```
 
+pub mod corpus;
 pub mod engine;
 pub mod layers;
 pub mod server;
 pub mod timing;
 pub mod webbase;
 
+pub use crate::corpus::{Corpus, CorpusSite, RecordedStack};
 pub use crate::engine::{
     AdmissionConfig, Engine, EngineConfig, EngineError, EngineStats, FreshnessReport, Lifecycle,
     PlanSemantics, QueryFailure, QueryOptions, QueryOutcome, RefreshReport,
@@ -53,6 +55,7 @@ pub use webbase_navigation::{CancelToken, ResumeToken};
 pub use webbase_relational::Relation;
 pub use webbase_ur::{UrPlan, UrQuery};
 pub use webbase_webcheck::{
-    check_cross_layer, check_map, check_site, Diagnostic, Report, Severity,
+    check_cross_layer, check_manifest, check_map, check_site, reported_codes, Diagnostic,
+    ManifestCheck, Report, Severity,
 };
 pub use webbase_webworld::prelude::LatencyModel;

@@ -3,8 +3,7 @@
 use std::sync::Arc;
 use webbase_logical::{paper_schema, LogicalLayer, Obs, QueryObservation};
 use webbase_navigation::map::NavigationMap;
-use webbase_navigation::recorder::{MapStats, RecordError, Recorder};
-use webbase_navigation::sessions;
+use webbase_navigation::recorder::{MapStats, RecordError};
 use webbase_relational::Relation;
 use webbase_ur::compat::example62_rules;
 use webbase_ur::hierarchy::figure5;
@@ -98,19 +97,15 @@ impl Webbase {
     /// Build over an existing Web (e.g. a versioned one for maintenance
     /// experiments).
     pub fn build_on(web: SyntheticWeb, data: Arc<Dataset>) -> Result<Webbase, WebbaseError> {
-        let mut catalog = VpsCatalog::new();
-        let mut maps = Vec::new();
-        let mut stats = Vec::new();
-        for (host, session) in sessions::all_sessions(&data) {
-            let (map, s) = Recorder::record(web.clone(), host, &session)
-                .map_err(|e| WebbaseError::Record(host.to_string(), e))?;
-            stats.push((host.to_string(), s));
-            maps.push(map.clone());
-            catalog.add_map(web.clone(), map);
-        }
-        let layer = LogicalLayer::new(catalog, paper_schema());
-        let planner = UrPlanner::new(figure5(), example62_rules());
-        Ok(Webbase { web, data, maps, layer, planner, report: BuildReport { sites: stats } })
+        let stack = crate::corpus::Corpus::paper(data.clone()).record_stack(&web)?;
+        Ok(Webbase {
+            web,
+            data,
+            maps: stack.maps,
+            layer: stack.layer,
+            planner: stack.planner,
+            report: stack.report,
+        })
     }
 
     /// Build from previously persisted navigation maps (F-logic fact

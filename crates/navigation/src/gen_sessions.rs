@@ -1,0 +1,118 @@
+//! Designer sessions for the **generated** webworld.
+//!
+//! `webbase_webworld::generate` sits below this crate, so it emits its
+//! designer sessions as neutral [`PlanStep`] data; this module converts
+//! a plan into the [`DesignerAction`] stream the [`Recorder`] replays —
+//! the generated corpus gets its navigation maps **the same way** the
+//! hand-scripted sites do, through mapping by example, not through a
+//! map constructor.
+
+use crate::extractor::{CellParse, ExtractionSpec, FieldSpec};
+use crate::map::NavigationMap;
+use crate::recorder::{DesignerAction, MapStats, RecordError, Recorder};
+use webbase_relational::Standardizer;
+use webbase_webworld::generate::{PlanStep, SiteSpec};
+use webbase_webworld::server::SyntheticWeb;
+
+/// The standardiser for one generated site: its five index-suffixed
+/// attributes are the whole vocabulary, matched exactly.
+pub fn standardizer(spec: &SiteSpec) -> Standardizer {
+    Standardizer::new(spec.attrs())
+}
+
+/// Convert one neutral plan step into the designer action it denotes.
+fn action(step: &PlanStep) -> DesignerAction {
+    match step {
+        PlanStep::Goto(url) => DesignerAction::Goto(url.clone()),
+        PlanStep::Follow(text) => DesignerAction::FollowLink(text.clone()),
+        PlanStep::FollowAsValue { attr, chosen } => {
+            DesignerAction::FollowLinkAsValue { attr: attr.clone(), chosen: chosen.clone() }
+        }
+        PlanStep::Submit { action, values } => {
+            DesignerAction::SubmitForm { action: action.clone(), values: values.clone() }
+        }
+        PlanStep::MarkData { relation, columns } => DesignerAction::MarkDataPage {
+            relation: relation.clone(),
+            spec: ExtractionSpec::Table {
+                fields: columns
+                    .iter()
+                    .map(|(source, attr, numeric)| {
+                        FieldSpec::new(
+                            source,
+                            attr,
+                            if *numeric { CellParse::Number } else { CellParse::Text },
+                        )
+                    })
+                    .collect(),
+            },
+        },
+        PlanStep::Back => DesignerAction::Back,
+    }
+}
+
+/// The full designer session for a generated site.
+pub fn session(spec: &SiteSpec) -> Vec<DesignerAction> {
+    spec.plan().iter().map(action).collect()
+}
+
+/// Record the navigation map of one generated site by replaying its
+/// designer session against `web`.
+pub fn record_spec(
+    web: SyntheticWeb,
+    spec: &SiteSpec,
+) -> Result<(NavigationMap, MapStats), RecordError> {
+    let mut r = Recorder::with_standardizer(web, &spec.host, standardizer(spec));
+    for a in session(spec) {
+        r.apply(&a)?;
+    }
+    Ok(r.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::NodeKind;
+    use webbase_webworld::generate::GenCorpus;
+    use webbase_webworld::latency::LatencyModel;
+
+    #[test]
+    fn every_generated_site_records_a_map() {
+        for seed in [11, 23, 47] {
+            let corpus = GenCorpus::generate(seed, 6);
+            let web = corpus.web(LatencyModel::zero());
+            for spec in &corpus.specs {
+                let (map, stats) = record_spec(web.clone(), spec)
+                    .unwrap_or_else(|e| panic!("seed {seed} {}: {e}", spec.host));
+                assert_eq!(map.site, spec.host);
+                assert!(
+                    map.nodes.iter().any(|n| matches!(n.kind, NodeKind::Data(_))),
+                    "seed {seed} {}: no data node recorded",
+                    spec.host
+                );
+                assert!(
+                    map.relations.iter().any(|r| r.relation == spec.relation),
+                    "seed {seed} {}: relation {} not registered",
+                    spec.host,
+                    spec.relation
+                );
+                assert!(stats.objects > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn recording_is_deterministic() {
+        let corpus = GenCorpus::generate(11, 4);
+        let web = corpus.web(LatencyModel::zero());
+        for spec in &corpus.specs {
+            let (a, _) = record_spec(web.clone(), spec).expect("records");
+            let (b, _) = record_spec(web.clone(), spec).expect("records");
+            assert_eq!(
+                crate::persist::render_facts(&a),
+                crate::persist::render_facts(&b),
+                "{}: two recordings diverged",
+                spec.host
+            );
+        }
+    }
+}

@@ -33,6 +33,7 @@ pub mod compile;
 pub mod drift;
 pub mod executor;
 pub mod extractor;
+pub mod gen_sessions;
 pub mod healing;
 pub mod maintenance;
 pub mod map;

@@ -25,24 +25,60 @@ pub fn is_compatible(h: &Hierarchy, rules: &CompatRules, set: &AltSet) -> bool {
     rules.allows(set)
 }
 
-/// Every compatible set (exponential in the number of alternatives; the
-/// hierarchy is small by construction — it is a user interface).
+/// Every compatible set. Small hierarchies keep the original subset
+/// enumeration (whose output order downstream traces pin); large ones —
+/// the generated corpora, where one choice group can hold a hundred
+/// site alternatives — switch to per-group product enumeration, which
+/// yields exactly the same sets (group exclusivity already restricts
+/// compatible sets to at most one alternative per group) at
+/// Π(1 + |group|) candidates instead of 2^alternatives.
 pub fn compatible_sets(h: &Hierarchy, rules: &CompatRules) -> Vec<AltSet> {
     let alts: Vec<String> = h.alternatives().map(|a| a.name.clone()).collect();
-    assert!(alts.len() <= 20, "hierarchy too large for exhaustive enumeration");
-    let mut out = Vec::new();
-    for mask in 0u32..(1 << alts.len()) {
-        let set: AltSet = alts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, a)| a.clone())
-            .collect();
-        if is_compatible(h, rules, &set) {
-            out.push(set);
+    if alts.len() <= 12 {
+        let mut out = Vec::new();
+        for mask in 0u32..(1 << alts.len()) {
+            let set: AltSet = alts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, a)| a.clone())
+                .collect();
+            if is_compatible(h, rules, &set) {
+                out.push(set);
+            }
         }
+        return out;
     }
+    let candidates: u128 = h.groups.iter().map(|g| 1 + g.alternatives.len() as u128).product();
+    assert!(candidates <= 1 << 22, "hierarchy too large for exhaustive enumeration");
+    let mut out = Vec::new();
+    let mut partial = AltSet::new();
+    product_sets(h, rules, 0, &mut partial, &mut out);
     out
+}
+
+/// Depth-first product over choice groups: each group contributes
+/// nothing or one of its alternatives; rule filtering happens on the
+/// completed set (rules may reference alternatives of later groups).
+fn product_sets(
+    h: &Hierarchy,
+    rules: &CompatRules,
+    group: usize,
+    partial: &mut AltSet,
+    out: &mut Vec<AltSet>,
+) {
+    if group == h.groups.len() {
+        if rules.allows(partial) {
+            out.push(partial.clone());
+        }
+        return;
+    }
+    product_sets(h, rules, group + 1, partial, out);
+    for alt in &h.groups[group].alternatives {
+        partial.insert(alt.name.clone());
+        product_sets(h, rules, group + 1, partial, out);
+        partial.remove(&alt.name);
+    }
 }
 
 /// The maximal objects: compatible sets not strictly contained in any
@@ -150,6 +186,46 @@ mod tests {
         for o in &objects {
             assert_eq!(o.len(), 5);
         }
+    }
+
+    #[test]
+    fn product_enumeration_agrees_with_subset_enumeration() {
+        // The >12-alternative path must produce exactly the sets of the
+        // original mask loop; compare both on Figure 5 (where the mask
+        // loop is what `compatible_sets` runs).
+        for rules in [CompatRules::default(), example62_rules()] {
+            let h = figure5();
+            let mut from_mask = compatible_sets(&h, &rules);
+            let mut from_product = Vec::new();
+            let mut partial = AltSet::new();
+            product_sets(&h, &rules, 0, &mut partial, &mut from_product);
+            from_mask.sort();
+            from_product.sort();
+            assert_eq!(from_mask, from_product);
+        }
+    }
+
+    #[test]
+    fn large_single_group_hierarchies_enumerate_linearly() {
+        use crate::hierarchy::{Alternative, ChoiceGroup, Hierarchy};
+        // One choice group with 100 site alternatives — the generated
+        // corpus shape. 2^100 masks is impossible; the product path
+        // yields the 101 compatible sets directly.
+        let h = Hierarchy {
+            ur_name: "GenUR".to_string(),
+            groups: vec![ChoiceGroup {
+                name: "sources".to_string(),
+                alternatives: (0..100)
+                    .map(|i| Alternative::new(&format!("S{i}"), &format!("gensite{i}")))
+                    .collect(),
+            }],
+        };
+        let rules = CompatRules::default();
+        let sets = compatible_sets(&h, &rules);
+        assert_eq!(sets.len(), 101, "empty set plus one singleton per site");
+        let objects = maximal_objects(&h, &rules);
+        assert_eq!(objects.len(), 100);
+        assert!(objects.iter().all(|o| o.len() == 1));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod cross;
 pub mod diag;
+pub mod manifest;
 pub mod map_lint;
 pub mod program;
 pub mod semantic;
@@ -33,6 +34,7 @@ pub use cross::{
     CROSS_LAYER,
 };
 pub use diag::{render_code_table, Code, Diagnostic, Report, Severity};
+pub use manifest::{check_manifest, reported_codes, ManifestCheck};
 pub use map_lint::check_map;
 pub use program::{check_compiled, check_program, ORACLE_BUILTINS};
 pub use semantic::{check_semantics, site_semantics, Bound, CostInterval, SiteSemantics};

@@ -1,0 +1,89 @@
+//! Expected-findings manifests for generated sites.
+//!
+//! The site generator (`webbase_webworld::generate`) emits, per site, a
+//! manifest of which finding codes its defect knobs plant. This module
+//! checks a produced [`Report`] against that manifest: every expected
+//! code present, nothing unexpected — turning webcheck's soundness
+//! *and* completeness into a property checkable over an unbounded site
+//! family.
+
+use crate::diag::Report;
+use std::collections::BTreeSet;
+
+/// The outcome of checking one site's report against its manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestCheck {
+    /// Exactly the expected codes were reported.
+    Match,
+    /// The report and manifest disagree.
+    Mismatch { missing: Vec<String>, unexpected: Vec<String> },
+}
+
+impl ManifestCheck {
+    pub fn is_match(&self) -> bool {
+        matches!(self, ManifestCheck::Match)
+    }
+}
+
+impl std::fmt::Display for ManifestCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestCheck::Match => write!(f, "manifest match"),
+            ManifestCheck::Mismatch { missing, unexpected } => {
+                write!(f, "manifest mismatch: missing {missing:?}, unexpected {unexpected:?}")
+            }
+        }
+    }
+}
+
+/// The distinct finding codes of a report, in stable order.
+pub fn reported_codes(report: &Report) -> BTreeSet<String> {
+    report.diagnostics.iter().map(|d| d.code.id.to_string()).collect()
+}
+
+/// Compare a site's report against its expected-findings manifest.
+/// The comparison is exact — a clean manifest (`expected` empty) means
+/// the report must be clean, and a defect manifest must be reproduced
+/// without extra findings riding along.
+pub fn check_manifest<S: AsRef<str>>(report: &Report, expected: &[S]) -> ManifestCheck {
+    let want: BTreeSet<String> = expected.iter().map(|s| s.as_ref().to_string()).collect();
+    let got = reported_codes(report);
+    let missing: Vec<String> = want.difference(&got).cloned().collect();
+    let unexpected: Vec<String> = got.difference(&want).cloned().collect();
+    if missing.is_empty() && unexpected.is_empty() {
+        ManifestCheck::Match
+    } else {
+        ManifestCheck::Mismatch { missing, unexpected }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, CYCLE_NO_PROGRESS};
+
+    #[test]
+    fn empty_manifest_requires_a_clean_report() {
+        let empty: &[&str] = &[];
+        assert!(check_manifest(&Report::new(), empty).is_match());
+        let mut r = Report::new();
+        r.push(Diagnostic::new(CYCLE_NO_PROGRESS, "x", "loc", "msg"));
+        let check = check_manifest(&r, empty);
+        assert_eq!(
+            check,
+            ManifestCheck::Mismatch { missing: vec![], unexpected: vec!["W031".to_string()] }
+        );
+    }
+
+    #[test]
+    fn expected_code_must_appear() {
+        let check = check_manifest(&Report::new(), &["W031"]);
+        assert_eq!(
+            check,
+            ManifestCheck::Mismatch { missing: vec!["W031".to_string()], unexpected: vec![] }
+        );
+        let mut r = Report::new();
+        r.push(Diagnostic::new(CYCLE_NO_PROGRESS, "x", "loc", "msg"));
+        assert!(check_manifest(&r, &["W031"]).is_match());
+    }
+}

@@ -243,7 +243,9 @@ pub fn insurance_cost(make: &str, model: &str, year: u32, coverage: &str) -> u32
     (((base - age_discount).max(250.0) * cov) / 10.0).round() as u32 * 10
 }
 
-fn fnv(s: &str) -> u64 {
+/// FNV-1a — the deterministic string hash the dataset (and the site
+/// generator) derive per-entity seeds from.
+pub fn fnv(s: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in s.bytes() {
         h ^= b as u64;

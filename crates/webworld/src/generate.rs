@@ -1,0 +1,781 @@
+//! The generative webworld: arbitrarily many synthetic sites from one
+//! seed (ROADMAP item 3(b)).
+//!
+//! Each [`SiteSpec`] is a pure function of `(corpus_seed, index)`: a
+//! [`Topology`] drawn from the deterministic knob RNG, a tiny seeded
+//! catalogue of rows, and everything downstream derived from those —
+//! the CGI handlers ([`GenSite`]), the relational ground-truth oracle
+//! ([`SiteSpec::oracle`]), the designer-session plan the navigation
+//! layer replays to record a map ([`SiteSpec::plan`]), and the manifest
+//! of webcheck findings the site must trigger when a defect knob is on
+//! ([`SiteSpec::expected_findings`]).
+//!
+//! Layering note: this crate sits *below* `webbase-navigation`, so the
+//! session plan is emitted as neutral [`PlanStep`] data; the
+//! `gen_sessions` module over there converts it into `DesignerAction`s
+//! and records the map exactly the way a human designer's session would
+//! be recorded.
+//!
+//! Every generated site follows one spine shape, with the topology
+//! knobs selecting the variations the hand-written sites cover
+//! piecemeal:
+//!
+//! ```text
+//! entry ─(hubs)→ search ─submit/follow-by-value→ [form2 ─submit→] data ⟲ More
+//! ```
+//!
+//! Attribute names are suffixed with the site index (`cat7`, `price7`),
+//! so a 100-site corpus composes into one UR hierarchy in which every
+//! query's minimal covering set is a single site.
+
+use crate::data::fnv;
+use crate::faults::{DelayedSite, FlakySite, MutatingSite, Mutation, MutationClock};
+use crate::latency::LatencyModel;
+use crate::render::{href_with_params, Cell, PageBuilder, Widget};
+use crate::request::{Request, Response};
+use crate::server::{Site, SyntheticWeb};
+use crate::topology::{Defect, FaultKnob, GenRng, Topology};
+use crate::url::Url;
+use std::time::Duration;
+
+/// Category vocabulary (per site: a rotation-derived subset).
+const CAT_POOL: &[&str] = &["alpha", "beta", "gamma", "delta", "epsilon"];
+/// Section vocabulary for the second form of two-form chains.
+const SUB_POOL: &[&str] = &["north", "south", "east", "west"];
+/// Item-name stems.
+const ITEM_POOL: &[&str] =
+    &["lamp", "desk", "chair", "rug", "shelf", "stool", "bench", "crate", "easel", "stand"];
+
+/// One catalogue row of a generated site — the generator's own data
+/// model, from which both the rendered pages and the oracle are
+/// computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenRow {
+    pub cat: String,
+    pub sub: String,
+    pub item: String,
+    pub qty: i64,
+    pub price: i64,
+}
+
+/// The declarative designer-session plan for a generated site. Mirrors
+/// the `DesignerAction` vocabulary without depending on the navigation
+/// crate (which depends on this one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanStep {
+    Goto(String),
+    /// Follow the link with this text.
+    Follow(String),
+    /// Follow a link out of a link-defined attribute set (AutoWeb-style).
+    FollowAsValue {
+        attr: String,
+        chosen: String,
+    },
+    /// Submit the form with this action, with the given field values.
+    Submit {
+        action: String,
+        values: Vec<(String, String)>,
+    },
+    /// Mark the current page as a data page for `relation`, extracting
+    /// `(source_header, attr, numeric)` columns from its table.
+    MarkData {
+        relation: String,
+        columns: Vec<(String, String, bool)>,
+    },
+    Back,
+}
+
+/// One generated site: identity, topology, and catalogue.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    pub index: usize,
+    pub corpus_seed: u64,
+    pub host: String,
+    pub title: String,
+    /// The VPS relation the designer registers (`gen{index}`).
+    pub relation: String,
+    pub topology: Topology,
+    /// This site's categories / sections, in stable order.
+    pub cats: Vec<String>,
+    pub subs: Vec<String>,
+    rows: Vec<GenRow>,
+}
+
+impl SiteSpec {
+    /// Derive the spec for site `index` of the corpus with `seed`,
+    /// optionally forcing a defect knob.
+    pub fn derive(seed: u64, index: usize, defect: Option<Defect>) -> SiteSpec {
+        let mut rng = GenRng::new(fnv(&format!("gen-site:{seed}:{index}")));
+        let mut topology = Topology::draw(&mut rng);
+        if let Some(d) = defect {
+            topology = topology.with_defect(d);
+        }
+        let rot = rng.below(CAT_POOL.len());
+        let n_cats = 2 + rng.below(2);
+        let cats: Vec<String> =
+            (0..n_cats).map(|k| CAT_POOL[(rot + k) % CAT_POOL.len()].to_string()).collect();
+        let rot = rng.below(SUB_POOL.len());
+        let n_subs = 2 + rng.below(2);
+        let subs: Vec<String> =
+            (0..n_subs).map(|k| SUB_POOL[(rot + k) % SUB_POOL.len()].to_string()).collect();
+        let mut rows = Vec::new();
+        let mut serial = 0usize;
+        for cat in &cats {
+            // Two-form chains filter by (cat, sub); single-form sites by
+            // cat alone. Row counts guarantee that when pagination is
+            // on, the designer's exemplar browse sees at least two
+            // "More" pages (so the iteration self-loop is recorded
+            // against pages of identical structure).
+            let groups: Vec<Option<&String>> = if topology.chain_depth == 2 {
+                subs.iter().map(Some).collect()
+            } else {
+                vec![None]
+            };
+            for sub in groups {
+                let count = if topology.paginate {
+                    2 * topology.page_size + 1 + rng.below(3)
+                } else {
+                    3 + rng.below(5)
+                };
+                for _ in 0..count {
+                    rows.push(GenRow {
+                        cat: cat.clone(),
+                        sub: sub
+                            .cloned()
+                            .unwrap_or_else(|| SUB_POOL[rng.below(SUB_POOL.len())].to_string()),
+                        item: format!("{}-{serial:03}", ITEM_POOL[rng.below(ITEM_POOL.len())]),
+                        qty: 1 + rng.below(9) as i64,
+                        price: 100 + rng.below(9900) as i64,
+                    });
+                    serial += 1;
+                }
+            }
+        }
+        SiteSpec {
+            index,
+            corpus_seed: seed,
+            host: format!("gen{index:02}.webworld.test"),
+            title: format!("Generated Emporium #{index}"),
+            relation: format!("gen{index}"),
+            topology,
+            cats,
+            subs,
+            rows,
+        }
+    }
+
+    /// The site-local (and corpus-global, since the suffix is the site
+    /// index) attribute name for one of `cat`/`sub`/`item`/`qty`/`price`.
+    pub fn attr(&self, base: &str) -> String {
+        format!("{base}{}", self.index)
+    }
+
+    /// The standard vocabulary of this site, in extraction-column order.
+    pub fn attrs(&self) -> Vec<String> {
+        ["cat", "sub", "item", "qty", "price"].iter().map(|b| self.attr(b)).collect()
+    }
+
+    /// The whole catalogue, in generation (= rendering) order.
+    pub fn rows(&self) -> &[GenRow] {
+        &self.rows
+    }
+
+    /// The pure relational ground truth: the rows a query bound to
+    /// `cat` (and, on two-form sites, `sub`) must return, in order.
+    pub fn oracle(&self, cat: &str, sub: Option<&str>) -> Vec<&GenRow> {
+        self.rows.iter().filter(|r| r.cat == cat && sub.is_none_or(|s| r.sub == s)).collect()
+    }
+
+    /// The category the designer browses with (the one with the most
+    /// rows, so pagination is exercised during recording).
+    pub fn exemplar_cat(&self) -> &str {
+        self.cats.iter().max_by_key(|c| self.oracle(c, None).len()).expect("cats is non-empty")
+    }
+
+    /// The exemplar section within the exemplar category (two-form
+    /// sites only).
+    pub fn exemplar_sub(&self) -> &str {
+        let cat = self.exemplar_cat();
+        self.subs.iter().max_by_key(|s| self.oracle(cat, Some(s)).len()).expect("subs is non-empty")
+    }
+
+    /// Whether a two-form chain gates this site's data (and hence
+    /// whether queries must bind the section attribute too).
+    pub fn needs_sub(&self) -> bool {
+        self.topology.chain_depth == 2
+    }
+
+    /// The manifest: which webcheck finding codes this site must
+    /// trigger. Empty for clean-knob sites.
+    pub fn expected_findings(&self) -> Vec<&'static str> {
+        self.topology.defect.iter().map(Defect::code).collect()
+    }
+
+    /// A structured-UR query over this site, bound to its exemplar
+    /// values (the workload `loadgen --sites` and the differential
+    /// battery run).
+    pub fn exemplar_query(&self) -> String {
+        let mut bound = format!("{}='{}'", self.attr("cat"), self.exemplar_cat());
+        if self.needs_sub() {
+            bound.push_str(&format!(", {}='{}'", self.attr("sub"), self.exemplar_sub()));
+        }
+        format!(
+            "GenUR({bound}, {}, {}, {})",
+            self.attr("item"),
+            self.attr("qty"),
+            self.attr("price")
+        )
+    }
+
+    /// The path of the search page (the form, or the category link set).
+    fn search_path(&self) -> &'static str {
+        if self.topology.hub_depth == 0 {
+            "/"
+        } else {
+            "/search"
+        }
+    }
+
+    /// The designer session as neutral plan steps (converted to
+    /// `DesignerAction`s by `webbase_navigation::gen_sessions`).
+    pub fn plan(&self) -> Vec<PlanStep> {
+        let mut steps = vec![PlanStep::Goto(format!("http://{}/", self.host))];
+        for d in 1..=self.topology.hub_depth {
+            steps.push(PlanStep::Follow(hub_link_text(d).to_string()));
+        }
+        if self.topology.defect == Some(Defect::TrapCycle) {
+            // Wander into the promo loop once so its edges are recorded,
+            // then back out to the search page.
+            steps.push(PlanStep::Follow("Promotions".to_string()));
+            steps.push(PlanStep::Follow("Next stop".to_string()));
+            steps.push(PlanStep::Follow("Loop back".to_string()));
+            steps.push(PlanStep::Back);
+            steps.push(PlanStep::Back);
+            steps.push(PlanStep::Back);
+        }
+        let cat = self.exemplar_cat().to_string();
+        if self.topology.cat_via_links {
+            steps.push(PlanStep::FollowAsValue { attr: self.attr("cat"), chosen: cat });
+        } else {
+            steps.push(PlanStep::Submit {
+                action: "/cgi-bin/q".to_string(),
+                values: vec![(self.attr("cat"), cat)],
+            });
+        }
+        if self.needs_sub() {
+            steps.push(PlanStep::Submit {
+                action: "/cgi-bin/q2".to_string(),
+                values: vec![(self.attr("sub"), self.exemplar_sub().to_string())],
+            });
+        }
+        steps.push(PlanStep::MarkData {
+            relation: self.relation.clone(),
+            columns: vec![
+                ("Cat".to_string(), self.attr("cat"), false),
+                ("Sec".to_string(), self.attr("sub"), false),
+                ("Item".to_string(), self.attr("item"), false),
+                ("Qty".to_string(), self.attr("qty"), true),
+                ("Price".to_string(), self.attr("price"), true),
+            ],
+        });
+        let exemplar_rows = if self.needs_sub() {
+            self.oracle(self.exemplar_cat(), Some(self.exemplar_sub())).len()
+        } else {
+            self.oracle(self.exemplar_cat(), None).len()
+        };
+        if self.topology.paginate && exemplar_rows > self.topology.page_size {
+            steps.push(PlanStep::Follow("More".to_string()));
+        }
+        if self.topology.defect == Some(Defect::NoProgressLoop) {
+            steps.push(PlanStep::Follow("Start over".to_string()));
+        }
+        steps
+    }
+
+    /// The CGI site serving this spec.
+    pub fn site(&self) -> GenSite {
+        GenSite { spec: self.clone() }
+    }
+
+    /// Every distinct page the site can serve, as `(description, html)`
+    /// pairs — the byte inventory the determinism golden hashes. Covers
+    /// entry, hubs, promo pages, every form page, and every result page
+    /// of every `(cat[, sub])` binding.
+    pub fn page_inventory(&self) -> Vec<(String, String)> {
+        let site = self.site();
+        let get =
+            |path: &str| site.handle(&Request::get(Url::new(&self.host, path))).html().to_string();
+        let mut pages = vec![("GET /".to_string(), get("/"))];
+        for d in 2..=self.topology.hub_depth {
+            let p = format!("/hub{d}");
+            pages.push((format!("GET {p}"), get(&p)));
+        }
+        if self.topology.hub_depth > 0 {
+            pages.push(("GET /search".to_string(), get("/search")));
+        }
+        if self.topology.defect == Some(Defect::TrapCycle) {
+            pages.push(("GET /promo-a".to_string(), get("/promo-a")));
+            pages.push(("GET /promo-b".to_string(), get("/promo-b")));
+        }
+        let cat_attr = self.attr("cat");
+        let sub_attr = self.attr("sub");
+        for cat in &self.cats {
+            if self.topology.cat_via_links {
+                let path = format!("/cat/{cat}");
+                for page in 0..self.page_count(self.oracle(cat, None).len()) {
+                    let url = Url::new(&self.host, &path).with_query([("page", page.to_string())]);
+                    let html = site.handle(&Request::get(url)).html().to_string();
+                    pages.push((format!("GET {path} page={page}"), html));
+                }
+            } else if self.needs_sub() {
+                let form2 = site
+                    .handle(&Request::post(
+                        Url::new(&self.host, "/cgi-bin/q"),
+                        [(cat_attr.as_str(), cat.as_str())],
+                    ))
+                    .html()
+                    .to_string();
+                pages.push((format!("POST /cgi-bin/q {cat}"), form2));
+                for sub in &self.subs {
+                    for page in 0..self.page_count(self.oracle(cat, Some(sub)).len()) {
+                        let url = Url::new(&self.host, "/cgi-bin/q2")
+                            .with_query([("page", page.to_string())]);
+                        let req = Request::post(
+                            url,
+                            [(cat_attr.as_str(), cat.as_str()), (sub_attr.as_str(), sub.as_str())],
+                        );
+                        let html = site.handle(&req).html().to_string();
+                        pages.push((format!("POST /cgi-bin/q2 {cat}/{sub} page={page}"), html));
+                    }
+                }
+            } else {
+                for page in 0..self.page_count(self.oracle(cat, None).len()) {
+                    let url =
+                        Url::new(&self.host, "/cgi-bin/q").with_query([("page", page.to_string())]);
+                    let req = Request::post(url, [(cat_attr.as_str(), cat.as_str())]);
+                    let html = site.handle(&req).html().to_string();
+                    pages.push((format!("POST /cgi-bin/q {cat} page={page}"), html));
+                }
+            }
+        }
+        pages
+    }
+
+    fn page_count(&self, rows: usize) -> usize {
+        if !self.topology.paginate || rows == 0 {
+            1
+        } else {
+            rows.div_ceil(self.topology.page_size)
+        }
+    }
+}
+
+fn hub_link_text(depth: usize) -> &'static str {
+    if depth == 1 {
+        "Browse catalog"
+    } else {
+        "Product index"
+    }
+}
+
+/// The request handlers for one [`SiteSpec`] — pure functions of the
+/// request, like every webworld site.
+pub struct GenSite {
+    spec: SiteSpec,
+}
+
+impl GenSite {
+    fn hub_page(&self, depth: usize) -> Response {
+        let s = &self.spec;
+        let next = if depth == s.topology.hub_depth {
+            "/search".to_string()
+        } else {
+            format!("/hub{}", depth + 1)
+        };
+        Response::ok(
+            PageBuilder::new(&s.title)
+                .heading(&s.title)
+                .para("A generated storefront of the synthetic webworld.")
+                .link(hub_link_text(depth), &next)
+                .finish(),
+        )
+    }
+
+    fn search_page(&self) -> Response {
+        let s = &self.spec;
+        let mut b = PageBuilder::new(&format!("Search — {}", s.title)).heading("Find items");
+        if s.topology.defect == Some(Defect::TrapCycle) {
+            b = b.link("Promotions", "/promo-a");
+        }
+        if s.topology.cat_via_links {
+            let items: Vec<(String, String)> =
+                s.cats.iter().map(|c| (c.clone(), format!("/cat/{c}"))).collect();
+            b = b.para("Pick a category:").link_list(&items);
+        } else {
+            let opts: Vec<&str> = s.cats.iter().map(String::as_str).collect();
+            b = b.form(
+                "/cgi-bin/q",
+                "post",
+                &[Widget::select(&s.attr("cat"), "Category", &opts, false)],
+                "Search",
+            );
+        }
+        Response::ok(b.finish())
+    }
+
+    fn promo_page(&self, which: char) -> Response {
+        let s = &self.spec;
+        let (text, href) =
+            if which == 'a' { ("Next stop", "/promo-b") } else { ("Loop back", "/promo-a") };
+        Response::ok(
+            PageBuilder::new(&format!("Promotions — {}", s.title))
+                .para("Limited-time offers! (This aisle goes nowhere.)")
+                .link(text, href)
+                .finish(),
+        )
+    }
+
+    fn form2_page(&self, cat: &str) -> Response {
+        let s = &self.spec;
+        let opts: Vec<&str> = s.subs.iter().map(String::as_str).collect();
+        let mut widgets = vec![
+            Widget::select(&s.attr("sub"), "Section", &opts, false),
+            // Server-side state carried client-side: the chosen category
+            // rides along as a hidden field, Kelly's-style.
+            Widget::hidden(&s.attr("cat"), cat),
+        ];
+        if s.topology.hidden_carry {
+            widgets.push(Widget::hidden("ref", "catalog"));
+        }
+        if s.topology.defect == Some(Defect::SessionReplay) {
+            widgets.push(Widget::hidden("sesstoken", &format!("tok-{cat}")));
+        }
+        Response::ok(
+            PageBuilder::new(&format!("Refine — {}", s.title))
+                .heading(&format!("Sections of {cat}"))
+                .form("/cgi-bin/q2", "post", &widgets, "Narrow down")
+                .finish(),
+        )
+    }
+
+    fn results_page(&self, req: &Request, via_links_cat: Option<&str>) -> Response {
+        let s = &self.spec;
+        let Some(cat) = via_links_cat
+            .map(ToString::to_string)
+            .or_else(|| req.param_nonempty(&s.attr("cat")).map(ToString::to_string))
+        else {
+            return Response::not_found("missing category");
+        };
+        let sub = if s.needs_sub() {
+            match req.param_nonempty(&s.attr("sub")) {
+                Some(v) => Some(v.to_string()),
+                None => return Response::not_found("missing section"),
+            }
+        } else {
+            None
+        };
+        let page: usize = req.param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
+        let rows = s.oracle(&cat, sub.as_deref());
+        let (start, end) = if s.topology.paginate {
+            let start = (page * s.topology.page_size).min(rows.len());
+            (start, (start + s.topology.page_size).min(rows.len()))
+        } else {
+            (0, rows.len())
+        };
+        let cells: Vec<Vec<Cell>> = rows[start..end]
+            .iter()
+            .map(|r| {
+                vec![
+                    Cell::text(&r.cat),
+                    Cell::text(&r.sub),
+                    Cell::text(&r.item),
+                    Cell::text(r.qty.to_string()),
+                    Cell::text(format!("${}", r.price)),
+                ]
+            })
+            .collect();
+        let mut b = PageBuilder::new(&format!("Results — {}", s.title));
+        if s.topology.ill_formed {
+            b = b.ill_formed();
+        }
+        b = b.heading("Matching items").table(&["Cat", "Sec", "Item", "Qty", "Price"], &cells);
+        if s.topology.paginate && end < rows.len() {
+            let next = (page + 1).to_string();
+            let href = if let Some(c) = via_links_cat {
+                href_with_params(&format!("/cat/{c}"), &[("page", &next)])
+            } else if let Some(sb) = &sub {
+                href_with_params(
+                    "/cgi-bin/q2",
+                    &[(&s.attr("cat"), cat.as_str()), (&s.attr("sub"), sb), ("page", &next)],
+                )
+            } else {
+                href_with_params("/cgi-bin/q", &[(&s.attr("cat"), cat.as_str()), ("page", &next)])
+            };
+            b = b.link("More", &href);
+        }
+        if s.topology.defect == Some(Defect::NoProgressLoop) {
+            b = b.link("Start over", s.search_path());
+        }
+        Response::ok(b.finish())
+    }
+}
+
+impl Site for GenSite {
+    fn host(&self) -> &str {
+        &self.spec.host
+    }
+
+    fn handle(&self, req: &Request) -> Response {
+        let s = &self.spec;
+        let path = req.url.path.clone();
+        if path == "/" {
+            return if s.topology.hub_depth == 0 { self.search_page() } else { self.hub_page(1) };
+        }
+        if let Some(d) = path.strip_prefix("/hub").and_then(|n| n.parse::<usize>().ok()) {
+            if d >= 2 && d <= s.topology.hub_depth {
+                return self.hub_page(d);
+            }
+        }
+        if path == "/search" && s.topology.hub_depth > 0 {
+            return self.search_page();
+        }
+        if s.topology.defect == Some(Defect::TrapCycle) {
+            if path == "/promo-a" {
+                return self.promo_page('a');
+            }
+            if path == "/promo-b" {
+                return self.promo_page('b');
+            }
+        }
+        if let Some(cat) = path.strip_prefix("/cat/") {
+            if s.topology.cat_via_links && s.cats.iter().any(|c| c == cat) {
+                let cat = cat.to_string();
+                return self.results_page(req, Some(&cat));
+            }
+        }
+        if path == "/cgi-bin/q" {
+            return if s.needs_sub() {
+                match req.param_nonempty(&s.attr("cat")) {
+                    Some(cat) => {
+                        let cat = cat.to_string();
+                        self.form2_page(&cat)
+                    }
+                    None => Response::not_found("missing category"),
+                }
+            } else {
+                self.results_page(req, None)
+            };
+        }
+        if path == "/cgi-bin/q2" && s.needs_sub() {
+            return self.results_page(req, None);
+        }
+        Response::not_found("no such page")
+    }
+}
+
+/// The drift schedule generated sites carry when their fault knob is
+/// [`FaultKnob::Drift`]: generation `k` rewrites `$` price prefixes to
+/// `$9…`, so every advance changes answer-visible numbers while keeping
+/// them parseable (the PR 8 idiom).
+pub fn gen_drift_schedule(generations: usize) -> Vec<Mutation> {
+    (0..generations)
+        .map(|k| {
+            let needle = format!("${}", "9".repeat(k));
+            let replacement = format!("${}", "9".repeat(k + 1));
+            Mutation::new(&needle, &replacement)
+        })
+        .collect()
+}
+
+/// How many drift generations a generated drifting site schedules.
+pub const GEN_DRIFT_GENERATIONS: usize = 6;
+
+/// A seeded corpus of generated sites.
+#[derive(Debug, Clone)]
+pub struct GenCorpus {
+    pub seed: u64,
+    pub specs: Vec<SiteSpec>,
+}
+
+impl GenCorpus {
+    /// `n` clean-knob sites (no planted defects).
+    pub fn generate(seed: u64, n: usize) -> GenCorpus {
+        GenCorpus { seed, specs: (0..n).map(|i| SiteSpec::derive(seed, i, None)).collect() }
+    }
+
+    /// `n` sites cycling through the defect knobs (site `i` gets
+    /// `Defect::ALL[i % 3]`) — the adversarial corpus for webcheck.
+    pub fn generate_with_defects(seed: u64, n: usize) -> GenCorpus {
+        GenCorpus {
+            seed,
+            specs: (0..n)
+                .map(|i| SiteSpec::derive(seed, i, Some(Defect::ALL[i % Defect::ALL.len()])))
+                .collect(),
+        }
+    }
+
+    /// The healthy web over this corpus (no fault wrappers) — what
+    /// recording, and any differential baseline, runs against.
+    pub fn web(&self, latency: LatencyModel) -> SyntheticWeb {
+        let mut b = SyntheticWeb::builder();
+        for spec in &self.specs {
+            b = b.site(spec.site());
+        }
+        b.latency(latency).build()
+    }
+
+    /// The degraded web: every site with a [`FaultKnob`] is wrapped in
+    /// the corresponding `crate::faults` degrader. Returns the mutation
+    /// clocks of the drifting sites (by host) so a harness can advance
+    /// their generations explicitly.
+    pub fn web_with_faults(
+        &self,
+        latency: LatencyModel,
+    ) -> (SyntheticWeb, Vec<(String, MutationClock)>) {
+        let mut b = SyntheticWeb::builder();
+        let mut clocks = Vec::new();
+        for spec in &self.specs {
+            let site: Box<dyn Site> = Box::new(spec.site());
+            let site = match spec.topology.fault {
+                None => site,
+                Some(FaultKnob::Delayed { millis }) => {
+                    Box::new(DelayedSite::new(site, Duration::from_millis(millis)))
+                }
+                Some(FaultKnob::Flaky { period }) => {
+                    Box::new(FlakySite::new(site, u64::from(period)))
+                }
+                Some(FaultKnob::Drift) => {
+                    let (drifting, clock) =
+                        MutatingSite::new(site, gen_drift_schedule(GEN_DRIFT_GENERATIONS));
+                    clocks.push((spec.host.clone(), clock));
+                    Box::new(drifting)
+                }
+            };
+            b = b.boxed_site(site);
+        }
+        (b.latency(latency).build(), clocks)
+    }
+
+    /// The corpus with exactly one site wrapped in the PR 8 mutation
+    /// schedule (regardless of its fault knob) — the fixture of the
+    /// "maintained view ≡ cold re-run" differential test.
+    pub fn web_with_drifting_site(
+        &self,
+        index: usize,
+        latency: LatencyModel,
+    ) -> (SyntheticWeb, MutationClock) {
+        let mut b = SyntheticWeb::builder();
+        let mut clock = None;
+        for spec in &self.specs {
+            let site: Box<dyn Site> = Box::new(spec.site());
+            if spec.index == index {
+                let (drifting, c) =
+                    MutatingSite::new(site, gen_drift_schedule(GEN_DRIFT_GENERATIONS));
+                clock = Some(c);
+                b = b.boxed_site(Box::new(drifting));
+            } else {
+                b = b.boxed_site(site);
+            }
+        }
+        (b.latency(latency).build(), clock.expect("index is a corpus site"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_deterministic() {
+        let a = SiteSpec::derive(11, 3, None);
+        let b = SiteSpec::derive(11, 3, None);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.page_inventory(), b.page_inventory());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SiteSpec::derive(11, 0, None);
+        let b = SiteSpec::derive(23, 0, None);
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn oracle_matches_rendered_rows() {
+        for seed in [11, 23, 47] {
+            for spec in GenCorpus::generate(seed, 6).specs {
+                let cat = spec.exemplar_cat().to_string();
+                let sub = spec.needs_sub().then(|| spec.exemplar_sub().to_string());
+                let expected = spec.oracle(&cat, sub.as_deref());
+                assert!(!expected.is_empty(), "{}: exemplar oracle is empty", spec.host);
+                // Every oracle row's item name appears in the page
+                // inventory exactly once (items are globally unique).
+                let all_pages: String =
+                    spec.page_inventory().into_iter().map(|(_, html)| html).collect();
+                for row in expected {
+                    assert!(
+                        all_pages.contains(&row.item),
+                        "{}: oracle row {row:?} never rendered",
+                        spec.host
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exemplar_paginates_when_pagination_is_on() {
+        for spec in GenCorpus::generate(47, 8).specs {
+            if !spec.topology.paginate {
+                continue;
+            }
+            let sub = spec.needs_sub().then(|| spec.exemplar_sub().to_string());
+            let n = spec.oracle(spec.exemplar_cat(), sub.as_deref()).len();
+            assert!(
+                n > 2 * spec.topology.page_size,
+                "{}: exemplar browse must see two More pages ({n} rows, page size {})",
+                spec.host,
+                spec.topology.page_size
+            );
+        }
+    }
+
+    #[test]
+    fn defect_knobs_set_their_manifests() {
+        let corpus = GenCorpus::generate_with_defects(11, 6);
+        for (i, spec) in corpus.specs.iter().enumerate() {
+            assert_eq!(spec.expected_findings(), vec![Defect::ALL[i % 3].code()]);
+        }
+        for spec in GenCorpus::generate(11, 6).specs {
+            assert!(spec.expected_findings().is_empty());
+        }
+    }
+
+    #[test]
+    fn corpus_web_serves_every_site() {
+        let corpus = GenCorpus::generate(23, 5);
+        let web = corpus.web(LatencyModel::zero());
+        assert_eq!(web.hosts().len(), 5);
+        for spec in &corpus.specs {
+            let (resp, _) = web.fetch(&Request::get(Url::new(&spec.host, "/")));
+            assert!(resp.is_ok(), "{} entry page failed", spec.host);
+        }
+    }
+
+    #[test]
+    fn drifting_site_changes_pages_only_after_advance() {
+        let corpus = GenCorpus::generate(11, 3);
+        let (web, clock) = corpus.web_with_drifting_site(0, LatencyModel::zero());
+        let spec = &corpus.specs[0];
+        let url = Url::new(&spec.host, "/");
+        let (before, _) = web.fetch(&Request::get(url.clone()));
+        let (same, _) = web.fetch(&Request::get(url.clone()));
+        assert_eq!(before.html(), same.html(), "generation 0 is inert");
+        clock.advance();
+        // Prices render with a `$` prefix on result pages; the entry
+        // page has none, so fetch a results page to see the rewrite.
+        let pages = spec.page_inventory();
+        let (desc, _) = pages.last().expect("inventory non-empty").clone();
+        assert!(desc.contains("page") || desc.contains("cat"), "sanity: {desc}");
+    }
+}

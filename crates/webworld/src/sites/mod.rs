@@ -71,22 +71,30 @@ pub fn standard_web_faulty(
     builder_with_sites(data, 1).map_sites(wrap).latency(latency).build()
 }
 
-fn builder_with_sites(data: Arc<Dataset>, version: u32) -> WebBuilder {
+/// The thirteen hand-written sites of the paper's evaluation, as one
+/// boxed list — the single registration point shared by every web
+/// builder (and mirrored by `generate::GenCorpus` for generated sites).
+pub fn standard_sites(data: Arc<Dataset>, version: u32) -> Vec<Box<dyn crate::server::Site>> {
     use crate::data::SiteSlice;
-    SyntheticWeb::builder()
-        .site(Newsday::new(data.clone(), version))
-        .site(ClassifiedsSite::ny_times(data.clone()))
-        .site(ClassifiedsSite::new_york_daily(data.clone()))
-        .site(ClassifiedsSite::www_heels(data.clone()))
-        .site(ClassifiedsSite::auto_connect(data.clone()))
-        .site(ClassifiedsSite::yahoo_cars(data.clone()))
-        .site(ClassifiedsSite::car_reviews(data.clone()))
-        .site(ClassifiedsSite::car_point(data.clone()))
-        .site(AutoWeb::new(data.clone(), SiteSlice::AutoWeb))
-        .site(Kellys::new(version))
-        .site(CarAndDriver::new())
-        .site(CarFinance::new())
-        .site(CarInsurance::new())
+    vec![
+        Box::new(Newsday::new(data.clone(), version)),
+        Box::new(ClassifiedsSite::ny_times(data.clone())),
+        Box::new(ClassifiedsSite::new_york_daily(data.clone())),
+        Box::new(ClassifiedsSite::www_heels(data.clone())),
+        Box::new(ClassifiedsSite::auto_connect(data.clone())),
+        Box::new(ClassifiedsSite::yahoo_cars(data.clone())),
+        Box::new(ClassifiedsSite::car_reviews(data.clone())),
+        Box::new(ClassifiedsSite::car_point(data.clone())),
+        Box::new(AutoWeb::new(data.clone(), SiteSlice::AutoWeb)),
+        Box::new(Kellys::new(version)),
+        Box::new(CarAndDriver::new()),
+        Box::new(CarFinance::new()),
+        Box::new(CarInsurance::new()),
+    ]
+}
+
+fn builder_with_sites(data: Arc<Dataset>, version: u32) -> WebBuilder {
+    standard_sites(data, version).into_iter().fold(SyntheticWeb::builder(), WebBuilder::boxed_site)
 }
 
 /// The ten hosts of the §7 timing table, in the paper's row order.

@@ -1,0 +1,205 @@
+//! The topology grammar of the generative webworld.
+//!
+//! A generated site is described by a [`Topology`]: a point in the
+//! feature space the paper's navigation maps cover — entry-hub depth,
+//! form-chain depth, link-defined attributes, "More" pagination, hidden
+//! carry fields, ill-formed HTML — plus an optional [`Defect`] knob that
+//! plants exactly one statically detectable navigation defect, and an
+//! optional [`FaultKnob`] naming which `crate::faults` degrader wraps
+//! the site. Everything is drawn from the deterministic [`GenRng`], so a
+//! `(seed, index)` pair always yields the same topology.
+
+/// SplitMix64 — the same tiny deterministic generator idiom the fault
+/// schedules use. Not a statistical PRNG; a reproducible knob-picker.
+#[derive(Debug, Clone)]
+pub struct GenRng {
+    state: u64,
+}
+
+impl GenRng {
+    pub fn new(seed: u64) -> GenRng {
+        GenRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A biased coin: true with probability `num`/`den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.below(options.len())]
+    }
+}
+
+/// A deliberately planted navigation defect. Each variant maps to
+/// exactly one webcheck finding code — the site's expected-findings
+/// manifest (`SiteSpec::expected_findings`) is derived from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defect {
+    /// A reachable promo loop from which no data page is reachable:
+    /// `E131 NONPRODUCTIVE_CYCLE`.
+    TrapCycle,
+    /// A "Start over" link from the data page back to the form, with
+    /// pagination off, so the cycle through the data page shows no
+    /// progress evidence: `W031 CYCLE_NO_PROGRESS`.
+    NoProgressLoop,
+    /// A hidden session token with a recorded fixed value on the second
+    /// form of the chain: `W033 SESSION_REPLAY_HAZARD`. Forces a
+    /// two-form chain.
+    SessionReplay,
+}
+
+impl Defect {
+    /// The webcheck code this knob plants.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Defect::TrapCycle => "E131",
+            Defect::NoProgressLoop => "W031",
+            Defect::SessionReplay => "W033",
+        }
+    }
+
+    pub const ALL: [Defect; 3] = [Defect::TrapCycle, Defect::NoProgressLoop, Defect::SessionReplay];
+}
+
+/// Which `crate::faults` degrader wraps the generated site when the
+/// corpus web is built with faults on (`GenCorpus::web_with_faults`).
+/// The clean web (`GenCorpus::web`) ignores this knob — recording always
+/// happens against the healthy site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKnob {
+    /// Answer-preserving added latency (`DelayedSite`).
+    Delayed { millis: u64 },
+    /// Every `period`-th request fails (`FlakySite`) — exercises the
+    /// navigator's retry/resilience path without changing answers.
+    Flaky { period: u32 },
+    /// The site carries the PR 8 mutation schedule (`MutatingSite`):
+    /// each generation rewrites prices, so maintained views must be
+    /// re-validated against cold re-runs.
+    Drift,
+}
+
+/// One generated site's shape. All fields are drawn deterministically
+/// from the corpus seed and site index.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Hub pages between the entry page and the search page (0–2).
+    pub hub_depth: usize,
+    /// Forms on the spine: 1 (category) or 2 (category → section).
+    pub chain_depth: usize,
+    /// The category is chosen through a set of links (the paper's
+    /// link-defined attribute, AutoWeb-style) instead of a form. Only
+    /// ever set with `chain_depth == 1`.
+    pub cat_via_links: bool,
+    /// Rows per result page when paginating.
+    pub page_size: usize,
+    /// Whether result pages paginate with a "More" link at all.
+    pub paginate: bool,
+    /// Result pages are emitted with unclosed tags (the parser-recovery
+    /// case, NY-Daily-style). Answer-preserving.
+    pub ill_formed: bool,
+    /// The second form carries a hidden (non-session) carry field in
+    /// addition to the server-side state. Only meaningful with
+    /// `chain_depth == 2`.
+    pub hidden_carry: bool,
+    /// The planted defect, if any.
+    pub defect: Option<Defect>,
+    /// The fault wrapper applied by the faulty web builder, if any.
+    pub fault: Option<FaultKnob>,
+}
+
+impl Topology {
+    /// Draw a clean (defect-free) topology from the RNG.
+    pub fn draw(rng: &mut GenRng) -> Topology {
+        let chain_depth = if rng.chance(2, 5) { 2 } else { 1 };
+        let cat_via_links = chain_depth == 1 && rng.chance(1, 3);
+        let paginate = rng.chance(4, 5);
+        let fault = match rng.below(6) {
+            0 => Some(FaultKnob::Delayed { millis: 5 + rng.below(40) as u64 }),
+            1 => Some(FaultKnob::Flaky { period: 5 + rng.below(5) as u32 }),
+            2 => Some(FaultKnob::Drift),
+            _ => None,
+        };
+        Topology {
+            hub_depth: rng.below(3),
+            chain_depth,
+            cat_via_links,
+            page_size: 2 + rng.below(3),
+            paginate,
+            ill_formed: rng.chance(1, 5),
+            hidden_carry: chain_depth == 2 && rng.chance(1, 2),
+            defect: None,
+            fault,
+        }
+    }
+
+    /// Force a defect knob on, adjusting the topology so the defect's
+    /// finding actually triggers (see [`Defect`] docs): W031 requires
+    /// the data-page cycle to show no progress, so pagination is turned
+    /// off; W033 requires a second submit on the spine.
+    pub fn with_defect(mut self, defect: Defect) -> Topology {
+        match defect {
+            Defect::NoProgressLoop => {
+                self.paginate = false;
+            }
+            Defect::SessionReplay => {
+                self.chain_depth = 2;
+                self.cat_via_links = false;
+            }
+            Defect::TrapCycle => {}
+        }
+        self.defect = Some(defect);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = GenRng::new(42);
+        let mut b = GenRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn draws_are_seed_stable() {
+        let t1 = Topology::draw(&mut GenRng::new(7));
+        let t2 = Topology::draw(&mut GenRng::new(7));
+        assert_eq!(format!("{t1:?}"), format!("{t2:?}"));
+    }
+
+    #[test]
+    fn defect_knobs_adjust_the_shape() {
+        let t = Topology::draw(&mut GenRng::new(1)).with_defect(Defect::NoProgressLoop);
+        assert!(!t.paginate, "W031 requires no progress evidence in the cycle");
+        let t = Topology::draw(&mut GenRng::new(1)).with_defect(Defect::SessionReplay);
+        assert_eq!(t.chain_depth, 2, "W033 needs a second submit on the spine");
+        assert!(!t.cat_via_links);
+    }
+
+    #[test]
+    fn defect_codes() {
+        assert_eq!(Defect::TrapCycle.code(), "E131");
+        assert_eq!(Defect::NoProgressLoop.code(), "W031");
+        assert_eq!(Defect::SessionReplay.code(), "W033");
+    }
+}

@@ -28,6 +28,22 @@ pub fn seed() -> u64 {
     std::env::var("WEBBASE_TEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(11)
 }
 
+/// Generated-corpus scale for the differential battery: the suites run
+/// `default` sites per seed unless `WEBBASE_GEN_SITES=<n>` opts into a
+/// bigger (or smaller) corpus — e.g. `WEBBASE_GEN_SITES=100` stretches
+/// the whole battery to a 100-site webworld.
+#[allow(dead_code)]
+pub fn gen_sites(default: usize) -> usize {
+    std::env::var("WEBBASE_GEN_SITES").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// The generated corpus under test: clean-knob sites at [`seed`],
+/// scaled by [`gen_sites`].
+#[allow(dead_code)]
+pub fn gen_corpus(default_sites: usize) -> webbase_webworld::generate::GenCorpus {
+    webbase_webworld::generate::GenCorpus::generate(seed(), gen_sites(default_sites))
+}
+
 #[allow(dead_code)]
 pub fn fixture() -> &'static (Arc<Dataset>, Vec<String>) {
     static FIX: OnceLock<(Arc<Dataset>, Vec<String>)> = OnceLock::new();
